@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Default sizes are laptop-friendly; set ``REPRO_FULL_SCALE=1`` to run the
+paper-scale configurations (16K threads for E1/E2, 1024 threads for E5).
+Each benchmark emits "paper anchor -> measured" lines, printed in the
+terminal summary — those rows are what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+_REPORT_LINES: list[str] = []
+
+
+def scale(default: int, full: int) -> int:
+    return full if FULL_SCALE else default
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects experiment report lines, shown in the terminal summary."""
+    return _REPORT_LINES.append
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    scale_note = "PAPER SCALE" if FULL_SCALE else "default scale; REPRO_FULL_SCALE=1 for paper scale"
+    terminalreporter.write_line(
+        f"EXPERIMENT REPORT (paper anchor -> measured)  [{scale_note}]"
+    )
+    terminalreporter.write_line("=" * 78)
+    for line in sorted(_REPORT_LINES):
+        terminalreporter.write_line(line)

@@ -1,0 +1,105 @@
+"""E10 — many experiments (paper §2 objective).
+
+> "Handle large-scale profile data **and large numbers of experiments**."
+
+E1/E2 cover the first half; this bench covers the second: an archive
+holding hundreds of trials across many applications/experiments must
+keep entity listings, name lookups and cross-trial queries fast, and the
+ParaProf tree must render the whole catalogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.paraprof import ArchiveManager, ProfileBrowser
+from repro.tau.apps import EVH1
+
+from conftest import scale
+
+N_APPLICATIONS = 10
+N_EXPERIMENTS = 5
+N_TRIALS = scale(4, 8)  # per experiment -> 200 (or 400) trials total
+
+
+@pytest.fixture(scope="module")
+def big_archive():
+    session = PerfDMFSession("sqlite://:memory:")
+    source = EVH1(problem_size=0.02, timesteps=1).run(2)  # small, reused
+    for a in range(N_APPLICATIONS):
+        app = session.create_application(f"app_{a:02d}", version=str(a))
+        for e in range(N_EXPERIMENTS):
+            exp = session.create_experiment(app, f"exp_{e}")
+            for t in range(N_TRIALS):
+                session.save_trial(source, exp, f"trial_{t}")
+    yield session
+    session.close()
+
+
+def total_trials() -> int:
+    return N_APPLICATIONS * N_EXPERIMENTS * N_TRIALS
+
+
+def test_archive_populated(benchmark, big_archive, report):
+    count = benchmark(
+        big_archive.connection.scalar, "SELECT count(*) FROM trial"
+    )
+    assert count == total_trials()
+    report(
+        f"E10 §2 'large numbers of experiments'      -> archive holds "
+        f"{count} trials across {N_APPLICATIONS * N_EXPERIMENTS} experiments"
+    )
+
+
+def test_application_listing(benchmark, big_archive):
+    apps = benchmark(big_archive.get_application_list)
+    assert len(apps) == N_APPLICATIONS
+
+
+def test_filtered_trial_listing(benchmark, big_archive, report):
+    big_archive.reset_selection()
+    apps = big_archive.get_application_list()
+    big_archive.set_application(apps[3])
+    exps = big_archive.get_experiment_list()
+    big_archive.set_experiment(exps[2])
+
+    trials = benchmark(big_archive.get_trial_list)
+    assert len(trials) == N_TRIALS
+    big_archive.reset_selection()
+    report(
+        f"E10 filtered trial listing                 -> "
+        f"{benchmark.stats['mean'] * 1e3:6.2f} ms over {total_trials()} trials"
+    )
+
+
+def test_name_lookup(benchmark, big_archive):
+    app = benchmark(big_archive.get_application, "app_07")
+    assert app is not None
+
+
+def test_tree_rendering(benchmark, big_archive, report):
+    manager = ArchiveManager(big_archive)
+    browser = ProfileBrowser(manager)
+    text = benchmark.pedantic(browser.render_tree, rounds=2, iterations=1)
+    assert text.count("trial_0") == N_APPLICATIONS * N_EXPERIMENTS
+    report(
+        f"E10 full-archive tree render               -> "
+        f"{benchmark.stats['mean'] * 1e3:6.1f} ms "
+        f"({len(text.splitlines())} tree lines)"
+    )
+
+
+def test_cross_trial_metadata_query(benchmark, big_archive):
+    """Analyst query spanning the catalogue: every P=... trial of one app."""
+
+    def query():
+        return big_archive.connection.query(
+            "SELECT t.id FROM trial t "
+            "JOIN experiment e ON t.experiment = e.id "
+            "JOIN application a ON e.application = a.id "
+            "WHERE a.name = 'app_05' AND t.name = 'trial_1'"
+        )
+
+    rows = benchmark(query)
+    assert len(rows) == N_EXPERIMENTS

@@ -1,0 +1,75 @@
+"""E1 — bulk-load scalability (paper §3.1).
+
+Claim reproduced: *"Our tests with large profile data (101 events on 16K
+processors) showed the framework adequately handled the mass of data."*
+
+We load Miranda-analog trials (101 events, 1 metric) at growing thread
+counts and measure parse+store wall time and stored row counts.  Shape
+expectation: time grows ~linearly in data points, and the 16K
+configuration (REPRO_FULL_SCALE=1) completes without error on a laptop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.tau.apps import Miranda
+from repro.tau.apps.miranda import NUM_EVENTS
+
+from conftest import FULL_SCALE, scale
+
+SWEEP = [256, 1024, scale(4096, 16384)]
+
+
+@pytest.fixture(scope="module")
+def generated():
+    app = Miranda()
+    return {ranks: app.generate(ranks) for ranks in SWEEP}
+
+
+def _load(trial_data):
+    session = PerfDMFSession("sqlite://:memory:")
+    application = session.create_application("miranda")
+    experiment = session.create_experiment(application, "bgl")
+    trial = session.save_trial(trial_data, experiment, "bench")
+    count = session.count_data_points(trial)
+    session.close()
+    return count
+
+
+@pytest.mark.parametrize("ranks", SWEEP)
+def test_bulk_load(benchmark, generated, ranks, report):
+    trial_data = generated[ranks]
+    assert trial_data.num_events == NUM_EVENTS == 101
+
+    count = benchmark.pedantic(_load, args=(trial_data,), rounds=1, iterations=1)
+    assert count == ranks * NUM_EVENTS
+
+    seconds = benchmark.stats["mean"]
+    rate = count / seconds
+    report(
+        f"E1  §3.1 '101 events on 16K procs handled'  -> "
+        f"{ranks:>6} threads: {count:>9,} rows in {seconds:6.2f}s "
+        f"({rate:,.0f} rows/s)"
+    )
+
+
+def test_linear_scaling_shape(benchmark, generated, report):
+    """Store time per data point must stay ~constant across the sweep."""
+
+    def measure() -> float:
+        rates = []
+        for ranks in SWEEP[:2]:
+            trial_data = generated[ranks]
+            t0 = time.perf_counter()
+            count = _load(trial_data)
+            seconds = time.perf_counter() - t0
+            rates.append(count / seconds)
+        return max(rates) / min(rates)
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(f"E1  load-rate variation across sweep: {ratio:.2f}x (expect < 3x)")
+    assert ratio < 3.0, "load cost must scale ~linearly in data points"

@@ -1,0 +1,78 @@
+"""E3 — the Figure 2 multi-format archive (paper §5.1).
+
+Scenario reproduced: one database holding trials of the same application
+imported from three different profiling tools (HPMToolkit, mpiP, TAU),
+browsed through ParaProf.  Measured: per-format import time; asserted:
+the archive tree matches the figure and every trial opens and displays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paraprof import ArchiveManager, ProfileBrowser
+from repro.tau.apps import SPPM
+from repro.tau.writers import (
+    write_hpm_output, write_mpip_report, write_tau_profiles,
+)
+
+RANKS = 32
+
+
+@pytest.fixture(scope="module")
+def tool_outputs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("e3")
+    run = SPPM(problem_size=0.02, timesteps=1).run(RANKS)
+    write_tau_profiles(run, base / "tau")
+    write_mpip_report(run, base / "run.mpiP")
+    write_hpm_output(run, base / "hpm")
+    return base
+
+
+@pytest.mark.parametrize(
+    "fmt,target,trial_name",
+    [
+        ("tau", "tau", "TAU trial"),
+        ("mpip", "run.mpiP", "mpiP trial"),
+        ("hpmtoolkit", "hpm", "HPMToolkit trial"),
+    ],
+)
+def test_import_format(benchmark, tool_outputs, fmt, target, trial_name, report):
+    def import_once():
+        manager = ArchiveManager("sqlite://:memory:")
+        return manager.import_profile(
+            tool_outputs / target, "sppm", "multi-tool", trial_name
+        )
+
+    trial = benchmark.pedantic(import_once, rounds=2, iterations=1)
+    assert trial.id is not None
+    report(
+        f"E3  Fig.2 import [{fmt:<11}]              -> "
+        f"{benchmark.stats['mean'] * 1e3:7.1f} ms for {RANKS} ranks"
+    )
+
+
+def test_figure2_archive_end_to_end(benchmark, tool_outputs, report):
+    def build_and_browse():
+        manager = ArchiveManager("sqlite://:memory:")
+        manager.import_profile(
+            tool_outputs / "tau", "sppm", "multi-tool", "TAU trial"
+        )
+        manager.import_profile(
+            tool_outputs / "run.mpiP", "sppm", "multi-tool", "mpiP trial"
+        )
+        manager.import_profile(
+            tool_outputs / "hpm", "sppm", "multi-tool", "HPM trial"
+        )
+        browser = ProfileBrowser(manager)
+        views = [browser.render_tree()]
+        for trial_name in ("TAU trial", "mpiP trial", "HPM trial"):
+            browser.open_trial("sppm", "multi-tool", trial_name)
+            views.append(browser.show_aggregate(top=5))
+        return manager.tree(), views
+
+    tree, views = benchmark.pedantic(build_and_browse, rounds=1, iterations=1)
+    assert tree == {"sppm": {"multi-tool": ["TAU trial", "mpiP trial", "HPM trial"]}}
+    assert all(t in views[0] for t in ("TAU trial", "mpiP trial", "HPM trial"))
+    assert all(views)
+    report("E3  Fig.2 archive: 3 tools in one DB, all browsable -> reproduced")

@@ -1,0 +1,80 @@
+"""E4 — the EVH1 speedup analyzer (paper §5.2).
+
+Reproduced output: *"the tool automatically calculates the minimum, mean
+and maximum values for the speedup [of] every profiled routine."*
+
+Shape expectations asserted:
+
+* compute-bound routines (riemann/parabola/remap) scale near-linearly;
+* the MPI_Alltoall transpose degrades at scale (the scalability sink);
+* fixed-cost init saturates at speedup ≈ 1;
+* per-routine min < mean < max spread reflects boundary-rank imbalance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.core.toolkit import SpeedupAnalyzer
+from repro.tau.apps import EVH1
+
+COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="module")
+def stored_sweep():
+    """Run + store + reload the sweep through the database, as §5.2 did."""
+    session = PerfDMFSession("sqlite://:memory:")
+    application = session.create_application("evh1")
+    experiment = session.create_experiment(application, "strong-scaling")
+    app = EVH1(problem_size=1.0, timesteps=2)
+    for p in COUNTS:
+        session.save_trial(app.run(p), experiment, f"P={p}")
+    session.set_experiment(experiment)
+    analyzer = SpeedupAnalyzer()
+    for trial in session.get_trial_list():
+        analyzer.add_trial(trial.get("node_count"), session.load_datasource(trial))
+    yield analyzer
+    session.close()
+
+
+def test_speedup_analysis(benchmark, stored_sweep, report):
+    curves = benchmark(stored_sweep.analyze)
+    by_name = {c.event: c for c in curves}
+
+    riemann = by_name["riemann"].points[-1]
+    alltoall = by_name["MPI_Alltoall()"].points[-1]
+    init = by_name["init"].points[-1]
+
+    # compute kernel: near-linear (>70% efficiency at P=64)
+    assert riemann.mean > 0.7 * 64
+    # transpose: clearly degraded (below half-linear) and worse than P=16
+    assert alltoall.mean < 32
+    p16 = next(pt for pt in by_name["MPI_Alltoall()"].points if pt.processors == 16)
+    assert by_name["MPI_Alltoall()"].classify() in ("degrading", "saturating")
+    # serial setup: flat
+    assert init.mean < 2.0
+    # imbalance spread visible
+    assert riemann.minimum < riemann.mean < riemann.maximum
+
+    report(
+        "E4  §5.2 EVH1 per-routine speedup at P=64  -> "
+        f"riemann {riemann.minimum:.1f}/{riemann.mean:.1f}/{riemann.maximum:.1f} "
+        f"(min/mean/max), alltoall {alltoall.mean:.1f}, init {init.mean:.2f}"
+    )
+
+
+def test_application_speedup_sublinear(benchmark, stored_sweep, report):
+    points = benchmark(stored_sweep.application_speedup)
+    last = points[-1]
+    assert 0.4 * 64 < last.mean < 64  # sublinear but real speedup
+    report(
+        f"E4  EVH1 app speedup at P=64               -> "
+        f"{last.mean:.1f}x (efficiency {last.efficiency:.0%})"
+    )
+
+
+def test_report_generation(benchmark, stored_sweep):
+    text = benchmark(stored_sweep.report)
+    assert "riemann" in text and "min" in text

@@ -1,0 +1,92 @@
+"""E5 — PerfExplorer data mining on sPPM (paper §5.3, Figure 3).
+
+Reproduced result: *"Analysis results from Ahn and Vetter were
+reproduced with PerfExplorer, showing interesting floating point
+operation behavior in the sPPM application."*  Up to 1024 threads and 7
+PAPI counters, through the full client-server path.
+
+Shape expectations asserted:
+
+* k-means on PAPI_FP_OPS separates two thread populations;
+* the populations coincide with the boundary/interior domain split;
+* silhouette selects k=2 automatically;
+* results persist and reload through the extended schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.db.minisql import reset_shared_databases
+from repro.explorer import AnalysisServer, PerfExplorerClient, SocketServer
+from repro.tau.apps import SPPM
+from repro.tau.apps.sppm import boundary_fraction
+
+from conftest import scale
+
+RANKS = scale(256, 1024)
+DB_URL = "minisql://bench-e5"
+
+
+@pytest.fixture(scope="module")
+def service():
+    setup = PerfDMFSession(DB_URL)
+    application = setup.create_application("sppm")
+    experiment = setup.create_experiment(application, "counter-study")
+    source = SPPM(problem_size=0.02, timesteps=1).run(RANKS)
+    trial = setup.save_trial(source, experiment, f"P={RANKS}")
+    server = SocketServer(AnalysisServer(DB_URL))
+    host, port = server.start()
+    yield host, port, trial.id
+    server.stop()
+    reset_shared_databases()
+
+
+def test_clustering_through_client_server(benchmark, service, report):
+    host, port, trial_id = service
+
+    def mine():
+        with PerfExplorerClient(host, port) as client:
+            return client.cluster_trial(
+                trial_id, metric_name="PAPI_FP_OPS", max_k=5
+            )
+
+    result = benchmark.pedantic(mine, rounds=1, iterations=1)
+
+    assert result["k"] == 2, "silhouette must select the two populations"
+    truth = np.array([boundary_fraction(r, RANKS) for r in range(RANKS)])
+    labels = np.array(result["labels"]) == 1
+    agreement = max((labels == truth).mean(), (labels != truth).mean())
+    assert agreement > 0.9, "clusters must match the boundary/interior split"
+
+    report(
+        f"E5  §5.3 Ahn&Vetter sPPM FP behaviour      -> k={result['k']}, "
+        f"sizes={result['sizes']}, boundary agreement {agreement:.0%}, "
+        f"{benchmark.stats['mean']:.2f}s end-to-end ({RANKS} threads)"
+    )
+
+
+def test_results_persist_and_reload(benchmark, service, report):
+    host, port, trial_id = service
+
+    def roundtrip():
+        with PerfExplorerClient(host, port) as client:
+            result = client.cluster_trial(
+                trial_id, k=2, metric_name="PAPI_FP_OPS"
+            )
+            stored = client.get_analysis(result["settings_id"])
+            return result, stored
+
+    result, stored = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert stored["results"]["labels"] == result["labels"]
+    assert stored["method"] == "kmeans"
+    report("E5  analysis results saved+reloaded via extended schema -> ok")
+
+
+def test_describe_throughput(benchmark, service):
+    host, port, trial_id = service
+    with PerfExplorerClient(host, port) as client:
+        d = benchmark(client.describe_event, trial_id, "hydro_kernel")
+        assert d["n"] == RANKS

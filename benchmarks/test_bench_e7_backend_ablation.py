@@ -1,0 +1,145 @@
+"""E7 — storage-engine ablation (paper §4's portability claim).
+
+Claim reproduced: *"Because all supported databases are accessed through
+a common interface, the tool programmer does not need to worry about
+vendor-specific SQL syntax."*
+
+The full PerfDMF workload (schema install, bulk trial store, selective
+queries, aggregates) runs unmodified on both engines; results must be
+identical, and the ablation quantifies the cost of the pure-Python
+engine.  Also ablates the bulk-insert strategy (executemany vs
+row-at-a-time) called out in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.tau.apps import Miranda
+
+RANKS = 512
+
+
+@pytest.fixture(scope="module")
+def trial_data():
+    return Miranda().generate(RANKS)
+
+
+def _workload(url: str, trial_data):
+    """The complete store-then-query workload, backend-agnostic."""
+    session = PerfDMFSession(url)
+    application = session.create_application("miranda")
+    experiment = session.create_experiment(application, "ablation")
+    trial = session.save_trial(trial_data, experiment, "t")
+    session.set_trial(trial)
+    count = session.count_data_points()
+    mean = session.aggregate("mean", event_name="fft_kernel_00")
+    stddev = session.aggregate("stddev", event_name="fft_kernel_00")
+    session.set_node(3)
+    slice_rows = len(session.get_interval_event_data())
+    session.close()
+    return count, round(mean, 6), round(stddev, 6), slice_rows
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "minisql"])
+def test_full_workload_per_backend(benchmark, backend, trial_data, report):
+    url = "sqlite://:memory:" if backend == "sqlite" else "minisql://:memory:"
+    result = benchmark.pedantic(
+        _workload, args=(url, trial_data), rounds=1, iterations=1
+    )
+    assert result[0] == RANKS * 101
+    report(
+        f"E7  §4 backend ablation [{backend:<7}]        -> "
+        f"{benchmark.stats['mean']:6.2f}s for the full workload"
+    )
+
+
+def test_backends_produce_identical_results(benchmark, trial_data, report):
+    def both():
+        return (
+            _workload("sqlite://:memory:", trial_data),
+            _workload("minisql://:memory:", trial_data),
+        )
+
+    sqlite_result, minisql_result = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    assert sqlite_result == minisql_result
+    report(
+        "E7  identical results across engines       -> "
+        f"count/mean/stddev/slice all equal: {sqlite_result[:3]}"
+    )
+
+
+@pytest.mark.parametrize("strategy", ["executemany", "row_at_a_time"])
+def test_bulk_insert_strategy_ablation(benchmark, strategy, report):
+    """DESIGN.md ablation: the batched insert path vs naive row loop."""
+    from repro.db import connect
+
+    rows = [(i, i % 101, float(i) * 0.5) for i in range(20_000)]
+
+    def batched():
+        conn = connect("minisql://:memory:")
+        conn.execute("CREATE TABLE p (thread INTEGER, event INTEGER, v REAL)")
+        conn.executemany("INSERT INTO p VALUES (?, ?, ?)", rows)
+        conn.commit()
+        n = conn.scalar("SELECT count(*) FROM p")
+        conn.close()
+        return n
+
+    def row_loop():
+        conn = connect("minisql://:memory:")
+        conn.execute("CREATE TABLE p (thread INTEGER, event INTEGER, v REAL)")
+        for row in rows:
+            conn.execute("INSERT INTO p VALUES (?, ?, ?)", row)
+        conn.commit()
+        n = conn.scalar("SELECT count(*) FROM p")
+        conn.close()
+        return n
+
+    fn = batched if strategy == "executemany" else row_loop
+    count = benchmark.pedantic(fn, rounds=1, iterations=1)
+    assert count == len(rows)
+    report(
+        f"E7  insert strategy [{strategy:<13}]      -> "
+        f"{len(rows) / benchmark.stats['mean']:>10,.0f} rows/s"
+    )
+
+
+def test_index_pushdown_ablation(benchmark, report):
+    """DESIGN.md ablation: indexed equality probe vs full scan."""
+    from repro.db import connect
+
+    conn = connect("minisql://:memory:")
+    conn.execute("CREATE TABLE p (thread INTEGER, event INTEGER, v REAL)")
+    conn.executemany(
+        "INSERT INTO p VALUES (?, ?, ?)",
+        [(i % 512, i % 101, float(i)) for i in range(51_712)],
+    )
+    conn.commit()
+
+    scan_time = benchmark.pedantic(
+        _time_query, args=(conn,), rounds=1, iterations=1
+    )
+    conn.execute("CREATE INDEX idx_thread ON p (thread)")
+    probe_time = _time_query(conn)
+    speedup = scan_time / probe_time
+    report(
+        f"E7  index probe vs full scan               -> {speedup:5.1f}x faster "
+        f"({scan_time * 1e3:.1f} ms -> {probe_time * 1e3:.2f} ms)"
+    )
+    assert speedup > 3.0, "hash-index pushdown must beat the full scan"
+    conn.close()
+
+
+def _time_query(conn) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        rows = conn.query("SELECT v FROM p WHERE thread = 77")
+        best = min(best, time.perf_counter() - t0)
+        assert len(rows) == 101
+    return best

@@ -1,0 +1,101 @@
+"""E9 — CUBE trial algebra + regression tracking (paper §7 future work).
+
+Reproduced capabilities: the CUBE-algebra integration (*"implement
+high-level comparative queries and analysis operations"*) and history
+tracking (*"efficiently tracking the performance history of a single
+application code"*).
+
+Asserted: diff/merge/mean close over trials and localise an injected
+slowdown; the regression detector flags exactly the bad version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.toolkit import (
+    detect_regressions, diff, mean, merge, top_events,
+)
+from repro.tau.apps import EVH1
+
+RANKS = 8
+
+
+def _version(version: int, slow: bool = False):
+    source = EVH1(problem_size=0.3, timesteps=2, seed=500 + version).run(RANKS)
+    if slow:
+        event = source.get_interval_event("riemann")
+        for thread in source.all_threads():
+            fp = thread.function_profiles[event.index]
+            fp.set_exclusive(0, fp.get_exclusive(0) * 1.8)
+            fp.set_inclusive(0, fp.get_inclusive(0) * 1.8)
+        source.generate_statistics()
+    return source
+
+
+@pytest.fixture(scope="module")
+def history():
+    trials = [(f"v{i}", _version(i)) for i in range(1, 5)]
+    trials.append(("v5", _version(5, slow=True)))
+    return trials
+
+
+def test_cube_diff(benchmark, history, report):
+    good = history[3][1]
+    bad = history[4][1]
+    delta = benchmark(diff, bad, good)
+    ranked = top_events(delta, n=1)
+    assert ranked[0].event == "riemann", "diff must localise the slowdown"
+    report(
+        f"E9  §7 CUBE diff localises regression      -> top delta event: "
+        f"{ranked[0].event} (+{ranked[0].mean:,.0f} usec mean), "
+        f"{benchmark.stats['mean'] * 1e3:.1f} ms"
+    )
+
+
+def test_cube_merge_mean(benchmark, history):
+    trials = [t for _label, t in history[:3]]
+    averaged = benchmark(mean, trials)
+    event = averaged.get_interval_event("riemann")
+    values = [
+        t.function_profiles[event.index].get_exclusive(0)
+        for t in averaged.all_threads()
+    ]
+    per_trial = []
+    for trial in trials:
+        e = trial.get_interval_event("riemann")
+        per_trial.append(
+            sum(
+                t.function_profiles[e.index].get_exclusive(0)
+                for t in trial.all_threads()
+            )
+        )
+    assert sum(values) == pytest.approx(sum(per_trial) / 3)
+
+
+def test_merge_then_diff_closure(benchmark, history):
+    a = history[0][1]
+    b = history[1][1]
+    recovered = benchmark.pedantic(
+        lambda: diff(merge(a, b), b), rounds=1, iterations=1
+    )
+    event = a.get_interval_event("riemann")
+    rec_event = recovered.get_interval_event("riemann")
+    for thread in a.all_threads():
+        src = thread.function_profiles[event.index].get_exclusive(0)
+        dst = recovered.get_thread(*thread.triple).function_profiles[
+            rec_event.index
+        ].get_exclusive(0)
+        assert dst == pytest.approx(src, rel=1e-9)
+
+
+def test_regression_detection(benchmark, history, report):
+    regressions = benchmark(detect_regressions, history, 0, 3)
+    flagged = {(r.event, r.trial_label) for r in regressions}
+    assert ("riemann", "v5") in flagged, "the injected slowdown must be found"
+    false_positives = [r for r in regressions if r.trial_label != "v5"]
+    assert not false_positives, f"clean versions flagged: {false_positives}"
+    report(
+        "E9  §7 regression tracking                 -> injected v5 slowdown "
+        f"flagged ({regressions[0].factor:.1f}x), 0 false positives"
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The §5.2 trial browser + speedup analyzer, applied to EVH1.
+
+*"We applied this tool to study the scalability of the EVH1 benchmark.
+Given performance data from experiments with varying numbers of
+processors, the tool automatically calculates the minimum, mean and
+maximum values for the speedup [of] every profiled routine."*
+
+This example stores a strong-scaling sweep in the database, browses the
+trials through the DataSession API, and runs the speedup analysis.
+
+Run with::
+
+    python examples/evh1_speedup.py
+"""
+
+import tempfile
+
+from repro.core.session import PerfDMFSession
+from repro.core.toolkit import (
+    SpeedupAnalyzer, communication_crossover, scaling_profile,
+)
+from repro.tau.apps import EVH1
+
+PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def main() -> None:
+    db = tempfile.mktemp(suffix=".db", prefix="evh1-")
+    session = PerfDMFSession(f"sqlite://{db}")
+
+    # --- run + store the sweep ------------------------------------------------
+    print(f"=== EVH1 strong scaling sweep: P = {PROCESSOR_COUNTS} ===")
+    app = session.create_application("evh1")
+    exp = session.create_experiment(app, "strong-scaling")
+    evh1 = EVH1(problem_size=1.0, timesteps=2)
+    for p in PROCESSOR_COUNTS:
+        source = evh1.run(p)
+        session.save_trial(source, exp, f"P={p}")
+        print(f"  stored P={p}: {source.num_threads} threads")
+
+    # --- the trial browser: walk the hierarchy via the API ---------------------
+    print("\n=== trial browser ===")
+    session.set_application(app)
+    session.set_experiment(exp)
+    analyzer = SpeedupAnalyzer()
+    trials = []
+    for trial in session.get_trial_list():
+        p = trial.get("node_count")
+        print(f"  {trial.name}: nodes={p} "
+              f"ctx/node={trial.get('contexts_per_node')} "
+              f"thr/ctx={trial.get('max_threads_per_context')}")
+        source = session.load_datasource(trial)
+        analyzer.add_trial(p, source)
+        trials.append((p, source))
+
+    # --- per-routine min/mean/max speedup --------------------------------------
+    print("\n=== per-routine speedup (min / mean / max) ===")
+    print(analyzer.report())
+
+    # --- whole-application speedup ----------------------------------------------
+    print("\n=== application speedup ===")
+    for point in analyzer.application_speedup():
+        print(f"  P={point.processors:3d}: "
+              f"min={point.minimum:6.2f} mean={point.mean:6.2f} "
+              f"max={point.maximum:6.2f} eff={point.efficiency:5.2f}")
+
+    # --- where does communication start to dominate? -----------------------------
+    profile = scaling_profile(trials)
+    print("\n=== compute/communication balance ===")
+    for pt in profile:
+        print(f"  P={pt.processors:3d}: compute={pt.compute_fraction:5.1%} "
+              f"comm={pt.communication_fraction:5.1%} io={pt.io_fraction:5.1%}")
+    crossover = communication_crossover(profile)
+    if crossover:
+        print(f"communication overtakes computation at P={crossover}")
+    else:
+        print("communication never overtakes computation in this sweep")
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: the four PerfDMF components in one walk-through.
+
+Mirrors the paper's architecture (Figure 1): profile input → profile
+database → query/analysis API → analysis toolkit.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.io_ import export_xml, load_profile
+from repro.core.session import PerfDMFSession
+from repro.core.toolkit import event_statistics, top_events
+from repro.paraprof import aggregate_view
+from repro.tau.apps import EVH1
+from repro.tau.writers import write_tau_profiles
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="perfdmf-quickstart-"))
+
+    # ------------------------------------------------------------------
+    # 0. Get some profile data.  On a real machine this comes from TAU /
+    #    gprof / mpiP runs; here the simulated EVH1 benchmark stands in.
+    # ------------------------------------------------------------------
+    print("=== running the (simulated) EVH1 benchmark on 8 ranks ===")
+    source = EVH1(problem_size=0.2, timesteps=2).run(8)
+    print(f"got {source.num_threads} threads, "
+          f"{source.num_interval_events} events, "
+          f"{source.num_metrics} metric(s)\n")
+
+    # ------------------------------------------------------------------
+    # 1. Profile input: write native TAU profiles, then import them the
+    #    way any PerfDMF user would (format auto-detected).
+    # ------------------------------------------------------------------
+    profile_dir = workdir / "tau-profiles"
+    write_tau_profiles(source, profile_dir)
+    print(f"=== parsing TAU profiles from {profile_dir} ===")
+    parsed = load_profile(profile_dir)
+    print(f"parsed back: {parsed.num_threads} threads, "
+          f"{parsed.num_interval_events} events\n")
+
+    # ------------------------------------------------------------------
+    # 2. Profile database: store the trial under application/experiment.
+    # ------------------------------------------------------------------
+    db_path = workdir / "perfdmf.db"
+    print(f"=== storing into {db_path} ===")
+    session = PerfDMFSession(f"sqlite://{db_path}")
+    app = session.create_application("evh1", version="1.0",
+                                     description="PPM hydrodynamics")
+    exp = session.create_experiment(app, "quickstart",
+                                    system_info="simulated cluster")
+    trial = session.save_trial(parsed, exp, "P=8", problem_definition="2D shocktube")
+    print(f"stored trial id={trial.id}; "
+          f"{session.count_data_points(trial)} data points\n")
+
+    # ------------------------------------------------------------------
+    # 3. Query API: selection filters + SQL aggregates, no SQL written.
+    # ------------------------------------------------------------------
+    print("=== querying through the DataSession API ===")
+    session.set_application(app)
+    session.set_experiment(exp)
+    session.set_trial(trial)
+    print("metrics:", session.get_metrics())
+    for op in ("min", "mean", "max", "stddev"):
+        value = session.aggregate(op, event_name="riemann")
+        print(f"  riemann exclusive {op}: {value:,.1f} usec")
+    session.set_node(0)
+    rows = session.get_interval_event_data()
+    print(f"  node-0 selective query returned {len(rows)} rows")
+    session.set_node(None)
+
+    # ------------------------------------------------------------------
+    # 4. Analysis toolkit + ParaProf display on the reloaded trial.
+    # ------------------------------------------------------------------
+    print("\n=== analysis toolkit ===")
+    reloaded = session.load_datasource(trial)
+    for stats in top_events(reloaded, n=5):
+        print(f"  {stats.event:<22} mean={stats.mean:12,.1f} usec "
+              f"imbalance={stats.imbalance:.2f}")
+    alltoall = event_statistics(reloaded, "MPI_Alltoall()")
+    print(f"\nMPI_Alltoall(): min={alltoall.minimum:,.0f} "
+          f"mean={alltoall.mean:,.0f} max={alltoall.maximum:,.0f} usec")
+
+    print("\n=== ParaProf aggregate view ===")
+    print(aggregate_view(reloaded, top=8))
+
+    # Bonus: the common XML exchange format (paper §3.1).
+    xml_path = workdir / "trial.xml"
+    export_xml(reloaded, xml_path)
+    print(f"\nexported common XML representation to {xml_path}")
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

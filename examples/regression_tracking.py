@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Tracking an application's performance history (paper §7 future work).
+
+*"The PerfDMF technology will be equally valuable ... for efficiently
+tracking the performance history of a single application code."*
+
+This example stores a chronological series of trials of one experiment
+— versions v1..v6 of a code, where v5 introduces a performance bug in
+the Riemann solver — then uses the CUBE trial algebra and the regression
+detector to find and localise it.
+
+Run with::
+
+    python examples/regression_tracking.py
+"""
+
+import tempfile
+
+from repro.core.session import PerfDMFSession
+from repro.core.toolkit import (
+    comparison_report, detect_regressions, diff, regression_report,
+    top_events,
+)
+from repro.tau.apps import EVH1
+
+
+def make_version(version: int, ranks: int = 8):
+    """Simulate version ``version`` of the code; v5+ has a slow solver."""
+    source = EVH1(problem_size=0.3, timesteps=2, seed=100 + version).run(ranks)
+    if version >= 5:
+        event = source.get_interval_event("riemann")
+        for thread in source.all_threads():
+            fp = thread.function_profiles[event.index]
+            extra = fp.get_exclusive(0) * 0.8  # the "bug": 80% slower solver
+            fp.set_exclusive(0, fp.get_exclusive(0) + extra)
+            fp.set_inclusive(0, fp.get_inclusive(0) + extra)
+        # bubble the slowdown up into the containing sweep + main timers
+        for parent in ("sweepx1", "sweepy", "sweepx2", "sweepz", "main"):
+            pevent = source.get_interval_event(parent)
+            for thread in source.all_threads():
+                pf = thread.function_profiles[pevent.index]
+                pf.set_inclusive(0, pf.get_inclusive(0) * 1.2)
+        source.generate_statistics()
+    return source
+
+
+def main() -> None:
+    db = tempfile.mktemp(suffix=".db", prefix="history-")
+    session = PerfDMFSession(f"sqlite://{db}")
+    app = session.create_application("evh1")
+    exp = session.create_experiment(app, "nightly")
+
+    print("=== storing the nightly history v1..v6 ===")
+    history = []
+    for version in range(1, 7):
+        source = make_version(version)
+        session.save_trial(source, exp, f"v{version}")
+        history.append((f"v{version}", source))
+        duration = sum(
+            t.max_inclusive(0) for t in source.all_threads()
+        ) / source.num_threads / 1e6
+        print(f"  v{version}: mean run time {duration:6.3f} s")
+
+    print("\n=== automated regression detection ===")
+    regressions = detect_regressions(history, window=3)
+    print(regression_report(regressions))
+
+    print("\n=== localising with the CUBE difference algebra ===")
+    good = history[3][1]   # v4
+    bad = history[4][1]    # v5
+    delta = diff(bad, good)
+    print("biggest contributors to v5 - v4 (mean exclusive):")
+    for stats in top_events(delta, n=5):
+        print(f"  {stats.event:<22} {stats.mean:+14,.1f} usec")
+
+    print("\n=== side-by-side comparison report ===")
+    print(comparison_report(good, bad, "v4", "v5", n=6))
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

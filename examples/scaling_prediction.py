@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Prophesy-style scaling prediction from archived trials (paper §6).
+
+The paper positions PerfDMF as the data-management substrate on which
+modeling systems like Prophesy could run: *"This could allow Prophesy's
+modeling algorithms to be captured as part of a broader analysis
+library."*  This example does exactly that: it trains per-routine
+scaling models on a stored P ≤ 16 sweep, predicts P = 64, then runs
+P = 64 for real and scores the predictions.
+
+Run with::
+
+    python examples/scaling_prediction.py
+"""
+
+from repro.core.session import PerfDMFSession
+from repro.core.toolkit import (
+    event_statistics, predict_routines, prediction_report,
+)
+from repro.tau.apps import EVH1
+
+TRAIN = (1, 2, 4, 8, 16)
+TARGET = 64
+
+
+def main() -> None:
+    session = PerfDMFSession("sqlite://:memory:")
+    app_row = session.create_application("evh1")
+    experiment = session.create_experiment(app_row, "model-study")
+
+    print(f"=== storing the training sweep P={TRAIN} ===")
+    app = EVH1(problem_size=1.0, timesteps=1)
+    for p in TRAIN:
+        session.save_trial(app.run(p), experiment, f"P={p}")
+
+    session.set_experiment(experiment)
+    trials = [
+        (t.get("node_count"), session.load_datasource(t))
+        for t in session.get_trial_list()
+    ]
+
+    print(f"\n=== fitting per-routine models, predicting P={TARGET} ===")
+    predictions = predict_routines(trials, target_processors=TARGET)
+    print(prediction_report(predictions[:8], TARGET))
+
+    # serial fraction diagnosis for the routine that refuses to scale
+    by_name = {p.event: p for p in predictions}
+    init = by_name.get("init")
+    if init and init.model.serial_fraction is not None:
+        print(f"\n'init' serial fraction: {init.model.serial_fraction:.1%} "
+              "(Amdahl says: don't expect this routine to speed up)")
+
+    print(f"\n=== ground truth: actually running P={TARGET} ===")
+    actual_trial = EVH1(problem_size=1.0, timesteps=1).run(TARGET)
+    print("%-24s %14s %14s %8s" % ("routine", "predicted", "actual", "error"))
+    for prediction in predictions[:8]:
+        try:
+            actual = event_statistics(
+                actual_trial, prediction.event, inclusive=True
+            ).mean
+        except KeyError:
+            continue
+        error = (
+            100.0 * (prediction.predicted - actual) / actual
+            if actual > 0 else float("nan")
+        )
+        print("%-24s %14.1f %14.1f %+7.1f%%"
+              % (prediction.event[:24], prediction.predicted, actual, error))
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

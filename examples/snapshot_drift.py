@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Snapshot (time-series) profiles and drift analysis.
+
+TAU can capture the cumulative profile at runtime triggers, turning one
+trial into a time series.  This example captures snapshots of an EVH1
+run after each timestep, differences them into per-interval profiles
+with the CUBE algebra, and runs the drift detector — the kind of
+"is this run getting slower as it progresses?" question snapshot
+profiles exist to answer.
+
+Run with::
+
+    python examples/snapshot_drift.py
+"""
+
+from repro.core.model.snapshot import drift_report
+from repro.core.toolkit import top_events
+from repro.tau.apps import EVH1
+from repro.tau.snapshots import capture_series
+
+
+class DriftingEVH1(EVH1):
+    """EVH1 variant whose Riemann solver slows down over the run.
+
+    Models the classic decay pattern: adaptive refinement grows the
+    working set each step, so later steps cost more.
+    """
+
+    def kernel(self, rank):
+        step_holder = {"n": 0}
+        original_compute = rank.compute
+
+        def growing_compute(flops, **kwargs):
+            growth = 1.0 + 0.35 * step_holder["n"]
+            original_compute(flops * growth, **kwargs)
+
+        # count steps via the dtcon timer, which runs once per step
+        original_call = rank.call
+
+        def counting_call(name, group="TAU_DEFAULT"):
+            if name == "dtcon":
+                step_holder["n"] += 1
+            return original_call(name, group)
+
+        rank.compute = growing_compute
+        rank.call = counting_call
+        try:
+            super().kernel(rank)
+        finally:
+            rank.compute = original_compute
+            rank.call = original_call
+
+
+def main() -> None:
+    steps = [1, 2, 3, 4]
+    print(f"=== capturing snapshots after steps {steps} ===")
+    series = capture_series(
+        lambda n: DriftingEVH1(problem_size=0.3, timesteps=n, seed=11),
+        ranks=4,
+        steps=steps,
+    )
+    problems = series.validate()
+    print(f"snapshots: {len(series)}, monotonicity problems: {len(problems)}")
+
+    print("\n=== per-interval activity (what each step cost) ===")
+    for label, interval in series.intervals():
+        busiest = top_events(interval, n=1)[0]
+        print(f"  {label:<28} busiest: {busiest.event:<14} "
+              f"{busiest.mean:12,.0f} usec mean")
+
+    print("\n=== cumulative vs per-interval series for 'riemann' ===")
+    ts, cumulative = series.event_series("riemann")
+    _ts, increments = series.event_series("riemann", per_interval=True)
+    for i, t in enumerate(ts):
+        inc = f"  (+{increments[i - 1]:,.0f})" if i > 0 else ""
+        print(f"  t={t:>4.0f}s  cumulative={cumulative[i]:14,.0f} usec{inc}")
+
+    print("\n=== drift report ===")
+    report = drift_report(series, threshold=1.3)
+    if not report:
+        print("no drifting events")
+    for row in report:
+        print(f"  {row['event']:<16} first interval {row['first_interval']:12,.0f}, "
+              f"last {row['last_interval']:12,.0f}  ({row['ratio']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim so editable installs work offline (no wheel package)."""
+from setuptools import setup
+
+setup()

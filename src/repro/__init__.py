@@ -1,0 +1,33 @@
+"""PerfDMF reproduction — a parallel performance data management framework.
+
+A from-scratch Python implementation of *"Design and Implementation of a
+Parallel Performance Data Management Framework"* (Huck, Malony, Bell,
+Morris — ICPP 2005), including every substrate the paper depends on:
+
+* :mod:`repro.core` — PerfDMF itself: the common profile model, seven
+  format importers + XML, the relational schema, the DataSession
+  query/management API, and the analysis toolkit;
+* :mod:`repro.db` — the storage engines (sqlite + the pure-Python
+  MiniSQL) behind one backend-neutral API;
+* :mod:`repro.tau` — the measurement substrate: simulated counters,
+  TAU-like instrumentation, the SPMD simulator, five synthetic
+  applications, and native-format writers;
+* :mod:`repro.paraprof` — the profile browser (text-mode ParaProf);
+* :mod:`repro.explorer` — PerfExplorer, the data-mining client/server.
+
+Quickstart::
+
+    from repro.core.session import PerfDMFSession
+    from repro.tau.apps import EVH1
+
+    session = PerfDMFSession("sqlite://:memory:")
+    app = session.create_application("evh1")
+    exp = session.create_experiment(app, "scaling")
+    trial = session.save_trial(EVH1().run(8), exp, "P=8")
+    session.set_trial(trial)
+    print(session.aggregate("mean", event_name="riemann"))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "db", "tau", "paraprof", "explorer", "__version__"]

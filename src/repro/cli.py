@@ -1,0 +1,407 @@
+"""Command-line tools for the PerfDMF framework.
+
+The original PerfDMF distribution shipped shell tools
+(``perfdmf_configure``, ``perfdmf_createapp``, ``perfdmf_loadtrial``)
+so analysts could drive the framework without writing Java.  This module
+is their Python equivalent: one entry point with subcommands::
+
+    python -m repro.cli configure  --db sqlite:///tmp/perf.db
+    python -m repro.cli load       --db ... --app evh1 --exp scaling \\
+                                   --trial P=8 /path/to/profiles
+    python -m repro.cli list       --db ...
+    python -m repro.cli show       --db ... --trial-id 3 [--view summary]
+    python -m repro.cli export     --db ... --trial-id 3 -o trial.xml
+    python -m repro.cli aggregate  --db ... --trial-id 3 --event riemann \\
+                                   --op mean
+    python -m repro.cli derive     --db ... --trial-id 3 --name FLOPS \\
+                                   --expr "PAPI_FP_OPS / TIME"
+    python -m repro.cli speedup    --db ... --app evh1 --exp scaling
+    python -m repro.cli cluster    --db ... --trial-id 3 --metric PAPI_FP_OPS
+
+Every subcommand returns a process exit code and prints plain text, so
+the tools compose in shell pipelines; all database work goes through the
+same public API the library exposes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.io_ import export_xml
+from .core.session import PerfDMFSession
+from .core.toolkit import SpeedupAnalyzer
+from .paraprof import (
+    ArchiveManager, ProfileBrowser, aggregate_view, summary_text_view,
+    comparative_event_view, userevent_view,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="perfdmf",
+        description="PerfDMF performance data management tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_db(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--db", required=True,
+            help="database URL, e.g. sqlite:///path/archive.db or minisql://name",
+        )
+
+    p = sub.add_parser("configure", help="create the PerfDMF schema")
+    add_db(p)
+
+    p = sub.add_parser("load", help="import a profile into the archive")
+    add_db(p)
+    p.add_argument("target", help="profile file or directory")
+    p.add_argument("--app", required=True, help="application name")
+    p.add_argument("--exp", required=True, help="experiment name")
+    p.add_argument("--trial", required=True, help="trial name")
+    p.add_argument("--format", dest="format_name", default=None,
+                   help="profile format (default: auto-detect)")
+
+    p = sub.add_parser("list", help="list the application/experiment/trial tree")
+    add_db(p)
+
+    p = sub.add_parser("show", help="display a stored trial")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("--view", default="aggregate",
+                   choices=("aggregate", "summary", "userevents", "event"))
+    p.add_argument("--event", default=None, help="event name for --view event")
+    p.add_argument("--top", type=int, default=20)
+
+    p = sub.add_parser("export", help="export a trial to common XML")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("aggregate", help="run a SQL aggregate on a trial")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("--op", default="mean",
+                   choices=("min", "max", "mean", "sum", "count", "stddev"))
+    p.add_argument("--column", default="exclusive")
+    p.add_argument("--event", default=None)
+    p.add_argument("--metric", default=None)
+
+    p = sub.add_parser("derive", help="add a derived metric to a stored trial")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("--expr", required=True,
+                   help='e.g. "PAPI_FP_OPS / TIME"')
+
+    p = sub.add_parser("speedup", help="speedup analysis over an experiment")
+    add_db(p)
+    p.add_argument("--app", required=True)
+    p.add_argument("--exp", required=True)
+    p.add_argument("--top", type=int, default=0,
+                   help="limit report to the N worst-scaling routines")
+
+    p = sub.add_parser("cluster", help="k-means cluster analysis of a trial")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("--metric", default=None)
+    p.add_argument("-k", type=int, default=None,
+                   help="cluster count (default: silhouette-selected)")
+    p.add_argument("--max-k", type=int, default=6)
+
+    p = sub.add_parser("transfer", help="copy trials between archives")
+    p.add_argument("--from-db", required=True, dest="from_db")
+    p.add_argument("--to-db", required=True, dest="to_db")
+    p.add_argument("--trial-id", type=int, default=None,
+                   help="one trial (default: synchronise everything missing)")
+    p.add_argument("--rename", default=None)
+
+    p = sub.add_parser("workflow", help="run a JSON analysis workflow")
+    add_db(p)
+    p.add_argument("file", help="path to the workflow JSON file")
+
+    p = sub.add_parser("serve", help="start a PerfExplorer analysis server")
+    add_db(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--once", action="store_true",
+                   help="print the address and exit (testing)")
+
+    p = sub.add_parser("shell", help="interactive ParaProf archive shell")
+    add_db(p)
+
+    p = sub.add_parser("report", help="write a static HTML report of a trial")
+    add_db(p)
+    p.add_argument("--trial-id", type=int, required=True)
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--title", default=None)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "configure": _cmd_configure,
+        "load": _cmd_load,
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "export": _cmd_export,
+        "aggregate": _cmd_aggregate,
+        "derive": _cmd_derive,
+        "speedup": _cmd_speedup,
+        "cluster": _cmd_cluster,
+        "transfer": _cmd_transfer,
+        "workflow": _cmd_workflow,
+        "serve": _cmd_serve,
+        "shell": _cmd_shell,
+        "report": _cmd_report,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ValueError, LookupError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+# -- handlers ----------------------------------------------------------------
+
+
+def _cmd_configure(args) -> int:
+    session = PerfDMFSession(args.db)
+    problems = session.schema.verify()
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print(f"PerfDMF schema ready at {args.db}")
+    session.close()
+    return 0
+
+
+def _cmd_load(args) -> int:
+    manager = ArchiveManager(args.db)
+    trial = manager.import_profile(
+        args.target, args.app, args.exp, args.trial,
+        format_name=args.format_name,
+    )
+    session = manager.session
+    session.set_trial(trial)
+    points = session.count_data_points()
+    print(
+        f"loaded trial '{args.trial}' (id={trial.id}) into "
+        f"{args.app}/{args.exp}: {points:,} data points, "
+        f"metrics: {', '.join(session.get_metrics())}"
+    )
+    session.close()
+    return 0
+
+
+def _cmd_list(args) -> int:
+    manager = ArchiveManager(args.db)
+    browser = ProfileBrowser(manager)
+    print(browser.render_tree())
+    # trial ids, for the --trial-id options
+    session = manager.session
+    session.reset_selection()
+    rows = session.connection.query(
+        "SELECT t.id, a.name, e.name, t.name FROM trial t "
+        "JOIN experiment e ON t.experiment = e.id "
+        "JOIN application a ON e.application = a.id ORDER BY t.id"
+    )
+    if rows:
+        print("\ntrial ids:")
+        for trial_id, app, exp, trial in rows:
+            print(f"  {trial_id:>4}  {app}/{exp}/{trial}")
+    session.close()
+    return 0
+
+
+def _cmd_show(args) -> int:
+    session = PerfDMFSession(args.db)
+    source = session.load_datasource(args.trial_id)
+    if args.view == "aggregate":
+        print(aggregate_view(source, top=args.top))
+    elif args.view == "summary":
+        print(summary_text_view(source))
+    elif args.view == "userevents":
+        print(userevent_view(source, top=args.top))
+    elif args.view == "event":
+        if not args.event:
+            print("error: --view event requires --event", file=sys.stderr)
+            return 1
+        print(comparative_event_view(source, args.event))
+    session.close()
+    return 0
+
+
+def _cmd_export(args) -> int:
+    session = PerfDMFSession(args.db)
+    source = session.load_datasource(args.trial_id)
+    path = export_xml(source, args.output)
+    print(f"exported trial {args.trial_id} to {path}")
+    session.close()
+    return 0
+
+
+def _cmd_aggregate(args) -> int:
+    session = PerfDMFSession(args.db)
+    session.set_trial(args.trial_id)
+    value = session.aggregate(
+        args.op, args.column, event_name=args.event, metric_name=args.metric
+    )
+    label = args.event or "all events"
+    print(f"{args.op}({args.column}) over {label}: {value}")
+    session.close()
+    return 0
+
+
+def _cmd_derive(args) -> int:
+    session = PerfDMFSession(args.db)
+    session.set_trial(args.trial_id)
+    session.save_derived_metric(args.name, args.expr)
+    print(f"added derived metric {args.name} = {args.expr} "
+          f"to trial {args.trial_id}")
+    session.close()
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    session = PerfDMFSession(args.db)
+    app = session.get_application(args.app)
+    if app is None:
+        print(f"error: no application {args.app!r}", file=sys.stderr)
+        return 1
+    session.set_application(app)
+    experiment = None
+    for exp in session.get_experiment_list():
+        if exp.name == args.exp:
+            experiment = exp
+            break
+    if experiment is None:
+        print(f"error: no experiment {args.exp!r}", file=sys.stderr)
+        return 1
+    session.set_experiment(experiment)
+    analyzer = SpeedupAnalyzer()
+    for trial in session.get_trial_list():
+        processors = trial.get("node_count") or 1
+        analyzer.add_trial(processors, session.load_datasource(trial))
+    print(analyzer.report(top=args.top))
+    session.close()
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .explorer import cluster_trial, summarize_clusters
+
+    session = PerfDMFSession(args.db)
+    source = session.load_datasource(args.trial_id)
+    metric_index = 0
+    if args.metric is not None:
+        names = [m.name for m in source.metrics]
+        if args.metric not in names:
+            print(f"error: trial has no metric {args.metric!r}; "
+                  f"available: {names}", file=sys.stderr)
+            return 1
+        metric_index = names.index(args.metric)
+    result = cluster_trial(source, k=args.k, metric=metric_index,
+                           max_k=args.max_k)
+    print(f"k = {result.k}  sizes = {result.sizes}  "
+          f"silhouette = {result.silhouette:.3f}")
+    for summary in summarize_clusters(result):
+        features = ", ".join(
+            f"{f['name']} ({f['deviation']:+.3g})"
+            for f in summary["features"][:3]
+        )
+        print(f"cluster {summary['cluster']} "
+              f"({summary['size']} threads): {features}")
+    session.close()
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from .paraprof import synchronize, transfer_trial
+
+    source = PerfDMFSession(args.from_db)
+    destination = PerfDMFSession(args.to_db)
+    if args.trial_id is not None:
+        trial = transfer_trial(
+            source, destination, args.trial_id, rename=args.rename
+        )
+        print(f"transferred trial {args.trial_id} -> "
+              f"'{trial.name}' (id={trial.id}) in {args.to_db}")
+    else:
+        created = synchronize(source, destination)
+        print(f"synchronised {len(created)} trial(s) into {args.to_db}")
+        for trial in created:
+            print(f"  {trial.name} (id={trial.id})")
+    source.close()
+    destination.close()
+    return 0
+
+
+def _cmd_workflow(args) -> int:
+    import json
+
+    from .explorer import WorkflowError, run_workflow
+
+    with open(args.file, encoding="utf-8") as fh:
+        steps = json.load(fh)
+    session = PerfDMFSession(args.db)
+    try:
+        slots = run_workflow(session, steps)
+    except WorkflowError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        session.close()
+    printable = {
+        name: value
+        for name, value in slots.items()
+        if not hasattr(value, "interval_events")
+    }
+    print(json.dumps(printable, indent=2, default=str))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .explorer import AnalysisServer, SocketServer
+
+    server = SocketServer(AnalysisServer(args.db), host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"PerfExplorer analysis server listening on {host}:{port}")
+    if args.once:
+        server.stop()
+        return 0
+    try:  # pragma: no cover - interactive
+        import time
+
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .paraprof import write_html_report
+
+    session = PerfDMFSession(args.db)
+    source = session.load_datasource(args.trial_id)
+    title = args.title or f"PerfDMF trial {args.trial_id}"
+    path = write_html_report(source, args.output, title=title)
+    print(f"wrote HTML report to {path}")
+    session.close()
+    return 0
+
+
+def _cmd_shell(args) -> int:  # pragma: no cover - interactive
+    from .paraprof import run_shell
+
+    run_shell(args.db)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

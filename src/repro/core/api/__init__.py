@@ -1,0 +1,5 @@
+"""Entity objects for the flexible APPLICATION/EXPERIMENT/TRIAL tables."""
+
+from .entities import Application, Entity, Experiment, Trial
+
+__all__ = ["Entity", "Application", "Experiment", "Trial"]

@@ -1,0 +1,147 @@
+"""Application / Experiment / Trial entity objects.
+
+These are the Java ``Application``/``Experiment``/``Trial`` objects of
+the paper's API (§4): rows of the three flexible tables materialised as
+objects whose field set is *discovered at runtime* from the database
+metadata — adding a metadata column to the schema immediately surfaces
+it on the objects, with no code change.  Each object has a ``save()``
+method that inserts or updates its row.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...db.api import DBConnection
+
+
+class Entity:
+    """Base class: a row of one flexible table with dynamic fields."""
+
+    TABLE: str = ""
+    #: required columns handled specially (not free-form metadata)
+    _FIXED = ("id",)
+
+    def __init__(self, connection: "DBConnection", **fields: Any):
+        self._connection = connection
+        self.id: Optional[int] = fields.pop("id", None)
+        self._fields: dict[str, Any] = {}
+        columns = {c.name.lower() for c in connection.get_metadata(self.TABLE)}
+        for key, value in fields.items():
+            if key.lower() not in columns:
+                raise KeyError(
+                    f"{self.TABLE} has no column {key!r}; available: "
+                    f"{sorted(columns)}"
+                )
+            self._fields[key.lower()] = value
+
+    # -- dynamic field access -----------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._fields.get("name")
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._fields["name"] = value
+
+    def get(self, field: str, default: Any = None) -> Any:
+        """Read a (possibly deployment-specific) column value."""
+        if field == "id":
+            return self.id
+        return self._fields.get(field.lower(), default)
+
+    def set(self, field: str, value: Any) -> None:
+        """Set a column value; the column must exist in the schema."""
+        columns = {c.name.lower() for c in self._connection.get_metadata(self.TABLE)}
+        key = field.lower()
+        if key not in columns:
+            raise KeyError(f"{self.TABLE} has no column {field!r}")
+        self._fields[key] = value
+
+    def fields(self) -> dict[str, Any]:
+        return dict(self._fields)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self) -> int:
+        """Insert or update this row; returns the database id."""
+        items = sorted(self._fields.items())
+        if not items:
+            raise ValueError(f"cannot save an empty {self.TABLE} row")
+        columns = [k for k, _ in items]
+        values = [v for _, v in items]
+        if self.id is None:
+            placeholders = ", ".join("?" for _ in columns)
+            sql = (
+                f"INSERT INTO {self.TABLE} ({', '.join(columns)}) "
+                f"VALUES ({placeholders})"
+            )
+            self.id = self._connection.insert(sql, values)
+        else:
+            assignments = ", ".join(f"{c} = ?" for c in columns)
+            self._connection.execute(
+                f"UPDATE {self.TABLE} SET {assignments} WHERE id = ?",
+                values + [self.id],
+            )
+        self._connection.commit()
+        assert self.id is not None
+        return self.id
+
+    def refresh(self) -> None:
+        """Reload every column from the database (picks up new columns)."""
+        if self.id is None:
+            raise ValueError("cannot refresh an unsaved entity")
+        meta = self._connection.get_metadata(self.TABLE)
+        columns = [c.name for c in meta]
+        row = self._connection.query_one(
+            f"SELECT {', '.join(columns)} FROM {self.TABLE} WHERE id = ?",
+            (self.id,),
+        )
+        if row is None:
+            raise LookupError(f"{self.TABLE} id {self.id} no longer exists")
+        for column, value in zip(columns, row):
+            if column.lower() == "id":
+                continue
+            self._fields[column.lower()] = value
+
+    @classmethod
+    def from_row(
+        cls, connection: "DBConnection", columns: list[str], row: tuple
+    ) -> "Entity":
+        fields = dict(zip((c.lower() for c in columns), row))
+        entity = cls.__new__(cls)
+        entity._connection = connection
+        entity.id = fields.pop("id", None)
+        entity._fields = fields
+        return entity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.id}, name={self.name!r})"
+
+
+class Application(Entity):
+    """A row of APPLICATION: one application under study."""
+
+    TABLE = "application"
+
+
+class Experiment(Entity):
+    """A row of EXPERIMENT: one experimental configuration of an app."""
+
+    TABLE = "experiment"
+
+    @property
+    def application_id(self) -> Optional[int]:
+        return self._fields.get("application")
+
+
+class Trial(Entity):
+    """A row of TRIAL: one execution of an experiment."""
+
+    TABLE = "trial"
+
+    @property
+    def experiment_id(self) -> Optional[int]:
+        return self._fields.get("experiment")

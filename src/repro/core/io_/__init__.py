@@ -1,0 +1,31 @@
+"""Profile input/output: importers for seven formats + common XML.
+
+Paper §3.1: *"Currently supported profile formats include gprof, TAU
+profiles, dynaprof, mpiP, HPMtoolkit (IBM), and Perfsuite (psrun).
+(Support for SvPablo is being added.)"* — all seven are implemented,
+plus import/export of PerfDMF's common XML representation.
+"""
+
+from .cube import cube_string, export_cube, parse_cube
+from .snapshot_xml import export_snapshots, parse_snapshots
+from .base import ProfileParseError, discover_files, natural_sort_key
+from .dynaprof import parse_dynaprof
+from .gprof import parse_gprof
+from .hpm import parse_hpm
+from .mpip import parse_mpip
+from .psrun import parse_psrun
+from .registry import FORMAT_NAMES, detect_format, get_parser, load_profile
+from .svpablo import parse_svpablo
+from .tau import parse_tau_profiles
+from .xml_export import export_xml, xml_string
+from .xml_import import parse_xml, parse_xml_string
+
+__all__ = [
+    "ProfileParseError", "discover_files", "natural_sort_key",
+    "parse_tau_profiles", "parse_gprof", "parse_mpip", "parse_dynaprof",
+    "parse_hpm", "parse_psrun", "parse_svpablo",
+    "export_xml", "xml_string", "parse_xml", "parse_xml_string",
+    "export_cube", "cube_string", "parse_cube",
+    "export_snapshots", "parse_snapshots",
+    "load_profile", "detect_format", "get_parser", "FORMAT_NAMES",
+]

@@ -1,0 +1,67 @@
+"""Shared importer utilities: file discovery and parse errors.
+
+PerfDMF *"provides support for parsing a directory of files, or a subset
+of files in a directory that start with a particular prefix or end with
+a particular suffix"* (paper §4) — :func:`discover_files` implements
+exactly that selection model for the importers.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+
+class ProfileParseError(ValueError):
+    """Raised when an input file does not match its declared format."""
+
+    def __init__(self, message: str, path: str | os.PathLike | None = None, line: int = 0):
+        self.path = str(path) if path is not None else None
+        self.line = line
+        location = ""
+        if self.path:
+            location = f" in {self.path}"
+            if line:
+                location += f":{line}"
+        super().__init__(f"{message}{location}")
+
+
+def discover_files(
+    target: str | os.PathLike,
+    prefix: Optional[str] = None,
+    suffix: Optional[str] = None,
+    pattern: Optional[str] = None,
+) -> list[Path]:
+    """Resolve ``target`` into a sorted list of profile files.
+
+    ``target`` may be a single file (returned as-is) or a directory, in
+    which case entries are filtered by ``prefix``/``suffix`` (both may
+    be given) or a regular expression ``pattern``.
+    """
+    path = Path(target)
+    if path.is_file():
+        return [path]
+    if not path.is_dir():
+        raise FileNotFoundError(f"no such file or directory: {target}")
+    regex = re.compile(pattern) if pattern else None
+    out: list[Path] = []
+    for entry in sorted(path.iterdir()):
+        if not entry.is_file():
+            continue
+        name = entry.name
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        if suffix is not None and not name.endswith(suffix):
+            continue
+        if regex is not None and not regex.search(name):
+            continue
+        out.append(entry)
+    return out
+
+
+def natural_sort_key(path: Path) -> tuple:
+    """Sort profile.2.0.0 before profile.10.0.0."""
+    parts = re.split(r"(\d+)", path.name)
+    return tuple(int(p) if p.isdigit() else p for p in parts)

@@ -1,0 +1,83 @@
+"""Importer for dynaprof (papiprof) text output.
+
+Reads the ``Exclusive Profile``/``Inclusive Profile`` table pairs, one
+file per process; the ``TOTAL`` pseudo-row is skipped (PerfDMF computes
+its own summaries).  The metric name comes from the section header
+("Exclusive Profile of metric PAPI_FP_OPS."); bare "Exclusive Profile."
+headers map to wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files, natural_sort_key
+
+_SECTION_RE = re.compile(
+    r"^(?P<kind>Exclusive|Inclusive) Profile(?: of metric (?P<metric>\S+?))?\.\s*$"
+)
+_ROW_RE = re.compile(
+    r"^(?P<name>\S(?:.*?\S)?)\s+(?P<pct>[\d.eE+-]+)\s+"
+    r"(?P<total>[\d.eE+-]+)\s+(?P<calls>\d+)\s*$"
+)
+_RANK_RE = re.compile(r"\.(\d+)$")
+
+
+def parse_dynaprof(target: str | os.PathLike) -> DataSource:
+    """Parse dynaprof output: a file or directory of ``*.dynaprof.N``."""
+    files = sorted(discover_files(target), key=natural_sort_key)
+    if not files:
+        raise FileNotFoundError(f"no dynaprof output found at {target}")
+    source = DataSource()
+    for i, path in enumerate(files):
+        match = _RANK_RE.search(path.name)
+        node = int(match.group(1)) if match else i
+        _parse_file(path, source, node)
+    source.generate_statistics()
+    return source
+
+
+def _parse_file(path, source: DataSource, node: int) -> None:
+    thread = source.add_thread(node, 0, 0)
+    kind = None
+    metric_index = 0
+    saw_section = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            section = _SECTION_RE.match(line)
+            if section:
+                kind = section.group("kind")
+                metric_name = section.group("metric") or "TIME"
+                metric = source.add_metric(metric_name)
+                metric_index = metric.index
+                saw_section = True
+                continue
+            if kind is None or not line.strip():
+                continue
+            if line.startswith(("-", "Name")):
+                continue
+            row = _ROW_RE.match(line)
+            if not row:
+                continue
+            name = row.group("name")
+            if name == "TOTAL":
+                continue
+            event = source.add_interval_event(name, groups.classify_event_name(name))
+            profile = thread.get_or_create_function_profile(event)
+            value = float(row.group("total"))
+            if kind == "Exclusive":
+                profile.set_exclusive(metric_index, value)
+                if metric_index == 0 and profile.calls == 0:
+                    profile.calls = float(row.group("calls"))
+            else:
+                profile.set_inclusive(metric_index, value)
+    if not saw_section:
+        raise ProfileParseError("no dynaprof profile sections found", path)
+    # Tools sometimes emit exclusive-only tables; repair inclusives.
+    for profile in thread.function_profiles.values():
+        for m, inc, exc in profile.iter_metrics():
+            if inc < exc:
+                profile.set_inclusive(m, exc)

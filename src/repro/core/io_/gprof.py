@@ -1,0 +1,112 @@
+"""Importer for gprof text output.
+
+Parses the flat profile section (self seconds, calls) and the call
+graph section (inclusive time via self+children on the primary line).
+Times arrive in seconds and are converted to microseconds, PerfDMF's
+canonical unit.  Groups are inferred from event names since gprof
+carries no group information.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files, natural_sort_key
+
+_FLAT_RE = re.compile(
+    r"^\s*(?P<pct>[\d.]+)\s+(?P<cumulative>[\d.]+)\s+(?P<self>[\d.]+)"
+    r"(?:\s+(?P<calls>\d+)\s+(?P<selfms>[\d.]+)\s+(?P<totalms>[\d.]+))?"
+    r"\s+(?P<name>\S.*?)\s*$"
+)
+_GRAPH_PRIMARY_RE = re.compile(
+    r"^\[(?P<index>\d+)\]\s+(?P<pct>[\d.]+)\s+(?P<self>[\d.]+)\s+"
+    r"(?P<children>[\d.]+)\s+(?P<called>[\d+/]+)?\s+(?P<name>\S.*?)\s+\[\d+\]\s*$"
+)
+_TRIPLE_RE = re.compile(r"\.(\d+)\.(\d+)\.(\d+)$")
+_USEC = 1.0e6
+
+
+def parse_gprof(target: str | os.PathLike) -> DataSource:
+    """Parse a gprof output file, or a directory of per-rank files."""
+    source = DataSource()
+    source.add_metric("TIME")
+    files = sorted(discover_files(target), key=natural_sort_key)
+    if not files:
+        raise FileNotFoundError(f"no gprof output found at {target}")
+    for i, path in enumerate(files):
+        node = _node_of(path, default=i)
+        _parse_file(path, source, node)
+    source.generate_statistics()
+    return source
+
+
+def _node_of(path: Path, default: int) -> int:
+    match = _TRIPLE_RE.search(path.name)
+    if match:
+        return int(match.group(1))
+    return default
+
+
+def _parse_file(path: Path, source: DataSource, node: int) -> None:
+    thread = source.add_thread(node, 0, 0)
+    in_flat = False
+    in_graph = False
+    saw_data = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            stripped = line.rstrip("\n")
+            if stripped.startswith("Flat profile"):
+                in_flat = True
+                in_graph = False
+                continue
+            if "Call graph" in stripped:
+                in_flat = False
+                in_graph = True
+                continue
+            if in_flat:
+                if stripped.startswith((" %", "  %", "Each sample", "%")):
+                    continue
+                match = _FLAT_RE.match(stripped)
+                if match and not stripped.lstrip().startswith("time"):
+                    name = match.group("name")
+                    event = source.add_interval_event(
+                        name, groups.classify_event_name(name)
+                    )
+                    profile = thread.get_or_create_function_profile(event)
+                    self_usec = float(match.group("self")) * _USEC
+                    profile.set_exclusive(0, profile.get_exclusive(0) + self_usec)
+                    calls = match.group("calls")
+                    if calls:
+                        profile.calls += float(calls)
+                        total_ms = float(match.group("totalms"))
+                        profile.set_inclusive(
+                            0, total_ms * 1000.0 * float(calls)
+                        )
+                    else:
+                        profile.set_inclusive(0, profile.get_exclusive(0))
+                    if profile.get_inclusive(0) < profile.get_exclusive(0):
+                        profile.set_inclusive(0, profile.get_exclusive(0))
+                    saw_data = True
+                continue
+            if in_graph:
+                match = _GRAPH_PRIMARY_RE.match(stripped)
+                if match:
+                    name = match.group("name").strip()
+                    event = source.add_interval_event(
+                        name, groups.classify_event_name(name)
+                    )
+                    profile = thread.get_or_create_function_profile(event)
+                    inclusive = (
+                        float(match.group("self")) + float(match.group("children"))
+                    ) * _USEC
+                    if inclusive > profile.get_inclusive(0):
+                        profile.set_inclusive(0, inclusive)
+                    called = match.group("called")
+                    if called and profile.calls == 0:
+                        profile.calls = float(called.split("/")[0])
+                    saw_data = True
+    if not saw_data:
+        raise ProfileParseError("no gprof data found", path)

@@ -1,0 +1,105 @@
+"""Importer for IBM HPMToolkit (libhpm) per-process output.
+
+Each ``perfhpm*`` file holds one block per instrumented section with a
+label, call count, wall-clock time(s) and hardware counter totals.
+Counter lines have the shape ``NAME (description): value``; wall-clock
+lines become the TIME metric.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files, natural_sort_key
+
+_SECTION_RE = re.compile(
+    r"^Instrumented section:\s*(?P<id>\d+)\s*-\s*Label:\s*(?P<label>.+?)\s*$"
+)
+_COUNT_RE = re.compile(r"^\s*Count:\s*(?P<count>\d+)")
+_WALL_RE = re.compile(
+    r"^\s*Wall Clock Time:\s*(?P<seconds>[\d.eE+-]+)\s*seconds"
+)
+_EXCL_WALL_RE = re.compile(
+    r"^\s*Exclusive Wall Clock Time:\s*(?P<seconds>[\d.eE+-]+)\s*seconds"
+)
+_COUNTER_RE = re.compile(
+    r"^\s*(?P<name>[A-Z][A-Z0-9_]+)\s*\((?P<descr>[^)]*)\)\s*:\s*"
+    r"(?P<value>[\d.eE+-]+)\s*$"
+)
+_RANK_RE = re.compile(r"perfhpm(\d+)(?:\.(\d+))?(?:\.(\d+))?")
+_USEC = 1.0e6
+
+
+def parse_hpm(target: str | os.PathLike) -> DataSource:
+    """Parse HPMToolkit output: one file or a directory of perfhpm files."""
+    files = sorted(
+        discover_files(target, prefix="perfhpm") or discover_files(target),
+        key=natural_sort_key,
+    )
+    if not files:
+        raise FileNotFoundError(f"no HPMToolkit output found at {target}")
+    source = DataSource()
+    source.add_metric("TIME")
+    for i, path in enumerate(files):
+        match = _RANK_RE.search(path.name)
+        if match:
+            node = int(match.group(1))
+            context = int(match.group(2) or 0)
+            thread_id = int(match.group(3) or 0)
+        else:
+            node, context, thread_id = i, 0, 0
+        _parse_file(path, source, node, context, thread_id)
+    source.generate_statistics()
+    return source
+
+
+def _parse_file(path, source: DataSource, node: int, context: int, thread_id: int) -> None:
+    thread = source.add_thread(node, context, thread_id)
+    profile = None
+    saw_section = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            section = _SECTION_RE.match(line)
+            if section:
+                label = section.group("label")
+                event = source.add_interval_event(
+                    label, groups.classify_event_name(label)
+                )
+                profile = thread.get_or_create_function_profile(event)
+                saw_section = True
+                continue
+            if profile is None:
+                continue
+            count = _COUNT_RE.match(line)
+            if count:
+                profile.calls = float(count.group("count"))
+                continue
+            excl_wall = _EXCL_WALL_RE.match(line)
+            if excl_wall:
+                profile.set_exclusive(0, float(excl_wall.group("seconds")) * _USEC)
+                continue
+            wall = _WALL_RE.match(line)
+            if wall:
+                inclusive = float(wall.group("seconds")) * _USEC
+                profile.set_inclusive(0, inclusive)
+                if profile.get_exclusive(0) == 0.0:
+                    profile.set_exclusive(0, inclusive)
+                continue
+            counter = _COUNTER_RE.match(line)
+            if counter:
+                metric = source.add_metric(counter.group("name"))
+                if profile.num_metrics < source.num_metrics:
+                    profile.add_metric_slot(source.num_metrics - profile.num_metrics)
+                value = float(counter.group("value"))
+                profile.set_inclusive(metric.index, value)
+                profile.set_exclusive(metric.index, value)
+    if not saw_section:
+        raise ProfileParseError("no instrumented sections found", path)
+    # exclusive wall time may exceed inclusive in degenerate blocks; clamp
+    for fp in thread.function_profiles.values():
+        for m, inc, exc in fp.iter_metrics():
+            if exc > inc:
+                fp.set_exclusive(m, inc)

@@ -1,0 +1,101 @@
+"""Importer for mpiP text reports.
+
+One mpiP report covers the whole run.  The importer reconstructs:
+
+* per-task application time (``@--- MPI Time``) as an ``Application``
+  event whose inclusive time is AppTime;
+* per-callsite, per-rank MPI times (``@--- Callsite Time statistics``)
+  as ``MPI_<Name>() [site <id>]`` events in the MPI group (count × mean
+  gives total time; ``*`` aggregate rows are skipped — PerfDMF computes
+  its own summaries).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files
+
+_TASK_RE = re.compile(
+    r"^\s*(?P<task>\d+|\*)\s+(?P<app>[\d.eE+-]+)\s+(?P<mpi>[\d.eE+-]+)\s+"
+    r"(?P<pct>[\d.eE+-]+)\s*$"
+)
+_SITE_STAT_RE = re.compile(
+    r"^(?P<name>\S+)\s+(?P<site>\d+)\s+(?P<rank>\d+|\*)\s+(?P<count>\d+)\s+"
+    r"(?P<max>[\d.eE+-]+)\s+(?P<mean>[\d.eE+-]+)\s+(?P<min>[\d.eE+-]+)\s+"
+    r"(?P<apppct>[\d.eE+-]+)\s+(?P<mpipct>[\d.eE+-]+)\s*$"
+)
+_USEC = 1.0e6
+_MS_TO_USEC = 1.0e3
+
+
+def parse_mpip(target: str | os.PathLike) -> DataSource:
+    """Parse an mpiP report file (or a directory containing one)."""
+    files = discover_files(target, suffix=".mpiP") or discover_files(target)
+    if not files:
+        raise FileNotFoundError(f"no mpiP report found at {target}")
+    path = files[0]
+    source = DataSource()
+    source.add_metric("TIME")
+
+    section = None
+    app_event = source.add_interval_event("Application", groups.DEFAULT)
+    saw_header = False
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if line.startswith("@ mpiP"):
+                saw_header = True
+                continue
+            if line.startswith("@---"):
+                if "MPI Time" in line:
+                    section = "mpitime"
+                elif "Callsite Time statistics" in line:
+                    section = "sitestats"
+                elif "Callsites" in line:
+                    section = "callsites"
+                else:
+                    section = None
+                continue
+            if not line.strip() or line.startswith("@"):
+                continue
+            if section == "mpitime":
+                match = _TASK_RE.match(line)
+                if not match or match.group("task") == "*":
+                    continue
+                task = int(match.group("task"))
+                thread = source.add_thread(task, 0, 0)
+                app_usec = float(match.group("app")) * _USEC
+                profile = thread.get_or_create_function_profile(app_event)
+                profile.set_inclusive(0, app_usec)
+                mpi_usec = float(match.group("mpi")) * _USEC
+                profile.set_exclusive(0, max(app_usec - mpi_usec, 0.0))
+                profile.calls = 1
+            elif section == "sitestats":
+                match = _SITE_STAT_RE.match(line)
+                if not match or match.group("rank") == "*":
+                    continue
+                if match.group("name") == "Name":
+                    continue
+                rank = int(match.group("rank"))
+                thread = source.add_thread(rank, 0, 0)
+                event_name = (
+                    f"MPI_{match.group('name')}() [site {int(match.group('site'))}]"
+                )
+                event = source.add_interval_event(event_name, groups.COMMUNICATION)
+                profile = thread.get_or_create_function_profile(event)
+                count = float(match.group("count"))
+                total_usec = count * float(match.group("mean")) * _MS_TO_USEC
+                profile.set_inclusive(0, total_usec)
+                profile.set_exclusive(0, total_usec)
+                profile.calls = count
+                app_profile = thread.get_or_create_function_profile(app_event)
+                app_profile.subroutines += count
+    if not saw_header:
+        raise ProfileParseError("missing '@ mpiP' header", path)
+    if source.num_threads == 0:
+        raise ProfileParseError("no task data found in mpiP report", path)
+    source.generate_statistics()
+    return source

@@ -1,0 +1,73 @@
+"""Importer for PerfSuite ``psrun`` XML output.
+
+psrun measures whole-process totals, so each per-rank XML document maps
+to a single ``Entire application`` event on that rank: the wall-clock
+element becomes TIME, and each ``<hwpcevent>`` becomes a counter metric.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import xml.etree.ElementTree as ET
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files, natural_sort_key
+
+_RANK_RE = re.compile(r"psrun\.(\d+)")
+_USEC = 1.0e6
+
+EVENT_NAME = "Entire application"
+
+
+def parse_psrun(target: str | os.PathLike) -> DataSource:
+    """Parse psrun XML: one file or a directory of ``psrun.N.xml``."""
+    files = sorted(
+        discover_files(target, suffix=".xml") or discover_files(target),
+        key=natural_sort_key,
+    )
+    if not files:
+        raise FileNotFoundError(f"no psrun XML found at {target}")
+    source = DataSource()
+    source.add_metric("TIME")
+    event = source.add_interval_event(EVENT_NAME, groups.DEFAULT)
+    for i, path in enumerate(files):
+        match = _RANK_RE.search(path.name)
+        node = int(match.group(1)) if match else i
+        _parse_file(path, source, event, node)
+    source.generate_statistics()
+    return source
+
+
+def _parse_file(path, source: DataSource, event, node: int) -> None:
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise ProfileParseError(f"malformed XML: {exc}", path) from None
+    root = tree.getroot()
+    if root.tag != "hwpcreport":
+        raise ProfileParseError(
+            f"expected <hwpcreport> root, found <{root.tag}>", path
+        )
+    thread = source.add_thread(node, 0, 0)
+    profile = thread.get_or_create_function_profile(event)
+    profile.calls = 1
+
+    wallclock = root.find("wallclock")
+    if wallclock is not None and wallclock.text:
+        seconds = float(wallclock.text.strip())
+        profile.set_inclusive(0, seconds * _USEC)
+        profile.set_exclusive(0, seconds * _USEC)
+
+    events_el = root.find("hwpcevents")
+    if events_el is not None:
+        for hwpcevent in events_el.findall("hwpcevent"):
+            name = hwpcevent.get("name")
+            if not name or hwpcevent.text is None:
+                continue
+            metric = source.add_metric(name)
+            if profile.num_metrics < source.num_metrics:
+                profile.add_metric_slot(source.num_metrics - profile.num_metrics)
+            value = float(hwpcevent.text.strip())
+            profile.set_inclusive(metric.index, value)
+            profile.set_exclusive(metric.index, value)

@@ -1,0 +1,75 @@
+"""XML persistence for snapshot (time-series) profile data.
+
+Real TAU writes profile snapshots as an XML stream; PerfDMF's later
+releases parse it.  Our rendering wraps one ``<perfdmf_profile>``
+document (the §3.1 common representation) per capture inside a
+``<perfdmf_snapshots>`` root, so each snapshot individually round-trips
+through the standard XML machinery::
+
+    <perfdmf_snapshots version="1.0">
+      <snapshot timestamp="1.0" label="after step 1">
+        <perfdmf_profile ...> ... </perfdmf_profile>
+      </snapshot>
+      ...
+    </perfdmf_snapshots>
+"""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from xml.sax.saxutils import quoteattr
+
+from ..model.snapshot import SnapshotSeries
+from .base import ProfileParseError
+from .xml_export import xml_string
+from .xml_import import from_element
+
+
+def export_snapshots(series: SnapshotSeries, path: str | os.PathLike) -> Path:
+    """Write a snapshot series to ``path``."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        fh.write('<perfdmf_snapshots version="1.0">\n')
+        for snapshot in series:
+            fh.write(
+                f'<snapshot timestamp="{snapshot.timestamp:.17g}" '
+                f"label={quoteattr(snapshot.label)}>\n"
+            )
+            profile_xml = xml_string(snapshot.source)
+            # strip the inner document's XML declaration
+            body = profile_xml.split("\n", 1)[1]
+            fh.write(body)
+            fh.write("</snapshot>\n")
+        fh.write("</perfdmf_snapshots>\n")
+    return out
+
+
+def parse_snapshots(target: str | os.PathLike) -> SnapshotSeries:
+    """Read a snapshot series written by :func:`export_snapshots`."""
+    try:
+        tree = ET.parse(target)
+    except ET.ParseError as exc:
+        raise ProfileParseError(f"malformed XML: {exc}", target) from None
+    root = tree.getroot()
+    if root.tag != "perfdmf_snapshots":
+        raise ProfileParseError(
+            f"expected <perfdmf_snapshots> root, found <{root.tag}>", target
+        )
+    series = SnapshotSeries()
+    for snapshot_el in root.findall("snapshot"):
+        profile_el = snapshot_el.find("perfdmf_profile")
+        if profile_el is None:
+            raise ProfileParseError("snapshot without profile payload", target)
+        source = from_element(profile_el)
+        series.add(
+            timestamp=float(snapshot_el.get("timestamp", "0")),
+            source=source,
+            label=snapshot_el.get("label", ""),
+        )
+    if len(series) == 0:
+        raise ProfileParseError("empty snapshot document", target)
+    return series

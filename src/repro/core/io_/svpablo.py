@@ -1,0 +1,54 @@
+"""Importer for the simplified SvPablo SDDF profile format.
+
+Completes the support the paper lists as in progress.  Record syntax::
+
+    "SvPablo profile" { "event name", rank, count, exclusive, inclusive };;
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ...core.model import DataSource, group as groups
+from .base import ProfileParseError, discover_files
+
+_RECORD_RE = re.compile(
+    r'^"SvPablo profile"\s*\{\s*"(?P<name>[^"]*)"\s*,\s*(?P<rank>\d+)\s*,\s*'
+    r"(?P<count>\d+)\s*,\s*(?P<excl>[\d.eE+-]+)\s*,\s*(?P<incl>[\d.eE+-]+)\s*\}\s*;;\s*$"
+)
+
+
+def parse_svpablo(target: str | os.PathLike) -> DataSource:
+    """Parse a simplified-SDDF SvPablo profile file."""
+    files = discover_files(target)
+    if not files:
+        raise FileNotFoundError(f"no SvPablo data found at {target}")
+    path = files[0]
+    source = DataSource()
+    source.add_metric("TIME")
+    records = 0
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith(("/*", "#")):
+                continue
+            match = _RECORD_RE.match(line)
+            if not match:
+                if line.startswith('"SvPablo profile"'):
+                    raise ProfileParseError("malformed SvPablo record", path, lineno)
+                continue
+            name = match.group("name")
+            thread = source.add_thread(int(match.group("rank")), 0, 0)
+            event = source.add_interval_event(
+                name, groups.classify_event_name(name)
+            )
+            profile = thread.get_or_create_function_profile(event)
+            profile.set_exclusive(0, float(match.group("excl")))
+            profile.set_inclusive(0, float(match.group("incl")))
+            profile.calls = float(match.group("count"))
+            records += 1
+    if records == 0:
+        raise ProfileParseError("no SvPablo profile records found", path)
+    source.generate_statistics()
+    return source

@@ -1,0 +1,169 @@
+"""Importer for TAU's native profile format (``profile.N.C.T`` files).
+
+Handles both single-metric directories and TAU's ``MULTI__<METRIC>``
+multi-counter layout, interval events with groups, user events, and the
+``<metadata>`` attribute block TAU embeds in the header comment.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from ...core.model import DataSource
+from .base import ProfileParseError, discover_files, natural_sort_key
+
+_PROFILE_RE = re.compile(r"^profile\.(\d+)\.(\d+)\.(\d+)$")
+_HEADER_RE = re.compile(r"^(\d+)\s+templated_functions(?:_MULTI_(\S+))?")
+_FUNC_RE = re.compile(
+    r'^"(?P<name>(?:[^"\\]|\\.)*)"\s+'
+    r"(?P<calls>[-\d.eE+]+)\s+(?P<subrs>[-\d.eE+]+)\s+"
+    r"(?P<excl>[-\d.eE+]+)\s+(?P<incl>[-\d.eE+]+)\s+(?P<profcalls>[-\d.eE+]+)"
+    r'(?:\s+GROUP="(?P<group>[^"]*)")?'
+)
+_UE_RE = re.compile(
+    r'^"(?P<name>(?:[^"\\]|\\.)*)"\s+'
+    r"(?P<count>[-\d.eE+]+)\s+(?P<max>[-\d.eE+]+)\s+(?P<min>[-\d.eE+]+)\s+"
+    r"(?P<mean>[-\d.eE+]+)\s+(?P<sumsqr>[-\d.eE+]+)"
+)
+_METADATA_RE = re.compile(
+    r"<attribute><name>(.*?)</name><value>(.*?)</value></attribute>",
+    re.DOTALL,
+)
+
+
+def parse_tau_profiles(target: str | os.PathLike) -> DataSource:
+    """Parse a TAU profile directory (or a single profile file)."""
+    root = Path(target)
+    source = DataSource()
+    if root.is_file():
+        metric_name = _peek_metric_name(root) or "TIME"
+        source.add_metric(metric_name)
+        _parse_file(root, source, 0)
+        source.generate_statistics()
+        return source
+
+    multi_dirs = sorted(
+        d for d in root.iterdir() if d.is_dir() and d.name.startswith("MULTI__")
+    )
+    if multi_dirs:
+        # Metric order follows directory sort order, as in real PerfDMF.
+        for metric_index, metric_dir in enumerate(multi_dirs):
+            source.add_metric(metric_dir.name[len("MULTI__"):])
+            files = sorted(
+                discover_files(metric_dir, prefix="profile."), key=natural_sort_key
+            )
+            if not files:
+                raise ProfileParseError("empty MULTI__ directory", metric_dir)
+            for path in files:
+                _parse_file(path, source, metric_index)
+    else:
+        files = sorted(discover_files(root, prefix="profile."), key=natural_sort_key)
+        if not files:
+            raise ProfileParseError("no profile.N.C.T files found", root)
+        metric_name = _peek_metric_name(files[0]) or "TIME"
+        source.add_metric(metric_name)
+        for path in files:
+            _parse_file(path, source, 0)
+    source.generate_statistics()
+    return source
+
+
+def _peek_metric_name(path: Path) -> str | None:
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        header = fh.readline()
+    match = _HEADER_RE.match(header)
+    if match and match.group(2):
+        return match.group(2)
+    return None
+
+
+def _triple_from_name(path: Path) -> tuple[int, int, int]:
+    match = _PROFILE_RE.match(path.name)
+    if not match:
+        raise ProfileParseError("not a profile.N.C.T file name", path)
+    return tuple(int(g) for g in match.groups())  # type: ignore[return-value]
+
+
+def _parse_file(path: Path, source: DataSource, metric_index: int) -> None:
+    node, context, thread_id = _triple_from_name(path)
+    thread = source.add_thread(node, context, thread_id)
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ProfileParseError("empty profile file", path)
+    header = _HEADER_RE.match(lines[0])
+    if not header:
+        raise ProfileParseError("missing templated_functions header", path, 1)
+    n_functions = int(header.group(1))
+
+    i = 1
+    # header comment (may carry <metadata>)
+    if i < len(lines) and lines[i].lstrip().startswith("#"):
+        for key, value in _METADATA_RE.findall(lines[i]):
+            source.metadata.setdefault(_xml_unescape(key), _xml_unescape(value))
+        i += 1
+
+    parsed = 0
+    while i < len(lines) and parsed < n_functions:
+        line = lines[i]
+        i += 1
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        match = _FUNC_RE.match(line)
+        if not match:
+            raise ProfileParseError(f"bad function line: {line[:60]!r}", path, i)
+        name = match.group("name").strip()
+        group = match.group("group") or "TAU_DEFAULT"
+        event = source.add_interval_event(name, group)
+        profile = thread.get_or_create_function_profile(event)
+        profile.set_exclusive(metric_index, float(match.group("excl")))
+        profile.set_inclusive(metric_index, float(match.group("incl")))
+        if metric_index == 0:
+            profile.calls = float(match.group("calls"))
+            profile.subroutines = float(match.group("subrs"))
+        parsed += 1
+    if parsed != n_functions:
+        raise ProfileParseError(
+            f"expected {n_functions} functions, parsed {parsed}", path
+        )
+
+    # skip aggregates block
+    while i < len(lines) and "aggregates" not in lines[i]:
+        i += 1
+    if i < len(lines):
+        i += 1
+    # user events (present once; identical across MULTI__ dirs, so only
+    # ingest them for metric 0)
+    if i < len(lines):
+        match = re.match(r"^(\d+)\s+userevents", lines[i])
+        if match:
+            n_userevents = int(match.group(1))
+            i += 1
+            parsed_ue = 0
+            while i < len(lines) and parsed_ue < n_userevents:
+                line = lines[i]
+                i += 1
+                if not line.strip() or line.lstrip().startswith("#"):
+                    continue
+                ue = _UE_RE.match(line)
+                if not ue:
+                    raise ProfileParseError(
+                        f"bad userevent line: {line[:60]!r}", path, i
+                    )
+                if metric_index == 0:
+                    event = source.add_atomic_event(ue.group("name").strip())
+                    up = thread.get_or_create_user_event_profile(event)
+                    up.set_summary(
+                        count=float(ue.group("count")),
+                        max_value=float(ue.group("max")),
+                        min_value=float(ue.group("min")),
+                        mean_value=float(ue.group("mean")),
+                        sumsqr=float(ue.group("sumsqr")),
+                    )
+                parsed_ue += 1
+
+
+def _xml_unescape(text: str) -> str:
+    return text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")

@@ -1,0 +1,111 @@
+"""Export of profile data to PerfDMF's common XML representation.
+
+Paper §3.1: *"Export of profile data is also supported in a common XML
+representation."*  The document is a complete, lossless rendering of a
+:class:`DataSource` — metrics, events with groups, atomic events, the
+thread hierarchy and every profile record — so XML round trips are exact
+(tested in E6).
+
+Schema sketch::
+
+    <perfdmf_profile version="1.0">
+      <metadata><attribute name="..." value="..."/></metadata>
+      <metrics><metric id="0" name="TIME"/></metrics>
+      <interval_events><event id="0" name="main" group="TAU_DEFAULT"/></interval_events>
+      <atomic_events><event id="0" name="heap" group="..."/></atomic_events>
+      <threads>
+        <thread node="0" context="0" thread="0">
+          <interval_profile event="0" calls="1" subroutines="14">
+            <value metric="0" inclusive="..." exclusive="..."/>
+          </interval_profile>
+          <atomic_profile event="0" count="3" max="..." min="..."
+                          mean="..." sumsqr="..."/>
+        </thread>
+      </threads>
+    </perfdmf_profile>
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+from ...core.model import DataSource
+
+
+def export_xml(source: DataSource, path: str | os.PathLike) -> Path:
+    """Write ``source`` to ``path`` as PerfDMF common XML."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(xml_string(source))
+    return out
+
+
+def xml_string(source: DataSource) -> str:
+    """Render ``source`` as an XML string."""
+    parts: list[str] = ['<?xml version="1.0" encoding="UTF-8"?>\n']
+    parts.append('<perfdmf_profile version="1.0">\n')
+
+    parts.append("  <metadata>\n")
+    for key, value in sorted(source.metadata.items()):
+        parts.append(
+            f"    <attribute name={quoteattr(key)} value={quoteattr(str(value))}/>\n"
+        )
+    parts.append("  </metadata>\n")
+
+    parts.append("  <metrics>\n")
+    for metric in source.metrics:
+        derived = "true" if metric.derived else "false"
+        parts.append(
+            f'    <metric id="{metric.index}" name={quoteattr(metric.name)} '
+            f'derived="{derived}"/>\n'
+        )
+    parts.append("  </metrics>\n")
+
+    parts.append("  <interval_events>\n")
+    for event in source.interval_events.values():
+        parts.append(
+            f'    <event id="{event.index}" name={quoteattr(event.name)} '
+            f"group={quoteattr(event.group)}/>\n"
+        )
+    parts.append("  </interval_events>\n")
+
+    parts.append("  <atomic_events>\n")
+    for event in source.atomic_events.values():
+        parts.append(
+            f'    <event id="{event.index}" name={quoteattr(event.name)} '
+            f"group={quoteattr(event.group)}/>\n"
+        )
+    parts.append("  </atomic_events>\n")
+
+    parts.append("  <threads>\n")
+    for thread in source.all_threads():
+        parts.append(
+            f'    <thread node="{thread.node_id}" context="{thread.context_id}" '
+            f'thread="{thread.thread_id}">\n'
+        )
+        for profile in thread.function_profiles.values():
+            parts.append(
+                f'      <interval_profile event="{profile.event.index}" '
+                f'calls="{profile.calls:.17g}" '
+                f'subroutines="{profile.subroutines:.17g}">\n'
+            )
+            for m, inc, exc in profile.iter_metrics():
+                parts.append(
+                    f'        <value metric="{m}" inclusive="{inc:.17g}" '
+                    f'exclusive="{exc:.17g}"/>\n'
+                )
+            parts.append("      </interval_profile>\n")
+        for up in thread.user_event_profiles.values():
+            parts.append(
+                f'      <atomic_profile event="{up.event.index}" '
+                f'count="{up.count}" max="{up.max_value:.17g}" '
+                f'min="{up.min_value:.17g}" mean="{up.mean_value:.17g}" '
+                f'sumsqr="{up.sumsqr:.17g}"/>\n'
+            )
+        parts.append("    </thread>\n")
+    parts.append("  </threads>\n")
+    parts.append("</perfdmf_profile>\n")
+    return "".join(parts)

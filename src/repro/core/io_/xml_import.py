@@ -1,0 +1,99 @@
+"""Import of PerfDMF common XML (inverse of :mod:`.xml_export`)."""
+
+from __future__ import annotations
+
+import os
+import xml.etree.ElementTree as ET
+
+from ...core.model import DataSource
+from .base import ProfileParseError
+
+
+def parse_xml(target: str | os.PathLike) -> DataSource:
+    """Parse a PerfDMF common-XML profile document."""
+    try:
+        tree = ET.parse(target)
+    except ET.ParseError as exc:
+        raise ProfileParseError(f"malformed XML: {exc}", target) from None
+    root = tree.getroot()
+    if root.tag != "perfdmf_profile":
+        raise ProfileParseError(
+            f"expected <perfdmf_profile> root, found <{root.tag}>", target
+        )
+    return from_element(root)
+
+
+def parse_xml_string(text: str) -> DataSource:
+    root = ET.fromstring(text)
+    if root.tag != "perfdmf_profile":
+        raise ProfileParseError(f"expected <perfdmf_profile> root, found <{root.tag}>")
+    return from_element(root)
+
+
+def from_element(root: ET.Element) -> DataSource:
+    source = DataSource()
+
+    metadata = root.find("metadata")
+    if metadata is not None:
+        for attribute in metadata.findall("attribute"):
+            name = attribute.get("name")
+            if name is not None:
+                source.metadata[name] = attribute.get("value", "")
+
+    metric_names: dict[int, str] = {}
+    metrics_el = root.find("metrics")
+    if metrics_el is not None:
+        for metric_el in metrics_el.findall("metric"):
+            index = int(metric_el.get("id", "0"))
+            name = metric_el.get("name", f"metric_{index}")
+            derived = metric_el.get("derived", "false") == "true"
+            metric_names[index] = name
+            source.add_metric(name, derived=derived)
+
+    interval_by_id = {}
+    interval_el = root.find("interval_events")
+    if interval_el is not None:
+        for event_el in interval_el.findall("event"):
+            event = source.add_interval_event(
+                event_el.get("name", "?"), event_el.get("group", "TAU_DEFAULT")
+            )
+            interval_by_id[int(event_el.get("id", event.index))] = event
+
+    atomic_by_id = {}
+    atomic_el = root.find("atomic_events")
+    if atomic_el is not None:
+        for event_el in atomic_el.findall("event"):
+            event = source.add_atomic_event(
+                event_el.get("name", "?"), event_el.get("group", "TAU_DEFAULT")
+            )
+            atomic_by_id[int(event_el.get("id", event.index))] = event
+
+    threads_el = root.find("threads")
+    if threads_el is not None:
+        for thread_el in threads_el.findall("thread"):
+            thread = source.add_thread(
+                int(thread_el.get("node", "0")),
+                int(thread_el.get("context", "0")),
+                int(thread_el.get("thread", "0")),
+            )
+            for ip in thread_el.findall("interval_profile"):
+                event = interval_by_id[int(ip.get("event", "0"))]
+                profile = thread.get_or_create_function_profile(event)
+                profile.calls = float(ip.get("calls", "0"))
+                profile.subroutines = float(ip.get("subroutines", "0"))
+                for value_el in ip.findall("value"):
+                    m = int(value_el.get("metric", "0"))
+                    profile.set_inclusive(m, float(value_el.get("inclusive", "0")))
+                    profile.set_exclusive(m, float(value_el.get("exclusive", "0")))
+            for ap in thread_el.findall("atomic_profile"):
+                event = atomic_by_id[int(ap.get("event", "0"))]
+                up = thread.get_or_create_user_event_profile(event)
+                up.set_summary(
+                    count=int(ap.get("count", "0")),
+                    max_value=float(ap.get("max", "0")),
+                    min_value=float(ap.get("min", "0")),
+                    mean_value=float(ap.get("mean", "0")),
+                    sumsqr=float(ap.get("sumsqr", "0")),
+                )
+    source.generate_statistics()
+    return source

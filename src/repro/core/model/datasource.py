@@ -1,0 +1,259 @@
+"""The in-memory trial container shared by every PerfDMF component.
+
+A :class:`DataSource` holds one trial's complete parallel profile: the
+metric list, the interval/atomic event tables, and the node → context →
+thread hierarchy with per-thread event profiles.  Importers populate it,
+the DB session persists/loads it, the analysis toolkit consumes it.
+
+It also computes the two aggregate views the schema stores explicitly
+(paper §3.2): INTERVAL_TOTAL_SUMMARY and INTERVAL_MEAN_SUMMARY —
+totals and means over all (node, context, thread) combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .events import AtomicEvent, IntervalEvent
+from .functionprofile import FunctionProfile
+from .group import DEFAULT
+from .metric import Metric
+from .thread import MEAN_ID, TOTAL_ID, Context, Node, Thread
+
+
+class DataSource:
+    """One trial's profile data in PerfDMF's common representation."""
+
+    def __init__(self) -> None:
+        self.metrics: list[Metric] = []
+        self.interval_events: dict[str, IntervalEvent] = {}
+        self.atomic_events: dict[str, AtomicEvent] = {}
+        self.nodes: dict[int, Node] = {}
+        self._threads: list[Thread] = []
+        self.mean_data: Optional[Thread] = None
+        self.total_data: Optional[Thread] = None
+        #: free-form trial metadata harvested by importers
+        self.metadata: dict[str, str] = {}
+
+    # -- metrics ------------------------------------------------------------
+
+    def add_metric(self, name: str, derived: bool = False) -> Metric:
+        """Register (or fetch) a metric by name."""
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        metric = Metric(name=name, index=len(self.metrics), derived=derived)
+        self.metrics.append(metric)
+        if metric.index > 0:
+            for thread in self.all_threads(include_aggregates=True):
+                if thread.num_metrics < len(self.metrics):
+                    thread.add_metric_slot(len(self.metrics) - thread.num_metrics)
+        return metric
+
+    def get_metric(self, name: str) -> Optional[Metric]:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        return None
+
+    @property
+    def num_metrics(self) -> int:
+        return len(self.metrics)
+
+    def time_metric(self) -> Optional[Metric]:
+        """The wall-clock metric, if one exists."""
+        for metric in self.metrics:
+            if metric.is_time():
+                return metric
+        return self.metrics[0] if self.metrics else None
+
+    # -- events ----------------------------------------------------------------
+
+    def add_interval_event(self, name: str, group: str = DEFAULT) -> IntervalEvent:
+        event = self.interval_events.get(name)
+        if event is None:
+            event = IntervalEvent(
+                name=name, index=len(self.interval_events), group=group
+            )
+            self.interval_events[name] = event
+        return event
+
+    def get_interval_event(self, name: str) -> Optional[IntervalEvent]:
+        return self.interval_events.get(name)
+
+    def add_atomic_event(self, name: str, group: str = DEFAULT) -> AtomicEvent:
+        event = self.atomic_events.get(name)
+        if event is None:
+            event = AtomicEvent(name=name, index=len(self.atomic_events), group=group)
+            self.atomic_events[name] = event
+        return event
+
+    def get_atomic_event(self, name: str) -> Optional[AtomicEvent]:
+        return self.atomic_events.get(name)
+
+    @property
+    def num_interval_events(self) -> int:
+        return len(self.interval_events)
+
+    def events_in_group(self, group: str) -> list[IntervalEvent]:
+        return [e for e in self.interval_events.values() if group in e.groups]
+
+    # -- thread hierarchy ----------------------------------------------------------
+
+    def add_thread(self, node_id: int, context_id: int, thread_id: int) -> Thread:
+        """Fetch-or-create the thread at (node, context, thread)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = Node(node_id)
+            self.nodes[node_id] = node
+        context = node.contexts.get(context_id)
+        if context is None:
+            context = Context(node_id, context_id)
+            node.contexts[context_id] = context
+        thread = context.threads.get(thread_id)
+        if thread is None:
+            thread = Thread(node_id, context_id, thread_id, max(1, self.num_metrics))
+            context.threads[thread_id] = thread
+            self._threads.append(thread)
+        return thread
+
+    def get_thread(self, node_id: int, context_id: int, thread_id: int) -> Optional[Thread]:
+        node = self.nodes.get(node_id)
+        if node is None:
+            return None
+        context = node.contexts.get(context_id)
+        if context is None:
+            return None
+        return context.threads.get(thread_id)
+
+    def all_threads(self, include_aggregates: bool = False) -> Iterator[Thread]:
+        yield from self._threads
+        if include_aggregates:
+            if self.mean_data is not None:
+                yield self.mean_data
+            if self.total_data is not None:
+                yield self.total_data
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._threads)
+
+    def thread_triples(self) -> list[tuple[int, int, int]]:
+        return [t.triple for t in self._threads]
+
+    # topology helpers ---------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def contexts_per_node(self) -> int:
+        return max((len(n.contexts) for n in self.nodes.values()), default=0)
+
+    @property
+    def max_threads_per_context(self) -> int:
+        best = 0
+        for node in self.nodes.values():
+            for context in node.contexts.values():
+                best = max(best, len(context.threads))
+        return best
+
+    # -- aggregate statistics -----------------------------------------------------
+
+    def generate_statistics(self) -> None:
+        """(Re)compute the mean/total pseudo-threads over all real threads.
+
+        Totals sum each field over every thread that recorded the event;
+        means divide by the *total* thread count (TAU convention — a
+        thread that never called the event contributes zero).
+        """
+        n_metrics = max(1, self.num_metrics)
+        n_threads = self.num_threads
+        total = Thread(TOTAL_ID, 0, 0, n_metrics)
+        mean = Thread(MEAN_ID, 0, 0, n_metrics)
+        if n_threads == 0:
+            self.total_data, self.mean_data = total, mean
+            return
+        for thread in self._threads:
+            for event_index, profile in thread.function_profiles.items():
+                tp = total.function_profiles.get(event_index)
+                if tp is None:
+                    tp = FunctionProfile(profile.event, n_metrics)
+                    total.function_profiles[event_index] = tp
+                for m, inc, exc in profile.iter_metrics():
+                    tp.set_inclusive(m, tp.get_inclusive(m) + inc)
+                    tp.set_exclusive(m, tp.get_exclusive(m) + exc)
+                tp.calls += profile.calls
+                tp.subroutines += profile.subroutines
+        for event_index, tp in total.function_profiles.items():
+            mp = FunctionProfile(tp.event, n_metrics)
+            for m, inc, exc in tp.iter_metrics():
+                mp.set_inclusive(m, inc / n_threads)
+                mp.set_exclusive(m, exc / n_threads)
+            mp.calls = tp.calls / n_threads
+            mp.subroutines = tp.subroutines / n_threads
+            mean.function_profiles[event_index] = mp
+        self.total_data, self.mean_data = total, mean
+
+    # -- derived metrics -------------------------------------------------------------
+
+    def create_derived_metric(self, name: str, expression: str) -> Metric:
+        """Compute a new metric from existing ones, e.g. ``"FLOPS" =
+        "PAPI_FP_OPS / TIME"``.
+
+        The expression may reference metric names (quote names containing
+        spaces with double quotes), numeric literals and ``+ - * / ()``.
+        The derived values are computed per function profile for both the
+        inclusive and exclusive columns.
+        """
+        from .derived_expr import evaluate_metric_expression
+
+        if self.get_metric(name) is not None:
+            raise ValueError(f"metric {name!r} already exists")
+        metric = self.add_metric(name, derived=True)
+        index_by_name = {m.name: m.index for m in self.metrics}
+        for thread in self.all_threads(include_aggregates=True):
+            for profile in thread.function_profiles.values():
+                inclusive = evaluate_metric_expression(
+                    expression,
+                    lambda mname, p=profile: p.get_inclusive(index_by_name[mname]),
+                )
+                exclusive = evaluate_metric_expression(
+                    expression,
+                    lambda mname, p=profile: p.get_exclusive(index_by_name[mname]),
+                )
+                profile.set_inclusive(metric.index, inclusive)
+                profile.set_exclusive(metric.index, exclusive)
+        return metric
+
+    # -- consistency checks ------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Sanity-check invariants; returns a list of problem descriptions."""
+        problems: list[str] = []
+        for thread in self._threads:
+            if thread.num_metrics < self.num_metrics:
+                problems.append(
+                    f"thread {thread.triple} has {thread.num_metrics} metric "
+                    f"slots, trial has {self.num_metrics} metrics"
+                )
+            for profile in thread.function_profiles.values():
+                if profile.calls < 0:
+                    problems.append(
+                        f"negative call count for {profile.event.name} on "
+                        f"{thread.triple}"
+                    )
+                for m, inc, exc in profile.iter_metrics():
+                    if exc - inc > 1e-6 * max(1.0, abs(inc)):
+                        problems.append(
+                            f"exclusive > inclusive for {profile.event.name} "
+                            f"metric {m} on {thread.triple}"
+                        )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataSource(threads={self.num_threads}, "
+            f"events={self.num_interval_events}, metrics={self.num_metrics})"
+        )

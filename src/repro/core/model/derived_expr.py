@@ -1,0 +1,155 @@
+"""Tiny arithmetic-expression evaluator for derived metrics.
+
+Derived metrics (paper §3.2/§4: ParaProf *"could generate rudimentary
+derived data"*, stored back via the PerfDMF API) are defined by
+expressions over existing metric names::
+
+    FLOPS       = PAPI_FP_OPS / TIME
+    MISS_RATIO  = PAPI_L1_DCM / PAPI_L1_DCA
+
+Grammar: metric names (bare identifiers or double-quoted strings),
+numeric literals, ``+ - * /``, unary minus, parentheses.  Division by
+zero yields 0.0 (TAU's convention — a routine with zero time has no
+meaningful rate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_OPS = "+-*/()"
+
+
+class DerivedExpressionError(ValueError):
+    """Raised for malformed derived-metric expressions."""
+
+
+def tokenize_expression(text: str) -> list[str]:
+    """Split a derived-metric expression into tokens."""
+    tokens: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _OPS:
+            tokens.append(ch)
+            i += 1
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise DerivedExpressionError(f"unterminated quoted name in {text!r}")
+            tokens.append(text[i : end + 1])
+            i = end + 1
+            continue
+        if ch.isdigit() or ch == ".":
+            j = i
+            while j < n and (text[j].isdigit() or text[j] in ".eE" or
+                             (text[j] in "+-" and text[j - 1] in "eE")):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        # bare metric name: letters, digits, underscores, colons
+        j = i
+        while j < n and (text[j].isalnum() or text[j] in "_:"):
+            j += 1
+        if j == i:
+            raise DerivedExpressionError(f"unexpected character {ch!r} in {text!r}")
+        tokens.append(text[i:j])
+        i = j
+    return tokens
+
+
+def evaluate_metric_expression(
+    expression: str, lookup: Callable[[str], float]
+) -> float:
+    """Evaluate ``expression``; ``lookup(name)`` resolves metric values."""
+    tokens = tokenize_expression(expression)
+    if not tokens:
+        raise DerivedExpressionError("empty expression")
+    parser = _Parser(tokens, lookup)
+    value = parser.parse_additive()
+    if parser.pos != len(tokens):
+        raise DerivedExpressionError(
+            f"trailing tokens in expression: {tokens[parser.pos:]}"
+        )
+    return value
+
+
+def metric_names_in(expression: str) -> list[str]:
+    """List the metric names referenced by an expression (for validation)."""
+    names = []
+    for token in tokenize_expression(expression):
+        if token in _OPS:
+            continue
+        if token[0].isdigit() or token[0] == ".":
+            continue
+        if token.startswith('"'):
+            names.append(token[1:-1])
+        else:
+            names.append(token)
+    return names
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], lookup: Callable[[str], float]):
+        self.tokens = tokens
+        self.lookup = lookup
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def parse_additive(self) -> float:
+        value = self.parse_multiplicative()
+        while self.peek() in ("+", "-"):
+            op = self.tokens[self.pos]
+            self.pos += 1
+            rhs = self.parse_multiplicative()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def parse_multiplicative(self) -> float:
+        value = self.parse_unary()
+        while self.peek() in ("*", "/"):
+            op = self.tokens[self.pos]
+            self.pos += 1
+            rhs = self.parse_unary()
+            if op == "*":
+                value *= rhs
+            else:
+                value = value / rhs if rhs != 0 else 0.0
+        return value
+
+    def parse_unary(self) -> float:
+        if self.peek() == "-":
+            self.pos += 1
+            return -self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> float:
+        token = self.peek()
+        if token is None:
+            raise DerivedExpressionError("unexpected end of expression")
+        if token == "(":
+            self.pos += 1
+            value = self.parse_additive()
+            if self.peek() != ")":
+                raise DerivedExpressionError("missing closing parenthesis")
+            self.pos += 1
+            return value
+        self.pos += 1
+        if token[0].isdigit() or token[0] == ".":
+            try:
+                return float(token)
+            except ValueError:
+                raise DerivedExpressionError(f"bad number {token!r}") from None
+        name = token[1:-1] if token.startswith('"') else token
+        try:
+            return float(self.lookup(name))
+        except KeyError:
+            raise DerivedExpressionError(f"unknown metric {name!r}") from None

@@ -1,0 +1,67 @@
+"""Interval and atomic event definitions.
+
+Trials track two kinds of performance events (paper §3.2):
+
+* **interval events** — named code regions (functions, loops, phases)
+  for which cumulative timer/counter data is recorded;
+* **atomic events** — TAU "user events": point measurements whose value
+  varies per occurrence (message sizes, heap usage), summarised as
+  count/min/max/mean/standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import group as groups_mod
+
+#: Separator used in callpath event names ("main => solve => MPI_Send()").
+CALLPATH_SEPARATOR = " => "
+
+
+@dataclass
+class IntervalEvent:
+    """A named code region ("function" in classic profiler vocabulary)."""
+
+    name: str
+    index: int = -1  #: position within the trial's event list
+    group: str = groups_mod.DEFAULT
+    db_id: int | None = None
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return groups_mod.split_groups(self.group)
+
+    def is_callpath(self) -> bool:
+        return CALLPATH_SEPARATOR in self.name
+
+    @property
+    def leaf_name(self) -> str:
+        """For a callpath event, the innermost frame; else the name."""
+        return self.name.rsplit(CALLPATH_SEPARATOR, 1)[-1].strip()
+
+    @property
+    def parent_name(self) -> str | None:
+        """For a callpath event, the path minus the leaf; else None."""
+        if not self.is_callpath():
+            return None
+        return self.name.rsplit(CALLPATH_SEPARATOR, 1)[0].strip()
+
+    def path_components(self) -> list[str]:
+        return [c.strip() for c in self.name.split(CALLPATH_SEPARATOR)]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class AtomicEvent:
+    """A user-defined point-measurement event."""
+
+    name: str
+    index: int = -1
+    group: str = groups_mod.DEFAULT
+    db_id: int | None = None
+
+    def __str__(self) -> str:
+        return self.name

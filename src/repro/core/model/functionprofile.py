@@ -1,0 +1,161 @@
+"""Per-(thread, event) measurement records.
+
+A :class:`FunctionProfile` is PerfDMF's *event profile* object (paper
+§4: *"for each node, context, thread, event, metric combination, there
+is an event profile object which stores the performance data for that
+particular combination"*).  One FunctionProfile covers all metrics of
+one event on one thread; per-metric values live in parallel lists.
+
+Captured fields mirror INTERVAL_LOCATION_PROFILE (paper §3.2):
+inclusive value, exclusive value, number of calls, number of
+subroutines, inclusive-per-call; the percentage columns are computed,
+not stored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import IntervalEvent
+
+
+class FunctionProfile:
+    """Cumulative data for one interval event on one thread."""
+
+    __slots__ = ("event", "_inclusive", "_exclusive", "calls", "subroutines")
+
+    def __init__(self, event: "IntervalEvent", num_metrics: int = 1):
+        self.event = event
+        self._inclusive = [0.0] * num_metrics
+        self._exclusive = [0.0] * num_metrics
+        self.calls = 0.0
+        self.subroutines = 0.0
+
+    # -- metric accessors -----------------------------------------------------
+
+    @property
+    def num_metrics(self) -> int:
+        return len(self._inclusive)
+
+    def get_inclusive(self, metric: int = 0) -> float:
+        return self._inclusive[metric]
+
+    def set_inclusive(self, metric: int, value: float) -> None:
+        self._inclusive[metric] = float(value)
+
+    def get_exclusive(self, metric: int = 0) -> float:
+        return self._exclusive[metric]
+
+    def set_exclusive(self, metric: int, value: float) -> None:
+        self._exclusive[metric] = float(value)
+
+    def get_inclusive_per_call(self, metric: int = 0) -> float:
+        if self.calls == 0:
+            return 0.0
+        return self._inclusive[metric] / self.calls
+
+    def add_metric_slot(self, count: int = 1) -> None:
+        """Extend per-metric storage (derived-metric support)."""
+        self._inclusive.extend([0.0] * count)
+        self._exclusive.extend([0.0] * count)
+
+    def accumulate(
+        self,
+        metric: int,
+        inclusive: float,
+        exclusive: float,
+        calls: float = 0.0,
+        subroutines: float = 0.0,
+    ) -> None:
+        """Add a sample (importers may see an event several times)."""
+        self._inclusive[metric] += inclusive
+        self._exclusive[metric] += exclusive
+        if metric == 0:
+            # calls/subroutines are per-event, counted once
+            self.calls += calls
+            self.subroutines += subroutines
+
+    def iter_metrics(self) -> Iterator[tuple[int, float, float]]:
+        """Yield (metric index, inclusive, exclusive) for every metric."""
+        for i, (inc, exc) in enumerate(zip(self._inclusive, self._exclusive)):
+            yield i, inc, exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FunctionProfile({self.event.name!r}, "
+            f"incl={self._inclusive}, excl={self._exclusive}, "
+            f"calls={self.calls})"
+        )
+
+
+class UserEventProfile:
+    """Summary statistics for one atomic event on one thread.
+
+    Mirrors ATOMIC_LOCATION_PROFILE: sample count, max, min, mean and
+    standard deviation (paper §3.2).  Importers either set the summary
+    directly or feed raw samples through :meth:`add_sample`.
+    """
+
+    __slots__ = ("event", "count", "max_value", "min_value", "mean_value", "_sumsqr")
+
+    def __init__(self, event) -> None:
+        self.event = event
+        self.count = 0
+        self.max_value = 0.0
+        self.min_value = 0.0
+        self.mean_value = 0.0
+        self._sumsqr = 0.0
+
+    def add_sample(self, value: float) -> None:
+        value = float(value)
+        if self.count == 0:
+            self.min_value = value
+            self.max_value = value
+        else:
+            self.min_value = min(self.min_value, value)
+            self.max_value = max(self.max_value, value)
+        total = self.mean_value * self.count + value
+        self.count += 1
+        self.mean_value = total / self.count
+        self._sumsqr += value * value
+
+    def set_summary(
+        self,
+        count: int,
+        max_value: float,
+        min_value: float,
+        mean_value: float,
+        sumsqr: float | None = None,
+        stddev: float | None = None,
+    ) -> None:
+        """Install precomputed summary values (the common importer path)."""
+        self.count = int(count)
+        self.max_value = float(max_value)
+        self.min_value = float(min_value)
+        self.mean_value = float(mean_value)
+        if sumsqr is not None:
+            self._sumsqr = float(sumsqr)
+        elif stddev is not None:
+            # reconstruct sum of squares from the population stddev
+            self._sumsqr = (stddev**2 + self.mean_value**2) * self.count
+        else:
+            self._sumsqr = self.mean_value**2 * self.count
+
+    @property
+    def sumsqr(self) -> float:
+        return self._sumsqr
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation, TAU's convention for user events."""
+        if self.count == 0:
+            return 0.0
+        variance = self._sumsqr / self.count - self.mean_value**2
+        return variance**0.5 if variance > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UserEventProfile({self.event.name!r}, n={self.count}, "
+            f"mean={self.mean_value})"
+        )

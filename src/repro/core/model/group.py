@@ -1,0 +1,54 @@
+"""Event groups.
+
+Profiling tools tag interval events with a group: computation,
+communication, I/O, etc. (paper §3.2: *"The INTERVAL_EVENT table
+contains the name of the event, an event group (i.e. computation,
+communication, etc.)"*).  Groups drive ParaProf's contextual
+highlighting and the toolkit's per-group breakdowns.
+"""
+
+from __future__ import annotations
+
+#: TAU's default group for uninstrumented/unclassified events.
+DEFAULT = "TAU_DEFAULT"
+#: MPI and other message-passing routines.
+COMMUNICATION = "MPI"
+#: Numerical kernels.
+COMPUTATION = "COMPUTE"
+#: File and network I/O.
+IO = "IO"
+#: Memory management.
+MEMORY = "MEMORY"
+#: TAU callpath-phase events.
+CALLPATH = "TAU_CALLPATH"
+
+KNOWN_GROUPS = (DEFAULT, COMMUNICATION, COMPUTATION, IO, MEMORY, CALLPATH)
+
+
+def split_groups(spec: str | None) -> tuple[str, ...]:
+    """Split a ``'GROUP_A|GROUP_B'`` specification into its group names."""
+    if not spec:
+        return (DEFAULT,)
+    parts = tuple(p.strip() for p in spec.split("|") if p.strip())
+    return parts or (DEFAULT,)
+
+
+def join_groups(groups: tuple[str, ...] | list[str]) -> str:
+    """Inverse of :func:`split_groups`."""
+    return "|".join(groups)
+
+
+def classify_event_name(name: str) -> str:
+    """Guess a group from an event name (used by importers whose source
+    format carries no group information, e.g. gprof)."""
+    bare = name.strip()
+    if bare.startswith("MPI_") or bare.startswith("PMPI_"):
+        return COMMUNICATION
+    lowered = bare.lower()
+    if any(tag in lowered for tag in ("read", "write", "open", "close", "flush", "io_")):
+        return IO
+    if any(tag in lowered for tag in ("alloc", "free", "memcpy", "memset")):
+        return MEMORY
+    if " => " in bare:
+        return CALLPATH
+    return DEFAULT

@@ -1,0 +1,42 @@
+"""Metric objects.
+
+A *metric* names one measured (or derived) quantity: wall-clock time,
+``PAPI_FP_OPS``, cache misses, or a derived quantity such as FLOPs/sec.
+The paper (§3.2): *"Because there can be more than one metric per trial,
+the schema includes a METRIC table ... derived metrics can be saved with
+the profile data in the database using the PerfDMF API."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Canonical name of the wall-clock metric every profiling tool provides.
+TIME = "TIME"
+
+
+@dataclass
+class Metric:
+    """One measurement dimension within a trial."""
+
+    name: str
+    index: int = -1  #: position within the trial's metric list
+    derived: bool = False  #: True when produced by analysis, not measurement
+    db_id: int | None = None  #: database id once stored
+
+    def is_time(self) -> bool:
+        """Heuristically recognise time metrics (TAU conventions)."""
+        upper = self.name.upper()
+        return "TIME" in upper and "PAPI" not in upper
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Metric):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)

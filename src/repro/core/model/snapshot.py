@@ -1,0 +1,180 @@
+"""Snapshot (time-series) profiles.
+
+TAU can capture *profile snapshots* — the cumulative profile state at
+several points during a run — turning a single trial into a time series.
+PerfDMF gained snapshot support in the TAU distribution this paper
+describes; we model a snapshot series as an ordered list of
+(timestamp, DataSource) pairs with utilities to difference consecutive
+snapshots into *intervals* (what happened between two captures) and to
+extract per-event time series for drift analysis.
+
+Invariant: snapshots are cumulative, so every per-event value is
+monotonically non-decreasing across the series (checked by
+:meth:`SnapshotSeries.validate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .datasource import DataSource
+
+
+@dataclass
+class Snapshot:
+    """One capture: the cumulative profile at ``timestamp`` (seconds)."""
+
+    timestamp: float
+    source: DataSource
+    label: str = ""
+
+
+class SnapshotSeries:
+    """An ordered collection of snapshots from one run."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[Snapshot] = []
+
+    def add(self, timestamp: float, source: DataSource, label: str = "") -> Snapshot:
+        if self.snapshots and timestamp <= self.snapshots[-1].timestamp:
+            raise ValueError(
+                f"snapshot timestamps must increase: {timestamp} after "
+                f"{self.snapshots[-1].timestamp}"
+            )
+        snapshot = Snapshot(timestamp, source, label or f"t={timestamp:g}s")
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        return iter(self.snapshots)
+
+    @property
+    def final(self) -> DataSource:
+        """The last (complete-run) profile."""
+        if not self.snapshots:
+            raise ValueError("empty snapshot series")
+        return self.snapshots[-1].source
+
+    # -- interval extraction -------------------------------------------------
+
+    def intervals(self) -> list[tuple[str, DataSource]]:
+        """Difference consecutive snapshots into per-interval profiles.
+
+        Interval k holds the activity between snapshot k and k+1; uses
+        the CUBE difference algebra, so the result is again a normal
+        DataSource usable with every analysis routine.
+        """
+        from ..toolkit.cube_algebra import diff
+
+        out = []
+        for before, after in zip(self.snapshots, self.snapshots[1:]):
+            label = f"{before.label} .. {after.label}"
+            out.append((label, diff(after.source, before.source)))
+        return out
+
+    # -- time series ------------------------------------------------------------
+
+    def event_series(
+        self,
+        event_name: str,
+        metric: int = 0,
+        per_interval: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, mean-exclusive values) for one event.
+
+        ``per_interval=True`` returns the increments between snapshots
+        instead of the cumulative values — the "activity rate" view.
+        """
+        from ..toolkit.stats import event_statistics
+
+        timestamps = np.array([s.timestamp for s in self.snapshots])
+        values = []
+        for snapshot in self.snapshots:
+            if event_name in snapshot.source.interval_events:
+                values.append(
+                    event_statistics(snapshot.source, event_name, metric).mean
+                )
+            else:
+                values.append(0.0)
+        series = np.array(values)
+        if per_interval:
+            return timestamps[1:], np.diff(series)
+        return timestamps, series
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Check the cumulative-monotonicity invariant."""
+        problems: list[str] = []
+        for before, after in zip(self.snapshots, self.snapshots[1:]):
+            for name, event in before.source.interval_events.items():
+                after_event = after.source.get_interval_event(name)
+                if after_event is None:
+                    problems.append(
+                        f"event {name!r} vanished between {before.label} "
+                        f"and {after.label}"
+                    )
+                    continue
+                for thread in before.source.all_threads():
+                    after_thread = after.source.get_thread(*thread.triple)
+                    if after_thread is None:
+                        continue
+                    profile = thread.function_profiles.get(event.index)
+                    after_profile = after_thread.function_profiles.get(
+                        after_event.index
+                    )
+                    if profile is None:
+                        continue
+                    if after_profile is None:
+                        problems.append(
+                            f"profile for {name!r} on {thread.triple} "
+                            f"vanished at {after.label}"
+                        )
+                        continue
+                    for m, inc, _exc in profile.iter_metrics():
+                        if after_profile.get_inclusive(m) < inc - 1e-9:
+                            problems.append(
+                                f"{name!r} metric {m} decreased on "
+                                f"{thread.triple} at {after.label}"
+                            )
+        return problems
+
+
+def drift_report(
+    series: SnapshotSeries, metric: int = 0, threshold: float = 1.5
+) -> list[dict]:
+    """Detect events whose activity rate drifts over the run.
+
+    Compares each event's per-interval increment in the last interval to
+    its first-interval increment; a ratio above ``threshold`` means the
+    event is getting more expensive as the run progresses (e.g. a
+    growing workload, fragmentation, load-balance decay).
+    """
+    if len(series) < 3:
+        return []
+    out = []
+    for name in series.final.interval_events:
+        _ts, increments = series.event_series(name, metric, per_interval=True)
+        if len(increments) < 2:
+            continue
+        first, last = increments[0], increments[-1]
+        if first <= 0:
+            continue
+        ratio = last / first
+        if ratio >= threshold:
+            out.append(
+                {
+                    "event": name,
+                    "first_interval": float(first),
+                    "last_interval": float(last),
+                    "ratio": float(ratio),
+                }
+            )
+    out.sort(key=lambda r: r["ratio"], reverse=True)
+    return out

@@ -1,0 +1,120 @@
+"""The node / context / thread execution hierarchy.
+
+PerfDMF structures profile data *"in a node, context, and thread
+manner"* (paper §4), following TAU's generalised representation: a
+machine has nodes (MPI processes or hosts), each node has contexts
+(address spaces), each context has threads.  Flat MPI runs map rank →
+node with a single context and thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .functionprofile import FunctionProfile, UserEventProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import AtomicEvent, IntervalEvent
+
+#: Sentinel ids for the aggregate pseudo-threads PerfDMF keeps alongside
+#: real threads (INTERVAL_MEAN_SUMMARY / INTERVAL_TOTAL_SUMMARY rows).
+MEAN_ID = -1
+TOTAL_ID = -2
+
+
+class Thread:
+    """One thread of execution and its event profiles."""
+
+    __slots__ = (
+        "node_id", "context_id", "thread_id", "num_metrics",
+        "function_profiles", "user_event_profiles",
+    )
+
+    def __init__(self, node_id: int, context_id: int, thread_id: int, num_metrics: int = 1):
+        self.node_id = node_id
+        self.context_id = context_id
+        self.thread_id = thread_id
+        self.num_metrics = num_metrics
+        self.function_profiles: dict[int, FunctionProfile] = {}
+        self.user_event_profiles: dict[int, UserEventProfile] = {}
+
+    @property
+    def triple(self) -> tuple[int, int, int]:
+        return (self.node_id, self.context_id, self.thread_id)
+
+    def is_aggregate(self) -> bool:
+        return self.node_id in (MEAN_ID, TOTAL_ID)
+
+    # -- interval profiles ----------------------------------------------------
+
+    def get_function_profile(self, event: "IntervalEvent") -> Optional[FunctionProfile]:
+        return self.function_profiles.get(event.index)
+
+    def get_or_create_function_profile(self, event: "IntervalEvent") -> FunctionProfile:
+        profile = self.function_profiles.get(event.index)
+        if profile is None:
+            profile = FunctionProfile(event, self.num_metrics)
+            self.function_profiles[event.index] = profile
+        return profile
+
+    def iter_function_profiles(self) -> Iterator[FunctionProfile]:
+        return iter(self.function_profiles.values())
+
+    def add_metric_slot(self, count: int = 1) -> None:
+        self.num_metrics += count
+        for profile in self.function_profiles.values():
+            profile.add_metric_slot(count)
+
+    # -- atomic profiles --------------------------------------------------------
+
+    def get_user_event_profile(self, event: "AtomicEvent") -> Optional[UserEventProfile]:
+        return self.user_event_profiles.get(event.index)
+
+    def get_or_create_user_event_profile(self, event: "AtomicEvent") -> UserEventProfile:
+        profile = self.user_event_profiles.get(event.index)
+        if profile is None:
+            profile = UserEventProfile(event)
+            self.user_event_profiles[event.index] = profile
+        return profile
+
+    # -- per-thread statistics ---------------------------------------------------
+
+    def max_inclusive(self, metric: int = 0) -> float:
+        """The largest inclusive value on this thread — by TAU convention
+        the duration of the whole run, used as the 100% reference."""
+        best = 0.0
+        for profile in self.function_profiles.values():
+            value = profile.get_inclusive(metric)
+            if value > best:
+                best = value
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Thread(n={self.node_id}, c={self.context_id}, t={self.thread_id})"
+
+
+class Context:
+    """An address space within a node."""
+
+    __slots__ = ("node_id", "context_id", "threads")
+
+    def __init__(self, node_id: int, context_id: int):
+        self.node_id = node_id
+        self.context_id = context_id
+        self.threads: dict[int, Thread] = {}
+
+    def get_thread(self, thread_id: int) -> Optional[Thread]:
+        return self.threads.get(thread_id)
+
+
+class Node:
+    """A machine node (MPI process or host)."""
+
+    __slots__ = ("node_id", "contexts")
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.contexts: dict[int, Context] = {}
+
+    def get_context(self, context_id: int) -> Optional[Context]:
+        return self.contexts.get(context_id)

@@ -1,0 +1,13 @@
+"""The PerfDMF relational schema and its manager (paper §3.2)."""
+
+from .ddl import (
+    DEFAULT_METADATA, PROFILE_VALUE_COLUMNS, REQUIRED_COLUMNS, TABLE_NAMES,
+    ddl_statements, render_ddl,
+)
+from .manager import SchemaError, SchemaManager
+
+__all__ = [
+    "render_ddl", "ddl_statements", "TABLE_NAMES", "REQUIRED_COLUMNS",
+    "DEFAULT_METADATA", "PROFILE_VALUE_COLUMNS",
+    "SchemaManager", "SchemaError",
+]

@@ -1,0 +1,7 @@
+"""DataSession implementations: the PerfDMF query/management API (§4)."""
+
+from .datasession import DataSession, Selection
+from .dbsession import PerfDMFSession
+from .filesession import FileDataSession
+
+__all__ = ["DataSession", "Selection", "PerfDMFSession", "FileDataSession"]

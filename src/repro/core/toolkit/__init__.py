@@ -1,0 +1,34 @@
+"""The profile analysis toolkit (paper §3.1's fourth component)."""
+
+from .comparison import (
+    EventComparison, biggest_changes, compare_trials, comparison_report,
+)
+from .cube_algebra import diff, mean, merge
+from .modeling import (
+    RoutinePrediction, ScalingModel, best_model, fit_scaling_models,
+    predict_routines, prediction_report,
+)
+from .regression import Regression, detect_regressions, regression_report
+from .scaling import (
+    ScalingPoint, communication_crossover, run_sweep, scaling_profile,
+    strong_scaling_efficiency,
+)
+from .speedup import RoutineSpeedup, SpeedupAnalyzer, SpeedupPoint
+from .stats import (
+    EventStatistics, all_event_statistics, event_statistics, event_values,
+    group_breakdown, load_imbalance, thread_metric_matrix, top_events,
+)
+
+__all__ = [
+    "EventStatistics", "event_statistics", "all_event_statistics",
+    "event_values", "top_events", "thread_metric_matrix",
+    "group_breakdown", "load_imbalance",
+    "SpeedupAnalyzer", "SpeedupPoint", "RoutineSpeedup",
+    "EventComparison", "compare_trials", "biggest_changes", "comparison_report",
+    "diff", "merge", "mean",
+    "Regression", "detect_regressions", "regression_report",
+    "ScalingModel", "fit_scaling_models", "best_model",
+    "RoutinePrediction", "predict_routines", "prediction_report",
+    "ScalingPoint", "scaling_profile", "communication_crossover",
+    "strong_scaling_efficiency", "run_sweep",
+]

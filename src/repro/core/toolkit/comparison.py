@@ -1,0 +1,107 @@
+"""Multi-trial comparison routines.
+
+The toolkit's *"rudimentary multi-trial analysis, including performance
+comparisons"* (paper §4): align two trials by event name and report
+per-event deltas, plus a text rendering ParaProf-style tools can show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..model import DataSource
+from .stats import event_statistics
+
+
+@dataclass(frozen=True)
+class EventComparison:
+    """One event's mean values in two trials."""
+
+    event: str
+    left_mean: float
+    right_mean: float
+
+    @property
+    def delta(self) -> float:
+        return self.right_mean - self.left_mean
+
+    @property
+    def ratio(self) -> float:
+        """right/left; inf when the event is new, 0 when it vanished."""
+        if self.left_mean == 0:
+            return float("inf") if self.right_mean > 0 else 1.0
+        return self.right_mean / self.left_mean
+
+    @property
+    def percent_change(self) -> float:
+        if self.left_mean == 0:
+            return float("inf") if self.right_mean > 0 else 0.0
+        return 100.0 * self.delta / self.left_mean
+
+
+def compare_trials(
+    left: DataSource,
+    right: DataSource,
+    metric: int = 0,
+    inclusive: bool = False,
+) -> list[EventComparison]:
+    """Per-event mean comparison of two trials (union of event sets)."""
+    names = list(dict.fromkeys(list(left.interval_events) + list(right.interval_events)))
+    out = []
+    for name in names:
+        left_mean = (
+            event_statistics(left, name, metric, inclusive).mean
+            if name in left.interval_events
+            else 0.0
+        )
+        right_mean = (
+            event_statistics(right, name, metric, inclusive).mean
+            if name in right.interval_events
+            else 0.0
+        )
+        out.append(EventComparison(name, left_mean, right_mean))
+    return out
+
+
+def biggest_changes(
+    left: DataSource,
+    right: DataSource,
+    n: int = 10,
+    metric: int = 0,
+    min_value: float = 0.0,
+) -> list[EventComparison]:
+    """The n events with the largest absolute mean delta."""
+    comparisons = [
+        c
+        for c in compare_trials(left, right, metric)
+        if max(c.left_mean, c.right_mean) >= min_value
+    ]
+    return sorted(comparisons, key=lambda c: abs(c.delta), reverse=True)[:n]
+
+
+def comparison_report(
+    left: DataSource,
+    right: DataSource,
+    left_label: str = "left",
+    right_label: str = "right",
+    metric: int = 0,
+    n: int = 20,
+) -> str:
+    """Text table of the biggest per-event changes."""
+    rows = biggest_changes(left, right, n, metric)
+    lines = [
+        f"Trial comparison: {left_label} vs {right_label} (mean exclusive)",
+        "%-36s %14s %14s %10s" % ("event", left_label[:14], right_label[:14], "change"),
+    ]
+    for c in rows:
+        change = (
+            f"{c.percent_change:+9.1f}%"
+            if c.percent_change != float("inf")
+            else "      new"
+        )
+        lines.append(
+            "%-36s %14.2f %14.2f %10s"
+            % (c.event[:36], c.left_mean, c.right_mean, change)
+        )
+    return "\n".join(lines)

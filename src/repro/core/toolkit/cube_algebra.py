@@ -1,0 +1,129 @@
+"""CUBE-style trial algebra: difference, merge, mean of trials.
+
+Paper §7 (future work): *"We hope to work with the University of
+Tennessee to integrate the CUBE algebra with PerfDMF to implement
+high-level comparative queries and analysis operations."*  This module
+implements that integration: the algebra of Song et al. (ICPP'04)
+operates on performance *cubes* (metric × event × location); our
+operations act on :class:`DataSource` objects aligned by metric name,
+event name, and (node, context, thread).
+
+Closure property: every operation returns another DataSource, so
+operations compose (e.g. ``mean(diff(a, b), diff(c, d))``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..model import DataSource
+
+
+def _binary(
+    left: DataSource, right: DataSource, op: Callable[[float, float], float]
+) -> DataSource:
+    """Apply ``op`` location-wise over the union of both trials."""
+    out = DataSource()
+    metric_names = list(
+        dict.fromkeys([m.name for m in left.metrics] + [m.name for m in right.metrics])
+    )
+    for name in metric_names:
+        out.add_metric(name)
+    left_metric = {m.name: m.index for m in left.metrics}
+    right_metric = {m.name: m.index for m in right.metrics}
+
+    def emit(source: DataSource, other: DataSource, flip: bool) -> None:
+        metric_of = left_metric if not flip else right_metric
+        other_metric = right_metric if not flip else left_metric
+        for thread in source.all_threads():
+            other_thread = other.get_thread(*thread.triple)
+            out_thread = out.add_thread(*thread.triple)
+            for profile in thread.function_profiles.values():
+                event_name = profile.event.name
+                event = out.add_interval_event(event_name, profile.event.group)
+                target = out_thread.get_or_create_function_profile(event)
+                other_profile = None
+                if other_thread is not None:
+                    other_event = other.get_interval_event(event_name)
+                    if other_event is not None:
+                        other_profile = other_thread.function_profiles.get(
+                            other_event.index
+                        )
+                if flip and other_profile is not None:
+                    continue  # already handled from the left side
+                for out_index, metric_name in enumerate(metric_names):
+                    a = b = 0.0
+                    my_index = metric_of.get(metric_name)
+                    if my_index is not None:
+                        a_inc = profile.get_inclusive(my_index)
+                        a_exc = profile.get_exclusive(my_index)
+                    else:
+                        a_inc = a_exc = 0.0
+                    if other_profile is not None:
+                        oi = other_metric.get(metric_name)
+                        b_inc = other_profile.get_inclusive(oi) if oi is not None else 0.0
+                        b_exc = other_profile.get_exclusive(oi) if oi is not None else 0.0
+                    else:
+                        b_inc = b_exc = 0.0
+                    if flip:
+                        a_inc, b_inc = b_inc, a_inc
+                        a_exc, b_exc = b_exc, a_exc
+                    target.set_inclusive(out_index, op(a_inc, b_inc))
+                    target.set_exclusive(out_index, op(a_exc, b_exc))
+                if not flip:
+                    target.calls = op(
+                        profile.calls,
+                        other_profile.calls if other_profile else 0.0,
+                    )
+                    target.subroutines = op(
+                        profile.subroutines,
+                        other_profile.subroutines if other_profile else 0.0,
+                    )
+                else:
+                    target.calls = op(0.0, profile.calls)
+                    target.subroutines = op(0.0, profile.subroutines)
+
+    emit(left, right, flip=False)
+    emit(right, left, flip=True)
+    out.generate_statistics()
+    return out
+
+
+def diff(left: DataSource, right: DataSource) -> DataSource:
+    """CUBE difference: left − right, location-wise.
+
+    Positive values mean the left trial was more expensive.  Events or
+    locations present on only one side are treated as zero on the other
+    — new routines show up positive, removed ones negative.
+    """
+    return _binary(left, right, lambda a, b: a - b)
+
+
+def merge(left: DataSource, right: DataSource) -> DataSource:
+    """CUBE merge: the union trial, summing overlapping locations."""
+    return _binary(left, right, lambda a, b: a + b)
+
+
+def mean(trials: Sequence[DataSource]) -> DataSource:
+    """CUBE mean over N trials (e.g. repeated runs of one experiment)."""
+    if not trials:
+        raise ValueError("mean() of no trials")
+    total = trials[0]
+    for other in trials[1:]:
+        total = merge(total, other)
+    n = float(len(trials))
+    out = DataSource()
+    for metric in total.metrics:
+        out.add_metric(metric.name)
+    for thread in total.all_threads():
+        out_thread = out.add_thread(*thread.triple)
+        for profile in thread.function_profiles.values():
+            event = out.add_interval_event(profile.event.name, profile.event.group)
+            target = out_thread.get_or_create_function_profile(event)
+            for m, inc, exc in profile.iter_metrics():
+                target.set_inclusive(m, inc / n)
+                target.set_exclusive(m, exc / n)
+            target.calls = profile.calls / n
+            target.subroutines = profile.subroutines / n
+    out.generate_statistics()
+    return out

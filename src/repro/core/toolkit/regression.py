@@ -1,0 +1,119 @@
+"""Performance-regression detection over a trial history.
+
+Paper §7: the PerfDMF infrastructure is aimed at *"automated performance
+regression analysis and diagnosis"* and *"efficiently tracking the
+performance history of a single application code."*  This module
+implements that future-work feature: given a chronological series of
+trials of the same experiment, flag events whose cost moved
+significantly against their own history.
+
+Detection rule: an event regresses at trial *i* when its mean exclusive
+value exceeds ``baseline_mean + threshold_sigmas × baseline_std`` where
+the baseline is the preceding window of trials, and the relative change
+also exceeds ``min_relative`` (guards against flagging noise on
+microsecond-scale events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..model import DataSource
+from .stats import event_statistics
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One detected regression."""
+
+    event: str
+    trial_index: int
+    trial_label: str
+    baseline_mean: float
+    observed_mean: float
+
+    @property
+    def factor(self) -> float:
+        return (
+            self.observed_mean / self.baseline_mean
+            if self.baseline_mean > 0
+            else float("inf")
+        )
+
+
+def detect_regressions(
+    history: Sequence[tuple[str, DataSource]],
+    metric: int = 0,
+    window: int = 3,
+    threshold_sigmas: float = 3.0,
+    min_relative: float = 0.15,
+) -> list[Regression]:
+    """Scan a chronological (label, trial) history for regressions."""
+    if len(history) < 2:
+        return []
+    events: list[str] = []
+    seen: set[str] = set()
+    for _label, source in history:
+        for name in source.interval_events:
+            if name not in seen:
+                seen.add(name)
+                events.append(name)
+
+    # per-event mean series
+    series: dict[str, list[float]] = {name: [] for name in events}
+    for _label, source in history:
+        for name in events:
+            if name in source.interval_events:
+                series[name].append(event_statistics(source, name, metric).mean)
+            else:
+                series[name].append(np.nan)
+
+    regressions: list[Regression] = []
+    for name in events:
+        values = np.asarray(series[name])
+        for i in range(1, len(values)):
+            if np.isnan(values[i]):
+                continue
+            start = max(0, i - window)
+            baseline = values[start:i]
+            baseline = baseline[~np.isnan(baseline)]
+            if len(baseline) == 0:
+                continue
+            mean = float(baseline.mean())
+            std = float(baseline.std(ddof=1)) if len(baseline) > 1 else 0.0
+            # Guard floor: with a tiny window the std underestimates
+            # run-to-run noise, so require a minimum relative change too.
+            if mean <= 0:
+                continue
+            limit = mean + threshold_sigmas * std
+            if values[i] > limit and (values[i] - mean) / mean >= min_relative:
+                regressions.append(
+                    Regression(
+                        event=name,
+                        trial_index=i,
+                        trial_label=history[i][0],
+                        baseline_mean=mean,
+                        observed_mean=float(values[i]),
+                    )
+                )
+    return regressions
+
+
+def regression_report(regressions: Sequence[Regression]) -> str:
+    if not regressions:
+        return "No regressions detected."
+    lines = [
+        "Detected regressions:",
+        "%-32s %-12s %14s %14s %8s"
+        % ("event", "trial", "baseline", "observed", "factor"),
+    ]
+    for r in sorted(regressions, key=lambda r: r.factor, reverse=True):
+        lines.append(
+            "%-32s %-12s %14.2f %14.2f %7.2fx"
+            % (r.event[:32], r.trial_label[:12], r.baseline_mean,
+               r.observed_mean, r.factor)
+        )
+    return "\n".join(lines)

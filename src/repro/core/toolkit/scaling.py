@@ -1,0 +1,85 @@
+"""Scaling-study helpers built on the speedup analyzer.
+
+Runs an application (or accepts pre-existing trials) across a processor
+sweep and produces the series the paper's §5.2 analyzer prints, plus
+efficiency curves and a crossover finder (where communication overtakes
+computation — the SMG2000 signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..model import DataSource, group as groups
+from .stats import group_breakdown
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Aggregate behaviour of one trial in a sweep."""
+
+    processors: int
+    mean_duration: float  #: mean per-thread run duration (usec)
+    compute_fraction: float
+    communication_fraction: float
+    io_fraction: float
+
+
+def scaling_profile(
+    trials: Sequence[tuple[int, DataSource]], metric: int = 0
+) -> list[ScalingPoint]:
+    """Group-level breakdown across a processor sweep."""
+    points = []
+    for processors, source in sorted(trials, key=lambda t: t[0]):
+        breakdown = group_breakdown(source, metric)
+        total = sum(breakdown.values()) or 1.0
+        durations = [t.max_inclusive(metric) for t in source.all_threads()]
+        mean_duration = sum(durations) / len(durations) if durations else 0.0
+        comm = breakdown.get(groups.COMMUNICATION, 0.0)
+        io = breakdown.get(groups.IO, 0.0)
+        points.append(
+            ScalingPoint(
+                processors=processors,
+                mean_duration=mean_duration,
+                compute_fraction=1.0 - (comm + io) / total,
+                communication_fraction=comm / total,
+                io_fraction=io / total,
+            )
+        )
+    return points
+
+
+def communication_crossover(points: Sequence[ScalingPoint]) -> Optional[int]:
+    """The smallest processor count where communication ≥ computation,
+    or None if it never crosses within the sweep."""
+    for point in points:
+        if point.communication_fraction >= point.compute_fraction:
+            return point.processors
+    return None
+
+
+def strong_scaling_efficiency(
+    trials: Sequence[tuple[int, DataSource]], metric: int = 0
+) -> list[tuple[int, float]]:
+    """(processors, efficiency) pairs relative to the smallest count."""
+    ordered = sorted(trials, key=lambda t: t[0])
+    if len(ordered) < 2:
+        raise ValueError("need >= 2 trials for a scaling study")
+    base_p, base_source = ordered[0]
+    base_durations = [t.max_inclusive(metric) for t in base_source.all_threads()]
+    base_time = sum(base_durations) / len(base_durations)
+    out = []
+    for p, source in ordered:
+        durations = [t.max_inclusive(metric) for t in source.all_threads()]
+        time = sum(durations) / len(durations)
+        speedup = base_time / time if time > 0 else 0.0
+        out.append((p, speedup / (p / base_p)))
+    return out
+
+
+def run_sweep(
+    run: Callable[[int], DataSource], processor_counts: Sequence[int]
+) -> list[tuple[int, DataSource]]:
+    """Execute ``run(P)`` for each count; returns (P, trial) pairs."""
+    return [(p, run(p)) for p in processor_counts]

@@ -1,0 +1,26 @@
+"""``repro.db`` — the relational substrate behind PerfDMF.
+
+Two runnable engines behind one API:
+
+* ``sqlite`` — the stdlib C engine (with STDDEV/VARIANCE registered),
+* ``minisql`` — a from-scratch pure-Python engine (:mod:`repro.db.minisql`).
+
+Use :func:`repro.db.connect` with a URL::
+
+    from repro import db
+    conn = db.connect("sqlite://:memory:")
+    conn = db.connect("minisql://shared-archive")
+"""
+
+from .api import (
+    ColumnMetadata, DatabaseError, DBConnection, IntegrityError,
+    OperationalError, ProgrammingError, connect, parse_url,
+)
+from .dialects import DIALECTS, Dialect, get_dialect
+from .pool import ConnectionPool
+
+__all__ = [
+    "connect", "parse_url", "DBConnection", "ColumnMetadata",
+    "ConnectionPool", "Dialect", "DIALECTS", "get_dialect",
+    "DatabaseError", "IntegrityError", "OperationalError", "ProgrammingError",
+]

@@ -1,0 +1,36 @@
+"""MiniSQL — a from-scratch, pure-Python, in-memory relational engine.
+
+MiniSQL is the second storage engine behind :mod:`repro.db.api` (the
+first is the stdlib ``sqlite3``).  It exists to make PerfDMF's central
+portability claim — *one data-management API over interchangeable SQL
+engines, with no vendor-specific SQL* — mechanically testable: the whole
+PerfDMF test suite runs against both engines.
+
+Public surface::
+
+    from repro.db import minisql
+    conn = minisql.connect()
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x REAL)")
+    conn.executemany("INSERT INTO t (x) VALUES (?)", [(1.5,), (2.5,)])
+    rows = conn.execute("SELECT avg(x) FROM t").fetchall()
+"""
+
+from .dump import dump_sql, load_database, save_database
+from .engine import (
+    Connection, Cursor, apilevel, connect, paramstyle,
+    reset_shared_databases, threadsafety,
+)
+from .errors import (
+    DatabaseError, DataError, IntegrityError, InterfaceError, InternalError,
+    MiniSQLError, NotSupportedError, OperationalError, ProgrammingError,
+    SQLSyntaxError, Warning,
+)
+
+__all__ = [
+    "Connection", "Cursor", "connect", "reset_shared_databases",
+    "dump_sql", "save_database", "load_database",
+    "apilevel", "paramstyle", "threadsafety",
+    "MiniSQLError", "Warning", "InterfaceError", "DatabaseError",
+    "DataError", "OperationalError", "IntegrityError", "InternalError",
+    "ProgrammingError", "NotSupportedError", "SQLSyntaxError",
+]

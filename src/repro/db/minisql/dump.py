@@ -1,0 +1,96 @@
+"""SQL dump and restore for MiniSQL databases.
+
+MiniSQL is an in-memory engine; persistence follows sqlite's ``.dump``
+model — serialise the catalog and every row as portable SQL text, and
+restore by executing the script.  Because the dump is plain SQL in the
+shared dialect, a MiniSQL archive restores into sqlite (and vice versa),
+which doubles as yet another engine-portability check.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from .engine import Connection
+
+
+def dump_sql(connection: Connection) -> Iterator[str]:
+    """Yield SQL statements reconstructing the connection's database."""
+    database = connection._database
+    yield "BEGIN;"
+    for table in database.tables.values():
+        yield _create_table_sql(table, database)
+        columns = ", ".join(c.name for c in table.columns)
+        for _rowid, row in sorted(table.scan()):
+            values = ", ".join(_render_value(v) for v in row)
+            yield f"INSERT INTO {table.name} ({columns}) VALUES ({values});"
+    for index_name, owner in database.index_owner.items():
+        if index_name.startswith("__"):
+            continue  # implicit PK/UNIQUE indexes are recreated by DDL
+        table = database.tables.get(owner)
+        if table is None:
+            continue
+        index = table.indexes[index_name]
+        unique = "UNIQUE " if index.unique else ""
+        columns = ", ".join(index.column_names)
+        yield (
+            f"CREATE {unique}INDEX {index.name} ON {table.name} ({columns});"
+        )
+    yield "COMMIT;"
+
+
+def _create_table_sql(table, database) -> str:
+    parts = []
+    for column in table.columns:
+        bits = [column.name, column.affinity]
+        if column.primary_key:
+            bits.append("PRIMARY KEY")
+            if column.autoincrement:
+                bits.append("AUTOINCREMENT")
+        elif column.not_null:
+            bits.append("NOT NULL")
+        if column.default is not None:
+            bits.append(f"DEFAULT {_render_value(column.default)}")
+        if column.references is not None:
+            ref_table, ref_column = column.references
+            bits.append(f"REFERENCES {ref_table}({ref_column})")
+        parts.append(" ".join(bits))
+    return f"CREATE TABLE {table.name} ({', '.join(parts)});"
+
+
+def _render_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def save_database(connection: Connection, path: str | os.PathLike) -> Path:
+    """Write the database to ``path`` as a SQL script."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write("-- MiniSQL dump\n")
+        for statement in dump_sql(connection):
+            fh.write(statement + "\n")
+    return out
+
+
+def load_database(connection: Connection, path: str | os.PathLike) -> int:
+    """Execute a dump script into ``connection``; returns statement count.
+
+    The target database should be empty (restores do not merge).
+    """
+    script = Path(path).read_text(encoding="utf-8")
+    statements = [
+        line for line in script.splitlines()
+        if line.strip() and not line.lstrip().startswith("--")
+    ]
+    connection.executescript("\n".join(statements))
+    return len(statements)

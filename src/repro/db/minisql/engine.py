@@ -1,0 +1,304 @@
+"""DB-API 2.0 style front end for MiniSQL.
+
+``connect()`` returns a :class:`Connection` whose cursors behave like
+sqlite3 cursors: ``execute(sql, params)``, ``executemany``,
+``fetchone/fetchmany/fetchall``, ``description``, ``lastrowid``,
+``rowcount``, iteration.  Parsed statements are cached by SQL text so
+``executemany`` and repeated prepared statements skip the parser — the
+difference is ~20x on PerfDMF's bulk-insert path.
+
+Connections support sqlite3-compatible *deferred* transactions: the
+first mutating statement implicitly begins a transaction, and
+``commit()``/``rollback()`` end it.  ``isolation_level=None`` gives
+autocommit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Optional, Sequence
+
+from .ast_nodes import (
+    BeginTransaction, CommitTransaction, Delete, Insert, RollbackTransaction,
+    Select, Statement, Update,
+)
+from .errors import InterfaceError, ProgrammingError
+from .executor import Executor, ResultSet
+from .parser import parse
+from .storage import Database
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+_MUTATING = (Insert, Update, Delete)
+
+#: Shared in-memory databases, keyed by name — mirrors sqlite's
+#: ``file::memory:?cache=shared`` so several connections can see one DB
+#: (PerfExplorer's server threads use this).
+_SHARED_DATABASES: dict[str, Database] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> "Connection":
+    """Open a MiniSQL connection.
+
+    ``":memory:"`` creates a fresh private database.  Any other name
+    refers to a named shared in-memory database: connections passing the
+    same name share one catalog (MiniSQL has no disk persistence — the
+    PerfDMF configuration layer treats it as an ephemeral engine).
+    """
+    if database == ":memory:":
+        db = Database()
+    else:
+        with _SHARED_LOCK:
+            db = _SHARED_DATABASES.setdefault(database, Database())
+    return Connection(db, isolation_level=isolation_level)
+
+
+def reset_shared_databases() -> None:
+    """Drop all named shared databases (test isolation helper)."""
+    with _SHARED_LOCK:
+        _SHARED_DATABASES.clear()
+
+
+class Connection:
+    """One client connection to a MiniSQL database."""
+
+    def __init__(self, database: Database, isolation_level: Optional[str] = ""):
+        self._database = database
+        self._executor = Executor(database)
+        self._closed = False
+        self._statement_cache: dict[str, list[Statement]] = {}
+        self._lock = threading.RLock()
+        self.isolation_level = isolation_level  # None = autocommit
+        self.in_transaction = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            if self.in_transaction:
+                self.rollback()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProgrammingError("cannot operate on a closed connection")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+
+    # -- transactions --------------------------------------------------------
+
+    def _begin_transaction(self) -> None:
+        """Start a transaction, waiting for the database writer lock.
+
+        Named shared databases may have several connections; like
+        sqlite's database-level lock, only one transaction runs at a
+        time and others block until commit/rollback.
+        """
+        if self.in_transaction:
+            return
+        self._database.txn_lock.acquire()
+        self._database.begin()
+        self.in_transaction = True
+
+    def commit(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self.in_transaction:
+                self._database.commit()
+                self.in_transaction = False
+                self._database.txn_lock.release()
+
+    def rollback(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self.in_transaction:
+                self._database.rollback()
+                self.in_transaction = False
+                self._database.txn_lock.release()
+
+    # -- cursors ---------------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params: Iterator[Sequence[Any]]) -> "Cursor":
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def executescript(self, script: str) -> "Cursor":
+        cursor = self.cursor()
+        self.commit()
+        for statement in self._parse(script):
+            self._run(statement, (), cursor)
+        self.commit()
+        return cursor
+
+    # -- internals ----------------------------------------------------------------
+
+    def _parse(self, sql: str) -> list[Statement]:
+        cached = self._statement_cache.get(sql)
+        if cached is None:
+            cached = parse(sql)
+            if len(self._statement_cache) > 512:
+                self._statement_cache.clear()
+            self._statement_cache[sql] = cached
+        return cached
+
+    def _run(self, statement: Statement, params: Sequence[Any], cursor: "Cursor") -> ResultSet:
+        with self._lock:
+            if isinstance(statement, BeginTransaction):
+                self._begin_transaction()
+                return ResultSet([], [], rowcount=0)
+            if isinstance(statement, CommitTransaction):
+                self.commit()
+                return ResultSet([], [], rowcount=0)
+            if isinstance(statement, RollbackTransaction):
+                self.rollback()
+                return ResultSet([], [], rowcount=0)
+            if (
+                isinstance(statement, _MUTATING)
+                and self.isolation_level is not None
+            ):
+                self._begin_transaction()
+            return self._executor.execute(statement, params)
+
+
+class Cursor:
+    """sqlite3-compatible cursor."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self._rows: list[tuple[Any, ...]] = []
+        self._cursor_index = 0
+        self.description: Optional[list[tuple]] = None
+        self.rowcount = -1
+        self.lastrowid: Optional[int] = None
+        self._closed = False
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        if isinstance(params, (str, bytes)):
+            raise InterfaceError("parameters must be a sequence, not a string")
+        statements = self.connection._parse(sql)
+        if len(statements) != 1:
+            raise ProgrammingError(
+                "execute() accepts exactly one statement; use executescript()"
+            )
+        result = self.connection._run(statements[0], tuple(params), self)
+        self._install(result)
+        return self
+
+    def executemany(self, sql: str, seq_of_params) -> "Cursor":
+        self._check_open()
+        statements = self.connection._parse(sql)
+        if len(statements) != 1:
+            raise ProgrammingError("executemany() accepts exactly one statement")
+        statement = statements[0]
+        if isinstance(statement, Select):
+            raise ProgrammingError("executemany() cannot be used with SELECT")
+        connection = self.connection
+        if (
+            isinstance(statement, Insert)
+            and statement.select is None
+            and len(statement.rows) == 1
+        ):
+            # Bulk-insert fast path: one lock acquisition, one dispatch.
+            with connection._lock:
+                if connection.isolation_level is not None:
+                    connection._begin_transaction()
+                result = connection._executor.execute_insert_batch(
+                    statement, seq_of_params
+                )
+            self._install(result)
+            return self
+        total = 0
+        result = None
+        for params in seq_of_params:
+            result = self.connection._run(statement, tuple(params), self)
+            if result.rowcount > 0:
+                total += result.rowcount
+        if result is None:
+            result = ResultSet([], [], rowcount=0)
+        result.rowcount = total
+        self._install(result)
+        return self
+
+    def executescript(self, script: str) -> "Cursor":
+        self.connection.executescript(script)
+        return self
+
+    def _install(self, result: ResultSet) -> None:
+        self._rows = result.rows
+        self._cursor_index = 0
+        self.rowcount = result.rowcount
+        if result.lastrowid is not None:
+            self.lastrowid = result.lastrowid
+        if result.columns:
+            self.description = [
+                (name, None, None, None, None, None, None) for name in result.columns
+            ]
+        else:
+            self.description = None
+
+    # -- fetching -------------------------------------------------------------
+
+    def fetchone(self) -> Optional[tuple[Any, ...]]:
+        self._check_open()
+        if self._cursor_index >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple[Any, ...]]:
+        self._check_open()
+        if size is None:
+            size = self.arraysize
+        chunk = self._rows[self._cursor_index : self._cursor_index + size]
+        self._cursor_index += len(chunk)
+        return list(chunk)
+
+    def fetchall(self) -> list[tuple[Any, ...]]:
+        self._check_open()
+        chunk = self._rows[self._cursor_index :]
+        self._cursor_index = len(self._rows)
+        return list(chunk)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProgrammingError("cannot operate on a closed cursor")
+        self.connection._check_open()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the MiniSQL engine.
+
+MiniSQL follows the DB-API 2.0 exception layering so that code written
+against :mod:`repro.db.api` can catch the same exception classes
+regardless of whether the sqlite3 or the MiniSQL backend is active.
+"""
+
+from __future__ import annotations
+
+
+class MiniSQLError(Exception):  # noqa: N818 - matches DB-API naming
+    """Base class for every error raised by the MiniSQL engine."""
+
+
+class Warning(MiniSQLError):  # noqa: A001 - DB-API 2.0 mandated name
+    """Important warnings such as data truncation on insert."""
+
+
+class InterfaceError(MiniSQLError):
+    """Errors related to the database interface rather than the engine."""
+
+
+class DatabaseError(MiniSQLError):
+    """Base class for errors related to the database itself."""
+
+
+class DataError(DatabaseError):
+    """Problems with processed data (division by zero, bad casts, ...)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors related to the database operation (missing table, ...)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations (NOT NULL, UNIQUE, FK, ...)."""
+
+
+class InternalError(DatabaseError):
+    """Engine-internal inconsistencies; these indicate MiniSQL bugs."""
+
+
+class ProgrammingError(DatabaseError):
+    """SQL syntax errors, wrong parameter counts, misuse of the API."""
+
+
+class NotSupportedError(DatabaseError):
+    """Valid SQL that MiniSQL deliberately does not implement."""
+
+
+class SQLSyntaxError(ProgrammingError):
+    """A syntax error, carrying position information from the lexer."""
+
+    def __init__(self, message: str, position: int = -1, sql: str = ""):
+        self.position = position
+        self.sql = sql
+        if position >= 0 and sql:
+            line = sql.count("\n", 0, position) + 1
+            col = position - (sql.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)

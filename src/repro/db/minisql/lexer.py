@@ -1,0 +1,153 @@
+"""Hand-written lexer for the MiniSQL dialect.
+
+The lexer converts SQL text into a flat list of :class:`Token` objects.
+It understands:
+
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* single-quoted string literals with ``''`` escaping,
+* double-quoted *identifiers* (so reserved words can name columns),
+* integer and floating point literals (including ``1e-3`` notation),
+* ``?`` positional placeholders,
+* the operator and punctuation sets from :mod:`repro.db.minisql.tokens`.
+"""
+
+from __future__ import annotations
+
+from .errors import SQLSyntaxError
+from .tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_SPACE = frozenset(" \t\r\n\f\v")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` and return the token list terminated by EOF."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in _SPACE:
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise SQLSyntaxError("unterminated block comment", i, sql)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i2 = _scan_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            i = i2
+            continue
+        if ch == '"':
+            value, i2 = _scan_quoted_identifier(sql, i)
+            tokens.append(Token(TokenType.IDENTIFIER, value, i))
+            i = i2
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and sql[i + 1] in _DIGITS):
+            value, i2 = _scan_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = i2
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < n and sql[j] in _IDENT_CONT:
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", i))
+            i += 1
+            continue
+        op = _match_operator(sql, i)
+        if op is not None:
+            tokens.append(Token(TokenType.OPERATOR, op, i))
+            i += len(op)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i, sql)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _scan_string(sql: str, start: int) -> tuple[str, int]:
+    """Scan a single-quoted literal beginning at ``start``; '' escapes '."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", start, sql)
+
+
+def _scan_quoted_identifier(sql: str, start: int) -> tuple[str, int]:
+    """Scan a double-quoted identifier; "" escapes a literal quote."""
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == '"':
+            if i + 1 < n and sql[i + 1] == '"':
+                parts.append('"')
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated quoted identifier", start, sql)
+
+
+def _scan_number(sql: str, start: int) -> tuple[str, int]:
+    """Scan an integer or float literal (``12``, ``1.5``, ``.5``, ``2e10``)."""
+    i = start
+    n = len(sql)
+    while i < n and sql[i] in _DIGITS:
+        i += 1
+    if i < n and sql[i] == ".":
+        i += 1
+        while i < n and sql[i] in _DIGITS:
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j] in _DIGITS:
+            i = j
+            while i < n and sql[i] in _DIGITS:
+                i += 1
+    return sql[start:i], i
+
+
+def _match_operator(sql: str, i: int) -> str | None:
+    for op in OPERATORS:
+        if sql.startswith(op, i):
+            return op
+    return None

@@ -1,0 +1,425 @@
+"""In-memory storage engine for MiniSQL: tables, rows, indexes, undo log.
+
+Rows are stored as Python lists inside a per-table list; a row's identity
+is its position-independent ``rowid``.  Secondary hash indexes map a
+tuple of column values to the set of rowids holding that tuple; they
+accelerate equality lookups (the planner consults them) and enforce
+UNIQUE constraints.
+
+Transactions are implemented with an undo log: every mutation appends an
+inverse operation, and ROLLBACK replays the log backwards.  This keeps
+the hot path (bulk INSERT during profile load) allocation-light, which
+matters for PerfDMF's 1.6M-datapoint trials.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from .ast_nodes import ColumnDef
+from .errors import IntegrityError, OperationalError, ProgrammingError
+from .types import coerce
+
+#: Sentinel marking a column omitted from an INSERT column list.  Unlike
+#: an explicit NULL, an omitted column receives its DEFAULT (and NOT
+#: NULL is checked after defaulting), matching standard SQL.
+OMITTED = object()
+
+
+@dataclass
+class Column:
+    """Schema entry for one table column."""
+
+    name: str
+    affinity: str
+    not_null: bool = False
+    primary_key: bool = False
+    autoincrement: bool = False
+    default: Any = None
+    references: Optional[tuple[str, str]] = None
+
+    @property
+    def lower_name(self) -> str:
+        return self.name.lower()
+
+
+class Index:
+    """A hash index over one or more columns.
+
+    ``unique`` indexes reject duplicate non-NULL keys.  Keys containing a
+    NULL are never considered duplicates (SQL UNIQUE semantics).
+    """
+
+    def __init__(self, name: str, table: "Table", columns: list[str], unique: bool):
+        self.name = name
+        self.table = table
+        self.column_positions = [table.position_of(c) for c in columns]
+        self.column_names = [table.columns[p].name for p in self.column_positions]
+        self.unique = unique
+        self.map: dict[tuple[Any, ...], set[int]] = {}
+
+    def key_for(self, row: list[Any]) -> tuple[Any, ...]:
+        return tuple(row[p] for p in self.column_positions)
+
+    def insert(self, rowid: int, row: list[Any]) -> None:
+        key = self.key_for(row)
+        bucket = self.map.get(key)
+        if bucket is None:
+            self.map[key] = {rowid}
+            return
+        if self.unique and None not in key and bucket:
+            raise IntegrityError(
+                f"UNIQUE constraint failed: "
+                f"{self.table.name}({', '.join(self.column_names)})"
+            )
+        bucket.add(rowid)
+
+    def check(self, row: list[Any]) -> None:
+        """Raise if inserting ``row`` would violate uniqueness."""
+        if not self.unique:
+            return
+        key = self.key_for(row)
+        if None in key:
+            return
+        if self.map.get(key):
+            raise IntegrityError(
+                f"UNIQUE constraint failed: "
+                f"{self.table.name}({', '.join(self.column_names)})"
+            )
+
+    def remove(self, rowid: int, row: list[Any]) -> None:
+        key = self.key_for(row)
+        bucket = self.map.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self.map[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> set[int]:
+        return self.map.get(key, set())
+
+    def rebuild(self) -> None:
+        self.map.clear()
+        for rowid, row in self.table.rows.items():
+            self.insert(rowid, row)
+
+
+class Table:
+    """One table: schema + row store + attached indexes."""
+
+    def __init__(self, name: str, columns: list[Column]):
+        self.name = name
+        self.columns = columns
+        self.rows: dict[int, list[Any]] = {}
+        self.indexes: dict[str, Index] = {}
+        self._positions = {c.lower_name: i for i, c in enumerate(columns)}
+        self._rowid_counter = itertools.count(1)
+        self.last_autoincrement = 0
+        # implicit unique index for single-column INTEGER PRIMARY KEY
+        self._pk_positions = [
+            i for i, c in enumerate(columns) if c.primary_key
+        ]
+
+    # -- schema ------------------------------------------------------------
+
+    def position_of(self, column_name: str) -> int:
+        try:
+            return self._positions[column_name.lower()]
+        except KeyError:
+            raise OperationalError(
+                f"table {self.name} has no column named {column_name}"
+            ) from None
+
+    def has_column(self, column_name: str) -> bool:
+        return column_name.lower() in self._positions
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def add_column(self, column: Column) -> None:
+        if self.has_column(column.name):
+            raise OperationalError(
+                f"duplicate column name: {column.name} in table {self.name}"
+            )
+        self.columns.append(column)
+        self._positions[column.lower_name] = len(self.columns) - 1
+        for row in self.rows.values():
+            row.append(column.default)
+
+    # -- row operations ------------------------------------------------------
+
+    def next_rowid(self) -> int:
+        return next(self._rowid_counter)
+
+    def insert_row(self, row: list[Any]) -> int:
+        """Validate constraints, apply affinity, store; returns rowid."""
+        if len(row) != len(self.columns):
+            raise ProgrammingError(
+                f"table {self.name} has {len(self.columns)} columns but "
+                f"{len(row)} values were supplied"
+            )
+        prepared = self._prepare(row)
+        for index in self.indexes.values():
+            index.check(prepared)
+        rowid = self.next_rowid()
+        self.rows[rowid] = prepared
+        for index in self.indexes.values():
+            index.insert(rowid, prepared)
+        return rowid
+
+    def _is_rowid_column(self, column: Column) -> bool:
+        return column.autoincrement or (
+            column.primary_key
+            and column.affinity == "INTEGER"
+            and len(self._pk_positions) == 1
+        )
+
+    def _prepare(self, row: list[Any]) -> list[Any]:
+        prepared = list(row)
+        for i, column in enumerate(self.columns):
+            value = prepared[i]
+            if value is OMITTED:
+                if self._is_rowid_column(column):
+                    value = self.last_autoincrement + 1
+                elif column.default is not None:
+                    value = column.default
+                elif column.not_null:
+                    raise IntegrityError(
+                        f"NOT NULL constraint failed: {self.name}.{column.name}"
+                    )
+                else:
+                    value = None
+            elif value is None:
+                # Explicit NULL: integer primary keys auto-assign (sqlite
+                # semantics); NOT NULL columns reject it; defaults do NOT
+                # apply.
+                if self._is_rowid_column(column):
+                    value = self.last_autoincrement + 1
+                elif column.not_null:
+                    raise IntegrityError(
+                        f"NOT NULL constraint failed: {self.name}.{column.name}"
+                    )
+            if value is not None:
+                value = coerce(value, column.affinity, f"{self.name}.{column.name}")
+            if (
+                column.affinity == "INTEGER"
+                and column.primary_key
+                and isinstance(value, int)
+                and value > self.last_autoincrement
+            ):
+                self.last_autoincrement = value
+            prepared[i] = value
+        return prepared
+
+    def delete_row(self, rowid: int) -> list[Any]:
+        row = self.rows.pop(rowid)
+        for index in self.indexes.values():
+            index.remove(rowid, row)
+        return row
+
+    def update_row(self, rowid: int, new_values: dict[int, Any]) -> list[Any]:
+        """Apply ``{position: value}`` updates; returns the OLD row copy."""
+        row = self.rows[rowid]
+        old = list(row)
+        candidate = list(row)
+        for position, value in new_values.items():
+            column = self.columns[position]
+            if value is None and column.not_null:
+                raise IntegrityError(
+                    f"NOT NULL constraint failed: {self.name}.{column.name}"
+                )
+            if value is not None:
+                value = coerce(value, column.affinity, f"{self.name}.{column.name}")
+            candidate[position] = value
+        for index in self.indexes.values():
+            # Only re-check indexes whose key changed.
+            if index.key_for(old) != index.key_for(candidate):
+                index.remove(rowid, old)
+                try:
+                    index.check(candidate)
+                except IntegrityError:
+                    index.insert(rowid, old)
+                    raise
+                index.insert(rowid, candidate)
+        self.rows[rowid] = candidate
+        return old
+
+    def restore_row(self, rowid: int, row: list[Any]) -> None:
+        """Undo helper: put a deleted row back verbatim."""
+        self.rows[rowid] = row
+        for index in self.indexes.values():
+            index.insert(rowid, row)
+
+    def scan(self) -> Iterator[tuple[int, list[Any]]]:
+        return iter(self.rows.items())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """Top-level catalog: tables, indexes, foreign keys, undo log.
+
+    The undo log stores plain tuples rather than closures — at PerfDMF
+    bulk-load scale (millions of inserts inside one transaction) the
+    per-record allocation cost of a lambda is measurable.
+    Record shapes::
+
+        ("ins", table, rowid)              # undo: delete the row
+        ("del", table, rowid, row)         # undo: restore the row
+        ("upd", table, rowid, positions)   # undo: re-apply old values
+        ("mk_table", key)                  # undo: remove created table
+        ("rm_table", key, table)           # undo: re-attach dropped table
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.index_owner: dict[str, str] = {}  # index name -> table name
+        self.foreign_keys: dict[str, list[tuple[list[str], str, list[str]]]] = {}
+        self.in_transaction = False
+        self._undo: list[tuple] = []
+        # Serialises writers on shared databases: a connection holds this
+        # for the duration of its transaction (sqlite's database lock).
+        self.txn_lock = __import__("threading").Lock()
+
+    # -- catalog --------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise OperationalError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def create_table(self, name: str, columns: list[Column]) -> Table:
+        key = name.lower()
+        if key in self.tables:
+            raise OperationalError(f"table {name} already exists")
+        seen: set[str] = set()
+        for column in columns:
+            if column.lower_name in seen:
+                raise OperationalError(f"duplicate column name: {column.name}")
+            seen.add(column.lower_name)
+        table = Table(name, columns)
+        self.tables[key] = table
+        if self.in_transaction:
+            self._undo.append(("mk_table", key))
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        table = self.table(name)
+        for index_name in list(table.indexes):
+            self.index_owner.pop(index_name.lower(), None)
+        del self.tables[key]
+        self.foreign_keys.pop(key, None)
+        if self.in_transaction:
+            self._undo.append(("rm_table", key, table))
+
+    def rename_table(self, name: str, new_name: str) -> None:
+        key = name.lower()
+        new_key = new_name.lower()
+        if new_key in self.tables:
+            raise OperationalError(f"table {new_name} already exists")
+        table = self.table(name)
+        del self.tables[key]
+        table.name = new_name
+        self.tables[new_key] = table
+        for index_name, owner in list(self.index_owner.items()):
+            if owner == key:
+                self.index_owner[index_name] = new_key
+
+    def create_index(
+        self, name: str, table_name: str, columns: list[str], unique: bool
+    ) -> Index:
+        key = name.lower()
+        if key in self.index_owner:
+            raise OperationalError(f"index {name} already exists")
+        table = self.table(table_name)
+        index = Index(name, table, columns, unique)
+        index.rebuild()
+        table.indexes[key] = index
+        self.index_owner[key] = table_name.lower()
+        if self.in_transaction:
+            self._undo.append(("mk_index", key, table_name.lower()))
+        return index
+
+    def drop_index(self, name: str) -> None:
+        key = name.lower()
+        owner = self.index_owner.pop(key, None)
+        if owner is None:
+            raise OperationalError(f"no such index: {name}")
+        table = self.tables.get(owner)
+        if table is not None:
+            table.indexes.pop(key, None)
+
+    def register_foreign_keys(
+        self, table_name: str, specs: list[tuple[list[str], str, list[str]]]
+    ) -> None:
+        self.foreign_keys.setdefault(table_name.lower(), []).extend(specs)
+
+    # -- transactional mutation -------------------------------------------------
+
+    def begin(self) -> None:
+        if self.in_transaction:
+            raise OperationalError("cannot start a transaction within a transaction")
+        self.in_transaction = True
+        self._undo.clear()
+
+    def commit(self) -> None:
+        self.in_transaction = False
+        self._undo.clear()
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            self._undo.clear()
+            return
+        for record in reversed(self._undo):
+            op = record[0]
+            if op == "ins":
+                record[1].delete_row(record[2])
+            elif op == "del":
+                record[1].restore_row(record[2], record[3])
+            elif op == "upd":
+                record[1].update_row(record[2], record[3])
+            elif op == "mk_table":
+                self.tables.pop(record[1], None)
+                # purge index registrations owned by the undone table
+                for index_name, owner in list(self.index_owner.items()):
+                    if owner == record[1]:
+                        del self.index_owner[index_name]
+                self.foreign_keys.pop(record[1], None)
+            elif op == "rm_table":
+                self.tables[record[1]] = record[2]
+                table = record[2]
+                for index_name in table.indexes:
+                    self.index_owner[index_name] = record[1]
+            elif op == "mk_index":
+                index_name, owner = record[1], record[2]
+                self.index_owner.pop(index_name, None)
+                table = self.tables.get(owner)
+                if table is not None:
+                    table.indexes.pop(index_name, None)
+        self._undo.clear()
+        self.in_transaction = False
+
+    def insert(self, table: Table, row: list[Any]) -> int:
+        rowid = table.insert_row(row)
+        if self.in_transaction:
+            self._undo.append(("ins", table, rowid))
+        return rowid
+
+    def delete(self, table: Table, rowid: int) -> None:
+        row = table.delete_row(rowid)
+        if self.in_transaction:
+            self._undo.append(("del", table, rowid, row))
+
+    def update(self, table: Table, rowid: int, new_values: dict[int, Any]) -> None:
+        old = table.update_row(rowid, new_values)
+        if self.in_transaction:
+            self._undo.append(("upd", table, rowid, {i: old[i] for i in new_values}))

@@ -1,0 +1,70 @@
+"""Token definitions for the MiniSQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.db.minisql.lexer.Lexer`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    PLACEHOLDER = "placeholder"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the parser.  Matching is case-insensitive;
+#: the lexer upper-cases keyword lexemes.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "LIMIT", "OFFSET", "ASC", "DESC", "AS", "DISTINCT", "ALL",
+        "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+        "CREATE", "TABLE", "DROP", "INDEX", "ON", "IF", "EXISTS",
+        "NOT", "NULL", "PRIMARY", "KEY", "UNIQUE", "FOREIGN",
+        "REFERENCES", "DEFAULT", "AUTOINCREMENT", "CHECK",
+        "AND", "OR", "IN", "IS", "LIKE", "BETWEEN", "CASE", "WHEN",
+        "THEN", "ELSE", "END", "CAST", "JOIN", "INNER", "LEFT",
+        "RIGHT", "OUTER", "CROSS", "UNION", "EXCEPT", "INTERSECT",
+        "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
+        "INTEGER", "INT", "BIGINT", "SMALLINT", "REAL", "DOUBLE",
+        "FLOAT", "PRECISION", "TEXT", "VARCHAR", "CHAR", "BOOLEAN",
+        "BLOB", "NUMERIC", "DECIMAL", "TRUE", "FALSE", "ALTER",
+        "ADD", "COLUMN", "RENAME", "TO", "PRAGMA", "EXPLAIN",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can scan greedily.
+OPERATORS = ("<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload: keyword lexemes are upper-cased,
+    string literals have quotes stripped and doubled quotes collapsed,
+    numbers remain text (the parser converts to int/float).
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        """Return True when this token has type ``ttype`` (and ``value``)."""
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"

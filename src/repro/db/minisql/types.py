@@ -1,0 +1,192 @@
+"""MiniSQL type system.
+
+MiniSQL uses a small affinity-based type system deliberately close to
+SQLite's so the two backends behave identically for PerfDMF's schema:
+
+* ``INTEGER`` — Python ``int``
+* ``REAL`` — Python ``float``
+* ``TEXT`` — Python ``str``
+* ``BOOLEAN`` — stored as ``int`` 0/1 (comparisons treat them as ints)
+* ``NUMERIC`` — int when lossless, else float
+
+NULL is represented by Python ``None`` throughout the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import DataError
+
+#: Mapping from every accepted SQL type keyword to its canonical affinity.
+_CANONICAL = {
+    "INTEGER": "INTEGER",
+    "INT": "INTEGER",
+    "BIGINT": "INTEGER",
+    "SMALLINT": "INTEGER",
+    "REAL": "REAL",
+    "DOUBLE": "REAL",
+    "DOUBLE PRECISION": "REAL",
+    "FLOAT": "REAL",
+    "TEXT": "TEXT",
+    "VARCHAR": "TEXT",
+    "CHAR": "TEXT",
+    "BLOB": "TEXT",
+    "BOOLEAN": "BOOLEAN",
+    "NUMERIC": "NUMERIC",
+    "DECIMAL": "NUMERIC",
+}
+
+
+def canonical_type(name: str) -> str:
+    """Normalise a SQL type keyword (``VARCHAR(255)`` -> ``TEXT``)."""
+    base = name.upper().split("(", 1)[0].strip()
+    try:
+        return _CANONICAL[base]
+    except KeyError:
+        raise DataError(f"unknown column type {name!r}") from None
+
+
+def coerce(value: Any, affinity: str, column: str = "?") -> Any:
+    """Coerce ``value`` to ``affinity`` on insert/update.
+
+    Follows SQLite's lenient affinity rules: numeric strings convert to
+    numbers for numeric affinities, numbers convert to text for TEXT,
+    and anything failing conversion raises :class:`DataError`.
+    """
+    if value is None:
+        return None
+    if affinity == "INTEGER":
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            if value.is_integer():
+                return int(value)
+            return value  # sqlite keeps the float; so do we
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                try:
+                    return float(value)
+                except ValueError:
+                    return value
+        raise DataError(f"cannot store {type(value).__name__} in INTEGER column {column}")
+    if affinity == "REAL":
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                return value
+        raise DataError(f"cannot store {type(value).__name__} in REAL column {column}")
+    if affinity == "NUMERIC":
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            return int(value) if value.is_integer() else value
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                try:
+                    return float(value)
+                except ValueError:
+                    return value
+        raise DataError(f"cannot store {type(value).__name__} in NUMERIC column {column}")
+    if affinity == "BOOLEAN":
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return 1 if value else 0
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "t", "1", "yes"):
+                return 1
+            if lowered in ("false", "f", "0", "no"):
+                return 0
+        raise DataError(f"cannot store {value!r} in BOOLEAN column {column}")
+    if affinity == "TEXT":
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, (int, float)):
+            return _number_to_text(value)
+        if isinstance(value, bytes):
+            return value.decode("utf-8", "replace")
+        raise DataError(f"cannot store {type(value).__name__} in TEXT column {column}")
+    raise DataError(f"unknown affinity {affinity!r}")
+
+
+def cast_value(value: Any, target: str) -> Any:
+    """Implement ``CAST(expr AS type)`` semantics."""
+    if value is None:
+        return None
+    affinity = canonical_type(target)
+    if affinity == "INTEGER":
+        if isinstance(value, str):
+            try:
+                return int(float(value))
+            except ValueError:
+                return 0  # sqlite semantics: non-numeric text casts to 0
+        if isinstance(value, float):
+            return int(value)
+        if isinstance(value, (int, bool)):
+            return int(value)
+    if affinity in ("REAL", "NUMERIC"):
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                return 0.0
+        return float(value)
+    if affinity == "BOOLEAN":
+        return 1 if value else 0
+    if affinity == "TEXT":
+        if isinstance(value, (int, float)):
+            return _number_to_text(value)
+        return str(value)
+    raise DataError(f"cannot CAST to {target!r}")
+
+
+def _number_to_text(value: int | float) -> str:
+    """Render a number the way sqlite renders it when coerced to TEXT.
+
+    sqlite uses ``%!0.15g``: 15 significant digits, and always at least
+    one digit after the decimal point ('3.0', '1.0e+15').
+    """
+    if isinstance(value, int):
+        return str(value)
+    if value == 0.0:
+        value = 0.0  # sqlite renders -0.0 as '0.0'
+    text = format(value, ".15g")
+    if "e" in text or "E" in text:
+        mantissa, _, exponent = text.partition("e")
+        if "." not in mantissa:
+            mantissa += ".0"
+        return f"{mantissa}e{exponent}"
+    if "." not in text and "inf" not in text and "nan" not in text:
+        text += ".0"
+    return text
+
+
+#: Total ordering used by ORDER BY / MIN / MAX when values have mixed
+#: types.  NULL sorts first, then numbers, then text (SQLite's rule).
+def sort_key(value: Any) -> tuple[int, Any]:
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))

@@ -1,0 +1,79 @@
+"""A small thread-safe connection pool.
+
+PerfExplorer's analysis server handles concurrent client requests; each
+worker borrows a connection from a pool instead of opening its own
+(paper §5.3's client-server design).  For file-backed sqlite the pool
+amortises open/close cost; for named MiniSQL databases every pooled
+connection shares the same in-memory catalog.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from .api import DBConnection, connect
+
+
+class ConnectionPool:
+    """Fixed-capacity pool of :class:`DBConnection` objects."""
+
+    def __init__(self, url: str, size: int = 4):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.url = url
+        self.size = size
+        self._idle: queue.LifoQueue[DBConnection] = queue.LifoQueue(maxsize=size)
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self, timeout: float | None = None) -> DBConnection:
+        """Borrow a connection, creating one lazily up to ``size``."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self.size:
+                self._created += 1
+                return connect(self.url)
+        return self._idle.get(timeout=timeout)
+
+    def release(self, connection: DBConnection) -> None:
+        """Return a borrowed connection to the pool."""
+        if self._closed:
+            connection.close()
+            return
+        try:
+            self._idle.put_nowait(connection)
+        except queue.Full:  # over-released; drop it
+            connection.close()
+
+    @contextmanager
+    def connection(self, timeout: float | None = None) -> Iterator[DBConnection]:
+        """``with pool.connection() as conn:`` borrow/return helper."""
+        conn = self.acquire(timeout=timeout)
+        try:
+            yield conn
+        finally:
+            self.release(conn)
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further acquires."""
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                return
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

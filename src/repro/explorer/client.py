@@ -1,0 +1,131 @@
+"""The PerfExplorer client.
+
+*"Using the PerfExplorer client, the analyst selects a particular trial
+of interest, sets analysis parameters, and then requests data mining
+operations on the parallel dataset"* (§5.3).  The client is a thin
+remote proxy: every call becomes one protocol request; results arrive
+as plain dicts/lists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Optional
+
+from .protocol import MessageStream, ProtocolError
+
+
+class AnalysisError(RuntimeError):
+    """An error reported by the analysis server."""
+
+
+class PerfExplorerClient:
+    """A connected PerfExplorer client."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = MessageStream(sock)
+        self._ids = itertools.count(1)
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def call(self, rpc_method: str, /, **params: Any) -> Any:
+        request_id = next(self._ids)
+        self._stream.send(
+            {"id": request_id, "method": rpc_method, "params": params}
+        )
+        response = self._stream.receive(timeout=self.timeout)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')} != request id {request_id}"
+            )
+        if "error" in response:
+            raise AnalysisError(response["error"])
+        return response.get("result")
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "PerfExplorerClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the analyst-facing operations ----------------------------------------------
+
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def list_applications(self) -> list[dict[str, Any]]:
+        return self.call("list_applications")
+
+    def list_experiments(self, application: int) -> list[dict[str, Any]]:
+        return self.call("list_experiments", application=application)
+
+    def list_trials(self, experiment: int) -> list[dict[str, Any]]:
+        return self.call("list_trials", experiment=experiment)
+
+    def list_metrics(self, trial: int) -> list[str]:
+        return self.call("list_metrics", trial=trial)
+
+    def list_events(self, trial: int) -> list[dict[str, Any]]:
+        return self.call("list_events", trial=trial)
+
+    def cluster_trial(
+        self,
+        trial: int,
+        k: Optional[int] = None,
+        metric_name: Optional[str] = None,
+        max_k: int = 6,
+        seed: int = 0,
+        save: bool = True,
+        method: str = "kmeans",
+    ) -> dict[str, Any]:
+        return self.call(
+            "cluster_trial", trial=trial, k=k, metric_name=metric_name,
+            max_k=max_k, seed=seed, save=save, method=method,
+        )
+
+    def describe_event(
+        self, trial: int, event: str, metric_name: Optional[str] = None
+    ) -> dict[str, float]:
+        return self.call(
+            "describe_event", trial=trial, event=event, metric_name=metric_name
+        )
+
+    def correlate_events(
+        self, trial: int, event_x: str, event_y: str
+    ) -> dict[str, float]:
+        return self.call(
+            "correlate_events", trial=trial, event_x=event_x, event_y=event_y
+        )
+
+    def run_workflow(self, steps: list[dict[str, Any]]) -> dict[str, Any]:
+        return self.call("run_workflow", steps=steps)
+
+    def speedup_chart(
+        self, experiment: int, events: Optional[list[str]] = None
+    ) -> dict[str, Any]:
+        return self.call("speedup_chart", experiment=experiment, events=events)
+
+    def correlation_matrix(
+        self, trial: int, events: Optional[list[str]] = None
+    ) -> dict[str, Any]:
+        return self.call("correlation_matrix", trial=trial, events=events)
+
+    def group_fraction_chart(self, experiment: int) -> dict[str, Any]:
+        return self.call("group_fraction_chart", experiment=experiment)
+
+    def imbalance_chart(self, trial: int, top: int = 10) -> dict[str, Any]:
+        return self.call("imbalance_chart", trial=trial, top=top)
+
+    def list_analyses(self, trial: Optional[int] = None) -> list[dict[str, Any]]:
+        return self.call("list_analyses", trial=trial)
+
+    def get_analysis(self, settings_id: int) -> dict[str, Any]:
+        return self.call("get_analysis", settings_id=settings_id)

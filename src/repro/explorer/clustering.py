@@ -1,0 +1,306 @@
+"""Cluster analysis for parallel profiles (PerfExplorer's core, §5.3).
+
+*"Because current visualization tools are incapable of displaying
+thousands of data points with hundreds of dimensions in a meaningful
+way to a user, statistical analysis methods are used to perform cluster
+analysis on the data, and then do summarization of the clusters."*
+
+Implemented: feature-matrix construction from a trial (threads ×
+events), optional normalisation and PCA reduction, seeded k-means
+(k-means++ initialisation, Lloyd iterations), silhouette-based k
+selection, and per-cluster summarisation — the pipeline PerfExplorer
+delegated to R, rebuilt on numpy/scipy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.model import ColumnarTrial, DataSource
+from ..core.toolkit.stats import thread_metric_matrix
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one k-means run."""
+
+    k: int
+    labels: np.ndarray  # (n_threads,) cluster index per thread
+    centroids: np.ndarray  # (k, n_features)
+    inertia: float
+    feature_names: list[str]
+    silhouette: Optional[float] = None
+
+    @property
+    def sizes(self) -> list[int]:
+        return [int((self.labels == c).sum()) for c in range(self.k)]
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.nonzero(self.labels == cluster)[0]
+
+
+def build_feature_matrix(
+    source: DataSource | ColumnarTrial,
+    metric: int = 0,
+    normalise: str = "fraction",
+) -> tuple[np.ndarray, list[str]]:
+    """(threads × events) feature matrix for clustering.
+
+    ``normalise``:
+
+    * ``"fraction"`` — each thread's row divided by its row sum, so
+      clusters reflect *where* a thread spends time, not how long it
+      ran (PerfExplorer's default view);
+    * ``"zscore"`` — per-event standardisation;
+    * ``"none"`` — raw values.
+    """
+    matrix, names = thread_metric_matrix(source, metric)
+    if normalise == "fraction":
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            matrix = np.where(row_sums > 0, matrix / row_sums, 0.0)
+    elif normalise == "zscore":
+        mean = matrix.mean(axis=0, keepdims=True)
+        std = matrix.std(axis=0, keepdims=True)
+        safe_std = np.where(std > 0, std, 1.0)
+        matrix = np.where(std > 0, (matrix - mean) / safe_std, 0.0)
+    elif normalise != "none":
+        raise ValueError(f"unknown normalisation {normalise!r}")
+    return matrix, names
+
+
+def pca_reduce(
+    matrix: np.ndarray, components: int = 2
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project onto the top principal components.
+
+    Returns (projected data, component vectors, explained-variance
+    fractions).  Used both to shrink hundred-dimensional profiles before
+    clustering and for 2-D scatter summaries.
+    """
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    # economy SVD: threads may be many, events ~100
+    u, s, vt = np.linalg.svd(centered, full_matrices=False)
+    components = min(components, len(s))
+    projected = u[:, :components] * s[:components]
+    variance = s**2
+    explained = (
+        variance[:components] / variance.sum()
+        if variance.sum() > 0
+        else np.zeros(components)
+    )
+    return projected, vt[:components], explained
+
+
+def kmeans(
+    matrix: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Seeded k-means (k-means++ init, Lloyd iterations, vectorised).
+
+    Returns (labels, centroids, inertia).
+    """
+    n, _d = matrix.shape
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for {n} observations")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeanspp_init(matrix, k, rng)
+    labels = np.zeros(n, dtype=np.intp)
+    for _ in range(max_iterations):
+        distances = _sq_distances(matrix, centroids)
+        new_labels = distances.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for c in range(k):
+            members = matrix[new_labels == c]
+            if len(members):
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                # re-seed an empty cluster at the farthest point
+                farthest = distances.min(axis=1).argmax()
+                new_centroids[c] = matrix[farthest]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        labels = new_labels
+        if shift < tolerance:
+            break
+    inertia = float(_sq_distances(matrix, centroids).min(axis=1).sum())
+    return labels, centroids, inertia
+
+
+def _kmeanspp_init(matrix: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = matrix.shape[0]
+    centroids = [matrix[rng.integers(n)]]
+    for _ in range(1, k):
+        d2 = _sq_distances(matrix, np.asarray(centroids)).min(axis=1)
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(matrix[rng.integers(n)])
+            continue
+        probabilities = d2 / total
+        centroids.append(matrix[rng.choice(n, p=probabilities)])
+    return np.asarray(centroids)
+
+
+def _sq_distances(matrix: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    # ||x - c||^2 = ||x||^2 - 2 x·c + ||c||^2, vectorised
+    x2 = (matrix**2).sum(axis=1, keepdims=True)
+    c2 = (centroids**2).sum(axis=1)[None, :]
+    cross = matrix @ centroids.T
+    return np.maximum(x2 - 2 * cross + c2, 0.0)
+
+
+def silhouette_score(matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (sampled for very large inputs)."""
+    n = matrix.shape[0]
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return 0.0
+    if n > 2000:  # keep O(n^2) work bounded
+        rng = np.random.default_rng(0)
+        idx = rng.choice(n, 2000, replace=False)
+        matrix = matrix[idx]
+        labels = labels[idx]
+        n = 2000
+    distances = np.sqrt(_sq_distances(matrix, matrix))
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = distances[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for c in unique:
+            if c == labels[i]:
+                continue
+            mask = labels == c
+            if mask.any():
+                b = min(b, distances[i, mask].mean())
+        denom = max(a, b)
+        scores[i] = (b - a) / denom if denom > 0 else 0.0
+    return float(scores.mean())
+
+
+def cluster_trial(
+    source: DataSource | ColumnarTrial,
+    k: Optional[int] = None,
+    metric: int = 0,
+    max_k: int = 6,
+    seed: int = 0,
+    normalise: str = "fraction",
+    pca_components: Optional[int] = None,
+) -> ClusterResult:
+    """The full PerfExplorer clustering pipeline on one trial.
+
+    With ``k=None`` the best k in [2, max_k] is chosen by silhouette.
+    """
+    matrix, names = build_feature_matrix(source, metric, normalise)
+    if pca_components is not None:
+        matrix, _components, _explained = pca_reduce(matrix, pca_components)
+        names = [f"PC{i + 1}" for i in range(matrix.shape[1])]
+    if k is not None:
+        labels, centroids, inertia = kmeans(matrix, k, seed)
+        return ClusterResult(
+            k=k, labels=labels, centroids=centroids, inertia=inertia,
+            feature_names=names,
+            silhouette=silhouette_score(matrix, labels),
+        )
+    best: Optional[ClusterResult] = None
+    upper = min(max_k, matrix.shape[0] - 1)
+    for candidate in range(2, max(upper + 1, 3)):
+        labels, centroids, inertia = kmeans(matrix, candidate, seed)
+        score = silhouette_score(matrix, labels)
+        result = ClusterResult(
+            k=candidate, labels=labels, centroids=centroids,
+            inertia=inertia, feature_names=names, silhouette=score,
+        )
+        if best is None or (score or 0) > (best.silhouette or 0):
+            best = result
+    assert best is not None
+    return best
+
+
+def hierarchical_cluster(
+    source: DataSource | ColumnarTrial | np.ndarray,
+    k: int,
+    metric: int = 0,
+    method: str = "ward",
+    normalise: str = "fraction",
+) -> ClusterResult:
+    """Agglomerative clustering (PerfExplorer's second method).
+
+    Builds the scipy linkage over the thread feature matrix and cuts the
+    dendrogram at ``k`` clusters.  Centroids are recomputed from the
+    members so the result is interchangeable with the k-means output.
+    """
+    from scipy.cluster import hierarchy
+
+    if isinstance(source, np.ndarray):
+        matrix = source
+        names = [f"f{i}" for i in range(matrix.shape[1])]
+    else:
+        matrix, names = build_feature_matrix(source, metric, normalise)
+    n = matrix.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for {n} observations")
+    linkage = hierarchy.linkage(matrix, method=method)
+    labels = hierarchy.fcluster(linkage, t=k, criterion="maxclust") - 1
+    labels = labels.astype(np.intp)
+    actual_k = int(labels.max()) + 1
+    centroids = np.vstack(
+        [
+            matrix[labels == c].mean(axis=0)
+            if (labels == c).any()
+            else np.zeros(matrix.shape[1])
+            for c in range(actual_k)
+        ]
+    )
+    inertia = float(
+        sum(
+            ((matrix[labels == c] - centroids[c]) ** 2).sum()
+            for c in range(actual_k)
+        )
+    )
+    return ClusterResult(
+        k=actual_k,
+        labels=labels,
+        centroids=centroids,
+        inertia=inertia,
+        feature_names=names,
+        silhouette=silhouette_score(matrix, labels),
+    )
+
+
+def summarize_clusters(
+    result: ClusterResult, top_features: int = 5
+) -> list[dict]:
+    """Per-cluster summaries: size and most-distinguishing features.
+
+    Distinguishing features are those whose centroid value deviates most
+    from the global mean — the "summarization of the clusters" the paper
+    describes as PerfExplorer's output.
+    """
+    global_mean = result.centroids.mean(axis=0)
+    summaries = []
+    for c in range(result.k):
+        deviation = result.centroids[c] - global_mean
+        order = np.argsort(-np.abs(deviation))[:top_features]
+        summaries.append(
+            {
+                "cluster": c,
+                "size": result.sizes[c],
+                "features": [
+                    {
+                        "name": result.feature_names[j],
+                        "centroid": float(result.centroids[c, j]),
+                        "deviation": float(deviation[j]),
+                    }
+                    for j in order
+                ],
+            }
+        )
+    return summaries

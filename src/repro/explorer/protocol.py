@@ -1,0 +1,66 @@
+"""Wire protocol for the PerfExplorer client/server split.
+
+Newline-delimited JSON-RPC-style messages over TCP::
+
+    {"id": 1, "method": "cluster_trial", "params": {"trial": 3, "k": 2}}
+    {"id": 1, "result": {...}}
+    {"id": 1, "error": "no such trial"}
+
+Chosen for the same reasons the paper's authors chose open standards
+(§4): self-describing, language-neutral, trivially inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional
+
+
+class ProtocolError(RuntimeError):
+    """Raised for malformed frames or protocol violations."""
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return payload
+
+
+class MessageStream:
+    """Newline-framed message reader/writer over one socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, payload: dict[str, Any]) -> None:
+        self.sock.sendall(encode_message(payload))
+
+    def receive(self, timeout: Optional[float] = None) -> Optional[dict[str, Any]]:
+        """Read one message; None on clean EOF."""
+        self.sock.settimeout(timeout)
+        while b"\n" not in self._buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return decode_message(line)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()

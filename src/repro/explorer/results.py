@@ -1,0 +1,125 @@
+"""Persistence of analysis results through the extended PerfDMF schema.
+
+Paper §5.3: *"Because PerfDMF is flexible and extensible, the
+PerfExplorer developers were able to extend the PerfDMF database API to
+support saving and retrieving analysis results."*  The
+ANALYSIS_SETTINGS / ANALYSIS_RESULT tables (see schema DDL) hold one row
+per analysis run plus typed result items; cluster memberships and
+centroids round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.session.dbsession import PerfDMFSession
+from .clustering import ClusterResult
+
+
+class ResultStore:
+    """Save/load analysis results against a PerfDMF session."""
+
+    def __init__(self, session: PerfDMFSession):
+        self.session = session
+
+    # -- generic analysis runs ------------------------------------------------
+
+    def save_analysis(
+        self,
+        trial_id: Optional[int],
+        name: str,
+        method: str,
+        parameters: dict[str, Any],
+        results: dict[str, Any],
+    ) -> int:
+        """Persist one analysis run; returns the settings id."""
+        conn = self.session.connection
+        settings_id = conn.insert(
+            "INSERT INTO analysis_settings (trial, name, method, parameters) "
+            "VALUES (?, ?, ?, ?)",
+            (trial_id, name, method, json.dumps(parameters, sort_keys=True)),
+        )
+        rows = [
+            (settings_id, "item", key, json.dumps(value, sort_keys=True))
+            for key, value in results.items()
+        ]
+        conn.executemany(
+            "INSERT INTO analysis_result (settings, result_type, item_key, value) "
+            "VALUES (?, ?, ?, ?)",
+            rows,
+        )
+        conn.commit()
+        return settings_id
+
+    def load_analysis(self, settings_id: int) -> dict[str, Any]:
+        conn = self.session.connection
+        header = conn.query_one(
+            "SELECT trial, name, method, parameters FROM analysis_settings "
+            "WHERE id = ?",
+            (settings_id,),
+        )
+        if header is None:
+            raise LookupError(f"no analysis settings id {settings_id}")
+        trial_id, name, method, parameters = header
+        items = conn.query(
+            "SELECT item_key, value FROM analysis_result WHERE settings = ? "
+            "ORDER BY id",
+            (settings_id,),
+        )
+        return {
+            "trial": trial_id,
+            "name": name,
+            "method": method,
+            "parameters": json.loads(parameters) if parameters else {},
+            "results": {key: json.loads(value) for key, value in items},
+        }
+
+    def list_analyses(self, trial_id: Optional[int] = None) -> list[tuple[int, str, str]]:
+        conn = self.session.connection
+        if trial_id is None:
+            rows = conn.query(
+                "SELECT id, name, method FROM analysis_settings ORDER BY id"
+            )
+        else:
+            rows = conn.query(
+                "SELECT id, name, method FROM analysis_settings WHERE trial = ? "
+                "ORDER BY id",
+                (trial_id,),
+            )
+        return [(int(r[0]), r[1], r[2]) for r in rows]
+
+    # -- cluster results ------------------------------------------------------------
+
+    def save_cluster_result(
+        self,
+        trial_id: int,
+        result: ClusterResult,
+        name: str = "cluster analysis",
+        parameters: Optional[dict[str, Any]] = None,
+    ) -> int:
+        payload = {
+            "k": result.k,
+            "labels": result.labels.tolist(),
+            "centroids": result.centroids.tolist(),
+            "inertia": result.inertia,
+            "silhouette": result.silhouette,
+            "feature_names": result.feature_names,
+        }
+        return self.save_analysis(
+            trial_id, name, "kmeans", parameters or {}, payload
+        )
+
+    def load_cluster_result(self, settings_id: int) -> ClusterResult:
+        record = self.load_analysis(settings_id)
+        results = record["results"]
+        return ClusterResult(
+            k=int(results["k"]),
+            labels=np.asarray(results["labels"], dtype=np.intp),
+            centroids=np.asarray(results["centroids"], dtype=float),
+            inertia=float(results["inertia"]),
+            feature_names=list(results["feature_names"]),
+            silhouette=results.get("silhouette"),
+        )

@@ -1,0 +1,302 @@
+"""The PerfExplorer analysis server (Figure 3).
+
+*"The client makes requests to an analysis server back end, which is
+integrated with a performance database, using PerfDMF. ... the analysis
+server selects the data of interest, gets the relevant profile data and
+hands it off to an analysis application ... the results are saved to
+the database, using the PerfDMF API."*
+
+The server owns a :class:`PerfDMFSession`, an analysis backend (the R
+substitute), and a :class:`ResultStore`.  Requests are dispatched by
+method name; each handler touches the database only through the PerfDMF
+API, never raw SQL — that separation is the Figure 3 architecture.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import traceback
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.session.dbsession import PerfDMFSession
+from ..core.toolkit.stats import event_values
+from .charts import (
+    correlation_matrix, group_fraction_chart, imbalance_chart, speedup_chart,
+)
+from .clustering import cluster_trial, summarize_clusters
+from .protocol import MessageStream
+from .results import ResultStore
+from .rproxy import AnalysisBackend, NumpyAnalysisBackend
+
+
+class AnalysisServer:
+    """Dispatches PerfExplorer requests against one PerfDMF database."""
+
+    def __init__(
+        self,
+        database_url: str,
+        backend: Optional[AnalysisBackend] = None,
+    ):
+        self.session = PerfDMFSession(database_url)
+        self.backend = backend or NumpyAnalysisBackend()
+        self.results = ResultStore(self.session)
+        self._handlers = {
+            "ping": self._ping,
+            "list_applications": self._list_applications,
+            "list_experiments": self._list_experiments,
+            "list_trials": self._list_trials,
+            "list_metrics": self._list_metrics,
+            "list_events": self._list_events,
+            "cluster_trial": self._cluster_trial,
+            "describe_event": self._describe_event,
+            "correlate_events": self._correlate_events,
+            "list_analyses": self._list_analyses,
+            "get_analysis": self._get_analysis,
+            "run_workflow": self._run_workflow,
+            "speedup_chart": self._speedup_chart,
+            "correlation_matrix": self._correlation_matrix,
+            "group_fraction_chart": self._group_fraction_chart,
+            "imbalance_chart": self._imbalance_chart,
+        }
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle_request(self, method: str, params: dict[str, Any]) -> Any:
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise ValueError(f"unknown method {method!r}")
+        return handler(**params)
+
+    # -- handlers -------------------------------------------------------------------
+
+    def _ping(self) -> str:
+        return "pong"
+
+    def _list_applications(self) -> list[dict[str, Any]]:
+        return [
+            {"id": a.id, "name": a.name} for a in self.session.get_application_list()
+        ]
+
+    def _list_experiments(self, application: int) -> list[dict[str, Any]]:
+        self.session.set_application(application)
+        out = [
+            {"id": e.id, "name": e.name}
+            for e in self.session.get_experiment_list()
+        ]
+        self.session.reset_selection()
+        return out
+
+    def _list_trials(self, experiment: int) -> list[dict[str, Any]]:
+        self.session.set_experiment(experiment)
+        out = [
+            {
+                "id": t.id,
+                "name": t.name,
+                "node_count": t.get("node_count"),
+            }
+            for t in self.session.get_trial_list()
+        ]
+        self.session.reset_selection()
+        return out
+
+    def _list_metrics(self, trial: int) -> list[str]:
+        return self.session.get_metrics(trial)
+
+    def _list_events(self, trial: int) -> list[dict[str, Any]]:
+        return self.session.get_interval_events(trial)
+
+    def _cluster_trial(
+        self,
+        trial: int,
+        k: Optional[int] = None,
+        metric_name: Optional[str] = None,
+        max_k: int = 6,
+        seed: int = 0,
+        save: bool = True,
+        method: str = "kmeans",
+    ) -> dict[str, Any]:
+        """The paper's flagship operation: select data, cluster, save."""
+        source = self.session.load_datasource(trial)
+        metric_index = 0
+        if metric_name is not None:
+            names = [m.name for m in source.metrics]
+            if metric_name not in names:
+                raise ValueError(f"trial {trial} has no metric {metric_name!r}")
+            metric_index = names.index(metric_name)
+        if method == "kmeans":
+            result = cluster_trial(
+                source, k=k, metric=metric_index, max_k=max_k, seed=seed
+            )
+        elif method == "hierarchical":
+            from .clustering import hierarchical_cluster
+
+            if k is None:
+                raise ValueError("hierarchical clustering requires explicit k")
+            result = hierarchical_cluster(source, k=k, metric=metric_index)
+        else:
+            raise ValueError(
+                f"unknown clustering method {method!r}; "
+                "use 'kmeans' or 'hierarchical'"
+            )
+        settings_id = None
+        if save:
+            settings_id = self.results.save_cluster_result(
+                trial, result,
+                parameters={
+                    "k": k, "metric": metric_name, "max_k": max_k,
+                    "seed": seed, "method": method,
+                },
+            )
+        return {
+            "k": result.k,
+            "sizes": result.sizes,
+            "silhouette": result.silhouette,
+            "labels": result.labels.tolist(),
+            "summary": summarize_clusters(result),
+            "settings_id": settings_id,
+        }
+
+    def _describe_event(
+        self, trial: int, event: str, metric_name: Optional[str] = None
+    ) -> dict[str, float]:
+        source = self.session.load_datasource(trial)
+        metric_index = 0
+        if metric_name is not None:
+            names = [m.name for m in source.metrics]
+            metric_index = names.index(metric_name)
+        values = event_values(source, event, metric_index)
+        return self.backend.describe(values)
+
+    def _correlate_events(
+        self, trial: int, event_x: str, event_y: str
+    ) -> dict[str, float]:
+        source = self.session.load_datasource(trial)
+        x = event_values(source, event_x)
+        y = event_values(source, event_y)
+        return self.backend.correlate(x, y)
+
+    def _run_workflow(self, steps: list[dict[str, Any]]) -> dict[str, Any]:
+        """Execute a scripted analysis workflow server-side.
+
+        Trials held in slots stay on the server; only JSON-serialisable
+        slots come back over the wire.
+        """
+        from .workflow import run_workflow
+
+        slots = run_workflow(self.session, steps)
+        return {
+            name: value
+            for name, value in slots.items()
+            if not hasattr(value, "interval_events")
+        }
+
+    def _experiment_trials(self, experiment: int) -> list[tuple[int, "object"]]:
+        """Load every trial of an experiment as (processors, DataSource)."""
+        self.session.set_experiment(experiment)
+        out = []
+        for trial in self.session.get_trial_list():
+            processors = trial.get("node_count") or 1
+            out.append((processors, self.session.load_datasource(trial)))
+        self.session.reset_selection()
+        return out
+
+    def _speedup_chart(
+        self, experiment: int, events: Optional[list[str]] = None
+    ) -> dict[str, Any]:
+        trials = self._experiment_trials(experiment)
+        if len(trials) < 2:
+            raise ValueError(
+                f"experiment {experiment} has {len(trials)} trial(s); "
+                "speedup needs >= 2"
+            )
+        return speedup_chart(trials, events)
+
+    def _correlation_matrix(
+        self, trial: int, events: Optional[list[str]] = None
+    ) -> dict[str, Any]:
+        source = self.session.load_datasource(trial)
+        return correlation_matrix(source, events)
+
+    def _group_fraction_chart(self, experiment: int) -> dict[str, Any]:
+        return group_fraction_chart(self._experiment_trials(experiment))
+
+    def _imbalance_chart(self, trial: int, top: int = 10) -> dict[str, Any]:
+        return imbalance_chart(self.session.load_datasource(trial), top=top)
+
+    def _list_analyses(self, trial: Optional[int] = None) -> list[dict[str, Any]]:
+        return [
+            {"id": i, "name": n, "method": m}
+            for i, n, m in self.results.list_analyses(trial)
+        ]
+
+    def _get_analysis(self, settings_id: int) -> dict[str, Any]:
+        return self.results.load_analysis(settings_id)
+
+
+class SocketServer:
+    """TCP front end: accepts clients, one thread per connection."""
+
+    def __init__(self, server: AnalysisServer, host: str = "127.0.0.1", port: int = 0):
+        self.analysis = server
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+
+    def start(self) -> tuple[str, int]:
+        self._running = True
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_client, args=(client,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        stream = MessageStream(sock)
+        try:
+            while True:
+                request = stream.receive()
+                if request is None:
+                    return
+                request_id = request.get("id")
+                try:
+                    result = self.analysis.handle_request(
+                        request.get("method", ""), request.get("params", {}) or {}
+                    )
+                    stream.send({"id": request_id, "result": result})
+                except Exception as exc:  # deliberate: errors go to the client
+                    stream.send(
+                        {
+                            "id": request_id,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "traceback": traceback.format_exc(limit=3),
+                        }
+                    )
+        except Exception:
+            pass  # client went away mid-frame
+        finally:
+            stream.close()
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass

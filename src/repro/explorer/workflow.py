@@ -1,0 +1,227 @@
+"""Scriptable analysis workflows.
+
+Paper §7: *"the support in PerfDMF for ... developing reusable and
+scriptable profile analysis functions will appeal to tools developers
+and users alike."*  (The real PerfExplorer 2.0 grew exactly this: data
+-mining workflows expressed as scripts.)
+
+A workflow is a JSON-serialisable list of operation dicts executed
+against one PerfDMF session.  Operations read and write named slots in a
+shared context, so steps compose::
+
+    workflow = [
+        {"op": "load_trial", "trial": 3, "as": "t"},
+        {"op": "cluster", "input": "t", "k": 2, "metric": "PAPI_FP_OPS",
+         "as": "clusters"},
+        {"op": "describe", "input": "t", "event": "hydro_kernel",
+         "as": "stats"},
+        {"op": "save_analysis", "name": "nightly", "results": ["clusters",
+         "stats"]},
+    ]
+    results = run_workflow(session, workflow)
+
+Because workflows are data, they persist in the database (via the
+analysis-result store), travel over the client/server protocol, and
+re-run reproducibly — the "reusable analysis function" the paper asks
+for, without arbitrary code execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core.session.dbsession import PerfDMFSession
+from ..core.toolkit.stats import event_values
+from .clustering import cluster_trial, summarize_clusters
+from .results import ResultStore
+from .rproxy import NumpyAnalysisBackend
+
+
+class WorkflowError(ValueError):
+    """Raised for malformed workflows or failing steps."""
+
+
+class WorkflowContext:
+    """Execution state: the session plus named result slots."""
+
+    def __init__(self, session: PerfDMFSession):
+        self.session = session
+        self.slots: dict[str, Any] = {}
+        self.backend = NumpyAnalysisBackend()
+        self.store = ResultStore(session)
+
+    def get(self, name: str) -> Any:
+        try:
+            return self.slots[name]
+        except KeyError:
+            raise WorkflowError(
+                f"no slot {name!r}; available: {sorted(self.slots)}"
+            ) from None
+
+    def put(self, name: Optional[str], value: Any) -> None:
+        if name:
+            self.slots[name] = value
+
+
+OperationFn = Callable[[WorkflowContext, dict[str, Any]], Any]
+_OPERATIONS: dict[str, OperationFn] = {}
+
+
+def operation(name: str) -> Callable[[OperationFn], OperationFn]:
+    def register(fn: OperationFn) -> OperationFn:
+        _OPERATIONS[name] = fn
+        return fn
+    return register
+
+
+def available_operations() -> list[str]:
+    return sorted(_OPERATIONS)
+
+
+def run_workflow(
+    session: PerfDMFSession, steps: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Execute ``steps``; returns the final slot table."""
+    if not isinstance(steps, list):
+        raise WorkflowError("a workflow is a list of operation dicts")
+    context = WorkflowContext(session)
+    for index, step in enumerate(steps):
+        if not isinstance(step, dict) or "op" not in step:
+            raise WorkflowError(f"step {index} is not an operation dict")
+        op_name = step["op"]
+        fn = _OPERATIONS.get(op_name)
+        if fn is None:
+            raise WorkflowError(
+                f"unknown operation {op_name!r}; available: "
+                f"{available_operations()}"
+            )
+        try:
+            result = fn(context, step)
+        except WorkflowError:
+            raise
+        except Exception as exc:
+            raise WorkflowError(
+                f"step {index} ({op_name}) failed: {exc}"
+            ) from exc
+        context.put(step.get("as"), result)
+    return context.slots
+
+
+# -- operations ----------------------------------------------------------------
+
+
+@operation("load_trial")
+def _op_load_trial(context: WorkflowContext, step: dict[str, Any]):
+    """Load a stored trial into a slot.  Params: trial (id)."""
+    return context.session.load_datasource(int(step["trial"]))
+
+
+@operation("cluster")
+def _op_cluster(context: WorkflowContext, step: dict[str, Any]):
+    """k-means over a loaded trial.  Params: input, k?, metric?, max_k?."""
+    source = context.get(step["input"])
+    metric_index = 0
+    metric_name = step.get("metric")
+    if metric_name is not None:
+        names = [m.name for m in source.metrics]
+        if metric_name not in names:
+            raise WorkflowError(f"trial has no metric {metric_name!r}")
+        metric_index = names.index(metric_name)
+    result = cluster_trial(
+        source,
+        k=step.get("k"),
+        metric=metric_index,
+        max_k=int(step.get("max_k", 6)),
+        seed=int(step.get("seed", 0)),
+    )
+    return {
+        "k": result.k,
+        "sizes": result.sizes,
+        "silhouette": result.silhouette,
+        "labels": result.labels.tolist(),
+        "summary": summarize_clusters(result),
+    }
+
+
+@operation("describe")
+def _op_describe(context: WorkflowContext, step: dict[str, Any]):
+    """Descriptive statistics of one event.  Params: input, event, metric?."""
+    source = context.get(step["input"])
+    metric_index = 0
+    if "metric" in step:
+        names = [m.name for m in source.metrics]
+        metric_index = names.index(step["metric"])
+    values = event_values(source, step["event"], metric_index)
+    return context.backend.describe(values)
+
+
+@operation("correlate")
+def _op_correlate(context: WorkflowContext, step: dict[str, Any]):
+    """Correlation of two events.  Params: input, x, y."""
+    source = context.get(step["input"])
+    return context.backend.correlate(
+        event_values(source, step["x"]), event_values(source, step["y"])
+    )
+
+
+@operation("top_events")
+def _op_top_events(context: WorkflowContext, step: dict[str, Any]):
+    """The n most expensive events.  Params: input, n?."""
+    from ..core.toolkit.stats import top_events
+
+    source = context.get(step["input"])
+    return [
+        {"event": s.event, "mean": s.mean, "max": s.maximum,
+         "imbalance": s.imbalance}
+        for s in top_events(source, n=int(step.get("n", 10)))
+    ]
+
+
+@operation("diff")
+def _op_diff(context: WorkflowContext, step: dict[str, Any]):
+    """CUBE difference of two loaded trials.  Params: left, right."""
+    from ..core.toolkit.cube_algebra import diff
+
+    return diff(context.get(step["left"]), context.get(step["right"]))
+
+
+@operation("derive_metric")
+def _op_derive(context: WorkflowContext, step: dict[str, Any]):
+    """In-memory derived metric.  Params: input, name, expr."""
+    source = context.get(step["input"])
+    metric = source.create_derived_metric(step["name"], step["expr"])
+    return metric.name
+
+
+@operation("filter_events")
+def _op_filter(context: WorkflowContext, step: dict[str, Any]):
+    """Event names matching a group.  Params: input, group."""
+    source = context.get(step["input"])
+    return [e.name for e in source.events_in_group(step["group"])]
+
+
+@operation("save_analysis")
+def _op_save(context: WorkflowContext, step: dict[str, Any]):
+    """Persist named slots via the extended schema.
+
+    Params: name, results (slot names), trial? (id), method?.
+    JSON-serialisable slots only — trials themselves cannot be saved.
+    """
+    payload = {}
+    for slot in step.get("results", []):
+        value = context.get(slot)
+        if hasattr(value, "interval_events"):
+            raise WorkflowError(
+                f"slot {slot!r} holds a trial; save analysis results, "
+                "not profiles"
+            )
+        payload[slot] = value
+    return context.store.save_analysis(
+        step.get("trial"),
+        step.get("name", "workflow"),
+        step.get("method", "workflow"),
+        {"steps": len(payload)},
+        payload,
+    )

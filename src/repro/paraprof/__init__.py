@@ -1,0 +1,24 @@
+"""``repro.paraprof`` — ParaProf as a text-mode analyzer (paper §5.1)."""
+
+from .barchart import bar_table, format_value, horizontal_bar
+from .browser import ProfileBrowser
+from .federate import synchronize, transfer_trial
+from .htmlreport import html_report, write_html_report
+from .callgraph import call_graph_dot, call_graph_stats, call_tree_view
+from .shell import ParaProfShell, run_shell
+from .displays import (
+    aggregate_view, comparative_event_view, summary_text_view,
+    thread_profile_view, userevent_view,
+)
+from .manager import ArchiveManager
+
+__all__ = [
+    "ArchiveManager", "ProfileBrowser",
+    "aggregate_view", "thread_profile_view", "comparative_event_view",
+    "summary_text_view", "userevent_view",
+    "bar_table", "horizontal_bar", "format_value",
+    "call_tree_view", "call_graph_dot", "call_graph_stats",
+    "ParaProfShell", "run_shell",
+    "transfer_trial", "synchronize",
+    "html_report", "write_html_report",
+]

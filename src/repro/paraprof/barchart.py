@@ -1,0 +1,54 @@
+"""Text bar-chart rendering primitives for the ParaProf displays."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value: float, unit: str = "usec") -> str:
+    """Human-readable rendering of a microsecond (or plain) value."""
+    if unit == "usec":
+        if value >= 6.0e7:
+            return f"{value / 6.0e7:.2f} min"
+        if value >= 1.0e6:
+            return f"{value / 1.0e6:.3f} s"
+        if value >= 1.0e3:
+            return f"{value / 1.0e3:.2f} ms"
+        return f"{value:.1f} us"
+    if abs(value) >= 1.0e9:
+        return f"{value / 1.0e9:.2f}G"
+    if abs(value) >= 1.0e6:
+        return f"{value / 1.0e6:.2f}M"
+    if abs(value) >= 1.0e3:
+        return f"{value / 1.0e3:.2f}K"
+    return f"{value:.1f}"
+
+
+def horizontal_bar(
+    fraction: float, width: int = 40, fill: str = "█", empty: str = " "
+) -> str:
+    """A fixed-width bar filled proportionally to ``fraction`` ∈ [0, 1]."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    n = round(fraction * width)
+    return fill * n + empty * (width - n)
+
+
+def bar_table(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    label_width: int = 32,
+    unit: str = "usec",
+    reference: float | None = None,
+) -> str:
+    """Render (label, value) rows as aligned bars scaled to the max."""
+    if not rows:
+        return "(no data)"
+    scale = reference if reference is not None else max(v for _, v in rows)
+    lines = []
+    for label, value in rows:
+        fraction = value / scale if scale > 0 else 0.0
+        lines.append(
+            f"{label[:label_width]:<{label_width}} "
+            f"|{horizontal_bar(fraction, width)}| {format_value(value, unit)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""ParaProf-style profile displays, rendered to text.
+
+ParaProf *"implements graphical displays of all performance analysis
+results in aggregate and single node/context/thread forms ... the
+ability to compare the behavior of one instrumented event across all
+threads of execution, and offers summary text views of performance
+data, with various groupings and contextual highlighting"* (paper
+§5.1).  Each display here is one of those views: a deterministic text
+rendering that tests can assert on and terminals can show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import DataSource, Thread
+from ..core.toolkit.stats import (
+    all_event_statistics, event_values, group_breakdown, top_events,
+)
+from .barchart import bar_table, format_value
+
+
+def _resolve_metric(source: DataSource, metric: int | None) -> int:
+    """Default to the wall-clock metric (ParaProf's behaviour) — after a
+    multi-counter import metric 0 is merely alphabetically first."""
+    if metric is not None:
+        return metric
+    time_metric = source.time_metric()
+    return time_metric.index if time_metric is not None else 0
+
+
+
+def thread_profile_view(
+    source: DataSource,
+    node: int,
+    context: int = 0,
+    thread_id: int = 0,
+    metric: int | None = None,
+    top: int = 20,
+) -> str:
+    """Single node/context/thread display: exclusive-time bars."""
+    metric = _resolve_metric(source, metric)
+    thread = source.get_thread(node, context, thread_id)
+    if thread is None:
+        raise KeyError(f"no thread ({node},{context},{thread_id}) in trial")
+    metric_name = source.metrics[metric].name if source.metrics else "TIME"
+    rows = sorted(
+        (
+            (p.event.name, p.get_exclusive(metric))
+            for p in thread.function_profiles.values()
+        ),
+        key=lambda r: r[1],
+        reverse=True,
+    )[:top]
+    header = (
+        f"node {node}, context {context}, thread {thread_id} — "
+        f"exclusive {metric_name}\n"
+    )
+    return header + bar_table(rows)
+
+
+def aggregate_view(source: DataSource, metric: int | None = None, top: int = 20) -> str:
+    """Mean-over-threads display (the ParaProf default window)."""
+    metric = _resolve_metric(source, metric)
+    stats = top_events(source, n=top, metric=metric, by="mean_exclusive")
+    metric_name = source.metrics[metric].name if source.metrics else "TIME"
+    rows = [(s.event, s.mean) for s in stats]
+    return f"mean exclusive {metric_name} over {source.num_threads} threads\n" + bar_table(rows)
+
+
+def comparative_event_view(
+    source: DataSource, event_name: str, metric: int | None = None, inclusive: bool = False
+) -> str:
+    """One event across all threads — ParaProf's comparison window."""
+    metric = _resolve_metric(source, metric)
+    values = event_values(source, event_name, metric, inclusive)
+    kind = "inclusive" if inclusive else "exclusive"
+    rows = []
+    for thread, value in zip(source.all_threads(), values):
+        node, ctx, thr = thread.triple
+        rows.append((f"n,c,t {node},{ctx},{thr}", float(value)))
+    return f"{event_name} — {kind} per thread\n" + bar_table(rows)
+
+
+def summary_text_view(source: DataSource, metric: int | None = None) -> str:
+    """Summary text view with group breakdown and event table.
+
+    Events whose max/mean imbalance exceeds 1.5 are highlighted with a
+    ``*`` marker (ParaProf's "contextual highlighting").
+    """
+    metric = _resolve_metric(source, metric)
+    metric_name = source.metrics[metric].name if source.metrics else "TIME"
+    lines = [
+        f"Trial summary — {source.num_threads} threads, "
+        f"{source.num_interval_events} events, metric {metric_name}",
+        "",
+        "Group breakdown (total exclusive):",
+    ]
+    breakdown = group_breakdown(source, metric)
+    total = sum(breakdown.values()) or 1.0
+    for group, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"  {group:<16} {format_value(value)}  ({100.0 * value / total:.1f}%)"
+        )
+    lines.append("")
+    lines.append(
+        "%-36s %12s %12s %12s %8s" % ("event", "mean excl", "max excl", "total", "imbal")
+    )
+    for stats in sorted(
+        all_event_statistics(source, metric), key=lambda s: -s.mean
+    ):
+        marker = "*" if stats.imbalance > 1.5 else " "
+        lines.append(
+            "%-36s %12s %12s %12s %7.2f%s"
+            % (
+                stats.event[:36],
+                format_value(stats.mean),
+                format_value(stats.maximum),
+                format_value(stats.total),
+                stats.imbalance,
+                marker,
+            )
+        )
+    return "\n".join(lines)
+
+
+def userevent_view(source: DataSource, top: int = 20) -> str:
+    """Atomic (user-defined) event summary across threads."""
+    lines = ["User events", "%-32s %10s %12s %12s %12s %12s" % (
+        "event", "samples", "min", "mean", "max", "stddev")]
+    rows = []
+    for event in source.atomic_events.values():
+        count = 0
+        vmin = float("inf")
+        vmax = 0.0
+        total = 0.0
+        sumsq = 0.0
+        for thread in source.all_threads():
+            up = thread.user_event_profiles.get(event.index)
+            if up is None or up.count == 0:
+                continue
+            count += up.count
+            vmin = min(vmin, up.min_value)
+            vmax = max(vmax, up.max_value)
+            total += up.mean_value * up.count
+            sumsq += up.sumsqr
+        if count == 0:
+            continue
+        mean = total / count
+        variance = max(sumsq / count - mean * mean, 0.0)
+        rows.append((event.name, count, vmin, mean, vmax, variance**0.5))
+    for name, count, vmin, mean, vmax, std in sorted(rows, key=lambda r: -r[1])[:top]:
+        lines.append(
+            "%-32s %10d %12.4g %12.4g %12.4g %12.4g"
+            % (name[:32], count, vmin, mean, vmax, std)
+        )
+    return "\n".join(lines)

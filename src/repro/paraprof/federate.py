@@ -1,0 +1,125 @@
+"""Archive federation: moving trials between PerfDMF repositories.
+
+Paper §5.1: *"This archive could be made available in one physical
+location for all analysts within an organization"* — and §7 plans
+interchange with other repositories (PPerfDB/PPerfXchange).  These
+helpers implement the local half of that story: copying trials (with
+their application/experiment context and metadata) between any two
+PerfDMF databases, regardless of backend, plus whole-archive
+synchronisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.api.entities import Trial
+from ..core.session.dbsession import PerfDMFSession
+
+
+def transfer_trial(
+    source: PerfDMFSession,
+    destination: PerfDMFSession,
+    trial_id: int,
+    rename: Optional[str] = None,
+) -> Trial:
+    """Copy one trial (and its app/experiment context) between archives.
+
+    The application and experiment rows are created in the destination
+    when missing (matched by name, metadata copied on first creation);
+    the trial's profile moves through the columnar fast path, and its
+    metadata columns are carried over.  Atomic events travel via the
+    object model when present.
+    """
+    # locate the trial's context in the source
+    row = source.connection.query_one(
+        "SELECT t.name, t.experiment, e.name, e.application, a.name "
+        "FROM trial t JOIN experiment e ON t.experiment = e.id "
+        "JOIN application a ON e.application = a.id WHERE t.id = ?",
+        (trial_id,),
+    )
+    if row is None:
+        raise LookupError(f"no trial id {trial_id} in source archive")
+    trial_name, exp_id, exp_name, app_id, app_name = row
+
+    dst_app = destination.get_application(app_name)
+    if dst_app is None:
+        src_app_fields = _entity_fields(source, "application", app_id)
+        dst_app = destination.create_application(app_name, **src_app_fields)
+    destination.set_application(dst_app)
+    dst_exp = None
+    for candidate in destination.get_experiment_list():
+        if candidate.name == exp_name:
+            dst_exp = candidate
+            break
+    if dst_exp is None:
+        src_exp_fields = _entity_fields(source, "experiment", exp_id)
+        dst_exp = destination.create_experiment(
+            dst_app, exp_name, **src_exp_fields
+        )
+    destination.reset_selection()
+
+    new_name = rename or trial_name
+    # has the trial an atomic-event payload?  (columnar carries only
+    # interval data, so fall back to the object model when needed)
+    has_atomic = bool(
+        source.connection.scalar(
+            "SELECT count(*) FROM atomic_event WHERE trial = ?", (trial_id,)
+        )
+    )
+    trial_fields = _entity_fields(source, "trial", trial_id)
+    trial_fields.pop("experiment", None)
+    trial_fields.pop("name", None)
+    if has_atomic:
+        payload = source.load_datasource(trial_id)
+    else:
+        payload = source.load_columnar(trial_id)
+    return destination.save_trial(payload, dst_exp, new_name, **trial_fields)
+
+
+def synchronize(
+    source: PerfDMFSession, destination: PerfDMFSession
+) -> list[Trial]:
+    """Copy every trial missing from the destination archive.
+
+    Trials are matched by (application, experiment, trial) name triple —
+    the archive's natural key under its UNIQUE constraints.  Returns the
+    trials created.
+    """
+    existing = {
+        tuple(row)
+        for row in destination.connection.query(
+            "SELECT a.name, e.name, t.name FROM trial t "
+            "JOIN experiment e ON t.experiment = e.id "
+            "JOIN application a ON e.application = a.id"
+        )
+    }
+    created = []
+    rows = source.connection.query(
+        "SELECT t.id, a.name, e.name, t.name FROM trial t "
+        "JOIN experiment e ON t.experiment = e.id "
+        "JOIN application a ON e.application = a.id ORDER BY t.id"
+    )
+    for trial_id, app_name, exp_name, trial_name in rows:
+        if (app_name, exp_name, trial_name) in existing:
+            continue
+        created.append(transfer_trial(source, destination, trial_id))
+    return created
+
+
+def _entity_fields(session: PerfDMFSession, table: str, entity_id: int) -> dict:
+    """Every non-required column value of one row (the metadata payload)."""
+    from ..core.schema.ddl import REQUIRED_COLUMNS
+
+    columns = session.connection.column_names(table)
+    row = session.connection.query_one(
+        f"SELECT {', '.join(columns)} FROM {table} WHERE id = ?", (entity_id,)
+    )
+    if row is None:
+        return {}
+    skip = set(REQUIRED_COLUMNS[table])
+    return {
+        column.lower(): value
+        for column, value in zip(columns, row)
+        if column.lower() not in skip and value is not None
+    }

@@ -1,0 +1,184 @@
+"""Static HTML report generation for a trial.
+
+ParaProf's displays are interactive; for sharing (the paper's *"shared
+data repository ... for all analysts within an organization"* use case)
+a static artifact travels better.  This module renders one trial into a
+single self-contained HTML file: trial header, group breakdown, the
+aggregate bar chart (inline SVG), the per-event statistics table with
+imbalance highlighting, and the user-event table.  No external assets,
+no JavaScript — it opens anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..core.model import DataSource
+from ..core.toolkit.stats import (
+    all_event_statistics, group_breakdown, load_imbalance, top_events,
+)
+from .barchart import format_value
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; max-width: 70em; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #4a6fa5; padding-bottom: .3em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; color: #2e4a6f; }
+table { border-collapse: collapse; width: 100%; font-size: .9em; }
+th { text-align: left; background: #eef2f7; padding: .4em .6em; }
+td { padding: .3em .6em; border-bottom: 1px solid #e3e8ef; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.hot td { background: #fdeaea; }
+.meta { color: #555; font-size: .9em; }
+svg text { font-size: 11px; font-family: inherit; }
+"""
+
+
+def html_report(
+    source: DataSource,
+    title: str = "PerfDMF trial report",
+    metric: Optional[int] = None,
+    top: int = 15,
+) -> str:
+    """Render ``source`` as a self-contained HTML document string."""
+    if metric is None:
+        time_metric = source.time_metric()
+        metric = time_metric.index if time_metric is not None else 0
+    metric_name = source.metrics[metric].name if source.metrics else "TIME"
+
+    parts: list[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<p class='meta'>",
+        f"{source.num_threads} threads &middot; "
+        f"{source.num_interval_events} events &middot; "
+        f"{source.num_metrics} metric(s) &middot; "
+        f"displayed metric: {html.escape(metric_name)} &middot; "
+        f"load imbalance {load_imbalance(source, metric):.2f}",
+        "</p>",
+    ]
+    if source.metadata:
+        parts.append("<h2>Trial metadata</h2><table>")
+        for key in sorted(source.metadata):
+            parts.append(
+                f"<tr><th>{html.escape(key)}</th>"
+                f"<td>{html.escape(str(source.metadata[key]))}</td></tr>"
+            )
+        parts.append("</table>")
+
+    # group breakdown
+    breakdown = group_breakdown(source, metric)
+    total = sum(breakdown.values()) or 1.0
+    parts.append("<h2>Group breakdown (total exclusive)</h2><table>")
+    parts.append("<tr><th>group</th><th>total</th><th>fraction</th></tr>")
+    for group, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        parts.append(
+            f"<tr><td>{html.escape(group)}</td>"
+            f"<td class='num'>{format_value(value)}</td>"
+            f"<td class='num'>{100.0 * value / total:.1f}%</td></tr>"
+        )
+    parts.append("</table>")
+
+    # aggregate bar chart (inline SVG)
+    stats = top_events(source, n=top, metric=metric, by="mean_exclusive")
+    parts.append(f"<h2>Mean exclusive {html.escape(metric_name)} (top {top})</h2>")
+    parts.append(_svg_bars([(s.event, s.mean) for s in stats]))
+
+    # per-event table with highlighting (imbalance > 1.5, like the text view)
+    parts.append("<h2>Per-event statistics</h2><table>")
+    parts.append(
+        "<tr><th>event</th><th>mean excl</th><th>max excl</th>"
+        "<th>total</th><th>imbalance</th></tr>"
+    )
+    for s in sorted(all_event_statistics(source, metric), key=lambda s: -s.mean):
+        hot = " class='hot'" if s.imbalance > 1.5 else ""
+        parts.append(
+            f"<tr{hot}><td>{html.escape(s.event)}</td>"
+            f"<td class='num'>{format_value(s.mean)}</td>"
+            f"<td class='num'>{format_value(s.maximum)}</td>"
+            f"<td class='num'>{format_value(s.total)}</td>"
+            f"<td class='num'>{s.imbalance:.2f}</td></tr>"
+        )
+    parts.append("</table>")
+
+    # user events
+    if source.atomic_events:
+        parts.append("<h2>User events</h2><table>")
+        parts.append(
+            "<tr><th>event</th><th>samples</th><th>min</th><th>mean</th>"
+            "<th>max</th></tr>"
+        )
+        for event in source.atomic_events.values():
+            count = 0
+            vmin = float("inf")
+            vmax = 0.0
+            weighted = 0.0
+            for thread in source.all_threads():
+                up = thread.user_event_profiles.get(event.index)
+                if up is None or up.count == 0:
+                    continue
+                count += up.count
+                vmin = min(vmin, up.min_value)
+                vmax = max(vmax, up.max_value)
+                weighted += up.mean_value * up.count
+            if count == 0:
+                continue
+            parts.append(
+                f"<tr><td>{html.escape(event.name)}</td>"
+                f"<td class='num'>{count}</td>"
+                f"<td class='num'>{vmin:.4g}</td>"
+                f"<td class='num'>{weighted / count:.4g}</td>"
+                f"<td class='num'>{vmax:.4g}</td></tr>"
+            )
+        parts.append("</table>")
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def _svg_bars(rows: list[tuple[str, float]], width: int = 760) -> str:
+    if not rows:
+        return "<p>(no data)</p>"
+    bar_height = 20
+    gap = 6
+    label_width = 240
+    height = len(rows) * (bar_height + gap)
+    scale = max(value for _l, value in rows) or 1.0
+    out = [
+        f"<svg width='{width}' height='{height}' "
+        "xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for i, (label, value) in enumerate(rows):
+        y = i * (bar_height + gap)
+        bar = (width - label_width - 90) * value / scale
+        out.append(
+            f"<text x='{label_width - 8}' y='{y + 14}' text-anchor='end'>"
+            f"{html.escape(label[:34])}</text>"
+        )
+        out.append(
+            f"<rect x='{label_width}' y='{y}' width='{bar:.1f}' "
+            f"height='{bar_height}' fill='#4a6fa5'/>"
+        )
+        out.append(
+            f"<text x='{label_width + bar + 6:.1f}' y='{y + 14}'>"
+            f"{html.escape(format_value(value))}</text>"
+        )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def write_html_report(
+    source: DataSource,
+    path: str | os.PathLike,
+    title: str = "PerfDMF trial report",
+    metric: Optional[int] = None,
+) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html_report(source, title, metric), encoding="utf-8")
+    return out

@@ -1,0 +1,153 @@
+"""Interactive ParaProf shell — the terminal-mode browsing session.
+
+ParaProf is a GUI; the reproduction's equivalent is a small command
+interpreter over the same archive/browser objects, suitable both for a
+human at a terminal and for scripted (tested) sessions::
+
+    paraprof> tree
+    paraprof> open evh1 scaling P=8
+    paraprof> aggregate
+    paraprof> thread 0
+    paraprof> event riemann
+    paraprof> summary
+    paraprof> callgraph
+    paraprof> quit
+
+Built on :mod:`cmd` from the standard library; every command delegates
+to the display functions, so behaviour is identical to the programmatic
+API.
+"""
+
+from __future__ import annotations
+
+import cmd
+import shlex
+import sys
+from typing import Optional
+
+from .browser import ProfileBrowser
+from .callgraph import call_tree_view
+from .manager import ArchiveManager
+
+
+class ParaProfShell(cmd.Cmd):
+    """The interactive browsing loop."""
+
+    intro = "ParaProf archive shell. Type help or ? for commands.\n"
+    prompt = "paraprof> "
+
+    def __init__(self, manager: ArchiveManager, stdout=None):
+        super().__init__(stdout=stdout or sys.stdout)
+        self.manager = manager
+        self.browser = ProfileBrowser(manager)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _require_open(self) -> bool:
+        try:
+            self.browser.current
+            return True
+        except RuntimeError:
+            self._emit("no trial open; use: open <app> <experiment> <trial>")
+            return False
+
+    # -- commands ----------------------------------------------------------------
+
+    def do_tree(self, _arg: str) -> None:
+        """tree — show the application/experiment/trial archive tree."""
+        self._emit(self.browser.render_tree())
+
+    def do_open(self, arg: str) -> None:
+        """open <app> <experiment> <trial> — load a trial from the archive."""
+        parts = shlex.split(arg)
+        if len(parts) != 3:
+            self._emit("usage: open <app> <experiment> <trial>")
+            return
+        try:
+            self.browser.open_trial(*parts)
+            source = self.browser.current
+            self._emit(
+                f"opened {'/'.join(parts)}: {source.num_threads} threads, "
+                f"{source.num_interval_events} events, "
+                f"{source.num_metrics} metric(s)"
+            )
+        except LookupError as exc:
+            self._emit(f"error: {exc}")
+
+    def do_aggregate(self, arg: str) -> None:
+        """aggregate [top] — mean-exclusive bar chart over all threads."""
+        if not self._require_open():
+            return
+        top = int(arg) if arg.strip() else 20
+        self._emit(self.browser.show_aggregate(top=top))
+
+    def do_thread(self, arg: str) -> None:
+        """thread <node> [context] [thread] — one thread's profile."""
+        if not self._require_open():
+            return
+        parts = arg.split()
+        if not parts:
+            self._emit("usage: thread <node> [context] [thread]")
+            return
+        node = int(parts[0])
+        context = int(parts[1]) if len(parts) > 1 else 0
+        thread_id = int(parts[2]) if len(parts) > 2 else 0
+        try:
+            self._emit(self.browser.show_thread(node, context, thread_id))
+        except KeyError as exc:
+            self._emit(f"error: {exc}")
+
+    def do_event(self, arg: str) -> None:
+        """event <name> — compare one event across all threads."""
+        if not self._require_open():
+            return
+        name = arg.strip()
+        if not name:
+            self._emit("usage: event <name>")
+            return
+        try:
+            self._emit(self.browser.show_event(name))
+        except KeyError as exc:
+            self._emit(f"error: {exc}")
+
+    def do_summary(self, _arg: str) -> None:
+        """summary — group breakdown + highlighted event table."""
+        if self._require_open():
+            self._emit(self.browser.show_summary())
+
+    def do_userevents(self, _arg: str) -> None:
+        """userevents — atomic (user-defined) event summary."""
+        if self._require_open():
+            self._emit(self.browser.show_userevents())
+
+    def do_callgraph(self, _arg: str) -> None:
+        """callgraph — annotated call tree (needs callpath events)."""
+        if self._require_open():
+            self._emit(call_tree_view(self.browser.current))
+
+    def do_metrics(self, _arg: str) -> None:
+        """metrics — list the open trial's metrics."""
+        if self._require_open():
+            names = [m.name for m in self.browser.current.metrics]
+            self._emit(", ".join(names))
+
+    def do_quit(self, _arg: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:  # don't repeat the last command
+        pass
+
+    def default(self, line: str) -> None:
+        self._emit(f"unknown command: {line.split()[0]!r} (try help)")
+
+
+def run_shell(database_url: str) -> None:  # pragma: no cover - interactive
+    """Launch an interactive shell on an archive."""
+    ParaProfShell(ArchiveManager(database_url)).cmdloop()

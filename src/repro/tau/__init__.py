@@ -1,0 +1,19 @@
+"""``repro.tau`` — the measurement substrate (simulated TAU).
+
+Provides the instrumentation API, simulated PAPI counters, the SPMD
+application simulator, five synthetic applications, and writers that
+emit native files for all six profile formats PerfDMF imports.
+"""
+
+from .counters import (
+    DEFAULT_COUNTERS, CounterBank, MachineModel, WorkItem,
+)
+from .instrumentation import InstrumentationError, ThreadProfiler
+from .simulator import RankContext, SimulationConfig, run_simulation
+from .topology import Topology
+
+__all__ = [
+    "CounterBank", "MachineModel", "WorkItem", "DEFAULT_COUNTERS",
+    "ThreadProfiler", "InstrumentationError",
+    "RankContext", "SimulationConfig", "run_simulation", "Topology",
+]

@@ -1,0 +1,19 @@
+"""Synthetic benchmark applications (substitutes for the LLNL datasets).
+
+Each class models the documented profile shape of its namesake; see
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from .base import SimulatedApplication
+from .evh1 import EVH1
+from .miranda import Miranda, NUM_EVENTS as MIRANDA_NUM_EVENTS
+from .smg2000 import SMG2000
+from .sphot import SPhot
+from .sppm import SPPM
+
+ALL_APPLICATIONS = (EVH1, SPPM, SMG2000, SPhot, Miranda)
+
+__all__ = [
+    "SimulatedApplication", "EVH1", "SPPM", "SMG2000", "SPhot", "Miranda",
+    "MIRANDA_NUM_EVENTS", "ALL_APPLICATIONS",
+]

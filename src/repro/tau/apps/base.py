@@ -1,0 +1,52 @@
+"""Base class for the synthetic benchmark applications.
+
+Each application models the documented profile *shape* of its namesake
+(routine mix, scaling law, imbalance pattern); DESIGN.md records the
+substitution rationale.  Applications are deterministic given
+(ranks, seed) so every experiment in EXPERIMENTS.md is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.model import DataSource
+from ..counters import MachineModel
+from ..simulator import RankContext, SimulationConfig, run_simulation
+
+
+class SimulatedApplication:
+    """One synthetic application: subclasses implement :meth:`kernel`."""
+
+    #: short identifier used for application names in the database
+    name: str = "app"
+    #: human description recorded in trial metadata
+    description: str = ""
+    #: default metric set for this application's instrumented runs
+    default_metrics: tuple[str, ...] = ("TIME",)
+
+    def __init__(self, problem_size: float = 1.0, seed: int = 42):
+        self.problem_size = problem_size
+        self.seed = seed
+
+    def kernel(self, rank: RankContext) -> None:
+        raise NotImplementedError
+
+    def config(self, ranks: int, metrics: Optional[tuple[str, ...]] = None) -> SimulationConfig:
+        return SimulationConfig(
+            ranks=ranks,
+            metrics=metrics or self.default_metrics,
+            seed=self.seed,
+            machine=self.machine_model(),
+        )
+
+    def machine_model(self) -> Optional[MachineModel]:
+        return None  # default machine
+
+    def run(self, ranks: int, metrics: Optional[tuple[str, ...]] = None) -> DataSource:
+        """Simulate a run on ``ranks`` processes; returns the profile."""
+        source = run_simulation(self.kernel, self.config(ranks, metrics))
+        source.metadata["application"] = self.name
+        source.metadata["description"] = self.description
+        source.metadata["problem_size"] = str(self.problem_size)
+        return source

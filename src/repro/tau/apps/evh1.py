@@ -1,0 +1,106 @@
+"""EVH1 analog — the §5.2 speedup-analysis workload.
+
+EVH1 (Enhanced Virginia Hydrodynamics #1) is a PPM hydrodynamics
+benchmark from the PERC suite, used in the paper to exercise the trial
+browser and speedup analyzer: *"Given performance data from experiments
+with varying numbers of processors, the tool automatically calculates
+the minimum, mean and maximum values for the speedup [of] every profiled
+routine."*
+
+Profile shape modelled:
+
+* directional sweep routines (``sweepx1/2``, ``sweepy``, ``sweepz``)
+  dominated by the Riemann solver and parabola fitting — near-perfect
+  strong scaling (work ∝ N/P);
+* a transpose phase built on ``MPI_Alltoall`` whose per-rank cost grows
+  with P (message count ∝ P) — the classic scalability sink;
+* small serial-ish bookkeeping (``init``, ``dtcon``) that stops scaling
+  beyond a point (fixed cost per rank);
+* boundary-condition imbalance: edge ranks do ~10% more work, giving
+  the min/mean/max speedup spread §5.2 reports.
+"""
+
+from __future__ import annotations
+
+from ...core.model import group as groups
+from ..counters import WorkItem
+from ..simulator import RankContext
+from .base import SimulatedApplication
+
+#: zones per rank at problem_size=1 and P=1.
+_BASE_ZONES = 2.0e5
+#: floating point work per zone per sweep step.
+_FLOPS_PER_ZONE = 260.0
+
+
+class EVH1(SimulatedApplication):
+    name = "evh1"
+    description = "PPM hydrodynamics benchmark (PERC suite) — strong scaling"
+    default_metrics = ("TIME",)
+
+    def __init__(self, problem_size: float = 1.0, seed: int = 42, timesteps: int = 4):
+        super().__init__(problem_size, seed)
+        self.timesteps = timesteps
+
+    # -- imbalance model -----------------------------------------------------
+
+    def _zone_factor(self, rank: int, size: int) -> float:
+        """Edge ranks own boundary zones: ~10% extra work."""
+        if size == 1:
+            return 1.0
+        return 1.10 if rank in (0, size - 1) else 1.0
+
+    def _sweep_seconds(self, rank: int, size: int) -> float:
+        """Deterministic sweep cost (used as the collective skew model)."""
+        zones = _BASE_ZONES * self.problem_size / size * self._zone_factor(rank, size)
+        return zones * _FLOPS_PER_ZONE / 1.0e9
+
+    # -- kernel ------------------------------------------------------------------
+
+    def kernel(self, rank: RankContext) -> None:
+        size = rank.size
+        zones = _BASE_ZONES * self.problem_size / size
+        zones *= self._zone_factor(rank.rank, size)
+
+        with rank.call("init", groups.DEFAULT):
+            # fixed per-rank setup cost: does not shrink with P
+            rank.compute(flops=2.0e6)
+            rank.io("read_input", io_bytes=5.0e5)
+
+        for _step in range(self.timesteps):
+            with rank.call("dtcon", groups.COMPUTATION):
+                # timestep control: small compute + allreduce
+                rank.compute(flops=zones * 4)
+            rank.mpi(
+                "MPI_Allreduce()",
+                message_bytes=8.0,
+                collective=True,
+                imbalance=lambda r: self._sweep_seconds(r, size) * 0.02,
+            )
+
+            for sweep in ("sweepx1", "sweepy", "sweepx2", "sweepz"):
+                with rank.call(sweep, groups.COMPUTATION):
+                    with rank.call("riemann", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.55)
+                    with rank.call("parabola", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.30)
+                    with rank.call("remap", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.15)
+                # transpose between sweep directions: each rank exchanges
+                # its whole slab (zones*8 bytes) split into P messages,
+                # paying per-peer latency — the term that stops scaling.
+                # Latency is folded in as equivalent bytes so the single
+                # mpi() call carries the full cost model.
+                latency_equivalent_bytes = (
+                    size * rank.machine.latency_seconds * rank.machine.bytes_per_second
+                )
+                rank.mpi(
+                    "MPI_Alltoall()",
+                    message_bytes=zones * 8.0 + latency_equivalent_bytes,
+                    collective=True,
+                    imbalance=lambda r: self._sweep_seconds(r, size) * 0.05,
+                )
+
+        with rank.call("output", groups.IO):
+            rank.profiler.charge(WorkItem(io_bytes=zones * 16.0))
+        rank.user_event("zones processed", zones * self.timesteps)

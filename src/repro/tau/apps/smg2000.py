@@ -1,0 +1,78 @@
+"""SMG2000 analog — a communication-bound multigrid workload.
+
+SMG2000 (semicoarsening multigrid, ASCI Purple suite) is the classic
+communication-bound benchmark: V-cycles touch progressively coarser
+grids, so the compute per level shrinks geometrically while the number
+of (small) messages stays nearly constant — at scale the profile is
+dominated by MPI time.  Used in the paper's PerfExplorer dataset list.
+
+Profile shape modelled:
+
+* per V-cycle: relaxation / residual / restriction / interpolation on
+  ``levels = log2`` levels with geometrically shrinking zone counts;
+* halo exchange per level with small, latency-bound messages;
+* setup phase with heavier one-off compute.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.model import group as groups
+from ..simulator import RankContext
+from .base import SimulatedApplication
+
+_BASE_ZONES = 6.0e4
+_FLOPS_PER_ZONE = 60.0
+
+
+class SMG2000(SimulatedApplication):
+    name = "smg2000"
+    description = "ASCI Purple semicoarsening multigrid solver"
+    default_metrics = ("TIME",)
+
+    def __init__(self, problem_size: float = 1.0, seed: int = 42, cycles: int = 3):
+        super().__init__(problem_size, seed)
+        self.cycles = cycles
+
+    def _level_zones(self, size: int, level: int) -> float:
+        return _BASE_ZONES * self.problem_size / size / (2.0 ** level)
+
+    def kernel(self, rank: RankContext) -> None:
+        size = rank.size
+        levels = max(3, int(math.log2(max(_BASE_ZONES / size, 8))) // 2)
+
+        with rank.call("smg_setup", groups.DEFAULT):
+            rank.compute(flops=_BASE_ZONES * self.problem_size / size * 12.0)
+
+        for _cycle in range(self.cycles):
+            with rank.call("smg_solve", groups.COMPUTATION):
+                for level in range(levels):
+                    zones = self._level_zones(size, level)
+                    with rank.call("relax", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE)
+                    with rank.call("residual", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.5)
+                    # Halo exchange: small latency-bound messages whose
+                    # size shrinks with the level but count does not.
+                    rank.mpi(
+                        "MPI_Send()",
+                        message_bytes=max(zones ** (2.0 / 3.0) * 8.0, 64.0),
+                    )
+                    rank.mpi(
+                        "MPI_Recv()",
+                        message_bytes=max(zones ** (2.0 / 3.0) * 8.0, 64.0),
+                    )
+                    if level + 1 < levels:
+                        with rank.call("restrict", groups.COMPUTATION):
+                            rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.2)
+                for level in reversed(range(levels - 1)):
+                    zones = self._level_zones(size, level)
+                    with rank.call("interpolate", groups.COMPUTATION):
+                        rank.compute(flops=zones * _FLOPS_PER_ZONE * 0.2)
+            rank.mpi(
+                "MPI_Allreduce()",
+                message_bytes=8.0,
+                collective=True,
+                imbalance=lambda r: (r % 7) * 1.0e-5,
+            )

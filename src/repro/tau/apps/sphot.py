@@ -1,0 +1,71 @@
+"""SPhot analog — an embarrassingly parallel Monte Carlo workload.
+
+SPhot (ASCI Purple) is 2D photon transport: each rank tracks its share
+of particles independently; the only communication is a final reduction
+of tallies.  Its signature profile property is *stochastic load
+imbalance* — per-rank runtimes vary with the particle histories drawn —
+which PerfDMF's min/mean/max aggregate views surface directly.
+
+Profile shape modelled:
+
+* a dominant ``track_photons`` kernel whose work per rank varies
+  deterministically-pseudo-randomly around the mean (±15%);
+* per-particle tally bookkeeping and a source-sampling routine;
+* one final ``MPI_Reduce`` whose wait time mirrors the imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.model import group as groups
+from ..simulator import RankContext
+from .base import SimulatedApplication
+
+_BASE_PARTICLES = 4.0e4
+_FLOPS_PER_PARTICLE = 900.0
+
+
+class SPhot(SimulatedApplication):
+    name = "sphot"
+    description = "ASCI Purple Monte Carlo photon transport"
+    default_metrics = ("TIME",)
+
+    def _particles(self, rank: int, size: int) -> float:
+        """Deterministic per-rank particle workload with ±15% spread."""
+        rng = np.random.default_rng(self.seed * 7_919 + rank)
+        return (
+            _BASE_PARTICLES * self.problem_size / size
+            * float(rng.uniform(0.85, 1.15))
+        )
+
+    def _track_seconds(self, rank: int, size: int) -> float:
+        return self._particles(rank, size) * _FLOPS_PER_PARTICLE / 1.0e9
+
+    def kernel(self, rank: RankContext) -> None:
+        size = rank.size
+        particles = self._particles(rank.rank, size)
+
+        with rank.call("sphot_init", groups.DEFAULT):
+            rank.compute(flops=5.0e5)
+
+        with rank.call("source_sample", groups.COMPUTATION):
+            rank.compute(flops=particles * 20.0, branches=particles * 6.0)
+
+        with rank.call("track_photons", groups.COMPUTATION):
+            rank.compute(
+                flops=particles * _FLOPS_PER_PARTICLE,
+                loads=particles * 300.0,
+                branches=particles * 120.0,
+            )
+
+        with rank.call("tally", groups.COMPUTATION):
+            rank.compute(flops=particles * 15.0)
+
+        rank.mpi(
+            "MPI_Reduce()",
+            message_bytes=4096.0,
+            collective=True,
+            imbalance=lambda r: self._track_seconds(r, size),
+        )
+        rank.user_event("particles tracked", particles)

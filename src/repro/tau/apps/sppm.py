@@ -1,0 +1,125 @@
+"""sPPM analog — the PerfExplorer clustering workload (§5.3).
+
+sPPM (simplified Piecewise Parabolic Method) is the ASCI Purple
+benchmark whose counter data Ahn & Vetter analysed: k-means over
+per-thread PAPI metrics separates thread populations with *"interesting
+floating point operation behavior"* — boundary-handling threads execute
+markedly fewer FLOPs (and different cache behaviour) than interior
+threads.  The paper reproduced that analysis with PerfExplorer.
+
+Profile shape modelled:
+
+* ~20 routines: hydrodynamics sweeps (high FLOP density), interface
+  sharpening (branchy, cache-unfriendly), halo exchange, I/O dumps;
+* **two thread populations**: ranks on the faces of the 3D domain
+  decomposition do boundary work — fewer interior zones (≈25% fewer
+  FLOPs) and heavier branch/miss rates.  Interior ranks are FLOP-dense.
+  This bimodality is what the E5 clustering must discover;
+* seven PAPI counters plus TIME (the LLNL collection limit).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...core.model import group as groups
+from ..counters import DEFAULT_COUNTERS, WorkItem
+from ..simulator import RankContext
+from .base import SimulatedApplication
+
+_BASE_ZONES = 1.2e5
+_FLOPS_PER_ZONE = 420.0
+
+
+def boundary_fraction(rank: int, size: int) -> bool:
+    """True when ``rank`` sits on the face of the 1D-folded 3D grid.
+
+    We fold ranks into a cube of side ``s = round(size ** (1/3))``; a
+    rank is a *boundary* rank when any of its 3D coordinates touches a
+    face.  For non-cubic counts the fold truncates, which is fine — we
+    only need a deterministic, roughly face-proportional split.
+    """
+    side = max(2, round(size ** (1.0 / 3.0)))
+    x = rank % side
+    y = (rank // side) % side
+    z = rank // (side * side)
+    return 0 in (x, y) or side - 1 in (x, y) or z == 0 or z >= side - 1
+
+
+class SPPM(SimulatedApplication):
+    name = "sppm"
+    description = "ASCI Purple sPPM gas dynamics benchmark — counter study"
+    default_metrics = ("TIME",) + DEFAULT_COUNTERS
+
+    def __init__(self, problem_size: float = 1.0, seed: int = 42, timesteps: int = 3):
+        super().__init__(problem_size, seed)
+        self.timesteps = timesteps
+
+    def _is_boundary(self, rank: int, size: int) -> bool:
+        return boundary_fraction(rank, size)
+
+    def _zone_count(self, rank: int, size: int) -> float:
+        zones = _BASE_ZONES * self.problem_size
+        if self._is_boundary(rank, size):
+            zones *= 0.75  # fewer interior zones on domain faces
+        return zones
+
+    def _sweep_seconds(self, rank: int, size: int) -> float:
+        return self._zone_count(rank, size) * _FLOPS_PER_ZONE / 1.0e9
+
+    def kernel(self, rank: RankContext) -> None:
+        size = rank.size
+        boundary = self._is_boundary(rank.rank, size)
+        zones = self._zone_count(rank.rank, size)
+
+        with rank.call("sppm_init", groups.DEFAULT):
+            rank.compute(flops=1.0e6)
+
+        for _step in range(self.timesteps):
+            for direction in ("x", "y", "z"):
+                with rank.call(f"sweep_{direction}", groups.COMPUTATION):
+                    with rank.call("hydro_kernel", groups.COMPUTATION):
+                        # FLOP-dense interior update
+                        rank.compute(
+                            flops=zones * _FLOPS_PER_ZONE * 0.7,
+                            loads=zones * 120.0,
+                            branches=zones * 8.0,
+                        )
+                    with rank.call("interface_sharpen", groups.COMPUTATION):
+                        # branchy, cache-hostile; boundary ranks do much
+                        # more of it (ghost-zone handling)
+                        factor = 2.5 if boundary else 1.0
+                        rank.compute(
+                            flops=zones * _FLOPS_PER_ZONE * 0.08 * factor,
+                            loads=zones * 220.0 * factor,
+                            branches=zones * 45.0 * factor,
+                        )
+                    if boundary:
+                        with rank.call("boundary_conditions", groups.COMPUTATION):
+                            rank.compute(
+                                flops=zones * _FLOPS_PER_ZONE * 0.05,
+                                loads=zones * 90.0,
+                                branches=zones * 30.0,
+                            )
+                rank.mpi(
+                    "MPI_Isend()",
+                    message_bytes=(zones ** (2.0 / 3.0)) * 48.0,
+                )
+                rank.mpi(
+                    "MPI_Wait()",
+                    message_bytes=0.0,
+                    collective=True,
+                    imbalance=lambda r: self._sweep_seconds(r, size) * 0.03,
+                )
+            rank.mpi(
+                "MPI_Allreduce()",
+                message_bytes=8.0,
+                collective=True,
+                imbalance=lambda r: self._sweep_seconds(r, size) * 0.02,
+            )
+            rank.user_event(
+                "Timestep zones", zones
+            )
+
+        with rank.call("dump_state", groups.IO):
+            rank.profiler.charge(WorkItem(io_bytes=zones * 24.0))

@@ -1,0 +1,167 @@
+"""Simulated PAPI hardware counters.
+
+The paper's PerfExplorer datasets carried *"up to 7 PAPI hardware
+counters"* (§5.3).  Real counters require real hardware; this module
+substitutes a deterministic cost/counter model: application kernels
+describe their work as a :class:`WorkItem` (floating-point operations,
+memory traffic, messages, I/O bytes) and each registered counter
+advances as a fixed linear function of that work, with a small seeded
+multiplicative jitter standing in for micro-architectural noise.
+
+The substitution preserves what the downstream analyses consume: counter
+*ratios* that differ systematically between code regions and thread
+populations (the basis of the Ahn & Vetter clustering result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+#: Metric names mirroring the PAPI preset events used at LLNL.
+PAPI_FP_OPS = "PAPI_FP_OPS"
+PAPI_TOT_CYC = "PAPI_TOT_CYC"
+PAPI_TOT_INS = "PAPI_TOT_INS"
+PAPI_L1_DCM = "PAPI_L1_DCM"
+PAPI_L2_DCM = "PAPI_L2_DCM"
+PAPI_BR_INS = "PAPI_BR_INS"
+PAPI_LD_INS = "PAPI_LD_INS"
+TIME = "TIME"
+
+#: The 7-counter set the sPPM study collected (plus wall clock).
+DEFAULT_COUNTERS = (
+    PAPI_FP_OPS, PAPI_TOT_CYC, PAPI_TOT_INS, PAPI_L1_DCM,
+    PAPI_L2_DCM, PAPI_BR_INS, PAPI_LD_INS,
+)
+
+
+@dataclass
+class WorkItem:
+    """One unit of simulated work, in abstract machine quantities."""
+
+    flops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+    message_bytes: float = 0.0
+    io_bytes: float = 0.0
+    #: synchronisation / idle component, seconds of pure waiting
+    wait_seconds: float = 0.0
+
+    def scaled(self, factor: float) -> "WorkItem":
+        return WorkItem(
+            flops=self.flops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            branches=self.branches * factor,
+            message_bytes=self.message_bytes * factor,
+            io_bytes=self.io_bytes * factor,
+            wait_seconds=self.wait_seconds * factor,
+        )
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost coefficients for the simulated machine.
+
+    Defaults are loosely calibrated to a 2005-era 1 GFLOP/s node with a
+    high-latency interconnect (BlueGene/L-ish), so profile shapes —
+    compute/communication ratios, cache-miss rates — land in a
+    realistic range.
+    """
+
+    flops_per_second: float = 1.0e9
+    bytes_per_second: float = 5.0e8  #: network bandwidth
+    latency_seconds: float = 5.0e-6  #: per-message latency
+    io_bytes_per_second: float = 2.0e8
+    cycles_per_second: float = 1.4e9
+    l1_miss_rate: float = 0.04  #: misses per load
+    l2_miss_rate: float = 0.008
+
+    def seconds_for(self, work: WorkItem) -> float:
+        """Wall-clock cost of one work item."""
+        compute = work.flops / self.flops_per_second
+        memory = (work.loads + work.stores) * 8.0 / (self.bytes_per_second * 10)
+        network = 0.0
+        if work.message_bytes > 0:
+            network = self.latency_seconds + work.message_bytes / self.bytes_per_second
+        io = work.io_bytes / self.io_bytes_per_second if work.io_bytes else 0.0
+        return compute + memory + network + io + work.wait_seconds
+
+
+class CounterBank:
+    """Per-thread counter accumulation with deterministic jitter.
+
+    ``advance(work)`` returns the per-metric deltas for one work item.
+    Metric 0 is always wall-clock TIME (seconds scaled to microseconds,
+    TAU's native unit).
+    """
+
+    #: microseconds per second — TAU profiles store time in usec.
+    USEC = 1.0e6
+
+    def __init__(
+        self,
+        metrics: tuple[str, ...] = (TIME,),
+        machine: MachineModel | None = None,
+        seed: int = 0,
+        jitter: float = 0.02,
+    ):
+        if not metrics or metrics[0] != TIME:
+            metrics = (TIME,) + tuple(m for m in metrics if m != TIME)
+        self.metrics = metrics
+        self.machine = machine or MachineModel()
+        self._base_seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.jitter = jitter
+
+    def _jitter(self) -> float:
+        if self.jitter <= 0:
+            return 1.0
+        return float(1.0 + self.rng.normal(0.0, self.jitter))
+
+    def rekey(self, jitter_key: str) -> None:
+        """Re-derive the jitter stream from ``jitter_key``.
+
+        Called by the instrumentation layer with (event path, charge
+        index) so the same logical charge always draws the same jitter —
+        this is what makes snapshot replays exact cumulative prefixes
+        (see :mod:`repro.tau.snapshots`).
+        """
+        import zlib
+
+        digest = zlib.crc32(jitter_key.encode("utf-8"))
+        self.rng = np.random.default_rng((self._base_seed << 32) ^ digest)
+
+    def advance(self, work: WorkItem, speed_factor: float = 1.0) -> dict[str, float]:
+        """Per-metric deltas for ``work`` on a thread running at
+        ``speed_factor`` × nominal speed (load imbalance knob)."""
+        machine = self.machine
+        seconds = machine.seconds_for(work) / max(speed_factor, 1e-9)
+        seconds *= max(self._jitter(), 0.01)
+        deltas: dict[str, float] = {}
+        for metric in self.metrics:
+            if metric == TIME:
+                deltas[metric] = seconds * self.USEC
+            elif metric == PAPI_FP_OPS:
+                deltas[metric] = work.flops * max(self._jitter(), 0.01)
+            elif metric == PAPI_TOT_CYC:
+                deltas[metric] = seconds * machine.cycles_per_second
+            elif metric == PAPI_TOT_INS:
+                deltas[metric] = (
+                    work.flops * 1.1 + (work.loads + work.stores) + work.branches
+                ) * max(self._jitter(), 0.01)
+            elif metric == PAPI_L1_DCM:
+                deltas[metric] = work.loads * machine.l1_miss_rate * max(self._jitter(), 0.01)
+            elif metric == PAPI_L2_DCM:
+                deltas[metric] = work.loads * machine.l2_miss_rate * max(self._jitter(), 0.01)
+            elif metric == PAPI_BR_INS:
+                deltas[metric] = work.branches * max(self._jitter(), 0.01)
+            elif metric == PAPI_LD_INS:
+                deltas[metric] = work.loads * max(self._jitter(), 0.01)
+            else:
+                # Unknown counters scale with instructions.
+                deltas[metric] = (work.flops + work.loads) * max(self._jitter(), 0.01)
+        return deltas

@@ -1,0 +1,188 @@
+"""TAU-style instrumentation API over the simulated machine.
+
+A :class:`ThreadProfiler` mirrors TAU's measurement core for one thread:
+timers with start/stop semantics and proper inclusive/exclusive
+attribution through a timer stack, optional callpath recording
+(``a => b`` events, like ``TAU_CALLPATH``), and user-defined atomic
+events.  Work is charged to the innermost running timer via
+:meth:`charge`.
+
+Correctness invariants (tested):
+
+* exclusive(e) ≤ inclusive(e) per (event, metric);
+* Σ exclusive over all events = inclusive of the root timer;
+* calls/subroutine counts consistent with the nesting structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.model import DataSource, group as groups
+from ..core.model.events import CALLPATH_SEPARATOR
+from .counters import CounterBank, WorkItem
+
+
+class InstrumentationError(RuntimeError):
+    """Raised for unbalanced start/stop sequences."""
+
+
+@dataclass
+class _TimerFrame:
+    name: str
+    group: str
+    inclusive: list[float]  # per metric, accumulated at stop
+    child_time: list[float]  # per metric, time attributed to children
+    path: str  # full callpath string
+
+
+class ThreadProfiler:
+    """Measurement state for one simulated thread."""
+
+    def __init__(
+        self,
+        datasource: DataSource,
+        node_id: int,
+        context_id: int = 0,
+        thread_id: int = 0,
+        counters: Optional[CounterBank] = None,
+        callpaths: bool = False,
+        speed_factor: float = 1.0,
+    ):
+        self.datasource = datasource
+        self.counters = counters or CounterBank(seed=node_id)
+        for metric_name in self.counters.metrics:
+            datasource.add_metric(metric_name)
+        self.thread = datasource.add_thread(node_id, context_id, thread_id)
+        self.callpaths = callpaths
+        self.speed_factor = speed_factor
+        self._stack: list[_TimerFrame] = []
+        self._n_metrics = len(self.counters.metrics)
+        self._charge_counts: dict[str, int] = {}
+
+    # -- timers ----------------------------------------------------------------
+
+    def start(self, name: str, group: str = groups.DEFAULT) -> None:
+        """Enter the timer ``name``."""
+        if self._stack:
+            parent_path = self._stack[-1].path
+            path = f"{parent_path}{CALLPATH_SEPARATOR}{name}"
+        else:
+            path = name
+        self._stack.append(
+            _TimerFrame(
+                name=name,
+                group=group,
+                inclusive=[0.0] * self._n_metrics,
+                child_time=[0.0] * self._n_metrics,
+                path=path,
+            )
+        )
+
+    def stop(self, name: Optional[str] = None) -> None:
+        """Leave the innermost timer (optionally verifying its name)."""
+        if not self._stack:
+            raise InstrumentationError("stop() without a running timer")
+        frame = self._stack.pop()
+        if name is not None and frame.name != name:
+            raise InstrumentationError(
+                f"stop({name!r}) but innermost timer is {frame.name!r}"
+            )
+        self._record(frame)
+        if self._stack:
+            parent = self._stack[-1]
+            for m in range(self._n_metrics):
+                parent.inclusive[m] += frame.inclusive[m]
+                parent.child_time[m] += frame.inclusive[m]
+
+    def _record(self, frame: _TimerFrame) -> None:
+        event = self.datasource.add_interval_event(frame.name, frame.group)
+        profile = self.thread.get_or_create_function_profile(event)
+        for m in range(self._n_metrics):
+            exclusive = frame.inclusive[m] - frame.child_time[m]
+            profile.accumulate(
+                m, frame.inclusive[m], exclusive,
+                calls=1 if m == 0 else 0,
+                subroutines=0,
+            )
+        # subroutine count: number of direct child timer invocations —
+        # tracked through the child stop path below.
+        if self.callpaths and CALLPATH_SEPARATOR not in frame.name and self._stack:
+            cp_event = self.datasource.add_interval_event(
+                frame.path, groups.CALLPATH
+            )
+            cp_profile = self.thread.get_or_create_function_profile(cp_event)
+            for m in range(self._n_metrics):
+                exclusive = frame.inclusive[m] - frame.child_time[m]
+                cp_profile.accumulate(
+                    m, frame.inclusive[m], exclusive,
+                    calls=1 if m == 0 else 0,
+                )
+        if self._stack:
+            parent_event = self.datasource.add_interval_event(
+                self._stack[-1].name, self._stack[-1].group
+            )
+            parent_profile = self.thread.get_or_create_function_profile(parent_event)
+            parent_profile.subroutines += 1
+
+    def charge(self, work: WorkItem) -> dict[str, float]:
+        """Charge ``work`` to the innermost running timer.
+
+        The jitter stream is re-keyed per (callpath, charge index) so
+        that identical logical charges draw identical noise regardless
+        of what ran before them — replayed runs are exact prefixes,
+        which snapshot capture depends on.
+        """
+        if not self._stack:
+            raise InstrumentationError("charge() outside any timer")
+        path = self._stack[-1].path
+        index = self._charge_counts.get(path, 0)
+        self._charge_counts[path] = index + 1
+        self.counters.rekey(f"{path}#{index}")
+        deltas = self.counters.advance(work, self.speed_factor)
+        frame = self._stack[-1]
+        for m, metric_name in enumerate(self.counters.metrics):
+            frame.inclusive[m] += deltas[metric_name]
+        return deltas
+
+    # -- atomic (user) events --------------------------------------------------
+
+    def trigger(self, name: str, value: float, group: str = groups.DEFAULT) -> None:
+        """Record one sample of a user-defined atomic event."""
+        event = self.datasource.add_atomic_event(name, group)
+        profile = self.thread.get_or_create_user_event_profile(event)
+        profile.add_sample(value)
+
+    # -- scoping helpers ---------------------------------------------------------
+
+    class _TimerContext:
+        __slots__ = ("profiler", "name")
+
+        def __init__(self, profiler: "ThreadProfiler", name: str):
+            self.profiler = profiler
+            self.name = name
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            self.profiler.stop(self.name)
+            return False
+
+    def timer(self, name: str, group: str = groups.DEFAULT) -> "_TimerContext":
+        """``with profiler.timer("solve"): ...`` convenience wrapper."""
+        self.start(name, group)
+        return self._TimerContext(self, name)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def finish(self) -> None:
+        """Verify all timers are stopped (end-of-run check)."""
+        if self._stack:
+            raise InstrumentationError(
+                f"timers still running at finish: "
+                f"{[f.name for f in self._stack]}"
+            )

@@ -1,0 +1,150 @@
+"""SPMD parallel-application simulator.
+
+The paper's evaluation data came from production runs at LLNL (sPPM,
+SMG2000, SPhot, Miranda, EVH1 on up to 16K BlueGene/L processors).  We
+have no such machine, so this module substitutes a deterministic SPMD
+simulator: an *application kernel* is a Python function executed once
+per rank against a :class:`RankContext` that exposes TAU-like
+instrumentation (`call`, `compute`, `mpi`, `io`, `user_event`) over the
+simulated cost model in :mod:`repro.tau.counters`.
+
+Collective operations need cross-rank coupling (everyone waits for the
+slowest rank).  Ranks run independently here, so collectives take an
+*imbalance closure*: a deterministic function ``rank → local cost`` that
+every rank can evaluate for all peers, letting each rank compute the
+true max without message exchange.  This preserves the property the
+paper's analyses depend on — per-rank communication time reflecting
+global load imbalance — while staying embarrassingly parallel to
+simulate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..core.model import DataSource, group as groups
+from .counters import CounterBank, MachineModel, WorkItem
+from .instrumentation import ThreadProfiler
+from .topology import Topology
+
+AppKernel = Callable[["RankContext"], None]
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that determines a run (fully deterministic per seed)."""
+
+    ranks: int
+    metrics: tuple[str, ...] = ("TIME",)
+    seed: int = 42
+    callpaths: bool = False
+    machine: Optional[MachineModel] = None
+    topology: Optional[Topology] = None
+    #: per-rank relative speed; default = homogeneous machine
+    speed_of: Optional[Callable[[int], float]] = None
+
+
+class RankContext:
+    """The per-rank view an application kernel programs against."""
+
+    def __init__(self, config: SimulationConfig, rank: int, datasource: DataSource):
+        self.config = config
+        self.rank = rank
+        self.size = config.ranks
+        topology = config.topology or Topology.flat(config.ranks)
+        node, context, thread = topology.triple_for(rank)
+        speed = config.speed_of(rank) if config.speed_of else 1.0
+        counters = CounterBank(
+            metrics=config.metrics,
+            machine=config.machine,
+            seed=config.seed * 1_000_003 + rank,
+        )
+        self.profiler = ThreadProfiler(
+            datasource, node, context, thread,
+            counters=counters,
+            callpaths=config.callpaths,
+            speed_factor=speed,
+        )
+        self.machine = counters.machine
+
+    # -- structured regions ------------------------------------------------------
+
+    def call(self, name: str, group: str = groups.DEFAULT):
+        """``with rank.call("solve"): ...`` — a timed region."""
+        return self.profiler.timer(name, group)
+
+    # -- work primitives -----------------------------------------------------------
+
+    def compute(
+        self,
+        flops: float,
+        loads: Optional[float] = None,
+        stores: Optional[float] = None,
+        branches: Optional[float] = None,
+    ) -> None:
+        """Charge a computational kernel to the current region."""
+        loads = flops * 0.6 if loads is None else loads
+        stores = flops * 0.25 if stores is None else stores
+        branches = flops * 0.08 if branches is None else branches
+        self.profiler.charge(
+            WorkItem(flops=flops, loads=loads, stores=stores, branches=branches)
+        )
+
+    def mpi(
+        self,
+        routine: str,
+        message_bytes: float = 0.0,
+        collective: bool = False,
+        imbalance: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        """Execute an MPI routine inside its own timer.
+
+        For collectives, ``imbalance(rank) -> seconds`` describes each
+        rank's arrival skew; every rank pays the gap between its own
+        arrival and the latest arrival plus a log(P) combining cost.
+        """
+        with self.call(routine, groups.COMMUNICATION):
+            wait = 0.0
+            if collective:
+                skews = (
+                    [imbalance(r) for r in range(self.size)]
+                    if imbalance is not None
+                    else [0.0] * self.size
+                )
+                my_skew = skews[self.rank]
+                wait = max(skews) - my_skew
+                wait += math.log2(max(self.size, 2)) * self.machine.latency_seconds
+            self.profiler.charge(
+                WorkItem(message_bytes=message_bytes, wait_seconds=wait)
+            )
+            if message_bytes > 0:
+                self.user_event("Message size sent", message_bytes)
+
+    def io(self, routine: str, io_bytes: float) -> None:
+        with self.call(routine, groups.IO):
+            self.profiler.charge(WorkItem(io_bytes=io_bytes))
+
+    def idle(self, seconds: float) -> None:
+        """Pure waiting inside the current region (load imbalance)."""
+        self.profiler.charge(WorkItem(wait_seconds=seconds))
+
+    def user_event(self, name: str, value: float) -> None:
+        self.profiler.trigger(name, value)
+
+
+def run_simulation(kernel: AppKernel, config: SimulationConfig) -> DataSource:
+    """Execute ``kernel`` once per rank and return the merged profile."""
+    datasource = DataSource()
+    for metric_name in config.metrics:
+        datasource.add_metric(metric_name)
+    for rank in range(config.ranks):
+        context = RankContext(config, rank, datasource)
+        with context.call("main"):
+            kernel(context)
+        context.profiler.finish()
+    datasource.generate_statistics()
+    datasource.metadata.setdefault("simulator.seed", str(config.seed))
+    datasource.metadata.setdefault("simulator.ranks", str(config.ranks))
+    return datasource

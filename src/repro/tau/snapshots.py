@@ -1,0 +1,44 @@
+"""Snapshot capture for simulated applications.
+
+Real TAU writes cumulative profile snapshots at runtime triggers; the
+simulator equivalent replays the application at increasing timestep
+counts with the *same seed*.  Because the per-rank RNG streams are
+deterministic, the k-step profile is an exact prefix of the (k+1)-step
+profile, which gives genuine cumulative snapshots (monotonicity holds
+by construction and is asserted in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.model import DataSource
+from ..core.model.snapshot import SnapshotSeries
+
+#: A factory: given a timestep count, return a runnable application.
+AppFactory = Callable[[int], "object"]
+
+
+def capture_series(
+    app_factory: AppFactory,
+    ranks: int,
+    steps: Sequence[int],
+    seconds_per_step: float = 1.0,
+) -> SnapshotSeries:
+    """Capture a snapshot series by replaying at each step count.
+
+    ``app_factory(n_steps)`` must build the application configured for
+    ``n_steps`` timesteps with a fixed seed; ``steps`` must increase.
+    """
+    if list(steps) != sorted(set(steps)):
+        raise ValueError("steps must be strictly increasing")
+    series = SnapshotSeries()
+    for n_steps in steps:
+        app = app_factory(n_steps)
+        source: DataSource = app.run(ranks)
+        series.add(
+            timestamp=n_steps * seconds_per_step,
+            source=source,
+            label=f"after step {n_steps}",
+        )
+    return series

@@ -1,0 +1,49 @@
+"""Topology descriptions for simulated runs.
+
+Maps MPI-style ranks onto PerfDMF's (node, context, thread) hierarchy.
+Flat MPI runs map rank → node; hybrid runs pack several threads per
+node the way the LLNL datasets did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Shape of a simulated parallel machine allocation."""
+
+    nodes: int
+    contexts_per_node: int = 1
+    threads_per_context: int = 1
+
+    @property
+    def total_threads(self) -> int:
+        return self.nodes * self.contexts_per_node * self.threads_per_context
+
+    def triple_for(self, rank: int) -> tuple[int, int, int]:
+        """The (node, context, thread) triple of global rank ``rank``."""
+        if not 0 <= rank < self.total_threads:
+            raise ValueError(f"rank {rank} out of range 0..{self.total_threads - 1}")
+        per_node = self.contexts_per_node * self.threads_per_context
+        node = rank // per_node
+        within = rank % per_node
+        context = within // self.threads_per_context
+        thread = within % self.threads_per_context
+        return (node, context, thread)
+
+    def rank_for(self, node: int, context: int, thread: int) -> int:
+        """Inverse of :meth:`triple_for`."""
+        per_node = self.contexts_per_node * self.threads_per_context
+        return node * per_node + context * self.threads_per_context + thread
+
+    @classmethod
+    def flat(cls, ranks: int) -> "Topology":
+        """One rank per node: the classic MPI-everywhere layout."""
+        return cls(nodes=ranks)
+
+    @classmethod
+    def hybrid(cls, nodes: int, threads_per_node: int) -> "Topology":
+        """One context per node, many threads (MPI+OpenMP style)."""
+        return cls(nodes=nodes, threads_per_context=threads_per_node)

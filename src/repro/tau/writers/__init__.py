@@ -1,0 +1,21 @@
+"""Native-format profile writers.
+
+Each writer emits files structurally faithful to the real tool's output
+so that :mod:`repro.core.io_`'s importers parse realistic input — the
+same pairing PerfDMF was tested against (paper §3.1's six formats, plus
+SvPablo).
+"""
+
+from .dynaprof_writer import write_dynaprof_output
+from .gprof_writer import write_gprof_output
+from .hpm_writer import write_hpm_output
+from .mpip_writer import write_mpip_report
+from .psrun_writer import write_psrun_output
+from .svpablo_writer import write_svpablo_output
+from .tau_writer import write_tau_profiles
+
+__all__ = [
+    "write_tau_profiles", "write_gprof_output", "write_mpip_report",
+    "write_dynaprof_output", "write_hpm_output", "write_psrun_output",
+    "write_svpablo_output",
+]

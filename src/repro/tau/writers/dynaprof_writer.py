@@ -1,0 +1,72 @@
+"""Writer for dynaprof (papiprof) text output.
+
+dynaprof instruments binaries with DynInst and reports per-probe PAPI
+totals.  Its text output (one file per process) has an exclusive and an
+inclusive section, each a simple name/percent/total/calls table::
+
+    Exclusive Profile of metric PAPI_FP_OPS.
+
+    Name                     Percent      Total       Calls
+    -------------------------------------------------------
+    TOTAL                    100          1.234e+09   1
+    main                     45.2         5.578e+08   1
+    ...
+
+    Inclusive Profile of metric PAPI_FP_OPS.
+    ...
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...core.model import DataSource
+
+
+def write_dynaprof_output(
+    source: DataSource, directory: str | os.PathLike, metric: int = 0
+) -> list[Path]:
+    """Write one ``<app>.dynaprof.N`` file per thread."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    metric_name = (
+        source.metrics[metric].name if source.metrics else "WALLCLOCK"
+    )
+    written: list[Path] = []
+    for thread in source.all_threads():
+        rank = thread.node_id
+        path = base / f"app.dynaprof.{rank}"
+        written.append(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            _section(fh, thread, metric, metric_name, inclusive=False)
+            fh.write("\n")
+            _section(fh, thread, metric, metric_name, inclusive=True)
+    return written
+
+
+def _section(fh, thread, metric: int, metric_name: str, inclusive: bool) -> None:
+    kind = "Inclusive" if inclusive else "Exclusive"
+    fh.write(f"{kind} Profile of metric {metric_name}.\n\n")
+    fh.write(f"{'Name':<28s} {'Percent':<12s} {'Total':<14s} {'Calls':<8s}\n")
+    fh.write("-" * 64 + "\n")
+    get = (
+        (lambda p: p.get_inclusive(metric))
+        if inclusive
+        else (lambda p: p.get_exclusive(metric))
+    )
+    profiles = sorted(
+        thread.function_profiles.values(), key=get, reverse=True
+    )
+    if inclusive:
+        total = max((get(p) for p in profiles), default=0.0)
+    else:
+        total = sum(get(p) for p in profiles)
+    fh.write(f"{'TOTAL':<28s} {'100':<12s} {total:<14.6g} {1:<8d}\n")
+    for profile in profiles:
+        value = get(profile)
+        pct = 100.0 * value / total if total > 0 else 0.0
+        fh.write(
+            f"{profile.event.name:<28s} {pct:<12.4g} {value:<14.6g} "
+            f"{int(profile.calls):<8d}\n"
+        )

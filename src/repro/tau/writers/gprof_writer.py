@@ -1,0 +1,92 @@
+"""Writer for gprof text output (``gprof -p -q`` style).
+
+Emits the two classic sections PerfDMF's gprof importer understands:
+
+* the **flat profile** (``gprof -p``): per-function self seconds,
+  cumulative seconds, call counts;
+* the **call graph** (``gprof -q``): index blocks with parent/child
+  lines, used to recover subroutine counts.
+
+gprof is a sequential profiler — one output file per process.  Time is
+written in seconds (the importer converts to microseconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...core.model import DataSource
+
+_FLAT_HEADER = """Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+"""
+
+_GRAPH_HEADER = """
+\t\t     Call graph (explanation follows)
+
+
+granularity: each sample hit covers 2 byte(s) for 0.01% of {total:.2f} seconds
+
+index % time    self  children    called     name
+"""
+
+
+def write_gprof_output(
+    source: DataSource, directory: str | os.PathLike, metric: int = 0
+) -> list[Path]:
+    """Write one ``gprof.out.N.C.T`` file per thread under ``directory``."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for thread in source.all_threads():
+        path = base / (
+            f"gprof.out.{thread.node_id}.{thread.context_id}.{thread.thread_id}"
+        )
+        written.append(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            _write_one(fh, thread, metric)
+    return written
+
+
+def _write_one(fh, thread, metric: int) -> None:
+    profiles = sorted(
+        thread.function_profiles.values(),
+        key=lambda p: p.get_exclusive(metric),
+        reverse=True,
+    )
+    usec = 1.0e6
+    total_self = sum(p.get_exclusive(metric) for p in profiles) / usec
+    fh.write(_FLAT_HEADER)
+    cumulative = 0.0
+    for profile in profiles:
+        self_seconds = profile.get_exclusive(metric) / usec
+        cumulative += self_seconds
+        pct = 100.0 * self_seconds / total_self if total_self > 0 else 0.0
+        calls = int(profile.calls)
+        self_ms = self_seconds * 1000.0 / calls if calls else 0.0
+        total_ms = profile.get_inclusive(metric) / usec * 1000.0 / calls if calls else 0.0
+        fh.write(
+            f"{pct:6.2f} {cumulative:10.2f} {self_seconds:9.2f} "
+            f"{calls:8d} {self_ms:8.2f} {total_ms:8.2f}  {profile.event.name}\n"
+        )
+    fh.write(_GRAPH_HEADER.format(total=max(total_self, 0.01)))
+    for index, profile in enumerate(profiles, start=1):
+        self_seconds = profile.get_exclusive(metric) / usec
+        child_seconds = (
+            profile.get_inclusive(metric) - profile.get_exclusive(metric)
+        ) / usec
+        pct = (
+            100.0 * profile.get_inclusive(metric) / usec / total_self
+            if total_self > 0
+            else 0.0
+        )
+        calls = int(profile.calls)
+        fh.write(
+            f"[{index}] {min(pct, 100.0):8.1f} {self_seconds:7.2f} "
+            f"{child_seconds:9.2f} {calls:7d}         {profile.event.name} [{index}]\n"
+        )
+        fh.write("-----------------------------------------------\n")

@@ -1,0 +1,119 @@
+"""Writer for mpiP text reports.
+
+mpiP (LLNL) produces one text report per run summarising MPI behaviour.
+PerfDMF's importer consumes three sections, which we emit:
+
+* ``@--- MPI Time (seconds) ---`` — per-task application vs MPI time;
+* ``@--- Callsites ---`` — callsite id → routine name mapping;
+* ``@--- Callsite Time statistics (all, milliseconds) ---`` —
+  per-callsite, per-rank count/max/mean/min rows, plus ``*`` aggregate
+  rows.
+
+The report covers only events in the MPI group; application (non-MPI)
+time appears as the per-task ``AppTime`` and becomes a synthetic
+"Application" event on import.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...core.model import DataSource, group as groups
+
+
+def write_mpip_report(
+    source: DataSource, path: str | os.PathLike, metric: int = 0
+) -> Path:
+    """Write a single mpiP-style report for the whole trial."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    usec = 1.0e6
+
+    threads = list(source.all_threads())
+    mpi_events = [
+        e for e in source.interval_events.values()
+        if groups.COMMUNICATION in e.groups
+    ]
+
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write("@ mpiP\n")
+        fh.write("@ Command : simulated application\n")
+        fh.write(f"@ MPI Task Assignment : {len(threads)} tasks\n")
+        fh.write("@\n")
+
+        fh.write("@--- MPI Time (seconds) " + "-" * 40 + "\n")
+        fh.write("Task    AppTime    MPITime     MPI%\n")
+        total_app = total_mpi = 0.0
+        for task, thread in enumerate(threads):
+            app_time = thread.max_inclusive(metric) / usec
+            mpi_time = sum(
+                thread.function_profiles[e.index].get_inclusive(metric)
+                for e in mpi_events
+                if e.index in thread.function_profiles
+            ) / usec
+            pct = 100.0 * mpi_time / app_time if app_time > 0 else 0.0
+            fh.write(f"{task:4d} {app_time:10.4g} {mpi_time:10.4g} {pct:8.2f}\n")
+            total_app += app_time
+            total_mpi += mpi_time
+        pct = 100.0 * total_mpi / total_app if total_app > 0 else 0.0
+        fh.write(f"   * {total_app:10.4g} {total_mpi:10.4g} {pct:8.2f}\n")
+        fh.write("\n")
+
+        fh.write("@--- Callsites: " + str(len(mpi_events)) + " " + "-" * 40 + "\n")
+        fh.write(" ID Lev File/Address        Line Parent_Funct             MPI_Call\n")
+        for site_id, event in enumerate(mpi_events, start=1):
+            call = event.name.replace("MPI_", "").rstrip("()")
+            fh.write(
+                f"{site_id:3d}   0 simulated.c          {100 + site_id:4d} "
+                f"application              {_bare_call(event.name)}\n"
+            )
+        fh.write("\n")
+
+        fh.write(
+            "@--- Callsite Time statistics (all, milliseconds): "
+            f"{len(mpi_events) * (len(threads) + 1)} " + "-" * 20 + "\n"
+        )
+        fh.write("Name              Site Rank  Count      Max     Mean      Min   App%   MPI%\n")
+        for site_id, event in enumerate(mpi_events, start=1):
+            name = _bare_call(event.name)
+            agg_count = 0
+            agg_total = 0.0
+            agg_max = 0.0
+            agg_min = float("inf")
+            for task, thread in enumerate(threads):
+                profile = thread.function_profiles.get(event.index)
+                if profile is None or profile.calls == 0:
+                    continue
+                count = int(profile.calls)
+                total_ms = profile.get_inclusive(metric) / 1000.0
+                mean_ms = total_ms / count
+                # max/min per call are not tracked; approximate with mean
+                max_ms = mean_ms * 1.5
+                min_ms = mean_ms * 0.5
+                app_time = thread.max_inclusive(metric) / 1000.0
+                app_pct = 100.0 * total_ms / app_time if app_time > 0 else 0.0
+                fh.write(
+                    f"{name:<17s} {site_id:4d} {task:4d} {count:6d} "
+                    f"{max_ms:8.4g} {mean_ms:8.4g} {min_ms:8.4g} "
+                    f"{app_pct:6.2f} {min(app_pct * 1.2, 100.0):6.2f}\n"
+                )
+                agg_count += count
+                agg_total += total_ms
+                agg_max = max(agg_max, max_ms)
+                agg_min = min(agg_min, min_ms)
+            if agg_count:
+                fh.write(
+                    f"{name:<17s} {site_id:4d}    * {agg_count:6d} "
+                    f"{agg_max:8.4g} {agg_total / agg_count:8.4g} {agg_min:8.4g} "
+                    f"{0.0:6.2f} {0.0:6.2f}\n"
+                )
+        fh.write("\n@--- End of Report " + "-" * 50 + "\n")
+    return out
+
+
+def _bare_call(event_name: str) -> str:
+    """``MPI_Send() [call 3]`` → ``Send``, matching mpiP's short names."""
+    name = event_name.split("[", 1)[0].strip()
+    name = name.replace("MPI_", "").rstrip("()")
+    return name

@@ -1,0 +1,61 @@
+"""Writer for PerfSuite ``psrun`` XML output.
+
+psrun measures whole-process hardware counter totals and writes one XML
+document per process (``<hwpcreport>``).  There is no per-function
+breakdown — PerfDMF's importer maps the whole run to a single "Entire
+application" event with one metric per counter, which is exactly what
+this writer emits.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from ...core.model import DataSource
+
+
+def write_psrun_output(
+    source: DataSource, directory: str | os.PathLike
+) -> list[Path]:
+    """Write one ``psrun.<rank>.xml`` file per thread under ``directory``."""
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    usec = 1.0e6
+    time_metric = source.time_metric()
+    written: list[Path] = []
+    for thread in source.all_threads():
+        path = base / f"psrun.{thread.node_id}.xml"
+        written.append(path)
+        wall = thread.max_inclusive(time_metric.index) / usec
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+            fh.write('<hwpcreport version="1.0" generator="psrun (simulated)">\n')
+            fh.write("  <executableinfo>\n")
+            fh.write("    <name>simulated.exe</name>\n")
+            fh.write("  </executableinfo>\n")
+            fh.write("  <machineinfo>\n")
+            fh.write("    <cpuinfo><clockspeed>1400.0</clockspeed></cpuinfo>\n")
+            fh.write("  </machineinfo>\n")
+            fh.write(f"  <wallclock units=\"seconds\">{wall:.6f}</wallclock>\n")
+            fh.write("  <hwpcevents>\n")
+            for metric in source.metrics:
+                if metric is time_metric:
+                    continue
+                # whole-process total = inclusive of the longest-running
+                # (root) event on this thread
+                total = max(
+                    (
+                        p.get_inclusive(metric.index)
+                        for p in thread.function_profiles.values()
+                    ),
+                    default=0.0,
+                )
+                fh.write(
+                    f'    <hwpcevent name="{escape(metric.name)}" '
+                    f'derived="false">{total:.0f}</hwpcevent>\n'
+                )
+            fh.write("  </hwpcevents>\n")
+            fh.write("</hwpcreport>\n")
+    return written

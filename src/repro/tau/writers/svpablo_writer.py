@@ -1,0 +1,54 @@
+"""Writer for (simplified) SvPablo self-describing profile data.
+
+The paper lists SvPablo support as in progress ("Support for SvPablo is
+being added").  We complete it.  SvPablo captures per-construct counts
+and durations in SDDF (Self-Defining Data Format); we emit a simplified
+line-oriented SDDF-like rendering that keeps the self-describing record
+header / data record split::
+
+    #1: "SvPablo profile" {
+      "event name" CHAR[];
+      "rank" INT;
+      "count" INT;
+      "exclusive usec" DOUBLE;
+      "inclusive usec" DOUBLE;
+    };;
+    "SvPablo profile" { "main", 0, 1, 10.5, 1000.25 };;
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...core.model import DataSource
+
+_HEADER = '''/* SvPablo SDDF (simplified, simulated) */
+#1: "SvPablo profile" {
+  "event name" CHAR[];
+  "rank" INT;
+  "count" INT;
+  "exclusive usec" DOUBLE;
+  "inclusive usec" DOUBLE;
+};;
+'''
+
+
+def write_svpablo_output(
+    source: DataSource, path: str | os.PathLike, metric: int = 0
+) -> Path:
+    """Write the whole trial into one SDDF-like file."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(_HEADER)
+        for thread in source.all_threads():
+            rank = thread.node_id
+            for profile in thread.function_profiles.values():
+                name = profile.event.name.replace('"', "'")
+                fh.write(
+                    f'"SvPablo profile" {{ "{name}", {rank}, '
+                    f"{int(profile.calls)}, {profile.get_exclusive(metric):.16g}, "
+                    f"{profile.get_inclusive(metric):.16g} }};;\n"
+                )
+    return out

@@ -1,0 +1,105 @@
+"""Writer for TAU's native profile format.
+
+Emits the classic ``profile.N.C.T`` flat files TAU produces, one per
+thread of execution, in the layout PerfDMF's TAU importer scans:
+
+* single metric: ``<dir>/profile.N.C.T``;
+* multiple metrics: ``<dir>/MULTI__<METRIC>/profile.N.C.T``.
+
+File structure (matching TAU 2.x)::
+
+    <n> templated_functions_MULTI_TIME
+    # Name Calls Subrs Excl Incl ProfileCalls #
+    "main" 1 14 10.5 1000.25 0 GROUP="TAU_DEFAULT"
+    ...
+    0 aggregates
+    <m> userevents
+    # eventname numevents max min mean sumsqr
+    "message size" 100 1024 8 500.5 2.5e+07
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ...core.model import DataSource
+
+
+def _metric_token(name: str) -> str:
+    """Metric name as it appears in file headers/directory names."""
+    return name.replace(" ", "_")
+
+
+def write_tau_profiles(source: DataSource, directory: str | os.PathLike) -> list[Path]:
+    """Write ``source`` as TAU profile files under ``directory``.
+
+    Returns the list of files written.  Multi-metric trials produce one
+    ``MULTI__<METRIC>`` subdirectory per metric, as TAU does when
+    configured with multiple counters.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    multi = source.num_metrics > 1
+    for metric in source.metrics:
+        if multi:
+            metric_dir = base / f"MULTI__{_metric_token(metric.name)}"
+            metric_dir.mkdir(exist_ok=True)
+        else:
+            metric_dir = base
+        for thread in source.all_threads():
+            path = metric_dir / (
+                f"profile.{thread.node_id}.{thread.context_id}.{thread.thread_id}"
+            )
+            written.append(path)
+            with open(path, "w", encoding="utf-8") as fh:
+                _write_one(fh, source, thread, metric.index, metric.name)
+    return written
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', "'") + '"'
+
+
+def _write_one(fh, source: DataSource, thread, metric_index: int, metric_name: str) -> None:
+    profiles = [
+        p for p in thread.function_profiles.values()
+    ]
+    fh.write(
+        f"{len(profiles)} templated_functions_MULTI_{_metric_token(metric_name)}\n"
+    )
+    fh.write("# Name Calls Subrs Excl Incl ProfileCalls #")
+    if source.metadata:
+        fh.write("<metadata>")
+        for key, value in sorted(source.metadata.items()):
+            fh.write(
+                f"<attribute><name>{_xml_escape(key)}</name>"
+                f"<value>{_xml_escape(str(value))}</value></attribute>"
+            )
+        fh.write("</metadata>")
+    fh.write("\n")
+    for profile in profiles:
+        exclusive = profile.get_exclusive(metric_index)
+        inclusive = profile.get_inclusive(metric_index)
+        fh.write(
+            f"{_quote(profile.event.name)} {profile.calls:g} "
+            f"{profile.subroutines:g} {exclusive:.16g} {inclusive:.16g} 0 "
+            f'GROUP="{profile.event.group}"\n'
+        )
+    fh.write("0 aggregates\n")
+    user_profiles = list(thread.user_event_profiles.values())
+    fh.write(f"{len(user_profiles)} userevents\n")
+    if user_profiles:
+        fh.write("# eventname numevents max min mean sumsqr\n")
+        for up in user_profiles:
+            fh.write(
+                f"{_quote(up.event.name)} {up.count:g} {up.max_value:.16g} "
+                f"{up.min_value:.16g} {up.mean_value:.16g} {up.sumsqr:.16g}\n"
+            )
+
+
+def _xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,39 @@
+"""Shared fixtures: every DB-facing test runs against both engines."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.db import connect
+from repro.db.minisql import reset_shared_databases
+
+_COUNTER = itertools.count()
+
+
+@pytest.fixture(params=["sqlite", "minisql"])
+def backend(request) -> str:
+    """The two runnable storage engines."""
+    return request.param
+
+
+@pytest.fixture
+def db_url(backend: str, tmp_path) -> str:
+    """A fresh private database URL for the selected backend."""
+    if backend == "sqlite":
+        return f"sqlite://{tmp_path}/test_{next(_COUNTER)}.db"
+    return "minisql://:memory:"
+
+
+@pytest.fixture
+def conn(db_url: str):
+    connection = connect(db_url)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_minisql():
+    yield
+    reset_shared_databases()

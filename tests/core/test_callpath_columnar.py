@@ -1,0 +1,180 @@
+"""Tests for callpath utilities and the columnar representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    ColumnarTrial, DataSource, build_call_graph, callpath_depth, children_of,
+    flatten_callpaths, root_events, split_callpath,
+)
+from repro.core.model.events import IntervalEvent
+
+
+@pytest.fixture
+def callpath_trial() -> DataSource:
+    ds = DataSource()
+    ds.add_metric("TIME")
+    paths = {
+        "main": (100.0, 5.0, 1),
+        "main => solve": (60.0, 20.0, 10),
+        "main => solve => MPI_Send()": (40.0, 40.0, 100),
+        "main => io": (35.0, 35.0, 2),
+    }
+    thread = ds.add_thread(0, 0, 0)
+    for name, (inc, exc, calls) in paths.items():
+        event = ds.add_interval_event(name)
+        fp = thread.get_or_create_function_profile(event)
+        fp.set_inclusive(0, inc)
+        fp.set_exclusive(0, exc)
+        fp.calls = calls
+    ds.generate_statistics()
+    return ds
+
+
+class TestCallpath:
+    def test_split(self):
+        assert split_callpath("a => b => c") == ["a", "b", "c"]
+
+    def test_depth(self):
+        assert callpath_depth(IntervalEvent("a")) == 1
+        assert callpath_depth(IntervalEvent("a => b => c")) == 3
+
+    def test_call_graph_edges(self, callpath_trial):
+        graph = build_call_graph(callpath_trial)
+        assert set(graph.edges) == {
+            ("main", "solve"), ("solve", "MPI_Send()"), ("main", "io"),
+        }
+
+    def test_root_events(self, callpath_trial):
+        roots = root_events(callpath_trial)
+        assert [e.name for e in roots] == ["main"]
+
+    def test_children_of(self, callpath_trial):
+        kids = children_of(callpath_trial, "main")
+        assert sorted(e.name for e in kids) == ["main => io", "main => solve"]
+
+    def test_children_of_deeper(self, callpath_trial):
+        kids = children_of(callpath_trial, "main => solve")
+        assert [e.name for e in kids] == ["main => solve => MPI_Send()"]
+
+    def test_flatten_sums_exclusive(self, callpath_trial):
+        flat = flatten_callpaths(callpath_trial)
+        thread = flat.get_thread(0, 0, 0)
+        send = flat.get_interval_event("MPI_Send()")
+        fp = thread.function_profiles[send.index]
+        assert fp.get_exclusive(0) == 40.0
+        assert fp.get_inclusive(0) == 40.0
+        assert fp.calls == 100
+
+    def test_flatten_merges_same_leaf(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        thread = ds.add_thread(0, 0, 0)
+        for name, exc in [("a => x", 1.0), ("b => x", 2.0)]:
+            fp = thread.get_or_create_function_profile(ds.add_interval_event(name))
+            fp.set_inclusive(0, exc)
+            fp.set_exclusive(0, exc)
+            fp.calls = 1
+        flat = flatten_callpaths(ds)
+        x = flat.get_interval_event("x")
+        fp = flat.get_thread(0, 0, 0).function_profiles[x.index]
+        assert fp.get_exclusive(0) == 3.0
+        assert fp.calls == 2
+
+    def test_flatten_avoids_recursion_double_count(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        thread = ds.add_thread(0, 0, 0)
+        fp = thread.get_or_create_function_profile(
+            ds.add_interval_event("fib => fib")
+        )
+        fp.set_inclusive(0, 10.0)
+        fp.set_exclusive(0, 10.0)
+        flat = flatten_callpaths(ds)
+        fib = flat.get_interval_event("fib")
+        flat_fp = flat.get_thread(0, 0, 0).function_profiles[fib.index]
+        assert flat_fp.get_exclusive(0) == 10.0
+        assert flat_fp.get_inclusive(0) == 0.0  # recursive frame not re-counted
+
+
+class TestColumnarTrial:
+    @pytest.fixture
+    def trial(self) -> ColumnarTrial:
+        trial = ColumnarTrial.allocate(
+            event_names=["main", "solve"],
+            metric_names=["TIME"],
+            thread_triples=ColumnarTrial.flat_topology(4),
+        )
+        trial.inclusive[0][:, 0] = 100.0
+        trial.exclusive[0][:, 0] = 10.0
+        trial.inclusive[0][:, 1] = [90, 80, 70, 60]
+        trial.exclusive[0][:, 1] = [90, 80, 70, 60]
+        trial.calls[:, :] = 1.0
+        return trial
+
+    def test_shapes(self, trial):
+        assert trial.num_threads == 4
+        assert trial.num_events == 2
+        assert trial.num_metrics == 1
+        assert trial.num_data_points == 8
+
+    def test_flat_topology(self):
+        triples = ColumnarTrial.flat_topology(3)
+        assert triples.tolist() == [[0, 0, 0], [1, 0, 0], [2, 0, 0]]
+
+    def test_total_summary(self, trial):
+        totals = trial.total_summary(0)
+        assert totals["inclusive"].tolist() == [400.0, 300.0]
+
+    def test_mean_summary(self, trial):
+        means = trial.mean_summary(0)
+        assert means["inclusive"].tolist() == [100.0, 75.0]
+
+    def test_inclusive_percent_reference_is_thread_max(self, trial):
+        pct = trial.inclusive_percent(0)
+        assert pct[0, 0] == 100.0
+        assert pct[0, 1] == pytest.approx(90.0)
+        assert pct[3, 1] == pytest.approx(60.0)
+
+    def test_per_call(self, trial):
+        trial.calls[:, 1] = 2.0
+        per_call = trial.inclusive_per_call(0)
+        assert per_call[1, 1] == 40.0
+
+    def test_per_call_zero_calls_is_zero(self, trial):
+        trial.calls[:, :] = 0.0
+        assert trial.inclusive_per_call(0).max() == 0.0
+
+    def test_imbalance(self, trial):
+        imb = trial.imbalance(0)
+        assert imb[0] == pytest.approx(1.0)
+        assert imb[1] == pytest.approx(90.0 / 75.0)
+
+    def test_location_rows_count(self, trial):
+        rows = list(trial.iter_location_rows(0))
+        assert len(rows) == 8
+        event, node, ctx, thr = rows[0][:4]
+        assert (event, node, ctx, thr) == (0, 0, 0, 0)
+
+    def test_roundtrip_through_datasource(self, trial):
+        ds = trial.to_datasource()
+        back = ColumnarTrial.from_datasource(ds)
+        assert back.event_names == trial.event_names
+        np.testing.assert_allclose(back.inclusive[0], trial.inclusive[0])
+        np.testing.assert_allclose(back.calls, trial.calls)
+
+    def test_from_datasource_preserves_sparsity(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        rare = ds.add_interval_event("rare")
+        t0 = ds.add_thread(0, 0, 0)
+        ds.add_thread(1, 0, 0)
+        fp = t0.get_or_create_function_profile(rare)
+        fp.set_inclusive(0, 4.0)
+        fp.calls = 1
+        trial = ColumnarTrial.from_datasource(ds)
+        assert trial.inclusive[0][0, 0] == 4.0
+        assert trial.inclusive[0][1, 0] == 0.0
+        # and back: thread 1 has no profile for 'rare'
+        ds2 = trial.to_datasource()
+        assert ds2.get_thread(1, 0, 0).function_profiles == {}

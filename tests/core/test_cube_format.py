@@ -1,0 +1,126 @@
+"""Tests for CUBE 3.x export/import (§7's CUBE integration)."""
+
+import pytest
+
+from repro.core.io_ import detect_format, export_cube, load_profile, parse_cube
+from repro.core.io_.base import ProfileParseError
+from repro.core.model import DataSource
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.simulator import run_simulation
+
+
+@pytest.fixture(scope="module")
+def callpath_trial():
+    """An instrumented trial with TAU_CALLPATH events enabled."""
+    app = EVH1(problem_size=0.05, timesteps=1)
+    config = app.config(4)
+    config.callpaths = True
+    return run_simulation(app.kernel, config)
+
+
+@pytest.fixture(scope="module")
+def counter_trial():
+    return SPPM(problem_size=0.01, timesteps=1).run(4)
+
+
+class TestExport:
+    def test_document_structure(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        text = path.read_text()
+        for tag in ("<cube version=\"3.0\">", "<metrics>", "<program>",
+                    "<system>", "<severity>", "visits"):
+            assert tag in text
+
+    def test_autodetected(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        assert detect_format(path) == "cube"
+
+    def test_all_metrics_exported(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        text = path.read_text()
+        for metric in counter_trial.metrics:
+            assert f"<uniq_name>{metric.name}</uniq_name>" in text
+
+
+class TestRoundtrip:
+    def test_exclusive_values(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        back = parse_cube(path)
+        assert back.num_threads == counter_trial.num_threads
+        assert set(back.interval_events) == set(counter_trial.interval_events)
+        for name, event in counter_trial.interval_events.items():
+            back_event = back.get_interval_event(name)
+            for thread in counter_trial.all_threads():
+                src = thread.function_profiles.get(event.index)
+                if src is None:
+                    continue
+                dst = back.get_thread(*thread.triple).function_profiles[
+                    back_event.index
+                ]
+                for m, _inc, exc in src.iter_metrics():
+                    assert dst.get_exclusive(m) == pytest.approx(exc)
+
+    def test_calls_roundtrip_via_visits(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        back = parse_cube(path)
+        event = counter_trial.get_interval_event("hydro_kernel")
+        back_event = back.get_interval_event("hydro_kernel")
+        src = counter_trial.get_thread(0, 0, 0).function_profiles[event.index]
+        dst = back.get_thread(0, 0, 0).function_profiles[back_event.index]
+        assert dst.calls == src.calls
+
+    def test_inclusive_reconstructed_from_tree(self, callpath_trial, tmp_path):
+        """CUBE stores exclusives; inclusives come from the cnode tree."""
+        path = export_cube(callpath_trial, tmp_path / "t.cube")
+        back = parse_cube(path)
+        assert back.validate() == []
+        # roots must have inclusive >= exclusive with real child time
+        main_event = back.get_interval_event("main")
+        fp = back.get_thread(0, 0, 0).function_profiles[main_event.index]
+        assert fp.get_inclusive(0) > fp.get_exclusive(0)
+
+    def test_loadable_through_registry(self, counter_trial, tmp_path):
+        path = export_cube(counter_trial, tmp_path / "t.cube")
+        source = load_profile(path)
+        assert source.num_threads == 4
+
+
+class TestParserErrors:
+    def test_wrong_root(self, tmp_path):
+        p = tmp_path / "x.cube"
+        p.write_text("<other/>")
+        with pytest.raises(ProfileParseError, match="cube"):
+            parse_cube(p)
+
+    def test_malformed(self, tmp_path):
+        p = tmp_path / "x.cube"
+        p.write_text("<cube><broken>")
+        with pytest.raises(ProfileParseError, match="malformed"):
+            parse_cube(p)
+
+    def test_missing_metrics(self, tmp_path):
+        p = tmp_path / "x.cube"
+        p.write_text('<cube version="3.0"></cube>')
+        with pytest.raises(ProfileParseError, match="metrics"):
+            parse_cube(p)
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_trial(self, tmp_path):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        path = export_cube(ds, tmp_path / "empty.cube")
+        back = parse_cube(path)
+        assert back.num_threads == 0
+        assert back.num_interval_events == 0
+
+    def test_special_characters_in_names(self, tmp_path):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("op<T>&co")
+        fp = ds.add_thread(0, 0, 0).get_or_create_function_profile(event)
+        fp.set_exclusive(0, 5.0)
+        fp.set_inclusive(0, 5.0)
+        path = export_cube(ds, tmp_path / "s.cube")
+        back = parse_cube(path)
+        assert back.get_interval_event("op<T>&co") is not None

@@ -1,0 +1,110 @@
+"""Tests for the derived-metric expression evaluator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model.derived_expr import (
+    DerivedExpressionError, evaluate_metric_expression, metric_names_in,
+    tokenize_expression,
+)
+
+LOOKUP = {"TIME": 100.0, "PAPI_FP_OPS": 5000.0, "WALL CLOCK": 7.0, "A": 2.0, "B": 3.0}
+
+
+def ev(expr: str) -> float:
+    return evaluate_metric_expression(expr, lambda n: LOOKUP[n])
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize_expression("A + B*2") == ["A", "+", "B", "*", "2"]
+
+    def test_quoted_names(self):
+        assert tokenize_expression('"WALL CLOCK" / 2') == ['"WALL CLOCK"', "/", "2"]
+
+    def test_scientific_notation(self):
+        assert tokenize_expression("1.5e-3") == ["1.5e-3"]
+
+    def test_unterminated_quote(self):
+        with pytest.raises(DerivedExpressionError):
+            tokenize_expression('"oops')
+
+    def test_bad_character(self):
+        with pytest.raises(DerivedExpressionError):
+            tokenize_expression("A @ B")
+
+
+class TestEvaluation:
+    def test_metric_lookup(self):
+        assert ev("TIME") == 100.0
+
+    def test_arithmetic_precedence(self):
+        assert ev("A + B * 2") == 8.0
+        assert ev("(A + B) * 2") == 10.0
+
+    def test_division(self):
+        assert ev("PAPI_FP_OPS / TIME") == 50.0
+
+    def test_division_by_zero_yields_zero(self):
+        assert evaluate_metric_expression("A / 0", lambda n: 1.0) == 0.0
+
+    def test_unary_minus(self):
+        assert ev("-A + B") == 1.0
+
+    def test_quoted_name(self):
+        assert ev('"WALL CLOCK" * 2') == 14.0
+
+    def test_numbers(self):
+        assert ev("2.5 * 4") == 10.0
+        assert ev("1e2 + 1") == 101.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(DerivedExpressionError, match="unknown metric"):
+            ev("NOPE")
+
+    def test_empty_expression(self):
+        with pytest.raises(DerivedExpressionError):
+            ev("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DerivedExpressionError, match="trailing"):
+            ev("A B")
+
+    def test_missing_paren(self):
+        with pytest.raises(DerivedExpressionError):
+            ev("(A + B")
+
+
+class TestMetricNamesIn:
+    def test_extracts_names(self):
+        assert metric_names_in("PAPI_FP_OPS / TIME") == ["PAPI_FP_OPS", "TIME"]
+
+    def test_skips_numbers(self):
+        assert metric_names_in("A * 2 + 1e3") == ["A"]
+
+    def test_quoted(self):
+        assert metric_names_in('"WALL CLOCK" + A') == ["WALL CLOCK", "A"]
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.floats(min_value=-1e6, max_value=1e6),
+        b=st.floats(min_value=-1e6, max_value=1e6),
+    )
+    def test_matches_python_semantics(self, a, b):
+        lookup = {"A": a, "B": b}.__getitem__
+        assert evaluate_metric_expression("A + B", lookup) == pytest.approx(a + b)
+        assert evaluate_metric_expression("A * B - A", lookup) == pytest.approx(
+            a * b - a
+        )
+        expected_div = a / b if b != 0 else 0.0
+        assert evaluate_metric_expression("A / B", lookup) == pytest.approx(
+            expected_div
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.floats(min_value=0.001, max_value=1e6))
+    def test_identity_roundtrip(self, x):
+        lookup = {"X": x}.__getitem__
+        assert evaluate_metric_expression("X * 2 / 2", lookup) == pytest.approx(x)

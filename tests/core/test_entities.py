@@ -1,0 +1,113 @@
+"""Entity-object tests (the dynamic-field Application/Experiment/Trial)."""
+
+import pytest
+
+from repro.core.api.entities import Application, Experiment, Trial
+from repro.core.schema import SchemaManager
+
+
+@pytest.fixture
+def schema_conn(conn):
+    SchemaManager(conn).install()
+    return conn
+
+
+class TestSaveAndLoad:
+    def test_insert_assigns_id(self, schema_conn):
+        app = Application(schema_conn, name="sppm")
+        assert app.id is None
+        app.save()
+        assert isinstance(app.id, int)
+
+    def test_update_in_place(self, schema_conn):
+        app = Application(schema_conn, name="sppm", version="1.0")
+        app.save()
+        first_id = app.id
+        app.set("version", "2.0")
+        app.save()
+        assert app.id == first_id
+        assert schema_conn.scalar(
+            "SELECT version FROM application WHERE id = ?", (app.id,)
+        ) == "2.0"
+
+    def test_unique_name_enforced(self, schema_conn):
+        Application(schema_conn, name="dup").save()
+        from repro.db import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            Application(schema_conn, name="dup").save()
+
+    def test_refresh_picks_up_external_changes(self, schema_conn):
+        app = Application(schema_conn, name="x", version="1")
+        app.save()
+        schema_conn.execute(
+            "UPDATE application SET version = '9' WHERE id = ?", (app.id,)
+        )
+        app.refresh()
+        assert app.get("version") == "9"
+
+    def test_refresh_unsaved_raises(self, schema_conn):
+        with pytest.raises(ValueError):
+            Application(schema_conn, name="x").refresh()
+
+    def test_empty_save_rejected(self, schema_conn):
+        with pytest.raises(ValueError):
+            Application(schema_conn).save()
+
+
+class TestDynamicFields:
+    def test_unknown_column_rejected_at_construction(self, schema_conn):
+        with pytest.raises(KeyError, match="no column"):
+            Application(schema_conn, name="x", nonexistent="y")
+
+    def test_unknown_column_rejected_at_set(self, schema_conn):
+        app = Application(schema_conn, name="x")
+        with pytest.raises(KeyError):
+            app.set("bogus", 1)
+
+    def test_new_schema_column_immediately_usable(self, schema_conn):
+        schema_conn.execute("ALTER TABLE trial ADD COLUMN queue_name TEXT")
+        app = Application(schema_conn, name="a")
+        app.save()
+        exp = Experiment(schema_conn, name="e", application=app.id)
+        exp.save()
+        trial = Trial(
+            schema_conn, name="t", experiment=exp.id, queue_name="batch"
+        )
+        trial.save()
+        trial.refresh()
+        assert trial.get("queue_name") == "batch"
+
+    def test_get_with_default(self, schema_conn):
+        app = Application(schema_conn, name="x")
+        assert app.get("version", "unknown") == "unknown"
+
+    def test_fields_returns_copy(self, schema_conn):
+        app = Application(schema_conn, name="x")
+        fields = app.fields()
+        fields["name"] = "mutated"
+        assert app.name == "x"
+
+
+class TestHierarchy:
+    def test_fk_references(self, schema_conn):
+        app = Application(schema_conn, name="a")
+        app.save()
+        exp = Experiment(schema_conn, name="e", application=app.id)
+        exp.save()
+        trial = Trial(schema_conn, name="t", experiment=exp.id, node_count=16)
+        trial.save()
+        assert exp.application_id == app.id
+        assert trial.experiment_id == exp.id
+        assert trial.get("node_count") == 16
+
+    def test_from_row(self, schema_conn):
+        Application(schema_conn, name="a", version="3").save()
+        columns = schema_conn.column_names("application")
+        row = schema_conn.query_one(
+            f"SELECT {', '.join(columns)} FROM application"
+        )
+        app = Application.from_row(schema_conn, columns, row)
+        assert app.name == "a"
+        assert app.get("version") == "3"
+        assert app.id is not None

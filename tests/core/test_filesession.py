@@ -1,0 +1,98 @@
+"""FileDataSession tests — the flat-file access method (paper §4)."""
+
+import pytest
+
+from repro.core.session import FileDataSession
+from repro.tau.apps import SPPM
+from repro.tau.writers import write_tau_profiles
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    base = tmp_path_factory.mktemp("filesession")
+    source = SPPM(problem_size=0.01, timesteps=1).run(8)
+    write_tau_profiles(source, base / "tau")
+    return FileDataSession(
+        base / "tau",
+        application_name="sppm",
+        experiment_name="counters",
+        trial_name="P=8",
+    )
+
+
+class TestVirtualHierarchy:
+    def test_single_application(self, session):
+        apps = session.get_application_list()
+        assert apps == [{"id": 0, "name": "sppm"}]
+
+    def test_single_experiment(self, session):
+        exps = session.get_experiment_list()
+        assert exps[0]["name"] == "counters"
+
+    def test_trial_reports_topology(self, session):
+        (trial,) = session.get_trial_list()
+        assert trial["name"] == "P=8"
+        assert trial["node_count"] == 8
+        assert trial["max_threads_per_context"] == 1
+
+    def test_preselected(self, session):
+        assert session.selection.trial_id == 0
+
+
+class TestQueries:
+    def test_metrics(self, session):
+        metrics = session.get_metrics()
+        assert len(metrics) == 8  # TIME + 7 PAPI counters
+
+    def test_interval_events(self, session):
+        events = session.get_interval_events()
+        names = {e["name"] for e in events}
+        assert "hydro_kernel" in names
+
+    def test_event_name_filter(self, session):
+        session.set_event("hydro_kernel")
+        assert len(session.get_interval_events()) == 1
+        session.set_event(None)
+
+    def test_atomic_events(self, session):
+        events = session.get_atomic_events()
+        assert any("Timestep zones" in e["name"] for e in events)
+
+    def test_interval_event_data_filters(self, session):
+        session.set_node(3)
+        rows = session.get_interval_event_data()
+        assert rows and all(r[1] == 3 for r in rows)
+        session.set_metric(session.get_metrics()[0])
+        filtered = session.get_interval_event_data()
+        assert len(filtered) < len(rows)
+        session.reset_selection()
+
+    def test_row_shape_matches_db_session(self, session):
+        session.reset_selection()
+        session.set_event("hydro_kernel")
+        row = session.get_interval_event_data()[0]
+        assert len(row) == 9  # event,node,ctx,thr,metric,inc,exc,calls,subrs
+        assert row[0] == "hydro_kernel"
+        session.reset_selection()
+
+    def test_load_datasource(self, session):
+        source = session.load_datasource()
+        assert source.num_threads == 8
+
+
+class TestConstruction:
+    def test_from_datasource_directly(self):
+        source = SPPM(problem_size=0.01, timesteps=1).run(2)
+        session = FileDataSession(source)
+        assert session.load_datasource() is source
+
+    def test_explicit_format(self, tmp_path):
+        source = SPPM(problem_size=0.01, timesteps=1).run(2)
+        write_tau_profiles(source, tmp_path)
+        session = FileDataSession(tmp_path, format_name="tau")
+        assert session.load_datasource().num_threads == 2
+
+    def test_context_manager(self):
+        source = SPPM(problem_size=0.01, timesteps=1).run(2)
+        with FileDataSession(source) as session:
+            assert session.get_metrics()

@@ -1,0 +1,73 @@
+"""The §3.2 flexibility claim, verbatim.
+
+> "the analysis team is free to organize the performance attribute data
+> in any way they like — the compiler information can be stored in the
+> APPLICATION, EXPERIMENT or TRIAL table, or not at all."
+"""
+
+import pytest
+
+from repro.core.api.entities import Application, Experiment, Trial
+from repro.core.schema import SchemaManager
+from repro.core.session import PerfDMFSession
+
+
+@pytest.mark.parametrize("table", ["application", "experiment", "trial"])
+def test_compiler_info_placeable_in_any_flexible_table(conn, table):
+    manager = SchemaManager(conn)
+    manager.install()
+    manager.add_metadata_column(table, "compiler_name", "STRING")
+    manager.add_metadata_column(table, "compiler_version", "STRING")
+
+    app = Application(conn, name="app")
+    app.save()
+    exp = Experiment(conn, name="exp", application=app.id)
+    exp.save()
+    trial = Trial(conn, name="t", experiment=exp.id)
+    trial.save()
+
+    target = {"application": app, "experiment": exp, "trial": trial}[table]
+    target.set("compiler_name", "xlf")
+    target.set("compiler_version", "8.1")
+    target.save()
+    target.refresh()
+    assert target.get("compiler_name") == "xlf"
+    assert target.get("compiler_version") == "8.1"
+
+
+def test_or_not_at_all(db_url):
+    """A deployment with no compiler columns anywhere still works."""
+    session = PerfDMFSession(db_url)
+    app = session.create_application("bare")
+    exp = session.create_experiment(app, "e")
+    from repro.tau.apps import EVH1
+
+    trial = session.save_trial(
+        EVH1(problem_size=0.02, timesteps=1).run(2), exp, "t"
+    )
+    session.set_trial(trial)
+    assert session.count_data_points() > 0
+    # and the entities simply report the column as absent
+    assert app.get("compiler_name", "absent") == "absent"
+    session.close()
+
+
+def test_sessions_agnostic_to_extra_columns(db_url):
+    """Adding deployment-specific columns never breaks stored queries."""
+    session = PerfDMFSession(db_url)
+    manager = session.schema
+    manager.add_metadata_column("trial", "queue", "STRING")
+    manager.add_metadata_column("trial", "account_id", "INT")
+    app = session.create_application("a")
+    exp = session.create_experiment(app, "e")
+    from repro.tau.apps import EVH1
+
+    trial = session.save_trial(
+        EVH1(problem_size=0.02, timesteps=1).run(2), exp, "t",
+        queue="batch", account_id=42,
+    )
+    session.set_experiment(exp)
+    (listed,) = session.get_trial_list()
+    assert listed.get("queue") == "batch"
+    assert listed.get("account_id") == 42
+    session.close()

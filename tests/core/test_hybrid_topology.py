@@ -1,0 +1,75 @@
+"""Integration tests for hybrid (MPI+threads) topologies end to end.
+
+The paper's schema stores node_count / contexts_per_node /
+max_threads_per_context (§3.2) precisely because runs are not always
+flat MPI; these tests drive a hybrid run through simulation → storage →
+retrieval → display.
+"""
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.paraprof import thread_profile_view
+from repro.tau import SimulationConfig, Topology, run_simulation
+from repro.tau.apps import SMG2000
+
+
+@pytest.fixture(scope="module")
+def hybrid_trial():
+    """4 nodes × 4 threads/node — an MPI+OpenMP style run."""
+    app = SMG2000(problem_size=0.5)
+    config = app.config(16)
+    config.topology = Topology.hybrid(nodes=4, threads_per_node=4)
+    return run_simulation(app.kernel, config)
+
+
+class TestHybridSimulation:
+    def test_topology_shape(self, hybrid_trial):
+        assert hybrid_trial.node_count == 4
+        assert hybrid_trial.contexts_per_node == 1
+        assert hybrid_trial.max_threads_per_context == 4
+        assert hybrid_trial.num_threads == 16
+
+    def test_thread_triples_distinct(self, hybrid_trial):
+        triples = hybrid_trial.thread_triples()
+        assert len(set(triples)) == 16
+        assert (0, 0, 3) in triples
+        assert (3, 0, 0) in triples
+
+
+class TestHybridStorage:
+    @pytest.fixture
+    def stored(self, db_url, hybrid_trial):
+        session = PerfDMFSession(db_url)
+        app = session.create_application("smg2000")
+        exp = session.create_experiment(app, "hybrid")
+        trial = session.save_trial(hybrid_trial, exp, "4x4")
+        session.set_trial(trial)
+        yield session, trial
+        session.close()
+
+    def test_topology_columns(self, stored):
+        _session, trial = stored
+        assert trial.get("node_count") == 4
+        assert trial.get("max_threads_per_context") == 4
+
+    def test_context_thread_filters(self, stored):
+        session, _trial = stored
+        session.set_node(2)
+        session.set_thread(3)
+        rows = session.get_interval_event_data()
+        assert rows
+        assert all(r[1] == 2 and r[3] == 3 for r in rows)
+
+    def test_roundtrip_preserves_hierarchy(self, stored, hybrid_trial):
+        session, trial = stored
+        back = session.load_datasource(trial)
+        assert back.node_count == 4
+        assert back.max_threads_per_context == 4
+        assert back.get_thread(1, 0, 2) is not None
+
+    def test_display_addresses_hybrid_thread(self, stored):
+        session, trial = stored
+        back = session.load_datasource(trial)
+        text = thread_profile_view(back, node=2, context=0, thread_id=1)
+        assert "node 2" in text and "thread 1" in text

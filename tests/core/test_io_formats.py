@@ -1,0 +1,408 @@
+"""Importer tests: writer round-trips plus hand-written fixtures."""
+
+import textwrap
+
+import pytest
+
+from repro.core.io_ import (
+    ProfileParseError, detect_format, discover_files, load_profile,
+    parse_dynaprof, parse_gprof, parse_hpm, parse_mpip, parse_psrun,
+    parse_svpablo, parse_tau_profiles, parse_xml, export_xml,
+)
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.writers import (
+    write_dynaprof_output, write_gprof_output, write_hpm_output,
+    write_mpip_report, write_psrun_output, write_svpablo_output,
+    write_tau_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def trial():
+    ds = EVH1(problem_size=0.05, timesteps=1).run(4)
+    ds.metadata["platform"] = "simulated"
+    return ds
+
+
+@pytest.fixture(scope="module")
+def counter_trial():
+    return SPPM(problem_size=0.01, timesteps=1).run(8)
+
+
+def _time_value(ds, event_name, node=0, inclusive=True):
+    metric = ds.get_metric("TIME")
+    event = ds.get_interval_event(event_name)
+    profile = ds.get_thread(node, 0, 0).function_profiles[event.index]
+    return (
+        profile.get_inclusive(metric.index)
+        if inclusive
+        else profile.get_exclusive(metric.index)
+    )
+
+
+class TestTauFormat:
+    def test_roundtrip_values(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert back.num_threads == trial.num_threads
+        assert set(back.interval_events) == set(trial.interval_events)
+        assert _time_value(back, "riemann") == pytest.approx(
+            _time_value(trial, "riemann")
+        )
+
+    def test_roundtrip_calls_and_groups(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        event = back.get_interval_event("MPI_Alltoall()")
+        assert "MPI" in event.groups
+        src_event = trial.get_interval_event("riemann")
+        src = trial.get_thread(1, 0, 0).function_profiles[src_event.index]
+        dst = back.get_thread(1, 0, 0).function_profiles[
+            back.get_interval_event("riemann").index
+        ]
+        assert dst.calls == src.calls
+        assert dst.subroutines == src.subroutines
+
+    def test_roundtrip_userevents(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert set(back.atomic_events) == set(trial.atomic_events)
+        name = next(iter(trial.atomic_events))
+        src = trial.get_thread(0, 0, 0).user_event_profiles[
+            trial.get_atomic_event(name).index
+        ]
+        dst = back.get_thread(0, 0, 0).user_event_profiles[
+            back.get_atomic_event(name).index
+        ]
+        assert dst.count == src.count
+        assert dst.mean_value == pytest.approx(src.mean_value)
+        assert dst.stddev == pytest.approx(src.stddev, abs=1e-6)
+
+    def test_metadata_roundtrip(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert back.metadata["platform"] == "simulated"
+
+    def test_multi_metric_layout(self, counter_trial, tmp_path):
+        files = write_tau_profiles(counter_trial, tmp_path)
+        multi_dirs = {f.parent.name for f in files}
+        assert all(d.startswith("MULTI__") for d in multi_dirs)
+        assert len(multi_dirs) == 8
+        back = parse_tau_profiles(tmp_path)
+        assert back.num_metrics == 8
+        assert {m.name for m in back.metrics} == {
+            m.name for m in counter_trial.metrics
+        }
+
+    def test_single_file_parse(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path / "profile.0.0.0")
+        assert back.num_threads == 1
+
+    def test_quoted_names_with_spaces(self, tmp_path):
+        content = textwrap.dedent("""\
+            2 templated_functions_MULTI_TIME
+            # Name Calls Subrs Excl Incl ProfileCalls #
+            "void foo(int, double) [file.cpp]" 3 0 10.5 20.5 0 GROUP="TAU_USER"
+            "main" 1 1 5 25.5 0 GROUP="TAU_DEFAULT"
+            0 aggregates
+            0 userevents
+            """)
+        (tmp_path / "profile.0.0.0").write_text(content)
+        ds = parse_tau_profiles(tmp_path)
+        event = ds.get_interval_event("void foo(int, double) [file.cpp]")
+        assert event is not None
+        assert event.group == "TAU_USER"
+        fp = ds.get_thread(0, 0, 0).function_profiles[event.index]
+        assert fp.calls == 3
+
+    def test_truncated_file_raises(self, tmp_path):
+        (tmp_path / "profile.0.0.0").write_text(
+            '5 templated_functions_MULTI_TIME\n"main" 1 0 1 1 0\n'
+        )
+        with pytest.raises(ProfileParseError, match="expected 5"):
+            parse_tau_profiles(tmp_path)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ProfileParseError):
+            parse_tau_profiles(tmp_path)
+
+
+class TestGprofFormat:
+    def test_roundtrip_exclusive(self, trial, tmp_path):
+        write_gprof_output(trial, tmp_path)
+        back = parse_gprof(tmp_path)
+        assert back.num_threads == trial.num_threads
+        # seconds resolution: 0.01s = 1e4 usec tolerance
+        assert _time_value(back, "riemann", inclusive=False) == pytest.approx(
+            _time_value(trial, "riemann", inclusive=False), abs=2e4
+        )
+
+    def test_callgraph_recovers_inclusive(self, trial, tmp_path):
+        write_gprof_output(trial, tmp_path)
+        back = parse_gprof(tmp_path)
+        main_inc = _time_value(back, "main")
+        riemann_inc = _time_value(back, "riemann")
+        assert main_inc > riemann_inc
+
+    def test_mpi_events_classified(self, trial, tmp_path):
+        write_gprof_output(trial, tmp_path)
+        back = parse_gprof(tmp_path)
+        event = back.get_interval_event("MPI_Alltoall()")
+        assert "MPI" in event.groups
+
+    def test_fixture_flat_profile(self, tmp_path):
+        content = textwrap.dedent("""\
+            Flat profile:
+
+            Each sample counts as 0.01 seconds.
+              %   cumulative   self              self     total
+             time   seconds   seconds    calls  ms/call  ms/call  name
+             60.00      0.60     0.60     1000     0.60     0.80  compute
+             40.00      1.00     0.40      500     0.80     0.80  helper
+            """)
+        (tmp_path / "gprof.out.0.0.0").write_text(content)
+        ds = parse_gprof(tmp_path)
+        fp = ds.get_thread(0, 0, 0).function_profiles[
+            ds.get_interval_event("compute").index
+        ]
+        assert fp.get_exclusive(0) == pytest.approx(0.60 * 1e6)
+        assert fp.calls == 1000
+
+    def test_no_data_raises(self, tmp_path):
+        (tmp_path / "gprof.out.0.0.0").write_text("nothing here\n")
+        with pytest.raises(ProfileParseError):
+            parse_gprof(tmp_path)
+
+
+class TestMpipFormat:
+    def test_roundtrip_tasks(self, trial, tmp_path):
+        path = write_mpip_report(trial, tmp_path / "app.mpiP")
+        back = parse_mpip(path)
+        assert back.num_threads == trial.num_threads
+        assert "Application" in back.interval_events
+
+    def test_app_time_close_to_source(self, trial, tmp_path):
+        path = write_mpip_report(trial, tmp_path / "app.mpiP")
+        back = parse_mpip(path)
+        app = back.get_interval_event("Application")
+        src_duration = trial.get_thread(0, 0, 0).max_inclusive(0)
+        dst = back.get_thread(0, 0, 0).function_profiles[app.index]
+        assert dst.get_inclusive(0) == pytest.approx(src_duration, rel=0.01)
+
+    def test_mpi_sites_present(self, trial, tmp_path):
+        path = write_mpip_report(trial, tmp_path / "app.mpiP")
+        back = parse_mpip(path)
+        mpi_events = [n for n in back.interval_events if n.startswith("MPI_")]
+        assert len(mpi_events) >= 2
+        assert all("[site" in n for n in mpi_events)
+
+    def test_missing_header_raises(self, tmp_path):
+        bad = tmp_path / "x.mpiP"
+        bad.write_text("not an mpiP report\n")
+        with pytest.raises(ProfileParseError, match="@ mpiP"):
+            parse_mpip(bad)
+
+
+class TestDynaprofFormat:
+    def test_roundtrip(self, trial, tmp_path):
+        write_dynaprof_output(trial, tmp_path)
+        back = parse_dynaprof(tmp_path)
+        assert back.num_threads == trial.num_threads
+        assert _time_value(back, "riemann", inclusive=False) == pytest.approx(
+            _time_value(trial, "riemann", inclusive=False), rel=1e-4
+        )
+
+    def test_total_row_skipped(self, trial, tmp_path):
+        write_dynaprof_output(trial, tmp_path)
+        back = parse_dynaprof(tmp_path)
+        assert "TOTAL" not in back.interval_events
+
+    def test_metric_name_from_header(self, tmp_path):
+        content = textwrap.dedent("""\
+            Exclusive Profile of metric PAPI_FP_OPS.
+
+            Name                         Percent      Total          Calls
+            ----------------------------------------------------------------
+            TOTAL                        100          2e+09          1
+            main                         100          2e+09          1
+
+            Inclusive Profile of metric PAPI_FP_OPS.
+
+            Name                         Percent      Total          Calls
+            ----------------------------------------------------------------
+            TOTAL                        100          2e+09          1
+            main                         100          2e+09          1
+            """)
+        (tmp_path / "app.dynaprof.0").write_text(content)
+        ds = parse_dynaprof(tmp_path)
+        assert ds.metrics[0].name == "PAPI_FP_OPS"
+
+
+class TestHpmFormat:
+    def test_roundtrip_counters(self, counter_trial, tmp_path):
+        write_hpm_output(counter_trial, tmp_path)
+        back = parse_hpm(tmp_path)
+        assert back.num_threads == counter_trial.num_threads
+        assert {m.name for m in back.metrics} == {
+            m.name for m in counter_trial.metrics
+        }
+
+    def test_counter_values_roundtrip(self, counter_trial, tmp_path):
+        write_hpm_output(counter_trial, tmp_path)
+        back = parse_hpm(tmp_path)
+        src_fp = counter_trial.get_metric("PAPI_FP_OPS")
+        dst_fp = back.get_metric("PAPI_FP_OPS")
+        event = "hydro_kernel"
+        src = counter_trial.get_thread(0, 0, 0).function_profiles[
+            counter_trial.get_interval_event(event).index
+        ]
+        dst = back.get_thread(0, 0, 0).function_profiles[
+            back.get_interval_event(event).index
+        ]
+        assert dst.get_inclusive(dst_fp.index) == pytest.approx(
+            src.get_inclusive(src_fp.index), rel=1e-6, abs=1.0
+        )
+
+    def test_no_sections_raises(self, tmp_path):
+        (tmp_path / "perfhpm0000.0.0").write_text("libhpm summary\n")
+        with pytest.raises(ProfileParseError):
+            parse_hpm(tmp_path)
+
+
+class TestPsrunFormat:
+    def test_single_event_per_rank(self, counter_trial, tmp_path):
+        write_psrun_output(counter_trial, tmp_path)
+        back = parse_psrun(tmp_path)
+        assert back.num_interval_events == 1
+        assert "Entire application" in back.interval_events
+        assert back.num_threads == counter_trial.num_threads
+
+    def test_counters_become_metrics(self, counter_trial, tmp_path):
+        write_psrun_output(counter_trial, tmp_path)
+        back = parse_psrun(tmp_path)
+        assert back.get_metric("PAPI_FP_OPS") is not None
+
+    def test_malformed_xml_raises(self, tmp_path):
+        (tmp_path / "psrun.0.xml").write_text("<hwpcreport><broken>")
+        with pytest.raises(ProfileParseError, match="malformed XML"):
+            parse_psrun(tmp_path)
+
+    def test_wrong_root_raises(self, tmp_path):
+        (tmp_path / "psrun.0.xml").write_text("<other/>")
+        with pytest.raises(ProfileParseError, match="hwpcreport"):
+            parse_psrun(tmp_path)
+
+
+class TestSvPabloFormat:
+    def test_roundtrip(self, trial, tmp_path):
+        path = write_svpablo_output(trial, tmp_path / "t.sddf")
+        back = parse_svpablo(path)
+        assert back.num_threads == trial.num_threads
+        assert _time_value(back, "riemann") == pytest.approx(
+            _time_value(trial, "riemann")
+        )
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "t.sddf"
+        p.write_text("/* header only */\n")
+        with pytest.raises(ProfileParseError):
+            parse_svpablo(p)
+
+
+class TestXmlRoundtrip:
+    def test_lossless(self, counter_trial, tmp_path):
+        path = export_xml(counter_trial, tmp_path / "t.xml")
+        back = parse_xml(path)
+        assert back.num_threads == counter_trial.num_threads
+        assert [m.name for m in back.metrics] == [
+            m.name for m in counter_trial.metrics
+        ]
+        for name, event in counter_trial.interval_events.items():
+            back_event = back.get_interval_event(name)
+            assert back_event.group == event.group
+            for src_t, dst_t in zip(
+                counter_trial.all_threads(), back.all_threads()
+            ):
+                src_p = src_t.function_profiles.get(event.index)
+                dst_p = dst_t.function_profiles.get(back_event.index)
+                if src_p is None:
+                    assert dst_p is None
+                    continue
+                for m, inc, exc in src_p.iter_metrics():
+                    assert dst_p.get_inclusive(m) == inc
+                    assert dst_p.get_exclusive(m) == exc
+
+    def test_special_characters_in_names(self, tmp_path):
+        from repro.core.model import DataSource
+
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event('foo<T>&"bar"')
+        fp = ds.add_thread(0, 0, 0).get_or_create_function_profile(event)
+        fp.set_inclusive(0, 1.0)
+        path = export_xml(ds, tmp_path / "special.xml")
+        back = parse_xml(path)
+        assert back.get_interval_event('foo<T>&"bar"') is not None
+
+
+class TestRegistry:
+    def test_autodetect_every_format(self, trial, counter_trial, tmp_path):
+        write_tau_profiles(trial, tmp_path / "tau")
+        write_gprof_output(trial, tmp_path / "gprof")
+        write_mpip_report(trial, tmp_path / "r.mpiP")
+        write_dynaprof_output(trial, tmp_path / "dyna")
+        write_hpm_output(counter_trial, tmp_path / "hpm")
+        write_psrun_output(counter_trial, tmp_path / "ps")
+        write_svpablo_output(trial, tmp_path / "sv.sddf")
+        export_xml(trial, tmp_path / "t.xml")
+        expectations = {
+            "tau": "tau", "gprof": "gprof", "r.mpiP": "mpip",
+            "dyna": "dynaprof", "hpm": "hpmtoolkit", "ps": "psrun",
+            "sv.sddf": "svpablo", "t.xml": "xml",
+        }
+        for path, expected in expectations.items():
+            assert detect_format(tmp_path / path) == expected, path
+
+    def test_load_profile_autodetect(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path / "tau")
+        ds = load_profile(tmp_path / "tau")
+        assert ds.num_threads == trial.num_threads
+
+    def test_load_profile_explicit_format(self, trial, tmp_path):
+        path = write_svpablo_output(trial, tmp_path / "data.txt")
+        ds = load_profile(path, "svpablo")
+        assert ds.num_threads == trial.num_threads
+
+    def test_unknown_format_name(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown profile format"):
+            load_profile(tmp_path, "vampir")
+
+    def test_undetectable_raises(self, tmp_path):
+        p = tmp_path / "mystery.bin"
+        p.write_text("0000000")
+        with pytest.raises(ProfileParseError, match="auto-detect"):
+            load_profile(p)
+
+
+class TestDiscoverFiles:
+    def test_prefix_and_suffix(self, tmp_path):
+        for name in ("profile.0.0.0", "profile.1.0.0", "events.xml", "notes.txt"):
+            (tmp_path / name).write_text("x")
+        assert len(discover_files(tmp_path, prefix="profile.")) == 2
+        assert len(discover_files(tmp_path, suffix=".xml")) == 1
+        assert len(discover_files(tmp_path, prefix="profile.", suffix=".0")) == 2
+
+    def test_pattern(self, tmp_path):
+        for name in ("a1", "a2", "b1"):
+            (tmp_path / name).write_text("x")
+        assert len(discover_files(tmp_path, pattern=r"^a\d$")) == 2
+
+    def test_single_file_passthrough(self, tmp_path):
+        p = tmp_path / "one"
+        p.write_text("x")
+        assert discover_files(p) == [p]
+
+    def test_missing_target(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover_files(tmp_path / "nope")

@@ -1,0 +1,223 @@
+"""Importer robustness against real-world formatting variants.
+
+Each fixture mimics quirks the real tools produce: wrapped headers,
+aggregate rows, extra sections, comment noise, blank lines, Windows
+line endings.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.core.io_ import (
+    parse_dynaprof, parse_gprof, parse_hpm, parse_mpip, parse_tau_profiles,
+)
+
+
+class TestTauVariants:
+    def test_crlf_line_endings(self, tmp_path):
+        content = (
+            "1 templated_functions_MULTI_TIME\r\n"
+            "# Name Calls Subrs Excl Incl ProfileCalls #\r\n"
+            '"main" 1 0 5 10 0 GROUP="TAU_DEFAULT"\r\n'
+            "0 aggregates\r\n0 userevents\r\n"
+        )
+        (tmp_path / "profile.0.0.0").write_bytes(content.encode())
+        ds = parse_tau_profiles(tmp_path)
+        assert ds.get_interval_event("main") is not None
+
+    def test_missing_group_attribute(self, tmp_path):
+        content = textwrap.dedent("""\
+            1 templated_functions_MULTI_TIME
+            # Name Calls Subrs Excl Incl ProfileCalls #
+            "main" 1 0 5 10 0
+            0 aggregates
+            0 userevents
+            """)
+        (tmp_path / "profile.0.0.0").write_text(content)
+        ds = parse_tau_profiles(tmp_path)
+        assert ds.get_interval_event("main").group == "TAU_DEFAULT"
+
+    def test_scientific_notation_values(self, tmp_path):
+        content = textwrap.dedent("""\
+            1 templated_functions_MULTI_TIME
+            # Name Calls Subrs Excl Incl ProfileCalls #
+            "main" 1e3 0 1.5e+06 2.5E6 0 GROUP="X"
+            0 aggregates
+            0 userevents
+            """)
+        (tmp_path / "profile.0.0.0").write_text(content)
+        ds = parse_tau_profiles(tmp_path)
+        fp = ds.get_thread(0, 0, 0).function_profiles[
+            ds.get_interval_event("main").index
+        ]
+        assert fp.calls == 1000.0
+        assert fp.get_inclusive(0) == 2.5e6
+
+    def test_old_style_header_without_metric(self, tmp_path):
+        content = textwrap.dedent("""\
+            1 templated_functions
+            # Name Calls Subrs Excl Incl ProfileCalls #
+            "main" 1 0 5 10 0
+            0 aggregates
+            0 userevents
+            """)
+        (tmp_path / "profile.0.0.0").write_text(content)
+        ds = parse_tau_profiles(tmp_path)
+        assert ds.metrics[0].name == "TIME"
+
+    def test_high_thread_numbers(self, tmp_path):
+        content = textwrap.dedent("""\
+            1 templated_functions_MULTI_TIME
+            # Name Calls Subrs Excl Incl ProfileCalls #
+            "main" 1 0 5 10 0
+            0 aggregates
+            0 userevents
+            """)
+        (tmp_path / "profile.1023.2.15").write_text(content)
+        ds = parse_tau_profiles(tmp_path)
+        assert ds.get_thread(1023, 2, 15) is not None
+
+
+class TestMpipVariants:
+    REPORT = textwrap.dedent("""\
+        @ mpiP
+        @ Command : ./app -n 100
+        @ Version : 3.1.0
+        @ MPIP env var     : [null]
+
+        @--- MPI Time (seconds) ---------------------------------------------
+        Task    AppTime    MPITime     MPI%
+           0       10.5        2.1    20.00
+           1       10.4        2.3    22.12
+           *       20.9        4.4    21.05
+
+        @--- Aggregate Time (top twenty, descending, milliseconds) ----------
+        Call                 Site       Time    App%    MPI%     COV
+        Send                    1   2.2e+03   10.53   50.00    0.05
+
+        @--- Callsites: 1 ---------------------------------------------------
+         ID Lev File/Address        Line Parent_Funct             MPI_Call
+          1   0 comm.c               42  exchange                 Send
+
+        @--- Callsite Time statistics (all, milliseconds): 3 ----------------
+        Name              Site Rank  Count      Max     Mean      Min   App%   MPI%
+        Send                 1    0    500     4.5      4.2      4.0   20.00  100.00
+        Send                 1    1    510     4.6      4.5      4.1   22.00  100.00
+        Send                 1    *   1010     4.6      4.35     4.0   21.00  100.00
+
+        @--- End of Report --------------------------------------------------
+        """)
+
+    def test_full_report_with_aggregate_sections(self, tmp_path):
+        path = tmp_path / "app.mpiP"
+        path.write_text(self.REPORT)
+        ds = parse_mpip(path)
+        assert ds.num_threads == 2
+        send = ds.get_interval_event("MPI_Send() [site 1]")
+        assert send is not None
+        fp0 = ds.get_thread(0, 0, 0).function_profiles[send.index]
+        assert fp0.calls == 500
+        assert fp0.get_inclusive(0) == pytest.approx(500 * 4.2 * 1000)
+
+    def test_star_rows_skipped(self, tmp_path):
+        path = tmp_path / "app.mpiP"
+        path.write_text(self.REPORT)
+        ds = parse_mpip(path)
+        # only tasks 0 and 1, no '*' pseudo-thread
+        assert sorted(t.node_id for t in ds.all_threads()) == [0, 1]
+
+    def test_app_time_preserved(self, tmp_path):
+        path = tmp_path / "app.mpiP"
+        path.write_text(self.REPORT)
+        ds = parse_mpip(path)
+        app = ds.get_interval_event("Application")
+        fp = ds.get_thread(0, 0, 0).function_profiles[app.index]
+        assert fp.get_inclusive(0) == pytest.approx(10.5e6)
+
+
+class TestHpmVariants:
+    OUTPUT = textwrap.dedent("""\
+        libhpm (Version 2.5.4) summary
+        Total execution time of instrumented code (wall time): 12.5 seconds
+
+        ############################################################
+        Instrumented section: 1 - Label: main loop
+         file: solver.f, lines: 100 <--> 250
+         Count: 50
+         Wall Clock Time: 11.2 seconds
+         Total time in user mode: 10.9 seconds
+         PM_FPU0_CMPL (FPU 0 instructions): 1500000
+         PAPI_FP_OPS (Floating point operations): 3000000
+         Instructions per cycle: 0.8
+        """)
+
+    def test_unknown_counters_and_extra_lines(self, tmp_path):
+        (tmp_path / "perfhpm0001").write_text(self.OUTPUT)
+        ds = parse_hpm(tmp_path)
+        event = ds.get_interval_event("main loop")
+        assert event is not None
+        fp = ds.get_thread(1, 0, 0).function_profiles[event.index]
+        assert fp.calls == 50
+        assert fp.get_inclusive(0) == pytest.approx(11.2e6)
+        fp_metric = ds.get_metric("PAPI_FP_OPS")
+        assert fp.get_inclusive(fp_metric.index) == 3000000
+        # IBM-specific counters also captured as metrics
+        assert ds.get_metric("PM_FPU0_CMPL") is not None
+
+    def test_no_exclusive_falls_back_to_inclusive(self, tmp_path):
+        (tmp_path / "perfhpm0001").write_text(self.OUTPUT)
+        ds = parse_hpm(tmp_path)
+        event = ds.get_interval_event("main loop")
+        fp = ds.get_thread(1, 0, 0).function_profiles[event.index]
+        assert fp.get_exclusive(0) == fp.get_inclusive(0)
+
+
+class TestDynaprofVariants:
+    def test_blank_lines_and_dashes(self, tmp_path):
+        content = textwrap.dedent("""\
+            Exclusive Profile.
+
+            Name                     Percent      Total       Calls
+            --------------------------------------------------------
+
+            TOTAL                    100          5e+06       1
+            compute_kernel           80           4e+06       100
+
+            helper                   20           1e+06       50
+
+            Inclusive Profile.
+
+            Name                     Percent      Total       Calls
+            --------------------------------------------------------
+            TOTAL                    100          5e+06       1
+            compute_kernel           80           4e+06       100
+            helper                   20           1e+06       50
+            """)
+        (tmp_path / "app.dynaprof.3").write_text(content)
+        ds = parse_dynaprof(tmp_path)
+        assert ds.get_thread(3, 0, 0) is not None
+        kernel = ds.get_interval_event("compute_kernel")
+        fp = ds.get_thread(3, 0, 0).function_profiles[kernel.index]
+        assert fp.get_exclusive(0) == 4e6
+        assert fp.calls == 100
+
+
+class TestGprofVariants:
+    def test_functions_without_call_counts(self, tmp_path):
+        """gprof omits calls for functions compiled without -pg."""
+        content = textwrap.dedent("""\
+            Flat profile:
+
+            Each sample counts as 0.01 seconds.
+              %   cumulative   self              self     total
+             time   seconds   seconds    calls  ms/call  ms/call  name
+             70.00      0.70     0.70     1000     0.70     0.90  compute
+             30.00      1.00     0.30                             mcount
+            """)
+        (tmp_path / "gprof.out.0.0.0").write_text(content)
+        ds = parse_gprof(tmp_path)
+        mcount = ds.get_interval_event("mcount")
+        fp = ds.get_thread(0, 0, 0).function_profiles[mcount.index]
+        assert fp.get_exclusive(0) == pytest.approx(0.30e6)
+        assert fp.calls == 0

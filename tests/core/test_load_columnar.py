@@ -1,0 +1,81 @@
+"""Tests for the vectorised columnar trial loader."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ColumnarTrial
+from repro.core.session import PerfDMFSession
+from repro.tau.apps import EVH1, Miranda, SPPM
+
+
+@pytest.fixture
+def session(db_url):
+    s = PerfDMFSession(db_url)
+    yield s
+    s.close()
+
+
+class TestLoadColumnar:
+    def test_matches_generated_data(self, session):
+        app = session.create_application("m")
+        exp = session.create_experiment(app, "e")
+        generated = Miranda().generate(64)
+        trial = session.save_trial(generated, exp, "t")
+        loaded = session.load_columnar(trial)
+        assert loaded.event_names == generated.event_names
+        assert loaded.metric_names == generated.metric_names
+        np.testing.assert_allclose(loaded.inclusive[0], generated.inclusive[0])
+        np.testing.assert_allclose(loaded.exclusive[0], generated.exclusive[0])
+        np.testing.assert_allclose(loaded.calls, generated.calls)
+
+    def test_matches_object_loader(self, session):
+        app = session.create_application("e")
+        exp = session.create_experiment(app, "x")
+        source = EVH1(problem_size=0.05, timesteps=1).run(4)
+        trial = session.save_trial(source, exp, "t")
+        columnar = session.load_columnar(trial)
+        objectful = ColumnarTrial.from_datasource(session.load_datasource(trial))
+        assert columnar.event_names == objectful.event_names
+        np.testing.assert_allclose(columnar.inclusive[0], objectful.inclusive[0])
+        np.testing.assert_allclose(columnar.subroutines, objectful.subroutines)
+
+    def test_multi_metric(self, session):
+        app = session.create_application("s")
+        exp = session.create_experiment(app, "x")
+        source = SPPM(problem_size=0.01, timesteps=1).run(8)
+        trial = session.save_trial(source, exp, "t")
+        columnar = session.load_columnar(trial)
+        assert columnar.num_metrics == 8
+        fp_index = columnar.metric_names.index("PAPI_FP_OPS")
+        assert columnar.exclusive[fp_index].sum() > 0
+
+    def test_usable_for_clustering(self, session):
+        from repro.explorer import cluster_trial
+
+        app = session.create_application("s2")
+        exp = session.create_experiment(app, "x")
+        source = SPPM(problem_size=0.01, timesteps=1).run(27)
+        trial = session.save_trial(source, exp, "t")
+        columnar = session.load_columnar(trial)
+        fp_index = columnar.metric_names.index("PAPI_FP_OPS")
+        result = cluster_trial(columnar, k=2, metric=fp_index)
+        assert sum(result.sizes) == 27
+
+    def test_empty_trial_raises(self, session):
+        app = session.create_application("empty")
+        exp = session.create_experiment(app, "x")
+        from repro.core.api.entities import Trial
+
+        trial = Trial(session.connection, name="bare", experiment=exp.id)
+        trial.save()
+        with pytest.raises(ValueError, match="no stored profile data"):
+            session.load_columnar(trial)
+
+    def test_groups_preserved(self, session):
+        app = session.create_application("g")
+        exp = session.create_experiment(app, "x")
+        source = EVH1(problem_size=0.05, timesteps=1).run(2)
+        trial = session.save_trial(source, exp, "t")
+        columnar = session.load_columnar(trial)
+        index = columnar.event_names.index("MPI_Alltoall()")
+        assert columnar.event_groups[index] == "MPI"

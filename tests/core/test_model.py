@@ -1,0 +1,289 @@
+"""Unit tests for the common profile data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    CALLPATH_SEPARATOR, ColumnarTrial, DataSource, FunctionProfile,
+    IntervalEvent, Metric, Thread, UserEventProfile, group,
+)
+
+
+@pytest.fixture
+def simple_trial() -> DataSource:
+    """4 threads, 3 events, 2 metrics, deterministic values."""
+    ds = DataSource()
+    time = ds.add_metric("TIME")
+    flops = ds.add_metric("PAPI_FP_OPS")
+    main = ds.add_interval_event("main", group.DEFAULT)
+    solve = ds.add_interval_event("solve", group.COMPUTATION)
+    send = ds.add_interval_event("MPI_Send()", group.COMMUNICATION)
+    for rank in range(4):
+        thread = ds.add_thread(rank, 0, 0)
+        fp_main = thread.get_or_create_function_profile(main)
+        fp_main.set_inclusive(time.index, 100.0)
+        fp_main.set_exclusive(time.index, 10.0)
+        fp_main.set_inclusive(flops.index, 1e6)
+        fp_main.set_exclusive(flops.index, 1e5)
+        fp_main.calls = 1
+        fp_main.subroutines = 2
+        fp_solve = thread.get_or_create_function_profile(solve)
+        fp_solve.set_inclusive(time.index, 80.0 + rank)
+        fp_solve.set_exclusive(time.index, 80.0 + rank)
+        fp_solve.set_inclusive(flops.index, 9e5)
+        fp_solve.set_exclusive(flops.index, 9e5)
+        fp_solve.calls = 10
+        fp_send = thread.get_or_create_function_profile(send)
+        fp_send.set_inclusive(time.index, 10.0 - rank)
+        fp_send.set_exclusive(time.index, 10.0 - rank)
+        fp_send.calls = 100
+    ds.generate_statistics()
+    return ds
+
+
+class TestMetric:
+    def test_add_metric_assigns_index(self):
+        ds = DataSource()
+        assert ds.add_metric("TIME").index == 0
+        assert ds.add_metric("PAPI_FP_OPS").index == 1
+
+    def test_add_metric_idempotent(self):
+        ds = DataSource()
+        a = ds.add_metric("TIME")
+        b = ds.add_metric("TIME")
+        assert a is b
+        assert ds.num_metrics == 1
+
+    def test_time_metric_detection(self):
+        assert Metric("TIME").is_time()
+        assert Metric("GET_TIME_OF_DAY").is_time()
+        assert not Metric("PAPI_TOT_CYC").is_time()
+        assert not Metric("PAPI_REAL_TIME_COUNTER").is_time()  # PAPI excluded
+
+    def test_time_metric_falls_back_to_first(self):
+        ds = DataSource()
+        ds.add_metric("PAPI_FP_OPS")
+        assert ds.time_metric().name == "PAPI_FP_OPS"
+
+    def test_adding_metric_extends_existing_threads(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("main")
+        thread = ds.add_thread(0, 0, 0)
+        profile = thread.get_or_create_function_profile(event)
+        profile.set_inclusive(0, 5.0)
+        ds.add_metric("PAPI_L1_DCM")
+        assert profile.num_metrics == 2
+        assert profile.get_inclusive(1) == 0.0
+
+
+class TestEvents:
+    def test_event_registration(self):
+        ds = DataSource()
+        e = ds.add_interval_event("main")
+        assert e.index == 0
+        assert ds.add_interval_event("main") is e
+
+    def test_groups(self):
+        e = IntervalEvent("x", group="MPI|IO")
+        assert e.groups == ("MPI", "IO")
+
+    def test_callpath_properties(self):
+        e = IntervalEvent(f"main{CALLPATH_SEPARATOR}solve{CALLPATH_SEPARATOR}MPI_Send()")
+        assert e.is_callpath()
+        assert e.leaf_name == "MPI_Send()"
+        assert e.parent_name == "main => solve"
+        assert e.path_components() == ["main", "solve", "MPI_Send()"]
+
+    def test_flat_event_has_no_parent(self):
+        e = IntervalEvent("main")
+        assert not e.is_callpath()
+        assert e.parent_name is None
+        assert e.leaf_name == "main"
+
+    def test_group_classification(self):
+        assert group.classify_event_name("MPI_Send()") == group.COMMUNICATION
+        assert group.classify_event_name("fwrite") == group.IO
+        assert group.classify_event_name("malloc") == group.MEMORY
+        assert group.classify_event_name("a => b") == group.CALLPATH
+        assert group.classify_event_name("solve") == group.DEFAULT
+
+    def test_events_in_group(self, simple_trial):
+        comm = simple_trial.events_in_group(group.COMMUNICATION)
+        assert [e.name for e in comm] == ["MPI_Send()"]
+
+
+class TestThreadHierarchy:
+    def test_add_thread_creates_hierarchy(self):
+        ds = DataSource()
+        thread = ds.add_thread(3, 1, 2)
+        assert thread.triple == (3, 1, 2)
+        assert ds.nodes[3].contexts[1].threads[2] is thread
+
+    def test_add_thread_idempotent(self):
+        ds = DataSource()
+        assert ds.add_thread(0, 0, 0) is ds.add_thread(0, 0, 0)
+        assert ds.num_threads == 1
+
+    def test_get_thread_missing(self):
+        ds = DataSource()
+        assert ds.get_thread(9, 9, 9) is None
+
+    def test_topology_properties(self):
+        ds = DataSource()
+        for node in range(4):
+            for thr in range(2):
+                ds.add_thread(node, 0, thr)
+        assert ds.node_count == 4
+        assert ds.contexts_per_node == 1
+        assert ds.max_threads_per_context == 2
+        assert ds.num_threads == 8
+
+    def test_max_inclusive_is_run_duration(self, simple_trial):
+        thread = simple_trial.get_thread(0, 0, 0)
+        assert thread.max_inclusive(0) == 100.0
+
+
+class TestFunctionProfile:
+    def test_inclusive_per_call(self):
+        fp = FunctionProfile(IntervalEvent("f"), 1)
+        fp.set_inclusive(0, 50.0)
+        fp.calls = 5
+        assert fp.get_inclusive_per_call(0) == 10.0
+
+    def test_inclusive_per_call_zero_calls(self):
+        fp = FunctionProfile(IntervalEvent("f"), 1)
+        fp.set_inclusive(0, 50.0)
+        assert fp.get_inclusive_per_call(0) == 0.0
+
+    def test_accumulate(self):
+        fp = FunctionProfile(IntervalEvent("f"), 2)
+        fp.accumulate(0, 10.0, 5.0, calls=2, subroutines=1)
+        fp.accumulate(0, 10.0, 5.0, calls=2, subroutines=1)
+        fp.accumulate(1, 1.0, 1.0, calls=2)  # metric 1: calls not recounted
+        assert fp.get_inclusive(0) == 20.0
+        assert fp.calls == 4
+        assert fp.get_inclusive(1) == 1.0
+
+    def test_iter_metrics(self):
+        fp = FunctionProfile(IntervalEvent("f"), 2)
+        fp.set_inclusive(1, 7.0)
+        assert list(fp.iter_metrics()) == [(0, 0.0, 0.0), (1, 7.0, 0.0)]
+
+
+class TestUserEventProfile:
+    def test_add_samples(self):
+        up = UserEventProfile(IntervalEvent("heap"))
+        for v in [10.0, 20.0, 30.0]:
+            up.add_sample(v)
+        assert up.count == 3
+        assert up.min_value == 10.0
+        assert up.max_value == 30.0
+        assert up.mean_value == pytest.approx(20.0)
+        assert up.stddev == pytest.approx(np.std([10, 20, 30]))
+
+    def test_set_summary_with_stddev(self):
+        up = UserEventProfile(IntervalEvent("msg size"))
+        up.set_summary(count=4, max_value=8, min_value=2, mean_value=5, stddev=1.5)
+        assert up.stddev == pytest.approx(1.5)
+
+    def test_empty_profile(self):
+        up = UserEventProfile(IntervalEvent("x"))
+        assert up.count == 0
+        assert up.stddev == 0.0
+
+
+class TestStatistics:
+    def test_total_sums_over_threads(self, simple_trial):
+        total = simple_trial.total_data
+        main = simple_trial.get_interval_event("main")
+        fp = total.function_profiles[main.index]
+        assert fp.get_inclusive(0) == 400.0
+        assert fp.calls == 4
+
+    def test_mean_divides_by_thread_count(self, simple_trial):
+        mean = simple_trial.mean_data
+        solve = simple_trial.get_interval_event("solve")
+        fp = mean.function_profiles[solve.index]
+        # (80 + 81 + 82 + 83) / 4
+        assert fp.get_inclusive(0) == pytest.approx(81.5)
+
+    def test_mean_counts_missing_threads_as_zero(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("rare")
+        t0 = ds.add_thread(0, 0, 0)
+        ds.add_thread(1, 0, 0)  # never calls 'rare'
+        fp = t0.get_or_create_function_profile(event)
+        fp.set_inclusive(0, 10.0)
+        ds.generate_statistics()
+        assert ds.mean_data.function_profiles[event.index].get_inclusive(0) == 5.0
+
+    def test_statistics_on_empty_trial(self):
+        ds = DataSource()
+        ds.generate_statistics()
+        assert ds.total_data is not None
+        assert len(ds.total_data.function_profiles) == 0
+
+
+class TestDerivedMetrics:
+    def test_flops_per_second(self, simple_trial):
+        metric = simple_trial.create_derived_metric("FLOPS", "PAPI_FP_OPS / TIME")
+        assert metric.derived
+        thread = simple_trial.get_thread(0, 0, 0)
+        main = simple_trial.get_interval_event("main")
+        fp = thread.function_profiles[main.index]
+        assert fp.get_inclusive(metric.index) == pytest.approx(1e6 / 100.0)
+
+    def test_expression_with_constants(self, simple_trial):
+        metric = simple_trial.create_derived_metric("TIME_MS", "TIME * 1000")
+        thread = simple_trial.get_thread(1, 0, 0)
+        solve = simple_trial.get_interval_event("solve")
+        assert thread.function_profiles[solve.index].get_inclusive(
+            metric.index
+        ) == pytest.approx(81000.0)
+
+    def test_division_by_zero_yields_zero(self):
+        ds = DataSource()
+        ds.add_metric("A")
+        ds.add_metric("B")
+        event = ds.add_interval_event("f")
+        t = ds.add_thread(0, 0, 0)
+        fp = t.get_or_create_function_profile(event)
+        fp.set_inclusive(0, 5.0)  # A=5, B=0
+        m = ds.create_derived_metric("R", "A / B")
+        assert fp.get_inclusive(m.index) == 0.0
+
+    def test_duplicate_name_rejected(self, simple_trial):
+        with pytest.raises(ValueError):
+            simple_trial.create_derived_metric("TIME", "TIME * 1")
+
+    def test_quoted_metric_names(self):
+        ds = DataSource()
+        ds.add_metric("WALL CLOCK")
+        event = ds.add_interval_event("f")
+        fp = ds.add_thread(0, 0, 0).get_or_create_function_profile(event)
+        fp.set_inclusive(0, 3.0)
+        m = ds.create_derived_metric("DOUBLED", '"WALL CLOCK" * 2')
+        assert fp.get_inclusive(m.index) == 6.0
+
+    def test_derived_also_computed_on_aggregates(self, simple_trial):
+        m = simple_trial.create_derived_metric("X", "TIME * 2")
+        total = simple_trial.total_data
+        main = simple_trial.get_interval_event("main")
+        assert total.function_profiles[main.index].get_inclusive(m.index) == 800.0
+
+
+class TestValidation:
+    def test_valid_trial_passes(self, simple_trial):
+        assert simple_trial.validate() == []
+
+    def test_exclusive_exceeding_inclusive_flagged(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("bad")
+        fp = ds.add_thread(0, 0, 0).get_or_create_function_profile(event)
+        fp.set_inclusive(0, 1.0)
+        fp.set_exclusive(0, 2.0)
+        problems = ds.validate()
+        assert any("exclusive > inclusive" in p for p in problems)

@@ -1,0 +1,129 @@
+"""Property-based round-trip tests over randomised trials.
+
+The strongest integration invariant PerfDMF offers: any valid profile,
+stored and reloaded (through either storage engine, or through the XML
+exchange format), is the same profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.io_ import export_xml, parse_xml
+from repro.core.model import DataSource
+from repro.core.session import PerfDMFSession
+
+# -- trial generation strategy ------------------------------------------------
+
+_names = st.sampled_from(
+    ["main", "solve", "MPI_Send()", "io_write", "kernel<double>", "a => b"]
+)
+_values = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+@st.composite
+def trials(draw) -> DataSource:
+    ds = DataSource()
+    n_metrics = draw(st.integers(min_value=1, max_value=3))
+    for m in range(n_metrics):
+        ds.add_metric(f"M{m}")
+    event_names = draw(
+        st.lists(_names, min_size=1, max_size=4, unique=True)
+    )
+    events = [ds.add_interval_event(name) for name in event_names]
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    for t in range(n_threads):
+        thread = ds.add_thread(t, 0, 0)
+        for event in events:
+            if draw(st.booleans()):
+                continue  # sparse: event absent on this thread
+            profile = thread.get_or_create_function_profile(event)
+            for m in range(n_metrics):
+                exclusive = draw(_values)
+                extra = draw(_values)
+                profile.set_exclusive(m, exclusive)
+                profile.set_inclusive(m, exclusive + extra)
+            profile.calls = draw(st.integers(min_value=1, max_value=1000))
+            profile.subroutines = draw(st.integers(min_value=0, max_value=100))
+    ds.generate_statistics()
+    return ds
+
+
+def assert_equivalent(a: DataSource, b: DataSource) -> None:
+    assert b.num_threads == a.num_threads
+    assert set(b.interval_events) == set(a.interval_events)
+    assert [m.name for m in b.metrics] == [m.name for m in a.metrics]
+    for name, event in a.interval_events.items():
+        b_event = b.get_interval_event(name)
+        for thread in a.all_threads():
+            a_profile = thread.function_profiles.get(event.index)
+            b_thread = b.get_thread(*thread.triple)
+            b_profile = (
+                b_thread.function_profiles.get(b_event.index)
+                if b_thread is not None
+                else None
+            )
+            if a_profile is None:
+                if b_profile is not None:
+                    # storing can materialise empty rows; values must be 0
+                    for m, inc, exc in b_profile.iter_metrics():
+                        assert inc == 0.0 and exc == 0.0
+                continue
+            assert b_profile is not None, (name, thread.triple)
+            for m, inc, exc in a_profile.iter_metrics():
+                assert b_profile.get_inclusive(m) == pytest.approx(inc, rel=1e-12)
+                assert b_profile.get_exclusive(m) == pytest.approx(exc, rel=1e-12)
+            assert b_profile.calls == a_profile.calls
+
+
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(source=trials())
+def test_xml_roundtrip_property(source, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("xmlprop")
+    path = export_xml(source, tmp / "t.xml")
+    assert_equivalent(source, parse_xml(path))
+
+
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(source=trials())
+@pytest.mark.parametrize("url", ["sqlite://:memory:", "minisql://:memory:"])
+def test_database_roundtrip_property(url, source):
+    session = PerfDMFSession(url)
+    app = session.create_application("prop")
+    exp = session.create_experiment(app, "e")
+    trial = session.save_trial(source, exp, "t")
+    reloaded = session.load_datasource(trial)
+    assert_equivalent(source, reloaded)
+    session.close()
+
+
+@settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(source=trials())
+def test_engines_store_identically_property(source):
+    """Both engines must hold byte-identical logical content."""
+    snapshots = []
+    for url in ("sqlite://:memory:", "minisql://:memory:"):
+        session = PerfDMFSession(url)
+        app = session.create_application("prop")
+        exp = session.create_experiment(app, "e")
+        trial = session.save_trial(source, exp, "t")
+        rows = session.connection.query(
+            "SELECT e.name, p.node, p.thread, m.name, p.inclusive, "
+            "p.exclusive, p.num_calls FROM interval_location_profile p "
+            "JOIN interval_event e ON p.interval_event = e.id "
+            "JOIN metric m ON p.metric = m.id "
+            "ORDER BY e.name, p.node, p.thread, m.name"
+        )
+        snapshots.append(rows)
+        session.close()
+    assert snapshots[0] == snapshots[1]

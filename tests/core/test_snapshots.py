@@ -1,0 +1,161 @@
+"""Tests for snapshot (time-series) profiles and drift analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import DataSource
+from repro.core.model.snapshot import Snapshot, SnapshotSeries, drift_report
+from repro.tau.apps import EVH1
+from repro.tau.snapshots import capture_series
+
+
+def make_source(value: float, events=("f",)) -> DataSource:
+    ds = DataSource()
+    ds.add_metric("TIME")
+    thread = ds.add_thread(0, 0, 0)
+    for name in events:
+        event = ds.add_interval_event(name)
+        fp = thread.get_or_create_function_profile(event)
+        fp.set_inclusive(0, value)
+        fp.set_exclusive(0, value)
+        fp.calls = 1
+    ds.generate_statistics()
+    return ds
+
+
+class TestSeriesBasics:
+    def test_add_ordered(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(10.0))
+        series.add(2.0, make_source(20.0))
+        assert len(series) == 2
+        assert series.final is series.snapshots[-1].source
+
+    def test_timestamps_must_increase(self):
+        series = SnapshotSeries()
+        series.add(2.0, make_source(10.0))
+        with pytest.raises(ValueError, match="increase"):
+            series.add(1.0, make_source(20.0))
+
+    def test_empty_final_raises(self):
+        with pytest.raises(ValueError):
+            SnapshotSeries().final
+
+    def test_default_labels(self):
+        series = SnapshotSeries()
+        snapshot = series.add(3.5, make_source(1.0))
+        assert snapshot.label == "t=3.5s"
+
+
+class TestIntervals:
+    def test_interval_is_difference(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(10.0))
+        series.add(2.0, make_source(25.0))
+        (label, interval), = series.intervals()
+        event = interval.get_interval_event("f")
+        fp = interval.get_thread(0, 0, 0).function_profiles[event.index]
+        assert fp.get_exclusive(0) == pytest.approx(15.0)
+
+    def test_interval_count(self):
+        series = SnapshotSeries()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            series.add(t, make_source(t * 10))
+        assert len(series.intervals()) == 3
+
+
+class TestEventSeries:
+    def test_cumulative_series(self):
+        series = SnapshotSeries()
+        for t, v in [(1.0, 10.0), (2.0, 30.0), (3.0, 60.0)]:
+            series.add(t, make_source(v))
+        timestamps, values = series.event_series("f")
+        np.testing.assert_allclose(timestamps, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(values, [10.0, 30.0, 60.0])
+
+    def test_per_interval_series(self):
+        series = SnapshotSeries()
+        for t, v in [(1.0, 10.0), (2.0, 30.0), (3.0, 60.0)]:
+            series.add(t, make_source(v))
+        timestamps, increments = series.event_series("f", per_interval=True)
+        np.testing.assert_allclose(increments, [20.0, 30.0])
+
+    def test_missing_event_is_zero(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(10.0, events=("g",)))
+        series.add(2.0, make_source(10.0, events=("g", "f")))
+        _ts, values = series.event_series("f")
+        assert values[0] == 0.0
+
+
+class TestValidation:
+    def test_monotonic_series_clean(self):
+        series = SnapshotSeries()
+        for t, v in [(1.0, 10.0), (2.0, 20.0)]:
+            series.add(t, make_source(v))
+        assert series.validate() == []
+
+    def test_decrease_detected(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(20.0))
+        series.add(2.0, make_source(10.0))
+        problems = series.validate()
+        assert any("decreased" in p for p in problems)
+
+    def test_vanished_event_detected(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(10.0, events=("f", "g")))
+        series.add(2.0, make_source(20.0, events=("f",)))
+        problems = series.validate()
+        assert any("vanished" in p for p in problems)
+
+
+class TestDriftReport:
+    def test_growing_event_flagged(self):
+        series = SnapshotSeries()
+        # f grows 10 per interval at first, then 40: drifting
+        for t, v in [(1.0, 10.0), (2.0, 20.0), (3.0, 60.0)]:
+            series.add(t, make_source(v))
+        report = drift_report(series, threshold=1.5)
+        assert report and report[0]["event"] == "f"
+        assert report[0]["ratio"] == pytest.approx(4.0)
+
+    def test_steady_event_not_flagged(self):
+        series = SnapshotSeries()
+        for t, v in [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]:
+            series.add(t, make_source(v))
+        assert drift_report(series, threshold=1.5) == []
+
+    def test_short_series_empty(self):
+        series = SnapshotSeries()
+        series.add(1.0, make_source(10.0))
+        series.add(2.0, make_source(20.0))
+        assert drift_report(series) == []
+
+
+class TestCaptureFromSimulator:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return capture_series(
+            lambda n: EVH1(problem_size=0.1, timesteps=n, seed=7),
+            ranks=2,
+            steps=[1, 2, 3],
+        )
+
+    def test_replay_is_cumulative(self, series):
+        assert series.validate() == []
+
+    def test_steps_must_increase(self):
+        with pytest.raises(ValueError):
+            capture_series(
+                lambda n: EVH1(timesteps=n), ranks=2, steps=[2, 1]
+            )
+
+    def test_per_step_activity_positive(self, series):
+        _ts, increments = series.event_series("riemann", per_interval=True)
+        assert (increments > 0).all()
+
+    def test_init_only_in_first_interval(self, series):
+        """Setup cost happens once: later intervals add ~nothing."""
+        _ts, increments = series.event_series("init", per_interval=True)
+        assert abs(increments[-1]) < 1e-6

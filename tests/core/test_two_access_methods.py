@@ -1,0 +1,109 @@
+"""§4's two access methods must agree.
+
+> "The two methods logically organize the profile data in the same way."
+> "The selection of one method does not preclude the use of the other,
+> and the two are not mutually exclusive."
+
+The same trial accessed through FileDataSession (flat files) and
+PerfDMFSession (database) must yield identical query results for every
+shared operation and every selection filter.
+"""
+
+import pytest
+
+from repro.core.session import FileDataSession, PerfDMFSession
+from repro.tau.apps import SPPM
+from repro.tau.writers import write_tau_profiles
+
+
+@pytest.fixture(scope="module")
+def both_sessions(tmp_path_factory):
+    source = SPPM(problem_size=0.01, timesteps=1).run(8)
+    base = tmp_path_factory.mktemp("twoways")
+    write_tau_profiles(source, base / "tau")
+
+    file_session = FileDataSession(base / "tau")
+
+    db_session = PerfDMFSession("sqlite://:memory:")
+    app = db_session.create_application("sppm")
+    exp = db_session.create_experiment(app, "e")
+    # store the *parsed* trial so both sessions share one lineage
+    trial = db_session.save_trial(file_session.datasource, exp, "t")
+    db_session.set_trial(trial)
+    return file_session, db_session
+
+
+def normalise(rows):
+    return sorted(
+        (r[0], r[1], r[2], r[3], r[4], round(r[5], 6), round(r[6], 6),
+         float(r[7]), float(r[8]))
+        for r in rows
+    )
+
+
+class TestTwoAccessMethods:
+    def test_metric_lists_agree(self, both_sessions):
+        file_session, db_session = both_sessions
+        assert file_session.get_metrics() == db_session.get_metrics()
+
+    def test_event_lists_agree(self, both_sessions):
+        file_session, db_session = both_sessions
+        file_names = {e["name"] for e in file_session.get_interval_events()}
+        db_names = {e["name"] for e in db_session.get_interval_events()}
+        assert file_names == db_names
+
+    def test_atomic_event_lists_agree(self, both_sessions):
+        file_session, db_session = both_sessions
+        assert {e["name"] for e in file_session.get_atomic_events()} == {
+            e["name"] for e in db_session.get_atomic_events()
+        }
+
+    def test_unfiltered_data_agrees(self, both_sessions):
+        file_session, db_session = both_sessions
+        assert normalise(file_session.get_interval_event_data()) == normalise(
+            db_session.get_interval_event_data()
+        )
+
+    @pytest.mark.parametrize(
+        "selection",
+        [
+            {"node": 3},
+            {"event": "hydro_kernel"},
+            {"metric": "PAPI_FP_OPS"},
+            {"node": 1, "event": "hydro_kernel", "metric": "TIME"},
+        ],
+        ids=["node", "event", "metric", "combined"],
+    )
+    def test_filtered_data_agrees(self, both_sessions, selection):
+        file_session, db_session = both_sessions
+        for session in (file_session, db_session):
+            session.reset_selection()
+            if isinstance(session, PerfDMFSession):
+                session.set_trial(1)
+            if "node" in selection:
+                session.set_node(selection["node"])
+            if "event" in selection:
+                session.set_event(selection["event"])
+            if "metric" in selection:
+                session.set_metric(selection["metric"])
+        file_rows = normalise(file_session.get_interval_event_data())
+        db_rows = normalise(db_session.get_interval_event_data())
+        assert file_rows == db_rows
+        assert file_rows  # filters must actually match something
+
+    def test_datasource_views_agree(self, both_sessions):
+        file_session, db_session = both_sessions
+        a = file_session.load_datasource()
+        b = db_session.load_datasource(1)
+        assert a.num_threads == b.num_threads
+        assert set(a.interval_events) == set(b.interval_events)
+        event = a.get_interval_event("hydro_kernel")
+        b_event = b.get_interval_event("hydro_kernel")
+        time_a = a.get_metric("TIME").index
+        time_b = b.get_metric("TIME").index
+        for thread in a.all_threads():
+            pa = thread.function_profiles[event.index]
+            pb = b.get_thread(*thread.triple).function_profiles[b_event.index]
+            assert pb.get_inclusive(time_b) == pytest.approx(
+                pa.get_inclusive(time_a)
+            )

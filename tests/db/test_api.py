@@ -1,0 +1,141 @@
+"""Tests for the backend-neutral connection API (the JDBC analog)."""
+
+import pytest
+
+from repro.db import ColumnMetadata, connect, parse_url
+from repro.db.dialects import DIALECTS, get_dialect
+
+
+class TestParseUrl:
+    def test_sqlite_memory(self):
+        assert parse_url("sqlite://:memory:") == ("sqlite", ":memory:")
+
+    def test_sqlite_file(self):
+        assert parse_url("sqlite:///tmp/x.db") == ("sqlite", "/tmp/x.db")
+
+    def test_minisql_named(self):
+        assert parse_url("minisql://archive") == ("minisql", "archive")
+
+    def test_empty_target_defaults_to_memory(self):
+        assert parse_url("minisql://") == ("minisql", ":memory:")
+
+    def test_missing_scheme_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_url("/tmp/x.db")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unsupported backend"):
+            parse_url("oracle://somewhere")
+
+
+class TestDBConnection:
+    def test_execute_and_query(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.query("SELECT x FROM t") == [(1,)]
+
+    def test_scalar(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(i,) for i in range(5)])
+        assert conn.scalar("SELECT sum(x) FROM t") == 10
+
+    def test_scalar_empty_returns_none(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        assert conn.scalar("SELECT x FROM t") is None
+
+    def test_insert_returns_lastrowid(self, conn):
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)")
+        rowid = conn.insert("INSERT INTO t (x) VALUES (?)", (7,))
+        assert rowid == 1
+        rowid = conn.insert("INSERT INTO t (x) VALUES (?)", (8,))
+        assert rowid == 2
+
+    def test_stddev_available_on_both_backends(self, conn):
+        conn.execute("CREATE TABLE t (x REAL)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(1.0,), (2.0,), (3.0,)])
+        assert conn.scalar("SELECT stddev(x) FROM t") == pytest.approx(1.0)
+
+    def test_variance_available_on_both_backends(self, conn):
+        conn.execute("CREATE TABLE t (x REAL)")
+        conn.executemany("INSERT INTO t VALUES (?)", [(1.0,), (2.0,), (3.0,)])
+        assert conn.scalar("SELECT variance(x) FROM t") == pytest.approx(1.0)
+
+    def test_table_names(self, conn):
+        conn.execute("CREATE TABLE beta (x INTEGER)")
+        conn.execute("CREATE TABLE alpha (x INTEGER)")
+        names = [t.lower() for t in conn.table_names()]
+        assert names == ["alpha", "beta"]
+
+    def test_has_table_case_insensitive(self, conn):
+        conn.execute("CREATE TABLE MyTable (x INTEGER)")
+        assert conn.has_table("mytable")
+        assert not conn.has_table("other")
+
+    def test_rollback(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.commit()
+        conn.execute("INSERT INTO t VALUES (1)")
+        conn.rollback()
+        assert conn.scalar("SELECT count(*) FROM t") == 0
+
+
+class TestGetMetadata:
+    """The getMetaData() analog that enables the flexible schema."""
+
+    def test_columns_reported(self, conn):
+        conn.execute(
+            "CREATE TABLE trial (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+            "node_count INTEGER)"
+        )
+        meta = conn.get_metadata("trial")
+        assert [c.name for c in meta] == ["id", "name", "node_count"]
+        assert meta[0].primary_key
+        assert meta[1].not_null
+        assert not meta[2].not_null
+
+    def test_added_column_is_discovered(self, conn):
+        conn.execute("CREATE TABLE app (id INTEGER PRIMARY KEY, name TEXT)")
+        conn.execute("ALTER TABLE app ADD COLUMN compiler TEXT")
+        assert "compiler" in conn.column_names("app")
+
+    def test_missing_table_raises(self, conn):
+        with pytest.raises(LookupError):
+            conn.get_metadata("nope")
+
+    def test_injection_safe(self, conn):
+        with pytest.raises(ValueError):
+            conn.get_metadata("x; DROP TABLE y")
+
+    def test_metadata_is_frozen_dataclass(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        meta = conn.get_metadata("t")[0]
+        assert isinstance(meta, ColumnMetadata)
+        with pytest.raises(AttributeError):
+            meta.name = "other"
+
+
+class TestDialects:
+    def test_six_dialects_registered(self):
+        assert set(DIALECTS) == {
+            "sqlite", "minisql", "postgresql", "mysql", "oracle", "db2"
+        }
+
+    def test_serial_column_differs_by_vendor(self):
+        assert "AUTOINCREMENT" in get_dialect("sqlite").serial_column
+        assert "SERIAL" in get_dialect("postgresql").serial_column
+        assert "AUTO_INCREMENT" in get_dialect("mysql").serial_column
+        assert "IDENTITY" in get_dialect("oracle").serial_column
+        assert "IDENTITY" in get_dialect("db2").serial_column
+
+    def test_type_mapping(self):
+        assert get_dialect("sqlite").type_for("DOUBLE") == "REAL"
+        assert get_dialect("postgresql").type_for("DOUBLE") == "DOUBLE PRECISION"
+        assert get_dialect("oracle").type_for("STRING") == "VARCHAR2(4000)"
+
+    def test_unknown_dialect(self):
+        with pytest.raises(ValueError):
+            get_dialect("sybase")
+
+    def test_quote(self):
+        assert get_dialect("mysql").quote("order") == "`order`"
+        assert get_dialect("postgresql").quote("order") == '"order"'

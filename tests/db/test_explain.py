@@ -1,0 +1,77 @@
+"""Tests for MiniSQL's EXPLAIN (planner-decision visibility)."""
+
+import pytest
+
+from repro.db import minisql
+
+
+@pytest.fixture
+def conn():
+    c = minisql.connect()
+    c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v REAL)")
+    c.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, t_id INTEGER)")
+    c.execute("CREATE INDEX idx_k ON t (k)")
+    c.executemany("INSERT INTO t (k, v) VALUES (?, ?)", [(i % 5, i) for i in range(20)])
+    yield c
+    c.close()
+
+
+def plan(conn, sql, params=()):
+    return [row[1] for row in conn.execute(f"EXPLAIN {sql}", params).fetchall()]
+
+
+class TestExplain:
+    def test_full_scan(self, conn):
+        steps = plan(conn, "SELECT * FROM t")
+        assert steps == ["SCAN t"]
+
+    def test_index_probe(self, conn):
+        steps = plan(conn, "SELECT * FROM t WHERE k = 3")
+        assert steps[0].startswith("SEARCH t USING INDEX idx_k")
+
+    def test_pk_probe(self, conn):
+        steps = plan(conn, "SELECT * FROM t WHERE id = 7")
+        assert "USING INDEX __pk_t" in steps[0]
+
+    def test_parameterised_probe(self, conn):
+        steps = plan(conn, "SELECT * FROM t WHERE k = ?", (1,))
+        assert steps[0].startswith("SEARCH")
+
+    def test_non_equality_is_scan(self, conn):
+        steps = plan(conn, "SELECT * FROM t WHERE k > 3")
+        assert steps == ["SCAN t"]
+
+    def test_hash_join(self, conn):
+        steps = plan(conn, "SELECT * FROM t JOIN u ON u.t_id = t.id")
+        assert any("HASH JOIN u" in s for s in steps)
+
+    def test_cross_join(self, conn):
+        steps = plan(conn, "SELECT * FROM t CROSS JOIN u")
+        assert any("CROSS JOIN u" in s for s in steps)
+
+    def test_nested_loop_for_inequality_join(self, conn):
+        steps = plan(conn, "SELECT * FROM t JOIN u ON u.t_id > t.id")
+        assert any("NESTED LOOP JOIN u" in s for s in steps)
+
+    def test_group_and_order_steps(self, conn):
+        steps = plan(conn, "SELECT k, count(*) FROM t GROUP BY k ORDER BY k")
+        assert "GROUP BY (hash aggregation)" in steps
+        assert "ORDER BY (sort)" in steps
+
+    def test_compound(self, conn):
+        steps = plan(conn, "SELECT k FROM t UNION SELECT id FROM u")
+        assert "COMPOUND UNION" in steps
+
+    def test_constant_select(self, conn):
+        steps = plan(conn, "SELECT 1 + 1")
+        assert steps == ["CONSTANT ROW (no FROM)"]
+
+    def test_explain_dml(self, conn):
+        steps = plan(conn, "DELETE FROM t WHERE k = 1")
+        assert steps == ["DELETE"]
+
+    def test_explain_does_not_execute(self, conn):
+        before = conn.execute("SELECT count(*) FROM t").fetchone()
+        conn.execute("EXPLAIN DELETE FROM t")
+        after = conn.execute("SELECT count(*) FROM t").fetchone()
+        assert before == after

@@ -1,0 +1,134 @@
+"""Unit tests for MiniSQL scalar and aggregate function implementations."""
+
+import math
+
+import pytest
+
+from repro.db.minisql.errors import DataError, ProgrammingError
+from repro.db.minisql.functions import (
+    AGGREGATE_FUNCTIONS, call_scalar, is_aggregate, make_aggregate,
+)
+
+
+class TestScalarFunctions:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("ABS", [-5], 5),
+            ("ABS", [None], None),
+            ("ROUND", [3.14159, 2], 3.14),
+            ("ROUND", [2.5], 2.0),  # banker's rounding, like Python
+            ("LENGTH", ["hello"], 5),
+            ("UPPER", ["MiXeD"], "MIXED"),
+            ("LOWER", ["MiXeD"], "mixed"),
+            ("TRIM", ["  x  "], "x"),
+            ("LTRIM", ["  x  "], "x  "),
+            ("RTRIM", ["  x  "], "  x"),
+            ("SUBSTR", ["abcdef", 2, 3], "bcd"),
+            ("SUBSTR", ["abcdef", -2], "ef"),
+            ("SUBSTR", ["abcdef", 0], "abcdef"),
+            ("REPLACE", ["aXbX", "X", "-"], "a-b-"),
+            ("INSTR", ["hello", "ll"], 3),
+            ("INSTR", ["hello", "z"], 0),
+            ("COALESCE", [None, None, 3], 3),
+            ("COALESCE", [None, None], None),
+            ("IFNULL", [None, 7], 7),
+            ("IFNULL", [1, 7], 1),
+            ("NULLIF", [1, 1], None),
+            ("NULLIF", [1, 2], 1),
+            ("SQRT", [9.0], 3.0),
+            ("POWER", [2, 10], 1024.0),
+            ("EXP", [0], 1.0),
+            ("FLOOR", [2.7], 2),
+            ("CEIL", [2.1], 3),
+            ("MOD", [7, 3], 1),
+            ("MOD", [7, 0], None),
+            ("SIGN", [-4], -1),
+            ("SIGN", [0], 0),
+            ("MIN", [3, 1, 2], 1),
+            ("MAX", [3, 1, 2], 3),
+        ],
+    )
+    def test_values(self, name, args, expected):
+        assert call_scalar(name, args) == expected
+
+    def test_log(self):
+        assert call_scalar("LOG", [math.e]) == pytest.approx(1.0)
+
+    def test_log_of_nonpositive_raises(self):
+        with pytest.raises(DataError):
+            call_scalar("LOG", [0])
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(DataError):
+            call_scalar("SQRT", [-1])
+
+    def test_unknown_function(self):
+        with pytest.raises(ProgrammingError, match="no such function"):
+            call_scalar("FROBNICATE", [1])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ProgrammingError, match="argument count"):
+            call_scalar("ABS", [1, 2, 3])
+
+
+class TestAggregates:
+    def run(self, name, values):
+        agg = make_aggregate(name)
+        for v in values:
+            agg.step(v)
+        return agg.finalize()
+
+    def test_count_skips_nulls(self):
+        assert self.run("COUNT", [1, None, 2]) == 2
+
+    def test_sum(self):
+        assert self.run("SUM", [1, 2, 3]) == 6
+
+    def test_sum_all_null_is_null(self):
+        assert self.run("SUM", [None, None]) is None
+
+    def test_total_all_null_is_zero(self):
+        assert self.run("TOTAL", [None]) == 0.0
+
+    def test_avg(self):
+        assert self.run("AVG", [2, 4, None]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert self.run("AVG", []) is None
+
+    def test_min_max(self):
+        assert self.run("MIN", [3, 1, None, 2]) == 1
+        assert self.run("MAX", [3, 1, None, 2]) == 3
+
+    def test_stddev_matches_statistics(self):
+        import statistics
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert self.run("STDDEV", values) == pytest.approx(
+            statistics.stdev(values)
+        )
+
+    def test_stddev_single_value_null(self):
+        assert self.run("STDDEV", [5.0]) is None
+
+    def test_variance(self):
+        assert self.run("VARIANCE", [1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_group_concat(self):
+        assert self.run("GROUP_CONCAT", ["a", None, "b"]) == "a,b"
+
+    def test_is_aggregate(self):
+        assert is_aggregate("COUNT")
+        assert is_aggregate("STDDEV")
+        assert not is_aggregate("ABS")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ProgrammingError):
+            make_aggregate("MEDIAN")
+
+    def test_registry_complete(self):
+        for name in AGGREGATE_FUNCTIONS:
+            agg = make_aggregate(name)
+            agg.step(1.0)
+            agg.finalize()  # must not raise

@@ -1,0 +1,136 @@
+"""Unit tests for the MiniSQL lexer."""
+
+import pytest
+
+from repro.db.minisql.errors import SQLSyntaxError
+from repro.db.minisql.lexer import tokenize
+from repro.db.minisql.tokens import TokenType
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        assert kinds("select From WHERE") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("myTable") == [(TokenType.IDENTIFIER, "myTable")]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert kinds("interval_event2") == [(TokenType.IDENTIFIER, "interval_event2")]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_punctuation(self):
+        values = [v for _, v in kinds("( ) , . ;")]
+        assert values == ["(", ")", ",", ".", ";"]
+
+    def test_placeholder(self):
+        assert kinds("?") == [(TokenType.PLACEHOLDER, "?")]
+
+    def test_position_tracking(self):
+        tokens = tokenize("SELECT  x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text", ["0", "42", "12345678901234567890"]
+    )
+    def test_integers(self, text):
+        assert kinds(text) == [(TokenType.NUMBER, text)]
+
+    @pytest.mark.parametrize("text", ["1.5", ".5", "2.", "1e10", "1.5e-3", "2E+4"])
+    def test_floats(self, text):
+        assert kinds(text) == [(TokenType.NUMBER, text)]
+
+    def test_number_followed_by_identifier(self):
+        assert kinds("1x") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.IDENTIFIER, "x"),
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_string_with_sql_keywords_inside(self):
+        assert kinds("'SELECT * FROM'") == [(TokenType.STRING, "SELECT * FROM")]
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted_identifier(self):
+        assert kinds('"order"') == [(TokenType.IDENTIFIER, "order")]
+
+    def test_doubled_quotes_escape(self):
+        assert kinds('"we""ird"') == [(TokenType.IDENTIFIER, 'we"ird')]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["=", "<", ">", "<=", ">=", "<>", "!=", "+", "-", "*", "/", "%", "||"]
+    )
+    def test_operator(self, op):
+        assert kinds(f"a {op} b")[1] == (TokenType.OPERATOR, op)
+
+    def test_greedy_two_char_operators(self):
+        assert kinds("<=") == [(TokenType.OPERATOR, "<=")]
+        assert kinds("<>") == [(TokenType.OPERATOR, "<>")]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("SELECT -- everything\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("1 -- done") == [(TokenType.NUMBER, "1")]
+
+    def test_block_comment(self):
+        assert kinds("SELECT /* all\nthe things */ 1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert "unexpected character" in str(excinfo.value)
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT 1\nFROM @")
+        assert "line 2" in str(excinfo.value)

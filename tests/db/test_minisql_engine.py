@@ -1,0 +1,479 @@
+"""Behavioural tests for the MiniSQL engine through its DB-API surface."""
+
+import pytest
+
+from repro.db import minisql
+
+
+@pytest.fixture
+def conn():
+    c = minisql.connect()
+    yield c
+    c.close()
+
+
+@pytest.fixture
+def people(conn):
+    conn.execute(
+        "CREATE TABLE people (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "age INTEGER, city TEXT)"
+    )
+    conn.executemany(
+        "INSERT INTO people (name, age, city) VALUES (?, ?, ?)",
+        [
+            ("alice", 30, "eugene"),
+            ("bob", 25, "portland"),
+            ("carol", 35, "eugene"),
+            ("dave", None, "salem"),
+            ("erin", 25, None),
+        ],
+    )
+    conn.commit()
+    return conn
+
+
+class TestInsertAndSelect:
+    def test_autoincrement_ids(self, people):
+        rows = people.execute("SELECT id FROM people ORDER BY id").fetchall()
+        assert [r[0] for r in rows] == [1, 2, 3, 4, 5]
+
+    def test_lastrowid(self, people):
+        cur = people.execute("INSERT INTO people (name) VALUES ('frank')")
+        assert cur.lastrowid == 6
+
+    def test_select_star_column_names(self, people):
+        cur = people.execute("SELECT * FROM people")
+        names = [d[0] for d in cur.description]
+        assert names == ["id", "name", "age", "city"]
+
+    def test_where_equality(self, people):
+        rows = people.execute(
+            "SELECT name FROM people WHERE city = 'eugene' ORDER BY name"
+        ).fetchall()
+        assert rows == [("alice",), ("carol",)]
+
+    def test_where_with_params(self, people):
+        rows = people.execute(
+            "SELECT name FROM people WHERE age = ? ORDER BY name", (25,)
+        ).fetchall()
+        assert rows == [("bob",), ("erin",)]
+
+    def test_null_never_equals(self, people):
+        rows = people.execute("SELECT name FROM people WHERE age = NULL").fetchall()
+        assert rows == []
+
+    def test_is_null(self, people):
+        rows = people.execute("SELECT name FROM people WHERE age IS NULL").fetchall()
+        assert rows == [("dave",)]
+
+    def test_order_by_desc_nulls_first_when_asc(self, people):
+        rows = people.execute("SELECT age FROM people ORDER BY age").fetchall()
+        assert rows[0][0] is None  # NULL sorts first ascending
+
+    def test_limit_offset(self, people):
+        rows = people.execute(
+            "SELECT name FROM people ORDER BY name LIMIT 2 OFFSET 1"
+        ).fetchall()
+        assert rows == [("bob",), ("carol",)]
+
+    def test_in_and_between(self, people):
+        rows = people.execute(
+            "SELECT name FROM people WHERE age BETWEEN 25 AND 30 "
+            "AND city IN ('eugene', 'portland') ORDER BY name"
+        ).fetchall()
+        assert rows == [("alice",), ("bob",)]
+
+    def test_like_case_insensitive(self, people):
+        rows = people.execute(
+            "SELECT name FROM people WHERE name LIKE 'A%'"
+        ).fetchall()
+        assert rows == [("alice",)]
+
+    def test_multi_row_values(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert conn.execute("SELECT sum(x) FROM t").fetchone() == (6,)
+
+    def test_insert_select(self, people):
+        people.execute("CREATE TABLE old_people (name TEXT, age INTEGER)")
+        people.execute(
+            "INSERT INTO old_people SELECT name, age FROM people WHERE age >= 30"
+        )
+        assert people.execute("SELECT count(*) FROM old_people").fetchone() == (2,)
+
+
+class TestAggregates:
+    def test_count_star_vs_count_column(self, people):
+        star, col = people.execute(
+            "SELECT count(*), count(age) FROM people"
+        ).fetchone()
+        assert (star, col) == (5, 4)
+
+    def test_avg_ignores_nulls(self, people):
+        (avg,) = people.execute("SELECT avg(age) FROM people").fetchone()
+        assert avg == pytest.approx((30 + 25 + 35 + 25) / 4)
+
+    def test_min_max_sum(self, people):
+        row = people.execute("SELECT min(age), max(age), sum(age) FROM people").fetchone()
+        assert row == (25, 35, 115)
+
+    def test_stddev(self, people):
+        (sd,) = people.execute("SELECT stddev(age) FROM people").fetchone()
+        import statistics
+        assert sd == pytest.approx(statistics.stdev([30, 25, 35, 25]))
+
+    def test_group_by(self, people):
+        rows = people.execute(
+            "SELECT city, count(*) FROM people WHERE city IS NOT NULL "
+            "GROUP BY city ORDER BY city"
+        ).fetchall()
+        assert rows == [("eugene", 2), ("portland", 1), ("salem", 1)]
+
+    def test_having(self, people):
+        rows = people.execute(
+            "SELECT city, count(*) c FROM people GROUP BY city HAVING c > 1"
+        ).fetchall()
+        assert rows == [("eugene", 2)]
+
+    def test_aggregate_on_empty_table_returns_one_row(self, conn):
+        conn.execute("CREATE TABLE empty (x INTEGER)")
+        assert conn.execute("SELECT count(*), sum(x) FROM empty").fetchone() == (0, None)
+
+    def test_group_by_alias(self, people):
+        rows = people.execute(
+            "SELECT CASE WHEN age >= 30 THEN 'old' ELSE 'young' END bracket, "
+            "count(*) FROM people WHERE age IS NOT NULL GROUP BY bracket "
+            "ORDER BY bracket"
+        ).fetchall()
+        assert rows == [("old", 2), ("young", 2)]
+
+    def test_count_distinct(self, people):
+        (c,) = people.execute("SELECT count(DISTINCT age) FROM people").fetchone()
+        assert c == 3
+
+    def test_order_by_aggregate(self, people):
+        rows = people.execute(
+            "SELECT city, count(*) FROM people WHERE city IS NOT NULL "
+            "GROUP BY city ORDER BY count(*) DESC, city"
+        ).fetchall()
+        assert rows[0] == ("eugene", 2)
+
+
+class TestJoins:
+    @pytest.fixture
+    def orders(self, people):
+        people.execute(
+            "CREATE TABLE orders (id INTEGER PRIMARY KEY, person_id INTEGER, "
+            "total REAL)"
+        )
+        people.executemany(
+            "INSERT INTO orders (person_id, total) VALUES (?, ?)",
+            [(1, 10.0), (1, 20.0), (2, 5.0), (99, 1.0)],
+        )
+        people.commit()
+        return people
+
+    def test_inner_join(self, orders):
+        rows = orders.execute(
+            "SELECT p.name, o.total FROM people p "
+            "JOIN orders o ON o.person_id = p.id ORDER BY o.total"
+        ).fetchall()
+        assert rows == [("bob", 5.0), ("alice", 10.0), ("alice", 20.0)]
+
+    def test_left_join_pads_with_null(self, orders):
+        rows = orders.execute(
+            "SELECT p.name, o.id FROM people p "
+            "LEFT JOIN orders o ON o.person_id = p.id "
+            "WHERE o.id IS NULL ORDER BY p.name"
+        ).fetchall()
+        assert rows == [("carol", None), ("dave", None), ("erin", None)]
+
+    def test_join_with_aggregation(self, orders):
+        rows = orders.execute(
+            "SELECT p.name, sum(o.total) FROM people p "
+            "JOIN orders o ON o.person_id = p.id GROUP BY p.name ORDER BY p.name"
+        ).fetchall()
+        assert rows == [("alice", 30.0), ("bob", 5.0)]
+
+    def test_cross_join_cardinality(self, orders):
+        (c,) = orders.execute(
+            "SELECT count(*) FROM people CROSS JOIN orders"
+        ).fetchone()
+        assert c == 5 * 4
+
+    def test_three_way_join(self, orders):
+        orders.execute("CREATE TABLE cities (name TEXT, state TEXT)")
+        orders.execute(
+            "INSERT INTO cities VALUES ('eugene', 'OR'), ('portland', 'OR')"
+        )
+        rows = orders.execute(
+            "SELECT p.name, c.state, o.total FROM people p "
+            "JOIN cities c ON p.city = c.name "
+            "JOIN orders o ON o.person_id = p.id "
+            "ORDER BY o.total"
+        ).fetchall()
+        assert rows == [("bob", "OR", 5.0), ("alice", "OR", 10.0), ("alice", "OR", 20.0)]
+
+    def test_ambiguous_column_raises(self, orders):
+        with pytest.raises(minisql.ProgrammingError, match="ambiguous"):
+            orders.execute(
+                "SELECT id FROM people JOIN orders ON orders.person_id = people.id"
+            )
+
+    def test_self_join_with_aliases(self, people):
+        rows = people.execute(
+            "SELECT a.name, b.name FROM people a JOIN people b "
+            "ON a.age = b.age AND a.id < b.id"
+        ).fetchall()
+        assert rows == [("bob", "erin")]
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, people):
+        cur = people.execute("UPDATE people SET age = 26 WHERE name = 'bob'")
+        assert cur.rowcount == 1
+        assert people.execute(
+            "SELECT age FROM people WHERE name = 'bob'"
+        ).fetchone() == (26,)
+
+    def test_update_expression_referencing_row(self, people):
+        people.execute("UPDATE people SET age = age + 1 WHERE age IS NOT NULL")
+        (total,) = people.execute("SELECT sum(age) FROM people").fetchone()
+        assert total == 115 + 4
+
+    def test_update_all_rows(self, people):
+        cur = people.execute("UPDATE people SET city = 'nowhere'")
+        assert cur.rowcount == 5
+
+    def test_delete_with_where(self, people):
+        cur = people.execute("DELETE FROM people WHERE age IS NULL")
+        assert cur.rowcount == 1
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (4,)
+
+    def test_delete_all(self, people):
+        people.execute("DELETE FROM people")
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (0,)
+
+
+class TestConstraints:
+    def test_not_null_violation(self, people):
+        with pytest.raises(minisql.IntegrityError, match="NOT NULL"):
+            people.execute("INSERT INTO people (name) VALUES (NULL)")
+
+    def test_unique_index_violation(self, people):
+        people.execute("CREATE UNIQUE INDEX uq_name ON people (name)")
+        with pytest.raises(minisql.IntegrityError, match="UNIQUE"):
+            people.execute("INSERT INTO people (name) VALUES ('alice')")
+
+    def test_unique_allows_multiple_nulls(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER UNIQUE)")
+        conn.execute("INSERT INTO t VALUES (NULL)")
+        conn.execute("INSERT INTO t VALUES (NULL)")
+        assert conn.execute("SELECT count(*) FROM t").fetchone() == (2,)
+
+    def test_unique_check_on_update(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER UNIQUE)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        with pytest.raises(minisql.IntegrityError):
+            conn.execute("UPDATE t SET x = 1 WHERE x = 2")
+        # failed update must not corrupt the index
+        conn.execute("UPDATE t SET x = 3 WHERE x = 2")
+        rows = conn.execute("SELECT x FROM t ORDER BY x").fetchall()
+        assert rows == [(1,), (3,)]
+
+    def test_primary_key_duplicate(self, people):
+        with pytest.raises(minisql.IntegrityError):
+            people.execute("INSERT INTO people (id, name) VALUES (1, 'dup')")
+
+
+class TestTransactions:
+    def test_rollback_restores_inserts(self, people):
+        people.execute("BEGIN")
+        people.execute("INSERT INTO people (name) VALUES ('temp')")
+        people.rollback()
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (5,)
+
+    def test_rollback_restores_deletes(self, people):
+        people.execute("BEGIN")
+        people.execute("DELETE FROM people")
+        people.rollback()
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (5,)
+
+    def test_rollback_restores_updates(self, people):
+        people.execute("BEGIN")
+        people.execute("UPDATE people SET age = 0")
+        people.rollback()
+        (total,) = people.execute("SELECT sum(age) FROM people").fetchone()
+        assert total == 115
+
+    def test_commit_makes_changes_durable(self, people):
+        people.execute("BEGIN")
+        people.execute("INSERT INTO people (name) VALUES ('perm')")
+        people.commit()
+        people.execute("BEGIN")
+        people.rollback()
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (6,)
+
+    def test_implicit_transaction_on_dml(self, people):
+        people.execute("INSERT INTO people (name) VALUES ('implicit')")
+        people.rollback()
+        assert people.execute("SELECT count(*) FROM people").fetchone() == (5,)
+
+    def test_context_manager_commits(self):
+        conn = minisql.connect()
+        with conn:
+            conn.execute("CREATE TABLE t (x INTEGER)")
+            conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT count(*) FROM t").fetchone() == (1,)
+
+    def test_rollback_of_created_table(self, conn):
+        conn.execute("BEGIN")
+        conn.execute("CREATE TABLE temp_t (x INTEGER)")
+        conn.rollback()
+        with pytest.raises(minisql.OperationalError):
+            conn.execute("SELECT * FROM temp_t")
+
+
+class TestShared:
+    def test_named_database_is_shared(self):
+        a = minisql.connect("shared-test")
+        b = minisql.connect("shared-test")
+        a.execute("CREATE TABLE t (x INTEGER)")
+        a.execute("INSERT INTO t VALUES (42)")
+        a.commit()
+        assert b.execute("SELECT x FROM t").fetchone() == (42,)
+        minisql.reset_shared_databases()
+
+    def test_private_memory_databases_are_isolated(self):
+        a = minisql.connect()
+        b = minisql.connect()
+        a.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(minisql.OperationalError):
+            b.execute("SELECT * FROM t")
+
+
+class TestCursorProtocol:
+    def test_fetchone_exhaustion(self, people):
+        cur = people.execute("SELECT name FROM people WHERE name = 'alice'")
+        assert cur.fetchone() == ("alice",)
+        assert cur.fetchone() is None
+
+    def test_fetchmany(self, people):
+        cur = people.execute("SELECT id FROM people ORDER BY id")
+        assert cur.fetchmany(2) == [(1,), (2,)]
+        assert cur.fetchmany(10) == [(3,), (4,), (5,)]
+
+    def test_iteration(self, people):
+        cur = people.execute("SELECT id FROM people ORDER BY id")
+        assert [r[0] for r in cur] == [1, 2, 3, 4, 5]
+
+    def test_rowcount_on_dml(self, people):
+        cur = people.execute("UPDATE people SET city = 'x' WHERE age = 25")
+        assert cur.rowcount == 2
+
+    def test_executemany_rowcount(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        cur = conn.executemany("INSERT INTO t (x) VALUES (?)", [(i,) for i in range(7)])
+        assert cur.rowcount == 7
+
+    def test_closed_cursor_raises(self, people):
+        cur = people.execute("SELECT 1")
+        cur.close()
+        with pytest.raises(minisql.ProgrammingError):
+            cur.fetchone()
+
+    def test_closed_connection_raises(self):
+        conn = minisql.connect()
+        conn.close()
+        with pytest.raises(minisql.ProgrammingError):
+            conn.execute("SELECT 1")
+
+    def test_string_params_rejected(self, people):
+        with pytest.raises(minisql.InterfaceError):
+            people.execute("SELECT ?", "oops")
+
+    def test_too_few_params(self, people):
+        with pytest.raises(minisql.ProgrammingError):
+            people.execute("SELECT ? + ?", (1,)).fetchall()
+
+
+class TestMiscSQL:
+    def test_scalar_functions(self, conn):
+        row = conn.execute(
+            "SELECT upper('abc'), length('hello'), substr('abcdef', 2, 3), "
+            "round(3.14159, 2), abs(-3), coalesce(NULL, NULL, 9)"
+        ).fetchone()
+        assert row == ("ABC", 5, "bcd", 3.14, 3, 9)
+
+    def test_case_expression(self, conn):
+        row = conn.execute(
+            "SELECT CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END"
+        ).fetchone()
+        assert row == ("two",)
+
+    def test_cast(self, conn):
+        row = conn.execute(
+            "SELECT CAST('42' AS INTEGER), CAST(3 AS REAL), CAST(2.7 AS INTEGER)"
+        ).fetchone()
+        assert row == (42, 3.0, 2)
+
+    def test_division_by_zero_yields_null(self, conn):
+        assert conn.execute("SELECT 1 / 0").fetchone() == (None,)
+
+    def test_union_distinct_and_all(self, conn):
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1), (1), (2)")
+        assert conn.execute(
+            "SELECT x FROM t UNION SELECT x FROM t ORDER BY x"
+        ).fetchall() == [(1,), (2,)]
+        assert len(conn.execute(
+            "SELECT x FROM t UNION ALL SELECT x FROM t"
+        ).fetchall()) == 6
+
+    def test_except_intersect(self, conn):
+        conn.execute("CREATE TABLE a (x INTEGER)")
+        conn.execute("CREATE TABLE b (x INTEGER)")
+        conn.execute("INSERT INTO a VALUES (1), (2), (3)")
+        conn.execute("INSERT INTO b VALUES (2), (3), (4)")
+        assert conn.execute("SELECT x FROM a EXCEPT SELECT x FROM b").fetchall() == [(1,)]
+        assert sorted(conn.execute(
+            "SELECT x FROM a INTERSECT SELECT x FROM b"
+        ).fetchall()) == [(2,), (3,)]
+
+    def test_alter_table_add_column(self, people):
+        people.execute("ALTER TABLE people ADD COLUMN country TEXT DEFAULT 'usa'")
+        rows = people.execute("SELECT DISTINCT country FROM people").fetchall()
+        assert rows == [(None,)] or rows == [("usa",)]
+        # new inserts get the default
+        people.execute("INSERT INTO people (name) VALUES ('zed')")
+        assert people.execute(
+            "SELECT country FROM people WHERE name = 'zed'"
+        ).fetchone() == ("usa",)
+
+    def test_alter_table_rename(self, people):
+        people.execute("ALTER TABLE people RENAME TO folks")
+        assert people.execute("SELECT count(*) FROM folks").fetchone() == (5,)
+
+    def test_pragma_table_info(self, people):
+        rows = people.execute("PRAGMA table_info(people)").fetchall()
+        names = [r[1] for r in rows]
+        assert names == ["id", "name", "age", "city"]
+        pk_flags = [r[5] for r in rows]
+        assert pk_flags == [1, 0, 0, 0]
+
+    def test_index_probe_equals_full_scan(self, people):
+        before = people.execute(
+            "SELECT name FROM people WHERE city = 'eugene' ORDER BY name"
+        ).fetchall()
+        people.execute("CREATE INDEX idx_city ON people (city)")
+        after = people.execute(
+            "SELECT name FROM people WHERE city = 'eugene' ORDER BY name"
+        ).fetchall()
+        assert before == after
+
+    def test_select_expression_only(self, conn):
+        assert conn.execute("SELECT 2 + 2 * 2").fetchone() == (6,)
+
+    def test_order_by_ordinal(self, people):
+        rows = people.execute("SELECT name, age FROM people ORDER BY 2, 1").fetchall()
+        assert rows[0][0] == "dave"  # NULL age first

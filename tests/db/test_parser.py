@@ -1,0 +1,297 @@
+"""Unit tests for the MiniSQL parser (AST shapes)."""
+
+import pytest
+
+from repro.db.minisql import ast_nodes as n
+from repro.db.minisql.errors import SQLSyntaxError
+from repro.db.minisql.parser import parse, parse_one
+
+
+class TestCreateTable:
+    def test_simple(self):
+        stmt = parse_one("CREATE TABLE t (id INTEGER, name TEXT)")
+        assert isinstance(stmt, n.CreateTable)
+        assert stmt.table == "t"
+        assert [c.name for c in stmt.columns] == ["id", "name"]
+        assert [c.type_name for c in stmt.columns] == ["INTEGER", "TEXT"]
+
+    def test_if_not_exists(self):
+        stmt = parse_one("CREATE TABLE IF NOT EXISTS t (x INT)")
+        assert stmt.if_not_exists
+
+    def test_primary_key_column(self):
+        stmt = parse_one("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT)")
+        col = stmt.columns[0]
+        assert col.primary_key and col.autoincrement and col.not_null
+
+    def test_not_null_and_default(self):
+        stmt = parse_one("CREATE TABLE t (x TEXT NOT NULL DEFAULT 'none')")
+        col = stmt.columns[0]
+        assert col.not_null
+        assert isinstance(col.default, n.Literal)
+        assert col.default.value == "none"
+
+    def test_references(self):
+        stmt = parse_one("CREATE TABLE t (app INTEGER REFERENCES application(id))")
+        assert stmt.columns[0].references == ("application", "id")
+
+    def test_references_defaults_to_id(self):
+        stmt = parse_one("CREATE TABLE t (app INTEGER REFERENCES application)")
+        assert stmt.columns[0].references == ("application", "id")
+
+    def test_table_level_primary_key(self):
+        stmt = parse_one("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_table_level_foreign_key(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES other (id))"
+        )
+        assert stmt.foreign_keys[0].columns == ["a"]
+        assert stmt.foreign_keys[0].ref_table == "other"
+
+    def test_varchar_length_is_accepted(self):
+        stmt = parse_one("CREATE TABLE t (name VARCHAR(255))")
+        assert stmt.columns[0].type_name == "TEXT"
+
+    def test_unknown_type_gets_numeric_affinity(self):
+        stmt = parse_one("CREATE TABLE t (x CUSTOMTYPE)")
+        assert stmt.columns[0].type_name == "NUMERIC"
+
+    def test_unique_column(self):
+        stmt = parse_one("CREATE TABLE t (x TEXT UNIQUE)")
+        assert stmt.columns[0].unique
+
+
+class TestOtherDDL:
+    def test_drop_table(self):
+        stmt = parse_one("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, n.DropTable) and stmt.if_exists
+
+    def test_create_index(self):
+        stmt = parse_one("CREATE UNIQUE INDEX idx ON t (a, b)")
+        assert isinstance(stmt, n.CreateIndex)
+        assert stmt.unique and stmt.columns == ["a", "b"]
+
+    def test_drop_index(self):
+        stmt = parse_one("DROP INDEX idx")
+        assert isinstance(stmt, n.DropIndex)
+
+    def test_alter_add_column(self):
+        stmt = parse_one("ALTER TABLE t ADD COLUMN notes TEXT")
+        assert isinstance(stmt, n.AlterTableAddColumn)
+        assert stmt.column.name == "notes"
+
+    def test_alter_rename(self):
+        stmt = parse_one("ALTER TABLE t RENAME TO u")
+        assert isinstance(stmt, n.AlterTableRename) and stmt.new_name == "u"
+
+    def test_pragma(self):
+        stmt = parse_one("PRAGMA table_info(application)")
+        assert isinstance(stmt, n.Pragma)
+        assert stmt.name == "table_info" and stmt.argument == "application"
+
+
+class TestInsert:
+    def test_values(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, n.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 1
+
+    def test_multi_row(self):
+        stmt = parse_one("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_placeholders_numbered_in_order(self):
+        stmt = parse_one("INSERT INTO t (a, b, c) VALUES (?, ?, ?)")
+        indexes = [e.index for e in stmt.rows[0]]
+        assert indexes == [0, 1, 2]
+
+    def test_insert_select(self):
+        stmt = parse_one("INSERT INTO t (a) SELECT x FROM u")
+        assert stmt.select is not None
+
+    def test_no_column_list(self):
+        stmt = parse_one("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns == []
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = b + 1 WHERE id = ?")
+        assert isinstance(stmt, n.Update)
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        stmt = parse_one("DELETE FROM t")
+        assert isinstance(stmt, n.Delete) and stmt.where is None
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_one("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, n.Star)
+
+    def test_table_star(self):
+        stmt = parse_one("SELECT t.* FROM t")
+        assert stmt.items[0].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_one("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+    def test_joins(self):
+        stmt = parse_one(
+            "SELECT * FROM a JOIN b ON a.id = b.a_id "
+            "LEFT JOIN c ON b.id = c.b_id CROSS JOIN d"
+        )
+        assert [j.kind for j in stmt.joins] == ["INNER", "LEFT", "CROSS"]
+
+    def test_implicit_cross_join_via_comma(self):
+        stmt = parse_one("SELECT * FROM a, b")
+        assert stmt.joins[0].kind == "CROSS"
+
+    def test_right_join_rejected_with_hint(self):
+        with pytest.raises(SQLSyntaxError, match="LEFT JOIN"):
+            parse_one("SELECT * FROM a RIGHT JOIN b ON a.id = b.id")
+
+    def test_group_by_having(self):
+        stmt = parse_one(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_one("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert isinstance(stmt.limit, n.Literal)
+        assert isinstance(stmt.offset, n.Literal)
+
+    def test_union_order_by_moves_to_head(self):
+        stmt = parse_one("SELECT a FROM t UNION SELECT a FROM u ORDER BY a")
+        assert stmt.order_by, "ORDER BY must attach to the compound head"
+        assert stmt.compound[0] == "UNION"
+        assert not stmt.compound[1].order_by
+
+    def test_union_all(self):
+        stmt = parse_one("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert stmt.compound[0] == "UNION ALL"
+
+    def test_select_without_from(self):
+        stmt = parse_one("SELECT 1 + 1")
+        assert stmt.table is None
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        stmt = parse_one("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        stmt = parse_one("SELECT (1 + 2) * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not(self):
+        stmt = parse_one("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, n.UnaryOp) and stmt.where.op == "NOT"
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        left, right = stmt.where.left, stmt.where.right
+        assert isinstance(left, n.IsNull) and not left.negated
+        assert isinstance(right, n.IsNull) and right.negated
+
+    def test_in_list(self):
+        stmt = parse_one("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, n.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse_one("SELECT * FROM t WHERE a NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse_one("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, n.Between)
+
+    def test_like(self):
+        stmt = parse_one("SELECT * FROM t WHERE name LIKE 'MPI%'")
+        assert isinstance(stmt.where, n.Like)
+
+    def test_case_searched(self):
+        stmt = parse_one("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, n.CaseExpr) and expr.operand is None
+
+    def test_case_simple(self):
+        stmt = parse_one("SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+        assert stmt.items[0].expr.operand is not None
+
+    def test_cast(self):
+        stmt = parse_one("SELECT CAST(a AS INTEGER) FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, n.CastExpr) and expr.target_type == "INTEGER"
+
+    def test_count_star(self):
+        stmt = parse_one("SELECT count(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, n.FunctionCall)
+        assert isinstance(call.args[0], n.Star)
+
+    def test_count_distinct(self):
+        stmt = parse_one("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_qualified_column(self):
+        stmt = parse_one("SELECT t.a FROM t")
+        ref = stmt.items[0].expr
+        assert ref.table == "t" and ref.name == "a"
+
+    def test_string_concat(self):
+        stmt = parse_one("SELECT 'a' || 'b'")
+        assert stmt.items[0].expr.op == "||"
+
+    def test_unary_minus(self):
+        stmt = parse_one("SELECT -5")
+        assert isinstance(stmt.items[0].expr, n.UnaryOp)
+
+
+class TestScriptsAndErrors:
+    def test_multiple_statements(self):
+        statements = parse("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_trailing_semicolon_optional(self):
+        assert len(parse("SELECT 1")) == 1
+
+    def test_parse_one_rejects_multiple(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("SELECT 1; SELECT 2")
+
+    def test_missing_from_table_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("SELECT * FROM")
+
+    def test_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("FLY ME TO THE MOON")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("SELECT (1 + 2")

@@ -1,0 +1,80 @@
+"""Tests for the connection pool used by the PerfExplorer server."""
+
+import threading
+
+import pytest
+
+from repro.db.pool import ConnectionPool
+
+
+class TestPoolBasics:
+    def test_acquire_release_roundtrip(self, db_url):
+        pool = ConnectionPool(db_url, size=2)
+        conn = pool.acquire()
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        pool.release(conn)
+        again = pool.acquire()
+        assert again is conn  # LIFO reuse
+        pool.close()
+
+    def test_context_manager(self, db_url):
+        with ConnectionPool(db_url, size=1) as pool:
+            with pool.connection() as conn:
+                conn.execute("CREATE TABLE t (x INTEGER)")
+                conn.execute("INSERT INTO t VALUES (1)")
+                conn.commit()
+            with pool.connection() as conn:
+                assert conn.scalar("SELECT count(*) FROM t") == 1
+
+    def test_size_limit_enforced(self, db_url):
+        pool = ConnectionPool(db_url, size=1)
+        conn = pool.acquire()
+        with pytest.raises(Exception):
+            pool.acquire(timeout=0.05)
+        pool.release(conn)
+        pool.close()
+
+    def test_invalid_size(self, db_url):
+        with pytest.raises(ValueError):
+            ConnectionPool(db_url, size=0)
+
+    def test_closed_pool_rejects_acquire(self, db_url):
+        pool = ConnectionPool(db_url, size=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+
+
+class TestPoolConcurrency:
+    def test_concurrent_borrowers_share_named_minisql(self):
+        # Named MiniSQL databases share a catalog across connections —
+        # this is what PerfExplorer's threaded server relies on.
+        from repro.db.minisql import reset_shared_databases
+
+        pool = ConnectionPool("minisql://pool-test", size=4)
+        setup = pool.acquire()
+        setup.execute("CREATE TABLE hits (worker INTEGER)")
+        setup.commit()
+        pool.release(setup)
+
+        errors = []
+
+        def worker(i: int) -> None:
+            try:
+                for _ in range(20):
+                    with pool.connection(timeout=5) as conn:
+                        conn.execute("INSERT INTO hits VALUES (?)", (i,))
+                        conn.commit()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with pool.connection() as conn:
+            assert conn.scalar("SELECT count(*) FROM hits") == 80
+        pool.close()
+        reset_shared_databases()

@@ -1,0 +1,110 @@
+"""Unit tests for the MiniSQL type system (affinity, CAST, ordering)."""
+
+import pytest
+
+from repro.db.minisql.errors import DataError
+from repro.db.minisql.types import canonical_type, cast_value, coerce, sort_key
+
+
+class TestCanonicalType:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INTEGER", "INTEGER"), ("int", "INTEGER"), ("BIGINT", "INTEGER"),
+            ("REAL", "REAL"), ("DOUBLE", "REAL"), ("double precision", "REAL"),
+            ("FLOAT", "REAL"),
+            ("TEXT", "TEXT"), ("VARCHAR", "TEXT"), ("VARCHAR(255)", "TEXT"),
+            ("CHAR(10)", "TEXT"),
+            ("BOOLEAN", "BOOLEAN"),
+            ("NUMERIC", "NUMERIC"), ("DECIMAL(10,2)", "NUMERIC"),
+        ],
+    )
+    def test_mapping(self, name, expected):
+        assert canonical_type(name) == expected
+
+    def test_unknown_type(self):
+        with pytest.raises(DataError):
+            canonical_type("GEOMETRY")
+
+
+class TestCoerce:
+    def test_integer_affinity(self):
+        assert coerce(5, "INTEGER") == 5
+        assert coerce(True, "INTEGER") == 1
+        assert coerce(5.0, "INTEGER") == 5
+        assert coerce(5.5, "INTEGER") == 5.5  # kept as float, like sqlite
+        assert coerce("42", "INTEGER") == 42
+        assert coerce("4.5", "INTEGER") == 4.5
+        assert coerce("abc", "INTEGER") == "abc"  # non-numeric text kept
+
+    def test_real_affinity(self):
+        assert coerce(5, "REAL") == 5.0
+        assert isinstance(coerce(5, "REAL"), float)
+        assert coerce("2.5", "REAL") == 2.5
+        assert coerce("abc", "REAL") == "abc"
+
+    def test_text_affinity_converts_numbers(self):
+        assert coerce(42, "TEXT") == "42"
+        assert coerce(1.5, "TEXT") == "1.5"
+        assert coerce(3.0, "TEXT") == "3.0"  # sqlite keeps one decimal
+        assert coerce(-0.0, "TEXT") == "0.0"
+        assert coerce(1e15, "TEXT") == "1.0e+15"
+
+    def test_boolean_affinity(self):
+        assert coerce(True, "BOOLEAN") == 1
+        assert coerce(0, "BOOLEAN") == 0
+        assert coerce("true", "BOOLEAN") == 1
+        assert coerce("no", "BOOLEAN") == 0
+        with pytest.raises(DataError):
+            coerce("maybe", "BOOLEAN")
+
+    def test_numeric_affinity(self):
+        assert coerce("7", "NUMERIC") == 7
+        assert coerce(7.0, "NUMERIC") == 7
+        assert coerce(7.5, "NUMERIC") == 7.5
+
+    def test_none_passes_through(self):
+        for affinity in ("INTEGER", "REAL", "TEXT", "BOOLEAN", "NUMERIC"):
+            assert coerce(None, affinity) is None
+
+    def test_incompatible_object_raises(self):
+        with pytest.raises(DataError):
+            coerce(object(), "INTEGER")
+
+
+class TestCastValue:
+    def test_cast_to_integer(self):
+        assert cast_value("42", "INTEGER") == 42
+        assert cast_value("4.9", "INTEGER") == 4
+        assert cast_value("abc", "INTEGER") == 0  # sqlite semantics
+        assert cast_value(7.9, "INTEGER") == 7
+
+    def test_cast_to_real(self):
+        assert cast_value("2.5", "REAL") == 2.5
+        assert cast_value("junk", "REAL") == 0.0
+
+    def test_cast_to_text(self):
+        assert cast_value(42, "TEXT") == "42"
+        assert cast_value(2.5, "TEXT") == "2.5"
+
+    def test_cast_to_boolean(self):
+        assert cast_value(5, "BOOLEAN") == 1
+        assert cast_value(0, "BOOLEAN") == 0
+
+    def test_cast_null(self):
+        assert cast_value(None, "INTEGER") is None
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        values = ["b", None, 2, 1.5, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+
+    def test_numbers_before_text(self):
+        ordered = sorted(["x", 5, "a", 2], key=sort_key)
+        assert ordered == [2, 5, "a", "x"]
+
+    def test_int_float_interleave(self):
+        ordered = sorted([2, 1.5, 3, 2.5], key=sort_key)
+        assert ordered == [1.5, 2, 2.5, 3]

@@ -1,0 +1,143 @@
+"""Tests for the PerfExplorer chart producers (local + over the wire)."""
+
+import numpy as np
+import pytest
+
+from repro.db.minisql import reset_shared_databases
+from repro.core.session import PerfDMFSession
+from repro.explorer import (
+    AnalysisServer, PerfExplorerClient, SocketServer, correlation_matrix,
+    group_fraction_chart, imbalance_chart, speedup_chart,
+)
+from repro.tau.apps import EVH1, SPhot
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    app = EVH1(problem_size=0.3, timesteps=1)
+    return [(p, app.run(p)) for p in (1, 2, 4, 8)]
+
+
+class TestSpeedupChart:
+    def test_series_structure(self, sweep):
+        chart = speedup_chart(sweep, events=["riemann", "init"])
+        assert chart["processors"] == [1, 2, 4, 8]
+        assert set(chart["series"]) == {"riemann", "init"}
+        assert len(chart["application"]) == 4
+        assert chart["ideal"] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_riemann_tracks_ideal(self, sweep):
+        chart = speedup_chart(sweep, events=["riemann"])
+        series = chart["series"]["riemann"]
+        assert series[0] == pytest.approx(1.0)
+        assert series[-1] > 6.0
+
+    def test_all_events_by_default(self, sweep):
+        chart = speedup_chart(sweep)
+        assert "riemann" in chart["series"]
+        assert "MPI_Alltoall()" in chart["series"]
+
+
+class TestCorrelationMatrix:
+    def test_symmetric_with_unit_diagonal(self, sweep):
+        _, source = sweep[-1]
+        result = correlation_matrix(source)
+        matrix = np.asarray(result["matrix"])
+        assert matrix.shape[0] == matrix.shape[1] == len(result["events"])
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_values_in_range(self, sweep):
+        _, source = sweep[-1]
+        matrix = np.asarray(correlation_matrix(source)["matrix"])
+        assert (matrix >= -1.0 - 1e-9).all() and (matrix <= 1.0 + 1e-9).all()
+
+    def test_selected_events(self, sweep):
+        _, source = sweep[-1]
+        result = correlation_matrix(source, events=["riemann", "parabola"])
+        assert result["events"] == ["riemann", "parabola"]
+
+    def test_anticorrelation_in_sphot(self):
+        source = SPhot(problem_size=0.5).run(8)
+        result = correlation_matrix(
+            source, events=["track_photons", "MPI_Reduce()"]
+        )
+        matrix = np.asarray(result["matrix"])
+        assert matrix[0, 1] < -0.5  # fast trackers wait longest
+
+
+class TestGroupFractionChart:
+    def test_fractions_sum_to_one(self, sweep):
+        chart = group_fraction_chart(sweep)
+        fractions = np.array(list(chart["fractions"].values()))
+        np.testing.assert_allclose(fractions.sum(axis=0), 1.0)
+
+    def test_communication_grows_with_p(self, sweep):
+        chart = group_fraction_chart(sweep)
+        mpi = chart["fractions"]["MPI"]
+        assert mpi[-1] > mpi[0]
+
+
+class TestImbalanceChart:
+    def test_sorted_descending(self, sweep):
+        _, source = sweep[-1]
+        chart = imbalance_chart(source)
+        values = [row["imbalance"] for row in chart["events"]]
+        assert values == sorted(values, reverse=True)
+
+    def test_top_limits(self, sweep):
+        _, source = sweep[-1]
+        assert len(imbalance_chart(source, top=3)["events"]) == 3
+
+    def test_sphot_imbalance_visible(self):
+        source = SPhot(problem_size=0.5).run(16)
+        chart = imbalance_chart(source)
+        by_event = {r["event"]: r for r in chart["events"]}
+        assert by_event["track_photons"]["imbalance"] > 1.05
+
+
+class TestChartsOverTheWire:
+    @pytest.fixture(scope="class")
+    def service(self, sweep):
+        url = "minisql://charts-test"
+        session = PerfDMFSession(url)
+        app = session.create_application("evh1")
+        experiment = session.create_experiment(app, "scaling")
+        for p, source in sweep:
+            session.save_trial(source, experiment, f"P={p}")
+        server = SocketServer(AnalysisServer(url))
+        host, port = server.start()
+        yield host, port, experiment.id
+        server.stop()
+        reset_shared_databases()
+
+    def test_speedup_chart_rpc(self, service):
+        host, port, exp_id = service
+        with PerfExplorerClient(host, port) as client:
+            chart = client.speedup_chart(exp_id, events=["riemann"])
+            assert chart["processors"] == [1, 2, 4, 8]
+            assert chart["series"]["riemann"][-1] > 6.0
+
+    def test_group_fraction_rpc(self, service):
+        host, port, exp_id = service
+        with PerfExplorerClient(host, port) as client:
+            chart = client.group_fraction_chart(exp_id)
+            assert "MPI" in chart["fractions"]
+
+    def test_correlation_and_imbalance_rpc(self, service):
+        host, port, exp_id = service
+        with PerfExplorerClient(host, port) as client:
+            trials = client.list_trials(exp_id)
+            trial_id = trials[-1]["id"]
+            corr = client.correlation_matrix(trial_id, ["riemann", "parabola"])
+            assert len(corr["matrix"]) == 2
+            imb = client.imbalance_chart(trial_id, top=5)
+            assert len(imb["events"]) == 5
+
+    def test_speedup_needs_two_trials(self, service):
+        host, port, _exp = service
+        with PerfExplorerClient(host, port) as client:
+            from repro.explorer import AnalysisError
+
+            with pytest.raises(AnalysisError, match=">= 2"):
+                client.speedup_chart(99999)

@@ -1,0 +1,215 @@
+"""PerfExplorer clustering tests (the §5.3 statistical pipeline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.explorer import (
+    build_feature_matrix, cluster_trial, kmeans, pca_reduce,
+    silhouette_score, summarize_clusters,
+)
+from repro.tau.apps import SPPM
+from repro.tau.apps.sppm import boundary_fraction
+
+
+def blobs(centers, per_cluster=20, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for center in centers:
+        points.append(rng.normal(center, spread, size=(per_cluster, len(center))))
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_separates_clean_blobs(self):
+        data = blobs([(0, 0), (10, 10)])
+        labels, centroids, inertia = kmeans(data, 2, seed=1)
+        first, second = labels[:20], labels[20:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_deterministic_per_seed(self):
+        data = blobs([(0, 0), (5, 5), (0, 5)])
+        a = kmeans(data, 3, seed=4)
+        b = kmeans(data, 3, seed=4)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_inertia_decreases_with_k(self):
+        data = blobs([(0, 0), (5, 5), (0, 5)])
+        inertias = [kmeans(data, k, seed=0)[2] for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n(self):
+        data = blobs([(0, 0)], per_cluster=5)
+        labels, _c, inertia = kmeans(data, 5, seed=0)
+        assert inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_k(self):
+        data = blobs([(0, 0)], per_cluster=3)
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_every_point_assigned_to_nearest_centroid(self, seed):
+        data = blobs([(0, 0), (8, 8)], per_cluster=10, seed=seed)
+        labels, centroids, _ = kmeans(data, 2, seed=seed)
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, distances.argmin(axis=1))
+
+
+class TestPCA:
+    def test_variance_ordering(self):
+        rng = np.random.default_rng(0)
+        data = np.column_stack([rng.normal(0, 10, 100), rng.normal(0, 0.1, 100)])
+        _proj, _components, explained = pca_reduce(data, 2)
+        assert explained[0] > 0.99
+        assert explained[0] >= explained[1]
+
+    def test_projection_shape(self):
+        data = np.random.default_rng(0).normal(size=(30, 7))
+        proj, components, _ = pca_reduce(data, 3)
+        assert proj.shape == (30, 3)
+        assert components.shape == (3, 7)
+
+    def test_components_capped_at_rank(self):
+        data = np.ones((10, 2))
+        proj, _c, _e = pca_reduce(data, 5)
+        assert proj.shape[1] <= 2
+
+
+class TestSilhouette:
+    def test_good_split_scores_high(self):
+        data = blobs([(0, 0), (20, 20)])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(data, labels) > 0.9
+
+    def test_random_labels_score_low(self):
+        data = blobs([(0, 0), (20, 20)])
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=40)
+        assert silhouette_score(data, labels) < 0.5
+
+    def test_single_cluster_zero(self):
+        data = blobs([(0, 0)])
+        assert silhouette_score(data, np.zeros(20, dtype=int)) == 0.0
+
+
+class TestFeatureMatrix:
+    @pytest.fixture(scope="class")
+    def trial(self):
+        return SPPM(problem_size=0.01, timesteps=1).run(27)
+
+    def test_fraction_rows_sum_to_one(self, trial):
+        matrix, _names = build_feature_matrix(trial, normalise="fraction")
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_zscore_columns_standardised(self, trial):
+        matrix, _names = build_feature_matrix(trial, normalise="zscore")
+        live = matrix.std(axis=0) > 0
+        np.testing.assert_allclose(matrix.mean(axis=0)[live], 0.0, atol=1e-9)
+
+    def test_unknown_normalisation(self, trial):
+        with pytest.raises(ValueError):
+            build_feature_matrix(trial, normalise="rank")
+
+
+class TestClusterTrial:
+    """The headline E5 behaviour: recover boundary/interior populations."""
+
+    @pytest.fixture(scope="class")
+    def trial(self):
+        return SPPM(problem_size=0.01, timesteps=1).run(64)
+
+    def test_fixed_k_discovers_populations(self, trial):
+        result = cluster_trial(trial, k=2, metric=1)  # PAPI_FP_OPS
+        truth = np.array([boundary_fraction(r, 64) for r in range(64)])
+        labels = result.labels.astype(bool)
+        agreement = max((labels == truth).mean(), (labels != truth).mean())
+        assert agreement > 0.95
+
+    def test_auto_k_selects_two(self, trial):
+        result = cluster_trial(trial, metric=1, max_k=5)
+        assert result.k == 2
+        assert result.silhouette is not None and result.silhouette > 0.5
+
+    def test_sizes_sum_to_threads(self, trial):
+        result = cluster_trial(trial, k=3)
+        assert sum(result.sizes) == 64
+
+    def test_summaries_identify_discriminating_events(self, trial):
+        result = cluster_trial(trial, k=2, metric=1)
+        summaries = summarize_clusters(result)
+        assert len(summaries) == 2
+        top_features = {f["name"] for s in summaries for f in s["features"]}
+        # interface sharpening is what separates the two populations
+        assert "interface_sharpen" in top_features
+
+    def test_pca_reduction_path(self, trial):
+        result = cluster_trial(trial, k=2, pca_components=2)
+        assert result.feature_names == ["PC1", "PC2"]
+        assert len(result.labels) == 64
+
+    def test_members(self, trial):
+        result = cluster_trial(trial, k=2)
+        members = result.members(0)
+        assert (result.labels[members] == 0).all()
+
+
+class TestHierarchicalClustering:
+    """PerfExplorer's second clustering method (scipy linkage)."""
+
+    @pytest.fixture(scope="class")
+    def trial(self):
+        return SPPM(problem_size=0.01, timesteps=1).run(64)
+
+    def test_discovers_populations(self, trial):
+        from repro.explorer import hierarchical_cluster
+
+        result = hierarchical_cluster(trial, k=2, metric=1)
+        truth = np.array([boundary_fraction(r, 64) for r in range(64)])
+        labels = result.labels.astype(bool)
+        agreement = max((labels == truth).mean(), (labels != truth).mean())
+        assert agreement > 0.95
+
+    def test_agrees_with_kmeans_on_clean_split(self, trial):
+        from repro.explorer import hierarchical_cluster
+
+        hier = hierarchical_cluster(trial, k=2, metric=1)
+        km = cluster_trial(trial, k=2, metric=1)
+        same = (hier.labels == km.labels).mean()
+        assert max(same, 1 - same) > 0.95
+
+    def test_result_interface_compatible(self, trial):
+        from repro.explorer import hierarchical_cluster
+
+        result = hierarchical_cluster(trial, k=3)
+        assert sum(result.sizes) == 64
+        assert result.centroids.shape[0] == result.k
+        summaries = summarize_clusters(result)
+        assert len(summaries) == result.k
+
+    def test_raw_matrix_input(self):
+        from repro.explorer import hierarchical_cluster
+
+        data = blobs([(0, 0), (10, 10)])
+        result = hierarchical_cluster(data, k=2)
+        assert result.k == 2
+        assert result.silhouette > 0.8
+
+    def test_invalid_k(self, trial):
+        from repro.explorer import hierarchical_cluster
+
+        with pytest.raises(ValueError):
+            hierarchical_cluster(trial, k=0)
+
+    @pytest.mark.parametrize("method", ["ward", "average", "complete"])
+    def test_linkage_methods(self, method):
+        from repro.explorer import hierarchical_cluster
+
+        data = blobs([(0, 0), (10, 10)], per_cluster=10)
+        result = hierarchical_cluster(data, k=2, method=method)
+        assert result.k == 2

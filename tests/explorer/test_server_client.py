@@ -1,0 +1,210 @@
+"""PerfExplorer client/server tests (the Figure 3 architecture)."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.db.minisql import reset_shared_databases
+from repro.explorer import (
+    AnalysisError, AnalysisServer, MessageStream, NumpyAnalysisBackend,
+    PerfExplorerClient, ProtocolError, ResultStore, SocketServer,
+    cluster_trial,
+)
+from repro.explorer.protocol import decode_message, encode_message
+from repro.core.session import PerfDMFSession
+from repro.tau.apps import SPPM
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        payload = {"id": 1, "method": "ping", "params": {"x": [1, 2]}}
+        assert decode_message(encode_message(payload).strip()) == payload
+
+    def test_malformed_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{nope")
+
+    def test_non_object_frame(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1,2]")
+
+    def test_message_stream_over_socketpair(self):
+        a, b = socket.socketpair()
+        sa, sb = MessageStream(a), MessageStream(b)
+        sa.send({"id": 1, "result": "ok"})
+        assert sb.receive() == {"id": 1, "result": "ok"}
+        sa.close()
+        assert sb.receive() is None
+        sb.close()
+
+
+class TestRProxy:
+    def test_describe(self):
+        backend = NumpyAnalysisBackend()
+        d = backend.describe(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert d["mean"] == 2.5
+        assert d["median"] == 2.5
+        assert d["n"] == 4
+
+    def test_describe_empty(self):
+        assert NumpyAnalysisBackend().describe(np.array([])) == {"n": 0.0}
+
+    def test_correlate(self):
+        backend = NumpyAnalysisBackend()
+        x = np.arange(10.0)
+        result = backend.correlate(x, 2 * x + 1)
+        assert result["pearson_r"] == pytest.approx(1.0)
+        assert result["spearman_r"] == pytest.approx(1.0)
+
+    def test_correlate_validates(self):
+        backend = NumpyAnalysisBackend()
+        with pytest.raises(ValueError):
+            backend.correlate(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+@pytest.fixture(scope="module")
+def server_fixture():
+    url = "minisql://explorer-server-tests"
+    setup = PerfDMFSession(url)
+    app = setup.create_application("sppm")
+    exp = setup.create_experiment(app, "counters")
+    source = SPPM(problem_size=0.01, timesteps=1).run(27)
+    trial = setup.save_trial(source, exp, "P=27")
+    analysis = AnalysisServer(url)
+    sock = SocketServer(analysis)
+    host, port = sock.start()
+    yield host, port, app.id, exp.id, trial.id
+    sock.stop()
+    reset_shared_databases()
+
+
+@pytest.fixture
+def client(server_fixture):
+    host, port, *_ = server_fixture
+    c = PerfExplorerClient(host, port)
+    yield c
+    c.close()
+
+
+class TestClientServer:
+    def test_ping(self, client):
+        assert client.ping() == "pong"
+
+    def test_browse_hierarchy(self, client, server_fixture):
+        _h, _p, app_id, exp_id, trial_id = server_fixture
+        apps = client.list_applications()
+        assert [a["name"] for a in apps] == ["sppm"]
+        exps = client.list_experiments(app_id)
+        assert [e["name"] for e in exps] == ["counters"]
+        trials = client.list_trials(exp_id)
+        assert trials[0]["id"] == trial_id
+        assert trials[0]["node_count"] == 27
+
+    def test_metrics_and_events(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        metrics = client.list_metrics(trial_id)
+        assert metrics[0] == "TIME" and "PAPI_FP_OPS" in metrics
+        events = client.list_events(trial_id)
+        assert any(e["name"] == "hydro_kernel" for e in events)
+
+    def test_cluster_request_and_persistence(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        result = client.cluster_trial(trial_id, k=2, metric_name="PAPI_FP_OPS")
+        assert result["k"] == 2
+        assert sum(result["sizes"]) == 27
+        assert result["settings_id"] is not None
+        analyses = client.list_analyses(trial_id)
+        assert any(a["id"] == result["settings_id"] for a in analyses)
+        stored = client.get_analysis(result["settings_id"])
+        assert stored["results"]["labels"] == result["labels"]
+
+    def test_describe_event(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        d = client.describe_event(trial_id, "hydro_kernel")
+        assert d["n"] == 27
+        assert d["min"] <= d["mean"] <= d["max"]
+
+    def test_correlate_events(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        result = client.correlate_events(trial_id, "hydro_kernel", "interface_sharpen")
+        assert -1.0 <= result["pearson_r"] <= 1.0
+
+    def test_error_propagation(self, client):
+        with pytest.raises(AnalysisError, match="unknown method"):
+            client.call("explode")
+
+    def test_server_survives_bad_request(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        with pytest.raises(AnalysisError):
+            client.cluster_trial(999999)
+        # connection still usable afterwards
+        assert client.ping() == "pong"
+
+    def test_concurrent_clients(self, server_fixture):
+        host, port, *_ , trial_id = server_fixture
+        clients = [PerfExplorerClient(host, port) for _ in range(4)]
+        try:
+            for c in clients:
+                assert c.ping() == "pong"
+            results = [c.describe_event(trial_id, "hydro_kernel") for c in clients]
+            assert all(r == results[0] for r in results)
+        finally:
+            for c in clients:
+                c.close()
+
+
+class TestResultStore:
+    def test_analysis_roundtrip(self, db_url):
+        session = PerfDMFSession(db_url)
+        store = ResultStore(session)
+        settings_id = store.save_analysis(
+            None, "custom", "manual", {"alpha": 0.5}, {"answer": [1, 2, 3]}
+        )
+        record = store.load_analysis(settings_id)
+        assert record["method"] == "manual"
+        assert record["parameters"] == {"alpha": 0.5}
+        assert record["results"]["answer"] == [1, 2, 3]
+        session.close()
+
+    def test_cluster_result_roundtrip(self, db_url):
+        session = PerfDMFSession(db_url)
+        source = SPPM(problem_size=0.01, timesteps=1).run(8)
+        app = session.create_application("a")
+        exp = session.create_experiment(app, "e")
+        trial = session.save_trial(source, exp, "t")
+        result = cluster_trial(source, k=2)
+        store = ResultStore(session)
+        sid = store.save_cluster_result(trial.id, result)
+        loaded = store.load_cluster_result(sid)
+        np.testing.assert_array_equal(loaded.labels, result.labels)
+        np.testing.assert_allclose(loaded.centroids, result.centroids)
+        assert loaded.k == result.k
+        session.close()
+
+    def test_missing_analysis_raises(self, db_url):
+        session = PerfDMFSession(db_url)
+        store = ResultStore(session)
+        with pytest.raises(LookupError):
+            store.load_analysis(12345)
+        session.close()
+
+
+class TestHierarchicalOverTheWire:
+    def test_hierarchical_method(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        result = client.cluster_trial(
+            trial_id, k=2, metric_name="PAPI_FP_OPS", method="hierarchical"
+        )
+        assert result["k"] == 2
+        assert sum(result["sizes"]) == 27
+
+    def test_unknown_method_rejected(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        with pytest.raises(AnalysisError, match="unknown clustering method"):
+            client.cluster_trial(trial_id, k=2, method="dbscan")
+
+    def test_hierarchical_requires_k(self, client, server_fixture):
+        trial_id = server_fixture[4]
+        with pytest.raises(AnalysisError, match="requires explicit k"):
+            client.cluster_trial(trial_id, method="hierarchical")

@@ -1,0 +1,186 @@
+"""Tests for scriptable analysis workflows (local + server-side)."""
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.db.minisql import reset_shared_databases
+from repro.explorer import (
+    AnalysisServer, PerfExplorerClient, SocketServer, WorkflowError,
+    available_operations, run_workflow,
+)
+from repro.tau.apps import SPPM
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = PerfDMFSession("sqlite://:memory:")
+    app = s.create_application("sppm")
+    exp = s.create_experiment(app, "e")
+    source_a = SPPM(problem_size=0.01, timesteps=1).run(27)
+    source_b = SPPM(problem_size=0.01, timesteps=1, seed=43).run(27)
+    trial_a = s.save_trial(source_a, exp, "a")
+    trial_b = s.save_trial(source_b, exp, "b")
+    yield s, trial_a.id, trial_b.id
+    s.close()
+
+
+class TestWorkflowEngine:
+    def test_operations_registered(self):
+        ops = available_operations()
+        for expected in ("load_trial", "cluster", "describe", "correlate",
+                         "top_events", "diff", "derive_metric",
+                         "save_analysis", "filter_events"):
+            assert expected in ops
+
+    def test_load_and_describe(self, session):
+        s, trial_id, _b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": trial_id, "as": "t"},
+            {"op": "describe", "input": "t", "event": "hydro_kernel",
+             "as": "stats"},
+        ])
+        assert slots["stats"]["n"] == 27
+
+    def test_cluster_step(self, session):
+        s, trial_id, _b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": trial_id, "as": "t"},
+            {"op": "cluster", "input": "t", "k": 2,
+             "metric": "PAPI_FP_OPS", "as": "c"},
+        ])
+        assert slots["c"]["k"] == 2
+        assert sum(slots["c"]["sizes"]) == 27
+
+    def test_pipeline_composition(self, session):
+        """diff two trials, rank the delta, save the result."""
+        s, a, b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": a, "as": "ta"},
+            {"op": "load_trial", "trial": b, "as": "tb"},
+            {"op": "diff", "left": "ta", "right": "tb", "as": "delta"},
+            {"op": "top_events", "input": "delta", "n": 3, "as": "worst"},
+            {"op": "save_analysis", "name": "ab-diff", "trial": a,
+             "results": ["worst"], "as": "saved_id"},
+        ])
+        assert len(slots["worst"]) == 3
+        assert isinstance(slots["saved_id"], int)
+        # persisted and reloadable
+        from repro.explorer import ResultStore
+
+        record = ResultStore(s).load_analysis(slots["saved_id"])
+        assert record["results"]["worst"] == slots["worst"]
+
+    def test_derive_metric_step(self, session):
+        s, trial_id, _b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": trial_id, "as": "t"},
+            {"op": "derive_metric", "input": "t", "name": "RATE",
+             "expr": "PAPI_FP_OPS / TIME", "as": "metric"},
+            {"op": "describe", "input": "t", "event": "hydro_kernel",
+             "metric": "RATE", "as": "stats"},
+        ])
+        assert slots["metric"] == "RATE"
+        assert slots["stats"]["mean"] > 0
+
+    def test_filter_events(self, session):
+        s, trial_id, _b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": trial_id, "as": "t"},
+            {"op": "filter_events", "input": "t", "group": "MPI", "as": "mpi"},
+        ])
+        assert all(name.startswith("MPI_") for name in slots["mpi"])
+        assert slots["mpi"]
+
+    def test_correlate_step(self, session):
+        s, trial_id, _b = session
+        slots = run_workflow(s, [
+            {"op": "load_trial", "trial": trial_id, "as": "t"},
+            {"op": "correlate", "input": "t", "x": "hydro_kernel",
+             "y": "interface_sharpen", "as": "r"},
+        ])
+        assert -1.0 <= slots["r"]["pearson_r"] <= 1.0
+
+
+class TestWorkflowErrors:
+    def test_unknown_operation(self, session):
+        s, *_ = session
+        with pytest.raises(WorkflowError, match="unknown operation"):
+            run_workflow(s, [{"op": "frobnicate"}])
+
+    def test_missing_slot(self, session):
+        s, *_ = session
+        with pytest.raises(WorkflowError, match="no slot"):
+            run_workflow(s, [{"op": "describe", "input": "nope", "event": "x"}])
+
+    def test_step_failure_reports_index(self, session):
+        s, trial_id, _b = session
+        with pytest.raises(WorkflowError, match="step 1"):
+            run_workflow(s, [
+                {"op": "load_trial", "trial": trial_id, "as": "t"},
+                {"op": "describe", "input": "t", "event": "ghost"},
+            ])
+
+    def test_not_a_list(self, session):
+        s, *_ = session
+        with pytest.raises(WorkflowError, match="list"):
+            run_workflow(s, {"op": "x"})
+
+    def test_step_not_a_dict(self, session):
+        s, *_ = session
+        with pytest.raises(WorkflowError, match="operation dict"):
+            run_workflow(s, ["load_trial"])
+
+    def test_cannot_save_trial_slot(self, session):
+        s, trial_id, _b = session
+        with pytest.raises(WorkflowError, match="holds a trial"):
+            run_workflow(s, [
+                {"op": "load_trial", "trial": trial_id, "as": "t"},
+                {"op": "save_analysis", "name": "x", "results": ["t"]},
+            ])
+
+    def test_cluster_bad_metric(self, session):
+        s, trial_id, _b = session
+        with pytest.raises(WorkflowError, match="no metric"):
+            run_workflow(s, [
+                {"op": "load_trial", "trial": trial_id, "as": "t"},
+                {"op": "cluster", "input": "t", "metric": "NOPE"},
+            ])
+
+
+class TestWorkflowOverTheWire:
+    @pytest.fixture(scope="class")
+    def service(self):
+        url = "minisql://workflow-test"
+        setup = PerfDMFSession(url)
+        app = setup.create_application("sppm")
+        exp = setup.create_experiment(app, "e")
+        trial = setup.save_trial(
+            SPPM(problem_size=0.01, timesteps=1).run(27), exp, "t"
+        )
+        server = SocketServer(AnalysisServer(url))
+        host, port = server.start()
+        yield host, port, trial.id
+        server.stop()
+        reset_shared_databases()
+
+    def test_remote_workflow(self, service):
+        host, port, trial_id = service
+        with PerfExplorerClient(host, port) as client:
+            slots = client.run_workflow([
+                {"op": "load_trial", "trial": trial_id, "as": "t"},
+                {"op": "cluster", "input": "t", "k": 2,
+                 "metric": "PAPI_FP_OPS", "as": "clusters"},
+                {"op": "top_events", "input": "t", "n": 2, "as": "top"},
+            ])
+            # the trial slot stays server-side; results come back
+            assert "t" not in slots
+            assert slots["clusters"]["k"] == 2
+            assert len(slots["top"]) == 2
+
+    def test_remote_workflow_error(self, service):
+        host, port, _trial = service
+        from repro.explorer import AnalysisError
+
+        with PerfExplorerClient(host, port) as client:
+            with pytest.raises(AnalysisError, match="unknown operation"):
+                client.run_workflow([{"op": "nope"}])

@@ -1,0 +1,152 @@
+"""Tests for the callgraph display and the interactive shell."""
+
+import io
+
+import pytest
+
+from repro.paraprof import (
+    ArchiveManager, ParaProfShell, call_graph_dot, call_graph_stats,
+    call_tree_view,
+)
+from repro.tau.apps import EVH1
+from repro.tau.simulator import run_simulation
+
+
+@pytest.fixture(scope="module")
+def callpath_trial():
+    app = EVH1(problem_size=0.05, timesteps=1)
+    config = app.config(4)
+    config.callpaths = True
+    return run_simulation(app.kernel, config)
+
+
+@pytest.fixture(scope="module")
+def flat_trial():
+    return EVH1(problem_size=0.05, timesteps=1).run(2)
+
+
+class TestCallTreeView:
+    def test_tree_structure(self, callpath_trial):
+        text = call_tree_view(callpath_trial)
+        lines = text.splitlines()
+        assert lines[0].startswith("main")
+        assert any("└─" in line or "├─" in line for line in lines)
+        assert "riemann" in text
+
+    def test_root_is_100_percent(self, callpath_trial):
+        first = call_tree_view(callpath_trial).splitlines()[0]
+        assert "100.0%" in first
+
+    def test_no_callpath_data(self, flat_trial):
+        assert "no callpath data" in call_tree_view(flat_trial)
+
+    def test_max_depth_limits_output(self, callpath_trial):
+        shallow = call_tree_view(callpath_trial, max_depth=1)
+        deep = call_tree_view(callpath_trial, max_depth=6)
+        assert len(shallow.splitlines()) < len(deep.splitlines())
+
+
+class TestCallGraph:
+    def test_dot_output(self, callpath_trial):
+        dot = call_graph_dot(callpath_trial)
+        assert dot.startswith("digraph callgraph {")
+        assert '"main" -> ' in dot
+
+    def test_stats(self, callpath_trial):
+        stats = call_graph_stats(callpath_trial)
+        assert stats["is_dag"]
+        assert stats["nodes"] > 5
+        assert stats["depth"] >= 2
+
+    def test_stats_empty(self):
+        from repro.core.model import DataSource
+
+        stats = call_graph_stats(DataSource())
+        assert stats["nodes"] == 0
+
+
+class TestShell:
+    @pytest.fixture
+    def shell(self, db_url, flat_trial):
+        manager = ArchiveManager(db_url)
+        manager.import_profile(flat_trial, "evh1", "scaling", "P=2")
+        out = io.StringIO()
+        return ParaProfShell(manager, stdout=out), out
+
+    def run(self, shell, out, *commands):
+        for command in commands:
+            if shell.onecmd(command):
+                break
+        return out.getvalue()
+
+    def test_tree(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "tree")
+        assert "evh1" in text and "P=2" in text
+
+    def test_open_and_aggregate(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "aggregate 5")
+        assert "opened evh1/scaling/P=2" in text
+        assert "riemann" in text
+
+    def test_open_bad_trial(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling nope")
+        assert "error" in text
+
+    def test_commands_require_open_trial(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "aggregate", "summary", "event riemann")
+        assert text.count("no trial open") == 3
+
+    def test_thread_view(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "thread 1")
+        assert "node 1" in text
+
+    def test_thread_bad_node(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "thread 99")
+        assert "error" in text
+
+    def test_event_view(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "event riemann")
+        assert text.count("n,c,t") == 2
+
+    def test_metrics(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "metrics")
+        assert "TIME" in text
+
+    def test_summary_and_userevents(self, shell):
+        sh, out = shell
+        text = self.run(
+            sh, out, "open evh1 scaling P=2", "summary", "userevents"
+        )
+        assert "Group breakdown" in text
+        assert "zones processed" in text
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "frobnicate")
+        assert "unknown command" in text
+
+    def test_quit_returns_true(self, shell):
+        sh, _out = shell
+        assert sh.onecmd("quit") is True
+        assert sh.onecmd("exit") is True
+
+    def test_usage_messages(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open onlytwo args", "open evh1 scaling P=2",
+                        "thread", "event")
+        assert "usage: open" in text
+        assert "usage: thread" in text
+        assert "usage: event" in text
+
+    def test_callgraph_without_callpaths(self, shell):
+        sh, out = shell
+        text = self.run(sh, out, "open evh1 scaling P=2", "callgraph")
+        assert "no callpath data" in text

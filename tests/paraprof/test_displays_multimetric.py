@@ -1,0 +1,51 @@
+"""Display behaviour on multi-metric trials (metric selection rules)."""
+
+import pytest
+
+from repro.core.io_ import parse_tau_profiles
+from repro.paraprof import (
+    aggregate_view, comparative_event_view, summary_text_view,
+    thread_profile_view,
+)
+from repro.tau.apps import SPPM
+from repro.tau.writers import write_tau_profiles
+
+
+@pytest.fixture(scope="module")
+def reloaded_trial(tmp_path_factory):
+    """A trial whose metric 0 is NOT time (alphabetical MULTI__ order)."""
+    source = SPPM(problem_size=0.01, timesteps=1).run(4)
+    base = tmp_path_factory.mktemp("mm")
+    write_tau_profiles(source, base)
+    back = parse_tau_profiles(base)
+    assert back.metrics[0].name != "TIME"  # precondition for these tests
+    return back
+
+
+class TestTimeMetricDefault:
+    def test_aggregate_view_uses_time(self, reloaded_trial):
+        text = aggregate_view(reloaded_trial)
+        assert "mean exclusive TIME" in text
+
+    def test_thread_view_uses_time(self, reloaded_trial):
+        text = thread_profile_view(reloaded_trial, 0)
+        assert "exclusive TIME" in text
+
+    def test_summary_uses_time(self, reloaded_trial):
+        text = summary_text_view(reloaded_trial)
+        assert "metric TIME" in text
+
+    def test_explicit_metric_override(self, reloaded_trial):
+        index = [m.name for m in reloaded_trial.metrics].index("PAPI_FP_OPS")
+        text = aggregate_view(reloaded_trial, metric=index)
+        assert "PAPI_FP_OPS" in text
+
+    def test_comparative_view_values_are_time(self, reloaded_trial):
+        from repro.core.toolkit import event_values
+
+        time_index = [m.name for m in reloaded_trial.metrics].index("TIME")
+        values = event_values(reloaded_trial, "hydro_kernel", time_index)
+        text = comparative_event_view(reloaded_trial, "hydro_kernel")
+        # the largest rendered bar belongs to the max-time thread
+        assert "hydro_kernel" in text
+        assert values.max() > 0

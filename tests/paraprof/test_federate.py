@@ -1,0 +1,106 @@
+"""Tests for archive federation (cross-repository trial transfer)."""
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.paraprof import ArchiveManager, synchronize, transfer_trial
+from repro.tau.apps import EVH1, SPPM
+
+
+@pytest.fixture
+def source_session(tmp_path):
+    session = PerfDMFSession(f"sqlite://{tmp_path}/src.db")
+    app = session.create_application("evh1", version="1.2", language="F90")
+    exp = session.create_experiment(app, "scaling", system_info="cluster-A")
+    trial = session.save_trial(
+        EVH1(problem_size=0.05, timesteps=1).run(4), exp, "P=4",
+        problem_definition="shocktube",
+    )
+    yield session, trial
+    session.close()
+
+
+class TestTransferTrial:
+    def test_profile_moves_with_values(self, source_session, tmp_path):
+        source, trial = source_session
+        destination = PerfDMFSession(f"minisql://:memory:")
+        copied = transfer_trial(source, destination, trial.id)
+        destination.set_trial(copied)
+        assert destination.count_data_points() == source.count_data_points(trial)
+        src_mean = source.aggregate("mean", event_name="riemann", trial=trial)
+        dst_mean = destination.aggregate("mean", event_name="riemann")
+        assert dst_mean == pytest.approx(src_mean)
+
+    def test_context_recreated_with_metadata(self, source_session, tmp_path):
+        source, trial = source_session
+        destination = PerfDMFSession("sqlite://:memory:")
+        transfer_trial(source, destination, trial.id)
+        app = destination.get_application("evh1")
+        assert app is not None
+        app.refresh()
+        assert app.get("version") == "1.2"
+        destination.set_application(app)
+        (exp,) = destination.get_experiment_list()
+        assert exp.name == "scaling"
+        assert exp.get("system_info") == "cluster-A"
+        (copied,) = destination.get_trial_list()
+        assert copied.get("problem_definition") == "shocktube"
+        assert copied.get("node_count") == 4
+
+    def test_atomic_events_travel(self, source_session):
+        source, trial = source_session
+        destination = PerfDMFSession("sqlite://:memory:")
+        copied = transfer_trial(source, destination, trial.id)
+        assert destination.get_atomic_events(copied)
+
+    def test_rename(self, source_session):
+        source, trial = source_session
+        destination = PerfDMFSession("sqlite://:memory:")
+        copied = transfer_trial(source, destination, trial.id, rename="imported")
+        assert copied.name == "imported"
+
+    def test_missing_trial(self, source_session):
+        source, _trial = source_session
+        destination = PerfDMFSession("sqlite://:memory:")
+        with pytest.raises(LookupError):
+            transfer_trial(source, destination, 999)
+
+    def test_existing_context_reused(self, source_session):
+        source, trial = source_session
+        destination = PerfDMFSession("sqlite://:memory:")
+        transfer_trial(source, destination, trial.id, rename="one")
+        transfer_trial(source, destination, trial.id, rename="two")
+        assert len(destination.get_application_list()) == 1
+
+
+class TestSynchronize:
+    def test_copies_missing_trials_only(self, tmp_path):
+        src = PerfDMFSession(f"sqlite://{tmp_path}/a.db")
+        dst = PerfDMFSession(f"sqlite://{tmp_path}/b.db")
+        manager = ArchiveManager(src)
+        app = EVH1(problem_size=0.05, timesteps=1)
+        for p in (1, 2):
+            manager.import_profile(app.run(p), "evh1", "scaling", f"P={p}")
+        created = synchronize(src, dst)
+        assert len(created) == 2
+        # second sync is a no-op
+        assert synchronize(src, dst) == []
+        # add one more to the source and resync
+        manager.import_profile(app.run(4), "evh1", "scaling", "P=4")
+        created = synchronize(src, dst)
+        assert [t.name for t in created] == ["P=4"]
+        src.close()
+        dst.close()
+
+    def test_cross_backend_sync(self, tmp_path):
+        src = PerfDMFSession("minisql://:memory:")
+        dst = PerfDMFSession(f"sqlite://{tmp_path}/dst.db")
+        manager = ArchiveManager(src)
+        manager.import_profile(
+            SPPM(problem_size=0.01, timesteps=1).run(8), "sppm", "e", "t"
+        )
+        (created,) = synchronize(src, dst)
+        dst.set_trial(created)
+        assert len(dst.get_metrics()) == 8
+        src.close()
+        dst.close()

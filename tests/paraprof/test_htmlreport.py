@@ -1,0 +1,114 @@
+"""Tests for the static HTML report and snapshot XML persistence."""
+
+import pytest
+
+from repro.core.io_ import export_snapshots, parse_snapshots
+from repro.core.io_.base import ProfileParseError
+from repro.core.model import DataSource
+from repro.paraprof import html_report, write_html_report
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.snapshots import capture_series
+
+
+@pytest.fixture(scope="module")
+def trial():
+    ds = EVH1(problem_size=0.05, timesteps=1).run(4)
+    ds.metadata["platform"] = "simulated <cluster> & co"
+    return ds
+
+
+class TestHtmlReport:
+    def test_self_contained_document(self, trial):
+        text = html_report(trial)
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.endswith("</html>")
+        assert "<script" not in text
+        assert "http" not in text.split("xmlns")[0]  # no external links
+
+    def test_sections_present(self, trial):
+        text = html_report(trial, title="EVH1 report")
+        for expected in (
+            "EVH1 report", "Group breakdown", "Per-event statistics",
+            "User events", "Trial metadata", "<svg",
+        ):
+            assert expected in text
+
+    def test_escaping(self, trial):
+        text = html_report(trial)
+        assert "&lt;cluster&gt; &amp; co" in text
+        assert "<cluster>" not in text
+
+    def test_event_rows_and_bars(self, trial):
+        text = html_report(trial)
+        assert "riemann" in text
+        assert text.count("<rect") >= 5
+
+    def test_imbalance_highlighting(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("skewed")
+        for t, v in enumerate([1.0, 1.0, 1.0, 100.0]):
+            fp = ds.add_thread(t, 0, 0).get_or_create_function_profile(event)
+            fp.set_exclusive(0, v)
+            fp.set_inclusive(0, v)
+        text = html_report(ds)
+        assert "class='hot'" in text
+
+    def test_metric_defaults_to_time(self):
+        source = SPPM(problem_size=0.01, timesteps=1).run(2)
+        text = html_report(source)
+        assert "displayed metric: TIME" in text
+
+    def test_write_to_disk(self, trial, tmp_path):
+        path = write_html_report(trial, tmp_path / "r.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestSnapshotXml:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return capture_series(
+            lambda n: EVH1(problem_size=0.05, timesteps=n, seed=3),
+            ranks=2, steps=[1, 2, 3],
+        )
+
+    def test_roundtrip_preserves_structure(self, series, tmp_path):
+        path = export_snapshots(series, tmp_path / "s.xml")
+        back = parse_snapshots(path)
+        assert len(back) == 3
+        assert [s.timestamp for s in back] == [1.0, 2.0, 3.0]
+        assert [s.label for s in back] == [
+            "after step 1", "after step 2", "after step 3",
+        ]
+
+    def test_roundtrip_preserves_values(self, series, tmp_path):
+        path = export_snapshots(series, tmp_path / "s.xml")
+        back = parse_snapshots(path)
+        for original, restored in zip(series, back):
+            event = original.source.get_interval_event("riemann")
+            r_event = restored.source.get_interval_event("riemann")
+            a = original.source.get_thread(0, 0, 0).function_profiles[event.index]
+            b = restored.source.get_thread(0, 0, 0).function_profiles[r_event.index]
+            assert b.get_inclusive(0) == a.get_inclusive(0)
+
+    def test_roundtrip_still_monotonic(self, series, tmp_path):
+        path = export_snapshots(series, tmp_path / "s.xml")
+        back = parse_snapshots(path)
+        assert back.validate() == []
+
+    def test_intervals_after_reload(self, series, tmp_path):
+        path = export_snapshots(series, tmp_path / "s.xml")
+        back = parse_snapshots(path)
+        assert len(back.intervals()) == 2
+
+    def test_wrong_root_rejected(self, tmp_path):
+        bad = tmp_path / "x.xml"
+        bad.write_text("<other/>")
+        with pytest.raises(ProfileParseError, match="perfdmf_snapshots"):
+            parse_snapshots(bad)
+
+    def test_empty_document_rejected(self, tmp_path):
+        bad = tmp_path / "x.xml"
+        bad.write_text('<perfdmf_snapshots version="1.0"/>')
+        with pytest.raises(ProfileParseError, match="empty"):
+            parse_snapshots(bad)

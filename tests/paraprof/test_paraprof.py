@@ -1,0 +1,163 @@
+"""ParaProf tests: displays, archive manager, browser (Figure 2 flow)."""
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.paraprof import (
+    ArchiveManager, ProfileBrowser, aggregate_view, bar_table,
+    comparative_event_view, format_value, horizontal_bar, summary_text_view,
+    thread_profile_view, userevent_view,
+)
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.writers import (
+    write_hpm_output, write_mpip_report, write_tau_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def trial():
+    return EVH1(problem_size=0.05, timesteps=1).run(4)
+
+
+class TestBarChart:
+    def test_horizontal_bar_full(self):
+        assert horizontal_bar(1.0, width=10) == "█" * 10
+
+    def test_horizontal_bar_clamps(self):
+        assert horizontal_bar(2.0, width=4) == "████"
+        assert horizontal_bar(-1.0, width=4) == "    "
+
+    def test_format_value_units(self):
+        assert format_value(500.0) == "500.0 us"
+        assert format_value(5000.0) == "5.00 ms"
+        assert format_value(5.0e6) == "5.000 s"
+        assert format_value(1.2e8) == "2.00 min"
+
+    def test_format_plain_numbers(self):
+        assert format_value(1.5e9, unit="count") == "1.50G"
+        assert format_value(2500.0, unit="count") == "2.50K"
+
+    def test_bar_table_alignment(self):
+        text = bar_table([("a", 10.0), ("bb", 5.0)], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_bar_table_empty(self):
+        assert bar_table([]) == "(no data)"
+
+
+class TestDisplays:
+    def test_thread_profile_view(self, trial):
+        text = thread_profile_view(trial, 0)
+        assert "node 0" in text
+        assert "riemann" in text
+
+    def test_thread_profile_missing_thread(self, trial):
+        with pytest.raises(KeyError):
+            thread_profile_view(trial, 99)
+
+    def test_aggregate_view(self, trial):
+        text = aggregate_view(trial, top=5)
+        assert "mean exclusive TIME over 4 threads" in text
+        assert len(text.splitlines()) == 6
+
+    def test_comparative_event_view_has_all_threads(self, trial):
+        text = comparative_event_view(trial, "riemann")
+        assert text.count("n,c,t") == 4
+
+    def test_summary_view_groups_and_highlighting(self, trial):
+        text = summary_text_view(trial)
+        assert "Group breakdown" in text
+        assert "MPI" in text
+        assert "COMPUTE" in text
+
+    def test_summary_highlights_imbalanced_events(self):
+        from repro.core.model import DataSource
+
+        ds = DataSource()
+        ds.add_metric("TIME")
+        event = ds.add_interval_event("skewed")
+        for t, v in enumerate([1.0, 1.0, 1.0, 100.0]):
+            fp = ds.add_thread(t, 0, 0).get_or_create_function_profile(event)
+            fp.set_exclusive(0, v)
+            fp.set_inclusive(0, v)
+        ds.generate_statistics()
+        text = summary_text_view(ds)
+        line = next(l for l in text.splitlines() if l.startswith("skewed"))
+        assert line.rstrip().endswith("*")
+
+    def test_userevent_view(self, trial):
+        text = userevent_view(trial)
+        assert "zones processed" in text
+
+
+class TestArchiveManagerAndBrowser:
+    """The Figure 2 scenario: one DB, trials from three different tools."""
+
+    @pytest.fixture
+    def archive(self, db_url, tmp_path):
+        source = EVH1(problem_size=0.05, timesteps=1).run(4)
+        counter_source = SPPM(problem_size=0.01, timesteps=1).run(4)
+        write_tau_profiles(source, tmp_path / "tau")
+        write_mpip_report(source, tmp_path / "run.mpiP")
+        write_hpm_output(counter_source, tmp_path / "hpm")
+
+        manager = ArchiveManager(db_url)
+        manager.import_profile(tmp_path / "tau", "evh1", "multi-tool", "tau-trial")
+        manager.import_profile(
+            tmp_path / "run.mpiP", "evh1", "multi-tool", "mpip-trial"
+        )
+        manager.import_profile(tmp_path / "hpm", "evh1", "multi-tool", "hpm-trial")
+        return manager
+
+    def test_three_formats_in_one_archive(self, archive):
+        tree = archive.tree()
+        assert tree == {
+            "evh1": {"multi-tool": ["tau-trial", "mpip-trial", "hpm-trial"]}
+        }
+
+    def test_find_trial(self, archive):
+        t = archive.find_trial("evh1", "multi-tool", "mpip-trial")
+        assert t is not None and t.name == "mpip-trial"
+        assert archive.find_trial("evh1", "multi-tool", "nope") is None
+        assert archive.find_trial("nope", "x", "y") is None
+
+    def test_browser_tree_rendering(self, archive):
+        browser = ProfileBrowser(archive)
+        text = browser.render_tree()
+        assert "evh1" in text
+        assert "tau-trial" in text and "hpm-trial" in text
+
+    def test_browser_opens_and_displays_each_format(self, archive):
+        browser = ProfileBrowser(archive)
+        for trial_name, expected_event in [
+            ("tau-trial", "riemann"),
+            ("mpip-trial", "Application"),
+            ("hpm-trial", "hydro_kernel"),
+        ]:
+            browser.open_trial("evh1", "multi-tool", trial_name)
+            text = browser.show_aggregate()
+            assert expected_event in text, trial_name
+
+    def test_browser_comparative_view(self, archive):
+        browser = ProfileBrowser(archive)
+        browser.open_trial("evh1", "multi-tool", "tau-trial")
+        text = browser.show_event("riemann")
+        assert text.count("n,c,t") == 4
+
+    def test_browser_requires_open_trial(self, archive):
+        browser = ProfileBrowser(archive)
+        with pytest.raises(RuntimeError):
+            browser.show_aggregate()
+
+    def test_open_missing_trial_raises(self, archive):
+        browser = ProfileBrowser(archive)
+        with pytest.raises(LookupError):
+            browser.open_trial("evh1", "multi-tool", "ghost")
+
+    def test_import_same_experiment_reuses_rows(self, archive):
+        session = archive.session
+        assert len(session.get_application_list()) == 1
+        session.set_application(session.get_application_list()[0])
+        assert len(session.get_experiment_list()) == 1

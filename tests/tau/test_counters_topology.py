@@ -1,0 +1,108 @@
+"""Tests for the simulated counter bank, machine model and topology."""
+
+import numpy as np
+import pytest
+
+from repro.tau import CounterBank, MachineModel, Topology, WorkItem
+from repro.tau.counters import DEFAULT_COUNTERS, PAPI_FP_OPS, TIME
+
+
+class TestWorkItem:
+    def test_scaled(self):
+        w = WorkItem(flops=100.0, loads=50.0, message_bytes=10.0)
+        s = w.scaled(2.0)
+        assert s.flops == 200.0
+        assert s.loads == 100.0
+        assert s.message_bytes == 20.0
+        assert w.flops == 100.0  # original untouched
+
+
+class TestMachineModel:
+    def test_compute_cost(self):
+        m = MachineModel(flops_per_second=1e9)
+        w = WorkItem(flops=1e9)
+        assert m.seconds_for(w) >= 1.0
+
+    def test_message_cost_includes_latency(self):
+        m = MachineModel(latency_seconds=1e-3, bytes_per_second=1e9)
+        small = m.seconds_for(WorkItem(message_bytes=1.0))
+        assert small >= 1e-3
+
+    def test_zero_message_no_latency(self):
+        m = MachineModel(latency_seconds=1e-3)
+        assert m.seconds_for(WorkItem(flops=0.0)) == 0.0
+
+    def test_wait_passes_through(self):
+        m = MachineModel()
+        assert m.seconds_for(WorkItem(wait_seconds=2.5)) == 2.5
+
+
+class TestCounterBank:
+    def test_time_is_always_metric_zero(self):
+        bank = CounterBank(metrics=(PAPI_FP_OPS,))
+        assert bank.metrics[0] == TIME
+
+    def test_deterministic_given_seed(self):
+        w = WorkItem(flops=1e6, loads=1e5)
+        a = CounterBank(metrics=(TIME,) + DEFAULT_COUNTERS, seed=7).advance(w)
+        b = CounterBank(metrics=(TIME,) + DEFAULT_COUNTERS, seed=7).advance(w)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        w = WorkItem(flops=1e6)
+        a = CounterBank(seed=1).advance(w)
+        b = CounterBank(seed=2).advance(w)
+        assert a[TIME] != b[TIME]
+
+    def test_fp_ops_tracks_flops(self):
+        bank = CounterBank(metrics=(TIME, PAPI_FP_OPS), jitter=0.0)
+        deltas = bank.advance(WorkItem(flops=12345.0))
+        assert deltas[PAPI_FP_OPS] == pytest.approx(12345.0)
+
+    def test_speed_factor_slows_time_only(self):
+        w = WorkItem(flops=1e6)
+        fast = CounterBank(metrics=(TIME, PAPI_FP_OPS), jitter=0.0).advance(w, 2.0)
+        slow = CounterBank(metrics=(TIME, PAPI_FP_OPS), jitter=0.0).advance(w, 1.0)
+        assert fast[TIME] == pytest.approx(slow[TIME] / 2.0)
+        assert fast[PAPI_FP_OPS] == pytest.approx(slow[PAPI_FP_OPS])
+
+    def test_miss_counters_scale_with_loads(self):
+        bank = CounterBank(
+            metrics=(TIME, "PAPI_L1_DCM", "PAPI_L2_DCM"), jitter=0.0
+        )
+        deltas = bank.advance(WorkItem(loads=1e6))
+        assert deltas["PAPI_L1_DCM"] > deltas["PAPI_L2_DCM"] > 0
+
+    def test_unknown_counter_still_advances(self):
+        bank = CounterBank(metrics=(TIME, "PAPI_CUSTOM"), jitter=0.0)
+        deltas = bank.advance(WorkItem(flops=100.0))
+        assert deltas["PAPI_CUSTOM"] > 0
+
+    def test_time_in_microseconds(self):
+        bank = CounterBank(jitter=0.0)
+        deltas = bank.advance(WorkItem(wait_seconds=1.0))
+        assert deltas[TIME] == pytest.approx(1.0e6)
+
+
+class TestTopology:
+    def test_flat(self):
+        topo = Topology.flat(4)
+        assert topo.total_threads == 4
+        assert topo.triple_for(3) == (3, 0, 0)
+
+    def test_hybrid_packing(self):
+        topo = Topology.hybrid(nodes=2, threads_per_node=4)
+        assert topo.total_threads == 8
+        assert topo.triple_for(0) == (0, 0, 0)
+        assert topo.triple_for(3) == (0, 0, 3)
+        assert topo.triple_for(4) == (1, 0, 0)
+
+    def test_roundtrip(self):
+        topo = Topology(nodes=3, contexts_per_node=2, threads_per_context=4)
+        for rank in range(topo.total_threads):
+            triple = topo.triple_for(rank)
+            assert topo.rank_for(*triple) == rank
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Topology.flat(4).triple_for(4)

@@ -1,0 +1,175 @@
+"""Tests for the TAU-like instrumentation layer, incl. invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import DataSource
+from repro.tau import CounterBank, InstrumentationError, ThreadProfiler, WorkItem
+
+
+def make_profiler(callpaths=False):
+    ds = DataSource()
+    profiler = ThreadProfiler(
+        ds, 0, counters=CounterBank(seed=1, jitter=0.0), callpaths=callpaths
+    )
+    return ds, profiler
+
+
+class TestTimers:
+    def test_single_timer(self):
+        ds, p = make_profiler()
+        p.start("main")
+        p.charge(WorkItem(wait_seconds=1.0))
+        p.stop("main")
+        event = ds.get_interval_event("main")
+        fp = p.thread.function_profiles[event.index]
+        assert fp.get_inclusive(0) == pytest.approx(1.0e6)
+        assert fp.get_exclusive(0) == pytest.approx(1.0e6)
+        assert fp.calls == 1
+
+    def test_nested_exclusive_attribution(self):
+        ds, p = make_profiler()
+        p.start("main")
+        p.charge(WorkItem(wait_seconds=1.0))
+        p.start("child")
+        p.charge(WorkItem(wait_seconds=2.0))
+        p.stop("child")
+        p.charge(WorkItem(wait_seconds=0.5))
+        p.stop("main")
+        main = p.thread.function_profiles[ds.get_interval_event("main").index]
+        child = p.thread.function_profiles[ds.get_interval_event("child").index]
+        assert main.get_inclusive(0) == pytest.approx(3.5e6)
+        assert main.get_exclusive(0) == pytest.approx(1.5e6)
+        assert child.get_inclusive(0) == pytest.approx(2.0e6)
+        assert main.subroutines == 1
+
+    def test_repeated_calls_accumulate(self):
+        ds, p = make_profiler()
+        p.start("main")
+        for _ in range(3):
+            p.start("f")
+            p.charge(WorkItem(wait_seconds=1.0))
+            p.stop()
+        p.stop()
+        f = p.thread.function_profiles[ds.get_interval_event("f").index]
+        assert f.calls == 3
+        assert f.get_inclusive(0) == pytest.approx(3.0e6)
+        main = p.thread.function_profiles[ds.get_interval_event("main").index]
+        assert main.subroutines == 3
+
+    def test_timer_context_manager(self):
+        ds, p = make_profiler()
+        with p.timer("main"):
+            with p.timer("inner"):
+                p.charge(WorkItem(wait_seconds=1.0))
+        assert p.depth == 0
+        assert ds.get_interval_event("inner") is not None
+
+    def test_mismatched_stop_raises(self):
+        _, p = make_profiler()
+        p.start("a")
+        with pytest.raises(InstrumentationError, match="innermost"):
+            p.stop("b")
+
+    def test_stop_without_start_raises(self):
+        _, p = make_profiler()
+        with pytest.raises(InstrumentationError):
+            p.stop()
+
+    def test_charge_outside_timer_raises(self):
+        _, p = make_profiler()
+        with pytest.raises(InstrumentationError):
+            p.charge(WorkItem(flops=1.0))
+
+    def test_finish_detects_running_timers(self):
+        _, p = make_profiler()
+        p.start("oops")
+        with pytest.raises(InstrumentationError, match="still running"):
+            p.finish()
+
+    def test_recursion_counts_each_invocation(self):
+        ds, p = make_profiler()
+        p.start("fib")
+        p.start("fib")
+        p.charge(WorkItem(wait_seconds=1.0))
+        p.stop()
+        p.stop()
+        fib = p.thread.function_profiles[ds.get_interval_event("fib").index]
+        assert fib.calls == 2
+
+
+class TestCallpaths:
+    def test_callpath_events_created(self):
+        ds, p = make_profiler(callpaths=True)
+        with p.timer("main"):
+            with p.timer("solve"):
+                p.charge(WorkItem(wait_seconds=1.0))
+        assert ds.get_interval_event("main => solve") is not None
+
+    def test_callpath_values_match_flat(self):
+        ds, p = make_profiler(callpaths=True)
+        with p.timer("main"):
+            with p.timer("solve"):
+                p.charge(WorkItem(wait_seconds=1.0))
+        flat = p.thread.function_profiles[ds.get_interval_event("solve").index]
+        cp = p.thread.function_profiles[
+            ds.get_interval_event("main => solve").index
+        ]
+        assert cp.get_inclusive(0) == pytest.approx(flat.get_inclusive(0))
+
+
+class TestUserEvents:
+    def test_trigger_accumulates(self):
+        ds, p = make_profiler()
+        for v in (5.0, 10.0, 15.0):
+            p.trigger("heap", v)
+        event = ds.get_atomic_event("heap")
+        up = p.thread.user_event_profiles[event.index]
+        assert up.count == 3
+        assert up.mean_value == pytest.approx(10.0)
+        assert up.max_value == 15.0
+
+
+class TestInvariants:
+    """Structural invariants the measurement layer must never violate."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c", "d"]),
+                st.floats(min_value=0.001, max_value=2.0),
+                st.integers(min_value=0, max_value=2),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_exclusive_sums_to_root_inclusive(self, script):
+        """Σ exclusive over all events == inclusive of the root timer,
+        and exclusive <= inclusive per event, for arbitrary nestings."""
+        ds = DataSource()
+        p = ThreadProfiler(ds, 0, counters=CounterBank(seed=0, jitter=0.0))
+        p.start("root")
+        depth = 1
+        for name, seconds, action in script:
+            if action == 0 and depth < 6:
+                p.start(name)
+                depth += 1
+            p.charge(WorkItem(wait_seconds=seconds))
+            if action == 2 and depth > 1:
+                p.stop()
+                depth -= 1
+        while depth > 0:
+            p.stop()
+            depth -= 1
+        p.finish()
+
+        root = p.thread.function_profiles[ds.get_interval_event("root").index]
+        total_exclusive = sum(
+            fp.get_exclusive(0) for fp in p.thread.function_profiles.values()
+        )
+        assert total_exclusive == pytest.approx(root.get_inclusive(0), rel=1e-9)
+        for fp in p.thread.function_profiles.values():
+            assert fp.get_exclusive(0) <= fp.get_inclusive(0) + 1e-9
+        assert ds.validate() == []

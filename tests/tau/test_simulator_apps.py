@@ -1,0 +1,203 @@
+"""Tests for the SPMD simulator and the five synthetic applications."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import group as groups
+from repro.tau import SimulationConfig, run_simulation
+from repro.tau.apps import EVH1, SMG2000, SPPM, Miranda, SPhot
+from repro.tau.apps.miranda import NUM_EVENTS
+from repro.tau.apps.sppm import boundary_fraction
+
+
+class TestSimulator:
+    def test_kernel_runs_per_rank(self):
+        seen = []
+
+        def kernel(rank):
+            seen.append(rank.rank)
+            with rank.call("work"):
+                rank.compute(flops=1000.0)
+
+        ds = run_simulation(kernel, SimulationConfig(ranks=4))
+        assert seen == [0, 1, 2, 3]
+        assert ds.num_threads == 4
+
+    def test_main_wraps_everything(self):
+        def kernel(rank):
+            with rank.call("inner"):
+                rank.compute(flops=100.0)
+
+        ds = run_simulation(kernel, SimulationConfig(ranks=2))
+        main = ds.get_interval_event("main")
+        inner = ds.get_interval_event("inner")
+        for thread in ds.all_threads():
+            m = thread.function_profiles[main.index]
+            i = thread.function_profiles[inner.index]
+            assert m.get_inclusive(0) >= i.get_inclusive(0)
+
+    def test_determinism(self):
+        app = EVH1(problem_size=0.05, timesteps=1, seed=9)
+        a = app.run(4)
+        b = EVH1(problem_size=0.05, timesteps=1, seed=9).run(4)
+        for name in a.interval_events:
+            ea, eb = a.get_interval_event(name), b.get_interval_event(name)
+            for ta, tb in zip(a.all_threads(), b.all_threads()):
+                pa = ta.function_profiles.get(ea.index)
+                pb = tb.function_profiles.get(eb.index)
+                if pa is None:
+                    assert pb is None
+                    continue
+                assert pa.get_inclusive(0) == pb.get_inclusive(0)
+
+    def test_collective_wait_reflects_imbalance(self):
+        def kernel(rank):
+            rank.mpi(
+                "MPI_Barrier()",
+                collective=True,
+                imbalance=lambda r: 0.1 if r == 0 else 0.0,
+            )
+
+        ds = run_simulation(kernel, SimulationConfig(ranks=4))
+        barrier = ds.get_interval_event("MPI_Barrier()")
+        slow = ds.get_thread(0, 0, 0).function_profiles[barrier.index]
+        fast = ds.get_thread(1, 0, 0).function_profiles[barrier.index]
+        # rank 0 arrives late, so everyone else waits ~0.1s longer
+        assert fast.get_inclusive(0) > slow.get_inclusive(0) + 5e4
+
+    def test_user_events_recorded(self):
+        def kernel(rank):
+            rank.user_event("bytes", 100.0 * (rank.rank + 1))
+
+        ds = run_simulation(kernel, SimulationConfig(ranks=3))
+        assert "bytes" in ds.atomic_events
+
+    def test_metadata_stamped(self):
+        ds = EVH1(problem_size=0.05, timesteps=1).run(2)
+        assert ds.metadata["application"] == "evh1"
+        assert ds.metadata["simulator.ranks"] == "2"
+
+
+class TestEVH1:
+    @pytest.fixture(scope="class")
+    def trials(self):
+        app = EVH1(problem_size=0.5, timesteps=2)
+        return {p: app.run(p) for p in (1, 4, 16)}
+
+    def test_profile_invariants(self, trials):
+        for ds in trials.values():
+            assert ds.validate() == []
+
+    def test_compute_routines_scale(self, trials):
+        from repro.core.toolkit import SpeedupAnalyzer
+
+        an = SpeedupAnalyzer()
+        for p, ds in trials.items():
+            an.add_trial(p, ds)
+        (riemann,) = an.analyze(["riemann"])
+        assert riemann.points[-1].mean > 10  # near-linear at P=16
+
+    def test_serial_init_does_not_scale(self, trials):
+        from repro.core.toolkit import SpeedupAnalyzer
+
+        an = SpeedupAnalyzer()
+        for p, ds in trials.items():
+            an.add_trial(p, ds)
+        (init,) = an.analyze(["init"])
+        assert init.points[-1].mean < 2.0
+
+    def test_edge_ranks_do_more_work(self, trials):
+        ds = trials[16]
+        riemann = ds.get_interval_event("riemann")
+        edge = ds.get_thread(0, 0, 0).function_profiles[riemann.index]
+        interior = ds.get_thread(7, 0, 0).function_profiles[riemann.index]
+        assert edge.get_exclusive(0) > interior.get_exclusive(0) * 1.05
+
+
+class TestSPPM:
+    def test_two_populations_in_fp_ops(self):
+        ds = SPPM(problem_size=0.02, timesteps=1).run(27)
+        fp = ds.get_metric("PAPI_FP_OPS")
+        sharpen = ds.get_interval_event("interface_sharpen")
+        boundary_vals, interior_vals = [], []
+        for rank, thread in enumerate(ds.all_threads()):
+            profile = thread.function_profiles[sharpen.index]
+            value = profile.get_exclusive(fp.index)
+            (boundary_vals if boundary_fraction(rank, 27) else interior_vals).append(value)
+        assert boundary_vals and interior_vals
+        assert np.mean(boundary_vals) > np.mean(interior_vals) * 1.5
+
+    def test_boundary_fraction_nontrivial(self):
+        flags = [boundary_fraction(r, 64) for r in range(64)]
+        assert 0 < sum(flags) < 64
+
+    def test_seven_papi_counters_plus_time(self):
+        ds = SPPM(problem_size=0.01, timesteps=1).run(8)
+        assert ds.num_metrics == 8
+        assert ds.metrics[0].name == "TIME"
+
+
+class TestSMG2000:
+    def test_communication_fraction_grows(self):
+        from repro.core.toolkit import scaling_profile
+
+        app = SMG2000(problem_size=1.0)
+        points = scaling_profile([(p, app.run(p)) for p in (2, 32)])
+        assert points[1].communication_fraction > points[0].communication_fraction
+
+
+class TestSPhot:
+    def test_load_imbalance_present(self):
+        from repro.core.toolkit import load_imbalance
+
+        ds = SPhot(problem_size=0.5).run(16)
+        assert load_imbalance(ds) > 1.02
+
+    def test_reduce_wait_mirrors_tracking_time(self):
+        ds = SPhot(problem_size=0.5).run(8)
+        track = ds.get_interval_event("track_photons")
+        reduce_ev = ds.get_interval_event("MPI_Reduce()")
+        values = []
+        for thread in ds.all_threads():
+            t = thread.function_profiles[track.index].get_exclusive(0)
+            r = thread.function_profiles[reduce_ev.index].get_inclusive(0)
+            values.append((t, r))
+        ts, rs = zip(*values)
+        # negative correlation: fast trackers wait longest at the reduce
+        assert np.corrcoef(ts, rs)[0, 1] < -0.5
+
+
+class TestMiranda:
+    def test_exactly_101_events(self):
+        trial = Miranda().generate(128)
+        assert trial.num_events == NUM_EVENTS == 101
+
+    def test_16k_exceeds_paper_datapoint_count(self):
+        trial = Miranda().generate(16384)
+        assert trial.num_data_points > 1_600_000
+
+    def test_deterministic(self):
+        a = Miranda(seed=5).generate(64)
+        b = Miranda(seed=5).generate(64)
+        np.testing.assert_array_equal(a.exclusive[0], b.exclusive[0])
+
+    def test_single_metric_wall_clock(self):
+        trial = Miranda().generate(64)
+        assert trial.metric_names == ["TIME"]
+
+    def test_main_is_root(self):
+        trial = Miranda().generate(32)
+        # main's inclusive dominates every other event on each thread
+        assert (trial.inclusive[0][:, 0] >= trial.inclusive[0].max(axis=1) - 1e-9).all()
+
+    def test_io_aggregator_pattern(self):
+        trial = Miranda().generate(256)
+        io_cols = [i for i, g in enumerate(trial.event_groups) if g == groups.IO]
+        agg = trial.exclusive[0][0, io_cols].sum()      # rank 0 is an aggregator
+        non = trial.exclusive[0][1, io_cols].sum()
+        assert agg > non * 2
+
+    def test_instrumented_variant_consistent(self):
+        ds = Miranda(problem_size=0.5).run(4)
+        assert ds.validate() == []
+        assert "MPI_Alltoall()" in ds.interval_events

@@ -1,0 +1,185 @@
+"""Tests for the perfdmf command-line tools."""
+
+import pytest
+
+from repro.cli import main
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.writers import write_tau_profiles
+
+
+@pytest.fixture
+def db(tmp_path):
+    return f"sqlite://{tmp_path}/cli.db"
+
+
+@pytest.fixture
+def loaded_db(db, tmp_path, capsys):
+    """A database with one EVH1 trial loaded via the CLI."""
+    source = EVH1(problem_size=0.05, timesteps=1).run(4)
+    write_tau_profiles(source, tmp_path / "profiles")
+    assert main(["configure", "--db", db]) == 0
+    assert main([
+        "load", "--db", db, "--app", "evh1", "--exp", "scaling",
+        "--trial", "P=4", str(tmp_path / "profiles"),
+    ]) == 0
+    capsys.readouterr()
+    return db
+
+
+class TestConfigure:
+    def test_creates_schema(self, db, capsys):
+        assert main(["configure", "--db", db]) == 0
+        assert "schema ready" in capsys.readouterr().out
+
+    def test_idempotent(self, db):
+        assert main(["configure", "--db", db]) == 0
+        assert main(["configure", "--db", db]) == 0
+
+
+class TestLoad:
+    def test_load_reports_points(self, db, tmp_path, capsys):
+        source = EVH1(problem_size=0.05, timesteps=1).run(2)
+        write_tau_profiles(source, tmp_path / "p")
+        code = main([
+            "load", "--db", db, "--app", "a", "--exp", "e",
+            "--trial", "t", str(tmp_path / "p"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "data points" in out
+        assert "TIME" in out
+
+    def test_load_missing_target(self, db, tmp_path, capsys):
+        code = main([
+            "load", "--db", db, "--app", "a", "--exp", "e",
+            "--trial", "t", str(tmp_path / "nope"),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_load_explicit_format(self, db, tmp_path, capsys):
+        from repro.tau.writers import write_svpablo_output
+
+        source = EVH1(problem_size=0.05, timesteps=1).run(2)
+        path = write_svpablo_output(source, tmp_path / "x.dat")
+        code = main([
+            "load", "--db", db, "--app", "a", "--exp", "e",
+            "--trial", "t", str(path), "--format", "svpablo",
+        ])
+        assert code == 0
+
+
+class TestListShow:
+    def test_list_tree(self, loaded_db, capsys):
+        assert main(["list", "--db", loaded_db]) == 0
+        out = capsys.readouterr().out
+        assert "evh1" in out and "P=4" in out
+        assert "trial ids:" in out
+
+    def test_show_aggregate(self, loaded_db, capsys):
+        assert main(["show", "--db", loaded_db, "--trial-id", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "riemann" in out
+        assert "|" in out  # bars
+
+    def test_show_summary(self, loaded_db, capsys):
+        assert main([
+            "show", "--db", loaded_db, "--trial-id", "1", "--view", "summary",
+        ]) == 0
+        assert "Group breakdown" in capsys.readouterr().out
+
+    def test_show_event_view(self, loaded_db, capsys):
+        assert main([
+            "show", "--db", loaded_db, "--trial-id", "1",
+            "--view", "event", "--event", "riemann",
+        ]) == 0
+        assert capsys.readouterr().out.count("n,c,t") == 4
+
+    def test_show_event_requires_name(self, loaded_db, capsys):
+        assert main([
+            "show", "--db", loaded_db, "--trial-id", "1", "--view", "event",
+        ]) == 1
+
+
+class TestExportAggregateDerive:
+    def test_export_xml(self, loaded_db, tmp_path, capsys):
+        out_path = tmp_path / "out.xml"
+        assert main([
+            "export", "--db", loaded_db, "--trial-id", "1",
+            "-o", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        from repro.core.io_ import parse_xml
+
+        assert parse_xml(out_path).num_threads == 4
+
+    def test_aggregate(self, loaded_db, capsys):
+        assert main([
+            "aggregate", "--db", loaded_db, "--trial-id", "1",
+            "--op", "mean", "--event", "riemann",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean(exclusive) over riemann:" in out
+
+    def test_derive_then_aggregate(self, loaded_db, capsys):
+        assert main([
+            "derive", "--db", loaded_db, "--trial-id", "1",
+            "--name", "T2", "--expr", "TIME * 2",
+        ]) == 0
+        assert main([
+            "aggregate", "--db", loaded_db, "--trial-id", "1",
+            "--op", "max", "--metric", "T2", "--event", "riemann",
+        ]) == 0
+
+    def test_derive_duplicate_fails_cleanly(self, loaded_db, capsys):
+        main(["derive", "--db", loaded_db, "--trial-id", "1",
+              "--name", "D", "--expr", "TIME"])
+        code = main(["derive", "--db", loaded_db, "--trial-id", "1",
+                     "--name", "D", "--expr", "TIME"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSpeedupCluster:
+    def test_speedup_over_experiment(self, db, capsys):
+        from repro.paraprof import ArchiveManager
+
+        manager = ArchiveManager(db)
+        app = EVH1(problem_size=0.2, timesteps=1)
+        for p in (1, 2, 4):
+            manager.import_profile(app.run(p), "evh1", "scaling", f"P={p}")
+        capsys.readouterr()
+        assert main(["speedup", "--db", db, "--app", "evh1",
+                     "--exp", "scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "riemann" in out and "baseline P=1" in out
+
+    def test_speedup_missing_app(self, db, capsys):
+        main(["configure", "--db", db])
+        assert main(["speedup", "--db", db, "--app", "nope",
+                     "--exp", "x"]) == 1
+
+    def test_cluster(self, db, capsys):
+        from repro.paraprof import ArchiveManager
+
+        manager = ArchiveManager(db)
+        manager.import_profile(
+            SPPM(problem_size=0.01, timesteps=1).run(27),
+            "sppm", "c", "t",
+        )
+        capsys.readouterr()
+        assert main(["cluster", "--db", db, "--trial-id", "1",
+                     "--metric", "PAPI_FP_OPS", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 2" in out and "cluster 0" in out
+
+    def test_cluster_bad_metric(self, db, capsys):
+        from repro.paraprof import ArchiveManager
+
+        manager = ArchiveManager(db)
+        manager.import_profile(
+            EVH1(problem_size=0.05, timesteps=1).run(2), "a", "e", "t"
+        )
+        capsys.readouterr()
+        assert main(["cluster", "--db", db, "--trial-id", "1",
+                     "--metric", "NOPE"]) == 1

@@ -1,0 +1,73 @@
+"""Smoke tests: every shipped example must run end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "stored trial id=1" in out
+    assert "ParaProf aggregate view" in out
+    assert "exported common XML" in out
+
+
+def test_multiformat_archive():
+    out = run_example("multiformat_archive.py")
+    assert "TAU trial" in out and "mpiP trial" in out and "HPMToolkit trial" in out
+    assert "Performance Data Archive" in out
+
+
+def test_evh1_speedup():
+    out = run_example("evh1_speedup.py")
+    assert "per-routine speedup" in out
+    assert "application speedup" in out
+    assert "riemann" in out
+
+
+def test_sppm_datamining():
+    out = run_example("sppm_datamining.py")
+    assert "Ahn & Vetter behaviour reproduced" in out
+    assert "cluster analysis [kmeans]" in out
+
+
+def test_regression_tracking():
+    out = run_example("regression_tracking.py")
+    assert "Detected regressions" in out
+    assert "riemann" in out
+    assert "v5" in out
+
+
+def test_snapshot_drift():
+    out = run_example("snapshot_drift.py")
+    assert "monotonicity problems: 0" in out
+    assert "drift report" in out
+    assert "riemann" in out
+
+
+def test_scaling_prediction():
+    out = run_example("scaling_prediction.py")
+    assert "riemann" in out
+    assert "R²" in out
+    assert "ground truth" in out
+
+
+def test_large_scale_miranda_reduced():
+    out = run_example("large_scale_miranda.py", "512")
+    assert "handled without problems" in out
+    assert "51,712" in out  # 512 * 101 data points

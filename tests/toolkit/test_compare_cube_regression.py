@@ -1,0 +1,191 @@
+"""Toolkit tests: comparison, CUBE algebra, regression detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import DataSource
+from repro.core.toolkit import (
+    biggest_changes, compare_trials, comparison_report, detect_regressions,
+    diff, mean, merge, regression_report,
+)
+
+
+def trial(values: dict[str, list[float]], metrics=("TIME",)) -> DataSource:
+    ds = DataSource()
+    for m in metrics:
+        ds.add_metric(m)
+    n = len(next(iter(values.values()))) if values else 0
+    for t in range(n):
+        ds.add_thread(t, 0, 0)
+    for name, vals in values.items():
+        event = ds.add_interval_event(name)
+        for t, v in enumerate(vals):
+            if v is None:
+                continue
+            fp = ds.get_thread(t, 0, 0).get_or_create_function_profile(event)
+            for mi in range(len(metrics)):
+                fp.set_inclusive(mi, v)
+                fp.set_exclusive(mi, v)
+            fp.calls = 1
+    ds.generate_statistics()
+    return ds
+
+
+class TestComparison:
+    def test_delta_and_ratio(self):
+        a = trial({"f": [10.0, 10.0]})
+        b = trial({"f": [15.0, 15.0]})
+        (c,) = compare_trials(a, b)
+        assert c.delta == 5.0
+        assert c.ratio == 1.5
+        assert c.percent_change == pytest.approx(50.0)
+
+    def test_new_event(self):
+        a = trial({"f": [10.0]})
+        b = trial({"f": [10.0], "g": [5.0]})
+        comparisons = {c.event: c for c in compare_trials(a, b)}
+        assert comparisons["g"].ratio == float("inf")
+
+    def test_removed_event(self):
+        a = trial({"f": [10.0], "g": [5.0]})
+        b = trial({"f": [10.0]})
+        comparisons = {c.event: c for c in compare_trials(a, b)}
+        assert comparisons["g"].right_mean == 0.0
+
+    def test_biggest_changes_ordering(self):
+        a = trial({"f": [10.0], "g": [10.0]})
+        b = trial({"f": [12.0], "g": [30.0]})
+        changes = biggest_changes(a, b)
+        assert changes[0].event == "g"
+
+    def test_report_renders(self):
+        a = trial({"f": [10.0]})
+        b = trial({"f": [20.0]})
+        text = comparison_report(a, b, "v1", "v2")
+        assert "v1" in text and "f" in text and "+100.0%" in text
+
+
+class TestCubeAlgebra:
+    def test_diff_positive_when_left_slower(self):
+        a = trial({"f": [10.0, 10.0]})
+        b = trial({"f": [4.0, 4.0]})
+        d = diff(a, b)
+        fp = d.get_thread(0, 0, 0).function_profiles[
+            d.get_interval_event("f").index
+        ]
+        assert fp.get_exclusive(0) == 6.0
+
+    def test_diff_handles_one_sided_events(self):
+        a = trial({"f": [10.0], "only_a": [3.0]})
+        b = trial({"f": [10.0], "only_b": [2.0]})
+        d = diff(a, b)
+        t = d.get_thread(0, 0, 0)
+        assert t.function_profiles[d.get_interval_event("only_a").index].get_exclusive(0) == 3.0
+        assert t.function_profiles[d.get_interval_event("only_b").index].get_exclusive(0) == -2.0
+
+    def test_merge_sums(self):
+        a = trial({"f": [10.0]})
+        b = trial({"f": [5.0]})
+        m = merge(a, b)
+        fp = m.get_thread(0, 0, 0).function_profiles[
+            m.get_interval_event("f").index
+        ]
+        assert fp.get_exclusive(0) == 15.0
+        assert fp.calls == 2
+
+    def test_merge_multi_metric_alignment(self):
+        a = trial({"f": [10.0]}, metrics=("TIME", "FLOPS"))
+        b = trial({"f": [5.0]}, metrics=("FLOPS", "TIME"))  # different order!
+        m = merge(a, b)
+        time_index = m.get_metric("TIME").index
+        fp = m.get_thread(0, 0, 0).function_profiles[
+            m.get_interval_event("f").index
+        ]
+        assert fp.get_exclusive(time_index) == 15.0
+
+    def test_mean_of_three(self):
+        trials = [trial({"f": [3.0]}), trial({"f": [6.0]}), trial({"f": [9.0]})]
+        avg = mean(trials)
+        fp = avg.get_thread(0, 0, 0).function_profiles[
+            avg.get_interval_event("f").index
+        ]
+        assert fp.get_exclusive(0) == pytest.approx(6.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_diff_then_merge_is_identity_like(self):
+        a = trial({"f": [10.0], "g": [2.0]})
+        b = trial({"f": [4.0], "g": [1.0]})
+        recovered = merge(diff(a, b), b)
+        fp = recovered.get_thread(0, 0, 0).function_profiles[
+            recovered.get_interval_event("f").index
+        ]
+        assert fp.get_exclusive(0) == pytest.approx(10.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values_a=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=4),
+        values_b=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=4),
+    )
+    def test_property_merge_commutes(self, values_a, values_b):
+        n = min(len(values_a), len(values_b))
+        a = trial({"f": values_a[:n]})
+        b = trial({"f": values_b[:n]})
+        ab = merge(a, b)
+        ba = merge(b, a)
+        for t in range(n):
+            fa = ab.get_thread(t, 0, 0).function_profiles[
+                ab.get_interval_event("f").index
+            ]
+            fb = ba.get_thread(t, 0, 0).function_profiles[
+                ba.get_interval_event("f").index
+            ]
+            assert fa.get_exclusive(0) == pytest.approx(fb.get_exclusive(0))
+
+
+class TestRegressionDetection:
+    def _history(self, series: dict[str, list[float]]):
+        length = len(next(iter(series.values())))
+        return [
+            (f"v{i}", trial({name: [vals[i]] * 2 for name, vals in series.items()}))
+            for i in range(length)
+        ]
+
+    def test_clean_history_no_regressions(self):
+        history = self._history({"f": [10.0, 10.1, 9.9, 10.0]})
+        assert detect_regressions(history) == []
+
+    def test_jump_detected(self):
+        history = self._history({"f": [10.0, 10.1, 9.9, 20.0]})
+        regs = detect_regressions(history)
+        assert len(regs) == 1
+        assert regs[0].event == "f"
+        assert regs[0].trial_label == "v3"
+        assert regs[0].factor == pytest.approx(2.0, rel=0.05)
+
+    def test_small_relative_change_ignored(self):
+        history = self._history({"f": [10.0, 10.0, 10.0, 11.0]})
+        assert detect_regressions(history, min_relative=0.15) == []
+
+    def test_new_event_not_flagged(self):
+        a = trial({"f": [10.0]})
+        b = trial({"f": [10.0], "new": [5.0]})
+        regs = detect_regressions([("v0", a), ("v1", b)])
+        assert all(r.event != "new" for r in regs)
+
+    def test_window_limits_baseline(self):
+        # slow drift within the window should not trigger
+        history = self._history({"f": [10, 11, 12, 13, 14, 15.0]})
+        regs = detect_regressions(history, window=3, min_relative=0.5)
+        assert regs == []
+
+    def test_report(self):
+        history = self._history({"f": [10.0, 10.0, 30.0]})
+        regs = detect_regressions(history)
+        text = regression_report(regs)
+        assert "f" in text and "3.00x" in text
+
+    def test_empty_report(self):
+        assert "No regressions" in regression_report([])

@@ -1,0 +1,120 @@
+"""Tests for Prophesy-style scaling-model fitting (paper §6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.toolkit import (
+    best_model, fit_scaling_models, predict_routines, prediction_report,
+)
+from repro.tau.apps import EVH1
+
+P = [1, 2, 4, 8, 16, 32]
+
+
+class TestModelFitting:
+    def test_amdahl_recovered_exactly(self):
+        values = [100.0 + 900.0 / p for p in P]
+        model = best_model(P, values)
+        assert model.name == "amdahl"
+        assert model.r_squared == pytest.approx(1.0)
+        assert model.parameters[0] == pytest.approx(100.0, rel=1e-3)
+        assert model.serial_fraction == pytest.approx(0.1, rel=1e-3)
+
+    def test_power_law_recovered(self):
+        values = [50.0 * p**0.5 for p in P]
+        model = best_model(P, values)
+        assert model.name == "power"
+        assert model.parameters[1] == pytest.approx(0.5, rel=1e-3)
+
+    def test_logp_recovered(self):
+        values = [10.0 + 3.0 * np.log2(p) for p in P]
+        model = best_model(P, values)
+        assert model.name == "logp"
+        assert model.parameters[1] == pytest.approx(3.0, rel=1e-3)
+
+    def test_prediction_extrapolates(self):
+        values = [100.0 + 900.0 / p for p in P]
+        model = best_model(P, values)
+        assert model.predict(64) == pytest.approx(100.0 + 900.0 / 64, rel=1e-3)
+
+    def test_all_families_returned_sorted(self):
+        values = [100.0 + 900.0 / p for p in P]
+        models = fit_scaling_models(P, values)
+        assert len(models) >= 2
+        r2 = [m.r_squared for m in models]
+        assert r2 == sorted(r2, reverse=True)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            fit_scaling_models([1, 2], [1.0, 2.0])
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_scaling_models(P, [1, 2, 3, 0, 5, 6])
+
+    def test_min_r2_gate(self):
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(1.0, 100.0, size=len(P))  # unfittable
+        with pytest.raises(ValueError, match="no model reached"):
+            best_model(P, noise, min_r2=0.999)
+
+    def test_serial_fraction_none_for_other_models(self):
+        values = [50.0 * p**0.5 for p in P]
+        model = best_model(P, values)
+        assert model.serial_fraction is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        serial=st.floats(min_value=1.0, max_value=500.0),
+        parallel=st.floats(min_value=10.0, max_value=5000.0),
+    )
+    def test_property_amdahl_roundtrip(self, serial, parallel):
+        values = [serial + parallel / p for p in P]
+        models = fit_scaling_models(P, values)
+        amdahl = next(m for m in models if m.name == "amdahl")
+        assert amdahl.parameters[0] == pytest.approx(serial, rel=1e-2, abs=1e-2)
+        assert amdahl.parameters[1] == pytest.approx(parallel, rel=1e-2)
+
+
+class TestRoutinePrediction:
+    @pytest.fixture(scope="class")
+    def trials(self):
+        app = EVH1(problem_size=1.0, timesteps=1)
+        return [(p, app.run(p)) for p in (1, 2, 4, 8, 16)]
+
+    def test_predictions_produced(self, trials):
+        predictions = predict_routines(trials, target_processors=64)
+        names = [p.event for p in predictions]
+        assert "riemann" in names
+        assert all(p.model.r_squared >= 0.9 for p in predictions)
+
+    def test_compute_routines_fit_inverse_p(self, trials):
+        predictions = {p.event: p for p in predict_routines(trials, 64)}
+        riemann = predictions["riemann"]
+        # near-perfect strong scaling: exponent ~ -1 (power) or amdahl
+        if riemann.model.name == "power":
+            assert riemann.model.parameters[1] == pytest.approx(-1.0, abs=0.15)
+
+    def test_prediction_accuracy_against_real_run(self, trials):
+        """The model trained on P<=16 must predict P=32 within 10%."""
+        from repro.core.toolkit import event_statistics
+
+        predictions = {p.event: p for p in predict_routines(trials, 32)}
+        actual_trial = EVH1(problem_size=1.0, timesteps=1).run(32)
+        actual = event_statistics(
+            actual_trial, "riemann", inclusive=True
+        ).mean
+        predicted = predictions["riemann"].predicted
+        assert predicted == pytest.approx(actual, rel=0.10)
+
+    def test_sorted_by_predicted_cost(self, trials):
+        predictions = predict_routines(trials, 64)
+        values = [p.predicted for p in predictions]
+        assert values == sorted(values, reverse=True)
+
+    def test_report(self, trials):
+        predictions = predict_routines(trials, 64)
+        text = prediction_report(predictions[:3], 64)
+        assert "P=64" in text
+        assert "R²" in text

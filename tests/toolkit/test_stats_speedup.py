@@ -1,0 +1,169 @@
+"""Toolkit tests: statistics and the §5.2 speedup analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import DataSource, group
+from repro.core.toolkit import (
+    SpeedupAnalyzer, all_event_statistics, event_statistics, event_values,
+    group_breakdown, load_imbalance, thread_metric_matrix, top_events,
+)
+
+
+def make_trial(values_by_event: dict[str, list[float]]) -> DataSource:
+    """Build a trial where event e has exclusive=inclusive=values[i] on
+    thread i."""
+    ds = DataSource()
+    ds.add_metric("TIME")
+    n_threads = len(next(iter(values_by_event.values())))
+    for t in range(n_threads):
+        ds.add_thread(t, 0, 0)
+    for name, values in values_by_event.items():
+        event = ds.add_interval_event(name)
+        for t, value in enumerate(values):
+            if value is None:
+                continue
+            fp = ds.get_thread(t, 0, 0).get_or_create_function_profile(event)
+            fp.set_inclusive(0, value)
+            fp.set_exclusive(0, value)
+            fp.calls = 1
+    ds.generate_statistics()
+    return ds
+
+
+class TestEventStatistics:
+    def test_basic(self):
+        ds = make_trial({"f": [10.0, 20.0, 30.0, 40.0]})
+        stats = event_statistics(ds, "f")
+        assert stats.minimum == 10.0
+        assert stats.maximum == 40.0
+        assert stats.mean == 25.0
+        assert stats.total == 100.0
+        assert stats.stddev == pytest.approx(np.std([10, 20, 30, 40], ddof=1))
+
+    def test_missing_thread_counts_as_zero(self):
+        ds = make_trial({"f": [10.0, None]})
+        stats = event_statistics(ds, "f")
+        assert stats.minimum == 0.0
+        assert stats.mean == 5.0
+
+    def test_unknown_event_raises(self):
+        ds = make_trial({"f": [1.0]})
+        with pytest.raises(KeyError):
+            event_statistics(ds, "g")
+
+    def test_imbalance(self):
+        ds = make_trial({"f": [10.0, 10.0, 10.0, 50.0]})
+        assert event_statistics(ds, "f").imbalance == pytest.approx(50.0 / 20.0)
+
+    def test_top_events_ranking(self):
+        ds = make_trial({"a": [1.0, 1.0], "b": [10.0, 10.0], "c": [5.0, 5.0]})
+        names = [s.event for s in top_events(ds, n=2)]
+        assert names == ["b", "c"]
+
+    def test_all_event_statistics_covers_all(self):
+        ds = make_trial({"a": [1.0], "b": [2.0]})
+        assert {s.event for s in all_event_statistics(ds)} == {"a", "b"}
+
+
+class TestMatrixAndGroups:
+    def test_thread_metric_matrix(self):
+        ds = make_trial({"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        matrix, names = thread_metric_matrix(ds)
+        assert matrix.shape == (2, 2)
+        assert matrix[1, names.index("b")] == 4.0
+
+    def test_group_breakdown(self):
+        ds = DataSource()
+        ds.add_metric("TIME")
+        t = ds.add_thread(0, 0, 0)
+        for name, g, v in [
+            ("solve", group.COMPUTATION, 70.0),
+            ("MPI_Send()", group.COMMUNICATION, 20.0),
+            ("write", group.IO, 10.0),
+        ]:
+            fp = t.get_or_create_function_profile(ds.add_interval_event(name, g))
+            fp.set_exclusive(0, v)
+            fp.set_inclusive(0, v)
+        breakdown = group_breakdown(ds)
+        assert breakdown[group.COMPUTATION] == 70.0
+        assert breakdown[group.IO] == 10.0
+
+    def test_load_imbalance(self):
+        ds = make_trial({"main": [100.0, 100.0, 100.0, 140.0]})
+        assert load_imbalance(ds) == pytest.approx(140.0 / 110.0)
+
+
+class TestSpeedupAnalyzer:
+    def _perfect_scaling(self):
+        an = SpeedupAnalyzer()
+        for p in (1, 2, 4):
+            an.add_trial(p, make_trial({"work": [100.0 / p] * p}))
+        return an
+
+    def test_linear_speedup(self):
+        an = self._perfect_scaling()
+        (curve,) = an.analyze(["work"])
+        assert [pt.mean for pt in curve.points] == pytest.approx([1.0, 2.0, 4.0])
+        assert curve.classify() == "scalable"
+
+    def test_min_max_spread_from_imbalance(self):
+        an = SpeedupAnalyzer()
+        an.add_trial(1, make_trial({"work": [100.0]}))
+        an.add_trial(4, make_trial({"work": [20.0, 25.0, 25.0, 30.0]}))
+        (curve,) = an.analyze(["work"])
+        point = curve.points[-1]
+        assert point.minimum == pytest.approx(100.0 / 30.0)
+        assert point.maximum == pytest.approx(100.0 / 20.0)
+        assert point.minimum < point.mean < point.maximum
+
+    def test_serial_routine_saturates(self):
+        an = SpeedupAnalyzer()
+        for p in (1, 2, 4, 8):
+            an.add_trial(p, make_trial({"serial": [50.0] * p}))
+        (curve,) = an.analyze()
+        assert curve.points[-1].mean == pytest.approx(1.0)
+        assert curve.classify() == "saturating"
+
+    def test_degrading_routine(self):
+        an = SpeedupAnalyzer()
+        an.add_trial(1, make_trial({"comm": [10.0]}))
+        an.add_trial(2, make_trial({"comm": [8.0] * 2}))
+        an.add_trial(4, make_trial({"comm": [20.0] * 4}))
+        (curve,) = an.analyze()
+        assert curve.classify() == "degrading"
+
+    def test_efficiency(self):
+        an = self._perfect_scaling()
+        (curve,) = an.analyze()
+        assert curve.points[-1].efficiency == pytest.approx(1.0)
+
+    def test_routine_missing_in_larger_run_skipped(self):
+        an = SpeedupAnalyzer()
+        an.add_trial(1, make_trial({"a": [10.0], "b": [5.0]}))
+        an.add_trial(2, make_trial({"a": [5.0, 5.0]}))
+        curves = {c.event: c for c in an.analyze()}
+        assert len(curves["b"].points) == 1  # only the baseline point
+
+    def test_application_speedup(self):
+        an = self._perfect_scaling()
+        points = an.application_speedup()
+        assert points[-1].mean == pytest.approx(4.0)
+
+    def test_duplicate_processor_count_rejected(self):
+        an = SpeedupAnalyzer()
+        an.add_trial(2, make_trial({"a": [1.0, 1.0]}))
+        with pytest.raises(ValueError):
+            an.add_trial(2, make_trial({"a": [1.0, 1.0]}))
+
+    def test_single_trial_rejected(self):
+        an = SpeedupAnalyzer()
+        an.add_trial(1, make_trial({"a": [1.0]}))
+        with pytest.raises(ValueError, match=">= 2"):
+            an.analyze()
+
+    def test_report_contains_min_mean_max(self):
+        an = self._perfect_scaling()
+        text = an.report()
+        assert "min" in text and "mean" in text and "max" in text
+        assert "work" in text
