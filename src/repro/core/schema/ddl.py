@@ -173,17 +173,44 @@ CREATE TABLE analysis_result (
 );
 """
 
+#: ``(statement, method)`` pairs; ``method`` is "hash" for pure-equality
+#: lookup columns or "btree" for columns serving range predicates and
+#: ORDER BY ... LIMIT (engines without USING support ignore the method).
 _INDEXES = (
-    "CREATE INDEX idx_experiment_app ON experiment (application)",
-    "CREATE INDEX idx_trial_experiment ON trial (experiment)",
-    "CREATE INDEX idx_metric_trial ON metric (trial)",
-    "CREATE INDEX idx_interval_event_trial ON interval_event (trial)",
-    "CREATE INDEX idx_ilp_event ON interval_location_profile (interval_event)",
-    "CREATE INDEX idx_ilp_metric ON interval_location_profile (metric)",
-    "CREATE INDEX idx_ilp_node ON interval_location_profile (node)",
-    "CREATE INDEX idx_atomic_event_trial ON atomic_event (trial)",
-    "CREATE INDEX idx_alp_event ON atomic_location_profile (atomic_event)",
-    "CREATE INDEX idx_result_settings ON analysis_result (settings)",
+    ("CREATE INDEX idx_experiment_app ON experiment (application)", "hash"),
+    ("CREATE INDEX idx_trial_experiment ON trial (experiment)", "btree"),
+    ("CREATE INDEX idx_metric_trial ON metric (trial)", "hash"),
+    ("CREATE INDEX idx_interval_event_trial ON interval_event (trial)", "hash"),
+    (
+        "CREATE INDEX idx_ilp_event_metric "
+        "ON interval_location_profile (interval_event, metric)",
+        "btree",
+    ),
+    ("CREATE INDEX idx_ilp_metric ON interval_location_profile (metric)", "hash"),
+    ("CREATE INDEX idx_ilp_node ON interval_location_profile (node)", "btree"),
+    (
+        "CREATE INDEX idx_ilp_exclusive "
+        "ON interval_location_profile (exclusive)",
+        "btree",
+    ),
+    (
+        "CREATE INDEX idx_its_exclusive "
+        "ON interval_total_summary (exclusive)",
+        "btree",
+    ),
+    (
+        "CREATE INDEX idx_ims_exclusive "
+        "ON interval_mean_summary (exclusive)",
+        "btree",
+    ),
+    (
+        "CREATE INDEX idx_ims_inclusive "
+        "ON interval_mean_summary (inclusive)",
+        "btree",
+    ),
+    ("CREATE INDEX idx_atomic_event_trial ON atomic_event (trial)", "hash"),
+    ("CREATE INDEX idx_alp_event ON atomic_location_profile (atomic_event)", "hash"),
+    ("CREATE INDEX idx_result_settings ON analysis_result (settings)", "hash"),
 )
 
 TABLE_NAMES = (
@@ -209,7 +236,10 @@ def render_ddl(dialect: Dialect | str, with_indexes: bool = True) -> str:
     )
     statements = [text]
     if with_indexes:
-        statements.extend(stmt + ";" for stmt in _INDEXES)
+        for stmt, method in _INDEXES:
+            if dialect.supports_index_method and method != "hash":
+                stmt = f"{stmt} USING {method.upper()}"
+            statements.append(stmt + ";")
     return "\n".join(statements)
 
 

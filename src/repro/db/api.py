@@ -168,6 +168,22 @@ class DBConnection:
             cursor = self._raw.execute(sql, tuple(params))
             return cursor.lastrowid
 
+    def stats(self) -> dict[str, int]:
+        """Access-path counters (rows scanned vs. via index).
+
+        Only the minisql backend instruments its planner; sqlite returns
+        an empty dict so callers can probe either engine uniformly.
+        """
+        if self.backend == "minisql":
+            with self._lock:
+                return self._raw.stats()
+        return {}
+
+    def reset_stats(self) -> None:
+        if self.backend == "minisql":
+            with self._lock:
+                self._raw.reset_stats()
+
     def commit(self) -> None:
         with self._lock:
             self._raw.commit()

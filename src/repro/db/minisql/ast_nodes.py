@@ -186,6 +186,7 @@ class CreateIndex(Statement):
     columns: list[str]
     unique: bool = False
     if_not_exists: bool = False
+    using: str = "hash"  # "hash" (equality only) or "btree" (ordered)
 
 
 @dataclass

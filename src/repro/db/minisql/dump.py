@@ -35,6 +35,10 @@ def dump_sql(connection: Connection) -> Iterator[str]:
         index = table.indexes[index_name]
         unique = "UNIQUE " if index.unique else ""
         columns = ", ".join(index.column_names)
+        # The USING {HASH|BTREE} clause is deliberately dropped: dumps
+        # must restore into sqlite unchanged, so ordered indexes degrade
+        # to hash on a MiniSQL round-trip (results stay identical; only
+        # range-scan acceleration is lost until the index is recreated).
         yield (
             f"CREATE {unique}INDEX {index.name} ON {table.name} ({columns});"
         )

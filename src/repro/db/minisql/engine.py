@@ -16,6 +16,7 @@ autocommit.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Iterator, Optional, Sequence
 
 from .ast_nodes import (
@@ -32,6 +33,9 @@ threadsafety = 1
 paramstyle = "qmark"
 
 _MUTATING = (Insert, Update, Delete)
+
+#: Per-connection parsed-statement cache capacity (LRU-evicted).
+_STATEMENT_CACHE_SIZE = 512
 
 #: Shared in-memory databases, keyed by name — mirrors sqlite's
 #: ``file::memory:?cache=shared`` so several connections can see one DB
@@ -69,7 +73,7 @@ class Connection:
         self._database = database
         self._executor = Executor(database)
         self._closed = False
-        self._statement_cache: dict[str, list[Statement]] = {}
+        self._statement_cache: OrderedDict[str, list[Statement]] = OrderedDict()
         self._lock = threading.RLock()
         self.isolation_level = isolation_level  # None = autocommit
         self.in_transaction = False
@@ -126,6 +130,25 @@ class Connection:
                 self.in_transaction = False
                 self._database.txn_lock.release()
 
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the database's access-path counters.
+
+        ``rows_scanned`` counts every row produced by a base-table access
+        path (full scans charge the whole table); ``rows_via_index`` is
+        the subset that came through an index, so an indexed range query
+        shows rows-scanned proportional to its result, not the table.
+        Counters are shared by all connections to the same database.
+        """
+        self._check_open()
+        return dict(self._database.stats)
+
+    def reset_stats(self) -> None:
+        """Zero the access-path counters (benchmark bracketing helper)."""
+        self._check_open()
+        self._database.reset_stats()
+
     # -- cursors ---------------------------------------------------------------
 
     def cursor(self) -> "Cursor":
@@ -149,12 +172,15 @@ class Connection:
     # -- internals ----------------------------------------------------------------
 
     def _parse(self, sql: str) -> list[Statement]:
-        cached = self._statement_cache.get(sql)
+        cache = self._statement_cache
+        cached = cache.get(sql)
         if cached is None:
             cached = parse(sql)
-            if len(self._statement_cache) > 512:
-                self._statement_cache.clear()
-            self._statement_cache[sql] = cached
+            while len(cache) >= _STATEMENT_CACHE_SIZE:
+                cache.popitem(last=False)  # evict least recently used
+            cache[sql] = cached
+        else:
+            cache.move_to_end(sql)
         return cached
 
     def _run(self, statement: Statement, params: Sequence[Any], cursor: "Cursor") -> ResultSet:

@@ -7,11 +7,15 @@ project → distinct → compound → order → limit — with two optimisations
 that matter at PerfDMF scale:
 
 * **index pushdown**: top-level equality predicates in WHERE whose column
-  has a hash index turn the base-table scan into an index probe;
+  has a hash index turn the base-table scan into an index probe; range
+  predicates (``<``, ``<=``, ``>``, ``>=``, ``BETWEEN``) and
+  ``ORDER BY ... LIMIT`` route through ordered (``USING BTREE``) indexes;
 * **hash joins**: equi-join conditions build a hash table on the inner
   relation instead of running a nested loop.
 
-Both are exercised by the E7 ablation benchmarks.
+Access-path selection lives in :func:`_plan_access`; ``EXPLAIN`` reports
+its choice and ``Database.stats`` counts rows per path.  Both
+optimisations are exercised by the E7 ablation benchmarks.
 """
 
 from __future__ import annotations
@@ -20,11 +24,12 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from .ast_nodes import (
-    AlterTableAddColumn, AlterTableRename, BeginTransaction, BinaryOp,
-    ColumnDef, ColumnRef, CommitTransaction, CreateIndex, CreateTable,
-    Delete, DropIndex, DropTable, Expression, FunctionCall, InList, Insert,
-    Join, Literal, OrderItem, Placeholder, Pragma, RollbackTransaction,
-    Select, SelectItem, Star, Statement, Subquery, TableRef, Update,
+    AlterTableAddColumn, AlterTableRename, BeginTransaction, Between,
+    BinaryOp, ColumnDef, ColumnRef, CommitTransaction, CreateIndex,
+    CreateTable, Delete, DropIndex, DropTable, Expression, FunctionCall,
+    InList, Insert, Join, Literal, OrderItem, Placeholder, Pragma,
+    RollbackTransaction, Select, SelectItem, Star, Statement, Subquery,
+    TableRef, Update,
 )
 from .errors import (
     IntegrityError, NotSupportedError, OperationalError, ProgrammingError,
@@ -34,7 +39,7 @@ from .expr import (
     ref_name, truthy, walk,
 )
 from .functions import is_aggregate, make_aggregate
-from .storage import Column, Database, OMITTED, Table
+from .storage import Column, Database, Index, OMITTED, SortedIndex, Table
 from .types import sort_key
 
 
@@ -108,17 +113,12 @@ class Executor:
         if isinstance(inner, Select) and inner.table is not None:
             table = self.database.table(inner.table.name)
             conjuncts = _conjuncts(inner.where) if not inner.joins else []
-            probe = _find_index_probe(
-                table, inner.table.effective_name, conjuncts, params
+            order_by = inner.order_by if _can_push_order(inner) else []
+            plan = _plan_access(
+                table, inner.table.effective_name, conjuncts, order_by,
+                params, _select_alias_names(inner),
             )
-            if probe is not None:
-                index, _key = probe
-                steps.append(
-                    f"SEARCH {table.name} USING INDEX {index.name} "
-                    f"({', '.join(index.column_names)}=?)"
-                )
-            else:
-                steps.append(f"SCAN {table.name}")
+            steps.append(plan.describe(table))
             layout = _Layout.build(self.database, inner)
             offset = len(table.columns)
             for join in inner.joins:
@@ -139,7 +139,10 @@ class Executor:
             ):
                 steps.append("GROUP BY (hash aggregation)")
             if inner.order_by:
-                steps.append("ORDER BY (sort)")
+                steps.append(
+                    "ORDER BY (index order)" if plan.ordered
+                    else "ORDER BY (sort)"
+                )
             if inner.compound is not None:
                 steps.append(f"COMPOUND {inner.compound[0]}")
         elif isinstance(inner, Select):
@@ -213,7 +216,9 @@ class Executor:
             if stmt.if_not_exists:
                 return ResultSet([], [], rowcount=0)
             raise OperationalError(f"index {stmt.name} already exists")
-        self.database.create_index(stmt.name, stmt.table, stmt.columns, stmt.unique)
+        self.database.create_index(
+            stmt.name, stmt.table, stmt.columns, stmt.unique, using=stmt.using
+        )
         return ResultSet([], [], rowcount=0)
 
     def _execute_drop_index(self, stmt: DropIndex) -> ResultSet:
@@ -474,7 +479,7 @@ class Executor:
             return self._select_no_from(stmt, params)
 
         layout = _Layout.build(self.database, stmt)
-        raw_rows = self._produce_rows(stmt, layout, params)
+        raw_rows, plan = self._produce_rows(stmt, layout, params)
         context = RowContext(layout.resolution, layout.ambiguous)
 
         if stmt.where is not None:
@@ -491,7 +496,9 @@ class Executor:
         if is_grouped:
             columns, projected = self._grouped_select(stmt, layout, raw_rows, params)
         else:
-            columns, projected = self._plain_select(stmt, layout, raw_rows, params)
+            columns, projected = self._plain_select(
+                stmt, layout, raw_rows, params, presorted=plan.ordered
+            )
 
         if stmt.distinct:
             projected = _distinct(projected)
@@ -522,13 +529,18 @@ class Executor:
 
     def _produce_rows(
         self, stmt: Select, layout: "_Layout", params: Sequence[Any]
-    ) -> Iterator[list[Any]]:
+    ) -> tuple[Iterator[list[Any]], "_AccessPlan"]:
         assert stmt.table is not None
         base = self.database.table(stmt.table.name)
         base_alias = stmt.table.effective_name
 
         conjuncts = _conjuncts(stmt.where) if not stmt.joins else []
-        rows = self._scan_with_pushdown(base, base_alias, conjuncts, params)
+        order_by = stmt.order_by if _can_push_order(stmt) else []
+        plan = _plan_access(
+            base, base_alias, conjuncts, order_by, params,
+            _select_alias_names(stmt),
+        )
+        rows = self._iter_plan(base, plan)
 
         offset = len(base.columns)
         for join in stmt.joins:
@@ -537,24 +549,44 @@ class Executor:
                 rows, offset, inner_table, join, layout, params
             )
             offset += len(inner_table.columns)
-        return rows
+        return rows, plan
 
-    def _scan_with_pushdown(
-        self,
-        table: Table,
-        alias: str,
-        conjuncts: list[Expression],
-        params: Sequence[Any],
+    def _iter_plan(
+        self, table: Table, plan: "_AccessPlan"
     ) -> Iterator[list[Any]]:
-        """Scan ``table``; use a hash index when WHERE pins indexed columns."""
-        probe = _find_index_probe(table, alias, conjuncts, params)
-        if probe is not None:
-            index, key = probe
-            for rowid in sorted(index.lookup(key)):
-                yield list(table.rows[rowid])
-            return
-        for _rowid, row in table.scan():
-            yield list(row)
+        """Produce base-table rows along the planned access path,
+        charging row counts to the database's stats counters."""
+        stats = self.database.stats
+        rows = table.rows
+        if plan.kind == "eq":
+            stats["index_eq_probes"] += 1
+            rowids = sorted(plan.index.lookup(plan.key))
+            stats["rows_scanned"] += len(rowids)
+            stats["rows_via_index"] += len(rowids)
+            for rowid in rowids:
+                yield list(rows[rowid])
+        elif plan.kind == "range":
+            stats["index_range_scans"] += 1
+            if plan.ordered:
+                stats["order_pushdowns"] += 1
+            count = 0
+            try:
+                for rowid in plan.index.range_rowids(
+                    plan.prefix, plan.lo, plan.hi,
+                    descending=plan.descending,
+                    include_null=plan.include_null,
+                ):
+                    count += 1
+                    yield list(rows[rowid])
+            finally:
+                # finally so an early LIMIT stop still charges its rows
+                stats["rows_scanned"] += count
+                stats["rows_via_index"] += count
+        else:
+            stats["full_scans"] += 1
+            stats["rows_scanned"] += len(table)
+            for _rowid, row in table.scan():
+                yield list(row)
 
     def _join(
         self,
@@ -626,11 +658,24 @@ class Executor:
         layout: "_Layout",
         raw_rows: Iterator[list[Any]],
         params: Sequence[Any],
+        presorted: bool = False,
     ) -> tuple[list[str], list[tuple[Any, ...]]]:
         columns, exprs = _expand_items(stmt.items, layout)
         context = RowContext(layout.resolution, layout.ambiguous)
 
-        needs_order = bool(stmt.order_by) and stmt.compound is None
+        # ``presorted`` rows arrive in ORDER BY order straight from an
+        # ordered index: skip the sort and stop early once LIMIT+OFFSET
+        # rows have been projected (the index stops producing rows too).
+        needs_order = bool(stmt.order_by) and stmt.compound is None and not presorted
+        row_cap = None
+        if presorted and stmt.limit is not None:
+            limit = evaluate(stmt.limit, None, params)
+            if limit is not None and int(limit) >= 0:
+                offset = (
+                    evaluate(stmt.offset, None, params)
+                    if stmt.offset is not None else 0
+                )
+                row_cap = int(limit) + int(offset or 0)
         alias_map = {
             (item.alias or "").lower(): item.expr
             for item in stmt.items
@@ -651,6 +696,8 @@ class Executor:
                 )
                 order_keys.append(key)
             projected.append(values)
+            if row_cap is not None and len(projected) >= row_cap:
+                break
         if needs_order:
             paired = sorted(zip(order_keys, range(len(projected))), key=lambda p: p[0])
             projected = [projected[i] for _, i in paired]
@@ -762,7 +809,7 @@ class Executor:
                         value = evaluator.eval(expr)
                     k = sort_key(value)
                     order_key.append(
-                        (k[0], _Reversor(k[1])) if order.descending else k
+                        _Reversor(k) if order.descending else k
                     )
                 order_keys.append(tuple(order_key))
             results.append(values)
@@ -978,15 +1025,82 @@ def _conjuncts(expr: Optional[Expression]) -> list[Expression]:
     return [expr]
 
 
-def _find_index_probe(
+@dataclass
+class _AccessPlan:
+    """One chosen base-table access path.
+
+    ``kind`` is ``"scan"`` (every row), ``"eq"`` (hash-index probe on
+    ``key``), or ``"range"`` (ordered-index walk: equality on the
+    leading ``prefix`` columns, ``lo``/``hi`` bounds on the next one).
+    ``ordered`` marks that rows already satisfy the statement's ORDER BY
+    so the sort — and with a LIMIT, most of the scan — can be skipped.
+    """
+
+    kind: str
+    index: Optional[Index] = None
+    key: tuple = ()
+    prefix: tuple = ()
+    lo: Optional[tuple[Any, bool]] = None
+    hi: Optional[tuple[Any, bool]] = None
+    descending: bool = False
+    include_null: bool = False
+    ordered: bool = False
+
+    def describe(self, table: Table) -> str:
+        if self.kind == "eq":
+            assert self.index is not None
+            return (
+                f"SEARCH {table.name} USING INDEX {self.index.name} "
+                f"({', '.join(self.index.column_names)}=?)"
+            )
+        if self.kind == "range":
+            assert self.index is not None
+            names = self.index.column_names
+            parts = [f"{names[i]}=?" for i in range(len(self.prefix))]
+            if self.lo is not None or self.hi is not None:
+                bounded = names[len(self.prefix)]
+                if (
+                    self.lo is not None and self.hi is not None
+                    and self.lo[1] and self.hi[1]
+                ):
+                    parts.append(f"{bounded} BETWEEN ? AND ?")
+                else:
+                    if self.lo is not None:
+                        parts.append(f"{bounded}>{'=' if self.lo[1] else ''}?")
+                    if self.hi is not None:
+                        parts.append(f"{bounded}<{'=' if self.hi[1] else ''}?")
+            detail = ", ".join(parts) if parts else "ORDER BY pushdown"
+            return (
+                f"SEARCH {table.name} USING ORDERED INDEX "
+                f"{self.index.name} ({detail})"
+            )
+        return f"SCAN {table.name}"
+
+
+def _can_push_order(stmt: Select) -> bool:
+    """ORDER BY may stream from an ordered index only for plain
+    single-table selects: joins reorder rows, grouping/distinct/compound
+    materialise, and each sorts (or re-orders) on its own."""
+    if not stmt.order_by or stmt.joins or stmt.compound is not None:
+        return False
+    if stmt.distinct or stmt.group_by or stmt.having is not None:
+        return False
+    return not any(contains_aggregate(item.expr) for item in stmt.items)
+
+
+def _select_alias_names(stmt: Select) -> frozenset[str]:
+    return frozenset(
+        item.alias.lower() for item in stmt.items if item.alias
+    )
+
+
+def _pinned_eq(
     table: Table,
     alias: str,
     conjuncts: list[Expression],
     params: Sequence[Any],
-) -> Optional[tuple[Any, tuple[Any, ...]]]:
-    """Match ``col = constant`` conjuncts against available indexes."""
-    if not table.indexes or not conjuncts:
-        return None
+) -> dict[str, Any]:
+    """Columns pinned by a ``col = constant`` conjunct, with values."""
     pinned: dict[str, Any] = {}
     alias_lower = alias.lower()
     table_lower = table.name.lower()
@@ -1012,16 +1126,230 @@ def _find_index_probe(
                 continue
             pinned[col_side.name.lower()] = value
             break
-    if not pinned:
-        return None
-    best: Optional[tuple[Any, tuple[Any, ...]]] = None
+    return pinned
+
+
+_NORMALISED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _tighter_lo(a: tuple[Any, bool], b: tuple[Any, bool]) -> bool:
+    ka, kb = sort_key(a[0]), sort_key(b[0])
+    if ka != kb:
+        return ka > kb
+    return b[1] and not a[1]
+
+
+def _tighter_hi(a: tuple[Any, bool], b: tuple[Any, bool]) -> bool:
+    ka, kb = sort_key(a[0]), sort_key(b[0])
+    if ka != kb:
+        return ka < kb
+    return b[1] and not a[1]
+
+
+def _range_bounds(
+    table: Table,
+    alias: str,
+    conjuncts: list[Expression],
+    params: Sequence[Any],
+) -> dict[str, list[Optional[tuple[Any, bool]]]]:
+    """Columns bounded by ``<``/``<=``/``>``/``>=``/``BETWEEN`` against a
+    constant, as ``name -> [lo, hi]`` with ``(value, inclusive)`` bounds.
+
+    Bounds only *narrow* the scan; WHERE is re-applied in full afterwards,
+    so collecting a subset (or a looser bound) is always safe.
+    """
+    alias_lower = alias.lower()
+    table_lower = table.name.lower()
+
+    def column_of(expr: Expression) -> Optional[str]:
+        if not isinstance(expr, ColumnRef):
+            return None
+        if expr.table is not None and expr.table.lower() not in (
+            alias_lower, table_lower,
+        ):
+            return None
+        if not table.has_column(expr.name):
+            return None
+        return expr.name.lower()
+
+    def constant_of(expr: Expression) -> Any:
+        if not isinstance(expr, (Literal, Placeholder)):
+            return None
+        return evaluate(expr, None, params)
+
+    bounds: dict[str, list[Optional[tuple[Any, bool]]]] = {}
+
+    def add(name: str, lo: Optional[tuple[Any, bool]],
+            hi: Optional[tuple[Any, bool]]) -> None:
+        entry = bounds.setdefault(name, [None, None])
+        if lo is not None and (entry[0] is None or _tighter_lo(lo, entry[0])):
+            entry[0] = lo
+        if hi is not None and (entry[1] is None or _tighter_hi(hi, entry[1])):
+            entry[1] = hi
+
+    for conjunct in conjuncts:
+        if isinstance(conjunct, BinaryOp) and conjunct.op in _NORMALISED_OP:
+            op = conjunct.op
+            name = column_of(conjunct.left)
+            const_expr = conjunct.right
+            if name is None:
+                name = column_of(conjunct.right)
+                if name is None:
+                    continue
+                const_expr = conjunct.left
+                op = _NORMALISED_OP[op]  # "3 < col" means "col > 3"
+            value = constant_of(const_expr)
+            if value is None:
+                continue  # comparisons against NULL match nothing anyway
+            if op in (">", ">="):
+                add(name, (value, op == ">="), None)
+            else:
+                add(name, None, (value, op == "<="))
+        elif isinstance(conjunct, Between) and not conjunct.negated:
+            name = column_of(conjunct.operand)
+            if name is None:
+                continue
+            low = constant_of(conjunct.low)
+            high = constant_of(conjunct.high)
+            if low is None or high is None:
+                continue
+            add(name, (low, True), (high, True))
+    return bounds
+
+
+def _order_match(
+    order_by: list[OrderItem],
+    index: Index,
+    start: int,
+    alias: str,
+    table: Table,
+    pinned: dict[str, Any],
+    alias_names: frozenset[str],
+) -> tuple[bool, bool]:
+    """Does walking ``index`` from column ``start`` (leading columns held
+    equal) yield rows in ORDER BY order?  Returns (matched, descending).
+
+    Equality-pinned columns are constant across matching rows, so they
+    satisfy any position and direction.  Select-list aliases may shadow a
+    column name with an arbitrary expression — those always bail.
+    """
+    if not order_by:
+        return False, False
+    names = [n.lower() for n in index.column_names]
+    alias_lower = alias.lower()
+    table_lower = table.name.lower()
+    position = start
+    direction: Optional[bool] = None
+    for item in order_by:
+        expr = item.expr
+        if not isinstance(expr, ColumnRef):
+            return False, False
+        name = expr.name.lower()
+        if expr.table is None and name in alias_names:
+            return False, False
+        if expr.table is not None and expr.table.lower() not in (
+            alias_lower, table_lower,
+        ):
+            return False, False
+        if not table.has_column(name):
+            return False, False
+        if name in pinned:
+            continue
+        if position >= len(names) or names[position] != name:
+            return False, False
+        if direction is None:
+            direction = bool(item.descending)
+        elif bool(item.descending) != direction:
+            return False, False
+        position += 1
+    return True, bool(direction)
+
+
+def _plan_access(
+    table: Table,
+    alias: str,
+    conjuncts: list[Expression],
+    order_by: list[OrderItem],
+    params: Sequence[Any],
+    alias_names: frozenset[str] = frozenset(),
+) -> _AccessPlan:
+    """Choose the base-table access path.
+
+    Selection rules, in order:
+
+    1. a hash (or ordered) index whose *every* column is pinned by an
+       equality conjunct — exact probe, longest key wins;
+    2. an ordered index with the longest equality-pinned leading prefix,
+       optionally bounded on the following column by range conjuncts;
+       ties prefer more bounds, then ORDER BY satisfaction;
+    3. an ordered index whose column order satisfies ORDER BY (pure
+       pushdown: with a LIMIT the scan stops after limit+offset rows);
+    4. full table scan.
+    """
+    if not table.indexes:
+        return _AccessPlan("scan")
+    pinned = _pinned_eq(table, alias, conjuncts, params)
+
+    best_eq: Optional[Index] = None
+    if pinned:
+        for index in table.indexes.values():
+            names = [n.lower() for n in index.column_names]
+            if all(n in pinned for n in names):
+                if best_eq is None or len(names) > len(best_eq.column_names):
+                    best_eq = index
+    if best_eq is not None:
+        key = tuple(pinned[n.lower()] for n in best_eq.column_names)
+        return _AccessPlan("eq", index=best_eq, key=key)
+
+    ranges = _range_bounds(table, alias, conjuncts, params)
+    best: Optional[tuple[tuple[int, int, int], _AccessPlan]] = None
     for index in table.indexes.values():
+        if not isinstance(index, SortedIndex):
+            continue
         names = [n.lower() for n in index.column_names]
-        if all(n in pinned for n in names):
-            key = tuple(pinned[n] for n in names)
-            if best is None or len(names) > len(best[1]):
-                best = (index, key)
-    return best
+        prefix_len = 0
+        while prefix_len < len(names) and names[prefix_len] in pinned:
+            prefix_len += 1
+        lo = hi = None
+        if prefix_len < len(names) and names[prefix_len] in ranges:
+            lo, hi = ranges[names[prefix_len]]
+        if prefix_len == 0 and lo is None and hi is None:
+            continue
+        ordered, descending = _order_match(
+            order_by, index, prefix_len, alias, table, pinned, alias_names
+        )
+        score = (
+            prefix_len,
+            int(lo is not None) + int(hi is not None),
+            int(ordered),
+        )
+        plan = _AccessPlan(
+            "range",
+            index=index,
+            prefix=tuple(pinned[n] for n in names[:prefix_len]),
+            lo=lo,
+            hi=hi,
+            descending=descending,
+            include_null=lo is None and hi is None,
+            ordered=ordered,
+        )
+        if best is None or score > best[0]:
+            best = (score, plan)
+    if best is not None:
+        return best[1]
+
+    for index in table.indexes.values():
+        if not isinstance(index, SortedIndex):
+            continue
+        ordered, descending = _order_match(
+            order_by, index, 0, alias, table, pinned, alias_names
+        )
+        if ordered:
+            return _AccessPlan(
+                "range", index=index, descending=descending,
+                include_null=True, ordered=True,
+            )
+    return _AccessPlan("scan")
 
 
 def _find_equi_key(
@@ -1251,7 +1579,7 @@ def _order_key_for_row(
                 else:
                     raise
         k = sort_key(value)
-        key.append((k[0], _Reversor(k[1])) if order.descending else k)
+        key.append(_Reversor(k) if order.descending else k)
     return tuple(key)
 
 
@@ -1280,7 +1608,7 @@ def _order_projected(
             if not 0 <= index < len(row):
                 raise ProgrammingError(f"ORDER BY position {index + 1} out of range")
             k = sort_key(row[index])
-            key.append((k[0], _Reversor(k[1])) if order.descending else k)
+            key.append(_Reversor(k) if order.descending else k)
         return tuple(key)
 
     return sorted(rows, key=key_fn)

@@ -321,9 +321,15 @@ class Parser:
         self.expect_keyword("ON")
         table = self.expect_identifier("table name")
         columns = self._parse_paren_name_list()
+        using = "hash"
+        if self.accept_keyword("USING"):
+            method = self.expect_identifier("index method").upper()
+            if method not in ("HASH", "BTREE"):
+                self.error("expected HASH or BTREE after USING")
+            using = method.lower()
         return CreateIndex(
             name=name, table=table, columns=columns,
-            unique=unique, if_not_exists=if_not_exists,
+            unique=unique, if_not_exists=if_not_exists, using=using,
         )
 
     def parse_drop(self) -> Statement:

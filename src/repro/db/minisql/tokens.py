@@ -36,7 +36,7 @@ KEYWORDS = frozenset(
         "INTEGER", "INT", "BIGINT", "SMALLINT", "REAL", "DOUBLE",
         "FLOAT", "PRECISION", "TEXT", "VARCHAR", "CHAR", "BOOLEAN",
         "BLOB", "NUMERIC", "DECIMAL", "TRUE", "FALSE", "ALTER",
-        "ADD", "COLUMN", "RENAME", "TO", "PRAGMA", "EXPLAIN",
+        "ADD", "COLUMN", "RENAME", "TO", "PRAGMA", "EXPLAIN", "USING",
         "COUNT", "SUM", "AVG", "MIN", "MAX",
     }
 )

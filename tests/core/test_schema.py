@@ -94,5 +94,15 @@ class TestDDLGeneration:
 
     def test_statement_splitting(self):
         statements = ddl_statements("sqlite")
-        assert len(statements) == len(TABLE_NAMES) + 10  # tables + indexes
+        assert len(statements) == len(TABLE_NAMES) + 14  # tables + indexes
         assert all(not s.endswith(";") for s in statements)
+
+    def test_minisql_gets_ordered_indexes(self):
+        text = render_ddl("minisql")
+        assert "ON trial (experiment) USING BTREE" in text
+        assert (
+            "ON interval_location_profile (interval_event, metric) USING BTREE"
+            in text
+        )
+        # sqlite (every index is already a b-tree) must not see the clause
+        assert "USING" not in render_ddl("sqlite")

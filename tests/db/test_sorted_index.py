@@ -1,0 +1,301 @@
+"""Tests for MiniSQL's ordered (BTREE) indexes and the access planner.
+
+Covers the ``CREATE INDEX ... USING {HASH|BTREE}`` syntax, range-scan
+correctness against brute force, ORDER BY ... LIMIT pushdown, planner
+statistics (rows scanned must be proportional to the result, not the
+table), and index maintenance under UPDATE/DELETE.
+"""
+
+import random
+
+import pytest
+
+from repro.db import minisql
+from repro.db.minisql.storage import Index, SortedIndex
+
+
+@pytest.fixture
+def conn():
+    c = minisql.connect()
+    yield c
+    c.close()
+
+
+@pytest.fixture
+def loaded(conn):
+    """1000 rows, btree on v, composite btree on (k, v)."""
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v REAL)")
+    conn.execute("CREATE INDEX idx_v ON t (v) USING BTREE")
+    conn.execute("CREATE INDEX idx_kv ON t (k, v) USING BTREE")
+    rng = random.Random(42)
+    rows = [(i % 7, rng.uniform(0, 1000)) for i in range(990)]
+    rows += [(i % 7, None) for i in range(10)]  # NULLs in the indexed column
+    conn.executemany("INSERT INTO t (k, v) VALUES (?, ?)", rows)
+    conn.reset_stats()
+    return conn
+
+
+def plan(conn, sql, params=()):
+    return [row[1] for row in conn.execute(f"EXPLAIN {sql}", params).fetchall()]
+
+
+def brute(conn, predicate):
+    rows = conn.execute("SELECT id, k, v FROM t").fetchall()
+    return sorted(r[0] for r in rows if r[2] is not None and predicate(r[2]))
+
+
+class TestUsingSyntax:
+    def test_using_btree_builds_sorted_index(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("CREATE INDEX i ON t (a) USING BTREE")
+        index = conn._database.tables["t"].indexes["i"]
+        assert isinstance(index, SortedIndex)
+        assert index.method == "btree"
+
+    def test_using_hash_and_default_are_hash(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        conn.execute("CREATE INDEX i1 ON t (a) USING HASH")
+        conn.execute("CREATE INDEX i2 ON t (b)")
+        table = conn._database.tables["t"]
+        for name in ("i1", "i2"):
+            index = table.indexes[name]
+            assert type(index) is Index
+            assert index.method == "hash"
+
+    def test_unknown_method_rejected(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(minisql.ProgrammingError, match="HASH or BTREE"):
+            conn.execute("CREATE INDEX i ON t (a) USING RTREE")
+
+    def test_unique_btree_enforced(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("CREATE UNIQUE INDEX i ON t (a) USING BTREE")
+        conn.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(minisql.IntegrityError):
+            conn.execute("INSERT INTO t VALUES (1)")
+
+
+class TestRangeCorrectness:
+    @pytest.mark.parametrize(
+        "op, pred",
+        [
+            ("<", lambda v: v < 500.0),
+            ("<=", lambda v: v <= 500.0),
+            (">", lambda v: v > 500.0),
+            (">=", lambda v: v >= 500.0),
+        ],
+    )
+    def test_single_bound_matches_brute_force(self, loaded, op, pred):
+        got = loaded.execute(
+            f"SELECT id FROM t WHERE v {op} 500.0"
+        ).fetchall()
+        assert sorted(r[0] for r in got) == brute(loaded, pred)
+
+    def test_between_matches_brute_force(self, loaded):
+        got = loaded.execute(
+            "SELECT id FROM t WHERE v BETWEEN ? AND ?", (200.0, 300.0)
+        ).fetchall()
+        assert sorted(r[0] for r in got) == brute(
+            loaded, lambda v: 200.0 <= v <= 300.0
+        )
+
+    def test_range_excludes_nulls(self, loaded):
+        # SQL three-valued logic: NULL > anything is not true.
+        got = loaded.execute("SELECT v FROM t WHERE v > -1e18").fetchall()
+        assert len(got) == 990
+        assert all(r[0] is not None for r in got)
+
+    def test_prefix_plus_range_on_composite(self, loaded):
+        got = loaded.execute(
+            "SELECT id FROM t WHERE k = 3 AND v > 400.0"
+        ).fetchall()
+        rows = loaded.execute("SELECT id, k, v FROM t").fetchall()
+        want = sorted(
+            r[0] for r in rows
+            if r[1] == 3 and r[2] is not None and r[2] > 400.0
+        )
+        assert sorted(r[0] for r in got) == want
+
+    def test_prefix_only_block_keeps_null_rows(self, loaded):
+        # k = 3 pins the prefix; rows where v IS NULL must still appear.
+        got = loaded.execute("SELECT id, v FROM t WHERE k = 3").fetchall()
+        rows = loaded.execute("SELECT id, k, v FROM t").fetchall()
+        assert sorted(r[0] for r in got) == sorted(
+            r[0] for r in rows if r[1] == 3
+        )
+        assert any(r[1] is None for r in got)
+
+    def test_residual_predicate_still_applied(self, loaded):
+        # Only v's bounds go to the index; the k filter must be re-applied.
+        got = loaded.execute(
+            "SELECT id FROM t WHERE v > 500.0 AND k <> 0"
+        ).fetchall()
+        rows = loaded.execute("SELECT id, k, v FROM t").fetchall()
+        want = sorted(
+            r[0] for r in rows
+            if r[2] is not None and r[2] > 500.0 and r[1] != 0
+        )
+        assert sorted(r[0] for r in got) == want
+
+
+class TestExplainAndStats:
+    def test_explain_reports_range_scan(self, loaded):
+        steps = plan(loaded, "SELECT * FROM t WHERE v > ?", (990.0,))
+        assert steps[0] == "SEARCH t USING ORDERED INDEX idx_v (v>?)"
+
+    def test_explain_reports_between(self, loaded):
+        steps = plan(loaded, "SELECT * FROM t WHERE v BETWEEN 1 AND 2")
+        assert "v BETWEEN ? AND ?" in steps[0]
+
+    def test_explain_composite_prefix_and_bound(self, loaded):
+        steps = plan(loaded, "SELECT * FROM t WHERE k = 3 AND v > 1.0")
+        assert steps[0] == (
+            "SEARCH t USING ORDERED INDEX idx_kv (k=?, v>?)"
+        )
+
+    def test_hash_index_still_used_for_equality(self, conn):
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        conn.execute("CREATE INDEX i ON t (a)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        steps = plan(conn, "SELECT * FROM t WHERE a = 1")
+        assert steps[0].startswith("SEARCH t USING INDEX i")
+
+    def test_rows_scanned_proportional_to_result(self, loaded):
+        rows = loaded.execute(
+            "SELECT id FROM t WHERE v BETWEEN 100.0 AND 120.0"
+        ).fetchall()
+        stats = loaded.stats()
+        assert stats["full_scans"] == 0
+        assert stats["index_range_scans"] >= 1
+        assert 0 < stats["rows_scanned"] < 200
+        assert stats["rows_scanned"] >= len(rows)
+
+    def test_full_scan_counts_whole_table(self, loaded):
+        loaded.execute("SELECT count(*) FROM t WHERE k + 0 = 1").fetchall()
+        stats = loaded.stats()
+        assert stats["full_scans"] == 1
+        assert stats["rows_scanned"] == 1000
+
+    def test_reset_stats(self, loaded):
+        loaded.execute("SELECT * FROM t WHERE v > 999.0").fetchall()
+        assert loaded.stats()["index_range_scans"] == 1
+        loaded.reset_stats()
+        assert all(v == 0 for v in loaded.stats().values())
+
+
+class TestOrderPushdown:
+    def test_top_n_matches_sort(self, loaded):
+        pushed = loaded.execute(
+            "SELECT id, v FROM t ORDER BY v LIMIT 10"
+        ).fetchall()
+        rows = loaded.execute("SELECT id, v FROM t").fetchall()
+        want = sorted(
+            (r for r in rows if r[1] is not None), key=lambda r: r[1]
+        )
+        # NULLs sort first ascending, so brute force must include them
+        nulls = [r for r in rows if r[1] is None]
+        assert pushed == (nulls + want)[:10]
+
+    def test_top_n_descending(self, loaded):
+        pushed = loaded.execute(
+            "SELECT v FROM t ORDER BY v DESC LIMIT 5"
+        ).fetchall()
+        rows = [r[0] for r in loaded.execute("SELECT v FROM t").fetchall()]
+        want = sorted((v for v in rows if v is not None), reverse=True)[:5]
+        assert [r[0] for r in pushed] == want
+
+    def test_explain_shows_index_order(self, loaded):
+        steps = plan(loaded, "SELECT * FROM t ORDER BY v LIMIT 3")
+        assert steps[0] == (
+            "SEARCH t USING ORDERED INDEX idx_v (ORDER BY pushdown)"
+        )
+        assert "ORDER BY (index order)" in steps
+
+    def test_pushdown_stops_early(self, loaded):
+        loaded.execute("SELECT v FROM t ORDER BY v DESC LIMIT 5").fetchall()
+        stats = loaded.stats()
+        assert stats["order_pushdowns"] == 1
+        assert stats["rows_scanned"] <= 20  # NULL tail + 5, not 1000
+
+    def test_range_plus_matching_order(self, loaded):
+        got = loaded.execute(
+            "SELECT v FROM t WHERE v > 900.0 ORDER BY v LIMIT 4"
+        ).fetchall()
+        rows = [r[0] for r in loaded.execute("SELECT v FROM t").fetchall()]
+        want = sorted(v for v in rows if v is not None and v > 900.0)[:4]
+        assert [r[0] for r in got] == want
+
+    def test_alias_shadowing_disables_pushdown(self, loaded):
+        # `-v AS v` reverses the meaning of the ORDER BY column: the
+        # planner must not claim index order.
+        steps = plan(loaded, "SELECT -v AS v FROM t ORDER BY v LIMIT 3")
+        assert "ORDER BY (sort)" in steps
+        got = loaded.execute(
+            "SELECT -v AS v FROM t WHERE v IS NOT NULL ORDER BY v LIMIT 3"
+        ).fetchall()
+        rows = [r[0] for r in loaded.execute("SELECT v FROM t").fetchall()]
+        want = sorted(-v for v in rows if v is not None)[:3]
+        assert [r[0] for r in got] == want
+
+
+class TestMaintenance:
+    def test_update_moves_row_between_ranges(self, loaded):
+        loaded.execute("UPDATE t SET v = 2000.0 WHERE id = 1")
+        got = loaded.execute("SELECT id FROM t WHERE v > 1500.0").fetchall()
+        assert [r[0] for r in got] == [1]
+        assert (1,) not in loaded.execute(
+            "SELECT id FROM t WHERE v <= 1500.0"
+        ).fetchall()
+
+    def test_delete_removes_from_range(self, loaded):
+        ids = [
+            r[0]
+            for r in loaded.execute(
+                "SELECT id FROM t WHERE v > 500.0"
+            ).fetchall()
+        ]
+        loaded.execute("DELETE FROM t WHERE v > 500.0")
+        assert loaded.execute("SELECT id FROM t WHERE v > 500.0").fetchall() == []
+        remaining = {r[0] for r in loaded.execute("SELECT id FROM t").fetchall()}
+        assert remaining.isdisjoint(ids)
+
+    def test_out_of_order_inserts_stay_sorted(self, conn):
+        conn.execute("CREATE TABLE t (v INTEGER)")
+        conn.execute("CREATE INDEX i ON t (v) USING BTREE")
+        values = [5, 1, 9, 3, 7, 2, 8, 0, 6, 4]
+        conn.executemany("INSERT INTO t VALUES (?)", [(v,) for v in values])
+        got = conn.execute("SELECT v FROM t WHERE v >= 3 ORDER BY v").fetchall()
+        assert [r[0] for r in got] == [3, 4, 5, 6, 7, 8, 9]
+
+    def test_rollback_restores_index(self, loaded):
+        before = loaded.execute("SELECT id FROM t WHERE v > 900.0").fetchall()
+        loaded.commit()
+        loaded.execute("UPDATE t SET v = NULL WHERE v > 900.0")
+        loaded.rollback()
+        after = loaded.execute("SELECT id FROM t WHERE v > 900.0").fetchall()
+        assert sorted(after) == sorted(before)
+
+
+class TestStatementCacheLRU:
+    def test_recently_used_survives_eviction(self, conn):
+        from repro.db.minisql.engine import _STATEMENT_CACHE_SIZE
+
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        hot = "SELECT a FROM t WHERE a = 0"
+        conn.execute(hot)
+        # Fill the cache; touch the hot statement midway to refresh it.
+        for i in range(_STATEMENT_CACHE_SIZE - 2):
+            conn.execute(f"SELECT a FROM t WHERE a = {i + 1000}")
+            if i == _STATEMENT_CACHE_SIZE // 2:
+                conn.execute(hot)
+        conn.execute("SELECT a FROM t WHERE a = -1")  # evicts one entry
+        assert hot in conn._statement_cache
+        assert len(conn._statement_cache) <= _STATEMENT_CACHE_SIZE
+
+    def test_cache_never_exceeds_limit(self, conn):
+        from repro.db.minisql.engine import _STATEMENT_CACHE_SIZE
+
+        conn.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(_STATEMENT_CACHE_SIZE + 50):
+            conn.execute(f"SELECT a FROM t WHERE a = {i}")
+        assert len(conn._statement_cache) <= _STATEMENT_CACHE_SIZE

@@ -1,0 +1,239 @@
+"""Differential SQL conformance harness: sqlite vs. MiniSQL.
+
+One corpus of DDL/DML/SELECT statements runs against both runnable
+backends through :mod:`repro.db.api` — the same route PerfDMF's session
+layer uses — and every SELECT must return row-for-row identical results.
+This is the conformance gate for planner work: any index or access-path
+change that alters *results* (not just speed) fails here.
+
+The corpus deliberately avoids the two documented engine divergences
+(integer division of non-multiples, and comparisons between numeric
+strings and numbers); everything else — joins, aggregates, ORDER BY
+with NULLs and DESC, LIMIT/OFFSET, compound selects, constraint
+violations — is fair game.
+"""
+
+import math
+
+import pytest
+
+from repro.db.api import IntegrityError, connect
+
+# Each entry is (sql, params).  SELECTs are compared row-for-row;
+# statements wrapped in Err(...) must raise IntegrityError on BOTH
+# backends and leave both databases in the same state.
+
+
+class Err:
+    """Marks a statement expected to raise IntegrityError on both engines."""
+
+    def __init__(self, sql, params=()):
+        self.sql = sql
+        self.params = params
+
+
+CORPUS = [
+    # --- DDL -------------------------------------------------------------
+    ("CREATE TABLE dept (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+     "name TEXT NOT NULL UNIQUE, budget REAL)", ()),
+    ("CREATE TABLE emp (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+     "name TEXT NOT NULL, dept_id INTEGER REFERENCES dept(id), "
+     "salary REAL, bonus REAL, hired TEXT, "
+     "UNIQUE (name, dept_id))", ()),
+    ("CREATE INDEX idx_emp_dept ON emp (dept_id)", ()),
+    ("CREATE INDEX idx_emp_salary ON emp (salary)", ()),
+    # --- DML -------------------------------------------------------------
+    ("INSERT INTO dept (name, budget) VALUES (?, ?)", ("eng", 1000.0)),
+    ("INSERT INTO dept (name, budget) VALUES (?, ?)", ("ops", 500.0)),
+    ("INSERT INTO dept (name, budget) VALUES (?, ?)", ("hr", None)),
+    ("INSERT INTO emp (name, dept_id, salary, bonus, hired) VALUES "
+     "('ada', 1, 120.0, 10.0, '2001-01-01'), "
+     "('bob', 1, 80.0, NULL, '2002-02-02'), "
+     "('cyd', 2, 95.5, 5.0, '2003-03-03'), "
+     "('dee', 2, 80.0, 2.5, '2004-04-04'), "
+     "('eli', NULL, NULL, NULL, NULL), "
+     "('fay', 3, 60.25, 1.0, '2005-05-05')", ()),
+    # constraint violations must fail identically and change nothing
+    Err("INSERT INTO dept (name) VALUES ('eng')"),
+    Err("INSERT INTO emp (name, dept_id) VALUES ('ada', 1)"),
+    Err("INSERT INTO emp (name) VALUES (NULL)"),
+    Err("INSERT INTO dept (id, name) VALUES (1, 'dup-pk')"),
+    ("SELECT count(*) FROM dept", ()),
+    ("SELECT count(*) FROM emp", ()),
+    # --- basic SELECT / WHERE -------------------------------------------
+    ("SELECT id, name FROM emp ORDER BY id", ()),
+    ("SELECT name FROM emp WHERE dept_id = 1 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id = ? ORDER BY name DESC", (2,)),
+    ("SELECT name FROM emp WHERE salary > 80.0 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary >= 80.0 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary < 95.5 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary <= ? ORDER BY name", (95.5,)),
+    ("SELECT name FROM emp WHERE salary BETWEEN 70 AND 100 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary NOT BETWEEN 70 AND 100 "
+     "ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary <> 80.0 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id = 1 AND salary > 100 "
+     "ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id = 1 OR salary < 70 "
+     "ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE NOT (dept_id = 1) ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE name NOT LIKE 'a%' ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id IN (1, 3) ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id NOT IN (1, 3) ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id IN "
+     "(SELECT id FROM dept WHERE budget > 600) ORDER BY name", ()),
+    # --- NULL semantics --------------------------------------------------
+    ("SELECT name FROM emp WHERE salary IS NULL ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE bonus > 0 ORDER BY name", ()),  # NULL no-match
+    ("SELECT name FROM emp WHERE bonus = bonus ORDER BY name", ()),
+    ("SELECT count(*), count(salary), count(bonus) FROM emp", ()),
+    ("SELECT count(*) FROM emp WHERE dept_id IS NULL OR salary > 90", ()),
+    ("SELECT coalesce(bonus, -1.0) FROM emp ORDER BY id", ()),
+    ("SELECT ifnull(salary, 0.0) FROM emp ORDER BY id", ()),
+    ("SELECT nullif(salary, 80.0) FROM emp ORDER BY id", ()),
+    # NULL ordering: first on ASC, last on DESC (sqlite semantics)
+    ("SELECT name, salary FROM emp ORDER BY salary, name", ()),
+    ("SELECT name, salary FROM emp ORDER BY salary DESC, name", ()),
+    ("SELECT name, dept_id FROM emp ORDER BY dept_id DESC, name DESC", ()),
+    # --- expressions and scalar functions -------------------------------
+    ("SELECT name, salary + coalesce(bonus, 0) FROM emp "
+     "WHERE salary IS NOT NULL ORDER BY name", ()),
+    ("SELECT name, salary * 2.0 - 10.0 FROM emp "
+     "WHERE salary IS NOT NULL ORDER BY name", ()),
+    ("SELECT upper(name), lower(name), length(name) FROM emp "
+     "ORDER BY id", ()),
+    ("SELECT substr(name, 1, 2) FROM emp ORDER BY id", ()),
+    ("SELECT name || '-' || hired FROM emp WHERE hired IS NOT NULL "
+     "ORDER BY id", ()),
+    ("SELECT abs(-5), round(2.567, 2), round(95.5)", ()),
+    ("SELECT CASE WHEN salary > 90 THEN 'high' WHEN salary > 70 "
+     "THEN 'mid' ELSE 'low' END FROM emp WHERE salary IS NOT NULL "
+     "ORDER BY id", ()),
+    ("SELECT CAST('12' AS INTEGER), CAST(3 AS TEXT), CAST(2 AS REAL)", ()),
+    ("SELECT replace(name, 'a', 'o') FROM emp ORDER BY id", ()),
+    # --- aggregates / GROUP BY / HAVING ---------------------------------
+    ("SELECT sum(salary), avg(salary), min(salary), max(salary) "
+     "FROM emp", ()),
+    ("SELECT sum(bonus) FROM emp WHERE name = 'eli'", ()),  # empty -> NULL
+    ("SELECT count(DISTINCT dept_id) FROM emp", ()),
+    ("SELECT dept_id, count(*) AS c FROM emp GROUP BY dept_id "
+     "ORDER BY c DESC, dept_id", ()),
+    ("SELECT dept_id, sum(salary) AS total FROM emp "
+     "WHERE salary IS NOT NULL GROUP BY dept_id ORDER BY dept_id", ()),
+    ("SELECT dept_id, avg(salary) AS a FROM emp GROUP BY dept_id "
+     "HAVING avg(salary) > 85 ORDER BY dept_id", ()),
+    ("SELECT dept_id, count(*) FROM emp GROUP BY dept_id "
+     "HAVING count(*) > 1 ORDER BY dept_id", ()),
+    ("SELECT stddev(salary) FROM emp", ()),
+    # --- joins -----------------------------------------------------------
+    ("SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept_id = d.id "
+     "ORDER BY e.name", ()),
+    ("SELECT e.name, d.name FROM emp e LEFT JOIN dept d "
+     "ON e.dept_id = d.id ORDER BY e.name", ()),
+    ("SELECT d.name, count(e.id) AS headcount FROM dept d "
+     "LEFT JOIN emp e ON e.dept_id = d.id GROUP BY d.name "
+     "ORDER BY d.name", ()),
+    ("SELECT e.name, d.budget FROM emp e JOIN dept d "
+     "ON e.dept_id = d.id WHERE d.budget > 600 ORDER BY e.name", ()),
+    ("SELECT e1.name, e2.name FROM emp e1 JOIN emp e2 "
+     "ON e1.dept_id = e2.dept_id AND e1.id < e2.id "
+     "ORDER BY e1.name, e2.name", ()),
+    ("SELECT e.name, d.name FROM emp e CROSS JOIN dept d "
+     "ORDER BY e.name, d.name LIMIT 5", ()),
+    # --- ORDER BY / LIMIT / OFFSET / DISTINCT ---------------------------
+    ("SELECT name FROM emp ORDER BY salary DESC, name LIMIT 3", ()),
+    ("SELECT name FROM emp ORDER BY name LIMIT 2 OFFSET 2", ()),
+    ("SELECT name FROM emp ORDER BY name LIMIT ? OFFSET ?", (3, 1)),
+    ("SELECT DISTINCT dept_id FROM emp ORDER BY dept_id", ()),
+    ("SELECT DISTINCT salary FROM emp WHERE salary IS NOT NULL "
+     "ORDER BY salary DESC", ()),
+    ("SELECT name FROM emp ORDER BY 1 DESC LIMIT 4", ()),
+    # --- compound selects ------------------------------------------------
+    ("SELECT name FROM emp WHERE dept_id = 1 UNION "
+     "SELECT name FROM emp WHERE salary > 90 ORDER BY name", ()),
+    ("SELECT dept_id FROM emp UNION ALL SELECT id FROM dept "
+     "ORDER BY 1", ()),
+    ("SELECT name FROM emp EXCEPT SELECT name FROM emp "
+     "WHERE dept_id = 1 ORDER BY name", ()),
+    ("SELECT dept_id FROM emp INTERSECT SELECT id FROM dept "
+     "ORDER BY 1", ()),
+    # --- UPDATE / DELETE -------------------------------------------------
+    ("UPDATE emp SET bonus = 0.0 WHERE bonus IS NULL", ()),
+    ("SELECT name, bonus FROM emp ORDER BY id", ()),
+    ("UPDATE emp SET salary = salary * 1.1 WHERE dept_id = 2", ()),
+    ("SELECT name, salary FROM emp WHERE dept_id = 2 ORDER BY id", ()),
+    Err("UPDATE emp SET name = NULL WHERE id = 1"),
+    ("DELETE FROM emp WHERE salary IS NULL", ()),
+    ("SELECT count(*) FROM emp", ()),
+    ("INSERT INTO emp (name, dept_id, salary) "
+     "SELECT name || '2', dept_id, salary FROM emp WHERE dept_id = 1", ()),
+    ("SELECT name FROM emp ORDER BY name", ()),
+    ("DELETE FROM emp WHERE name LIKE '%2'", ()),
+    ("SELECT count(*) FROM emp", ()),
+    # --- ALTER TABLE -----------------------------------------------------
+    ("ALTER TABLE dept ADD COLUMN location TEXT", ()),
+    ("UPDATE dept SET location = 'hq' WHERE id = 1", ()),
+    ("SELECT name, location FROM dept ORDER BY id", ()),
+]
+
+
+def _normalise(rows):
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(v, 9) if isinstance(v, float) and math.isfinite(v) else v
+            for v in row
+        ))
+    return out
+
+
+@pytest.fixture
+def backends():
+    sqlite_conn = connect("sqlite://:memory:")
+    minisql_conn = connect("minisql://:memory:")
+    yield sqlite_conn, minisql_conn
+    sqlite_conn.close()
+    minisql_conn.close()
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 60
+
+
+def test_corpus_identical_on_both_backends(backends):
+    sqlite_conn, minisql_conn = backends
+    for position, entry in enumerate(CORPUS):
+        if isinstance(entry, Err):
+            for conn in backends:
+                with pytest.raises(IntegrityError):
+                    conn.execute(entry.sql, entry.params)
+                conn.rollback()
+            continue
+        sql, params = entry
+        results = []
+        for conn in backends:
+            cursor = conn.execute(sql, params)
+            if sql.lstrip().upper().startswith("SELECT"):
+                results.append(_normalise(cursor.fetchall()))
+            else:
+                conn.commit()
+                results.append(None)
+        assert results[0] == results[1], (
+            f"statement #{position} diverged: {sql!r}\n"
+            f"  sqlite : {results[0]!r}\n"
+            f"  minisql: {results[1]!r}"
+        )
+
+
+def test_divergence_is_detected(backends):
+    """The harness itself must be able to fail: perturb one backend."""
+    sqlite_conn, minisql_conn = backends
+    for conn in backends:
+        conn.execute("CREATE TABLE probe (v INTEGER)")
+        conn.execute("INSERT INTO probe VALUES (1)")
+    minisql_conn.execute("INSERT INTO probe VALUES (2)")
+    a = sqlite_conn.query("SELECT count(*) FROM probe")
+    b = minisql_conn.query("SELECT count(*) FROM probe")
+    assert a != b

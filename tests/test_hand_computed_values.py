@@ -1,0 +1,184 @@
+"""Hand-computed expected values for the toolkit statistics and the
+derived-metric expression evaluator.
+
+Every assertion here is against a number worked out by hand (shown in
+the comments), not against a numpy/secondary implementation — these pin
+the exact semantics (ddof=1 stddev, max/mean imbalance, left-assoc
+arithmetic, divide-by-zero convention) independent of the library code.
+"""
+
+import math
+
+import pytest
+
+from repro.core.model import DataSource
+from repro.core.model.derived_expr import (
+    evaluate_metric_expression, metric_names_in,
+)
+from repro.core.toolkit import (
+    event_statistics, event_values, group_breakdown, load_imbalance,
+    top_events,
+)
+
+
+def make_trial(values_by_event, inclusive_by_event=None):
+    """Trial where event e has the given exclusive value on thread i."""
+    ds = DataSource()
+    ds.add_metric("TIME")
+    n_threads = len(next(iter(values_by_event.values())))
+    for t in range(n_threads):
+        ds.add_thread(t, 0, 0)
+    for name, values in values_by_event.items():
+        event = ds.add_interval_event(name)
+        inclusives = (inclusive_by_event or {}).get(name, values)
+        for t, (exc, inc) in enumerate(zip(values, inclusives)):
+            fp = ds.get_thread(t, 0, 0).get_or_create_function_profile(event)
+            fp.set_exclusive(0, exc)
+            fp.set_inclusive(0, inc)
+            fp.calls = 1
+    ds.generate_statistics()
+    return ds
+
+
+class TestEventStatisticsByHand:
+    def test_two_four_six_eight(self):
+        # values 2,4,6,8: total 20, mean 5, min 2, max 8
+        # sample variance = ((-3)^2 + (-1)^2 + 1^2 + 3^2) / (4-1) = 20/3
+        ds = make_trial({"f": [2.0, 4.0, 6.0, 8.0]})
+        s = event_statistics(ds, "f")
+        assert s.n_threads == 4
+        assert s.total == 20.0
+        assert s.mean == 5.0
+        assert s.minimum == 2.0
+        assert s.maximum == 8.0
+        assert s.stddev == pytest.approx(math.sqrt(20.0 / 3.0))
+        # imbalance = max/mean = 8/5
+        assert s.imbalance == pytest.approx(1.6)
+
+    def test_single_thread_has_zero_stddev(self):
+        s = event_statistics(make_trial({"f": [7.0]}), "f")
+        assert s.stddev == 0.0
+        assert s.mean == 7.0
+
+    def test_all_zero_imbalance_is_one(self):
+        # mean 0 would divide by zero; defined as balanced
+        s = event_statistics(make_trial({"f": [0.0, 0.0]}), "f")
+        assert s.imbalance == 1.0
+
+    def test_inclusive_channel(self):
+        ds = make_trial(
+            {"f": [1.0, 3.0]}, inclusive_by_event={"f": [10.0, 30.0]}
+        )
+        assert list(event_values(ds, "f")) == [1.0, 3.0]
+        assert list(event_values(ds, "f", inclusive=True)) == [10.0, 30.0]
+        assert event_statistics(ds, "f", inclusive=True).mean == 20.0
+
+
+class TestRankingsByHand:
+    # Per-thread exclusives:    a: 9, 1   b: 4, 4   c: 5, 0
+    #   mean:   a=5.0  b=4.0  c=2.5   → mean order  a, b, c
+    #   max:    a=9    b=4    c=5     → max order   a, c, b
+    #   total:  a=10   b=8    c=5     → total order a, b, c
+    VALUES = {"a": [9.0, 1.0], "b": [4.0, 4.0], "c": [5.0, 0.0]}
+
+    def test_by_max_differs_from_by_mean(self):
+        ds = make_trial(self.VALUES)
+        assert [s.event for s in top_events(ds, by="mean_exclusive")] == [
+            "a", "b", "c",
+        ]
+        assert [s.event for s in top_events(ds, by="max_exclusive")] == [
+            "a", "c", "b",
+        ]
+
+    def test_by_total(self):
+        ds = make_trial(self.VALUES)
+        ranked = top_events(ds, n=2, by="total_exclusive")
+        assert [(s.event, s.total) for s in ranked] == [("a", 10.0), ("b", 8.0)]
+
+    def test_unknown_ranking_rejected(self):
+        with pytest.raises(ValueError, match="unknown ranking"):
+            top_events(make_trial({"a": [1.0]}), by="median_exclusive")
+
+
+class TestTrialLevelByHand:
+    def test_group_breakdown_sums(self):
+        # compute: 3+5 (t0) + 2+0 (t1) = 10 ; MPI: 1 (t0) + 4 (t1) = 5
+        ds = DataSource()
+        ds.add_metric("TIME")
+        compute = ds.add_interval_event("work", "TAU_DEFAULT")
+        comm = ds.add_interval_event("MPI_Send()", "MPI")
+        other = ds.add_interval_event("pack", "TAU_DEFAULT")
+        for t, (w, m, p) in enumerate([(3.0, 1.0, 5.0), (2.0, 4.0, 0.0)]):
+            thread = ds.add_thread(t, 0, 0)
+            thread.get_or_create_function_profile(compute).set_exclusive(0, w)
+            thread.get_or_create_function_profile(comm).set_exclusive(0, m)
+            thread.get_or_create_function_profile(other).set_exclusive(0, p)
+        totals = group_breakdown(ds)
+        assert totals["TAU_DEFAULT"] == 10.0
+        assert totals["MPI"] == 5.0
+
+    def test_load_imbalance(self):
+        # per-thread durations (max inclusive): 10, 20, 30, 40
+        # mean 25, max 40 → imbalance 1.6
+        ds = make_trial(
+            {"main": [1.0, 1.0, 1.0, 1.0]},
+            inclusive_by_event={"main": [10.0, 20.0, 30.0, 40.0]},
+        )
+        assert load_imbalance(ds) == pytest.approx(1.6)
+
+    def test_perfectly_balanced_is_one(self):
+        ds = make_trial(
+            {"main": [5.0, 5.0]}, inclusive_by_event={"main": [9.0, 9.0]}
+        )
+        assert load_imbalance(ds) == 1.0
+
+
+def ev(expr, **values):
+    return evaluate_metric_expression(expr, lambda n: values[n])
+
+
+class TestDerivedExpressionsByHand:
+    def test_flops_rate(self):
+        # 6e9 fp ops in 3e6 usec → 2000 ops/usec
+        assert ev("PAPI_FP_OPS / TIME", PAPI_FP_OPS=6e9, TIME=3e6) == 2000.0
+
+    def test_left_associativity(self):
+        # 10 - 4 - 3 = (10-4)-3 = 3, not 10-(4-3) = 9
+        assert ev("10 - 4 - 3") == 3.0
+        # 8 / 4 / 2 = (8/4)/2 = 1, not 8/(4/2) = 4
+        assert ev("8 / 4 / 2") == 1.0
+
+    def test_precedence_mixed(self):
+        # 2 + 3 * 4 - 6 / 2 = 2 + 12 - 3 = 11
+        assert ev("2 + 3 * 4 - 6 / 2") == 11.0
+
+    def test_nested_parentheses(self):
+        # ((2 + 1) * (5 - 3)) / 4 = (3 * 2) / 4 = 1.5
+        assert ev("((2 + 1) * (5 - 3)) / 4") == 1.5
+
+    def test_unary_minus_binds_tighter_than_multiply(self):
+        # -A * B with A=2, B=3 → (-2) * 3 = -6
+        assert ev("-A * B", A=2.0, B=3.0) == -6.0
+
+    def test_double_negation(self):
+        assert ev("--A", A=2.5) == 2.5
+
+    def test_divide_by_zero_inside_expression(self):
+        # A / 0 contributes 0.0 (TAU convention); 3 + 0 = 3
+        assert ev("B + A / 0", A=2.0, B=3.0) == 3.0
+        # the convention applies to a zero-valued metric too
+        assert ev("A / Z", A=2.0, Z=0.0) == 0.0
+
+    def test_scientific_notation_values(self):
+        # 2.5e2 / 1e-1 = 250 / 0.1 = 2500
+        assert ev("2.5e2 / 1e-1") == 2500.0
+
+    def test_miss_ratio(self):
+        # 250 misses / 1000 accesses = 0.25
+        assert ev(
+            '"L1 DCM" / "L1 DCA"', **{"L1 DCM": 250.0, "L1 DCA": 1000.0}
+        ) == 0.25
+
+    def test_metric_names_in_mixed(self):
+        names = metric_names_in('PAPI_FP_OPS / "WALL CLOCK" + 2e3 * TIME')
+        assert names == ["PAPI_FP_OPS", "WALL CLOCK", "TIME"]

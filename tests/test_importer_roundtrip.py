@@ -1,0 +1,322 @@
+"""Write → parse round-trips for every supported profile format.
+
+Each supported format has a writer in ``repro.tau.writers`` and a parser
+in ``repro.core.io_``.  These tests push a whole simulated trial through
+each pair and compare the parsed model against the source model — every
+event, every thread, every metric — at the fidelity the format can
+actually carry:
+
+==========  ==================================================================
+format      fidelity
+==========  ==================================================================
+tau         lossless (%.16g text): values, calls, subroutines, groups,
+            user events, metadata
+gprof       exclusive at 0.01 s sampling resolution; inclusive only
+            approximately recoverable from the call graph
+mpip        lossy: per-task Application time + per-callsite MPI totals
+dynaprof    exclusive and inclusive at %.6g; TOTAL row is synthetic
+hpm         wall-clock at microsecond resolution, counters at +/- 1
+psrun       whole-process totals only: one "Entire application" event
+svpablo     lossless values for the first metric; calls preserved
+==========  ==================================================================
+"""
+
+import pytest
+
+from repro.core.io_ import (
+    parse_dynaprof, parse_gprof, parse_hpm, parse_mpip, parse_psrun,
+    parse_svpablo, parse_tau_profiles,
+)
+from repro.core.model import group as groups
+from repro.tau.apps import EVH1, SPPM
+from repro.tau.writers import (
+    write_dynaprof_output, write_gprof_output, write_hpm_output,
+    write_mpip_report, write_psrun_output, write_svpablo_output,
+    write_tau_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def trial():
+    """Single-metric (TIME) trial with MPI events and user events."""
+    ds = EVH1(problem_size=0.05, timesteps=1).run(4)
+    ds.metadata["node_name"] = "sim-node"
+    return ds
+
+
+@pytest.fixture(scope="module")
+def counter_trial():
+    """Multi-metric trial (TIME + hardware counters)."""
+    return SPPM(problem_size=0.01, timesteps=1).run(8)
+
+
+def _thread_key(thread):
+    return (thread.node_id, thread.context_id, thread.thread_id)
+
+
+def _pairs(src, dst):
+    """Yield (source thread, parsed thread) matched by (n, c, t)."""
+    assert dst.num_threads == src.num_threads
+    for thread in src.all_threads():
+        other = dst.get_thread(*_thread_key(thread))
+        assert other is not None, f"thread {_thread_key(thread)} lost"
+        yield thread, other
+
+
+def _profile(ds, thread, event_name):
+    event = ds.get_interval_event(event_name)
+    assert event is not None, f"event {event_name!r} lost"
+    profile = thread.function_profiles.get(event.index)
+    assert profile is not None, (
+        f"no profile for {event_name!r} on {_thread_key(thread)}"
+    )
+    return profile
+
+
+class TestTauRoundtrip:
+    """TAU's own format carries the full model."""
+
+    def test_interval_values_all_threads(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert set(back.interval_events) == set(trial.interval_events)
+        for src_t, dst_t in _pairs(trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                assert dst_p.calls == src_p.calls
+                assert dst_p.subroutines == src_p.subroutines
+                assert dst_p.get_exclusive(0) == pytest.approx(
+                    src_p.get_exclusive(0)
+                )
+                assert dst_p.get_inclusive(0) == pytest.approx(
+                    src_p.get_inclusive(0)
+                )
+
+    def test_groups_preserved(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        for name, event in trial.interval_events.items():
+            assert back.get_interval_event(name).group == event.group
+
+    def test_user_events_all_threads(self, trial, tmp_path):
+        write_tau_profiles(trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert set(back.atomic_events) == set(trial.atomic_events)
+        for src_t, dst_t in _pairs(trial, back):
+            for src_u in src_t.user_event_profiles.values():
+                event = back.get_atomic_event(src_u.event.name)
+                dst_u = dst_t.user_event_profiles[event.index]
+                assert dst_u.count == src_u.count
+                assert dst_u.max_value == pytest.approx(src_u.max_value)
+                assert dst_u.min_value == pytest.approx(src_u.min_value)
+                assert dst_u.mean_value == pytest.approx(src_u.mean_value)
+                assert dst_u.sumsqr == pytest.approx(src_u.sumsqr)
+
+    def test_multi_metric_values(self, counter_trial, tmp_path):
+        write_tau_profiles(counter_trial, tmp_path)
+        back = parse_tau_profiles(tmp_path)
+        assert {m.name for m in back.metrics} == {
+            m.name for m in counter_trial.metrics
+        }
+        for src_t, dst_t in _pairs(counter_trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                for metric in counter_trial.metrics:
+                    dst_m = back.get_metric(metric.name)
+                    assert dst_p.get_inclusive(dst_m.index) == pytest.approx(
+                        src_p.get_inclusive(metric.index)
+                    ), (src_p.event.name, metric.name)
+
+
+class TestGprofRoundtrip:
+    """gprof samples at 0.01 s: exclusive is quantised, inclusive is
+    reconstructed from the call graph."""
+
+    RESOLUTION_USEC = 2e4  # one 0.01 s sample, in microseconds
+
+    def test_exclusive_and_calls_all_threads(self, trial, tmp_path):
+        write_gprof_output(trial, tmp_path)
+        back = parse_gprof(tmp_path)
+        assert set(back.interval_events) == set(trial.interval_events)
+        for src_t, dst_t in _pairs(trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                assert dst_p.calls == int(src_p.calls)
+                assert dst_p.get_exclusive(0) == pytest.approx(
+                    src_p.get_exclusive(0), abs=self.RESOLUTION_USEC
+                ), src_p.event.name
+
+    def test_inclusive_ordering_recovered(self, trial, tmp_path):
+        # The call graph cannot restore exact inclusive times, but it
+        # must keep inclusive >= exclusive and the root on top.
+        write_gprof_output(trial, tmp_path)
+        back = parse_gprof(tmp_path)
+        for _src_t, dst_t in _pairs(trial, back):
+            main = _profile(back, dst_t, "main")
+            for dst_p in dst_t.function_profiles.values():
+                assert (
+                    dst_p.get_inclusive(0)
+                    >= dst_p.get_exclusive(0) - self.RESOLUTION_USEC
+                )
+                assert main.get_inclusive(0) >= dst_p.get_inclusive(0) * 0.99
+
+
+class TestMpipRoundtrip:
+    """mpiP keeps only per-task app time and per-callsite MPI totals."""
+
+    def _mpi_events(self, trial):
+        return [
+            e for e in trial.interval_events.values()
+            if groups.COMMUNICATION in e.groups
+        ]
+
+    def test_application_time_per_task(self, trial, tmp_path):
+        back = parse_mpip(write_mpip_report(trial, tmp_path / "app.mpiP"))
+        tasks = list(enumerate(trial.all_threads()))
+        assert back.num_threads == len(tasks)
+        for task, src_t in tasks:
+            dst_t = back.get_thread(task, 0, 0)
+            app = _profile(back, dst_t, "Application")
+            assert app.get_inclusive(0) == pytest.approx(
+                src_t.max_inclusive(0), rel=1e-2
+            )
+
+    def test_every_callsite_total_per_rank(self, trial, tmp_path):
+        back = parse_mpip(write_mpip_report(trial, tmp_path / "app.mpiP"))
+        mpi_events = self._mpi_events(trial)
+        assert mpi_events, "fixture must contain MPI events"
+        for site_id, event in enumerate(mpi_events, start=1):
+            bare = event.name.split("[", 1)[0].strip()
+            bare = bare.replace("MPI_", "").rstrip("()")
+            site_name = f"MPI_{bare}() [site {site_id}]"
+            for task, src_t in enumerate(trial.all_threads()):
+                src_p = src_t.function_profiles.get(event.index)
+                if src_p is None or src_p.calls == 0:
+                    continue
+                dst_p = _profile(back, back.get_thread(task, 0, 0), site_name)
+                assert dst_p.calls == int(src_p.calls)
+                # total = count x mean, mean printed at 4 significant digits
+                assert dst_p.get_inclusive(0) == pytest.approx(
+                    src_p.get_inclusive(0), rel=1e-3
+                ), site_name
+
+    def test_sites_carry_mpi_group(self, trial, tmp_path):
+        back = parse_mpip(write_mpip_report(trial, tmp_path / "app.mpiP"))
+        sites = [n for n in back.interval_events if "[site" in n]
+        assert len(sites) == len(self._mpi_events(trial))
+        for name in sites:
+            assert groups.COMMUNICATION in back.get_interval_event(name).groups
+
+
+class TestDynaprofRoundtrip:
+    """dynaprof tables print values at %.6g — both sections round-trip."""
+
+    def test_both_sections_all_threads(self, trial, tmp_path):
+        write_dynaprof_output(trial, tmp_path)
+        back = parse_dynaprof(tmp_path)
+        assert set(back.interval_events) == set(trial.interval_events)
+        for src_t, dst_t in _pairs(trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                assert dst_p.calls == int(src_p.calls)
+                assert dst_p.get_exclusive(0) == pytest.approx(
+                    src_p.get_exclusive(0), rel=1e-4
+                )
+                assert dst_p.get_inclusive(0) == pytest.approx(
+                    src_p.get_inclusive(0), rel=1e-4
+                )
+
+    def test_metric_name_preserved(self, trial, tmp_path):
+        write_dynaprof_output(trial, tmp_path)
+        back = parse_dynaprof(tmp_path)
+        assert back.metrics[0].name == trial.metrics[0].name
+
+
+class TestHpmRoundtrip:
+    """HPMToolkit: microsecond wall clock, integer counter totals."""
+
+    def test_wall_clock_all_sections(self, counter_trial, tmp_path):
+        write_hpm_output(counter_trial, tmp_path)
+        back = parse_hpm(tmp_path)
+        time_index = counter_trial.time_metric().index
+        dst_time = back.time_metric()
+        assert set(back.interval_events) == set(counter_trial.interval_events)
+        for src_t, dst_t in _pairs(counter_trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                assert dst_p.calls == int(src_p.calls)
+                assert dst_p.get_inclusive(dst_time.index) == pytest.approx(
+                    src_p.get_inclusive(time_index), abs=1.0
+                )
+                assert dst_p.get_exclusive(dst_time.index) == pytest.approx(
+                    src_p.get_exclusive(time_index), abs=1.0
+                )
+
+    def test_counter_totals_all_sections(self, counter_trial, tmp_path):
+        write_hpm_output(counter_trial, tmp_path)
+        back = parse_hpm(tmp_path)
+        time_metric = counter_trial.time_metric()
+        counters = [m for m in counter_trial.metrics if m is not time_metric]
+        assert counters, "fixture must have hardware counters"
+        assert {m.name for m in back.metrics} == {
+            m.name for m in counter_trial.metrics
+        }
+        for src_t, dst_t in _pairs(counter_trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                for metric in counters:
+                    dst_m = back.get_metric(metric.name)
+                    assert dst_p.get_inclusive(dst_m.index) == pytest.approx(
+                        src_p.get_inclusive(metric.index), abs=1.0
+                    ), (src_p.event.name, metric.name)
+
+
+class TestPsrunRoundtrip:
+    """psrun keeps whole-process totals: one event, all counters."""
+
+    def test_single_event_totals_per_rank(self, counter_trial, tmp_path):
+        write_psrun_output(counter_trial, tmp_path)
+        back = parse_psrun(tmp_path)
+        assert back.num_interval_events == 1
+        time_index = counter_trial.time_metric().index
+        for src_t, dst_t in _pairs(counter_trial, back):
+            whole = _profile(back, dst_t, "Entire application")
+            assert whole.get_inclusive(0) == pytest.approx(
+                src_t.max_inclusive(time_index), abs=1.0
+            )
+
+    def test_counter_totals_per_rank(self, counter_trial, tmp_path):
+        write_psrun_output(counter_trial, tmp_path)
+        back = parse_psrun(tmp_path)
+        time_metric = counter_trial.time_metric()
+        counters = [m for m in counter_trial.metrics if m is not time_metric]
+        for src_t, dst_t in _pairs(counter_trial, back):
+            whole = _profile(back, dst_t, "Entire application")
+            for metric in counters:
+                dst_m = back.get_metric(metric.name)
+                assert dst_m is not None, metric.name
+                expected = max(
+                    p.get_inclusive(metric.index)
+                    for p in src_t.function_profiles.values()
+                )
+                assert whole.get_inclusive(dst_m.index) == pytest.approx(
+                    expected, abs=1.0
+                ), metric.name
+
+
+class TestSvPabloRoundtrip:
+    """SDDF records carry full-precision values for the first metric."""
+
+    def test_values_and_calls_all_ranks(self, trial, tmp_path):
+        back = parse_svpablo(write_svpablo_output(trial, tmp_path / "t.sddf"))
+        assert set(back.interval_events) == set(trial.interval_events)
+        for src_t, dst_t in _pairs(trial, back):
+            for src_p in src_t.function_profiles.values():
+                dst_p = _profile(back, dst_t, src_p.event.name)
+                assert dst_p.calls == int(src_p.calls)
+                assert dst_p.get_exclusive(0) == pytest.approx(
+                    src_p.get_exclusive(0)
+                )
+                assert dst_p.get_inclusive(0) == pytest.approx(
+                    src_p.get_inclusive(0)
+                )
