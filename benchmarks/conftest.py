@@ -8,11 +8,17 @@ terminal summary — those rows are what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+#: Machine-readable ingest numbers (E1 bulk-load, E6 parallel parse) land
+#: here at the repo root; CI's benchmark smoke job archives the file.
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_e1_ingest.json"
 
 _REPORT_LINES: list[str] = []
 
@@ -25,6 +31,23 @@ def scale(default: int, full: int) -> int:
 def report():
     """Collects experiment report lines, shown in the terminal summary."""
     return _REPORT_LINES.append
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Merge one section into ``BENCH_e1_ingest.json`` at the repo root."""
+
+    def write(section: str, payload: dict) -> None:
+        data: dict = {}
+        if BENCH_JSON.exists():
+            try:
+                data = json.loads(BENCH_JSON.read_text())
+            except ValueError:
+                data = {}
+        data[section] = payload
+        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    return write
 
 
 def pytest_terminal_summary(terminalreporter) -> None:

@@ -11,6 +11,8 @@ configuration (REPRO_FULL_SCALE=1) completes without error on a laptop.
 
 from __future__ import annotations
 
+import gc
+import os
 import time
 
 import pytest
@@ -22,6 +24,10 @@ from repro.tau.apps.miranda import NUM_EVENTS
 from conftest import FULL_SCALE, scale
 
 SWEEP = [256, 1024, scale(4096, 16384)]
+
+#: Rank tier for the bulk-load vs. legacy comparison — the acceptance
+#: tier by default; CI's smoke job shrinks it via the env var.
+BULK_RANKS = int(os.environ.get("REPRO_E1_BULK_RANKS") or scale(4096, 16384))
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +61,62 @@ def test_bulk_load(benchmark, generated, ranks, report):
         f"{ranks:>6} threads: {count:>9,} rows in {seconds:6.2f}s "
         f"({rate:,.0f} rows/s)"
     )
+
+
+def test_bulk_mode_speedup(benchmark, generated, report, bench_json):
+    """MiniSQL bulk-load mode vs. the per-row legacy ingest path.
+
+    Same data, same engine; the only difference is deferred secondary
+    index maintenance + batched append (``bulk=True``, the default)
+    against the pre-bulk per-row path (``bulk=False``).  Numbers land in
+    ``BENCH_e1_ingest.json`` for CI to archive.
+    """
+    trial_data = generated.get(BULK_RANKS) or Miranda().generate(BULK_RANKS)
+
+    def ingest(bulk: bool) -> tuple[float, int]:
+        session = PerfDMFSession("minisql://:memory:")
+        application = session.create_application("miranda")
+        experiment = session.create_experiment(application, "bgl")
+        gc.collect()
+        t0 = time.perf_counter()
+        trial = session.save_trial(trial_data, experiment, "bench", bulk=bulk)
+        seconds = time.perf_counter() - t0
+        count = session.count_data_points(trial)
+        session.close()
+        return seconds, count
+
+    def measure() -> dict:
+        # Two rounds per mode, best-of: the first large ingest in a
+        # process pays one-off allocator growth that the steady state
+        # (and any isolated run) does not.
+        legacy_seconds, count = min(ingest(bulk=False) for _ in range(2))
+        bulk_seconds, bulk_count = min(ingest(bulk=True) for _ in range(2))
+        assert count == bulk_count == BULK_RANKS * NUM_EVENTS
+        return {
+            "ranks": BULK_RANKS,
+            "rows": count,
+            "legacy_seconds": round(legacy_seconds, 3),
+            "bulk_seconds": round(bulk_seconds, 3),
+            "legacy_rows_per_second": round(count / legacy_seconds),
+            "bulk_rows_per_second": round(count / bulk_seconds),
+            "speedup": round(legacy_seconds / bulk_seconds, 2),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bench_json("e1_bulk_load", result)
+    report(
+        f"E1  bulk-load mode vs per-row ingest        -> "
+        f"{result['ranks']:>6} ranks: {result['speedup']:.2f}x "
+        f"({result['legacy_rows_per_second']:,} -> "
+        f"{result['bulk_rows_per_second']:,} rows/s)"
+    )
+    if BULK_RANKS >= 4096:
+        assert result["speedup"] >= 3.0, (
+            "bulk-load mode must be at least 3x faster than the per-row "
+            f"path at the {BULK_RANKS}-rank tier, got {result['speedup']}x"
+        )
+    else:  # smoke scale: direction must still be right
+        assert result["speedup"] > 1.0
 
 
 def test_linear_scaling_shape(benchmark, generated, report):

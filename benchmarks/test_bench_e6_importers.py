@@ -8,9 +8,12 @@ must round-trip exactly.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from repro.core.io_ import export_xml, load_profile
+from repro.core.io_ import export_xml, load_profile, parse_profiles
 from repro.core.toolkit.stats import event_statistics
 from repro.tau.apps import SPPM
 from repro.tau.writers import (
@@ -88,6 +91,56 @@ def test_cross_format_value_consistency(benchmark, everything, report):
         f"E6  cross-format value agreement           -> "
         f"{checked} full-fidelity formats agree on hydro_kernel mean"
     )
+
+
+def test_parallel_parse_speedup(benchmark, tmp_path_factory, report, bench_json):
+    """Fan profile parsing out over a process pool (bulk-ingest stage 1).
+
+    Parsing is CPU-bound pure-Python work, so worker processes should
+    give near-linear speedup; the >1.5x assertion only applies on
+    machines with at least 4 cores (single-core CI boxes still record
+    their numbers in ``BENCH_e1_ingest.json``).
+    """
+    base = tmp_path_factory.mktemp("e6par")
+    dirs = []
+    for i in range(8):
+        run = SPPM(problem_size=0.02, timesteps=1, seed=50 + i).run(RANKS)
+        d = base / f"run{i}"
+        write_tau_profiles(run, d)
+        dirs.append(d)
+    cores = os.cpu_count() or 1
+    workers = min(cores, len(dirs))
+
+    def measure() -> dict:
+        t0 = time.perf_counter()
+        serial = parse_profiles(dirs, workers=1)
+        serial_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = parse_profiles(dirs, workers=workers)
+        parallel_seconds = time.perf_counter() - t0
+        assert len(serial) == len(parallel) == len(dirs)
+        for a, b in zip(serial, parallel):
+            assert a.num_threads == b.num_threads == RANKS
+        return {
+            "files": len(dirs),
+            "cores": cores,
+            "workers": workers,
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": round(serial_seconds / parallel_seconds, 2),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bench_json("e6_parallel_parse", result)
+    report(
+        f"E6  parallel profile parse ({result['workers']} workers)     -> "
+        f"{result['speedup']:.2f}x over serial for {result['files']} files"
+    )
+    if cores >= 4:
+        assert result["speedup"] > 1.5, (
+            f"parallel parse must beat serial by >1.5x on {cores} cores, "
+            f"got {result['speedup']}x"
+        )
 
 
 def test_xml_roundtrip_exact(benchmark, everything, report):

@@ -9,6 +9,7 @@ plus import/export of PerfDMF's common XML representation.
 from .cube import cube_string, export_cube, parse_cube
 from .snapshot_xml import export_snapshots, parse_snapshots
 from .base import ProfileParseError, discover_files, natural_sort_key
+from .bulk import IngestReport, ingest_profiles, parse_columnar, parse_profiles
 from .dynaprof import parse_dynaprof
 from .gprof import parse_gprof
 from .hpm import parse_hpm
@@ -28,4 +29,5 @@ __all__ = [
     "export_cube", "cube_string", "parse_cube",
     "export_snapshots", "parse_snapshots",
     "load_profile", "detect_format", "get_parser", "FORMAT_NAMES",
+    "IngestReport", "ingest_profiles", "parse_columnar", "parse_profiles",
 ]

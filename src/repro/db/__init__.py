@@ -17,10 +17,10 @@ from .api import (
     OperationalError, ProgrammingError, connect, parse_url,
 )
 from .dialects import DIALECTS, Dialect, get_dialect
-from .pool import ConnectionPool
+from .pool import ConnectionPool, PoolTimeout
 
 __all__ = [
     "connect", "parse_url", "DBConnection", "ColumnMetadata",
-    "ConnectionPool", "Dialect", "DIALECTS", "get_dialect",
+    "ConnectionPool", "PoolTimeout", "Dialect", "DIALECTS", "get_dialect",
     "DatabaseError", "IntegrityError", "OperationalError", "ProgrammingError",
 ]

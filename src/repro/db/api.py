@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from . import minisql
 from .dialects import Dialect, get_dialect
@@ -134,6 +135,10 @@ class DBConnection:
         self.url = url
         self._lock = threading.RLock()
         self._closed = False
+        #: Per-stage timings from the most recent bulk ingest
+        #: (``ingest_*_seconds``, ``ingest_rows``, ``ingest_rows_per_second``),
+        #: filled in by ``save_trial`` and merged into :meth:`stats`.
+        self.ingest_stats: dict[str, float] = {}
 
     # -- core statement API ---------------------------------------------------
 
@@ -168,21 +173,59 @@ class DBConnection:
             cursor = self._raw.execute(sql, tuple(params))
             return cursor.lastrowid
 
-    def stats(self) -> dict[str, int]:
-        """Access-path counters (rows scanned vs. via index).
+    def stats(self) -> dict[str, Any]:
+        """Access-path counters (rows scanned vs. via index) plus the
+        per-stage ingest timings of the most recent bulk load.
 
-        Only the minisql backend instruments its planner; sqlite returns
-        an empty dict so callers can probe either engine uniformly.
+        Only the minisql backend instruments its planner; sqlite reports
+        just the ingest timings so callers can probe either engine
+        uniformly.
         """
+        merged: dict[str, Any] = {}
         if self.backend == "minisql":
             with self._lock:
-                return self._raw.stats()
-        return {}
+                merged.update(self._raw.stats())
+        merged.update(self.ingest_stats)
+        return merged
 
     def reset_stats(self) -> None:
+        self.ingest_stats.clear()
         if self.backend == "minisql":
             with self._lock:
                 self._raw.reset_stats()
+
+    # -- bulk load -------------------------------------------------------------
+
+    def begin_bulk(self) -> None:
+        """Enter bulk-load mode.
+
+        On minisql this defers secondary index maintenance until
+        :meth:`end_bulk` (``PRAGMA bulk_load``); sqlite needs no mode —
+        its bulk path is ``executemany`` batching — and silently ignores
+        the pragma, keeping the two backends drop-in interchangeable.
+        """
+        with self._lock:
+            self._raw.execute("PRAGMA bulk_load(on)")
+
+    def end_bulk(self) -> None:
+        """Leave bulk-load mode, rebuilding deferred indexes (minisql)."""
+        with self._lock:
+            self._raw.execute("PRAGMA bulk_load(off)")
+
+    @contextmanager
+    def bulk_load(self) -> Iterator["DBConnection"]:
+        """Transactional bulk load: commit on success, all-or-nothing
+        rollback on error; indexes are rebuilt on exit either way."""
+        self.begin_bulk()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            self.end_bulk()
+            raise
+        else:
+            self.end_bulk()
+            self.commit()
 
     def commit(self) -> None:
         with self._lock:

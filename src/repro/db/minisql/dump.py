@@ -46,10 +46,12 @@ def dump_sql(connection: Connection) -> Iterator[str]:
 
 
 def _create_table_sql(table, database) -> str:
+    pk_columns = [c.name for c in table.columns if c.primary_key]
+    composite = len(pk_columns) > 1
     parts = []
     for column in table.columns:
         bits = [column.name, column.affinity]
-        if column.primary_key:
+        if column.primary_key and not composite:
             bits.append("PRIMARY KEY")
             if column.autoincrement:
                 bits.append("AUTOINCREMENT")
@@ -61,6 +63,10 @@ def _create_table_sql(table, database) -> str:
             ref_table, ref_column = column.references
             bits.append(f"REFERENCES {ref_table}({ref_column})")
         parts.append(" ".join(bits))
+    if composite:
+        # sqlite rejects repeated inline PRIMARY KEY markers; a composite
+        # key must be a single table-level constraint.
+        parts.append(f"PRIMARY KEY ({', '.join(pk_columns)})")
     return f"CREATE TABLE {table.name} ({', '.join(parts)});"
 
 

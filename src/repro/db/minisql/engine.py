@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Sequence
 
 from .ast_nodes import (
@@ -129,6 +130,22 @@ class Connection:
                 self._database.rollback()
                 self.in_transaction = False
                 self._database.txn_lock.release()
+
+    # -- bulk load ------------------------------------------------------------
+
+    @contextmanager
+    def bulk_load(self) -> Iterator["Connection"]:
+        """Scoped bulk-load mode (``PRAGMA bulk_load``).
+
+        Inside the block, ``executemany`` inserts append rows with
+        secondary index maintenance deferred; indexes are rebuilt once on
+        exit (even on error — rollback remains the caller's call).
+        """
+        self.execute("PRAGMA bulk_load(on)")
+        try:
+            yield self
+        finally:
+            self.execute("PRAGMA bulk_load(off)")
 
     # -- introspection --------------------------------------------------------
 

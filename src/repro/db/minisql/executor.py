@@ -278,6 +278,23 @@ class Executor:
                 for idx in table.indexes.values()
             ]
             return ResultSet(columns, rows)
+        if stmt.name == "bulk_load":
+            argument = str(stmt.argument or "").strip().lower()
+            if argument in ("on", "1", "true"):
+                self.database.begin_bulk()
+            elif argument in ("off", "0", "false"):
+                self.database.end_bulk()
+            elif argument == "status":
+                return ResultSet(
+                    ["bulk_load"], [(int(self.database.bulk_mode),)]
+                )
+            else:
+                raise ProgrammingError(
+                    f"PRAGMA bulk_load expects on/off, got {stmt.argument!r}"
+                )
+            # on/off return no rows, matching sqlite (which ignores the
+            # pragma entirely) so differential corpora stay comparable.
+            return ResultSet([], [], rowcount=0)
         # Unknown pragmas are silently ignored, like sqlite.
         return ResultSet([], [], rowcount=0)
 
@@ -346,16 +363,38 @@ class Executor:
         database = self.database
         count = 0
         if all_placeholders:
-            for params in seq_of_params:
-                if len(params) != len(positions):
-                    raise ProgrammingError(
-                        f"{len(positions)} placeholders but {len(params)} parameters"
+            expected = len(positions)
+
+            def build_rows() -> Iterator[list[Any]]:
+                for params in seq_of_params:
+                    if len(params) != expected:
+                        raise ProgrammingError(
+                            f"{expected} placeholders but {len(params)} parameters"
+                        )
+                    row: list[Any] = [OMITTED] * width
+                    for position, value in zip(positions, params):
+                        row[position] = value
+                    yield row
+
+            if database.bulk_mode:
+                # Bulk-load batch append: one undo watermark for the whole
+                # batch, suspended secondary indexes untouched per row.
+                if positions == list(range(width)):
+                    # Full-width in-order insert: the parameter tuples
+                    # already ARE the rows; append_rows width-checks and
+                    # copies them, so skip per-row assembly entirely.
+                    batch = (
+                        seq_of_params
+                        if isinstance(seq_of_params, list)
+                        else list(seq_of_params)
                     )
-                row: list[Any] = [OMITTED] * width
-                for position, value in zip(positions, params):
-                    row[position] = value
-                database.insert(table, row)
-                count += 1
+                    count = database.bulk_insert_rows(table, batch)
+                else:
+                    count = database.bulk_insert_rows(table, build_rows())
+            else:
+                for row in build_rows():
+                    database.insert(table, row)
+                    count += 1
         else:
             for params in seq_of_params:
                 row = [OMITTED] * width
@@ -604,7 +643,6 @@ class Executor:
         if join.kind == "CROSS" or condition is None:
             inner_rows = [list(r) for _, r in inner.scan()]
             for left in left_rows:
-                pad = left + [None] * (layout.total_width - len(left))
                 for inner_row in inner_rows:
                     combined = list(left)
                     combined += inner_row
@@ -1293,6 +1331,8 @@ def _plan_access(
     best_eq: Optional[Index] = None
     if pinned:
         for index in table.indexes.values():
+            if index.stale:
+                continue  # suspended by a bulk load; contents unreliable
             names = [n.lower() for n in index.column_names]
             if all(n in pinned for n in names):
                 if best_eq is None or len(names) > len(best_eq.column_names):
@@ -1304,7 +1344,7 @@ def _plan_access(
     ranges = _range_bounds(table, alias, conjuncts, params)
     best: Optional[tuple[tuple[int, int, int], _AccessPlan]] = None
     for index in table.indexes.values():
-        if not isinstance(index, SortedIndex):
+        if not isinstance(index, SortedIndex) or index.stale:
             continue
         names = [n.lower() for n in index.column_names]
         prefix_len = 0
@@ -1339,7 +1379,7 @@ def _plan_access(
         return best[1]
 
     for index in table.indexes.values():
-        if not isinstance(index, SortedIndex):
+        if not isinstance(index, SortedIndex) or index.stale:
             continue
         ordered, descending = _order_match(
             order_by, index, 0, alias, table, pinned, alias_names

@@ -367,15 +367,22 @@ class Parser:
         name = self.expect_identifier("pragma name")
         argument = None
         if self.accept_punct("("):
-            token = self.current
-            if token.type in (TokenType.IDENTIFIER, TokenType.STRING, TokenType.NUMBER):
-                argument = token.value
-                self.advance()
-            elif token.type is TokenType.KEYWORD:
-                argument = token.value.lower()
-                self.advance()
+            argument = self._parse_pragma_argument()
             self.expect_punct(")")
+        elif self.accept_operator("="):
+            # sqlite's assignment form: PRAGMA bulk_load = on
+            argument = self._parse_pragma_argument()
         return Pragma(name=name.lower(), argument=argument)
+
+    def _parse_pragma_argument(self):
+        token = self.current
+        if token.type in (TokenType.IDENTIFIER, TokenType.STRING, TokenType.NUMBER):
+            self.advance()
+            return token.value
+        if token.type is TokenType.KEYWORD:
+            self.advance()
+            return token.value.lower()
+        return None
 
     # -- DML ------------------------------------------------------------------
 

@@ -16,10 +16,12 @@ matters for PerfDMF's 1.6M-datapoint trials.
 
 from __future__ import annotations
 
-import itertools
 from bisect import bisect_left
+from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+from operator import itemgetter
+from typing import Any, Iterable, Iterator, Optional
 
 from .ast_nodes import ColumnDef
 from .errors import IntegrityError, OperationalError, ProgrammingError
@@ -65,6 +67,10 @@ class Index:
         self.column_names = [table.columns[p].name for p in self.column_positions]
         self.unique = unique
         self.map: dict[tuple[Any, ...], set[int]] = {}
+        #: Bulk-load suspension: while ``stale`` the index contents are
+        #: untrustworthy — row mutations skip it and the planner must not
+        #: consult it.  Cleared by ``rebuild()`` at the end of the batch.
+        self.stale = False
 
     def key_for(self, row: list[Any]) -> tuple[Any, ...]:
         return tuple(row[p] for p in self.column_positions)
@@ -107,9 +113,27 @@ class Index:
         return self.map.get(key, set())
 
     def rebuild(self) -> None:
-        self.map.clear()
-        for rowid, row in self.table.rows.items():
-            self.insert(rowid, row)
+        if self.unique:
+            self.map.clear()
+            for rowid, row in self.table.rows.items():
+                self.insert(rowid, row)
+            self.stale = False
+            return
+        # Non-unique rebuild is the bulk-load hot path (one pass at batch
+        # end instead of N per-row inserts), so build the map with the
+        # tightest loop available rather than going through insert().
+        positions = self.column_positions
+        rebuilt: defaultdict[tuple[Any, ...], set[int]] = defaultdict(set)
+        if len(positions) == 1:
+            position = positions[0]
+            for rowid, row in self.table.rows.items():
+                rebuilt[(row[position],)].add(rowid)
+        else:
+            getter = itemgetter(*positions)
+            for rowid, row in self.table.rows.items():
+                rebuilt[getter(row)].add(rowid)
+        self.map = dict(rebuilt)  # plain dict: lookups must not grow it
+        self.stale = False
 
 
 class SortedIndex(Index):
@@ -162,6 +186,10 @@ class SortedIndex(Index):
         self._keys.clear()
         self._dirty = False
         super().rebuild()
+        if not self.unique and self.map:
+            # The fast non-unique rebuild fills only the hash map; defer
+            # the sorted arrays to the next range scan (lazy re-sort).
+            self._dirty = True
 
     def _ensure_sorted(self) -> None:
         if not self._dirty:
@@ -227,8 +255,11 @@ class Table:
         self.rows: dict[int, list[Any]] = {}
         self.indexes: dict[str, Index] = {}
         self._positions = {c.lower_name: i for i, c in enumerate(columns)}
-        self._rowid_counter = itertools.count(1)
+        self._next_rowid = 1
         self.last_autoincrement = 0
+        #: True while the table is inside an active bulk load (some of
+        #: its secondary indexes may be suspended/stale).
+        self.bulk_active = False
         # implicit unique index for single-column INTEGER PRIMARY KEY
         self._pk_positions = [
             i for i, c in enumerate(columns) if c.primary_key
@@ -264,7 +295,13 @@ class Table:
     # -- row operations ------------------------------------------------------
 
     def next_rowid(self) -> int:
-        return next(self._rowid_counter)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        return rowid
+
+    def peek_rowid(self) -> int:
+        """The rowid the next inserted row will receive (bulk watermark)."""
+        return self._next_rowid
 
     def insert_row(self, row: list[Any]) -> int:
         """Validate constraints, apply affinity, store; returns rowid."""
@@ -275,12 +312,149 @@ class Table:
             )
         prepared = self._prepare(row)
         for index in self.indexes.values():
-            index.check(prepared)
+            if not index.stale:
+                index.check(prepared)
         rowid = self.next_rowid()
         self.rows[rowid] = prepared
         for index in self.indexes.values():
-            index.insert(rowid, prepared)
+            if not index.stale:
+                index.insert(rowid, prepared)
         return rowid
+
+    # -- bulk load -----------------------------------------------------------
+
+    def suspend_secondary(self) -> int:
+        """Enter bulk load: mark non-unique indexes stale.
+
+        Stale indexes receive no per-row maintenance and must not be
+        consulted by the planner; unique indexes stay live so constraint
+        violations are still detected at the offending row.  Returns the
+        number of indexes suspended.
+        """
+        suspended = 0
+        for index in self.indexes.values():
+            if not index.unique and not index.stale:
+                index.stale = True
+                suspended += 1
+        self.bulk_active = True
+        return suspended
+
+    def finish_bulk(self) -> int:
+        """Leave bulk load: rebuild every suspended index once.
+
+        This is the single index-rebuild point that replaces N per-row
+        inserts; returns the number of indexes rebuilt.
+        """
+        rebuilt = 0
+        for index in self.indexes.values():
+            if index.stale:
+                index.rebuild()
+                rebuilt += 1
+        self.bulk_active = False
+        return rebuilt
+
+    def append_rows(self, rows: Iterable[list[Any]]) -> int:
+        """Bulk append: same constraints as :meth:`insert_row`, but with
+        per-cell work hoisted out of the per-row loop.
+
+        Stale (suspended) indexes are skipped entirely.  The whole batch
+        is first screened column-wise (:meth:`_prepare_batch`); when the
+        live indexes are plain unique hash indexes whose batch keys are
+        collision-free and NULL-free, index maintenance collapses to one
+        dict update per index.  Any condition the fast paths cannot
+        prove falls back to per-row handling, which raises at exactly
+        the offending row.  Returns the number of rows appended.
+        """
+        batch = rows if isinstance(rows, list) else list(rows)
+        if not batch:
+            return 0
+        width = len(self.columns)
+        for row in batch:
+            if len(row) != width:
+                raise ProgrammingError(
+                    f"table {self.name} has {width} columns but "
+                    f"{len(row)} values were supplied"
+                )
+        live = [index for index in self.indexes.values() if not index.stale]
+        prepared = self._prepare_batch(batch)
+        if prepared is None:
+            prepared = [self._prepare(list(row)) for row in batch]
+        if all(index.unique and type(index) is Index for index in live):
+            index_keys: list[tuple[Index, list[tuple[Any, ...]]]] = []
+            provable = True
+            for index in live:
+                positions = index.column_positions
+                if len(positions) == 1:
+                    p = positions[0]
+                    keys = [(row[p],) for row in prepared]
+                else:
+                    getter = itemgetter(*positions)
+                    keys = list(map(getter, prepared))
+                key_set = set(keys)
+                if (
+                    len(key_set) != len(keys)
+                    or (index.map.keys() & key_set)
+                    or any(None in k for k in keys)
+                ):
+                    provable = False  # collision or NULL key: go per-row
+                    break
+                index_keys.append((index, keys))
+            if provable:
+                start = self._next_rowid
+                stop = start + len(prepared)
+                self.rows.update(zip(range(start, stop), prepared))
+                self._next_rowid = stop
+                for index, keys in index_keys:
+                    index.map.update(
+                        (key, {rowid})
+                        for key, rowid in zip(keys, range(start, stop))
+                    )
+                return len(prepared)
+        store = self.rows
+        count = 0
+        for row in prepared:
+            for index in live:
+                index.check(row)
+            rowid = self.next_rowid()
+            store[rowid] = row
+            for index in live:
+                index.insert(rowid, row)
+            count += 1
+        return count
+
+    def _prepare_batch(self, rows: list) -> Optional[list[list[Any]]]:
+        """Column-screened batch prepare.
+
+        When every value in a column already has exactly the Python type
+        its affinity stores (int for INTEGER, float for REAL, str for
+        TEXT), per-cell coercion, NULL handling, and default logic are
+        all no-ops and the rows can be stored as-is.  Returns None when
+        any column needs the per-row path (mixed types, NULLs, omitted
+        values, other affinities).
+        """
+        columns = self.columns
+        for i, column in enumerate(columns):
+            kinds = set(map(type, [row[i] for row in rows]))
+            affinity = column.affinity
+            if affinity == "INTEGER":
+                if kinds != {int}:
+                    return None
+            elif affinity == "REAL":
+                if kinds != {float}:
+                    return None
+            elif affinity == "TEXT":
+                if kinds != {str}:
+                    return None
+            else:
+                return None
+        if type(rows[0]) is not list:
+            rows = [list(row) for row in rows]
+        for position in self._pk_positions:
+            if columns[position].affinity == "INTEGER":
+                top = max(row[position] for row in rows)
+                if top > self.last_autoincrement:
+                    self.last_autoincrement = top
+        return rows
 
     def _is_rowid_column(self, column: Column) -> bool:
         return column.autoincrement or (
@@ -329,7 +503,8 @@ class Table:
     def delete_row(self, rowid: int) -> list[Any]:
         row = self.rows.pop(rowid)
         for index in self.indexes.values():
-            index.remove(rowid, row)
+            if not index.stale:
+                index.remove(rowid, row)
         return row
 
     def update_row(self, rowid: int, new_values: dict[int, Any]) -> list[Any]:
@@ -347,6 +522,8 @@ class Table:
                 value = coerce(value, column.affinity, f"{self.name}.{column.name}")
             candidate[position] = value
         for index in self.indexes.values():
+            if index.stale:
+                continue
             # Only re-check indexes whose key changed.
             if index.key_for(old) != index.key_for(candidate):
                 index.remove(rowid, old)
@@ -363,7 +540,8 @@ class Table:
         """Undo helper: put a deleted row back verbatim."""
         self.rows[rowid] = row
         for index in self.indexes.values():
-            index.insert(rowid, row)
+            if not index.stale:
+                index.insert(rowid, row)
 
     def scan(self) -> Iterator[tuple[int, list[Any]]]:
         return iter(self.rows.items())
@@ -383,14 +561,21 @@ class Database:
         ("ins", table, rowid)              # undo: delete the row
         ("del", table, rowid, row)         # undo: restore the row
         ("upd", table, rowid, positions)   # undo: re-apply old values
+        ("bulk", table, watermark)         # undo: drop rowids >= watermark
         ("mk_table", key)                  # undo: remove created table
         ("rm_table", key, table)           # undo: re-attach dropped table
+
+    In bulk-load mode a single ``bulk`` record per table per transaction
+    replaces one ``ins`` record per row: every bulk-appended row has a
+    rowid at or above the recorded watermark, so rollback deletes that
+    rowid range and stays all-or-nothing without per-row bookkeeping.
     """
 
     #: Access-path counters surfaced through ``Connection.stats()``.
     _STAT_KEYS = (
         "rows_scanned", "rows_via_index", "full_scans",
         "index_eq_probes", "index_range_scans", "order_pushdowns",
+        "bulk_loads", "bulk_rows", "bulk_index_rebuilds",
     )
 
     def __init__(self) -> None:
@@ -400,6 +585,13 @@ class Database:
         self.in_transaction = False
         self._undo: list[tuple] = []
         self.stats: dict[str, int] = {key: 0 for key in self._STAT_KEYS}
+        self.bulk_mode = False
+        #: Tables whose secondary indexes are suspended for the current
+        #: bulk load; rebuilt once in :meth:`end_bulk`.
+        self._bulk_tables: set[Table] = set()
+        #: Per-transaction first-bulk-rowid watermarks backing the
+        #: ``bulk`` undo records; cleared at commit/rollback.
+        self._bulk_txn_tables: dict[Table, int] = {}
         # Serialises writers on shared databases: a connection holds this
         # for the duration of its transaction (sqlite's database lock).
         self.txn_lock = __import__("threading").Lock()
@@ -499,15 +691,21 @@ class Database:
     def commit(self) -> None:
         self.in_transaction = False
         self._undo.clear()
+        self._bulk_txn_tables.clear()
 
     def rollback(self) -> None:
         if not self.in_transaction:
             self._undo.clear()
+            self._bulk_txn_tables.clear()
             return
         for record in reversed(self._undo):
             op = record[0]
             if op == "ins":
                 record[1].delete_row(record[2])
+            elif op == "bulk":
+                table, watermark = record[1], record[2]
+                for rowid in [r for r in table.rows if r >= watermark]:
+                    table.delete_row(rowid)
             elif op == "del":
                 record[1].restore_row(record[2], record[3])
             elif op == "upd":
@@ -531,9 +729,65 @@ class Database:
                 if table is not None:
                     table.indexes.pop(index_name, None)
         self._undo.clear()
+        self._bulk_txn_tables.clear()
         self.in_transaction = False
 
+    # -- bulk load -----------------------------------------------------------
+
+    def begin_bulk(self) -> None:
+        """Enter bulk-load mode (``PRAGMA bulk_load(on)``).
+
+        Tables are suspended lazily at their first bulk insert, so the
+        mode costs nothing for tables the batch never touches.
+        """
+        if self.bulk_mode:
+            return
+        self.bulk_mode = True
+        self.stats["bulk_loads"] += 1
+
+    def end_bulk(self) -> None:
+        """Leave bulk-load mode (``PRAGMA bulk_load(off)``): rebuild each
+        suspended index exactly once from the loaded rows."""
+        if not self.bulk_mode:
+            return
+        self.bulk_mode = False
+        for table in self._bulk_tables:
+            self.stats["bulk_index_rebuilds"] += table.finish_bulk()
+        self._bulk_tables.clear()
+
+    @contextmanager
+    def bulk_load(self) -> Iterator["Database"]:
+        """Scoped bulk-load mode; indexes are rebuilt on exit even when
+        the body raises (rollback is the caller's responsibility)."""
+        self.begin_bulk()
+        try:
+            yield self
+        finally:
+            self.end_bulk()
+
+    def _enter_bulk_table(self, table: Table) -> None:
+        if table not in self._bulk_tables:
+            table.suspend_secondary()
+            self._bulk_tables.add(table)
+        if self.in_transaction and table not in self._bulk_txn_tables:
+            watermark = table.peek_rowid()
+            self._bulk_txn_tables[table] = watermark
+            self._undo.append(("bulk", table, watermark))
+
+    def bulk_insert_rows(self, table: Table, rows: Iterable[list[Any]]) -> int:
+        """Append a batch under bulk mode; one undo record, no per-row
+        index upkeep on suspended indexes.  Returns rows appended."""
+        self._enter_bulk_table(table)
+        count = table.append_rows(rows)
+        self.stats["bulk_rows"] += count
+        return count
+
     def insert(self, table: Table, row: list[Any]) -> int:
+        if self.bulk_mode:
+            self._enter_bulk_table(table)
+            rowid = table.insert_row(row)
+            self.stats["bulk_rows"] += 1
+            return rowid
         rowid = table.insert_row(row)
         if self.in_transaction:
             self._undo.append(("ins", table, rowid))

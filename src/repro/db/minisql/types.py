@@ -157,24 +157,102 @@ def cast_value(value: Any, target: str) -> Any:
     raise DataError(f"cannot CAST to {target!r}")
 
 
+#: sqlite's arRound table (sqlite3_str_vappendf): per-digit rounders.
+_AR_ROUND = (
+    5.0e-01, 5.0e-02, 5.0e-03, 5.0e-04, 5.0e-05,
+    5.0e-06, 5.0e-07, 5.0e-08, 5.0e-09, 5.0e-10,
+)
+
+
 def _number_to_text(value: int | float) -> str:
     """Render a number the way sqlite renders it when coerced to TEXT.
 
-    sqlite uses ``%!0.15g``: 15 significant digits, and always at least
-    one digit after the decimal point ('3.0', '1.0e+15').
+    sqlite formats REAL with ``%!.15g`` via its own long-double digit
+    extractor, whose tie rounding differs from Python's ``format(v,
+    '.15g')`` in the last digit for exact decimal ties (e.g.
+    512.5340576171875 → '512.534057617187', not ...188).  The
+    differential harness compares these strings byte-for-byte, so this
+    ports sqlite's algorithm: normalise the value to [1, 10) in 80-bit
+    long double, add the 5e-15 rounder, then pull digits one at a time.
     """
     if isinstance(value, int):
         return str(value)
     if value == 0.0:
-        value = 0.0  # sqlite renders -0.0 as '0.0'
-    text = format(value, ".15g")
-    if "e" in text or "E" in text:
-        mantissa, _, exponent = text.partition("e")
-        if "." not in mantissa:
-            mantissa += ".0"
-        return f"{mantissa}e{exponent}"
-    if "." not in text and "inf" not in text and "nan" not in text:
-        text += ".0"
+        return "0.0"  # sqlite renders -0.0 as '0.0'
+    import numpy as np
+
+    longdouble = np.longdouble
+    negative = value < 0.0
+    rv = longdouble(-value if negative else value)
+    exp = 0
+    if np.isinf(rv):
+        return "-Inf" if negative else "Inf"
+    scale = longdouble(1.0)
+    while rv >= longdouble(1e100) * scale and exp <= 350:
+        scale *= longdouble(1e100)
+        exp += 100
+    while rv >= longdouble(1e10) * scale and exp <= 350:
+        scale *= longdouble(1e10)
+        exp += 10
+    while rv >= longdouble(10.0) * scale and exp <= 350:
+        scale *= longdouble(10.0)
+        exp += 1
+    rv = rv / scale
+    while rv < longdouble(1e-8):
+        rv *= longdouble(1e8)
+        exp -= 8
+    while rv < longdouble(1.0):
+        rv *= longdouble(10.0)
+        exp -= 1
+    precision = 15 - 1  # %g counts the leading digit
+    idx = precision
+    rounder = longdouble(_AR_ROUND[idx % 10])
+    while idx >= 10:
+        rounder *= longdouble(1.0e-10)
+        idx -= 10
+    rv = rv + rounder
+    if rv >= longdouble(10.0):
+        rv *= longdouble(0.1)
+        exp += 1
+
+    significant = [16 + 10]  # nsd with the altform2 ('!') flag
+
+    def next_digit() -> str:
+        if significant[0] <= 0:
+            return "0"
+        significant[0] -= 1
+        digit = int(rv_box[0])
+        rv_box[0] = (rv_box[0] - longdouble(digit)) * longdouble(10.0)
+        return chr(digit + ord("0"))
+
+    rv_box = [rv]
+    out: list[str] = ["-"] if negative else []
+    if exp < -4 or exp > precision:  # etEXP form
+        out.append(next_digit())
+        out.append(".")
+        for _ in range(precision):
+            out.append(next_digit())
+        text = "".join(out).rstrip("0")
+        if text.endswith("."):
+            text += "0"
+        return f"{text}e{'+' if exp >= 0 else '-'}{abs(exp):02d}"
+    precision -= exp  # etFLOAT form
+    if exp < 0:
+        out.append("0")
+    else:
+        for _ in range(exp + 1):
+            out.append(next_digit())
+    out.append(".")
+    zeros = exp + 1
+    while zeros < 0:
+        out.append("0")
+        precision -= 1
+        zeros += 1
+    for _ in range(max(0, precision)):
+        out.append(next_digit())
+    text = "".join(out).rstrip("0")
+    if text.endswith("."):
+        text += "0"
     return text
 
 

@@ -17,6 +17,10 @@ from typing import Iterator
 from .api import DBConnection, connect
 
 
+class PoolTimeout(TimeoutError):
+    """Raised when ``acquire`` waits past its timeout for a connection."""
+
+
 class ConnectionPool:
     """Fixed-capacity pool of :class:`DBConnection` objects."""
 
@@ -31,7 +35,12 @@ class ConnectionPool:
         self._closed = False
 
     def acquire(self, timeout: float | None = None) -> DBConnection:
-        """Borrow a connection, creating one lazily up to ``size``."""
+        """Borrow a connection, creating one lazily up to ``size``.
+
+        Blocks until a connection is returned when the pool is exhausted;
+        with ``timeout``, raises :class:`PoolTimeout` instead of waiting
+        forever.
+        """
         if self._closed:
             raise RuntimeError("pool is closed")
         try:
@@ -42,7 +51,13 @@ class ConnectionPool:
             if self._created < self.size:
                 self._created += 1
                 return connect(self.url)
-        return self._idle.get(timeout=timeout)
+        try:
+            return self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise PoolTimeout(
+                f"no connection available within {timeout}s "
+                f"(pool size {self.size}, all borrowed)"
+            ) from None
 
     def release(self, connection: DBConnection) -> None:
         """Return a borrowed connection to the pool."""

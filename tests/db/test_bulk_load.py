@@ -1,0 +1,238 @@
+"""Bulk-load mode: PRAGMA forms, deferred index rebuild, rollback.
+
+The MiniSQL bulk-load mode (``PRAGMA bulk_load``) suspends secondary
+index maintenance during mass inserts and rebuilds once at the end;
+unique indexes stay live so constraint violations are still caught at
+the offending row.  ``DBConnection.bulk_load()`` exposes the same
+surface on both backends (sqlite silently ignores the pragma).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import IntegrityError, connect
+from repro.db.minisql import connect as minisql_connect
+
+SCHEMA = (
+    "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+    "a INTEGER, b INTEGER, label TEXT)"
+)
+
+
+@pytest.fixture
+def mini():
+    conn = minisql_connect()
+    conn.execute(SCHEMA)
+    conn.execute("CREATE INDEX ix_a ON t (a)")
+    conn.execute("CREATE INDEX ix_b ON t (b) USING BTREE")
+    conn.commit()
+    yield conn
+    conn.close()
+
+
+def _fill(conn, n, start=0):
+    conn.executemany(
+        "INSERT INTO t (a, b, label) VALUES (?, ?, ?)",
+        [(i % 10, i, f"row{i}") for i in range(start, start + n)],
+    )
+
+
+class TestPragmaForms:
+    def test_paren_and_assignment_forms(self, mini):
+        mini.execute("PRAGMA bulk_load(on)")
+        assert mini.execute("PRAGMA bulk_load(status)").fetchall() == [(1,)]
+        mini.execute("PRAGMA bulk_load = off")
+        assert mini.execute("PRAGMA bulk_load(status)").fetchall() == [(0,)]
+        mini.execute("PRAGMA bulk_load = 1")
+        assert mini.execute("PRAGMA bulk_load(status)").fetchall() == [(1,)]
+        mini.execute("PRAGMA bulk_load(0)")
+        assert mini.execute("PRAGMA bulk_load(status)").fetchall() == [(0,)]
+
+    def test_bad_argument_rejected(self, mini):
+        from repro.db.minisql import ProgrammingError
+
+        with pytest.raises(ProgrammingError):
+            mini.execute("PRAGMA bulk_load(sideways)")
+
+    def test_idempotent_on_off(self, mini):
+        mini.execute("PRAGMA bulk_load(on)")
+        mini.execute("PRAGMA bulk_load(on)")
+        mini.execute("PRAGMA bulk_load(off)")
+        mini.execute("PRAGMA bulk_load(off)")
+        assert mini.stats()["bulk_loads"] == 1
+
+
+class TestDeferredRebuild:
+    def test_rows_visible_during_bulk(self, mini):
+        with mini.bulk_load():
+            _fill(mini, 500)
+            got = mini.execute(
+                "SELECT count(*) FROM t WHERE a = 3"
+            ).fetchone()
+            assert got == (50,)
+        mini.commit()
+
+    def test_index_used_after_rebuild(self, mini):
+        with mini.bulk_load():
+            _fill(mini, 500)
+        mini.commit()
+        plan = " ".join(
+            " ".join(str(c) for c in row)
+            for row in mini.execute("EXPLAIN SELECT * FROM t WHERE a = 3")
+        )
+        assert "ix_a" in plan
+        assert mini.execute(
+            "SELECT count(*) FROM t WHERE b BETWEEN 10 AND 19"
+        ).fetchone() == (10,)
+
+    def test_stats_counters(self, mini):
+        with mini.bulk_load():
+            _fill(mini, 200)
+        mini.commit()
+        stats = mini.stats()
+        assert stats["bulk_loads"] == 1
+        assert stats["bulk_rows"] == 200
+        # ix_a (hash) + ix_b (btree) rebuilt; live unique pk is not.
+        assert stats["bulk_index_rebuilds"] == 2
+
+    def test_commit_keeps_mode_until_pragma_off(self, mini):
+        mini.execute("PRAGMA bulk_load(on)")
+        _fill(mini, 100)
+        mini.commit()
+        assert mini.execute("PRAGMA bulk_load(status)").fetchall() == [(1,)]
+        _fill(mini, 100)
+        mini.commit()
+        mini.execute("PRAGMA bulk_load(off)")
+        assert mini.stats()["bulk_loads"] == 1
+        assert mini.stats()["bulk_rows"] == 200
+
+
+class TestRollbackCorrectness:
+    """Satellite 6: a violation at row k must leave table AND indexes
+    exactly as they were before the failed batch."""
+
+    def _snapshot(self, conn):
+        return (
+            conn.execute("SELECT * FROM t ORDER BY id").fetchall(),
+            conn.execute(
+                "SELECT count(*) FROM t WHERE a = 3"
+            ).fetchone(),
+            conn.execute(
+                "SELECT count(*) FROM t WHERE b BETWEEN 0 AND 100"
+            ).fetchone(),
+        )
+
+    def test_unique_violation_mid_batch_rolls_back_cleanly(self, mini):
+        mini.execute("CREATE UNIQUE INDEX ux_label ON t (label)")
+        with mini.bulk_load():
+            _fill(mini, 300)
+        mini.commit()
+        before = self._snapshot(mini)
+
+        rows = [(1, 1000 + i, f"new{i}") for i in range(50)]
+        rows[37] = (1, 9999, "row7")  # duplicate label → violation at row 37
+        with pytest.raises(IntegrityError):
+            with mini.bulk_load():
+                mini.executemany(
+                    "INSERT INTO t (a, b, label) VALUES (?, ?, ?)", rows
+                )
+        mini.rollback()
+
+        assert self._snapshot(mini) == before
+        # indexes answer queries for the failed batch's keys correctly
+        assert mini.execute(
+            "SELECT count(*) FROM t WHERE b >= 1000"
+        ).fetchone() == (0,)
+        assert mini.execute(
+            "SELECT count(*) FROM t WHERE label = 'new0'"
+        ).fetchone() == (0,)
+        assert mini.execute(
+            "SELECT count(*) FROM t WHERE label = 'row7'"
+        ).fetchone() == (1,)
+
+    def test_rollback_spares_rows_committed_during_bulk(self, mini):
+        mini.execute("PRAGMA bulk_load(on)")
+        _fill(mini, 100)
+        mini.commit()
+        _fill(mini, 100, start=100)
+        mini.rollback()
+        mini.execute("PRAGMA bulk_load(off)")
+        assert mini.execute("SELECT count(*) FROM t").fetchone() == (100,)
+        assert mini.execute(
+            "SELECT count(*) FROM t WHERE a = 3"
+        ).fetchone() == (10,)
+
+    def test_update_delete_during_bulk_rollback(self, mini):
+        with mini.bulk_load():
+            _fill(mini, 100)
+        mini.commit()
+        before = self._snapshot(mini)
+        with mini.bulk_load():
+            mini.execute("UPDATE t SET a = 99 WHERE b = 5")
+            mini.execute("DELETE FROM t WHERE b = 6")
+            _fill(mini, 10, start=100)
+        mini.rollback()
+        assert self._snapshot(mini) == before
+
+
+class TestDBConnectionBulkLoad:
+    """The backend-neutral surface behaves identically on both engines."""
+
+    def test_bulk_load_commits_on_success(self, conn):
+        conn.execute(SCHEMA)
+        conn.execute("CREATE INDEX ix_a ON t (a)")
+        conn.commit()
+        with conn.bulk_load():
+            conn.executemany(
+                "INSERT INTO t (a, b, label) VALUES (?, ?, ?)",
+                [(i % 5, i, f"r{i}") for i in range(100)],
+            )
+        assert conn.scalar("SELECT count(*) FROM t") == 100
+        assert conn.scalar("SELECT count(*) FROM t WHERE a = 2") == 20
+
+    def test_bulk_load_rolls_back_on_error(self, conn):
+        conn.execute(SCHEMA)
+        conn.execute("CREATE UNIQUE INDEX ux_b ON t (b)")
+        conn.commit()
+        with conn.bulk_load():
+            conn.executemany(
+                "INSERT INTO t (a, b, label) VALUES (?, ?, ?)",
+                [(i, i, f"r{i}") for i in range(10)],
+            )
+        rows = [(0, 100 + i, "x") for i in range(20)]
+        rows[13] = (0, 5, "dup")  # duplicate b
+        with pytest.raises(IntegrityError):
+            with conn.bulk_load():
+                conn.executemany(
+                    "INSERT INTO t (a, b, label) VALUES (?, ?, ?)", rows
+                )
+        assert conn.scalar("SELECT count(*) FROM t") == 10
+        assert conn.scalar("SELECT count(*) FROM t WHERE b >= 100") == 0
+
+    def test_begin_end_bulk_are_noops_for_reads(self, conn):
+        conn.execute(SCHEMA)
+        conn.commit()
+        conn.begin_bulk()
+        conn.execute("INSERT INTO t (a, b, label) VALUES (1, 2, 'x')")
+        assert conn.scalar("SELECT count(*) FROM t") == 1
+        conn.end_bulk()
+        conn.commit()
+        assert conn.scalar("SELECT label FROM t WHERE a = 1") == "x"
+
+
+def test_bulk_stats_exposed_via_dbconnection():
+    conn = connect("minisql://:memory:")
+    conn.execute(SCHEMA)
+    conn.execute("CREATE INDEX ix_a ON t (a)")
+    conn.commit()
+    with conn.bulk_load():
+        conn.executemany(
+            "INSERT INTO t (a, b, label) VALUES (?, ?, ?)",
+            [(i % 5, i, f"r{i}") for i in range(64)],
+        )
+    stats = conn.stats()
+    assert stats["bulk_loads"] == 1
+    assert stats["bulk_rows"] == 64
+    assert stats["bulk_index_rebuilds"] == 1
+    conn.close()

@@ -120,3 +120,30 @@ class TestPerfDMFArchiveDump:
         assert restored.count_data_points() == expected
         back = restored.load_datasource()
         assert back.num_threads == source.num_threads
+
+    def test_archive_dump_restores_into_sqlite(self, tmp_path):
+        """Composite-PK tables (interval_location_profile) must dump as a
+        table-level PRIMARY KEY constraint — sqlite rejects repeated
+        inline markers with "more than one primary key"."""
+        from repro.core.session import PerfDMFSession
+        from repro.tau.apps import EVH1
+
+        session = PerfDMFSession("minisql://:memory:")
+        app = session.create_application("evh1")
+        exp = session.create_experiment(app, "e")
+        source = EVH1(problem_size=0.05, timesteps=1).run(2)
+        trial = session.save_trial(source, exp, "t")
+        expected = session.count_data_points(trial)
+
+        path = save_database(session.connection._raw, tmp_path / "archive.sql")
+
+        raw = sqlite3.connect(":memory:")
+        raw.executescript(path.read_text())
+        (count,) = raw.execute(
+            "SELECT count(*) FROM interval_location_profile"
+        ).fetchone()
+        assert count == expected
+        schema = raw.execute(
+            "SELECT sql FROM sqlite_master WHERE name = 'interval_location_profile'"
+        ).fetchone()[0]
+        assert "PRIMARY KEY (interval_event, node, context, thread, metric)" in schema

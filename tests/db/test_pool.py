@@ -1,10 +1,11 @@
 """Tests for the connection pool used by the PerfExplorer server."""
 
 import threading
+import time
 
 import pytest
 
-from repro.db.pool import ConnectionPool
+from repro.db.pool import ConnectionPool, PoolTimeout
 
 
 class TestPoolBasics:
@@ -78,3 +79,95 @@ class TestPoolConcurrency:
             assert conn.scalar("SELECT count(*) FROM hits") == 80
         pool.close()
         reset_shared_databases()
+
+    def test_acquire_release_races_never_overshoot(self, db_url):
+        """Many threads hammering a small pool must never see more than
+        ``size`` connections live at once, and no acquire may fail."""
+        pool = ConnectionPool(db_url, size=3)
+        live = 0
+        peak = 0
+        gate = threading.Lock()
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker() -> None:
+            nonlocal live, peak
+            try:
+                start.wait(timeout=5)
+                for _ in range(25):
+                    conn = pool.acquire(timeout=5)
+                    with gate:
+                        live += 1
+                        peak = max(peak, live)
+                    with gate:
+                        live -= 1
+                    pool.release(conn)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert peak <= 3
+        pool.close()
+
+    def test_exhaustion_times_out_with_pool_timeout(self, db_url):
+        pool = ConnectionPool(db_url, size=2)
+        a = pool.acquire()
+        b = pool.acquire()
+        t0 = time.perf_counter()
+        with pytest.raises(PoolTimeout) as exc_info:
+            pool.acquire(timeout=0.1)
+        assert time.perf_counter() - t0 >= 0.05
+        assert "pool size 2" in str(exc_info.value)
+        # PoolTimeout is a TimeoutError, so generic handlers catch it too
+        assert isinstance(exc_info.value, TimeoutError)
+        pool.release(a)
+        pool.release(b)
+        pool.close()
+
+    def test_blocked_acquire_wakes_on_release(self, db_url):
+        pool = ConnectionPool(db_url, size=1)
+        held = pool.acquire()
+        got = []
+
+        def blocked() -> None:
+            got.append(pool.acquire(timeout=5))
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        assert not got  # still parked waiting for the release
+        pool.release(held)
+        t.join(timeout=5)
+        assert got == [held]
+        pool.release(got[0])
+        pool.close()
+
+    def test_context_manager_returns_connection_for_reuse(self, db_url):
+        pool = ConnectionPool(db_url, size=1)
+        with pool.connection() as first:
+            first.execute("CREATE TABLE r (x INTEGER)")
+            first.commit()
+        for i in range(5):
+            with pool.connection(timeout=1) as conn:
+                assert conn is first  # single slot, always recycled
+                conn.execute("INSERT INTO r VALUES (?)", (i,))
+                conn.commit()
+        with pool.connection() as conn:
+            assert conn.scalar("SELECT count(*) FROM r") == 5
+        pool.close()
+
+    def test_context_manager_releases_on_error(self, db_url):
+        pool = ConnectionPool(db_url, size=1)
+        with pytest.raises(RuntimeError):
+            with pool.connection() as conn:
+                raise RuntimeError("boom")
+        # the slot must be back: a fresh acquire cannot time out
+        again = pool.acquire(timeout=1)
+        assert again is conn
+        pool.release(again)
+        pool.close()

@@ -176,6 +176,27 @@ CORPUS = [
     ("ALTER TABLE dept ADD COLUMN location TEXT", ()),
     ("UPDATE dept SET location = 'hq' WHERE id = 1", ()),
     ("SELECT name, location FROM dept ORDER BY id", ()),
+    # --- bulk-load mode --------------------------------------------------
+    # MiniSQL defers secondary-index maintenance inside the pragma pair;
+    # sqlite ignores the (unknown) pragma.  Results must stay identical
+    # both during the bulk window (full scans) and after the rebuild.
+    ("PRAGMA bulk_load(on)", ()),
+    ("INSERT INTO emp (name, dept_id, salary, bonus, hired) VALUES "
+     "('gus', 3, 70.0, 0.0, '2006-06-06'), "
+     "('hal', 3, 71.0, 0.0, '2007-07-07'), "
+     "('ivy', 1, 72.0, 0.0, '2008-08-08')", ()),
+    ("SELECT name FROM emp WHERE dept_id = 3 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE salary BETWEEN 69 AND 73 ORDER BY name", ()),
+    ("UPDATE emp SET salary = 73.5 WHERE name = 'gus'", ()),
+    ("SELECT name, salary FROM emp WHERE dept_id = 3 ORDER BY name", ()),
+    # a violation inside the bulk window fails on both and changes nothing
+    Err("INSERT INTO dept (name) VALUES ('eng')"),
+    ("SELECT count(*) FROM dept", ()),
+    ("PRAGMA bulk_load = off", ()),
+    ("SELECT name FROM emp WHERE salary BETWEEN 69 AND 74 ORDER BY name", ()),
+    ("SELECT name FROM emp WHERE dept_id = 1 ORDER BY name", ()),
+    ("DELETE FROM emp WHERE name IN ('gus', 'hal', 'ivy')", ()),
+    ("SELECT count(*) FROM emp", ()),
 ]
 
 
