@@ -1,0 +1,175 @@
+"""E11 — observability overhead on the E2 query workload.
+
+The tracing/metrics instrumentation is always compiled in (ISSUE 3's
+"always compiled, cheap when off"), so its disabled-path cost must be
+guarded: this benchmark runs an E2-style MiniSQL query mix twice — once
+as shipped (tracer disabled, hooks present) and once with the
+observability hooks monkeypatched out entirely — and asserts the
+disabled path costs < 5% extra.
+
+It also records the *enabled*-path ratio for the report (informational,
+not asserted: span capture is allowed to cost real time) and leaves an
+example Chrome trace at the repo root for CI to archive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.session import PerfDMFSession
+from repro.db.api import DBConnection
+from repro.db.minisql.engine import Cursor, InterfaceError, ProgrammingError
+from repro.obs.trace import tracer
+from repro.tau.apps import Miranda
+from repro.tau.apps.miranda import NUM_EVENTS
+
+from conftest import scale
+
+RANKS = scale(256, 2048)
+ROUNDS = 9
+QUERIES_PER_ROUND = 60
+
+#: Example trace for the CI artifact step (satellite: artifacts upload).
+TRACE_EXAMPLE = Path(__file__).resolve().parent.parent / "BENCH_e11_trace_example.json"
+
+
+@pytest.fixture(scope="module")
+def mini_loaded():
+    session = PerfDMFSession("minisql://:memory:")
+    application = session.create_application("miranda")
+    experiment = session.create_experiment(application, "bgl")
+    trial = session.save_trial(Miranda().generate(RANKS), experiment, "big")
+    session.set_trial(trial)
+    yield session
+    session.close()
+
+
+def _workload(conn: DBConnection) -> int:
+    """An E2-shaped query mix: selective range, top-N, point, aggregate."""
+    total = 0
+    lo, hi = RANKS // 2 - 2, RANKS // 2
+    for _ in range(QUERIES_PER_ROUND // 4):
+        total += len(conn.query(
+            "SELECT interval_event, node, exclusive "
+            "FROM interval_location_profile WHERE node > ? AND node <= ?",
+            (lo, hi),
+        ))
+        total += len(conn.query(
+            "SELECT interval_event, node, exclusive "
+            "FROM interval_location_profile ORDER BY exclusive DESC LIMIT 20"
+        ))
+        total += len(conn.query(
+            "SELECT id, name FROM interval_event WHERE id = ?", (1,)
+        ))
+        total += len(conn.query(
+            "SELECT count(*) FROM interval_location_profile"
+        ))
+    return total
+
+
+def _bare_db_execute(self, sql, params=()):
+    """DBConnection.execute with the tracer hook stripped."""
+    with self._lock:
+        return self._raw.execute(sql, tuple(params))
+
+
+def _bare_cursor_execute(self, sql, params=()):
+    """minisql Cursor.execute with the observation branch stripped."""
+    self._check_open()
+    if isinstance(params, (str, bytes)):
+        raise InterfaceError("parameters must be a sequence, not a string")
+    statements = self.connection._parse(sql)
+    if len(statements) != 1:
+        raise ProgrammingError(
+            "execute() accepts exactly one statement; use executescript()"
+        )
+    result = self.connection._run(statements[0], tuple(params), self)
+    self._install(result)
+    return self
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_disabled_overhead_under_5_percent(
+    mini_loaded, monkeypatch, report, bench_json
+):
+    conn = mini_loaded.connection
+    assert not tracer.enabled
+
+    # Warm both code paths (statement cache, table data) before timing.
+    expected = _workload(conn)
+
+    # Interleave the two variants round by round so clock drift and cache
+    # state hit both equally; compare best-of times.
+    shipped_best = float("inf")
+    stripped_best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        rows = _workload(conn)
+        shipped_best = min(shipped_best, time.perf_counter() - t0)
+        assert rows == expected
+
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(DBConnection, "execute", _bare_db_execute)
+            mp.setattr(Cursor, "execute", _bare_cursor_execute)
+            t0 = time.perf_counter()
+            rows = _workload(conn)
+            stripped_best = min(stripped_best, time.perf_counter() - t0)
+        assert rows == expected
+
+    overhead = shipped_best / stripped_best - 1.0
+    report(
+        f"E11 disabled-tracing overhead on E2 queries -> "
+        f"{overhead * 100:+5.2f}% "
+        f"({stripped_best * 1e3:.1f} ms bare, {shipped_best * 1e3:.1f} ms shipped)"
+    )
+    bench_json("e11_obs_overhead", {
+        "ranks": RANKS,
+        "queries_per_round": QUERIES_PER_ROUND,
+        "bare_seconds": stripped_best,
+        "shipped_seconds": shipped_best,
+        "disabled_overhead_fraction": overhead,
+    })
+    assert overhead < 0.05, (
+        f"disabled observability path costs {overhead * 100:.2f}% "
+        f"(budget: 5%)"
+    )
+
+
+def test_enabled_trace_produces_example_artifact(mini_loaded, report):
+    """Enabled-path sanity: the same workload under tracing yields a
+    loadable Chrome trace (archived by CI) and a bounded slowdown."""
+    conn = mini_loaded.connection
+    _, base = _best_of(lambda: _workload(conn), 3)
+
+    tracer.enable()
+    tracer.clear()
+    try:
+        _, traced_time = _best_of(lambda: _workload(conn), 3)
+        count = tracer.export_chrome(TRACE_EXAMPLE)
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+    doc = json.loads(TRACE_EXAMPLE.read_text())
+    assert count == len(doc["traceEvents"]) > 0
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "db.execute" in names
+    assert "minisql.execute" in names
+    ratio = traced_time / base
+    report(
+        f"E11 enabled tracing ({count} spans captured)  -> "
+        f"{ratio:5.2f}x the untraced workload"
+    )

@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("configure", help="create the PerfDMF schema")
     add_db(p)
 
+    def add_trace(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="record trace spans and write them to FILE on exit "
+                 "(Chrome trace-event format; .jsonl for JSON lines)",
+        )
+
     p = sub.add_parser("load", help="import a profile into the archive")
     add_db(p)
     p.add_argument("target", help="profile file or directory")
@@ -62,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trial", required=True, help="trial name")
     p.add_argument("--format", dest="format_name", default=None,
                    help="profile format (default: auto-detect)")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-stage ingest timings after the load")
+    add_trace(p)
 
     p = sub.add_parser("list", help="list the application/experiment/trial tree")
     add_db(p)
@@ -87,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--column", default="exclusive")
     p.add_argument("--event", default=None)
     p.add_argument("--metric", default=None)
+    add_trace(p)
 
     p = sub.add_parser("derive", help="add a derived metric to a stored trial")
     add_db(p)
@@ -127,6 +138,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--once", action="store_true",
                    help="print the address and exit (testing)")
+    add_trace(p)
+
+    p = sub.add_parser(
+        "stats", help="dump/reset/watch the observability metrics registry"
+    )
+    p.add_argument(
+        "--db", default=None,
+        help="absorb this database's counters into the registry first",
+    )
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "prometheus"))
+    p.add_argument("--reset", action="store_true",
+                   help="zero every metric after printing")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="re-print every SECONDS until interrupted")
+
+    p = sub.add_parser(
+        "sql", help="run one SQL statement (e.g. EXPLAIN ANALYZE) and "
+                    "print the result rows"
+    )
+    add_db(p)
+    p.add_argument("statement", help="the SQL statement to execute")
 
     p = sub.add_parser("shell", help="interactive ParaProf archive shell")
     add_db(p)
@@ -157,12 +190,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "shell": _cmd_shell,
         "report": _cmd_report,
+        "stats": _cmd_stats,
+        "sql": _cmd_sql,
     }[args.command]
+    tracing = _start_trace(args)
     try:
         return handler(args)
     except (ValueError, LookupError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracing:
+            _finish_trace(args)
+
+
+# -- tracing plumbing ---------------------------------------------------------
+
+
+def _start_trace(args) -> bool:
+    """Enable span collection when the subcommand got ``--trace FILE``."""
+    if getattr(args, "trace", None) is None:
+        return False
+    from .obs import tracer
+
+    tracer.clear()
+    tracer.enable()
+    return True
+
+
+def _finish_trace(args) -> None:
+    from .obs import tracer
+
+    tracer.disable()
+    path = args.trace
+    if str(path).endswith(".jsonl"):
+        count = tracer.export_jsonl(path)
+    else:
+        count = tracer.export_chrome(path)
+    print(f"wrote {count} trace span(s) to {path}")
 
 
 # -- handlers ----------------------------------------------------------------
@@ -194,8 +259,28 @@ def _cmd_load(args) -> int:
         f"{args.app}/{args.exp}: {points:,} data points, "
         f"metrics: {', '.join(session.get_metrics())}"
     )
+    if args.stats:
+        _print_ingest_stats(session.connection.stats())
     session.close()
     return 0
+
+
+def _print_ingest_stats(stats: dict) -> None:
+    """Per-stage ingest timings collected by ``save_trial``."""
+    stages = (
+        ("parse", "ingest_parse_seconds"),
+        ("insert", "ingest_insert_seconds"),
+        ("index rebuild", "ingest_index_seconds"),
+        ("summaries", "ingest_summary_seconds"),
+    )
+    print("ingest stage timings:")
+    for label, key in stages:
+        if key in stats:
+            print(f"  {label:<14} {stats[key] * 1000.0:>10.1f} ms")
+    if "ingest_rows" in stats:
+        print(f"  {'rows':<14} {int(stats['ingest_rows']):>10,}")
+    if "ingest_rows_per_second" in stats:
+        print(f"  {'rows/second':<14} {stats['ingest_rows_per_second']:>10,.0f}")
 
 
 def _cmd_list(args) -> int:
@@ -367,7 +452,10 @@ def _cmd_workflow(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .explorer import AnalysisServer, SocketServer
+    from .obs import configure_logging
 
+    # Surface the per-request structured log on stderr.
+    configure_logging(level="info")
     server = SocketServer(AnalysisServer(args.db), host=args.host, port=args.port)
     host, port = server.start()
     print(f"PerfExplorer analysis server listening on {host}:{port}")
@@ -393,6 +481,78 @@ def _cmd_report(args) -> int:
     path = write_html_report(source, args.output, title=title)
     print(f"wrote HTML report to {path}")
     session.close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .obs import registry
+
+    if args.db:
+        from .db.api import connect
+
+        # stats() publishes the database's counters into the registry.
+        conn = connect(args.db)
+        conn.stats()
+        conn.close()
+
+    def emit() -> None:
+        if args.format == "json":
+            print(registry.to_json())
+        elif args.format == "prometheus":
+            print(registry.to_prometheus(), end="")
+        else:
+            snapshot = registry.snapshot()
+            if not snapshot:
+                print("(metrics registry is empty)")
+            for name, snap in snapshot.items():
+                if snap["type"] == "histogram":
+                    if snap["count"]:
+                        print(
+                            f"{name}: count={snap['count']} "
+                            f"sum={snap['sum']:.6g} mean={snap['mean']:.6g} "
+                            f"min={snap['min']:.6g} max={snap['max']:.6g}"
+                        )
+                    else:
+                        print(f"{name}: count=0")
+                else:
+                    print(f"{name}: {snap['value']}")
+
+    if args.watch is not None:
+        import time
+
+        try:  # pragma: no cover - interactive loop
+            while True:
+                emit()
+                print("--")
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+    emit()
+    if args.reset:
+        registry.reset()
+        print("metrics registry reset", file=sys.stderr)
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from .db.api import DatabaseError, connect
+
+    conn = connect(args.db)
+    try:
+        cursor = conn.execute(args.statement)
+        if cursor.description:
+            headers = [d[0] for d in cursor.description]
+            print("\t".join(headers))
+            for row in cursor.fetchall():
+                print("\t".join(str(value) for value in row))
+        else:
+            print(f"ok ({cursor.rowcount} row(s) affected)")
+        conn.commit()
+    except DatabaseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
     return 0
 
 

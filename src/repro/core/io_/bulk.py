@@ -28,6 +28,9 @@ from pathlib import Path
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from repro.obs.metrics import registry as _registry
+from repro.obs.trace import tracer as _tracer
+
 from ..model.columnar import ColumnarTrial
 from .registry import load_profile
 
@@ -43,15 +46,34 @@ def parse_columnar(
     Module-level so it is picklable as a process-pool task.  The source
     path is recorded in the payload metadata under ``ingest_source``.
     """
-    source = load_profile(target, format_name)
-    columnar = ColumnarTrial.from_datasource(source)
+    with _tracer.span("ingest.parse_file", target=str(target)):
+        with _tracer.span("ingest.load_profile"):
+            source = load_profile(target, format_name)
+        with _tracer.span("ingest.columnarize"):
+            columnar = ColumnarTrial.from_datasource(source)
     columnar.metadata.setdefault("ingest_source", str(target))
     return columnar
 
 
-def _parse_task(spec: tuple[str, Optional[str]]) -> ColumnarTrial:
-    """Pool entry point: one (path, format) pair per task."""
-    return parse_columnar(spec[0], spec[1])
+def _parse_task(spec: tuple) -> ColumnarTrial:
+    """Pool entry point: one (path, format[, trace_ctx]) tuple per task.
+
+    When a trace context ``(trace_id, parent_span_id)`` rides along, the
+    worker enables its own process-local tracer, parses under that
+    remote parent, and ships its finished spans back attached to the
+    payload (``trace_spans``) for the coordinator to adopt — worker
+    spans then nest under the coordinator's ingest span in exported
+    timelines.
+    """
+    trace_ctx = spec[2] if len(spec) > 2 else None
+    if trace_ctx is None:
+        return parse_columnar(spec[0], spec[1])
+    _tracer.enable()
+    _tracer.clear()
+    with _tracer.context(trace_ctx[0], trace_ctx[1]):
+        columnar = parse_columnar(spec[0], spec[1])
+    columnar.trace_spans = _tracer.drain()
+    return columnar
 
 
 def parse_profiles(
@@ -66,13 +88,22 @@ def parse_profiles(
     target list) parses serially in-process — same results, no pool
     overhead.  Output order always matches input order.
     """
-    specs = [(str(t), format_name) for t in targets]
     if workers is None:
-        workers = min(len(specs), os.cpu_count() or 1)
-    if workers <= 1 or len(specs) <= 1:
-        return [_parse_task(spec) for spec in specs]
+        workers = min(len(targets), os.cpu_count() or 1)
+    if workers <= 1 or len(targets) <= 1:
+        # Serial path records spans directly into this process's tracer.
+        return [parse_columnar(str(t), format_name) for t in targets]
+    trace_ctx = _tracer.current_context() if _tracer.enabled else None
+    specs = [(str(t), format_name, trace_ctx) for t in targets]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_parse_task, specs))
+        payloads = list(pool.map(_parse_task, specs))
+    if trace_ctx is not None:
+        for payload in payloads:
+            shipped = getattr(payload, "trace_spans", None)
+            if shipped:
+                _tracer.adopt(shipped)
+                payload.trace_spans = None
+    return payloads
 
 
 @dataclass
@@ -129,22 +160,31 @@ def ingest_profiles(
     )
 
     report = IngestReport(files=len(target_list), workers=max(1, resolved_workers))
-    parse_started = perf_counter()
-    payloads = parse_profiles(target_list, format_name, resolved_workers)
-    report.parse_seconds = perf_counter() - parse_started
+    with _tracer.span(
+        "ingest.run", files=len(target_list), workers=report.workers
+    ):
+        parse_started = perf_counter()
+        with _tracer.span("ingest.parse_stage"):
+            payloads = parse_profiles(target_list, format_name, resolved_workers)
+        report.parse_seconds = perf_counter() - parse_started
 
-    insert = index = summary = 0.0
-    store_started = perf_counter()
-    conn = session.connection
-    for i, payload in enumerate(payloads):
-        name = names[i] if names is not None else Path(target_list[i]).name
-        trial = session.save_trial(payload, experiment, name, bulk=bulk)
-        report.trials.append(trial)
-        report.rows += payload.num_data_points
-        insert += conn.ingest_stats.get("ingest_insert_seconds", 0.0)
-        index += conn.ingest_stats.get("ingest_index_seconds", 0.0)
-        summary += conn.ingest_stats.get("ingest_summary_seconds", 0.0)
-    report.store_seconds = perf_counter() - store_started
+        insert = index = summary = 0.0
+        store_started = perf_counter()
+        conn = session.connection
+        for i, payload in enumerate(payloads):
+            name = names[i] if names is not None else Path(target_list[i]).name
+            with _tracer.span("ingest.store_trial", trial=name):
+                trial = session.save_trial(payload, experiment, name, bulk=bulk)
+            report.trials.append(trial)
+            report.rows += payload.num_data_points
+            insert += conn.ingest_stats.get("ingest_insert_seconds", 0.0)
+            index += conn.ingest_stats.get("ingest_index_seconds", 0.0)
+            summary += conn.ingest_stats.get("ingest_summary_seconds", 0.0)
+        report.store_seconds = perf_counter() - store_started
+    _registry.counter("ingest.files").inc(report.files)
+    _registry.counter("ingest.rows").inc(report.rows)
+    _registry.histogram("ingest.parse_stage_seconds").observe(report.parse_seconds)
+    _registry.histogram("ingest.store_stage_seconds").observe(report.store_seconds)
 
     conn.ingest_stats = {
         "ingest_parse_seconds": report.parse_seconds,

@@ -18,6 +18,9 @@ from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import registry as _registry
+from repro.obs.trace import traced as _traced, tracer as _tracer
+
 from ...db.api import DBConnection, connect
 from ..api.entities import Application, Experiment, Trial
 from ..model import ColumnarTrial, DataSource
@@ -246,6 +249,13 @@ class PerfDMFSession(DataSession):
                 rows_stored / total_seconds if total_seconds > 0 else 0.0
             ),
         }
+        if _tracer.enabled:
+            _tracer.record(
+                "session.save_trial", total_seconds,
+                trial=name, rows=rows_stored,
+            )
+        _registry.counter("session.trials_saved").inc()
+        _registry.absorb("db", conn.ingest_stats)
         return trial
 
     def _insert_named_rows(
@@ -438,6 +448,7 @@ class PerfDMFSession(DataSession):
 
     _AGGREGATES = ("min", "max", "avg", "sum", "count", "stddev", "variance")
 
+    @_traced("session.aggregate")
     def aggregate(
         self,
         operation: str,
@@ -484,6 +495,7 @@ class PerfDMFSession(DataSession):
 
     # ------------------------------------------------------------------ loading --
 
+    @_traced("session.load_datasource")
     def load_datasource(self, trial: Trial | int | None = None) -> DataSource:
         """Materialise a stored trial back into a DataSource."""
         trial_id = self._selected_trial_id(trial)
@@ -565,6 +577,7 @@ class PerfDMFSession(DataSession):
         source.generate_statistics()
         return source
 
+    @_traced("session.load_columnar")
     def load_columnar(self, trial: Trial | int | None = None) -> ColumnarTrial:
         """Materialise a stored trial as a :class:`ColumnarTrial`.
 

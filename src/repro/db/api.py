@@ -26,6 +26,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from repro.obs.metrics import registry as _registry
+from repro.obs.trace import tracer as _tracer
+
 from . import minisql
 from .dialects import Dialect, get_dialect
 
@@ -144,10 +147,22 @@ class DBConnection:
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
         """Execute one statement; returns the backend cursor."""
+        if _tracer.enabled:
+            with _tracer.span(
+                "db.execute", backend=self.backend, sql=sql.strip()[:200]
+            ):
+                with self._lock:
+                    return self._raw.execute(sql, tuple(params))
         with self._lock:
             return self._raw.execute(sql, tuple(params))
 
     def executemany(self, sql: str, seq: Iterable[Sequence[Any]]) -> Any:
+        if _tracer.enabled:
+            with _tracer.span(
+                "db.executemany", backend=self.backend, sql=sql.strip()[:200]
+            ):
+                with self._lock:
+                    return self._raw.executemany(sql, seq)
         with self._lock:
             return self._raw.executemany(sql, seq)
 
@@ -186,6 +201,9 @@ class DBConnection:
             with self._lock:
                 merged.update(self._raw.stats())
         merged.update(self.ingest_stats)
+        # Publish the snapshot into the process-global registry so
+        # ``repro stats`` and the Prometheus exposition see it too.
+        _registry.absorb("db", merged)
         return merged
 
     def reset_stats(self) -> None:

@@ -293,9 +293,14 @@ class RollbackTransaction(Statement):
 
 @dataclass
 class Explain(Statement):
-    """``EXPLAIN <statement>`` — describe the execution strategy."""
+    """``EXPLAIN [ANALYZE] <statement>`` — describe the execution strategy.
+
+    With ``analyze`` the statement is actually executed and each plan
+    step is annotated with the rows it produced and its wall time.
+    """
 
     statement: "Statement"
+    analyze: bool = False
 
 
 @dataclass

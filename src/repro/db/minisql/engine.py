@@ -16,18 +16,24 @@ autocommit.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Sequence
 
+from repro.obs.log import get_logger
+from repro.obs.trace import tracer as _tracer
+
 from .ast_nodes import (
-    BeginTransaction, CommitTransaction, Delete, Insert, RollbackTransaction,
-    Select, Statement, Update,
+    BeginTransaction, CommitTransaction, Delete, Explain, Insert, Pragma,
+    RollbackTransaction, Select, Statement, Update,
 )
 from .errors import InterfaceError, ProgrammingError
 from .executor import Executor, ResultSet
 from .parser import parse
 from .storage import Database
+
+_slow_log = get_logger("repro.db.minisql")
 
 apilevel = "2.0"
 threadsafety = 1
@@ -211,12 +217,55 @@ class Connection:
             if isinstance(statement, RollbackTransaction):
                 self.rollback()
                 return ResultSet([], [], rowcount=0)
-            if (
-                isinstance(statement, _MUTATING)
-                and self.isolation_level is not None
-            ):
+            mutating = isinstance(statement, _MUTATING) or (
+                isinstance(statement, Explain)
+                and statement.analyze
+                and isinstance(statement.statement, _MUTATING)
+            )
+            if mutating and self.isolation_level is not None:
                 self._begin_transaction()
             return self._executor.execute(statement, params)
+
+    # -- statement observation ------------------------------------------------
+
+    def _observing(self) -> bool:
+        """True when statement timing is worth the perf_counter calls."""
+        return self._database.slow_query_ms is not None or _tracer.enabled
+
+    def _observe_statement(
+        self,
+        sql: str,
+        statement: Statement,
+        elapsed: float,
+        params: Sequence[Any] = (),
+    ) -> None:
+        """Record a timed statement: trace span and/or slow-query log."""
+        if _tracer.enabled:
+            _tracer.record("minisql.execute", elapsed, sql=sql.strip()[:200])
+        threshold = self._database.slow_query_ms
+        if (
+            threshold is not None
+            and elapsed * 1000.0 >= threshold
+            and not isinstance(statement, Pragma)  # don't log the observer
+        ):
+            entry = {
+                "sql": sql.strip()[:500],
+                "plan": self._plan_summary(statement, params),
+                "duration_ms": round(elapsed * 1000.0, 3),
+            }
+            self._database.slow_queries.append(entry)
+            _slow_log.warning("slow_query", **entry)
+
+    def _plan_summary(self, statement: Statement, params: Sequence[Any]) -> str:
+        """Plan description for the slow-query log (lazy: only slow
+        statements pay for the EXPLAIN re-plan)."""
+        try:
+            if isinstance(statement, Select):
+                result = self._executor.execute(Explain(statement), params)
+                return "; ".join(str(row[1]) for row in result.rows)
+        except Exception:
+            pass
+        return type(statement).__name__.upper()
 
 
 class Cursor:
@@ -244,7 +293,15 @@ class Cursor:
             raise ProgrammingError(
                 "execute() accepts exactly one statement; use executescript()"
             )
-        result = self.connection._run(statements[0], tuple(params), self)
+        connection = self.connection
+        if connection._observing():
+            t0 = time.perf_counter()
+            result = connection._run(statements[0], tuple(params), self)
+            connection._observe_statement(
+                sql, statements[0], time.perf_counter() - t0, tuple(params)
+            )
+        else:
+            result = connection._run(statements[0], tuple(params), self)
         self._install(result)
         return self
 
@@ -263,11 +320,17 @@ class Cursor:
             and len(statement.rows) == 1
         ):
             # Bulk-insert fast path: one lock acquisition, one dispatch.
+            observing = connection._observing()
+            t0 = time.perf_counter() if observing else 0.0
             with connection._lock:
                 if connection.isolation_level is not None:
                     connection._begin_transaction()
                 result = connection._executor.execute_insert_batch(
                     statement, seq_of_params
+                )
+            if observing:
+                connection._observe_statement(
+                    sql, statement, time.perf_counter() - t0
                 )
             self._install(result)
             return self

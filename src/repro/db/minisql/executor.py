@@ -20,6 +20,7 @@ optimisations are exercised by the E7 ablation benchmarks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
@@ -53,11 +54,47 @@ class ResultSet:
     lastrowid: Optional[int] = None
 
 
+class _AnalyzeProbe:
+    """Per-statement row/time collector backing ``EXPLAIN ANALYZE``.
+
+    ``wrap`` inserts a counting pass-through around a pipeline stage's
+    iterator; time is *inclusive* of everything upstream of the stage
+    (each wrapper times the ``next()`` call into the pipeline below it).
+    Only the Select node the probe targets is instrumented, so
+    materialised IN-subqueries and compound arms don't pollute the
+    top-level step counts.
+    """
+
+    def __init__(self, target: Optional[Select]):
+        self.target = target
+        self.steps: dict[str, dict[str, float]] = {}
+
+    def wrap(self, label: str, iterator: Iterator[Any]) -> Iterator[Any]:
+        entry = self.steps.setdefault(label, {"rows": 0, "time": 0.0})
+
+        def counted() -> Iterator[Any]:
+            it = iter(iterator)
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    item = next(it)
+                except StopIteration:
+                    entry["time"] += time.perf_counter() - t0
+                    return
+                entry["time"] += time.perf_counter() - t0
+                entry["rows"] += 1
+                yield item
+
+        return counted()
+
+
 class Executor:
     """Executes statements against one :class:`Database`."""
 
     def __init__(self, database: Database):
         self.database = database
+        #: Active ``EXPLAIN ANALYZE`` probe, if any (see _AnalyzeProbe).
+        self._probe: Optional[_AnalyzeProbe] = None
 
     # ------------------------------------------------------------------ API --
 
@@ -102,14 +139,30 @@ class Executor:
         raise NotSupportedError(f"unsupported statement {type(statement).__name__}")
 
     def _execute_explain(self, stmt, params: Sequence[Any]) -> ResultSet:
-        """Describe (without running) the strategy for a statement.
+        """Describe the strategy for a statement.
 
         Output mirrors sqlite's ``EXPLAIN QUERY PLAN`` spirit: one row
         per plan step — scan strategy for the base table, join strategy
-        per joined table, grouping/ordering notes.
+        per joined table, grouping/ordering notes.  ``EXPLAIN ANALYZE``
+        additionally executes the statement and annotates each step
+        with actual rows produced and wall time.
         """
-        inner = stmt.statement
-        steps: list[str] = []
+        if getattr(stmt, "analyze", False):
+            return self._execute_explain_analyze(stmt, params)
+        steps = self._explain_steps(stmt.statement, params)
+        rows = [(i, detail) for i, (detail, _label) in enumerate(steps)]
+        return ResultSet(["id", "detail"], rows)
+
+    def _explain_steps(
+        self, inner: Statement, params: Sequence[Any], analyze: bool = False
+    ) -> list[tuple[str, Optional[str]]]:
+        """Plan-step descriptions paired with analyze-probe labels.
+
+        The "WHERE filter" step only appears under ``analyze`` — plain
+        EXPLAIN keeps its historical sqlite-like shape (access path,
+        joins, group/order) that tests and tooling match exactly.
+        """
+        steps: list[tuple[str, Optional[str]]] = []
         if isinstance(inner, Select) and inner.table is not None:
             table = self.database.table(inner.table.name)
             conjuncts = _conjuncts(inner.where) if not inner.joins else []
@@ -118,13 +171,13 @@ class Executor:
                 table, inner.table.effective_name, conjuncts, order_by,
                 params, _select_alias_names(inner),
             )
-            steps.append(plan.describe(table))
+            steps.append((plan.describe(table), "scan"))
             layout = _Layout.build(self.database, inner)
             offset = len(table.columns)
-            for join in inner.joins:
+            for i, join in enumerate(inner.joins):
                 inner_table = self.database.table(join.table.name)
                 if join.kind == "CROSS" or join.condition is None:
-                    steps.append(f"CROSS JOIN {inner_table.name}")
+                    steps.append((f"CROSS JOIN {inner_table.name}", f"join{i}"))
                 else:
                     equi = _find_equi_key(
                         join.condition, layout, offset, len(inner_table.columns)
@@ -132,25 +185,57 @@ class Executor:
                     strategy = (
                         "HASH JOIN" if equi is not None else "NESTED LOOP JOIN"
                     )
-                    steps.append(f"{strategy} {inner_table.name} ({join.kind})")
+                    steps.append(
+                        (f"{strategy} {inner_table.name} ({join.kind})", f"join{i}")
+                    )
                 offset += len(inner_table.columns)
+            if analyze and inner.where is not None:
+                steps.append(("WHERE filter", "where"))
             if inner.group_by or any(
                 contains_aggregate(item.expr) for item in inner.items
             ):
-                steps.append("GROUP BY (hash aggregation)")
+                steps.append(("GROUP BY (hash aggregation)", None))
             if inner.order_by:
-                steps.append(
+                steps.append((
                     "ORDER BY (index order)" if plan.ordered
-                    else "ORDER BY (sort)"
-                )
+                    else "ORDER BY (sort)",
+                    None,
+                ))
             if inner.compound is not None:
-                steps.append(f"COMPOUND {inner.compound[0]}")
+                steps.append((f"COMPOUND {inner.compound[0]}", None))
         elif isinstance(inner, Select):
-            steps.append("CONSTANT ROW (no FROM)")
+            steps.append(("CONSTANT ROW (no FROM)", None))
         else:
-            steps.append(type(inner).__name__.upper())
-        rows = [(i, step) for i, step in enumerate(steps)]
-        return ResultSet(["id", "detail"], rows)
+            steps.append((type(inner).__name__.upper(), None))
+        return steps
+
+    def _execute_explain_analyze(self, stmt, params: Sequence[Any]) -> ResultSet:
+        inner = stmt.statement
+        probe = _AnalyzeProbe(inner if isinstance(inner, Select) else None)
+        previous = self._probe
+        self._probe = probe
+        t0 = time.perf_counter()
+        try:
+            result = self.execute(inner, params)
+        finally:
+            self._probe = previous
+        total_ms = (time.perf_counter() - t0) * 1000.0
+        # Steps are planned after execution so DDL/DML analyze still
+        # reflects post-statement catalog state; planning charges no
+        # stats counters, so the numbers stay pure.
+        steps = self._explain_steps(inner, params, analyze=True)
+        rows: list[tuple[Any, ...]] = []
+        for i, (detail, label) in enumerate(steps):
+            info = probe.steps.get(label) if label is not None else None
+            rows.append((
+                i,
+                detail,
+                int(info["rows"]) if info is not None else None,
+                round(info["time"] * 1000.0, 3) if info is not None else None,
+            ))
+        cardinality = len(result.rows) if result.columns else result.rowcount
+        rows.append((len(rows), "RESULT", cardinality, round(total_ms, 3)))
+        return ResultSet(["id", "detail", "rows", "time_ms"], rows)
 
     # ------------------------------------------------------------------ DDL --
 
@@ -295,6 +380,34 @@ class Executor:
             # on/off return no rows, matching sqlite (which ignores the
             # pragma entirely) so differential corpora stay comparable.
             return ResultSet([], [], rowcount=0)
+        if stmt.name == "slow_query_ms":
+            if stmt.argument is None:
+                return ResultSet(
+                    ["slow_query_ms"], [(self.database.slow_query_ms,)]
+                )
+            argument = str(stmt.argument).strip().lower()
+            if argument in ("off", "none", ""):
+                self.database.slow_query_ms = None
+            else:
+                try:
+                    self.database.slow_query_ms = float(argument)
+                except ValueError:
+                    raise ProgrammingError(
+                        "PRAGMA slow_query_ms expects a number or off, "
+                        f"got {stmt.argument!r}"
+                    )
+            return ResultSet([], [], rowcount=0)
+        if stmt.name == "slow_query_log":
+            argument = str(stmt.argument or "").strip().lower()
+            if argument == "clear":
+                self.database.slow_queries.clear()
+                return ResultSet([], [], rowcount=0)
+            columns = ["sql", "plan", "duration_ms"]
+            rows = [
+                (entry["sql"], entry["plan"], entry["duration_ms"])
+                for entry in self.database.slow_queries
+            ]
+            return ResultSet(columns, rows)
         # Unknown pragmas are silently ignored, like sqlite.
         return ResultSet([], [], rowcount=0)
 
@@ -513,7 +626,12 @@ class Executor:
         if stmt.where is not None:
             rewritten = self._materialize_subqueries(stmt.where, params)
             if rewritten is not stmt.where:
-                stmt = _copy_select_with_where(stmt, rewritten)
+                copied = _copy_select_with_where(stmt, rewritten)
+                # Keep an EXPLAIN ANALYZE probe pointed at the statement
+                # actually executed (identity changes with the copy).
+                if self._probe is not None and self._probe.target is stmt:
+                    self._probe.target = copied
+                stmt = copied
         if stmt.table is None:
             return self._select_no_from(stmt, params)
 
@@ -527,6 +645,8 @@ class Executor:
                 row for row in raw_rows
                 if truthy(evaluate(where, context.bind(row), params))
             )
+            if self._probe is not None and self._probe.target is stmt:
+                raw_rows = self._probe.wrap("where", raw_rows)
 
         is_grouped = bool(stmt.group_by) or any(
             contains_aggregate(item.expr) for item in stmt.items
@@ -580,13 +700,20 @@ class Executor:
             _select_alias_names(stmt),
         )
         rows = self._iter_plan(base, plan)
+        probe = self._probe if (
+            self._probe is not None and self._probe.target is stmt
+        ) else None
+        if probe is not None:
+            rows = probe.wrap("scan", rows)
 
         offset = len(base.columns)
-        for join in stmt.joins:
+        for i, join in enumerate(stmt.joins):
             inner_table = self.database.table(join.table.name)
             rows = self._join(
                 rows, offset, inner_table, join, layout, params
             )
+            if probe is not None:
+                rows = probe.wrap(f"join{i}", rows)
             offset += len(inner_table.columns)
         return rows, plan
 

@@ -178,7 +178,15 @@ class Parser:
             self.advance()
             from .ast_nodes import Explain
 
-            return Explain(self.parse_statement())
+            analyze = False
+            current = self.current
+            if (
+                current.type in (TokenType.IDENTIFIER, TokenType.KEYWORD)
+                and current.value.upper() == "ANALYZE"
+            ):
+                self.advance()
+                analyze = True
+            return Explain(self.parse_statement(), analyze=analyze)
         self.error(f"unsupported statement {keyword}")
         raise AssertionError  # unreachable
 

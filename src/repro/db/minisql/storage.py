@@ -17,7 +17,7 @@ matters for PerfDMF's 1.6M-datapoint trials.
 from __future__ import annotations
 
 from bisect import bisect_left
-from collections import defaultdict
+from collections import defaultdict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from operator import itemgetter
@@ -595,6 +595,11 @@ class Database:
         # Serialises writers on shared databases: a connection holds this
         # for the duration of its transaction (sqlite's database lock).
         self.txn_lock = __import__("threading").Lock()
+        #: Slow-query threshold in milliseconds (``PRAGMA slow_query_ms``);
+        #: None disables statement timing entirely.
+        self.slow_query_ms: Optional[float] = None
+        #: Most recent slow statements: {"sql", "plan", "duration_ms"}.
+        self.slow_queries: "deque[dict]" = deque(maxlen=256)
 
     def reset_stats(self) -> None:
         for key in self._STAT_KEYS:

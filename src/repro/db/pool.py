@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.obs.metrics import registry as _registry
 
 from .api import DBConnection, connect
 
@@ -43,21 +46,36 @@ class ConnectionPool:
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        t0 = time.perf_counter()
         try:
-            return self._idle.get_nowait()
+            conn = self._idle.get_nowait()
+            self._observe_acquire(t0)
+            return conn
         except queue.Empty:
             pass
         with self._lock:
             if self._created < self.size:
                 self._created += 1
-                return connect(self.url)
+                conn = connect(self.url)
+                self._observe_acquire(t0)
+                return conn
         try:
-            return self._idle.get(timeout=timeout)
+            conn = self._idle.get(timeout=timeout)
         except queue.Empty:
+            _registry.counter("db.pool.timeouts").inc()
             raise PoolTimeout(
                 f"no connection available within {timeout}s "
                 f"(pool size {self.size}, all borrowed)"
             ) from None
+        self._observe_acquire(t0)
+        return conn
+
+    @staticmethod
+    def _observe_acquire(t0: float) -> None:
+        _registry.counter("db.pool.acquires").inc()
+        _registry.histogram("db.pool.acquire_wait_seconds").observe(
+            time.perf_counter() - t0
+        )
 
     def release(self, connection: DBConnection) -> None:
         """Return a borrowed connection to the pool."""

@@ -13,7 +13,9 @@ import itertools
 import socket
 from typing import Any, Optional
 
-from .protocol import MessageStream, ProtocolError
+from repro.obs.trace import tracer as _tracer
+
+from .protocol import MessageStream, ProtocolError, attach_trace_context
 
 
 class AnalysisError(RuntimeError):
@@ -33,10 +35,14 @@ class PerfExplorerClient:
 
     def call(self, rpc_method: str, /, **params: Any) -> Any:
         request_id = next(self._ids)
-        self._stream.send(
-            {"id": request_id, "method": rpc_method, "params": params}
-        )
-        response = self._stream.receive(timeout=self.timeout)
+        with _tracer.span("explorer.call", method=rpc_method) as call_span:
+            request = {"id": request_id, "method": rpc_method, "params": params}
+            if _tracer.enabled:
+                attach_trace_context(
+                    request, (call_span.trace_id, call_span.span_id)
+                )
+            self._stream.send(request)
+            response = self._stream.receive(timeout=self.timeout)
         if response is None:
             raise ProtocolError("server closed the connection")
         if response.get("id") != request_id:

@@ -21,6 +21,30 @@ class ProtocolError(RuntimeError):
     """Raised for malformed frames or protocol violations."""
 
 
+def attach_trace_context(
+    payload: dict[str, Any], context: Optional[tuple[str, Optional[str]]]
+) -> dict[str, Any]:
+    """Stamp a request with the caller's (trace_id, span_id).
+
+    Server-side spans opened under :func:`extract_trace_context` then
+    share the client's trace id and nest under its request span — one
+    timeline across the process boundary.
+    """
+    if context is not None:
+        payload["trace"] = {"trace_id": context[0], "parent_id": context[1]}
+    return payload
+
+
+def extract_trace_context(
+    payload: dict[str, Any],
+) -> Optional[tuple[str, Optional[str]]]:
+    """Pull a propagated (trace_id, parent_id) off a request, if any."""
+    trace = payload.get("trace")
+    if not isinstance(trace, dict) or "trace_id" not in trace:
+        return None
+    return (str(trace["trace_id"]), trace.get("parent_id"))
+
+
 def encode_message(payload: dict[str, Any]) -> bytes:
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
 

@@ -16,10 +16,16 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 import traceback
+from contextlib import nullcontext
 from typing import Any, Optional
 
 import numpy as np
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _registry
+from repro.obs.trace import tracer as _tracer
 
 from ..core.session.dbsession import PerfDMFSession
 from ..core.toolkit.stats import event_values
@@ -27,9 +33,11 @@ from .charts import (
     correlation_matrix, group_fraction_chart, imbalance_chart, speedup_chart,
 )
 from .clustering import cluster_trial, summarize_clusters
-from .protocol import MessageStream
+from .protocol import MessageStream, encode_message, extract_trace_context
 from .results import ResultStore
 from .rproxy import AnalysisBackend, NumpyAnalysisBackend
+
+_log = get_logger("repro.explorer.server")
 
 
 class AnalysisServer:
@@ -275,24 +283,57 @@ class SocketServer:
                 request = stream.receive()
                 if request is None:
                     return
-                request_id = request.get("id")
-                try:
-                    result = self.analysis.handle_request(
-                        request.get("method", ""), request.get("params", {}) or {}
-                    )
-                    stream.send({"id": request_id, "result": result})
-                except Exception as exc:  # deliberate: errors go to the client
-                    stream.send(
-                        {
-                            "id": request_id,
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "traceback": traceback.format_exc(limit=3),
-                        }
-                    )
+                self._handle_one(stream, request)
         except Exception:
             pass  # client went away mid-frame
         finally:
             stream.close()
+
+    def _handle_one(self, stream: MessageStream, request: dict) -> None:
+        """Dispatch one request: trace-context adoption, structured
+        request log with latency and result size, metrics."""
+        request_id = request.get("id")
+        method = request.get("method", "")
+        # A client-propagated trace context nests our server span under
+        # the client's request span (one cross-process timeline).
+        remote = extract_trace_context(request) if _tracer.enabled else None
+        context = (
+            _tracer.context(remote[0], remote[1])
+            if remote is not None else nullcontext()
+        )
+        started = time.perf_counter()
+        with context:
+            with _tracer.span(f"server.{method or 'unknown'}"):
+                try:
+                    result = self.analysis.handle_request(
+                        method, request.get("params", {}) or {}
+                    )
+                    response = {"id": request_id, "result": result}
+                    status = "ok"
+                except Exception as exc:  # deliberate: errors go to the client
+                    response = {
+                        "id": request_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(limit=3),
+                    }
+                    status = "error"
+        encoded = encode_message(response)
+        latency_ms = round((time.perf_counter() - started) * 1000.0, 3)
+        _registry.counter("server.requests").inc()
+        if status == "error":
+            _registry.counter("server.errors").inc()
+        _registry.histogram("server.request_seconds").observe(
+            latency_ms / 1000.0
+        )
+        _log.info(
+            "request",
+            method=method,
+            id=request_id,
+            status=status,
+            latency_ms=latency_ms,
+            result_bytes=len(encoded),
+        )
+        stream.sock.sendall(encoded)
 
     def stop(self) -> None:
         self._running = False

@@ -1,0 +1,45 @@
+"""Framework-wide observability: tracing, metrics, structured logging.
+
+Zero external dependencies.  Three pillars:
+
+* :mod:`repro.obs.trace` — span context managers, per-process ring
+  buffer, JSON-lines and Chrome trace-event exporters;
+* :mod:`repro.obs.metrics` — process-global registry of counters,
+  gauges and log2-bucket histograms with Prometheus/JSON exposition;
+* :mod:`repro.obs.log` — structured JSON-lines logging.
+
+Everything is always compiled in but cheap when disabled: the span
+fast path is one attribute check, metrics are opt-in call sites, and
+logging defaults to ``warning``.
+"""
+
+from repro.obs.log import StructuredLogger, configure as configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    registry,
+)
+from repro.obs.trace import (
+    Tracer, get_tracer, new_trace_id, span, traced, tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredLogger",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "new_trace_id",
+    "registry",
+    "span",
+    "traced",
+    "tracer",
+]

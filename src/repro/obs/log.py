@@ -1,0 +1,82 @@
+"""Structured JSON-lines logging.
+
+One event per line: ``{"ts": ..., "level": ..., "logger": ...,
+"event": ..., **fields}``.  Keeps the framework's logging scriptable
+(pipe through ``jq``) and testable (inject a ``StringIO`` sink).
+
+The default level is ``warning`` so library use stays quiet; the
+``repro serve`` entry point raises it to ``info`` to get the
+per-request log the PerfExplorer server emits.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, IO, Optional
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_config = {"stream": None, "level": LEVELS["warning"]}
+
+
+def configure(stream: Optional[IO[str]] = None, level: str = "warning") -> None:
+    """Set the global sink and threshold.
+
+    ``stream=None`` means stderr, resolved lazily at emit time so
+    pytest's capture rewiring is respected.
+    """
+    with _lock:
+        _config["stream"] = stream
+        _config["level"] = LEVELS.get(level, LEVELS["warning"])
+
+
+def set_level(level: str) -> None:
+    with _lock:
+        _config["level"] = LEVELS.get(level, _config["level"])
+
+
+class StructuredLogger:
+    """Named logger writing JSON events to the globally configured sink."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        threshold = _config["level"]
+        if LEVELS.get(level, 0) < threshold:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=False, default=str)
+        stream = _config["stream"] or sys.stderr
+        with _lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                pass  # closed sink (interpreter teardown); drop the event
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    return StructuredLogger(name)

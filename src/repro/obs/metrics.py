@@ -1,0 +1,252 @@
+"""Metrics registry: named counters, gauges and log2-bucket histograms.
+
+Unifies the counter dicts that grew organically across the framework —
+MiniSQL planner/executor stats, connection-pool wait/timeout counts,
+per-stage ``ingest_stats`` — behind a single process-global
+:data:`registry` with snapshot/reset, Prometheus-style text exposition
+and JSON export (the machine-readable-telemetry requirement from the
+ROOT continuous-benchmarking work, arXiv:1812.03149).
+
+All instruments are thread-safe and cheap: a counter increment is a
+lock acquire plus an integer add; a histogram observation is a bisect
+into precomputed power-of-two bucket bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Dict, Mapping, Optional
+
+#: Histogram bucket upper bounds: powers of two from 2^-20 (~1 µs when
+#: observing seconds) to 2^10 (~17 min), plus +Inf implicitly.
+LOG2_BOUNDS: tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 11))
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for the Prometheus exposition format."""
+    safe = _NAME_RE.sub("_", name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+class Counter:
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Last-write-wins value (e.g. an absorbed stats-dict entry)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed log2-bucket histogram tracking count/sum/min/max.
+
+    Bucket ``i`` counts observations ``v <= bounds[i]``; values above
+    the last bound land in the implicit +Inf bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = LOG2_BOUNDS):
+        self.name = name
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._buckets = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._buckets[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def reset(self) -> None:
+        with self._lock:
+            self._buckets = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            nonzero = {}
+            for i, n in enumerate(self._buckets):
+                if n:
+                    le = self.bounds[i] if i < len(self.bounds) else float("inf")
+                    nonzero[le] = n
+            return {
+                "type": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": (self._sum / self._count) if self._count else None,
+                "buckets": nonzero,
+            }
+
+
+class MetricsRegistry:
+    """Process-global name → instrument map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = LOG2_BOUNDS) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds=bounds)
+
+    def absorb(self, prefix: str, stats: Mapping[str, Any]) -> None:
+        """Publish a legacy stats dict as ``{prefix}.{key}`` gauges.
+
+        The bridge that unifies the scattered counter dicts
+        (``Database.stats``, ``ingest_stats``) into the registry
+        without rewriting their producers.
+        """
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(f"{prefix}.{key}").set(value)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    # -- exposition ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"ts": time.time(), "metrics": self.snapshot()},
+            sort_keys=True,
+            default=str,
+        )
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (cumulative buckets)."""
+        lines: list[str] = []
+        for name, snap in self.snapshot().items():
+            prom = _prom_name(name)
+            if snap["type"] == "histogram":
+                lines.append(f"# TYPE {prom} histogram")
+                cumulative = 0
+                for le, n in sorted(snap["buckets"].items()):
+                    cumulative += n
+                    le_str = "+Inf" if le == float("inf") else repr(le)
+                    lines.append(f'{prom}_bucket{{le="{le_str}"}} {cumulative}')
+                if not snap["buckets"] or float("inf") not in snap["buckets"]:
+                    lines.append(f'{prom}_bucket{{le="+Inf"}} {snap["count"]}')
+                lines.append(f"{prom}_sum {snap['sum']}")
+                lines.append(f"{prom}_count {snap['count']}")
+            else:
+                lines.append(f"# TYPE {prom} {snap['type']}")
+                lines.append(f"{prom} {snap['value']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-global registry every layer shares.
+registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return registry

@@ -1,0 +1,106 @@
+"""DBConnection.stats()/reset_stats() semantics across both backends,
+through the pool, and into the process-global metrics registry."""
+
+import pytest
+
+from repro.db.api import connect
+from repro.db.pool import ConnectionPool, PoolTimeout
+from repro.obs.metrics import registry
+
+
+@pytest.fixture(params=["sqlite", "minisql"])
+def conn(request):
+    c = connect(f"{request.param}://:memory:")
+    c.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)")
+    c.executemany("INSERT INTO t (v) VALUES (?)", [(float(i),) for i in range(50)])
+    yield c
+    c.close()
+
+
+class TestStatsMerge:
+    def test_stats_returns_dict_on_both_backends(self, conn):
+        conn.query("SELECT * FROM t")
+        stats = conn.stats()
+        assert isinstance(stats, dict)
+        if conn.backend == "minisql":
+            # The planner counters are merged in for minisql.
+            assert stats.get("rows_scanned", 0) >= 50
+        else:
+            # sqlite has no planner counters; only ingest timings appear.
+            assert stats == {}
+
+    def test_ingest_stats_merged_and_override_free(self, conn):
+        conn.ingest_stats = {"ingest_rows": 123, "ingest_parse_seconds": 0.5}
+        stats = conn.stats()
+        assert stats["ingest_rows"] == 123
+        assert stats["ingest_parse_seconds"] == 0.5
+        if conn.backend == "minisql":
+            # Engine counters survive alongside the ingest timings.
+            assert "rows_scanned" in stats
+
+    def test_reset_clears_both_sources(self, conn):
+        conn.query("SELECT * FROM t")
+        conn.ingest_stats = {"ingest_rows": 9}
+        conn.reset_stats()
+        stats = conn.stats()
+        assert "ingest_rows" not in stats
+        if conn.backend == "minisql":
+            assert stats.get("rows_scanned", 0) == 0
+
+    def test_stats_publishes_db_gauges(self, conn):
+        conn.ingest_stats = {"ingest_rows": 77}
+        conn.stats()
+        assert registry.gauge("db.ingest_rows").value == 77
+
+
+class TestStatsThroughPool:
+    def test_named_minisql_counters_survive_checkin(self):
+        pool = ConnectionPool("minisql://pool-stats-test", size=2)
+        with pool:
+            with pool.connection() as c:
+                c.execute("CREATE TABLE p (id INTEGER PRIMARY KEY, v REAL)")
+                c.executemany(
+                    "INSERT INTO p (v) VALUES (?)", [(float(i),) for i in range(20)]
+                )
+                c.query("SELECT * FROM p")
+            # A named MiniSQL database is shared: a different pooled
+            # connection sees the same engine counters.
+            with pool.connection() as c:
+                assert c.stats().get("rows_scanned", 0) >= 20
+                c.execute("DROP TABLE p")
+
+    def test_file_sqlite_round_trip(self, tmp_path):
+        url = f"sqlite://{tmp_path}/pooled.db"
+        with ConnectionPool(url, size=2) as pool:
+            with pool.connection() as c:
+                c.execute("CREATE TABLE p (id INTEGER PRIMARY KEY)")
+                c.commit()
+                c.ingest_stats = {"ingest_rows": 5}
+                borrowed = c
+            # LIFO pool: the next acquire returns the same object, so the
+            # per-connection ingest_stats ride along.
+            with pool.connection() as c:
+                assert c is borrowed
+                assert c.stats()["ingest_rows"] == 5
+                c.reset_stats()
+                assert c.stats() == {}
+
+    def test_pool_metrics_accumulate(self):
+        acquires = registry.counter("db.pool.acquires").value
+        waits = registry.histogram("db.pool.acquire_wait_seconds").count
+        with ConnectionPool("sqlite://:memory:", size=1) as pool:
+            with pool.connection():
+                pass
+            with pool.connection():
+                pass
+        assert registry.counter("db.pool.acquires").value == acquires + 2
+        assert registry.histogram("db.pool.acquire_wait_seconds").count == waits + 2
+
+    def test_pool_timeout_counted(self):
+        timeouts = registry.counter("db.pool.timeouts").value
+        with ConnectionPool("sqlite://:memory:", size=1) as pool:
+            held = pool.acquire()
+            with pytest.raises(PoolTimeout):
+                pool.acquire(timeout=0.01)
+            pool.release(held)
+        assert registry.counter("db.pool.timeouts").value == timeouts + 1

@@ -1,11 +1,16 @@
 """PerfExplorer client/server tests (the Figure 3 architecture)."""
 
+import io
+import json
 import socket
 
 import numpy as np
 import pytest
 
 from repro.db.minisql import reset_shared_databases
+from repro.obs import log as obslog
+from repro.obs.metrics import registry
+from repro.obs.trace import tracer
 from repro.explorer import (
     AnalysisError, AnalysisServer, MessageStream, NumpyAnalysisBackend,
     PerfExplorerClient, ProtocolError, ResultStore, SocketServer,
@@ -152,6 +157,77 @@ class TestClientServer:
         finally:
             for c in clients:
                 c.close()
+
+
+class TestRequestObservability:
+    """Satellite coverage: structured request log + trace propagation."""
+
+    @pytest.fixture
+    def log_sink(self):
+        stream = io.StringIO()
+        obslog.configure(stream=stream, level="info")
+        yield stream
+        obslog.configure()
+
+    @pytest.fixture
+    def tracing(self):
+        tracer.enable()
+        tracer.clear()
+        yield tracer
+        tracer.disable()
+        tracer.clear()
+
+    def test_request_log_fields(self, client, log_sink):
+        assert client.ping() == "pong"
+        records = [
+            json.loads(line) for line in log_sink.getvalue().splitlines()
+        ]
+        request_logs = [r for r in records if r["event"] == "request"]
+        assert len(request_logs) == 1
+        rec = request_logs[0]
+        assert rec["logger"] == "repro.explorer.server"
+        assert rec["method"] == "ping"
+        assert rec["status"] == "ok"
+        assert rec["latency_ms"] >= 0.0
+        assert rec["result_bytes"] > 0
+
+    def test_error_request_logged_as_error_status(self, client, log_sink):
+        with pytest.raises(AnalysisError):
+            client.call("explode")
+        records = [
+            json.loads(line) for line in log_sink.getvalue().splitlines()
+        ]
+        rec = [r for r in records if r["event"] == "request"][0]
+        assert rec["method"] == "explode"
+        assert rec["status"] == "error"
+
+    def test_request_metrics_counted(self, client):
+        requests = registry.counter("server.requests").value
+        errors = registry.counter("server.errors").value
+        latencies = registry.histogram("server.request_seconds").count
+        assert client.ping() == "pong"
+        with pytest.raises(AnalysisError):
+            client.call("explode")
+        assert registry.counter("server.requests").value == requests + 2
+        assert registry.counter("server.errors").value == errors + 1
+        assert registry.histogram("server.request_seconds").count == latencies + 2
+
+    def test_trace_id_propagates_client_to_server(self, client, tracing):
+        assert client.ping() == "pong"
+        spans = {r["name"]: r for r in tracer.finished()}
+        call = spans["explorer.call"]
+        server = spans["server.ping"]
+        # Server and client run in one process here, but the server span
+        # was opened on a different thread from a wire-propagated context:
+        # same trace, parented under the client's request span.
+        assert server["trace_id"] == call["trace_id"]
+        assert server["parent_id"] == call["span_id"]
+        assert server["tid"] != call["tid"]
+
+    def test_untraced_requests_carry_no_context(self, client):
+        assert not tracer.enabled
+        assert client.ping() == "pong"
+        assert tracer.finished() == []
 
 
 class TestResultStore:

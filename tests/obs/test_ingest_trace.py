@@ -1,0 +1,112 @@
+"""Bulk-ingest tracing: worker processes ship spans back with payloads.
+
+The acceptance criterion: a traced parallel ingest produces a Chrome
+trace whose worker parse spans nest under the coordinator's parse-stage
+span, with pids distinct from the coordinator's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.io_ import ingest_profiles, parse_profiles
+from repro.core.session import PerfDMFSession
+from repro.obs.metrics import registry
+from repro.obs.trace import tracer
+from repro.tau.apps import SPPM
+from repro.tau.writers import write_tau_profiles
+
+RANKS = 4
+
+
+@pytest.fixture(scope="module")
+def profile_dirs(tmp_path_factory):
+    base = tmp_path_factory.mktemp("trace_ingest")
+    dirs = []
+    for i in range(3):
+        run = SPPM(problem_size=0.01, timesteps=1, seed=70 + i).run(RANKS)
+        d = base / f"run{i}"
+        write_tau_profiles(run, d)
+        dirs.append(d)
+    return dirs
+
+
+@pytest.fixture
+def tracing():
+    tracer.enable()
+    tracer.clear()
+    yield tracer
+    tracer.disable()
+    tracer.clear()
+
+
+def test_serial_parse_records_spans_locally(tracing, profile_dirs):
+    parse_profiles(profile_dirs[:1], workers=1)
+    names = [r["name"] for r in tracer.finished()]
+    assert "ingest.parse_file" in names
+    assert "ingest.load_profile" in names
+    assert "ingest.columnarize" in names
+
+
+def test_worker_spans_shipped_and_nested(tracing, profile_dirs):
+    with tracer.span("test.parse_stage") as stage:
+        payloads = parse_profiles(profile_dirs, workers=2)
+    spans = tracer.finished()
+    parse_spans = [r for r in spans if r["name"] == "ingest.parse_file"]
+    assert len(parse_spans) == len(profile_dirs)
+    # Spans were recorded in worker processes...
+    assert any(r["pid"] != os.getpid() for r in parse_spans)
+    # ...yet parent under the coordinator's span with its trace id.
+    for rec in parse_spans:
+        assert rec["parent_id"] == stage.span_id
+        assert rec["trace_id"] == stage.trace_id
+    # Nested worker-side spans hang off the shipped parse_file spans.
+    parse_ids = {r["span_id"] for r in parse_spans}
+    loads = [r for r in spans if r["name"] == "ingest.load_profile"]
+    assert loads and all(r["parent_id"] in parse_ids for r in loads)
+    # The shipping channel is cleaned off the payloads afterwards.
+    assert all(getattr(p, "trace_spans", None) is None for p in payloads)
+
+
+def test_untraced_parallel_parse_ships_nothing(profile_dirs):
+    assert not tracer.enabled
+    payloads = parse_profiles(profile_dirs, workers=2)
+    assert tracer.finished() == []
+    assert all(getattr(p, "trace_spans", None) is None for p in payloads)
+
+
+def test_ingest_trace_loads_as_chrome_format(tracing, profile_dirs, tmp_path):
+    files_before = registry.counter("ingest.files").value
+    session = PerfDMFSession("sqlite://:memory:")
+    try:
+        app = session.create_application("sppm")
+        exp = session.create_experiment(app, "e")
+        report = ingest_profiles(session, exp, profile_dirs, workers=2)
+    finally:
+        session.close()
+    assert report.files == len(profile_dirs)
+
+    path = tmp_path / "ingest_trace.json"
+    written = tracer.export_chrome(path)
+    assert written > 0
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    by_name = {}
+    for event in events:
+        by_name.setdefault(event["name"], []).append(event)
+    assert "ingest.run" in by_name
+    assert "ingest.parse_stage" in by_name
+    assert len(by_name["ingest.store_trial"]) == len(profile_dirs)
+    # Worker parse spans nest under the coordinator's parse stage.
+    stage_id = by_name["ingest.parse_stage"][0]["args"]["span_id"]
+    workers = by_name["ingest.parse_file"]
+    assert len(workers) == len(profile_dirs)
+    assert all(e["args"]["parent_id"] == stage_id for e in workers)
+    assert any(e["pid"] != os.getpid() for e in workers)
+
+    # Ingest metrics accumulated in the registry.
+    assert registry.counter("ingest.files").value == files_before + len(profile_dirs)
+    assert registry.histogram("ingest.parse_stage_seconds").count >= 1

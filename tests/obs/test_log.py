@@ -1,0 +1,57 @@
+"""Tests for the structured JSON-lines logger."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obslog
+
+
+@pytest.fixture
+def sink():
+    stream = io.StringIO()
+    obslog.configure(stream=stream, level="debug")
+    yield stream
+    obslog.configure()  # restore stderr/warning defaults
+
+
+def events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_json_line_shape(sink):
+    obslog.get_logger("test").info("hello", a=1, b="x")
+    (rec,) = events(sink)
+    assert rec["level"] == "info"
+    assert rec["logger"] == "test"
+    assert rec["event"] == "hello"
+    assert rec["a"] == 1
+    assert rec["b"] == "x"
+    assert isinstance(rec["ts"], float)
+
+
+def test_level_filtering(sink):
+    obslog.set_level("warning")
+    logger = obslog.get_logger("test")
+    logger.debug("quiet")
+    logger.info("quiet")
+    logger.warning("loud")
+    logger.error("loud")
+    assert [r["level"] for r in events(sink)] == ["warning", "error"]
+
+
+def test_non_serializable_fields_stringified(sink):
+    obslog.get_logger("test").info("obj", val=object())
+    (rec,) = events(sink)
+    assert isinstance(rec["val"], str)
+
+
+def test_closed_sink_is_swallowed():
+    stream = io.StringIO()
+    obslog.configure(stream=stream, level="debug")
+    try:
+        stream.close()
+        obslog.get_logger("test").info("dropped")  # must not raise
+    finally:
+        obslog.configure()

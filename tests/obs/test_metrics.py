@@ -1,0 +1,136 @@
+"""Tests for counters, gauges, log2 histograms, and the registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    LOG2_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_reset(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.inc(0.5)
+        assert g.value == 3.0
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_observations_tracked(self):
+        h = Histogram("h")
+        for v in (0.001, 0.002, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(4.003)
+        assert snap["min"] == 0.001
+        assert snap["max"] == 4.0
+        assert snap["mean"] == pytest.approx(4.003 / 3)
+        assert sum(snap["buckets"].values()) == 3
+
+    def test_log2_bucket_assignment(self):
+        h = Histogram("h")
+        h.observe(0.75)  # <= 1.0 bucket
+        snap = h.snapshot()
+        (le,) = snap["buckets"]
+        assert le == 1.0
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = Histogram("h")
+        h.observe(LOG2_BOUNDS[-1] * 10)
+        snap = h.snapshot()
+        assert list(snap["buckets"]) == [math.inf]
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["buckets"] == {}
+
+    def test_reset(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.snapshot()["buckets"] == {}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_absorb_publishes_numeric_values_as_gauges(self):
+        reg = MetricsRegistry()
+        reg.absorb("db", {"rows": 10, "elapsed": 1.5, "name": "x", "flag": True})
+        assert reg.gauge("db.rows").value == 10
+        assert reg.gauge("db.elapsed").value == 1.5
+        # Strings and bools are skipped.
+        assert reg.get("db.name") is None
+        assert reg.get("db.flag") is None
+
+    def test_snapshot_and_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        assert reg.names() == ["a", "b"]
+        assert list(reg.snapshot()) == ["a", "b"]
+
+    def test_reset_clears_all(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.counter("c").value == 0
+        assert reg.histogram("h").count == 0
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        doc = json.loads(reg.to_json())
+        assert doc["metrics"]["c"] == {"type": "counter", "value": 2}
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("db.pool.acquires").inc(3)
+        reg.histogram("lat").observe(0.75)
+        reg.histogram("lat").observe(3.0)
+        text = reg.to_prometheus()
+        assert "# TYPE db_pool_acquires counter" in text
+        assert "db_pool_acquires 3" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="1.0"}' in text
+        assert "lat_count 2" in text
+        # Buckets are cumulative: the largest finite bucket covers both.
+        assert 'lat_bucket{le="4.0"} 2' in text
+
+    def test_prometheus_sanitizes_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c").inc()
+        assert "a_b_c 1" in reg.to_prometheus()

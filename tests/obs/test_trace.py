@@ -1,0 +1,169 @@
+"""Tests for the span API, ring buffer, and trace exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import Tracer, chrome_event, new_trace_id
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    yield t
+    t.disable()
+
+
+class TestSpans:
+    def test_disabled_span_records_nothing(self):
+        t = Tracer()
+        with t.span("work", key="v"):
+            pass
+        assert t.finished() == []
+
+    def test_enabled_span_records(self, tracer):
+        with tracer.span("work", key="v"):
+            pass
+        (rec,) = tracer.finished()
+        assert rec["name"] == "work"
+        assert rec["attributes"] == {"key": "v"}
+        assert rec["duration"] >= 0.0
+        assert rec["parent_id"] is None
+
+    def test_nesting_assigns_parent_and_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.finished()
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert inner_rec["trace_id"] == outer_rec["trace_id"]
+        assert outer.span_id == outer_rec["span_id"]
+
+    def test_sibling_spans_get_distinct_ids(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.finished()
+        assert a["span_id"] != b["span_id"]
+        # Separate top-level spans start separate traces.
+        assert a["trace_id"] != b["trace_id"]
+
+    def test_exception_is_annotated_and_stack_unwound(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (rec,) = tracer.finished()
+        assert rec["attributes"]["error"] == "ValueError"
+        assert tracer.current_context() is None
+
+    def test_set_attaches_attributes(self, tracer):
+        with tracer.span("work") as sp:
+            sp.set(rows=7)
+        (rec,) = tracer.finished()
+        assert rec["attributes"]["rows"] == 7
+
+    def test_record_manual_span(self, tracer):
+        tracer.record("manual", 0.25, n=1)
+        (rec,) = tracer.finished()
+        assert rec["duration"] == 0.25
+        assert rec["attributes"] == {"n": 1}
+
+    def test_record_nests_under_active_span(self, tracer):
+        with tracer.span("outer") as outer:
+            tracer.record("manual", 0.01)
+        manual = [r for r in tracer.finished() if r["name"] == "manual"][0]
+        assert manual["parent_id"] == outer.span_id
+
+    def test_thread_local_stacks(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-span"):
+                seen["ctx"] = tracer.current_context()
+
+        with tracer.span("main-span"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        # The worker thread's span must NOT have parented under main's.
+        records = {r["name"]: r for r in tracer.finished()}
+        assert records["thread-span"]["parent_id"] is None
+        assert records["thread-span"]["trace_id"] != records["main-span"]["trace_id"]
+
+
+class TestRemoteContext:
+    def test_context_adopts_remote_parent(self, tracer):
+        with tracer.context("cafebabe", "deadbeef-1"):
+            with tracer.span("server-side"):
+                pass
+        (rec,) = tracer.finished()
+        assert rec["trace_id"] == "cafebabe"
+        assert rec["parent_id"] == "deadbeef-1"
+
+    def test_adopt_merges_foreign_spans(self, tracer):
+        foreign = [{"name": "w", "trace_id": "t", "span_id": "s",
+                    "parent_id": None, "pid": 1, "tid": 2,
+                    "start": 0.0, "duration": 0.1, "attributes": {}}]
+        assert tracer.adopt(foreign) == 1
+        assert tracer.finished()[0]["name"] == "w"
+
+    def test_drain_clears(self, tracer):
+        with tracer.span("x"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.finished() == []
+
+
+class TestRingBuffer:
+    def test_capacity_bound(self):
+        t = Tracer(capacity=4)
+        t.enable()
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        names = [r["name"] for r in t.finished()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+
+class TestExporters:
+    def test_jsonl_export(self, tracer, tmp_path):
+        with tracer.span("a", file="x"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        lines = path.read_text().strip().splitlines()
+        rec = json.loads(lines[0])
+        assert rec["name"] == "a"
+        assert rec["attributes"]["file"] == "x"
+
+    def test_chrome_export_shape(self, tracer, tmp_path):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        assert tracer.export_chrome(path) == 2
+        doc = json.loads(path.read_text())
+        assert set(doc) >= {"traceEvents"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        inner = [e for e in doc["traceEvents"] if e["name"] == "inner"][0]
+        outer = [e for e in doc["traceEvents"] if e["name"] == "outer"][0]
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_chrome_event_microseconds(self):
+        rec = {"name": "n", "trace_id": "t", "span_id": "s", "parent_id": None,
+               "pid": 3, "tid": 4, "start": 1.5, "duration": 0.25,
+               "attributes": {}}
+        event = chrome_event(rec)
+        assert event["ts"] == 1.5e6
+        assert event["dur"] == 0.25e6
+
+
+def test_new_trace_ids_unique():
+    assert new_trace_id() != new_trace_id()
