@@ -48,7 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_db(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--db", required=True,
-            help="database URL, e.g. sqlite:///path/archive.db or minisql://name",
+            help="database URL, e.g. sqlite:///path/archive.db, "
+                 "minisql://name (in-memory), or minisql:///path/archive.mdb "
+                 "(durable file archive with WAL crash recovery)",
         )
 
     p = sub.add_parser("configure", help="create the PerfDMF schema")

@@ -22,12 +22,14 @@ without storing them.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
+from repro.obs.log import get_logger
 from repro.obs.metrics import registry as _registry
 from repro.obs.trace import tracer as _tracer
 
@@ -36,6 +38,21 @@ from .registry import load_profile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..model.entities import Trial
+
+_log = get_logger("repro.ingest")
+
+
+class ProfileParseError(RuntimeError):
+    """A profile file failed to parse, even after the coordinator retry.
+
+    Carries the offending path so a batch failure names its culprit
+    instead of surfacing a bare worker traceback.
+    """
+
+    def __init__(self, path: str, cause: BaseException):
+        super().__init__(f"failed to parse profile {path!r}: {cause}")
+        self.path = path
+        self.cause = cause
 
 
 def parse_columnar(
@@ -80,6 +97,7 @@ def parse_profiles(
     targets: Sequence[str | os.PathLike],
     format_name: Optional[str] = None,
     workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> list[ColumnarTrial]:
     """Parse many profile targets, in parallel when it can help.
 
@@ -87,16 +105,57 @@ def parse_profiles(
     anything that resolves to a single worker (including a one-element
     target list) parses serially in-process — same results, no pool
     overhead.  Output order always matches input order.
+
+    A worker task that raises or exceeds ``task_timeout`` seconds is
+    retried **once**, serially in the coordinator — transient failures
+    (worker OOM-killed, pool torn down, slow NFS read) don't doom a
+    whole batch.  If the retry also fails, the error surfaces as a
+    :class:`ProfileParseError` naming the offending file.
     """
     if workers is None:
         workers = min(len(targets), os.cpu_count() or 1)
     if workers <= 1 or len(targets) <= 1:
         # Serial path records spans directly into this process's tracer.
-        return [parse_columnar(str(t), format_name) for t in targets]
+        out = []
+        for target in targets:
+            try:
+                out.append(parse_columnar(str(target), format_name))
+            except Exception as exc:
+                raise ProfileParseError(str(target), exc) from exc
+        return out
     trace_ctx = _tracer.current_context() if _tracer.enabled else None
     specs = [(str(t), format_name, trace_ctx) for t in targets]
+    payloads: list[Optional[ColumnarTrial]] = [None] * len(specs)
+    retries: list[int] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        payloads = list(pool.map(_parse_task, specs))
+        try:
+            futures = [pool.submit(_parse_task, spec) for spec in specs]
+            for i, future in enumerate(futures):
+                try:
+                    payloads[i] = future.result(timeout=task_timeout)
+                except (Exception, FutureTimeout) as exc:
+                    future.cancel()
+                    _registry.counter("ingest.parse_retries").inc()
+                    _log.warning(
+                        "parse_retry", target=specs[i][0], error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+                    retries.append(i)
+                    if isinstance(exc, BrokenProcessPool):
+                        # The pool is gone; every remaining future fails
+                        # the same way — collect them all for serial retry.
+                        for j in range(i + 1, len(futures)):
+                            if payloads[j] is None:
+                                retries.append(j)
+                        break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    for i in sorted(set(retries)):
+        path = specs[i][0]
+        try:
+            payloads[i] = parse_columnar(path, format_name)
+        except Exception as exc:
+            raise ProfileParseError(path, exc) from exc
     if trace_ctx is not None:
         for payload in payloads:
             shipped = getattr(payload, "trace_spans", None)

@@ -91,6 +91,9 @@ def parse_url(url: str) -> tuple[str, str]:
         sqlite://relative.db       relative path
         minisql://:memory:         private in-memory MiniSQL
         minisql://name             named shared MiniSQL database
+        minisql:///abs/path.mdb    durable file-backed MiniSQL archive
+                                   (WAL + checkpoint, crash recovery on
+                                   open; see repro.db.minisql.wal)
     """
     if "://" not in url:
         raise ValueError(

@@ -20,6 +20,7 @@ from .engine import (
     Connection, Cursor, apilevel, connect, paramstyle,
     reset_shared_databases, threadsafety,
 )
+from .wal import WriteAheadLog, open_file_database
 from .errors import (
     DatabaseError, DataError, IntegrityError, InterfaceError, InternalError,
     MiniSQLError, NotSupportedError, OperationalError, ProgrammingError,
@@ -29,6 +30,7 @@ from .errors import (
 __all__ = [
     "Connection", "Cursor", "connect", "reset_shared_databases",
     "dump_sql", "save_database", "load_database",
+    "WriteAheadLog", "open_file_database",
     "apilevel", "paramstyle", "threadsafety",
     "MiniSQLError", "Warning", "InterfaceError", "DatabaseError",
     "DataError", "OperationalError", "IntegrityError", "InternalError",

@@ -9,16 +9,29 @@ which doubles as yet another engine-portability check.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
-from .engine import Connection
+#: Marker for the machine-readable trailer the WAL checkpoint appends to
+#: a dump.  sqlite (and ``load_database``) skip it as a comment; MiniSQL
+#: recovery reads the original rowid numbering back out of it.
+META_PREFIX = "-- minisql-meta: "
 
 
-def dump_sql(connection: Connection) -> Iterator[str]:
-    """Yield SQL statements reconstructing the connection's database."""
-    database = connection._database
+def dump_sql(connection) -> Iterator[str]:
+    """Yield SQL statements reconstructing the connection's database.
+
+    Accepts either an engine ``Connection`` or a bare storage
+    ``Database`` (duck-typed, so the WAL checkpoint path can dump
+    without importing the engine front end).
+    """
+    yield from dump_database_sql(getattr(connection, "_database", connection))
+
+
+def dump_database_sql(database) -> Iterator[str]:
+    """Yield SQL statements reconstructing ``database`` (storage-level)."""
     yield "BEGIN;"
     for table in database.tables.values():
         yield _create_table_sql(table, database)
@@ -81,7 +94,41 @@ def _render_value(value: Any) -> str:
     return f"'{text}'"
 
 
-def save_database(connection: Connection, path: str | os.PathLike) -> Path:
+def checkpoint_meta(database, last_lsn: int) -> dict:
+    """The recovery trailer for a checkpoint of ``database``.
+
+    Restoring a dump renumbers rows sequentially (INSERT order), so the
+    trailer records each table's original rowids — in the sorted order
+    the dump emits them — plus the rowid/autoincrement high-water marks.
+    ``last_lsn`` marks how much of the WAL the checkpoint already
+    contains; recovery skips records at or below it.
+    """
+    tables = {}
+    for key, table in database.tables.items():
+        tables[key] = {
+            "rowids": sorted(table.rows),
+            "next_rowid": table._next_rowid,
+            "last_autoincrement": table.last_autoincrement,
+        }
+    return {"last_lsn": last_lsn, "tables": tables}
+
+
+def render_meta(meta: dict) -> str:
+    return META_PREFIX + json.dumps(meta, separators=(",", ":"))
+
+
+def parse_meta(script: str) -> Optional[dict]:
+    """Extract the checkpoint trailer from a dump script, if present."""
+    for line in reversed(script.splitlines()):
+        line = line.strip()
+        if line.startswith(META_PREFIX):
+            return json.loads(line[len(META_PREFIX):])
+        if line and not line.startswith("--"):
+            return None
+    return None
+
+
+def save_database(connection, path: str | os.PathLike) -> Path:
     """Write the database to ``path`` as a SQL script."""
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -92,7 +139,7 @@ def save_database(connection: Connection, path: str | os.PathLike) -> Path:
     return out
 
 
-def load_database(connection: Connection, path: str | os.PathLike) -> int:
+def load_database(connection, path: str | os.PathLike) -> int:
     """Execute a dump script into ``connection``; returns statement count.
 
     The target database should be empty (restores do not merge).

@@ -48,19 +48,49 @@ _STATEMENT_CACHE_SIZE = 512
 #: ``file::memory:?cache=shared`` so several connections can see one DB
 #: (PerfExplorer's server threads use this).
 _SHARED_DATABASES: dict[str, Database] = {}
+#: File-backed (WAL-durable) databases, keyed by resolved archive path.
+#: Connections to the same path share one Database + WAL, like in-process
+#: sqlite; there is no cross-process file locking (single-writer-process
+#: assumption, documented in DESIGN.md §9).
+_FILE_DATABASES: dict[str, Database] = {}
 _SHARED_LOCK = threading.Lock()
+
+
+def _is_file_target(database: str) -> bool:
+    """A target that looks like a path opens a durable file archive."""
+    import os
+
+    return (
+        database.endswith(".mdb")
+        or "/" in database
+        or (os.sep != "/" and os.sep in database)
+    )
 
 
 def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> "Connection":
     """Open a MiniSQL connection.
 
-    ``":memory:"`` creates a fresh private database.  Any other name
-    refers to a named shared in-memory database: connections passing the
-    same name share one catalog (MiniSQL has no disk persistence — the
-    PerfDMF configuration layer treats it as an ephemeral engine).
+    ``":memory:"`` creates a fresh private database.  A path-looking
+    target (contains a separator or ends in ``.mdb``) opens a durable
+    file-backed archive: the database is recovered from its checkpoint +
+    write-ahead log on first open and every mutation is WAL-logged (see
+    :mod:`~repro.db.minisql.wal`).  Any other name refers to a named
+    shared in-memory database: connections passing the same name share
+    one catalog.
     """
     if database == ":memory:":
         db = Database()
+    elif _is_file_target(database):
+        from pathlib import Path
+
+        from . import wal as _wal
+
+        key = str(Path(database).resolve())
+        with _SHARED_LOCK:
+            db = _FILE_DATABASES.get(key)
+            if db is None:
+                db = _wal.open_file_database(key)
+                _FILE_DATABASES[key] = db
     else:
         with _SHARED_LOCK:
             db = _SHARED_DATABASES.setdefault(database, Database())
@@ -68,9 +98,22 @@ def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> 
 
 
 def reset_shared_databases() -> None:
-    """Drop all named shared databases (test isolation helper)."""
+    """Drop all named shared and file-backed databases (test isolation
+    helper).  File-backed databases are checkpointed first so their
+    archives stay loadable by a later open."""
     with _SHARED_LOCK:
         _SHARED_DATABASES.clear()
+        for db in _FILE_DATABASES.values():
+            if db.wal is not None:
+                try:
+                    if not db.in_transaction:
+                        db.wal.checkpoint(db)
+                except OSError:
+                    pass  # archive directory may be gone (tmp_path teardown)
+                finally:
+                    db.wal.close()
+                    db.wal = None
+        _FILE_DATABASES.clear()
 
 
 class Connection:
@@ -91,6 +134,14 @@ class Connection:
         if not self._closed:
             if self.in_transaction:
                 self.rollback()
+            database = self._database
+            if database.wal is not None:
+                # Fold the WAL into a fresh checkpoint so a clean close
+                # leaves a plain (sqlite-loadable) dump and an empty log.
+                # The txn lock keeps another connection's open transaction
+                # out of the dump.
+                with database.txn_lock:
+                    database.wal.checkpoint(database)
             self._closed = True
 
     def _check_open(self) -> None:
@@ -165,7 +216,14 @@ class Connection:
         Counters are shared by all connections to the same database.
         """
         self._check_open()
-        return dict(self._database.stats)
+        stats = dict(self._database.stats)
+        wal = self._database.wal
+        if wal is not None:
+            stats["wal_records"] = wal.records_written
+            stats["wal_bytes"] = wal.bytes_written
+            stats["wal_fsyncs"] = wal.fsyncs
+            stats["wal_checkpoints"] = wal.checkpoints
+        return stats
 
     def reset_stats(self) -> None:
         """Zero the access-path counters (benchmark bracketing helper)."""

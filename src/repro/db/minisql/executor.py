@@ -32,6 +32,7 @@ from .ast_nodes import (
     RollbackTransaction, Select, SelectItem, Star, Statement, Subquery,
     TableRef, Update,
 )
+from .dump import _create_table_sql, _render_value
 from .errors import (
     IntegrityError, NotSupportedError, OperationalError, ProgrammingError,
 )
@@ -120,6 +121,10 @@ class Executor:
             return self._execute_alter_add(statement)
         if isinstance(statement, AlterTableRename):
             self.database.rename_table(statement.table, statement.new_name)
+            self.database.wal_log(
+                "ddl",
+                f"ALTER TABLE {statement.table} RENAME TO {statement.new_name};",
+            )
             return ResultSet([], [], rowcount=0)
         if isinstance(statement, BeginTransaction):
             self.database.begin()
@@ -286,6 +291,10 @@ class Executor:
                 fk_specs.append(([cdef.name], cdef.references[0], [cdef.references[1]]))
         if fk_specs:
             self.database.register_foreign_keys(stmt.table, fk_specs)
+        # DDL is logged as SQL text (the dump renderer reconstructs it, as
+        # the original statement string is not available here); replay
+        # re-executes it, recreating the implicit PK/UNIQUE indexes too.
+        self.database.wal_log("ddl", _create_table_sql(table, self.database))
         return ResultSet([], [], rowcount=0)
 
     def _execute_drop_table(self, stmt: DropTable) -> ResultSet:
@@ -294,6 +303,7 @@ class Executor:
                 return ResultSet([], [], rowcount=0)
             raise OperationalError(f"no such table: {stmt.table}")
         self.database.drop_table(stmt.table)
+        self.database.wal_log("ddl", f"DROP TABLE {stmt.table};")
         return ResultSet([], [], rowcount=0)
 
     def _execute_create_index(self, stmt: CreateIndex) -> ResultSet:
@@ -304,6 +314,13 @@ class Executor:
         self.database.create_index(
             stmt.name, stmt.table, stmt.columns, stmt.unique, using=stmt.using
         )
+        unique = "UNIQUE " if stmt.unique else ""
+        using = " USING BTREE" if stmt.using == "btree" else ""
+        self.database.wal_log(
+            "ddl",
+            f"CREATE {unique}INDEX {stmt.name} ON {stmt.table} "
+            f"({', '.join(stmt.columns)}){using};",
+        )
         return ResultSet([], [], rowcount=0)
 
     def _execute_drop_index(self, stmt: DropIndex) -> ResultSet:
@@ -312,6 +329,7 @@ class Executor:
                 return ResultSet([], [], rowcount=0)
             raise OperationalError(f"no such index: {stmt.name}")
         self.database.drop_index(stmt.name)
+        self.database.wal_log("ddl", f"DROP INDEX {stmt.name};")
         return ResultSet([], [], rowcount=0)
 
     def _execute_alter_add(self, stmt: AlterTableAddColumn) -> ResultSet:
@@ -330,6 +348,16 @@ class Executor:
                 default=default,
                 references=cdef.references,
             )
+        )
+        bits = [cdef.name, cdef.type_name]
+        if cdef.not_null:
+            bits.append("NOT NULL")
+        if default is not None:
+            bits.append(f"DEFAULT {_render_value(default)}")
+        if cdef.references is not None:
+            bits.append(f"REFERENCES {cdef.references[0]}({cdef.references[1]})")
+        self.database.wal_log(
+            "ddl", f"ALTER TABLE {stmt.table} ADD COLUMN {' '.join(bits)};"
         )
         return ResultSet([], [], rowcount=0)
 
@@ -408,8 +436,103 @@ class Executor:
                 for entry in self.database.slow_queries
             ]
             return ResultSet(columns, rows)
+        if stmt.name == "synchronous":
+            wal = self.database.wal
+            if stmt.argument is None:
+                value = wal.synchronous if wal is not None else "off"
+                return ResultSet(["synchronous"], [(value,)])
+            argument = str(stmt.argument).strip().lower()
+            argument = {"0": "off", "1": "normal", "2": "full"}.get(
+                argument, argument
+            )
+            if argument not in ("off", "normal", "full"):
+                raise ProgrammingError(
+                    "PRAGMA synchronous expects off/normal/full, "
+                    f"got {stmt.argument!r}"
+                )
+            if wal is not None:
+                wal.synchronous = argument
+            return ResultSet([], [], rowcount=0)
+        if stmt.name == "checkpoint":
+            wal = self.database.wal
+            if wal is None:
+                return ResultSet(["checkpoint"], [(0,)])
+            if self.database.in_transaction:
+                raise OperationalError("cannot checkpoint inside a transaction")
+            wal.checkpoint(self.database)
+            return ResultSet(["checkpoint"], [(1,)])
+        if stmt.name == "wal_autocheckpoint":
+            wal = self.database.wal
+            if stmt.argument is None:
+                value = wal.autocheckpoint_bytes if wal is not None else None
+                return ResultSet(["wal_autocheckpoint"], [(value,)])
+            argument = str(stmt.argument).strip().lower()
+            if wal is not None:
+                if argument in ("off", "none", "0"):
+                    wal.autocheckpoint_bytes = None
+                else:
+                    try:
+                        wal.autocheckpoint_bytes = int(argument)
+                    except ValueError:
+                        raise ProgrammingError(
+                            "PRAGMA wal_autocheckpoint expects a byte count "
+                            f"or off, got {stmt.argument!r}"
+                        )
+            return ResultSet([], [], rowcount=0)
+        if stmt.name == "wal_status":
+            wal = self.database.wal
+            columns = ["key", "value"]
+            if wal is None:
+                return ResultSet(columns, [("enabled", 0)])
+            rows = [("enabled", 1)]
+            rows.extend(sorted(wal.status().items()))
+            return ResultSet(columns, rows)
+        if stmt.name == "integrity_check":
+            problems = self._integrity_check()
+            rows = [(p,) for p in problems] if problems else [("ok",)]
+            return ResultSet(["integrity_check"], rows)
         # Unknown pragmas are silently ignored, like sqlite.
         return ResultSet([], [], rowcount=0)
+
+    def _integrity_check(self) -> list[str]:
+        """Cross-check every live index against the row store.
+
+        The crash-recovery tests run this after reopening a killed
+        archive: recovery rebuilds indexes from replayed rows, so any
+        divergence here means replay and the row store disagree.
+        """
+        problems: list[str] = []
+        for table in self.database.tables.values():
+            width = len(table.columns)
+            bad_rows = False
+            for rowid, row in table.rows.items():
+                if len(row) != width:
+                    problems.append(
+                        f"{table.name}: row {rowid} has {len(row)} values, "
+                        f"expected {width}"
+                    )
+                    bad_rows = True
+            if bad_rows:
+                continue
+            for index in table.indexes.values():
+                if index.stale:
+                    continue
+                expected: dict[tuple, set[int]] = {}
+                for rowid, row in table.rows.items():
+                    expected.setdefault(index.key_for(row), set()).add(rowid)
+                if index.map != expected:
+                    problems.append(
+                        f"index {index.name} on {table.name} is inconsistent "
+                        f"with the row store"
+                    )
+                if index.unique:
+                    for key, bucket in expected.items():
+                        if None not in key and len(bucket) > 1:
+                            problems.append(
+                                f"index {index.name} on {table.name}: "
+                                f"duplicate key {key!r}"
+                            )
+        return problems
 
     # ------------------------------------------------------------------ DML --
 

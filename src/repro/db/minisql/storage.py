@@ -595,6 +595,14 @@ class Database:
         # Serialises writers on shared databases: a connection holds this
         # for the duration of its transaction (sqlite's database lock).
         self.txn_lock = __import__("threading").Lock()
+        #: Attached write-ahead log for file-backed databases (see
+        #: :mod:`~repro.db.minisql.wal`); None for in-memory databases.
+        #: Duck-typed so this module never imports the WAL machinery.
+        self.wal = None
+        #: Monotonic transaction ids for WAL records; 0 is reserved for
+        #: auto-committed operations.
+        self._txn_seq = 0
+        self._txn_id = 0
         #: Slow-query threshold in milliseconds (``PRAGMA slow_query_ms``);
         #: None disables statement timing entirely.
         self.slow_query_ms: Optional[float] = None
@@ -685,6 +693,26 @@ class Database:
     ) -> None:
         self.foreign_keys.setdefault(table_name.lower(), []).extend(specs)
 
+    # -- write-ahead logging ----------------------------------------------------
+
+    def wal_log(self, op: str, *args: Any) -> None:
+        """Append one logical record to the attached WAL, if any.
+
+        Inside a transaction the record carries the transaction id and
+        durability waits for the commit barrier; outside, it is tagged
+        as auto-committed (txn 0) and flushed immediately.
+        """
+        wal = self.wal
+        if wal is None:
+            return
+        if self.in_transaction:
+            wal.append(op, self._txn_id, *args)
+        else:
+            wal.append(op, 0, *args)
+            wal.barrier()
+            if wal.should_checkpoint():
+                wal.checkpoint(self)
+
     # -- transactional mutation -------------------------------------------------
 
     def begin(self) -> None:
@@ -692,17 +720,31 @@ class Database:
             raise OperationalError("cannot start a transaction within a transaction")
         self.in_transaction = True
         self._undo.clear()
+        if self.wal is not None:
+            self._txn_seq += 1
+            self._txn_id = self._txn_seq
+            self.wal.log_begin(self._txn_id)
 
     def commit(self) -> None:
+        was_transaction = self.in_transaction
         self.in_transaction = False
         self._undo.clear()
         self._bulk_txn_tables.clear()
+        wal = self.wal
+        if wal is not None and was_transaction:
+            wal.log_commit(self._txn_id)
+            if wal.should_checkpoint():
+                wal.checkpoint(self)
 
     def rollback(self) -> None:
         if not self.in_transaction:
             self._undo.clear()
             self._bulk_txn_tables.clear()
             return
+        if self.wal is not None:
+            # Logged before the undo replay so a crash mid-rollback still
+            # finds the record; recovery discards the txn either way.
+            self.wal.log_rollback(self._txn_id)
         for record in reversed(self._undo):
             op = record[0]
             if op == "ins":
@@ -783,7 +825,22 @@ class Database:
         """Append a batch under bulk mode; one undo record, no per-row
         index upkeep on suspended indexes.  Returns rows appended."""
         self._enter_bulk_table(table)
-        count = table.append_rows(rows)
+        start = table.peek_rowid()
+        try:
+            count = table.append_rows(rows)
+        finally:
+            if self.wal is not None:
+                # Bulk appends are rowid-contiguous from the watermark, so
+                # one record covers the batch.  Logging the landed count
+                # (not the requested one) keeps the WAL honest when a
+                # constraint fails mid-batch: the rows that made it into
+                # the store are exactly the rows logged.
+                landed = table.peek_rowid() - start
+                if landed:
+                    self.wal_log(
+                        "bmany", table.name, start,
+                        [table.rows[r] for r in range(start, start + landed)],
+                    )
         self.stats["bulk_rows"] += count
         return count
 
@@ -792,18 +849,31 @@ class Database:
             self._enter_bulk_table(table)
             rowid = table.insert_row(row)
             self.stats["bulk_rows"] += 1
+            if self.wal is not None:
+                self.wal_log("ins", table.name, rowid, table.rows[rowid])
             return rowid
         rowid = table.insert_row(row)
         if self.in_transaction:
             self._undo.append(("ins", table, rowid))
+        if self.wal is not None:
+            # Log the stored (coerced/defaulted) row, not the input row.
+            self.wal_log("ins", table.name, rowid, table.rows[rowid])
         return rowid
 
     def delete(self, table: Table, rowid: int) -> None:
         row = table.delete_row(rowid)
         if self.in_transaction:
             self._undo.append(("del", table, rowid, row))
+        if self.wal is not None:
+            self.wal_log("del", table.name, rowid)
 
     def update(self, table: Table, rowid: int, new_values: dict[int, Any]) -> None:
         old = table.update_row(rowid, new_values)
         if self.in_transaction:
             self._undo.append(("upd", table, rowid, {i: old[i] for i in new_values}))
+        if self.wal is not None:
+            row = table.rows[rowid]
+            self.wal_log(
+                "upd", table.name, rowid,
+                [(position, row[position]) for position in new_values],
+            )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -25,7 +26,14 @@ class PoolTimeout(TimeoutError):
 
 
 class ConnectionPool:
-    """Fixed-capacity pool of :class:`DBConnection` objects."""
+    """Fixed-capacity pool of :class:`DBConnection` objects.
+
+    A borrowed connection that is never released — its holder crashed,
+    leaked, or simply forgot — does not leak its slot forever: a
+    ``weakref.finalize`` on every created connection gives the capacity
+    back when the object is garbage-collected, and ``acquire`` re-checks
+    capacity after a timed-out wait before giving up.
+    """
 
     def __init__(self, url: str, size: int = 4):
         if size < 1:
@@ -36,13 +44,35 @@ class ConnectionPool:
         self._created = 0
         self._lock = threading.Lock()
         self._closed = False
+        self._finalizers: dict[int, weakref.finalize] = {}
+
+    def _create(self) -> DBConnection:
+        conn = connect(self.url)
+        self._finalizers[id(conn)] = weakref.finalize(
+            conn, self._reclaim_slot
+        )
+        return conn
+
+    def _reclaim_slot(self) -> None:
+        """A created connection was garbage-collected without being
+        released: free its capacity so acquire() can replace it."""
+        with self._lock:
+            if self._created > 0:
+                self._created -= 1
+        _registry.counter("db.pool.reclaimed").inc()
+
+    def _forget(self, connection: DBConnection) -> None:
+        finalizer = self._finalizers.pop(id(connection), None)
+        if finalizer is not None:
+            finalizer.detach()
 
     def acquire(self, timeout: float | None = None) -> DBConnection:
         """Borrow a connection, creating one lazily up to ``size``.
 
         Blocks until a connection is returned when the pool is exhausted;
         with ``timeout``, raises :class:`PoolTimeout` instead of waiting
-        forever.
+        forever (after one last capacity check, in case a leaked
+        connection was reclaimed while we waited).
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -56,12 +86,19 @@ class ConnectionPool:
         with self._lock:
             if self._created < self.size:
                 self._created += 1
-                conn = connect(self.url)
+                conn = self._create()
                 self._observe_acquire(t0)
                 return conn
         try:
             conn = self._idle.get(timeout=timeout)
         except queue.Empty:
+            with self._lock:
+                if self._created < self.size:
+                    # A leaked connection was finalized during the wait.
+                    self._created += 1
+                    conn = self._create()
+                    self._observe_acquire(t0)
+                    return conn
             _registry.counter("db.pool.timeouts").inc()
             raise PoolTimeout(
                 f"no connection available within {timeout}s "
@@ -80,11 +117,17 @@ class ConnectionPool:
     def release(self, connection: DBConnection) -> None:
         """Return a borrowed connection to the pool."""
         if self._closed:
+            self._forget(connection)
             connection.close()
             return
         try:
             self._idle.put_nowait(connection)
         except queue.Full:  # over-released; drop it
+            if id(connection) in self._finalizers:
+                self._forget(connection)
+                with self._lock:
+                    if self._created > 0:
+                        self._created -= 1
             connection.close()
 
     @contextmanager
@@ -101,9 +144,11 @@ class ConnectionPool:
         self._closed = True
         while True:
             try:
-                self._idle.get_nowait().close()
+                conn = self._idle.get_nowait()
             except queue.Empty:
                 return
+            self._forget(conn)
+            conn.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

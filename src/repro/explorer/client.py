@@ -11,11 +11,31 @@ from __future__ import annotations
 
 import itertools
 import socket
+import time
 from typing import Any, Optional
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _registry
 from repro.obs.trace import tracer as _tracer
 
-from .protocol import MessageStream, ProtocolError, attach_trace_context
+from .protocol import (
+    ConnectTimeout, MessageStream, ProtocolError, attach_trace_context,
+)
+
+_log = get_logger("repro.explorer.client")
+
+#: RPC methods that are safe to transparently retry after a transport
+#: failure: they only read the archive, so re-executing them cannot
+#: duplicate side effects.  Mutating calls (``cluster_trial`` with
+#: ``save=True``, ``run_workflow``) surface the error to the caller.
+READ_ONLY_METHODS = frozenset({
+    "ping",
+    "list_applications", "list_experiments", "list_trials",
+    "list_metrics", "list_events", "list_analyses", "get_analysis",
+    "describe_event", "correlate_events",
+    "speedup_chart", "correlation_matrix", "group_fraction_chart",
+    "imbalance_chart",
+})
 
 
 class AnalysisError(RuntimeError):
@@ -23,17 +43,79 @@ class AnalysisError(RuntimeError):
 
 
 class PerfExplorerClient:
-    """A connected PerfExplorer client."""
+    """A connected PerfExplorer client.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        sock = socket.create_connection((host, port), timeout=timeout)
-        self._stream = MessageStream(sock)
-        self._ids = itertools.count(1)
+    Connecting retries with exponential backoff (``connect_retries``
+    attempts, delay doubling from ``backoff``), raising
+    :class:`ConnectTimeout` when the server never accepts — distinct
+    from the :class:`ProtocolError` a live-but-misbehaving server
+    produces mid-call.  Read-only RPCs that die to a transport error
+    reconnect once and retry once; mutating RPCs never retry.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_retries: int = 3,
+        backoff: float = 0.1,
+    ):
+        self.host = host
+        self.port = port
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.backoff = backoff
+        self._ids = itertools.count(1)
+        self._stream: Optional[MessageStream] = None
+        self._connect()
 
     # -- plumbing ------------------------------------------------------------
 
+    def _connect(self) -> None:
+        delay = self.backoff
+        attempts = max(1, self.connect_retries)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    _registry.counter("explorer.client.reconnects").inc()
+                    time.sleep(delay)
+                    delay *= 2
+                continue
+            self._stream = MessageStream(sock)
+            return
+        raise ConnectTimeout(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{attempts} attempts: {last_error}"
+        ) from last_error
+
     def call(self, rpc_method: str, /, **params: Any) -> Any:
+        try:
+            return self._call_once(rpc_method, params)
+        except (ConnectTimeout, AnalysisError):
+            raise
+        except (ProtocolError, OSError) as exc:
+            if rpc_method not in READ_ONLY_METHODS:
+                raise
+            # Idempotent read: reconnect (with backoff) and retry once.
+            _log.warning(
+                "retry", method=rpc_method, error=str(exc),
+                error_type=type(exc).__name__,
+            )
+            _registry.counter("explorer.client.retries").inc()
+            self.close()
+            self._connect()
+            return self._call_once(rpc_method, params)
+
+    def _call_once(self, rpc_method: str, params: dict[str, Any]) -> Any:
+        if self._stream is None:
+            self._connect()
         request_id = next(self._ids)
         with _tracer.span("explorer.call", method=rpc_method) as call_span:
             request = {"id": request_id, "method": rpc_method, "params": params}
@@ -54,7 +136,9 @@ class PerfExplorerClient:
         return response.get("result")
 
     def close(self) -> None:
-        self._stream.close()
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
     def __enter__(self) -> "PerfExplorerClient":
         return self

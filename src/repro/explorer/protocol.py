@@ -21,6 +21,13 @@ class ProtocolError(RuntimeError):
     """Raised for malformed frames or protocol violations."""
 
 
+class ConnectTimeout(ProtocolError):
+    """Raised when establishing the TCP connection itself fails or times
+    out — as opposed to a :class:`ProtocolError` mid-call, which means a
+    live server sent something wrong.  Callers use the distinction to
+    tell a dead/unreachable server from a misbehaving one."""
+
+
 def attach_trace_context(
     payload: dict[str, Any], context: Optional[tuple[str, Optional[str]]]
 ) -> dict[str, Any]:

@@ -18,7 +18,7 @@ import socket
 import threading
 import time
 import traceback
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from typing import Any, Optional
 
 import numpy as np
@@ -257,6 +257,10 @@ class SocketServer:
         self._threads: list[threading.Thread] = []
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
+        # In-flight request accounting for graceful shutdown: stop() with
+        # drain=True waits on the condition until the count reaches zero.
+        self._in_flight = 0
+        self._idle = threading.Condition()
 
     def start(self) -> tuple[str, int]:
         self._running = True
@@ -277,17 +281,40 @@ class SocketServer:
             self._threads.append(thread)
 
     def _serve_client(self, sock: socket.socket) -> None:
+        from .protocol import ProtocolError
+
         stream = MessageStream(sock)
         try:
             while True:
                 request = stream.receive()
                 if request is None:
                     return
-                self._handle_one(stream, request)
+                with self._track_request():
+                    self._handle_one(stream, request)
+        except (ProtocolError, OSError) as exc:
+            # Expected transport-level endings: client went away mid-frame,
+            # reset the connection, or we are shutting down.
+            _registry.counter("server.client_disconnects").inc()
+            _log.info("client_disconnect", error=str(exc))
         except Exception:
-            pass  # client went away mid-frame
+            # Anything else is a server bug — it must never vanish
+            # silently (that hid dispatcher errors for two releases).
+            _registry.counter("server.client_errors").inc()
+            _log.error("client_loop_error", traceback=traceback.format_exc())
         finally:
             stream.close()
+
+    @contextmanager
+    def _track_request(self):
+        with self._idle:
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._idle.notify_all()
 
     def _handle_one(self, stream: MessageStream, request: dict) -> None:
         """Dispatch one request: trace-context adoption, structured
@@ -335,9 +362,23 @@ class SocketServer:
         )
         stream.sock.sendall(encoded)
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting connections; with ``drain`` (the default), wait
+        up to ``timeout`` seconds for in-flight requests to complete so
+        clients get their responses instead of a reset socket."""
         self._running = False
         try:
             self._listener.close()
         except OSError:
             pass
+        if drain:
+            deadline = time.monotonic() + timeout
+            with self._idle:
+                while self._in_flight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        _log.warning(
+                            "shutdown_timeout", in_flight=self._in_flight
+                        )
+                        break
+                    self._idle.wait(remaining)

@@ -1,0 +1,10 @@
+"""Testing infrastructure shared by the suite and by subprocess harnesses.
+
+Currently home to :mod:`repro.testing.faults`, the deterministic
+fault-injection registry the crash-recovery tests drive MiniSQL's
+write-ahead log with.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,145 @@
+"""Deterministic fault injection: named crash points and an IO shim.
+
+Durability claims are only as good as the failures they were tested
+against, so the WAL code is laced with *named crash points* — calls to
+:func:`crash_point` at every interesting moment of the log/checkpoint
+protocol ("after the commit record", "between checkpoint rename and WAL
+truncation", ...).  In production these are a dict lookup and return.
+A test arms one by name and the process dies there with ``os._exit``,
+exactly like ``kill -9`` — no atexit handlers, no buffered writes
+beyond what already reached the OS.
+
+Arming works two ways:
+
+* programmatically: ``faults.arm("wal.commit.after_record")`` (same
+  process, used by the torn-tail property test);
+* via the ``REPRO_FAULTS`` environment variable, read at import time,
+  so subprocess crash-matrix tests arm the child without code changes::
+
+      REPRO_FAULTS="wal.commit.after_record"        # die at first hit
+      REPRO_FAULTS="wal.append.payload@3"           # die at third hit
+      REPRO_FAULTS="torn:wal.append.payload:17"     # write 17 bytes, die
+      REPRO_FAULTS="point-a,point-b"                # several, comma-split
+
+The ``torn:`` form drives the injectable write shim: the WAL routes
+every file write through :func:`write` and every fsync through
+:func:`fsync`, so a torn-write fault flushes a prefix of the record to
+the OS and then kills the process — producing exactly the
+partially-written tail a real crash can leave.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import IO, Optional
+
+#: Exit status used when a crash point fires; chosen to match the shell
+#: status of a SIGKILLed process so harnesses treat both alike.
+CRASH_EXIT_STATUS = 137
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+@dataclass
+class _Fault:
+    """One armed fault: fires on the ``hits``-th visit to ``point``."""
+
+    point: str
+    hits: int = 1
+    torn_bytes: Optional[int] = None  # None = plain crash, N = torn write
+    seen: int = 0
+
+
+_armed: dict[str, _Fault] = {}
+
+
+def arm(point: str, hits: int = 1, torn_bytes: Optional[int] = None) -> None:
+    """Arm ``point`` to crash the process on its ``hits``-th visit."""
+    _armed[point] = _Fault(point=point, hits=hits, torn_bytes=torn_bytes)
+
+
+def disarm(point: str) -> None:
+    _armed.pop(point, None)
+
+
+def disarm_all() -> None:
+    _armed.clear()
+
+
+def armed_points() -> list[str]:
+    return sorted(_armed)
+
+
+def parse_spec(spec: str) -> None:
+    """Arm every fault in a comma-separated ``REPRO_FAULTS`` spec."""
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        torn_bytes = None
+        if item.startswith("torn:"):
+            _, _, rest = item.partition(":")
+            point, _, nbytes = rest.rpartition(":")
+            if not point:
+                raise ValueError(f"malformed torn fault spec {item!r}")
+            torn_bytes = int(nbytes)
+            item = point
+        hits = 1
+        if "@" in item:
+            item, _, count = item.rpartition("@")
+            hits = int(count)
+        arm(item, hits=hits, torn_bytes=torn_bytes)
+
+
+def reload_from_env() -> None:
+    """(Re)arm from ``REPRO_FAULTS``; cheap no-op when unset."""
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        parse_spec(spec)
+
+
+def _die() -> None:
+    # os._exit skips atexit/finally/buffers — the closest a test can get
+    # to kill -9 while still choosing the exact instruction it dies at.
+    os._exit(CRASH_EXIT_STATUS)
+
+
+def crash_point(point: str) -> None:
+    """Die here if ``point`` is armed (and its hit count is reached)."""
+    fault = _armed.get(point)
+    if fault is None or fault.torn_bytes is not None:
+        return
+    fault.seen += 1
+    if fault.seen >= fault.hits:
+        _die()
+
+
+def write(fh: IO[bytes], data: bytes, point: str) -> int:
+    """Write ``data`` through the fault shim.
+
+    A ``torn:`` fault armed on ``point`` writes only its byte-count
+    prefix, flushes it to the OS so the torn tail really lands on disk,
+    and kills the process.
+    """
+    fault = _armed.get(point)
+    if fault is not None and fault.torn_bytes is not None:
+        fault.seen += 1
+        if fault.seen >= fault.hits:
+            fh.write(data[: fault.torn_bytes])
+            fh.flush()
+            os.fsync(fh.fileno())
+            _die()
+    return fh.write(data)
+
+
+def fsync(fh: IO[bytes], point: str = "fsync") -> None:
+    """fsync through the fault shim (a crash point on either side)."""
+    crash_point(f"{point}.before")
+    os.fsync(fh.fileno())
+    crash_point(f"{point}.after")
+
+
+# Arm any faults requested by the environment as soon as the module is
+# imported — subprocess harnesses set REPRO_FAULTS before exec.
+reload_from_env()

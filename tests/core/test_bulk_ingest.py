@@ -175,3 +175,80 @@ class TestSaveTrialBulkParity:
             assert len(fast) == len(slow)
             for f, s in zip(fast, slow):
                 assert f == pytest.approx(s)
+
+
+class TestParseRetryAndErrors:
+    """Coordinator-side resilience: a failed or timed-out worker parse is
+    retried once serially, and a genuinely bad file fails the batch with
+    an error that names it."""
+
+    def test_corrupt_profile_names_its_path(self, profile_dirs, tmp_path):
+        from repro.core.io_.bulk import ProfileParseError
+
+        corrupt = tmp_path / "corrupt_run"
+        corrupt.mkdir()
+        (corrupt / "profile.0.0.0").write_text("this is not a TAU profile\n")
+        targets = [profile_dirs[0], corrupt, profile_dirs[1]]
+        with pytest.raises(ProfileParseError) as exc_info:
+            parse_profiles(targets, workers=2)
+        assert exc_info.value.path == str(corrupt)
+        assert str(corrupt) in str(exc_info.value)
+        assert exc_info.value.cause is not None
+        # The serial path reports identically.
+        with pytest.raises(ProfileParseError) as serial_info:
+            parse_profiles([corrupt], workers=1)
+        assert serial_info.value.path == str(corrupt)
+
+    def test_transient_worker_failure_retried_once(
+        self, profile_dirs, monkeypatch
+    ):
+        """A parse that fails only in the worker process succeeds on the
+        coordinator's serial retry; the batch completes with a counter
+        bump instead of an error."""
+        import os as _os
+
+        from repro.core.io_ import bulk
+        from repro.obs.metrics import registry as _registry
+
+        parent_pid = _os.getpid()
+        flaky_target = str(profile_dirs[1])
+        real_load = bulk.load_profile
+
+        def load_flaky_in_workers(target, format_name=None):
+            # Workers are forked after the patch, so they inherit this
+            # wrapper; only the coordinator process parses successfully.
+            if _os.getpid() != parent_pid and str(target) == flaky_target:
+                raise RuntimeError("transient worker failure")
+            return real_load(target, format_name)
+
+        monkeypatch.setattr(bulk, "load_profile", load_flaky_in_workers)
+        before = _registry.counter("ingest.parse_retries").value
+        payloads = parse_profiles(profile_dirs, workers=2)
+        assert len(payloads) == len(profile_dirs)
+        assert all(p is not None for p in payloads)
+        assert payloads[1].metadata["ingest_source"] == flaky_target
+        assert _registry.counter("ingest.parse_retries").value == before + 1
+
+    def test_task_timeout_falls_back_to_serial_retry(
+        self, profile_dirs, monkeypatch
+    ):
+        import os as _os
+        import time as _time
+
+        from repro.core.io_ import bulk
+
+        parent_pid = _os.getpid()
+        slow_target = str(profile_dirs[0])
+        real_load = bulk.load_profile
+
+        def load_slow_in_workers(target, format_name=None):
+            if _os.getpid() != parent_pid and str(target) == slow_target:
+                _time.sleep(15.0)  # far past the task timeout
+            return real_load(target, format_name)
+
+        monkeypatch.setattr(bulk, "load_profile", load_slow_in_workers)
+        payloads = parse_profiles(
+            [profile_dirs[0], profile_dirs[1]], workers=2, task_timeout=1.0
+        )
+        assert len(payloads) == 2 and all(p is not None for p in payloads)
+        assert payloads[0].metadata["ingest_source"] == slow_target

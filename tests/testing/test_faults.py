@@ -1,0 +1,111 @@
+"""Unit tests for the fault-injection harness itself."""
+
+from __future__ import annotations
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+class TestParseSpec:
+    def test_single_point(self):
+        faults.parse_spec("wal.commit.after_record")
+        assert faults.armed_points() == ["wal.commit.after_record"]
+
+    def test_hit_count(self):
+        faults.parse_spec("wal.append.before@3")
+        fault = faults._armed["wal.append.before"]
+        assert fault.hits == 3 and fault.torn_bytes is None
+
+    def test_torn_form(self):
+        faults.parse_spec("torn:wal.append:17")
+        fault = faults._armed["wal.append"]
+        assert fault.torn_bytes == 17
+
+    def test_comma_separated_and_blanks(self):
+        faults.parse_spec("a, b@2,, torn:c:5")
+        assert faults.armed_points() == ["a", "b", "c"]
+
+    def test_malformed_torn_spec(self):
+        with pytest.raises(ValueError):
+            faults.parse_spec("torn:17")
+
+    def test_reload_from_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "x@2")
+        faults.reload_from_env()
+        assert faults.armed_points() == ["x"]
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.disarm_all()
+        faults.reload_from_env()  # unset env is a no-op
+        assert faults.armed_points() == []
+
+
+class TestTriggering:
+    def test_unarmed_point_is_inert(self):
+        faults.crash_point("never.armed")  # must simply return
+
+    def test_crash_point_exits_with_137(self):
+        code = (
+            "from repro.testing import faults\n"
+            "faults.arm('boom')\n"
+            "faults.crash_point('boom')\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == faults.CRASH_EXIT_STATUS
+        assert "survived" not in proc.stdout
+
+    def test_hit_count_defers_firing(self):
+        code = (
+            "from repro.testing import faults\n"
+            "faults.arm('boom', hits=3)\n"
+            "faults.crash_point('boom')\n"
+            "faults.crash_point('boom')\n"
+            "print('two down', flush=True)\n"
+            "faults.crash_point('boom')\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == faults.CRASH_EXIT_STATUS
+        assert "two down" in proc.stdout and "survived" not in proc.stdout
+
+    def test_torn_write_writes_prefix_then_dies(self, tmp_path):
+        target = tmp_path / "out.bin"
+        code = (
+            "from repro.testing import faults\n"
+            "faults.arm('w', torn_bytes=4)\n"
+            f"fh = open({str(target)!r}, 'wb')\n"
+            "faults.write(fh, b'0123456789', 'w')\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == faults.CRASH_EXIT_STATUS
+        assert target.read_bytes() == b"0123"
+
+    def test_write_without_fault_is_passthrough(self):
+        buf = io.BytesIO()
+        assert faults.write(buf, b"abcdef", "unrelated") == 6
+        assert buf.getvalue() == b"abcdef"
+
+    def test_torn_fault_does_not_trip_plain_crash_point(self):
+        # A torn fault on a point must only fire through write(), never
+        # through crash_point() — they share the name space.
+        faults.arm("p", torn_bytes=2)
+        faults.crash_point("p")  # must not die
