@@ -127,29 +127,44 @@ def parse_profiles(
     specs = [(str(t), format_name, trace_ctx) for t in targets]
     payloads: list[Optional[ColumnarTrial]] = [None] * len(specs)
     retries: list[int] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        try:
-            futures = [pool.submit(_parse_task, spec) for spec in specs]
-            for i, future in enumerate(futures):
+    # Deliberately NOT a `with` block: the context manager's exit calls
+    # shutdown(wait=True), which joins the workers and would stall the
+    # whole batch behind a hung task despite its timeout having fired.
+    pool = ProcessPoolExecutor(max_workers=workers)
+    timed_out = False
+    try:
+        futures = [pool.submit(_parse_task, spec) for spec in specs]
+        for i, future in enumerate(futures):
+            try:
+                payloads[i] = future.result(timeout=task_timeout)
+            except (Exception, FutureTimeout) as exc:
+                future.cancel()
+                timed_out = timed_out or isinstance(exc, FutureTimeout)
+                _registry.counter("ingest.parse_retries").inc()
+                _log.warning(
+                    "parse_retry", target=specs[i][0], error=str(exc),
+                    error_type=type(exc).__name__,
+                )
+                retries.append(i)
+                if isinstance(exc, BrokenProcessPool):
+                    # The pool is gone; every remaining future fails
+                    # the same way — collect them all for serial retry.
+                    for j in range(i + 1, len(futures)):
+                        if payloads[j] is None:
+                            retries.append(j)
+                    break
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if timed_out:
+            # A timed-out task may be genuinely stuck; its worker cannot
+            # be cancelled, only killed — otherwise it would outlive the
+            # batch and wedge interpreter shutdown's executor join.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
                 try:
-                    payloads[i] = future.result(timeout=task_timeout)
-                except (Exception, FutureTimeout) as exc:
-                    future.cancel()
-                    _registry.counter("ingest.parse_retries").inc()
-                    _log.warning(
-                        "parse_retry", target=specs[i][0], error=str(exc),
-                        error_type=type(exc).__name__,
-                    )
-                    retries.append(i)
-                    if isinstance(exc, BrokenProcessPool):
-                        # The pool is gone; every remaining future fails
-                        # the same way — collect them all for serial retry.
-                        for j in range(i + 1, len(futures)):
-                            if payloads[j] is None:
-                                retries.append(j)
-                        break
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+                    process.terminate()
+                except OSError:
+                    pass
     for i in sorted(set(retries)):
         path = specs[i][0]
         try:

@@ -94,6 +94,11 @@ def parse_url(url: str) -> tuple[str, str]:
         minisql:///abs/path.mdb    durable file-backed MiniSQL archive
                                    (WAL + checkpoint, crash recovery on
                                    open; see repro.db.minisql.wal)
+        minisql://file:/abs/path   durable archive at a non-.mdb path
+
+    File-backed MiniSQL is opt-in via the ``.mdb`` suffix or ``file:``
+    prefix; any other target (slashes included) is a named shared
+    in-memory database.
     """
     if "://" not in url:
         raise ValueError(

@@ -84,6 +84,10 @@ def _create_table_sql(table, database) -> str:
 
 
 def _render_value(value: Any) -> str:
+    # Only quotes need escaping: restores tokenize the whole script with
+    # the real lexer (never line filtering), so control characters —
+    # newlines, carriage returns, text resembling comments or keywords —
+    # ride inside the quoted literal byte-for-byte.
     if value is None:
         return "NULL"
     if isinstance(value, bool):
@@ -129,10 +133,15 @@ def parse_meta(script: str) -> Optional[dict]:
 
 
 def save_database(connection, path: str | os.PathLike) -> Path:
-    """Write the database to ``path`` as a SQL script."""
+    """Write the database to ``path`` as a SQL script.
+
+    ``newline=""`` disables newline translation so a ``\\r`` inside a
+    TEXT value lands in the file verbatim (and survives the matching
+    untranslated read in :func:`load_database`).
+    """
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as fh:
+    with open(out, "w", encoding="utf-8", newline="") as fh:
         fh.write("-- MiniSQL dump\n")
         for statement in dump_sql(connection):
             fh.write(statement + "\n")
@@ -142,12 +151,15 @@ def save_database(connection, path: str | os.PathLike) -> Path:
 def load_database(connection, path: str | os.PathLike) -> int:
     """Execute a dump script into ``connection``; returns statement count.
 
-    The target database should be empty (restores do not merge).
+    The whole script goes through the engine's tokenizer — which skips
+    comments and keeps string literals intact — rather than any
+    line-based filtering, so values containing newlines, ``--``, or
+    transaction keywords restore exactly.  The target database should
+    be empty (restores do not merge).
     """
-    script = Path(path).read_text(encoding="utf-8")
-    statements = [
-        line for line in script.splitlines()
-        if line.strip() and not line.lstrip().startswith("--")
-    ]
-    connection.executescript("\n".join(statements))
-    return len(statements)
+    from .parser import parse
+
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        script = fh.read()
+    connection.executescript(script)
+    return len(parse(script))

@@ -25,8 +25,10 @@ from repro.obs.log import get_logger
 from repro.obs.trace import tracer as _tracer
 
 from .ast_nodes import (
-    BeginTransaction, CommitTransaction, Delete, Explain, Insert, Pragma,
-    RollbackTransaction, Select, Statement, Update,
+    AlterTableAddColumn, AlterTableRename, BeginTransaction,
+    CommitTransaction, CreateIndex, CreateTable, Delete, DropIndex,
+    DropTable, Explain, Insert, Pragma, RollbackTransaction, Select,
+    Statement, Update,
 )
 from .errors import InterfaceError, ProgrammingError
 from .executor import Executor, ResultSet
@@ -40,6 +42,14 @@ threadsafety = 1
 paramstyle = "qmark"
 
 _MUTATING = (Insert, Update, Delete)
+#: Statements that change the catalog: they never open a deferred
+#: transaction (sqlite semantics) but still take the database writer
+#: lock when run outside one, so concurrent checkpoints/dumps see a
+#: consistent catalog.
+_DDL = (
+    AlterTableAddColumn, AlterTableRename, CreateIndex, CreateTable,
+    DropIndex, DropTable,
+)
 
 #: Per-connection parsed-statement cache capacity (LRU-evicted).
 _STATEMENT_CACHE_SIZE = 512
@@ -57,26 +67,25 @@ _SHARED_LOCK = threading.Lock()
 
 
 def _is_file_target(database: str) -> bool:
-    """A target that looks like a path opens a durable file archive."""
-    import os
-
-    return (
-        database.endswith(".mdb")
-        or "/" in database
-        or (os.sep != "/" and os.sep in database)
-    )
+    """File-backed archives are opt-in via an explicit marker: the
+    ``.mdb`` suffix or a ``file:`` prefix.  Any other name — even one
+    containing path separators — keeps its pre-durability meaning of a
+    named shared in-memory database, so no previously valid target
+    silently starts creating files on disk."""
+    return database.startswith("file:") or database.endswith(".mdb")
 
 
 def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> "Connection":
     """Open a MiniSQL connection.
 
-    ``":memory:"`` creates a fresh private database.  A path-looking
-    target (contains a separator or ends in ``.mdb``) opens a durable
-    file-backed archive: the database is recovered from its checkpoint +
-    write-ahead log on first open and every mutation is WAL-logged (see
-    :mod:`~repro.db.minisql.wal`).  Any other name refers to a named
-    shared in-memory database: connections passing the same name share
-    one catalog.
+    ``":memory:"`` creates a fresh private database.  A target ending
+    in ``.mdb`` — or carrying an explicit ``file:`` prefix, for archive
+    paths with other extensions — opens a durable file-backed archive:
+    the database is recovered from its checkpoint + write-ahead log on
+    first open and every mutation is WAL-logged (see
+    :mod:`~repro.db.minisql.wal`).  Any other name (path separators
+    included) refers to a named shared in-memory database: connections
+    passing the same name share one catalog.
     """
     if database == ":memory:":
         db = Database()
@@ -85,7 +94,8 @@ def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> 
 
         from . import wal as _wal
 
-        key = str(Path(database).resolve())
+        target = database[len("file:"):] if database.startswith("file:") else database
+        key = str(Path(target).resolve())
         with _SHARED_LOCK:
             db = _FILE_DATABASES.get(key)
             if db is None:
@@ -282,6 +292,16 @@ class Connection:
             )
             if mutating and self.isolation_level is not None:
                 self._begin_transaction()
+            elif (
+                (mutating or isinstance(statement, _DDL))
+                and not self.in_transaction
+            ):
+                # Autocommit (or DDL outside a transaction): hold the
+                # database writer lock for the statement so shared-DB
+                # writes serialise against other connections'
+                # transactions and close-time checkpoints.
+                with self._database.txn_lock:
+                    return self._executor.execute(statement, params)
             return self._executor.execute(statement, params)
 
     # -- statement observation ------------------------------------------------
@@ -383,9 +403,17 @@ class Cursor:
             with connection._lock:
                 if connection.isolation_level is not None:
                     connection._begin_transaction()
-                result = connection._executor.execute_insert_batch(
-                    statement, seq_of_params
-                )
+                if connection.in_transaction:
+                    result = connection._executor.execute_insert_batch(
+                        statement, seq_of_params
+                    )
+                else:
+                    # Autocommit batch: serialise on the writer lock like
+                    # any other autocommit mutation.
+                    with connection._database.txn_lock:
+                        result = connection._executor.execute_insert_batch(
+                            statement, seq_of_params
+                        )
             if observing:
                 connection._observe_statement(
                     sql, statement, time.perf_counter() - t0

@@ -459,7 +459,10 @@ class Executor:
                 return ResultSet(["checkpoint"], [(0,)])
             if self.database.in_transaction:
                 raise OperationalError("cannot checkpoint inside a transaction")
-            wal.checkpoint(self.database)
+            # Hold the writer lock so the dump sees a consistent catalog
+            # even while autocommit writers run on other connections.
+            with self.database.txn_lock:
+                wal.checkpoint(self.database)
             return ResultSet(["checkpoint"], [(1,)])
         if stmt.name == "wal_autocheckpoint":
             wal = self.database.wal

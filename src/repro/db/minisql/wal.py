@@ -43,6 +43,7 @@ import io
 import os
 import pickle
 import struct
+import threading
 import time
 import zlib
 from pathlib import Path
@@ -167,6 +168,12 @@ class WriteAheadLog:
     upd       (table, rowid, [(position, new_value), ...])
     ddl       (sql,) schema change replayed through the executor
     ========= ======================================================
+
+    All mutating methods hold an internal re-entrant mutex: connections
+    to the same archive share one WAL, and autocommit writers run
+    without the database transaction lock, so append/rotation/LSN
+    bookkeeping — and especially checkpoint truncation racing a
+    concurrent append — must serialise here.
     """
 
     def __init__(
@@ -188,6 +195,7 @@ class WriteAheadLog:
         self.checkpoints = 0
         self.bytes_since_checkpoint = 0
         self.last_lsn = 0
+        self._lock = threading.RLock()
         existing = list_segments(self.path)
         if existing:
             last = existing[-1].name.rpartition(".")[2]
@@ -217,13 +225,14 @@ class WriteAheadLog:
         faults.crash_point("wal.rotate.after")
 
     def close(self) -> None:
-        if self._fh is not None:
-            try:
-                self._fh.flush()
-                self._fh.close()
-            except (OSError, ValueError):
-                pass
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    self._fh.close()
+                except (OSError, ValueError):
+                    pass
+                self._fh = None
 
     def _fsync(self) -> None:
         assert self._fh is not None
@@ -240,29 +249,31 @@ class WriteAheadLog:
         the commit barrier's job.  Torn-write faults armed on
         ``wal.append`` tear exactly here.
         """
-        assert self._fh is not None, "WAL is closed"
-        self.last_lsn += 1
-        encoded = _encode_record((self.last_lsn, txn, op) + args)
-        faults.crash_point("wal.append.before")
-        faults.write(self._fh, encoded, "wal.append")
-        faults.crash_point("wal.append.after")
-        self.records_written += 1
-        self.bytes_written += len(encoded)
-        self.bytes_since_checkpoint += len(encoded)
-        self._segment_size += len(encoded)
-        _registry.counter("minisql.wal.records").inc()
-        _registry.counter("minisql.wal.bytes").inc(len(encoded))
-        if self._segment_size >= self.segment_bytes:
-            self._rotate()
-        return self.last_lsn
+        with self._lock:
+            assert self._fh is not None, "WAL is closed"
+            self.last_lsn += 1
+            encoded = _encode_record((self.last_lsn, txn, op) + args)
+            faults.crash_point("wal.append.before")
+            faults.write(self._fh, encoded, "wal.append")
+            faults.crash_point("wal.append.after")
+            self.records_written += 1
+            self.bytes_written += len(encoded)
+            self.bytes_since_checkpoint += len(encoded)
+            self._segment_size += len(encoded)
+            _registry.counter("minisql.wal.records").inc()
+            _registry.counter("minisql.wal.bytes").inc(len(encoded))
+            if self._segment_size >= self.segment_bytes:
+                self._rotate()
+            return self.last_lsn
 
     def barrier(self) -> None:
         """Make everything appended so far crash-durable per policy:
         always flushed to the OS, fsynced under ``synchronous=full``."""
-        assert self._fh is not None
-        self._fh.flush()
-        if self.synchronous == "full":
-            self._fsync()
+        with self._lock:
+            assert self._fh is not None
+            self._fh.flush()
+            if self.synchronous == "full":
+                self._fsync()
 
     # -- transaction records -----------------------------------------------
 
@@ -270,16 +281,18 @@ class WriteAheadLog:
         self.append("begin", txn)
 
     def log_commit(self, txn: int) -> None:
-        faults.crash_point("wal.commit.before_record")
-        self.append("commit", txn)
-        faults.crash_point("wal.commit.after_record")
-        self.barrier()
-        faults.crash_point("wal.commit.after_barrier")
+        with self._lock:
+            faults.crash_point("wal.commit.before_record")
+            self.append("commit", txn)
+            faults.crash_point("wal.commit.after_record")
+            self.barrier()
+            faults.crash_point("wal.commit.after_barrier")
         _registry.counter("minisql.wal.commits").inc()
 
     def log_rollback(self, txn: int) -> None:
-        self.append("rollback", txn)
-        self.barrier()
+        with self._lock:
+            self.append("rollback", txn)
+            self.barrier()
 
     def should_checkpoint(self) -> bool:
         return (
@@ -301,10 +314,12 @@ class WriteAheadLog:
         """
         if database.in_transaction:
             raise OperationalError("cannot checkpoint inside a transaction")
-        with _tracer.span("minisql.checkpoint", path=str(self.path)):
+        with self._lock, _tracer.span(
+            "minisql.checkpoint", path=str(self.path)
+        ):
             faults.crash_point("checkpoint.before_dump")
             tmp = self.path.parent / (self.path.name + ".tmp")
-            with open(tmp, "w", encoding="utf-8") as fh:
+            with open(tmp, "w", encoding="utf-8", newline="") as fh:
                 fh.write("-- MiniSQL dump\n")
                 for statement in dump_database_sql(database):
                     fh.write(statement + "\n")
@@ -337,19 +352,20 @@ class WriteAheadLog:
     # -- introspection ------------------------------------------------------
 
     def status(self) -> dict[str, Any]:
-        return {
-            "path": str(self.path),
-            "synchronous": self.synchronous,
-            "segment": self._seq,
-            "segment_bytes": self.segment_bytes,
-            "autocheckpoint_bytes": self.autocheckpoint_bytes,
-            "records": self.records_written,
-            "bytes": self.bytes_written,
-            "bytes_since_checkpoint": self.bytes_since_checkpoint,
-            "fsyncs": self.fsyncs,
-            "checkpoints": self.checkpoints,
-            "last_lsn": self.last_lsn,
-        }
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "synchronous": self.synchronous,
+                "segment": self._seq,
+                "segment_bytes": self.segment_bytes,
+                "autocheckpoint_bytes": self.autocheckpoint_bytes,
+                "records": self.records_written,
+                "bytes": self.bytes_written,
+                "bytes_since_checkpoint": self.bytes_since_checkpoint,
+                "fsyncs": self.fsyncs,
+                "checkpoints": self.checkpoints,
+                "last_lsn": self.last_lsn,
+            }
 
 
 # ---------------------------------------------------------------------------
@@ -381,7 +397,10 @@ def open_file_database(
     restored = False
     with _tracer.span("minisql.recover", path=str(archive)) as span:
         if archive.exists():
-            script = archive.read_text(encoding="utf-8")
+            # newline="" matches the checkpoint writer: no universal-
+            # newline translation, so \r inside TEXT values survives.
+            with open(archive, "r", encoding="utf-8", newline="") as fh:
+                script = fh.read()
             meta = parse_meta(script)
             _restore_checkpoint(database, script, meta)
             restored = True
@@ -427,20 +446,29 @@ def open_file_database(
 
 def _restore_checkpoint(database, script: str, meta: Optional[dict]) -> None:
     """Execute a dump script into ``database`` and restore the original
-    rowid numbering from the checkpoint trailer."""
+    rowid numbering from the checkpoint trailer.
+
+    The script is parsed whole by the real tokenizer — comments and
+    transaction framing are dropped at the statement level, never by
+    line filtering, so TEXT values containing newlines, ``--``, or
+    ``BEGIN;``/``COMMIT;`` restore byte-for-byte.
+    """
+    from .ast_nodes import (
+        BeginTransaction, CommitTransaction, RollbackTransaction,
+    )
     from .executor import Executor
     from .parser import parse
 
-    statements = [
-        line for line in script.splitlines()
-        if line.strip()
-        and not line.lstrip().startswith("--")
-        and line.strip().upper() not in ("BEGIN;", "COMMIT;")
-    ]
-    if statements:
-        executor = Executor(database)
-        for statement in parse("\n".join(statements)):
-            executor.execute(statement)
+    executor = None
+    for statement in parse(script):
+        if isinstance(
+            statement,
+            (BeginTransaction, CommitTransaction, RollbackTransaction),
+        ):
+            continue
+        if executor is None:
+            executor = Executor(database)
+        executor.execute(statement)
     if meta is None:
         return
     for key, table_meta in meta.get("tables", {}).items():

@@ -25,6 +25,13 @@ class PoolTimeout(TimeoutError):
     """Raised when ``acquire`` waits past its timeout for a connection."""
 
 
+#: Queue sentinel posted by the leak-reclaim finalizer: it wakes one
+#: blocked acquirer (even an untimed one) so the freed capacity turns
+#: into a replacement connection instead of a wait for a release that
+#: will never come.
+_RECLAIMED = object()
+
+
 class ConnectionPool:
     """Fixed-capacity pool of :class:`DBConnection` objects.
 
@@ -55,10 +62,16 @@ class ConnectionPool:
 
     def _reclaim_slot(self) -> None:
         """A created connection was garbage-collected without being
-        released: free its capacity so acquire() can replace it."""
+        released: free its capacity and wake one blocked acquirer so
+        the slot is replaceable immediately — not only after a timed
+        wait expires."""
         with self._lock:
             if self._created > 0:
                 self._created -= 1
+        try:
+            self._idle.put_nowait(_RECLAIMED)
+        except queue.Full:  # idle connections exist, so nobody is parked
+            pass
         _registry.counter("db.pool.reclaimed").inc()
 
     def _forget(self, connection: DBConnection) -> None:
@@ -71,41 +84,59 @@ class ConnectionPool:
 
         Blocks until a connection is returned when the pool is exhausted;
         with ``timeout``, raises :class:`PoolTimeout` instead of waiting
-        forever (after one last capacity check, in case a leaked
-        connection was reclaimed while we waited).
+        forever.  A leaked connection's finalizer posts a wake-up
+        sentinel, so blocked acquirers — timed or not — create a
+        replacement as soon as the slot is reclaimed.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         t0 = time.perf_counter()
-        try:
-            conn = self._idle.get_nowait()
-            self._observe_acquire(t0)
-            return conn
-        except queue.Empty:
-            pass
-        with self._lock:
-            if self._created < self.size:
-                self._created += 1
-                conn = self._create()
+        deadline = None if timeout is None else t0 + timeout
+        while True:
+            try:
+                item = self._idle.get_nowait()
+            except queue.Empty:
+                item = None
+            if item is not None and item is not _RECLAIMED:
                 self._observe_acquire(t0)
-                return conn
-        try:
-            conn = self._idle.get(timeout=timeout)
-        except queue.Empty:
+                return item
+            # Queue empty, or a reclaim sentinel freed capacity: create.
             with self._lock:
                 if self._created < self.size:
-                    # A leaked connection was finalized during the wait.
                     self._created += 1
                     conn = self._create()
                     self._observe_acquire(t0)
                     return conn
-            _registry.counter("db.pool.timeouts").inc()
-            raise PoolTimeout(
-                f"no connection available within {timeout}s "
-                f"(pool size {self.size}, all borrowed)"
-            ) from None
-        self._observe_acquire(t0)
-        return conn
+            if item is _RECLAIMED:
+                continue  # capacity raced away — re-check the queue
+            remaining = (
+                None if deadline is None else deadline - time.perf_counter()
+            )
+            if remaining is not None and remaining <= 0:
+                self._raise_timeout(timeout)
+            try:
+                item = self._idle.get(timeout=remaining)
+            except queue.Empty:
+                with self._lock:
+                    if self._created < self.size:
+                        # A leaked connection was finalized during the
+                        # wait but its sentinel went to another waiter.
+                        self._created += 1
+                        conn = self._create()
+                        self._observe_acquire(t0)
+                        return conn
+                self._raise_timeout(timeout)
+            if item is _RECLAIMED:
+                continue
+            self._observe_acquire(t0)
+            return item
+
+    def _raise_timeout(self, timeout: float | None) -> None:
+        _registry.counter("db.pool.timeouts").inc()
+        raise PoolTimeout(
+            f"no connection available within {timeout}s "
+            f"(pool size {self.size}, all borrowed)"
+        ) from None
 
     @staticmethod
     def _observe_acquire(t0: float) -> None:
@@ -147,6 +178,8 @@ class ConnectionPool:
                 conn = self._idle.get_nowait()
             except queue.Empty:
                 return
+            if conn is _RECLAIMED:
+                continue
             self._forget(conn)
             conn.close()
 

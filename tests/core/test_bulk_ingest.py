@@ -247,8 +247,13 @@ class TestParseRetryAndErrors:
             return real_load(target, format_name)
 
         monkeypatch.setattr(bulk, "load_profile", load_slow_in_workers)
+        t0 = _time.perf_counter()
         payloads = parse_profiles(
             [profile_dirs[0], profile_dirs[1]], workers=2, task_timeout=1.0
         )
+        elapsed = _time.perf_counter() - t0
         assert len(payloads) == 2 and all(p is not None for p in payloads)
         assert payloads[0].metadata["ingest_source"] == slow_target
+        # The hung worker sleeps 15s; pool teardown must terminate it
+        # rather than join it, so the whole call stays well under that.
+        assert elapsed < 10.0, f"pool shutdown joined a hung worker ({elapsed:.1f}s)"

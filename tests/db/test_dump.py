@@ -92,6 +92,59 @@ class TestRestore:
         assert values == {1.5, -2.25, 0.0, 1e-9}
 
 
+#: Values engineered to break naive line-based restore: raw newlines,
+#: carriage returns, continuation lines masquerading as comments or
+#: transaction framing.  Every one must round-trip byte-for-byte.
+HOSTILE_STRINGS = [
+    "line1\nline2",
+    "cr\rmiddle",
+    "crlf\r\nend",
+    "blank\n\n\nlines",
+    "looks like\n-- a comment",
+    "-- leading comment",
+    "BEGIN;",
+    "framed\nBEGIN;\nCOMMIT;\ntail",
+    "quote'and\nnewline",
+    "trailing newline\n",
+]
+
+
+class TestHostileStringRoundTrip:
+    @pytest.fixture
+    def hostile_conn(self):
+        conn = minisql.connect()
+        conn.execute("CREATE TABLE h (id INTEGER PRIMARY KEY, s TEXT)")
+        conn.executemany(
+            "INSERT INTO h (s) VALUES (?)", [(s,) for s in HOSTILE_STRINGS]
+        )
+        conn.commit()
+        return conn
+
+    def test_roundtrip_into_minisql(self, hostile_conn, tmp_path):
+        path = save_database(hostile_conn, tmp_path / "dump.sql")
+        fresh = minisql.connect()
+        load_database(fresh, path)
+        rows = fresh.execute("SELECT s FROM h ORDER BY id").fetchall()
+        assert [r[0] for r in rows] == HOSTILE_STRINGS
+
+    def test_roundtrip_into_sqlite(self, hostile_conn, tmp_path):
+        path = save_database(hostile_conn, tmp_path / "dump.sql")
+        raw = sqlite3.connect(":memory:")
+        with open(path, encoding="utf-8", newline="") as fh:
+            raw.executescript(fh.read())
+        rows = raw.execute("SELECT s FROM h ORDER BY id").fetchall()
+        assert [r[0] for r in rows] == HOSTILE_STRINGS
+
+    def test_double_roundtrip_is_stable(self, hostile_conn, tmp_path):
+        """Dump → restore → dump again must reproduce the same script
+        (no cumulative mangling of control characters)."""
+        first = save_database(hostile_conn, tmp_path / "one.sql")
+        fresh = minisql.connect()
+        load_database(fresh, first)
+        second = save_database(fresh, tmp_path / "two.sql")
+        assert first.read_bytes() == second.read_bytes()
+
+
 class TestPerfDMFArchiveDump:
     def test_whole_archive_roundtrip(self, tmp_path):
         """Dump/restore a real PerfDMF archive on the MiniSQL backend."""

@@ -352,6 +352,47 @@ class TestShared:
             b.execute("SELECT * FROM t")
 
 
+class TestFileTargetGating:
+    """File-backed mode is opt-in via '.mdb' or 'file:'; any other
+    target — path separators included — stays a named shared
+    in-memory database."""
+
+    def test_name_with_separator_stays_in_memory(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        a = minisql.connect("scoped/name")
+        b = minisql.connect("scoped/name")
+        a.execute("CREATE TABLE t (x INTEGER)")
+        a.execute("INSERT INTO t VALUES (7)")
+        a.commit()
+        assert b.execute("SELECT x FROM t").fetchone() == (7,)
+        assert list(tmp_path.iterdir()) == []  # nothing written to disk
+        minisql.reset_shared_databases()
+
+    def test_file_prefix_opens_durable_archive(self, tmp_path):
+        target = tmp_path / "archive.sqlarch"  # deliberately not .mdb
+        conn = minisql.connect(f"file:{target}")
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        conn.commit()
+        conn.close()
+        minisql.reset_shared_databases()
+        assert target.exists()
+
+        conn = minisql.connect(f"file:{target}")
+        assert conn.execute("SELECT count(*) FROM t").fetchone() == (1,)
+        conn.close()
+        minisql.reset_shared_databases()
+
+    def test_mdb_suffix_opens_durable_archive(self, tmp_path):
+        target = tmp_path / "archive.mdb"
+        conn = minisql.connect(str(target))
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.commit()
+        conn.close()
+        minisql.reset_shared_databases()
+        assert target.exists()
+
+
 class TestCursorProtocol:
     def test_fetchone_exhaustion(self, people):
         cur = people.execute("SELECT name FROM people WHERE name = 'alice'")

@@ -222,6 +222,29 @@ class TestPoolRecovery:
         pool.release(got[0])
         pool.close()
 
+    def test_untimed_acquire_wakes_on_reclaim(self, db_url):
+        """acquire(timeout=None) parked on an exhausted pool must wake
+        when a leaked connection is reclaimed — the finalizer posts a
+        sentinel, so the waiter does not block forever."""
+        pool = ConnectionPool(db_url, size=1)
+        holder = [pool.acquire(timeout=1)]
+        got = []
+
+        def blocked() -> None:
+            got.append(pool.acquire())  # no timeout: only a wake-up helps
+
+        t = threading.Thread(target=blocked, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not got  # parked with no deadline
+        holder.clear()  # leak: never released
+        gc.collect()
+        t.join(timeout=10)
+        assert not t.is_alive(), "untimed acquire never woke after reclaim"
+        assert len(got) == 1
+        pool.release(got[0])
+        pool.close()
+
     def test_leak_does_not_grow_pool_beyond_size(self, db_url):
         pool = ConnectionPool(db_url, size=2)
         leaked = pool.acquire()

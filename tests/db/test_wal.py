@@ -190,6 +190,122 @@ class TestDurability:
         db.wal.close()
 
 
+class TestHostileTextDurability:
+    """TEXT values with newlines, CRs, or lines that mimic dump syntax
+    must survive the checkpoint (SQL dump) → crash → replay cycle."""
+
+    HOSTILE = [
+        "line1\nline2",
+        "cr\rmiddle",
+        "crlf\r\nend",
+        "blank\n\n\nlines",
+        "looks like\n-- a comment",
+        "BEGIN;",
+        "framed\nBEGIN;\nCOMMIT;\ntail",
+        "text\n-- minisql-meta: {\"fake\": true}",
+        "quote'and\nnewline",
+    ]
+
+    def _populate(self, conn):
+        conn.execute("CREATE TABLE h (id INTEGER PRIMARY KEY, s TEXT)")
+        conn.executemany(
+            "INSERT INTO h (s) VALUES (?)", [(s,) for s in self.HOSTILE]
+        )
+        conn.commit()
+
+    def _fetch(self, conn):
+        return [
+            r[0] for r in conn.execute("SELECT s FROM h ORDER BY id").fetchall()
+        ]
+
+    def test_survive_checkpoint_and_crash(self, archive):
+        conn = _open(archive)
+        self._populate(conn)
+        conn.execute("PRAGMA checkpoint")  # values now live in the dump
+        _simulate_crash(archive)
+
+        conn = _open(archive)
+        assert self._fetch(conn) == self.HOSTILE
+        assert conn.execute("PRAGMA integrity_check").fetchall() == [("ok",)]
+
+    def test_survive_clean_close_twice(self, archive):
+        """Two full close/reopen cycles: restore must not mangle values
+        it then re-dumps (no cumulative corruption)."""
+        conn = _open(archive)
+        self._populate(conn)
+        conn.close()
+        minisql.reset_shared_databases()
+
+        conn = _open(archive)
+        assert self._fetch(conn) == self.HOSTILE
+        conn.close()
+        minisql.reset_shared_databases()
+
+        conn = _open(archive)
+        assert self._fetch(conn) == self.HOSTILE
+
+    def test_survive_wal_replay_without_checkpoint(self, archive):
+        conn = _open(archive)
+        self._populate(conn)
+        _simulate_crash(archive)  # values only in the WAL, not the dump
+
+        conn = _open(archive)
+        assert self._fetch(conn) == self.HOSTILE
+
+
+class TestConcurrentAutocommit:
+    def test_parallel_writers_and_checkpoints(self, archive):
+        """Autocommit mutations from many threads race WAL appends,
+        segment rotation and explicit checkpoints; the log must stay
+        coherent and recovery must see every committed row."""
+        import threading
+
+        db = ms_wal.open_file_database(archive, segment_bytes=4096)
+        setup = minisql.Connection(db)
+        setup.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, w INTEGER)")
+        n_threads, per_thread = 6, 30
+        errors = []
+
+        def writer(i: int) -> None:
+            try:
+                conn = minisql.Connection(db)
+                conn.isolation_level = None  # true autocommit: no BEGIN
+                for _ in range(per_thread):
+                    conn.execute("INSERT INTO t (w) VALUES (?)", (i,))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def checkpointer() -> None:
+            try:
+                conn = minisql.Connection(db)
+                for _ in range(5):
+                    conn.execute("PRAGMA checkpoint")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ] + [threading.Thread(target=checkpointer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(db.tables["t"].rows) == n_threads * per_thread
+
+        db.wal.close()
+        db.wal = None
+        recovered = ms_wal.open_file_database(archive)
+        try:
+            assert len(recovered.tables["t"].rows) == n_threads * per_thread
+            problems = minisql.Connection(recovered).execute(
+                "PRAGMA integrity_check"
+            ).fetchall()
+            assert problems == [("ok",)]
+        finally:
+            recovered.wal.close()
+
+
 class TestPragmas:
     def test_synchronous_get_set(self, archive):
         conn = _open(archive)
