@@ -98,8 +98,10 @@ def test_parallel_parse_speedup(benchmark, tmp_path_factory, report, bench_json)
 
     Parsing is CPU-bound pure-Python work, so worker processes should
     give near-linear speedup; the >1.5x assertion only applies on
-    machines with at least 4 cores (single-core CI boxes still record
-    their numbers in ``BENCH_e1_ingest.json``).
+    machines with at least 4 cores.  Single-core boxes still record
+    their numbers (with ``cores``/``workers``) in
+    ``BENCH_e1_ingest.json`` but then *skip* visibly rather than
+    reporting a meaningless 1.0x pass.
     """
     base = tmp_path_factory.mktemp("e6par")
     dirs = []
@@ -133,9 +135,17 @@ def test_parallel_parse_speedup(benchmark, tmp_path_factory, report, bench_json)
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     bench_json("e6_parallel_parse", result)
     report(
-        f"E6  parallel profile parse ({result['workers']} workers)     -> "
-        f"{result['speedup']:.2f}x over serial for {result['files']} files"
+        f"E6  parallel profile parse                 -> "
+        f"{result['speedup']:.2f}x over serial for {result['files']} files "
+        f"[cores={result['cores']}, workers={result['workers']}]"
     )
+    if workers == 1:
+        # The numbers are still recorded above, but a 1.0x "speedup"
+        # from a pool of one says nothing about the pipeline.
+        pytest.skip(
+            f"only {cores} core(s) available: worker pool degenerates to "
+            "serial, speedup assertion not meaningful"
+        )
     if cores >= 4:
         assert result["speedup"] > 1.5, (
             f"parallel parse must beat serial by >1.5x on {cores} cores, "

@@ -1,0 +1,583 @@
+"""Expression-to-closure compilation for MiniSQL.
+
+The interpreter in :mod:`~repro.db.minisql.expr` re-walks the AST for
+every row: each node costs an ``isinstance`` dispatch chain, and every
+column reference goes through a dict lookup (plus exception handling for
+the ambiguous/missing cases) in ``RowContext``.  At PerfDMF scale — §5.3
+queries over >1.6M interval_location_profile rows — that interpretive
+overhead dominates query time.
+
+This module lowers a bound expression tree into nested Python closures
+*once per statement*:
+
+* column references resolve to fixed row offsets at compile time
+  (``row[17]``, no per-row name resolution);
+* literals are pre-bound constants; placeholders index ``params``;
+* comparison operators become pre-selected :mod:`operator` functions
+  wrapped in the exact NULL/affinity-coercion rules of
+  ``expr._compare``;
+* ``LIKE`` against a literal pattern pre-compiles its regex.
+
+Every closure has the uniform signature ``fn(row, params, aggs) ->
+value`` — ``aggs`` carries finalized aggregate values for post-GROUP BY
+expressions (HAVING, projections over aggregates), and is ``None``
+during row scans.
+
+Semantics are the interpreter's, bit for bit: three-valued logic,
+NULL propagation, sqlite's numeric-string comparison coercion,
+division-by-zero → NULL, and the int-division rule all mirror
+``expr.py``.  Anything the compiler cannot prove it handles identically
+— unresolvable or ambiguous column refs (the interpreter only raises
+when a row actually exists), unknown scalar functions, aggregate misuse,
+subqueries, ``*`` — raises :class:`CannotCompile` and the executor falls
+back to the interpreter for that pipeline section.  The differential SQL
+corpus runs under both ``PRAGMA compile on`` and ``off`` to prove the
+two paths agree.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from .ast_nodes import (
+    Between, BinaryOp, CaseExpr, CastExpr, ColumnRef, Expression,
+    FunctionCall, InList, IsNull, Like, Literal, Placeholder, UnaryOp,
+)
+from .errors import DataError, ProgrammingError
+from .expr import _as_text, _like_regex, _maybe_number, truthy
+from .functions import SCALAR_FUNCTIONS, is_aggregate
+from .types import cast_value
+
+#: Compiled closure signature: (row, params, aggs) -> value.
+CompiledExpr = Callable[[Sequence[Any], Sequence[Any], Optional[Sequence[Any]]], Any]
+
+
+class CannotCompile(Exception):
+    """Raised when an expression must stay on the interpreter.
+
+    Not an error: the executor catches it and routes the pipeline
+    section through ``expr.evaluate`` so behaviour (including *when*
+    errors are raised — e.g. a bad column name over an empty table) is
+    unchanged.
+    """
+
+
+# ---------------------------------------------------------------------------
+# plan containers (filled in by the executor, cached on Statement objects)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JoinPlan:
+    """Compiled closures for one hash/nested-loop join stage."""
+
+    probe: Optional[CompiledExpr]  # outer-side key, over the padded row
+    build: Optional[CompiledExpr]  # inner-side key, over the inner table row
+    condition: Optional[CompiledExpr]  # full ON condition, over the padded row
+
+
+@dataclass
+class GroupPlan:
+    """Compiled hash-aggregation: group keys, aggregate arguments, and
+    post-aggregation (HAVING / projection / ORDER BY) closures."""
+
+    group_fns: list[CompiledExpr]
+    #: One factory per aggregate call site (handles DISTINCT wrapping).
+    acc_factories: list[Callable[[], Any]]
+    #: Per aggregate: argument closure, or None for COUNT(*).
+    arg_fns: list[Optional[CompiledExpr]]
+    having_fn: Optional[CompiledExpr]  # None = no HAVING clause
+    #: Per result column: int (representative-row position for ``*``
+    #: columns) or a closure over (representative, params, aggs).
+    item_slots: list[Any]
+    #: Per ORDER BY item: (int projected index | closure, descending).
+    order_specs: Optional[list[tuple[Any, bool]]]  # None = no ORDER BY
+
+
+@dataclass
+class SelectPlan:
+    """Everything compiled for one SELECT, cached on the Statement.
+
+    Sections are independently optional: ``None`` means "interpret that
+    stage".  ``fallbacks`` counts the sections that needed the
+    interpreter, charged to ``Database.stats['compile_fallbacks']`` once
+    per execution.
+    """
+
+    schema_version: int
+    layout: Any  # executor._Layout, reused across executions
+    columns: Optional[list[str]]  # result column names (None: expansion failed)
+    exprs: Optional[list[Any]]  # _expand_items output (int | Expression)
+    where_fn: Optional[CompiledExpr]
+    joins: list[Optional[JoinPlan]] = field(default_factory=list)
+    grouped: Optional[GroupPlan] = None
+    is_grouped: bool = False
+    proj: Optional[list[Any]] = None  # per column: int | closure
+    order_specs: Optional[list[tuple[Any, bool]]] = None
+    order_compiled: bool = False
+    fallbacks: int = 0
+    #: Column-projection pushdown for single-table full scans: row
+    #: positions the statement touches, plus the same sections recompiled
+    #: against the compacted row shape.  None when ineligible.
+    compact: Optional["CompactPlan"] = None
+
+
+@dataclass
+class CompactPlan:
+    """Plan sections recompiled against a projected (compact) row."""
+
+    positions: Optional[tuple[int, ...]]  # None = statement uses every column
+    where_fn: Optional[CompiledExpr]
+    grouped: Optional[GroupPlan]
+    proj: Optional[list[Any]]
+    order_specs: Optional[list[tuple[Any, bool]]]
+
+
+@dataclass
+class DMLPlan:
+    """Compiled WHERE / SET closures for UPDATE and DELETE."""
+
+    schema_version: int
+    where_fn: Optional[CompiledExpr]
+    assign_fns: Optional[list[tuple[int, CompiledExpr]]]
+    fallbacks: int = 0
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+# ---------------------------------------------------------------------------
+
+_CMP_FUNCS = {
+    "=": operator.eq, "<>": operator.ne,
+    "<": operator.lt, ">": operator.gt,
+    "<=": operator.le, ">=": operator.ge,
+}
+
+
+def _compare_values(opf: Callable[[Any, Any], bool], is_ne: bool,
+                    left: Any, right: Any) -> Any:
+    """``expr._compare`` with the operator pre-dispatched."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, str) != isinstance(right, str):
+        if isinstance(left, str):
+            left = _maybe_number(left)
+        else:
+            right = _maybe_number(right)
+        if isinstance(left, str) != isinstance(right, str):
+            return int(is_ne)  # incomparable: only <> is true
+    return int(opf(left, right))
+
+
+_EQ = operator.eq
+
+
+def _eq_values(left: Any, right: Any) -> Any:
+    """``expr._compare('=', ...)`` — shared by IN / simple CASE."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, str) != isinstance(right, str):
+        if isinstance(left, str):
+            left = _maybe_number(left)
+        else:
+            right = _maybe_number(right)
+        if isinstance(left, str) != isinstance(right, str):
+            return 0
+    return int(left == right)
+
+
+def compile_expr(
+    expr: Expression,
+    resolution: Mapping[str, int],
+    agg_slots: Optional[dict[int, int]] = None,
+    used: Optional[set] = None,
+) -> CompiledExpr:
+    """Lower ``expr`` to a closure, or raise :class:`CannotCompile`.
+
+    ``resolution`` maps lowered column keys (``name`` / ``alias.name``)
+    to row offsets.  ``agg_slots`` maps ``id(FunctionCall)`` of
+    precomputed aggregate call sites to indexes into the ``aggs``
+    argument.  ``used`` (when given) accumulates every row offset the
+    compiled closure reads — the projection-pushdown analysis.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row, params, aggs: value
+
+    if isinstance(expr, Placeholder):
+        index = expr.index
+
+        def placeholder_fn(row, params, aggs):
+            try:
+                return params[index]
+            except IndexError:
+                raise ProgrammingError(
+                    f"statement uses parameter {index + 1} but only "
+                    f"{len(params)} supplied"
+                ) from None
+
+        return placeholder_fn
+
+    if isinstance(expr, ColumnRef):
+        position = resolution.get(expr.qualified.lower())
+        if position is None:
+            # Ambiguous or unknown name: the interpreter raises only when
+            # a row is actually bound, so this must stay interpreted.
+            raise CannotCompile(expr.qualified)
+        if used is not None:
+            used.add(position)
+        return lambda row, params, aggs: row[position]
+
+    if isinstance(expr, UnaryOp):
+        op = expr.op
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        if op == "NOT":
+            def not_fn(row, params, aggs):
+                value = operand(row, params, aggs)
+                if value is None:
+                    return None
+                return int(not truthy(value))
+            return not_fn
+        if op == "-":
+            def neg_fn(row, params, aggs):
+                value = operand(row, params, aggs)
+                if value is None:
+                    return None
+                if not isinstance(value, (int, float)):
+                    raise DataError(f"non-numeric operand for unary -: {value!r}")
+                return -value
+            return neg_fn
+        # Unknown unary ops raise per-row in the interpreter (after a
+        # NULL short-circuit) — leave them there.
+        raise CannotCompile(f"unary {op}")
+
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, resolution, agg_slots, used)
+
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        negated = expr.negated
+        return lambda row, params, aggs: int(
+            (operand(row, params, aggs) is None) != negated
+        )
+
+    if isinstance(expr, InList):
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        items = [compile_expr(i, resolution, agg_slots, used) for i in expr.items]
+        negated = expr.negated
+
+        def in_fn(row, params, aggs):
+            value = operand(row, params, aggs)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row, params, aggs)
+                if candidate is None:
+                    saw_null = True
+                    continue
+                if _eq_values(value, candidate):
+                    return int(not negated)
+            if saw_null:
+                return None
+            return int(negated)
+
+        return in_fn
+
+    if isinstance(expr, Between):
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        low = compile_expr(expr.low, resolution, agg_slots, used)
+        high = compile_expr(expr.high, resolution, agg_slots, used)
+        negated = expr.negated
+        ge = operator.ge
+        le = operator.le
+
+        def between_fn(row, params, aggs):
+            value = operand(row, params, aggs)
+            lo = low(row, params, aggs)
+            hi = high(row, params, aggs)
+            if value is None or lo is None or hi is None:
+                return None
+            result = bool(_compare_values(ge, False, value, lo)) and bool(
+                _compare_values(le, False, value, hi)
+            )
+            return int(result != negated)
+
+        return between_fn
+
+    if isinstance(expr, Like):
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        negated = expr.negated
+        if isinstance(expr.pattern, Literal) and expr.pattern.value is not None:
+            regex = _like_regex(str(expr.pattern.value))
+
+            def like_const_fn(row, params, aggs):
+                value = operand(row, params, aggs)
+                if value is None:
+                    return None
+                result = regex.match(str(value)) is not None
+                return int(result != negated)
+
+            return like_const_fn
+        pattern = compile_expr(expr.pattern, resolution, agg_slots, used)
+
+        def like_fn(row, params, aggs):
+            value = operand(row, params, aggs)
+            pat = pattern(row, params, aggs)
+            if value is None or pat is None:
+                return None
+            result = _like_regex(str(pat)).match(str(value)) is not None
+            return int(result != negated)
+
+        return like_fn
+
+    if isinstance(expr, FunctionCall):
+        return _compile_function(expr, resolution, agg_slots, used)
+
+    if isinstance(expr, CaseExpr):
+        return _compile_case(expr, resolution, agg_slots, used)
+
+    if isinstance(expr, CastExpr):
+        operand = compile_expr(expr.operand, resolution, agg_slots, used)
+        target = expr.target_type
+        return lambda row, params, aggs: cast_value(
+            operand(row, params, aggs), target
+        )
+
+    # Star, Subquery, anything new: interpreter territory.
+    raise CannotCompile(type(expr).__name__)
+
+
+def _compile_binary(
+    expr: BinaryOp,
+    resolution: Mapping[str, int],
+    agg_slots: Optional[dict[int, int]],
+    used: Optional[set],
+) -> CompiledExpr:
+    op = expr.op
+    left = compile_expr(expr.left, resolution, agg_slots, used)
+    right = compile_expr(expr.right, resolution, agg_slots, used)
+
+    if op == "AND":
+        def and_fn(row, params, aggs):
+            lhs = left(row, params, aggs)
+            if lhs is not None and not truthy(lhs):
+                return 0
+            rhs = right(row, params, aggs)
+            if rhs is not None and not truthy(rhs):
+                return 0
+            if lhs is None or rhs is None:
+                return None
+            return 1
+        return and_fn
+
+    if op == "OR":
+        def or_fn(row, params, aggs):
+            lhs = left(row, params, aggs)
+            if lhs is not None and truthy(lhs):
+                return 1
+            rhs = right(row, params, aggs)
+            if rhs is not None and truthy(rhs):
+                return 1
+            if lhs is None or rhs is None:
+                return None
+            return 0
+        return or_fn
+
+    if op == "||":
+        def concat_fn(row, params, aggs):
+            lhs = left(row, params, aggs)
+            rhs = right(row, params, aggs)
+            if lhs is None or rhs is None:
+                return None
+            return _as_text(lhs) + _as_text(rhs)
+        return concat_fn
+
+    if op in _CMP_FUNCS:
+        opf = _CMP_FUNCS[op]
+        is_ne = op == "<>"
+
+        def cmp_fn(row, params, aggs):
+            lhs = left(row, params, aggs)
+            rhs = right(row, params, aggs)
+            if lhs is None or rhs is None:
+                return None
+            if isinstance(lhs, str) != isinstance(rhs, str):
+                if isinstance(lhs, str):
+                    lhs = _maybe_number(lhs)
+                else:
+                    rhs = _maybe_number(rhs)
+                if isinstance(lhs, str) != isinstance(rhs, str):
+                    return int(is_ne)
+            return int(opf(lhs, rhs))
+
+        return cmp_fn
+
+    if op in ("+", "-", "*", "/", "%"):
+        if op == "+":
+            arith = operator.add
+        elif op == "-":
+            arith = operator.sub
+        elif op == "*":
+            arith = operator.mul
+        else:
+            arith = None  # '/' and '%' need their zero/NULL rules inline
+
+        if arith is not None:
+            def arith_fn(row, params, aggs):
+                lhs = left(row, params, aggs)
+                rhs = right(row, params, aggs)
+                if lhs is None or rhs is None:
+                    return None
+                if not isinstance(lhs, (int, float)):
+                    raise DataError(f"non-numeric operand for {op}: {lhs!r}")
+                if not isinstance(rhs, (int, float)):
+                    raise DataError(f"non-numeric operand for {op}: {rhs!r}")
+                return arith(lhs, rhs)
+            return arith_fn
+
+        if op == "/":
+            def div_fn(row, params, aggs):
+                lhs = left(row, params, aggs)
+                rhs = right(row, params, aggs)
+                if lhs is None or rhs is None:
+                    return None
+                if not isinstance(lhs, (int, float)):
+                    raise DataError(f"non-numeric operand for /: {lhs!r}")
+                if not isinstance(rhs, (int, float)):
+                    raise DataError(f"non-numeric operand for /: {rhs!r}")
+                if rhs == 0:
+                    return None  # sqlite yields NULL on division by zero
+                if isinstance(lhs, int) and isinstance(rhs, int):
+                    return lhs // rhs if lhs % rhs == 0 else lhs / rhs
+                return lhs / rhs
+            return div_fn
+
+        def mod_fn(row, params, aggs):
+            lhs = left(row, params, aggs)
+            rhs = right(row, params, aggs)
+            if lhs is None or rhs is None:
+                return None
+            if not isinstance(lhs, (int, float)):
+                raise DataError(f"non-numeric operand for %: {lhs!r}")
+            if not isinstance(rhs, (int, float)):
+                raise DataError(f"non-numeric operand for %: {rhs!r}")
+            if rhs == 0:
+                return None
+            return lhs % rhs
+        return mod_fn
+
+    # Unknown binary operator: interpreter raises per row.
+    raise CannotCompile(f"binary {op}")
+
+
+def _compile_function(
+    expr: FunctionCall,
+    resolution: Mapping[str, int],
+    agg_slots: Optional[dict[int, int]],
+    used: Optional[set],
+) -> CompiledExpr:
+    name = expr.name
+    if agg_slots is not None:
+        slot = agg_slots.get(id(expr))
+        if slot is not None:
+            return lambda row, params, aggs: aggs[slot]
+    if is_aggregate(name) and not (name in ("MIN", "MAX") and len(expr.args) >= 2):
+        # Aggregate misuse raises per-row in the interpreter; nested
+        # aggregates inside a grouped query take this path too.
+        raise CannotCompile(f"aggregate {name}")
+    fn = SCALAR_FUNCTIONS.get(name)
+    if fn is None:
+        # "no such function" is a per-row error in the interpreter.
+        raise CannotCompile(f"function {name}")
+    args = [compile_expr(a, resolution, agg_slots, used) for a in expr.args]
+
+    if len(args) == 1:
+        arg0 = args[0]
+
+        def call1_fn(row, params, aggs):
+            try:
+                return fn(arg0(row, params, aggs))
+            except TypeError as exc:
+                raise ProgrammingError(
+                    f"wrong argument count for {name}(): {exc}"
+                ) from None
+
+        return call1_fn
+
+    def call_fn(row, params, aggs):
+        values = [a(row, params, aggs) for a in args]
+        try:
+            return fn(*values)
+        except TypeError as exc:
+            raise ProgrammingError(
+                f"wrong argument count for {name}(): {exc}"
+            ) from None
+
+    return call_fn
+
+
+def _compile_case(
+    expr: CaseExpr,
+    resolution: Mapping[str, int],
+    agg_slots: Optional[dict[int, int]],
+    used: Optional[set],
+) -> CompiledExpr:
+    whens = [
+        (
+            compile_expr(condition, resolution, agg_slots, used),
+            compile_expr(result, resolution, agg_slots, used),
+        )
+        for condition, result in expr.whens
+    ]
+    default = (
+        compile_expr(expr.default, resolution, agg_slots, used)
+        if expr.default is not None else None
+    )
+    if expr.operand is not None:
+        subject_fn = compile_expr(expr.operand, resolution, agg_slots, used)
+
+        def case_simple_fn(row, params, aggs):
+            subject = subject_fn(row, params, aggs)
+            for condition, result in whens:
+                candidate = condition(row, params, aggs)
+                if (
+                    subject is not None and candidate is not None
+                    and _eq_values(subject, candidate)
+                ):
+                    return result(row, params, aggs)
+            if default is not None:
+                return default(row, params, aggs)
+            return None
+
+        return case_simple_fn
+
+    def case_fn(row, params, aggs):
+        for condition, result in whens:
+            if truthy(condition(row, params, aggs)):
+                return result(row, params, aggs)
+        if default is not None:
+            return default(row, params, aggs)
+        return None
+
+    return case_fn
+
+
+def try_compile(
+    expr: Expression,
+    resolution: Mapping[str, int],
+    agg_slots: Optional[dict[int, int]] = None,
+    used: Optional[set] = None,
+) -> Optional[CompiledExpr]:
+    """``compile_expr`` returning None instead of raising.
+
+    Catches *any* exception: a compile-time failure must never surface
+    differently than the interpreter would — the section simply stays
+    interpreted and the interpreter raises (or not) with its own timing.
+    """
+    try:
+        return compile_expr(expr, resolution, agg_slots, used)
+    except Exception:
+        return None

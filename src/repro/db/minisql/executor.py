@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from repro.obs.metrics import registry as _metrics
+
 from .ast_nodes import (
     AlterTableAddColumn, AlterTableRename, BeginTransaction, Between,
     BinaryOp, ColumnDef, ColumnRef, CommitTransaction, CreateIndex,
@@ -31,6 +33,10 @@ from .ast_nodes import (
     InList, Insert, Join, Literal, OrderItem, Placeholder, Pragma,
     RollbackTransaction, Select, SelectItem, Star, Statement, Subquery,
     TableRef, Update,
+)
+from .compile import (
+    CompactPlan, DMLPlan, GroupPlan, JoinPlan, SelectPlan, compile_expr,
+    try_compile,
 )
 from .dump import _create_table_sql, _render_value
 from .errors import (
@@ -43,6 +49,14 @@ from .expr import (
 from .functions import is_aggregate, make_aggregate
 from .storage import Column, Database, Index, OMITTED, SortedIndex, Table
 from .types import sort_key
+
+# Process-global compile telemetry (mirrors the per-Database stats keys;
+# the registry survives connection churn, the stats dict travels with
+# ``Connection.stats()``).
+_PLAN_HITS = _metrics.counter("minisql.compile.plan_cache_hits")
+_PLAN_MISSES = _metrics.counter("minisql.compile.plan_cache_misses")
+_COMPILE_FALLBACKS = _metrics.counter("minisql.compile.fallbacks")
+_COMPILE_SECONDS = _metrics.histogram("minisql.compile.seconds")
 
 
 @dataclass
@@ -155,19 +169,25 @@ class Executor:
         if getattr(stmt, "analyze", False):
             return self._execute_explain_analyze(stmt, params)
         steps = self._explain_steps(stmt.statement, params)
-        rows = [(i, detail) for i, (detail, _label) in enumerate(steps)]
-        return ResultSet(["id", "detail"], rows)
+        rows = [
+            (i, detail, compiled)
+            for i, (detail, _label, compiled) in enumerate(steps)
+        ]
+        return ResultSet(["id", "detail", "compiled"], rows)
 
     def _explain_steps(
         self, inner: Statement, params: Sequence[Any], analyze: bool = False
-    ) -> list[tuple[str, Optional[str]]]:
-        """Plan-step descriptions paired with analyze-probe labels.
+    ) -> list[tuple[str, Optional[str], Optional[str]]]:
+        """Plan-step (description, analyze-probe label, compiled) triples.
 
         The "WHERE filter" step only appears under ``analyze`` — plain
         EXPLAIN keeps its historical sqlite-like shape (access path,
         joins, group/order) that tests and tooling match exactly.
+        ``compiled`` is "yes"/"no" for steps the closure compiler can
+        cover, None where the notion does not apply (CROSS JOIN,
+        compound glue, DML, constant rows).
         """
-        steps: list[tuple[str, Optional[str]]] = []
+        steps: list[tuple[str, Optional[str], Optional[str]]] = []
         if isinstance(inner, Select) and inner.table is not None:
             table = self.database.table(inner.table.name)
             conjuncts = _conjuncts(inner.where) if not inner.joins else []
@@ -176,13 +196,21 @@ class Executor:
                 table, inner.table.effective_name, conjuncts, order_by,
                 params, _select_alias_names(inner),
             )
-            steps.append((plan.describe(table), "scan"))
+            try:
+                splan = self._compiled_select(inner)
+            except Exception:
+                splan = None
+
+            def flag(section_compiled: bool) -> str:
+                return "yes" if splan is not None and section_compiled else "no"
+
+            steps.append((plan.describe(table), "scan", flag(splan is not None)))
             layout = _Layout.build(self.database, inner)
             offset = len(table.columns)
             for i, join in enumerate(inner.joins):
                 inner_table = self.database.table(join.table.name)
                 if join.kind == "CROSS" or join.condition is None:
-                    steps.append((f"CROSS JOIN {inner_table.name}", f"join{i}"))
+                    steps.append((f"CROSS JOIN {inner_table.name}", f"join{i}", None))
                 else:
                     equi = _find_equi_key(
                         join.condition, layout, offset, len(inner_table.columns)
@@ -190,28 +218,43 @@ class Executor:
                     strategy = (
                         "HASH JOIN" if equi is not None else "NESTED LOOP JOIN"
                     )
-                    steps.append(
-                        (f"{strategy} {inner_table.name} ({join.kind})", f"join{i}")
-                    )
+                    steps.append((
+                        f"{strategy} {inner_table.name} ({join.kind})",
+                        f"join{i}",
+                        flag(splan is not None and splan.joins[i] is not None),
+                    ))
                 offset += len(inner_table.columns)
             if analyze and inner.where is not None:
-                steps.append(("WHERE filter", "where"))
+                steps.append((
+                    "WHERE filter", "where",
+                    flag(splan is not None and splan.where_fn is not None),
+                ))
             if inner.group_by or any(
                 contains_aggregate(item.expr) for item in inner.items
             ):
-                steps.append(("GROUP BY (hash aggregation)", None))
+                steps.append((
+                    "GROUP BY (hash aggregation)", None,
+                    flag(splan is not None and splan.grouped is not None),
+                ))
             if inner.order_by:
+                order_flag = flag(
+                    splan is not None and (
+                        splan.grouped is not None
+                        if splan.is_grouped else splan.order_compiled
+                    )
+                )
                 steps.append((
                     "ORDER BY (index order)" if plan.ordered
                     else "ORDER BY (sort)",
                     None,
+                    order_flag,
                 ))
             if inner.compound is not None:
-                steps.append((f"COMPOUND {inner.compound[0]}", None))
+                steps.append((f"COMPOUND {inner.compound[0]}", None, None))
         elif isinstance(inner, Select):
-            steps.append(("CONSTANT ROW (no FROM)", None))
+            steps.append(("CONSTANT ROW (no FROM)", None, None))
         else:
-            steps.append((type(inner).__name__.upper(), None))
+            steps.append((type(inner).__name__.upper(), None, None))
         return steps
 
     def _execute_explain_analyze(self, stmt, params: Sequence[Any]) -> ResultSet:
@@ -230,17 +273,18 @@ class Executor:
         # stats counters, so the numbers stay pure.
         steps = self._explain_steps(inner, params, analyze=True)
         rows: list[tuple[Any, ...]] = []
-        for i, (detail, label) in enumerate(steps):
+        for i, (detail, label, compiled) in enumerate(steps):
             info = probe.steps.get(label) if label is not None else None
             rows.append((
                 i,
                 detail,
                 int(info["rows"]) if info is not None else None,
                 round(info["time"] * 1000.0, 3) if info is not None else None,
+                compiled,
             ))
         cardinality = len(result.rows) if result.columns else result.rowcount
-        rows.append((len(rows), "RESULT", cardinality, round(total_ms, 3)))
-        return ResultSet(["id", "detail", "rows", "time_ms"], rows)
+        rows.append((len(rows), "RESULT", cardinality, round(total_ms, 3), None))
+        return ResultSet(["id", "detail", "rows", "time_ms", "compiled"], rows)
 
     # ------------------------------------------------------------------ DDL --
 
@@ -349,6 +393,8 @@ class Executor:
                 references=cdef.references,
             )
         )
+        # Row width changed: every compiled plan's offsets are stale.
+        self.database.schema_version += 1
         bits = [cdef.name, cdef.type_name]
         if cdef.not_null:
             bits.append("NOT NULL")
@@ -494,6 +540,30 @@ class Executor:
             problems = self._integrity_check()
             rows = [(p,) for p in problems] if problems else [("ok",)]
             return ResultSet(["integrity_check"], rows)
+        if stmt.name == "compile":
+            argument = str(stmt.argument or "").strip().lower()
+            if argument in ("on", "1", "true"):
+                self.database.compile_enabled = True
+            elif argument in ("off", "0", "false"):
+                self.database.compile_enabled = False
+            elif argument == "status":
+                stats = self.database.stats
+                return ResultSet(
+                    ["key", "value"],
+                    [
+                        ("enabled", int(self.database.compile_enabled)),
+                        ("plan_cache_hits", stats["plan_cache_hits"]),
+                        ("plan_cache_misses", stats["plan_cache_misses"]),
+                        ("compile_fallbacks", stats["compile_fallbacks"]),
+                    ],
+                )
+            else:
+                raise ProgrammingError(
+                    f"PRAGMA compile expects on/off/status, got {stmt.argument!r}"
+                )
+            # on/off return no rows, matching sqlite's silent treatment of
+            # unknown pragmas, so differential corpora stay comparable.
+            return ResultSet([], [], rowcount=0)
         # Unknown pragmas are silently ignored, like sqlite.
         return ResultSet([], [], rowcount=0)
 
@@ -647,20 +717,47 @@ class Executor:
 
     def _execute_update(self, stmt: Update, params: Sequence[Any]) -> ResultSet:
         table = self.database.table(stmt.table)
-        context = _single_table_context(table)
         where = self._materialize_subqueries(stmt.where, params)
-        assignments = [
-            (table.position_of(name), expr) for name, expr in stmt.assignments
-        ]
+        plan = self._compiled_dml(stmt, table, is_update=True)
+        if plan is not None and plan.fallbacks:
+            self.database.stats["compile_fallbacks"] += plan.fallbacks
+            _COMPILE_FALLBACKS.inc(plan.fallbacks)
+        # Compiled WHERE only applies when subquery materialisation left
+        # the original expression untouched (the closures were built
+        # against it).
+        where_fn = (
+            plan.where_fn
+            if plan is not None and where is stmt.where else None
+        )
+        assign_fns = plan.assign_fns if plan is not None else None
+        context = (
+            _single_table_context(table)
+            if (where is not None and where_fn is None) or assign_fns is None
+            else None
+        )
+        if assign_fns is None:
+            assignments = [
+                (table.position_of(name), expr) for name, expr in stmt.assignments
+            ]
         touched = []
         for rowid, row in list(table.scan()):
-            context.bind(row)
-            if where is not None and not truthy(evaluate(where, context, params)):
-                continue
-            new_values = {
-                position: evaluate(expr, context, params)
-                for position, expr in assignments
-            }
+            if context is not None:
+                context.bind(row)
+            if where is not None:
+                if where_fn is not None:
+                    if not truthy(where_fn(row, params, None)):
+                        continue
+                elif not truthy(evaluate(where, context, params)):
+                    continue
+            if assign_fns is not None:
+                new_values = {
+                    position: fn(row, params, None) for position, fn in assign_fns
+                }
+            else:
+                new_values = {
+                    position: evaluate(expr, context, params)
+                    for position, expr in assignments
+                }
             touched.append((rowid, new_values))
         for rowid, new_values in touched:
             self.database.update(table, rowid, new_values)
@@ -668,13 +765,26 @@ class Executor:
 
     def _execute_delete(self, stmt: Delete, params: Sequence[Any]) -> ResultSet:
         table = self.database.table(stmt.table)
-        context = _single_table_context(table)
         where = self._materialize_subqueries(stmt.where, params)
+        plan = self._compiled_dml(stmt, table, is_update=False)
+        if plan is not None and plan.fallbacks:
+            self.database.stats["compile_fallbacks"] += plan.fallbacks
+            _COMPILE_FALLBACKS.inc(plan.fallbacks)
+        where_fn = (
+            plan.where_fn
+            if plan is not None and where is stmt.where else None
+        )
         doomed = []
-        for rowid, row in table.scan():
-            context.bind(row)
-            if where is None or truthy(evaluate(where, context, params)):
-                doomed.append(rowid)
+        if where is not None and where_fn is not None:
+            for rowid, row in table.scan():
+                if truthy(where_fn(row, params, None)):
+                    doomed.append(rowid)
+        else:
+            context = _single_table_context(table)
+            for rowid, row in table.scan():
+                context.bind(row)
+                if where is None or truthy(evaluate(where, context, params)):
+                    doomed.append(rowid)
         for rowid in doomed:
             self.database.delete(table, rowid)
         return ResultSet([], [], rowcount=len(doomed))
@@ -712,9 +822,15 @@ class Executor:
         Subqueries are uncorrelated by construction (the parser only
         accepts them in IN lists), so one evaluation per statement is
         both correct and efficient.
+
+        Identity-preserving: when the tree holds no subquery the input
+        expression is returned unchanged, so the caller's ``is`` check
+        (and with it statement-level plan caching) keeps working.
         """
         if expr is None:
             return None
+        if not any(isinstance(node, Subquery) for node in walk(expr)):
+            return expr
         if isinstance(expr, InList) and any(
             isinstance(item, Subquery) for item in expr.items
         ):
@@ -761,29 +877,72 @@ class Executor:
         if stmt.table is None:
             return self._select_no_from(stmt, params)
 
-        layout = _Layout.build(self.database, stmt)
-        raw_rows, plan = self._produce_rows(stmt, layout, params)
-        context = RowContext(layout.resolution, layout.ambiguous)
+        cplan = self._compiled_select(stmt)
+        if cplan is not None and cplan.fallbacks:
+            self.database.stats["compile_fallbacks"] += cplan.fallbacks
+            _COMPILE_FALLBACKS.inc(cplan.fallbacks)
+        layout = cplan.layout if cplan is not None else _Layout.build(self.database, stmt)
+
+        probe_active = self._probe is not None and self._probe.target is stmt
+
+        if cplan is not None and cplan.compact is not None and not probe_active:
+            compact_result = self._compact_select(stmt, cplan, params)
+            if compact_result is not None:
+                columns, projected = compact_result
+                if stmt.distinct:
+                    projected = _distinct(projected)
+                if stmt.compound is None:
+                    projected = _apply_limit(projected, stmt, params)
+                return columns, projected
+
+        raw_rows, plan = self._produce_rows(stmt, layout, params, cplan)
 
         if stmt.where is not None:
-            where = stmt.where
-            raw_rows = (
-                row for row in raw_rows
-                if truthy(evaluate(where, context.bind(row), params))
-            )
-            if self._probe is not None and self._probe.target is stmt:
+            where_fn = cplan.where_fn if cplan is not None else None
+            if where_fn is not None:
+                raw_rows = (
+                    row for row in raw_rows
+                    if truthy(where_fn(row, params, None))
+                )
+            else:
+                context = RowContext(layout.resolution, layout.ambiguous)
+                where = stmt.where
+                raw_rows = (
+                    row for row in raw_rows
+                    if truthy(evaluate(where, context.bind(row), params))
+                )
+            if probe_active:
                 raw_rows = self._probe.wrap("where", raw_rows)
 
-        is_grouped = bool(stmt.group_by) or any(
-            contains_aggregate(item.expr) for item in stmt.items
-        ) or (stmt.having is not None and contains_aggregate(stmt.having))
+        if cplan is not None:
+            is_grouped = cplan.is_grouped
+        else:
+            is_grouped = bool(stmt.group_by) or any(
+                contains_aggregate(item.expr) for item in stmt.items
+            ) or (stmt.having is not None and contains_aggregate(stmt.having))
 
         if is_grouped:
-            columns, projected = self._grouped_select(stmt, layout, raw_rows, params)
+            if cplan is not None and cplan.grouped is not None:
+                columns, projected = self._grouped_select_compiled(
+                    stmt, cplan.columns, cplan.grouped, layout.total_width,
+                    raw_rows, params,
+                )
+            else:
+                columns, projected = self._grouped_select(stmt, layout, raw_rows, params)
         else:
-            columns, projected = self._plain_select(
-                stmt, layout, raw_rows, params, presorted=plan.ordered
+            plain_compiled = (
+                cplan is not None and cplan.proj is not None
+                and (not stmt.order_by or cplan.order_compiled)
             )
+            if plain_compiled:
+                columns, projected = self._plain_select_compiled(
+                    stmt, cplan.columns, cplan.proj, cplan.order_specs,
+                    raw_rows, params, presorted=plan.ordered,
+                )
+            else:
+                columns, projected = self._plain_select(
+                    stmt, layout, raw_rows, params, presorted=plan.ordered
+                )
 
         if stmt.distinct:
             projected = _distinct(projected)
@@ -813,7 +972,11 @@ class Executor:
     # -- row production (FROM + JOIN with pushdown) ---------------------------
 
     def _produce_rows(
-        self, stmt: Select, layout: "_Layout", params: Sequence[Any]
+        self,
+        stmt: Select,
+        layout: "_Layout",
+        params: Sequence[Any],
+        cplan: Optional[SelectPlan] = None,
     ) -> tuple[Iterator[list[Any]], "_AccessPlan"]:
         assert stmt.table is not None
         base = self.database.table(stmt.table.name)
@@ -835,8 +998,12 @@ class Executor:
         offset = len(base.columns)
         for i, join in enumerate(stmt.joins):
             inner_table = self.database.table(join.table.name)
+            jplan = (
+                cplan.joins[i]
+                if cplan is not None and i < len(cplan.joins) else None
+            )
             rows = self._join(
-                rows, offset, inner_table, join, layout, params
+                rows, offset, inner_table, join, layout, params, jplan
             )
             if probe is not None:
                 rows = probe.wrap(f"join{i}", rows)
@@ -888,9 +1055,9 @@ class Executor:
         join: Join,
         layout: "_Layout",
         params: Sequence[Any],
+        jplan: Optional[JoinPlan] = None,
     ) -> Iterator[list[Any]]:
         inner_width = len(inner.columns)
-        context = RowContext(layout.resolution, layout.ambiguous)
         condition = join.condition
 
         if join.kind == "CROSS" or condition is None:
@@ -902,26 +1069,51 @@ class Executor:
                     yield combined
             return
 
+        probe_fn = jplan.probe if jplan is not None else None
+        build_fn = jplan.build if jplan is not None else None
+        cond_fn = jplan.condition if jplan is not None else None
+        context = (
+            None
+            if probe_fn is not None and build_fn is not None and cond_fn is not None
+            else RowContext(layout.resolution, layout.ambiguous)
+        )
+        total = layout.total_width
+
         equi = _find_equi_key(condition, layout, offset, inner_width)
         if equi is not None:
             left_expr, right_positions_expr = equi
-            # Build hash table over the inner relation.
+            # Build hash table over the inner relation; the build key is
+            # compiled once per statement when the plan covers it.
             table_map: dict[Any, list[list[Any]]] = {}
-            inner_context = _single_table_context(inner, alias=join.table.effective_name)
-            for _rowid, inner_row in inner.scan():
-                key = evaluate(right_positions_expr, inner_context.bind(inner_row), params)
-                if key is None:
-                    continue
-                table_map.setdefault(key, []).append(list(inner_row))
+            if build_fn is not None:
+                for _rowid, inner_row in inner.scan():
+                    key = build_fn(inner_row, params, None)
+                    if key is None:
+                        continue
+                    table_map.setdefault(key, []).append(list(inner_row))
+            else:
+                inner_context = _single_table_context(inner, alias=join.table.effective_name)
+                for _rowid, inner_row in inner.scan():
+                    key = evaluate(right_positions_expr, inner_context.bind(inner_row), params)
+                    if key is None:
+                        continue
+                    table_map.setdefault(key, []).append(list(inner_row))
             for left in left_rows:
-                padded = left + [None] * (layout.total_width - len(left))
-                key = evaluate(left_expr, context.bind(padded), params)
+                padded = left + [None] * (total - len(left))
+                if probe_fn is not None:
+                    key = probe_fn(padded, params, None)
+                else:
+                    key = evaluate(left_expr, context.bind(padded), params)
                 matches = table_map.get(key, []) if key is not None else []
                 emitted = False
                 for inner_row in matches:
                     combined = left + inner_row
-                    combined += [None] * (layout.total_width - len(combined))
-                    if truthy(evaluate(condition, context.bind(combined), params)):
+                    combined += [None] * (total - len(combined))
+                    if cond_fn is not None:
+                        ok = truthy(cond_fn(combined, params, None))
+                    else:
+                        ok = truthy(evaluate(condition, context.bind(combined), params))
+                    if ok:
                         emitted = True
                         yield combined[: len(left) + inner_width]
                 if not emitted and join.kind == "LEFT":
@@ -934,8 +1126,12 @@ class Executor:
             emitted = False
             for inner_row in inner_rows:
                 combined = left + inner_row
-                padded = combined + [None] * (layout.total_width - len(combined))
-                if truthy(evaluate(condition, context.bind(padded), params)):
+                padded = combined + [None] * (total - len(combined))
+                if cond_fn is not None:
+                    ok = truthy(cond_fn(padded, params, None))
+                else:
+                    ok = truthy(evaluate(condition, context.bind(padded), params))
+                if ok:
                     emitted = True
                     yield combined
             if not emitted and join.kind == "LEFT":
@@ -1108,6 +1304,545 @@ class Executor:
             paired = sorted(zip(order_keys, range(len(results))), key=lambda p: p[0])
             results = [results[i] for _, i in paired]
         return columns, results
+
+    # -- compiled execution (see compile.py) ----------------------------------
+
+    def _compiled_select(self, stmt: Select) -> Optional[SelectPlan]:
+        """Fetch or build the compiled plan for a SELECT.
+
+        Plans are cached on the Statement object itself, so their
+        lifetime is the connection's LRU statement cache; validity is
+        keyed on ``Database.schema_version`` (any DDL invalidates).
+        Returns None when ``PRAGMA compile off`` is in effect.
+        """
+        database = self.database
+        if not database.compile_enabled:
+            return None
+        plan = getattr(stmt, "_msql_plan", None)
+        if plan is not None and plan.schema_version == database.schema_version:
+            database.stats["plan_cache_hits"] += 1
+            _PLAN_HITS.inc()
+            return plan
+        t0 = time.perf_counter()
+        plan = self._build_select_plan(stmt)
+        _COMPILE_SECONDS.observe(time.perf_counter() - t0)
+        database.stats["plan_cache_misses"] += 1
+        _PLAN_MISSES.inc()
+        stmt._msql_plan = plan
+        return plan
+
+    def _build_select_plan(self, stmt: Select) -> SelectPlan:
+        """Compile every section of a SELECT that the compiler covers.
+
+        Sections fail independently: a WHERE the compiler cannot lower
+        leaves ``where_fn`` as None (interpreted) while joins and the
+        projection may still run compiled.  Layout errors (unknown
+        table, duplicate alias) propagate — the interpreter raises them
+        at the same point.
+        """
+        database = self.database
+        layout = _Layout.build(database, stmt)
+        resolution = layout.resolution
+        plan = SelectPlan(
+            schema_version=database.schema_version,
+            layout=layout, columns=None, exprs=None, where_fn=None,
+        )
+        fallbacks = 0
+        used: set[int] = set()
+
+        if stmt.where is not None:
+            plan.where_fn = try_compile(stmt.where, resolution, None, used)
+            if plan.where_fn is None:
+                fallbacks += 1
+
+        offset = len(database.table(stmt.table.name).columns)
+        for join in stmt.joins:
+            inner_table = database.table(join.table.name)
+            jplan: Optional[JoinPlan] = None
+            if join.kind != "CROSS" and join.condition is not None:
+                cond_fn = try_compile(join.condition, resolution, None, used)
+                equi = _find_equi_key(
+                    join.condition, layout, offset, len(inner_table.columns)
+                )
+                if equi is not None:
+                    probe_fn = try_compile(equi[0], resolution, None, used)
+                    inner_resolution = _single_table_context(
+                        inner_table, alias=join.table.effective_name
+                    ).columns
+                    build_fn = try_compile(equi[1], inner_resolution)
+                    if cond_fn and probe_fn and build_fn:
+                        jplan = JoinPlan(probe_fn, build_fn, cond_fn)
+                elif cond_fn is not None:
+                    jplan = JoinPlan(None, None, cond_fn)
+                if jplan is None:
+                    fallbacks += 1
+            plan.joins.append(jplan)
+            offset += len(inner_table.columns)
+
+        try:
+            columns, exprs = _expand_items(stmt.items, layout)
+            plan.columns, plan.exprs = columns, exprs
+        except Exception:
+            columns = exprs = None
+
+        plan.is_grouped = bool(stmt.group_by) or any(
+            contains_aggregate(item.expr) for item in stmt.items
+        ) or (stmt.having is not None and contains_aggregate(stmt.having))
+
+        if exprs is None:
+            fallbacks += 1
+        elif plan.is_grouped:
+            plan.grouped = self._build_group_plan(stmt, columns, exprs, resolution, used)
+            if plan.grouped is None:
+                fallbacks += 1
+        else:
+            proj, order_specs, order_ok = self._build_plain_plan(
+                stmt, columns, exprs, resolution, used
+            )
+            if proj is not None and order_ok:
+                plan.proj = proj
+                plan.order_specs = order_specs
+                plan.order_compiled = bool(stmt.order_by)
+            else:
+                fallbacks += 1
+
+        plan.fallbacks = fallbacks
+        try:
+            plan.compact = self._build_compact(stmt, plan, used)
+        except Exception:
+            plan.compact = None
+        return plan
+
+    def _build_plain_plan(
+        self,
+        stmt: Select,
+        columns: list[str],
+        exprs: list[Any],
+        resolution: dict[str, int],
+        used: Optional[set],
+        remap: Optional[dict[int, int]] = None,
+    ) -> tuple[Optional[list[Any]], Optional[list[tuple[Any, bool]]], bool]:
+        """Compile projection + ORDER BY for a non-grouped select.
+
+        Returns (proj, order_specs, order_ok); (None, None, False) means
+        the section stays interpreted.  ``remap`` translates star-column
+        row positions when compiling against a compacted row shape.
+        """
+        proj: list[Any] = []
+        for e in exprs:
+            if isinstance(e, int):
+                position = remap[e] if remap is not None else e
+                if used is not None:
+                    used.add(e)
+                proj.append(position)
+            else:
+                fn = try_compile(e, resolution, None, used)
+                if fn is None:
+                    return None, None, False
+                proj.append(fn)
+        if not stmt.order_by:
+            return proj, None, True
+        alias_map = {
+            (item.alias or "").lower(): item.expr
+            for item in stmt.items if item.alias
+        }
+        lowered = [c.lower() for c in columns]
+        dummy_values = tuple(columns)  # only its length matters here
+        order_specs: list[tuple[Any, bool]] = []
+        for order in stmt.order_by:
+            try:
+                resolved = _resolve_order_expr(
+                    order.expr, alias_map, dummy_values, columns
+                )
+            except ProgrammingError:
+                # Out-of-range ordinal: raised per row by the interpreter,
+                # so an empty relation must not raise.  Stay interpreted.
+                return None, None, False
+            if isinstance(resolved, int):
+                order_specs.append((resolved, bool(order.descending)))
+                continue
+            fn = try_compile(resolved, resolution, None, used)
+            if fn is None:
+                # Mirror _order_key_for_row: an unresolvable bare column
+                # ref falls back to the projected column of that name.
+                if (
+                    isinstance(resolved, ColumnRef)
+                    and resolved.name.lower() in lowered
+                ):
+                    order_specs.append(
+                        (lowered.index(resolved.name.lower()), bool(order.descending))
+                    )
+                    continue
+                return None, None, False
+            order_specs.append((fn, bool(order.descending)))
+        return proj, order_specs, True
+
+    def _build_group_plan(
+        self,
+        stmt: Select,
+        columns: list[str],
+        exprs: list[Any],
+        resolution: dict[str, int],
+        used: Optional[set],
+        remap: Optional[dict[int, int]] = None,
+    ) -> Optional[GroupPlan]:
+        """Compile hash aggregation end to end, or None for interpreter.
+
+        All-or-nothing: the grouped pipeline shares one representative
+        row and one aggregate value table, so mixing compiled and
+        interpreted pieces is not worth the bookkeeping.
+        """
+        try:
+            early_alias_map = {
+                (item.alias or "").lower(): item.expr
+                for item in stmt.items if item.alias
+            }
+            group_by = [
+                _resolve_group_expr(g, early_alias_map, stmt.items)
+                for g in stmt.group_by
+            ]
+            having = (
+                _substitute_aliases(stmt.having, early_alias_map)
+                if stmt.having is not None else None
+            )
+            # Aggregate call sites, id-deduplicated in the same walk order
+            # as the interpreter so DISTINCT wrapping matches.
+            agg_nodes: list[FunctionCall] = []
+            seen: set[int] = set()
+            scan_targets: list[Expression] = [item.expr for item in stmt.items]
+            if having is not None:
+                scan_targets.append(having)
+            for order in stmt.order_by:
+                scan_targets.append(order.expr)
+            for target in scan_targets:
+                for node in walk(target):
+                    if is_aggregate_call(node) and id(node) not in seen:
+                        seen.add(id(node))
+                        agg_nodes.append(node)
+
+            group_fns = [compile_expr(g, resolution, None, used) for g in group_by]
+            arg_fns: list[Optional[Any]] = []
+            for node in agg_nodes:
+                if node.args and not isinstance(node.args[0], Star):
+                    arg_fns.append(compile_expr(node.args[0], resolution, None, used))
+                else:
+                    arg_fns.append(None)  # COUNT(*)
+            acc_factories = [
+                (lambda n=node: _make_distinct(n)) if node.distinct
+                else (lambda name=node.name: make_aggregate(name))
+                for node in agg_nodes
+            ]
+            agg_slots = {id(node): i for i, node in enumerate(agg_nodes)}
+            having_fn = (
+                compile_expr(having, resolution, agg_slots, used)
+                if having is not None else None
+            )
+            item_slots: list[Any] = []
+            for e in exprs:
+                if isinstance(e, int):
+                    position = remap[e] if remap is not None else e
+                    if used is not None:
+                        used.add(e)
+                    item_slots.append(position)
+                else:
+                    item_slots.append(compile_expr(e, resolution, agg_slots, used))
+            order_specs: Optional[list[tuple[Any, bool]]] = None
+            if stmt.order_by:
+                dummy_values = tuple(columns)
+                order_specs = []
+                for order in stmt.order_by:
+                    resolved = _resolve_order_expr(
+                        order.expr, early_alias_map, dummy_values, columns
+                    )
+                    if isinstance(resolved, int):
+                        order_specs.append((resolved, bool(order.descending)))
+                    else:
+                        order_specs.append((
+                            compile_expr(resolved, resolution, agg_slots, used),
+                            bool(order.descending),
+                        ))
+            return GroupPlan(
+                group_fns, acc_factories, arg_fns, having_fn, item_slots,
+                order_specs,
+            )
+        except Exception:
+            return None
+
+    def _build_compact(
+        self, stmt: Select, plan: SelectPlan, used: set
+    ) -> Optional[CompactPlan]:
+        """Projection-pushdown variant for single-table full scans.
+
+        When the fully-compiled statement touches a strict subset of the
+        table's columns, recompile its closures against the compacted
+        tuple shape ``Table.scan_batches(positions=...)`` yields; when it
+        touches every column (or none — e.g. COUNT(*)), reuse the full
+        closures over the raw stored rows (zero copies either way).
+        """
+        if stmt.joins or stmt.table is None or plan.columns is None:
+            return None
+        if stmt.where is not None and plan.where_fn is None:
+            return None
+        if plan.is_grouped:
+            if plan.grouped is None:
+                return None
+        else:
+            if plan.proj is None or (stmt.order_by and not plan.order_compiled):
+                return None
+        total = plan.layout.total_width
+        if not used or len(used) >= total:
+            return CompactPlan(
+                None, plan.where_fn, plan.grouped, plan.proj, plan.order_specs
+            )
+        positions = tuple(sorted(used))
+        remap = {p: i for i, p in enumerate(positions)}
+        compact_resolution = {
+            key: remap[pos]
+            for key, pos in plan.layout.resolution.items()
+            if pos in remap
+        }
+        where_fn = (
+            compile_expr(stmt.where, compact_resolution)
+            if stmt.where is not None else None
+        )
+        if plan.is_grouped:
+            grouped = self._build_group_plan(
+                stmt, plan.columns, plan.exprs, compact_resolution, None, remap
+            )
+            if grouped is None:
+                return None
+            return CompactPlan(positions, where_fn, grouped, None, None)
+        proj, order_specs, order_ok = self._build_plain_plan(
+            stmt, plan.columns, plan.exprs, compact_resolution, None, remap
+        )
+        if proj is None or not order_ok:
+            return None
+        return CompactPlan(positions, where_fn, None, proj, order_specs)
+
+    def _compact_select(
+        self, stmt: Select, plan: SelectPlan, params: Sequence[Any]
+    ) -> Optional[tuple[list[str], list[tuple[Any, ...]]]]:
+        """Batched scan → filter → project/aggregate over compacted rows.
+
+        Only runs when the access planner picks a full scan (index paths
+        keep the row-at-a-time pipeline, which they dominate anyway);
+        returns None to route back there.
+        """
+        table = self.database.table(stmt.table.name)
+        conjuncts = _conjuncts(stmt.where)
+        order_by = stmt.order_by if _can_push_order(stmt) else []
+        access = _plan_access(
+            table, stmt.table.effective_name, conjuncts, order_by, params,
+            _select_alias_names(stmt),
+        )
+        if access.kind != "scan":
+            return None
+        compact = plan.compact
+        stats = self.database.stats
+        stats["full_scans"] += 1
+        stats["rows_scanned"] += len(table)
+        where_fn = compact.where_fn
+        batches = table.scan_batches(positions=compact.positions)
+
+        if plan.is_grouped:
+            def filtered() -> Iterator[Sequence[Any]]:
+                if where_fn is None:
+                    for chunk in batches:
+                        yield from chunk
+                else:
+                    for chunk in batches:
+                        for row in chunk:
+                            if truthy(where_fn(row, params, None)):
+                                yield row
+            width = (
+                len(compact.positions)
+                if compact.positions is not None else plan.layout.total_width
+            )
+            return self._grouped_select_compiled(
+                stmt, plan.columns, compact.grouped, width, filtered(), params
+            )
+
+        proj = compact.proj
+        needs_order = bool(stmt.order_by) and stmt.compound is None
+        order_specs = compact.order_specs if needs_order else None
+        projected: list[tuple[Any, ...]] = []
+        order_keys: list[tuple] = []
+        for chunk in batches:
+            if where_fn is not None:
+                chunk = [r for r in chunk if truthy(where_fn(r, params, None))]
+            for row in chunk:
+                values = tuple(
+                    row[e] if type(e) is int else e(row, params, None)
+                    for e in proj
+                )
+                if order_specs is not None:
+                    key = []
+                    for spec, descending in order_specs:
+                        value = (
+                            values[spec] if type(spec) is int
+                            else spec(row, params, None)
+                        )
+                        k = sort_key(value)
+                        key.append(_Reversor(k) if descending else k)
+                    order_keys.append(tuple(key))
+                projected.append(values)
+        if order_specs is not None:
+            paired = sorted(
+                zip(order_keys, range(len(projected))), key=lambda p: p[0]
+            )
+            projected = [projected[i] for _, i in paired]
+        return plan.columns, projected
+
+    def _plain_select_compiled(
+        self,
+        stmt: Select,
+        columns: list[str],
+        proj: list[Any],
+        order_specs: Optional[list[tuple[Any, bool]]],
+        raw_rows: Iterator[list[Any]],
+        params: Sequence[Any],
+        presorted: bool = False,
+    ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        """_plain_select with every per-row evaluation pre-compiled."""
+        needs_order = bool(stmt.order_by) and stmt.compound is None and not presorted
+        row_cap = None
+        if presorted and stmt.limit is not None:
+            limit = evaluate(stmt.limit, None, params)
+            if limit is not None and int(limit) >= 0:
+                offset = (
+                    evaluate(stmt.offset, None, params)
+                    if stmt.offset is not None else 0
+                )
+                row_cap = int(limit) + int(offset or 0)
+        specs = order_specs if needs_order else None
+        projected: list[tuple[Any, ...]] = []
+        order_keys: list[tuple] = []
+        for row in raw_rows:
+            values = tuple(
+                row[e] if type(e) is int else e(row, params, None)
+                for e in proj
+            )
+            if specs is not None:
+                key = []
+                for spec, descending in specs:
+                    value = (
+                        values[spec] if type(spec) is int
+                        else spec(row, params, None)
+                    )
+                    k = sort_key(value)
+                    key.append(_Reversor(k) if descending else k)
+                order_keys.append(tuple(key))
+            projected.append(values)
+            if row_cap is not None and len(projected) >= row_cap:
+                break
+        if specs is not None:
+            paired = sorted(
+                zip(order_keys, range(len(projected))), key=lambda p: p[0]
+            )
+            projected = [projected[i] for _, i in paired]
+        return columns, projected
+
+    def _grouped_select_compiled(
+        self,
+        stmt: Select,
+        columns: list[str],
+        gp: GroupPlan,
+        width: int,
+        raw_rows: Iterator[Sequence[Any]],
+        params: Sequence[Any],
+    ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        """_grouped_select with group keys, aggregate arguments, HAVING
+        and post-aggregation projection pre-compiled."""
+        group_fns = gp.group_fns
+        arg_fns = gp.arg_fns
+        factories = gp.acc_factories
+        groups: dict[tuple, tuple[Sequence[Any], list[Any]]] = {}
+        group_order: list[tuple] = []
+        for row in raw_rows:
+            if group_fns:
+                key = tuple(_hashable(g(row, params, None)) for g in group_fns)
+            else:
+                key = ()
+            group = groups.get(key)
+            if group is None:
+                group = (row, [f() for f in factories])
+                groups[key] = group
+                group_order.append(key)
+            for fn, acc in zip(arg_fns, group[1]):
+                acc.step(fn(row, params, None) if fn is not None else 1)
+
+        if not groups and not stmt.group_by:
+            # Aggregates over an empty relation still return one row.
+            groups[()] = ([None] * width, [f() for f in factories])
+            group_order.append(())
+
+        having_fn = gp.having_fn
+        item_slots = gp.item_slots
+        results: list[tuple[Any, ...]] = []
+        order_keys: list[tuple] = []
+        for key in group_order:
+            rep, accumulators = groups[key]
+            aggs = [acc.finalize() for acc in accumulators]
+            if having_fn is not None and not truthy(having_fn(rep, params, aggs)):
+                continue
+            values = tuple(
+                rep[e] if type(e) is int else e(rep, params, aggs)
+                for e in item_slots
+            )
+            if gp.order_specs is not None:
+                order_key = []
+                for spec, descending in gp.order_specs:
+                    value = (
+                        values[spec] if type(spec) is int
+                        else spec(rep, params, aggs)
+                    )
+                    k = sort_key(value)
+                    order_key.append(_Reversor(k) if descending else k)
+                order_keys.append(tuple(order_key))
+            results.append(values)
+        if gp.order_specs is not None:
+            paired = sorted(
+                zip(order_keys, range(len(results))), key=lambda p: p[0]
+            )
+            results = [results[i] for _, i in paired]
+        return columns, results
+
+    def _compiled_dml(
+        self, stmt: Statement, table: Table, is_update: bool
+    ) -> Optional[DMLPlan]:
+        """Plan cache for UPDATE/DELETE WHERE and SET closures."""
+        database = self.database
+        if not database.compile_enabled:
+            return None
+        plan = getattr(stmt, "_msql_plan", None)
+        if plan is not None and plan.schema_version == database.schema_version:
+            database.stats["plan_cache_hits"] += 1
+            _PLAN_HITS.inc()
+            return plan
+        t0 = time.perf_counter()
+        resolution = _single_table_context(table).columns
+        fallbacks = 0
+        where_fn = None
+        if stmt.where is not None:
+            where_fn = try_compile(stmt.where, resolution)
+            if where_fn is None:
+                fallbacks += 1
+        assign_fns: Optional[list[tuple[int, Any]]] = None
+        if is_update:
+            assign_fns = []
+            for name, expr in stmt.assignments:
+                fn = try_compile(expr, resolution)
+                if fn is None:
+                    assign_fns = None
+                    fallbacks += 1
+                    break
+                assign_fns.append((table.position_of(name), fn))
+        plan = DMLPlan(database.schema_version, where_fn, assign_fns, fallbacks)
+        _COMPILE_SECONDS.observe(time.perf_counter() - t0)
+        database.stats["plan_cache_misses"] += 1
+        _PLAN_MISSES.inc()
+        stmt._msql_plan = plan
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -1751,6 +2486,9 @@ def _copy_select_with_where(stmt: Select, where: Optional[Expression]) -> Select
 
     clone = copy.copy(stmt)
     clone.where = where
+    # The copied __dict__ may carry the original's compiled plan, whose
+    # where_fn was built for the *old* WHERE — never reuse it.
+    clone.__dict__.pop("_msql_plan", None)
     return clone
 
 

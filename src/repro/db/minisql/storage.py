@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import defaultdict, deque
+from itertools import islice
 from contextlib import contextmanager
 from dataclasses import dataclass
 from operator import itemgetter
@@ -546,6 +547,41 @@ class Table:
     def scan(self) -> Iterator[tuple[int, list[Any]]]:
         return iter(self.rows.items())
 
+    def scan_batches(
+        self,
+        batch_size: int = 1024,
+        positions: Optional[tuple[int, ...]] = None,
+    ) -> Iterator[list]:
+        """Yield rows in chunks for the compiled execution pipeline.
+
+        With ``positions`` the scan projects each row down to just those
+        columns (as a tuple) before handing it out — column-projection
+        pushdown, so a ``SELECT stddev(exclusive)`` over a 10-column
+        table never materialises the other 9 values.  Without it the
+        chunks hold the stored row lists themselves; callers must not
+        mutate them.
+        """
+        it = iter(self.rows.values())
+        if positions is None:
+            while True:
+                chunk = list(islice(it, batch_size))
+                if not chunk:
+                    return
+                yield chunk
+        else:
+            if len(positions) == 1:
+                p = positions[0]
+
+                def project(row: list[Any]) -> tuple:
+                    return (row[p],)
+            else:
+                project = itemgetter(*positions)
+            while True:
+                chunk = [project(row) for row in islice(it, batch_size)]
+                if not chunk:
+                    return
+                yield chunk
+
     def __len__(self) -> int:
         return len(self.rows)
 
@@ -576,6 +612,7 @@ class Database:
         "rows_scanned", "rows_via_index", "full_scans",
         "index_eq_probes", "index_range_scans", "order_pushdowns",
         "bulk_loads", "bulk_rows", "bulk_index_rebuilds",
+        "plan_cache_hits", "plan_cache_misses", "compile_fallbacks",
     )
 
     def __init__(self) -> None:
@@ -584,6 +621,14 @@ class Database:
         self.foreign_keys: dict[str, list[tuple[list[str], str, list[str]]]] = {}
         self.in_transaction = False
         self._undo: list[tuple] = []
+        #: Monotonic catalog generation.  Any DDL (create/drop/rename
+        #: table, create/drop index, ADD COLUMN, or a rollback that undoes
+        #: one) bumps it; compiled plans are keyed on it, so a stale plan
+        #: — compiled against old column offsets — can never be served.
+        self.schema_version = 0
+        #: ``PRAGMA compile on/off`` switch for the query-compilation
+        #: layer; interpretation is always available as the fallback.
+        self.compile_enabled = True
         self.stats: dict[str, int] = {key: 0 for key in self._STAT_KEYS}
         self.bulk_mode = False
         #: Tables whose secondary indexes are suspended for the current
@@ -635,6 +680,7 @@ class Database:
             seen.add(column.lower_name)
         table = Table(name, columns)
         self.tables[key] = table
+        self.schema_version += 1
         if self.in_transaction:
             self._undo.append(("mk_table", key))
         return table
@@ -646,6 +692,7 @@ class Database:
             self.index_owner.pop(index_name.lower(), None)
         del self.tables[key]
         self.foreign_keys.pop(key, None)
+        self.schema_version += 1
         if self.in_transaction:
             self._undo.append(("rm_table", key, table))
 
@@ -661,6 +708,7 @@ class Database:
         for index_name, owner in list(self.index_owner.items()):
             if owner == key:
                 self.index_owner[index_name] = new_key
+        self.schema_version += 1
 
     def create_index(
         self, name: str, table_name: str, columns: list[str], unique: bool,
@@ -675,6 +723,7 @@ class Database:
         index.rebuild()
         table.indexes[key] = index
         self.index_owner[key] = table_name.lower()
+        self.schema_version += 1
         if self.in_transaction:
             self._undo.append(("mk_index", key, table_name.lower()))
         return index
@@ -687,6 +736,7 @@ class Database:
         table = self.tables.get(owner)
         if table is not None:
             table.indexes.pop(key, None)
+        self.schema_version += 1
 
     def register_foreign_keys(
         self, table_name: str, specs: list[tuple[list[str], str, list[str]]]
@@ -745,6 +795,7 @@ class Database:
             # Logged before the undo replay so a crash mid-rollback still
             # finds the record; recovery discards the txn either way.
             self.wal.log_rollback(self._txn_id)
+        undid_ddl = False
         for record in reversed(self._undo):
             op = record[0]
             if op == "ins":
@@ -758,6 +809,7 @@ class Database:
             elif op == "upd":
                 record[1].update_row(record[2], record[3])
             elif op == "mk_table":
+                undid_ddl = True
                 self.tables.pop(record[1], None)
                 # purge index registrations owned by the undone table
                 for index_name, owner in list(self.index_owner.items()):
@@ -765,16 +817,20 @@ class Database:
                         del self.index_owner[index_name]
                 self.foreign_keys.pop(record[1], None)
             elif op == "rm_table":
+                undid_ddl = True
                 self.tables[record[1]] = record[2]
                 table = record[2]
                 for index_name in table.indexes:
                     self.index_owner[index_name] = record[1]
             elif op == "mk_index":
+                undid_ddl = True
                 index_name, owner = record[1], record[2]
                 self.index_owner.pop(index_name, None)
                 table = self.tables.get(owner)
                 if table is not None:
                     table.indexes.pop(index_name, None)
+        if undid_ddl:
+            self.schema_version += 1
         self._undo.clear()
         self._bulk_txn_tables.clear()
         self.in_transaction = False

@@ -1,0 +1,241 @@
+"""Compiled-vs-interpreted equivalence for the MiniSQL query compiler.
+
+PR 5's contract is that ``PRAGMA compile on`` (closure compilation,
+batched scans, projection pushdown) is an invisible optimisation: every
+statement must return row-for-row identical results to the interpreter.
+This module proves it three ways — replaying the full differential SQL
+corpus both ways on MiniSQL alone, hammering hostile strings / NULL /
+three-valued-logic expressions under both modes, and checking the
+observability surface (PRAGMA compile status, EXPLAIN's compiled
+column, the plan-cache stats counters).
+"""
+
+import math
+
+import pytest
+
+from repro.db import minisql
+from tests.test_differential_sql import CORPUS, Err
+
+
+def _normalise(rows):
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(cell, 9) if isinstance(cell, float) and math.isfinite(cell)
+            else cell
+            for cell in row
+        ))
+    return out
+
+
+def _is_query(sql):
+    head = sql.lstrip().upper()
+    return head.startswith("SELECT") or head.startswith("EXPLAIN")
+
+
+class TestCorpusBothWays:
+    """Fuzz-ish sweep: every differential-corpus statement, both modes."""
+
+    def test_corpus_rows_identical(self):
+        compiled = minisql.connect()
+        interpreted = minisql.connect()
+        compiled.execute("PRAGMA compile(on)")
+        interpreted.execute("PRAGMA compile(off)")
+        pair = (compiled, interpreted)
+        for position, entry in enumerate(CORPUS):
+            if isinstance(entry, Err):
+                for conn in pair:
+                    with pytest.raises(minisql.IntegrityError):
+                        conn.execute(entry.sql, entry.params)
+                    conn.rollback()
+                continue
+            sql, params = entry
+            results = []
+            for conn in pair:
+                cursor = conn.execute(sql, params)
+                if _is_query(sql):
+                    results.append(_normalise(cursor.fetchall()))
+                else:
+                    conn.commit()
+                    results.append(None)
+            assert results[0] == results[1], (
+                f"statement #{position} diverged under compilation: {sql!r}\n"
+                f"  compiled   : {results[0]!r}\n"
+                f"  interpreted: {results[1]!r}"
+            )
+        compiled.close()
+        interpreted.close()
+
+    def test_repeated_execution_hits_plan_cache(self):
+        """Round two over the statement cache must serve cached plans."""
+        conn = minisql.connect()
+        conn.execute("CREATE TABLE warm (x INTEGER)")
+        conn.execute("INSERT INTO warm VALUES (1), (2)")
+        conn.execute("SELECT x FROM warm WHERE x > 0")
+        before = conn.stats()["plan_cache_hits"]
+        conn.execute("SELECT x FROM warm WHERE x > 0")
+        assert conn.stats()["plan_cache_hits"] == before + 1
+        conn.close()
+
+
+class TestHostileExpressions:
+    """Hostile strings, NULLs and three-valued logic, both modes.
+
+    One connection, pragma toggled between the two runs of each query:
+    identical statement text, identical statement object, only the
+    execution path differs.
+    """
+
+    QUERIES = [
+        "SELECT x, x = 'O''Malley' FROM h ORDER BY id",
+        "SELECT x FROM h WHERE x LIKE '%\\%' ORDER BY id",
+        "SELECT x FROM h WHERE x LIKE '%_%' ORDER BY id",
+        "SELECT x FROM h WHERE x LIKE 'line%' ORDER BY id",
+        "SELECT id, x IS NULL, x IS NOT NULL FROM h ORDER BY id",
+        "SELECT id, n + 1, n - 1, n * 2, n / 0, n % 0 FROM h ORDER BY id",
+        "SELECT id, NOT (n > 1), n > 1 OR x IS NULL, n > 1 AND x IS NULL "
+        "FROM h ORDER BY id",
+        "SELECT id FROM h WHERE n IN (1, NULL) ORDER BY id",
+        "SELECT id FROM h WHERE n NOT IN (1, NULL) ORDER BY id",
+        "SELECT id FROM h WHERE n BETWEEN 0 AND 2 ORDER BY id",
+        "SELECT id FROM h WHERE n NOT BETWEEN 0 AND 2 ORDER BY id",
+        "SELECT id, CASE n WHEN 1 THEN 'one' WHEN NULL THEN 'null' "
+        "ELSE 'other' END FROM h ORDER BY id",
+        "SELECT id, CASE WHEN n IS NULL THEN 'null' WHEN n > 1 THEN 'big' "
+        "END FROM h ORDER BY id",
+        "SELECT id, CAST(n AS TEXT), CAST(x AS INTEGER) FROM h ORDER BY id",
+        "SELECT id, upper(x), length(x), coalesce(x, 'dflt') FROM h ORDER BY id",
+        "SELECT id, x || '/' || x FROM h ORDER BY id",
+        "SELECT count(x), count(*), count(DISTINCT n) FROM h",
+        "SELECT n, count(*) c FROM h GROUP BY n HAVING c >= 1 ORDER BY c, n",
+        "SELECT -n FROM h WHERE n IS NOT NULL ORDER BY id",
+        "SELECT id FROM h WHERE x = 'Ω≠ascii'",
+    ]
+
+    @pytest.fixture
+    def conn(self):
+        c = minisql.connect()
+        c.execute("CREATE TABLE h (id INTEGER PRIMARY KEY, x TEXT, n INTEGER)")
+        c.executemany(
+            "INSERT INTO h (id, x, n) VALUES (?, ?, ?)",
+            [
+                (1, "O'Malley", 1),
+                (2, "100%", 2),
+                (3, "under_score", None),
+                (4, None, 3),
+                (5, "line\nbreak", 0),
+                (6, "Ω≠ascii", -1),
+                (7, "123", 123),   # numeric string: affinity coercion
+                (8, "", 1),
+            ],
+        )
+        yield c
+        c.close()
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_same_rows_both_modes(self, conn, sql):
+        conn.execute("PRAGMA compile(on)")
+        compiled = conn.execute(sql).fetchall()
+        conn.execute("PRAGMA compile(off)")
+        interpreted = conn.execute(sql).fetchall()
+        assert _normalise(compiled) == _normalise(interpreted)
+
+    def test_error_parity_bad_column_in_order_by(self, conn):
+        """Unknown ORDER BY column raises in both modes (rows exist)."""
+        for mode in ("on", "off"):
+            conn.execute(f"PRAGMA compile({mode})")
+            with pytest.raises(minisql.ProgrammingError):
+                conn.execute("SELECT x FROM h ORDER BY nope").fetchall()
+
+    def test_error_parity_empty_table_bad_where_column(self, conn):
+        """The interpreter only raises when a row binds; compiled
+        execution must not turn that into an eager error."""
+        conn.execute("CREATE TABLE empty_t (a INTEGER)")
+        for mode in ("on", "off"):
+            conn.execute(f"PRAGMA compile({mode})")
+            rows = conn.execute("SELECT a FROM empty_t WHERE nope = 1").fetchall()
+            assert rows == []
+
+
+class TestPragmaSurface:
+    @pytest.fixture
+    def conn(self):
+        c = minisql.connect()
+        c.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        c.execute("INSERT INTO t VALUES (1, 2), (3, 4)")
+        yield c
+        c.close()
+
+    def test_status_reports_counters(self, conn):
+        conn.execute("SELECT a FROM t WHERE b > 0")
+        rows = dict(conn.execute("PRAGMA compile(status)").fetchall())
+        assert rows["enabled"] == 1
+        assert rows["plan_cache_misses"] >= 1
+        conn.execute("PRAGMA compile(off)")
+        rows = dict(conn.execute("PRAGMA compile(status)").fetchall())
+        assert rows["enabled"] == 0
+
+    def test_off_stops_compiling(self, conn):
+        conn.execute("PRAGMA compile(off)")
+        before = conn.stats()["plan_cache_misses"]
+        conn.execute("SELECT a FROM t WHERE b > 0").fetchall()
+        assert conn.stats()["plan_cache_misses"] == before
+
+    def test_bad_argument_raises(self, conn):
+        with pytest.raises(minisql.ProgrammingError):
+            conn.execute("PRAGMA compile(sideways)")
+
+    def test_fallback_counter_charges_interpreted_sections(self, conn):
+        # Unknown functions raise per row in the interpreter, so the
+        # compiler refuses the projection; over an empty table that
+        # means zero rows, no error, and one recorded fallback.
+        conn.execute("CREATE TABLE s (a INTEGER)")
+        before = conn.stats()["compile_fallbacks"]
+        rows = conn.execute("SELECT nosuchfn(a) FROM s").fetchall()
+        assert rows == []
+        assert conn.stats()["compile_fallbacks"] > before
+
+
+class TestExplainCompiledColumn:
+    @pytest.fixture
+    def conn(self):
+        c = minisql.connect()
+        c.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        c.execute("CREATE TABLE u (a INTEGER, c INTEGER)")
+        c.execute("INSERT INTO t VALUES (1, 2), (3, 4)")
+        c.execute("INSERT INTO u VALUES (1, 10), (3, 30)")
+        yield c
+        c.close()
+
+    def test_plain_explain_has_compiled_column(self, conn):
+        cursor = conn.execute("EXPLAIN SELECT a FROM t WHERE b > 1 ORDER BY a")
+        assert [d[0] for d in cursor.description] == ["id", "detail", "compiled"]
+        flags = {row[1]: row[2] for row in cursor.fetchall()}
+        assert flags["SCAN t"] == "yes"
+        assert flags["ORDER BY (sort)"] == "yes"
+
+    def test_explain_analyze_reports_per_step_compiled(self, conn):
+        cursor = conn.execute(
+            "EXPLAIN ANALYZE SELECT t.a, u.c FROM t JOIN u ON t.a = u.a "
+            "WHERE t.b > 1 GROUP BY t.a ORDER BY t.a"
+        )
+        rows = cursor.fetchall()
+        flags = {row[1]: row[4] for row in rows}
+        assert flags["SCAN t"] == "yes"
+        assert flags["HASH JOIN u (INNER)"] == "yes"
+        assert flags["WHERE filter"] == "yes"
+        assert flags["GROUP BY (hash aggregation)"] == "yes"
+        assert flags["RESULT"] is None
+
+    def test_compile_off_reports_no(self, conn):
+        conn.execute("PRAGMA compile(off)")
+        cursor = conn.execute("EXPLAIN SELECT a FROM t WHERE b > 1")
+        assert all(row[2] == "no" for row in cursor.fetchall())
+
+    def test_uncompilable_where_reports_no(self, conn):
+        cursor = conn.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t WHERE a IN (SELECT a FROM u)"
+        )
+        flags = {row[1]: row[4] for row in cursor.fetchall()}
+        assert flags["WHERE filter"] == "no"

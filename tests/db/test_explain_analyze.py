@@ -29,7 +29,9 @@ def conn():
 
 def analyze(conn, sql, params=()):
     cursor = conn.execute(f"EXPLAIN ANALYZE {sql}", params)
-    assert [d[0] for d in cursor.description] == ["id", "detail", "rows", "time_ms"]
+    assert [d[0] for d in cursor.description] == [
+        "id", "detail", "rows", "time_ms", "compiled",
+    ]
     return cursor.fetchall()
 
 

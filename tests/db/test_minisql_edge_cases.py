@@ -5,9 +5,12 @@ import pytest
 from repro.db import minisql
 
 
-@pytest.fixture
-def conn():
+@pytest.fixture(params=["on", "off"], ids=["compile-on", "compile-off"])
+def conn(request):
+    """Every edge case runs under both the query compiler and the
+    interpreter — the two paths must be indistinguishable."""
     c = minisql.connect()
+    c.execute(f"PRAGMA compile({request.param})")
     yield c
     c.close()
 

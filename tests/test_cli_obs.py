@@ -122,7 +122,7 @@ class TestSqlCommand:
         ]) == 0
         out = capsys.readouterr().out
         header, *rows = out.splitlines()
-        assert header.split("\t") == ["id", "detail", "rows", "time_ms"]
+        assert header.split("\t") == ["id", "detail", "rows", "time_ms", "compiled"]
         assert any("RESULT" in row for row in rows)
 
     def test_dml_reports_rowcount(self, db, capsys):

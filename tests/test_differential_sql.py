@@ -210,10 +210,13 @@ def _normalise(rows):
     return out
 
 
-@pytest.fixture
-def backends():
+@pytest.fixture(params=["on", "off"], ids=["compile-on", "compile-off"])
+def backends(request):
+    """Backend pair, run once with MiniSQL's query compiler and once on
+    the pure interpreter — the corpus must pass identically either way."""
     sqlite_conn = connect("sqlite://:memory:")
     minisql_conn = connect("minisql://:memory:")
+    minisql_conn.execute(f"PRAGMA compile({request.param})")
     yield sqlite_conn, minisql_conn
     sqlite_conn.close()
     minisql_conn.close()
