@@ -25,6 +25,10 @@ class SchemaManager:
         existing = {t.lower() for t in self.connection.table_names()}
         return all(t in existing for t in TABLE_NAMES)
 
+    #: Hot tables (paper §4: the schema's volume lives here) that get
+    #: MiniSQL's columnar storage at install time.
+    COLUMNAR_TABLES = ("interval_location_profile", "metric", "interval_event")
+
     def install(self) -> None:
         """Create all schema tables and indexes (idempotent)."""
         if self.is_installed():
@@ -32,6 +36,10 @@ class SchemaManager:
         for statement in ddl_statements(self.connection.dialect):
             self.connection.execute(statement)
         self.connection.commit()
+        if self.connection.dialect.name == "minisql":
+            # Freshly created, so the conversion copies zero rows.
+            for table in self.COLUMNAR_TABLES:
+                self.connection.execute(f"PRAGMA columnar({table} on)")
 
     def verify(self) -> list[str]:
         """Check required columns; returns a list of problems."""

@@ -109,11 +109,17 @@ def checkpoint_meta(database, last_lsn: int) -> dict:
     """
     tables = {}
     for key, table in database.tables.items():
-        tables[key] = {
+        entry = {
             "rowids": sorted(table.rows),
             "next_rowid": table._next_rowid,
             "last_autoincrement": table.last_autoincrement,
         }
+        # The SQL body of a dump is deliberately storage-agnostic (a
+        # columnar table dumps byte-identically to a row table); the
+        # trailer alone carries the storage mode across a recovery.
+        if getattr(table, "is_columnar", False):
+            entry["columnar"] = True
+        tables[key] = entry
     return {"last_lsn": last_lsn, "tables": tables}
 
 

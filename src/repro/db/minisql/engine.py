@@ -227,6 +227,9 @@ class Connection:
         """
         self._check_open()
         stats = dict(self._database.stats)
+        stats["columnar_tables"] = sum(
+            1 for t in self._database.tables.values() if t.is_columnar
+        )
         wal = self._database.wal
         if wal is not None:
             stats["wal_records"] = wal.records_written

@@ -35,8 +35,8 @@ from .ast_nodes import (
     TableRef, Update,
 )
 from .compile import (
-    CompactPlan, DMLPlan, GroupPlan, JoinPlan, SelectPlan, compile_expr,
-    try_compile,
+    _VS, CompactPlan, DMLPlan, GroupPlan, JoinPlan, SelectPlan, VectorPlan,
+    compile_expr, try_compile, try_vcompile,
 )
 from .dump import _create_table_sql, _render_value
 from .errors import (
@@ -57,6 +57,10 @@ _PLAN_HITS = _metrics.counter("minisql.compile.plan_cache_hits")
 _PLAN_MISSES = _metrics.counter("minisql.compile.plan_cache_misses")
 _COMPILE_FALLBACKS = _metrics.counter("minisql.compile.fallbacks")
 _COMPILE_SECONDS = _metrics.histogram("minisql.compile.seconds")
+# Columnar / vectorized execution telemetry.
+_VECTOR_SELECTS = _metrics.counter("minisql.columnar.vector_selects")
+_VECTOR_FALLBACKS = _metrics.counter("minisql.columnar.vector_fallbacks")
+_COLUMNAR_CONVERSIONS = _metrics.counter("minisql.columnar.conversions")
 
 
 @dataclass
@@ -170,24 +174,28 @@ class Executor:
             return self._execute_explain_analyze(stmt, params)
         steps = self._explain_steps(stmt.statement, params)
         rows = [
-            (i, detail, compiled)
-            for i, (detail, _label, compiled) in enumerate(steps)
+            (i, detail, compiled, vectorized)
+            for i, (detail, _label, compiled, vectorized) in enumerate(steps)
         ]
-        return ResultSet(["id", "detail", "compiled"], rows)
+        return ResultSet(["id", "detail", "compiled", "vectorized"], rows)
 
     def _explain_steps(
         self, inner: Statement, params: Sequence[Any], analyze: bool = False
-    ) -> list[tuple[str, Optional[str], Optional[str]]]:
-        """Plan-step (description, analyze-probe label, compiled) triples.
+    ) -> list[tuple[str, Optional[str], Optional[str], Optional[str]]]:
+        """Plan-step (description, analyze-probe label, compiled,
+        vectorized) tuples.
 
         The "WHERE filter" step only appears under ``analyze`` — plain
         EXPLAIN keeps its historical sqlite-like shape (access path,
         joins, group/order) that tests and tooling match exactly.
         ``compiled`` is "yes"/"no" for steps the closure compiler can
         cover, None where the notion does not apply (CROSS JOIN,
-        compound glue, DML, constant rows).
+        compound glue, DML, constant rows); ``vectorized`` is the same
+        for the whole-column plan — it reports plan *capability*, since
+        the vector path can still yield to the row engine at run time
+        (impure column, empty table, mid-flight error).
         """
-        steps: list[tuple[str, Optional[str], Optional[str]]] = []
+        steps: list[tuple[str, Optional[str], Optional[str], Optional[str]]] = []
         if isinstance(inner, Select) and inner.table is not None:
             table = self.database.table(inner.table.name)
             conjuncts = _conjuncts(inner.where) if not inner.joins else []
@@ -200,17 +208,26 @@ class Executor:
                 splan = self._compiled_select(inner)
             except Exception:
                 splan = None
+            vector = splan.vector if splan is not None else None
 
             def flag(section_compiled: bool) -> str:
                 return "yes" if splan is not None and section_compiled else "no"
 
-            steps.append((plan.describe(table), "scan", flag(splan is not None)))
+            def vflag(section_vectorized: bool) -> str:
+                return "yes" if vector is not None and section_vectorized else "no"
+
+            steps.append((
+                plan.describe(table), "scan", flag(splan is not None),
+                vflag(vector is not None),
+            ))
             layout = _Layout.build(self.database, inner)
             offset = len(table.columns)
             for i, join in enumerate(inner.joins):
                 inner_table = self.database.table(join.table.name)
                 if join.kind == "CROSS" or join.condition is None:
-                    steps.append((f"CROSS JOIN {inner_table.name}", f"join{i}", None))
+                    steps.append(
+                        (f"CROSS JOIN {inner_table.name}", f"join{i}", None, None)
+                    )
                 else:
                     equi = _find_equi_key(
                         join.condition, layout, offset, len(inner_table.columns)
@@ -222,12 +239,14 @@ class Executor:
                         f"{strategy} {inner_table.name} ({join.kind})",
                         f"join{i}",
                         flag(splan is not None and splan.joins[i] is not None),
+                        vflag(False),
                     ))
                 offset += len(inner_table.columns)
             if analyze and inner.where is not None:
                 steps.append((
                     "WHERE filter", "where",
                     flag(splan is not None and splan.where_fn is not None),
+                    vflag(vector is not None and vector.where_fn is not None),
                 ))
             if inner.group_by or any(
                 contains_aggregate(item.expr) for item in inner.items
@@ -235,6 +254,7 @@ class Executor:
                 steps.append((
                     "GROUP BY (hash aggregation)", None,
                     flag(splan is not None and splan.grouped is not None),
+                    vflag(vector is not None and vector.kind == "agg"),
                 ))
             if inner.order_by:
                 order_flag = flag(
@@ -248,13 +268,14 @@ class Executor:
                     else "ORDER BY (sort)",
                     None,
                     order_flag,
+                    vflag(vector is not None),
                 ))
             if inner.compound is not None:
-                steps.append((f"COMPOUND {inner.compound[0]}", None, None))
+                steps.append((f"COMPOUND {inner.compound[0]}", None, None, None))
         elif isinstance(inner, Select):
-            steps.append(("CONSTANT ROW (no FROM)", None, None))
+            steps.append(("CONSTANT ROW (no FROM)", None, None, None))
         else:
-            steps.append((type(inner).__name__.upper(), None, None))
+            steps.append((type(inner).__name__.upper(), None, None, None))
         return steps
 
     def _execute_explain_analyze(self, stmt, params: Sequence[Any]) -> ResultSet:
@@ -273,7 +294,7 @@ class Executor:
         # stats counters, so the numbers stay pure.
         steps = self._explain_steps(inner, params, analyze=True)
         rows: list[tuple[Any, ...]] = []
-        for i, (detail, label, compiled) in enumerate(steps):
+        for i, (detail, label, compiled, vectorized) in enumerate(steps):
             info = probe.steps.get(label) if label is not None else None
             rows.append((
                 i,
@@ -281,10 +302,15 @@ class Executor:
                 int(info["rows"]) if info is not None else None,
                 round(info["time"] * 1000.0, 3) if info is not None else None,
                 compiled,
+                vectorized,
             ))
         cardinality = len(result.rows) if result.columns else result.rowcount
-        rows.append((len(rows), "RESULT", cardinality, round(total_ms, 3), None))
-        return ResultSet(["id", "detail", "rows", "time_ms", "compiled"], rows)
+        rows.append(
+            (len(rows), "RESULT", cardinality, round(total_ms, 3), None, None)
+        )
+        return ResultSet(
+            ["id", "detail", "rows", "time_ms", "compiled", "vectorized"], rows
+        )
 
     # ------------------------------------------------------------------ DDL --
 
@@ -564,8 +590,63 @@ class Executor:
             # on/off return no rows, matching sqlite's silent treatment of
             # unknown pragmas, so differential corpora stay comparable.
             return ResultSet([], [], rowcount=0)
+        if stmt.name == "columnar":
+            return self._pragma_columnar(stmt)
         # Unknown pragmas are silently ignored, like sqlite.
         return ResultSet([], [], rowcount=0)
+
+    _ON = ("on", "1", "true")
+    _OFF = ("off", "0", "false")
+
+    def _pragma_columnar(self, stmt: Pragma) -> ResultSet:
+        """``PRAGMA columnar`` — per-table storage-mode control.
+
+        Forms: ``columnar(status)`` lists every table's mode;
+        ``columnar(on|off)`` sets the default for *future* CREATE TABLE;
+        ``columnar(<table> status)`` reports one table;
+        ``columnar(<table> on|off)`` converts the table in place
+        (rejected mid-transaction and during a bulk load — conversion
+        swaps the storage object, which the undo log cannot unwind).
+        """
+        database = self.database
+        parts = str(stmt.argument or "").strip().split()
+        if not parts or (len(parts) == 1 and parts[0].lower() == "status"):
+            rows = [
+                (t.name, int(t.is_columnar))
+                for t in database.tables.values()
+            ]
+            return ResultSet(["table", "columnar"], rows)
+        first = parts[0].lower()
+        if len(parts) == 1 and first in self._ON + self._OFF:
+            database.columnar_default = first in self._ON
+            return ResultSet([], [], rowcount=0)
+        if len(parts) == 2:
+            name, action = parts[0], parts[1].lower()
+            if action == "status":
+                table = database.table(name)
+                return ResultSet(
+                    ["table", "columnar"], [(table.name, int(table.is_columnar))]
+                )
+            if action in self._ON + self._OFF:
+                if database.in_transaction:
+                    raise OperationalError(
+                        "cannot change table storage inside a transaction"
+                    )
+                changed = database.set_table_storage(name, action in self._ON)
+                if changed:
+                    _COLUMNAR_CONVERSIONS.inc()
+                    wal = database.wal
+                    if wal is not None and not database.bulk_mode:
+                        # Persist the new mode: the WAL stream itself is
+                        # storage-agnostic, so only a checkpoint trailer
+                        # records which tables are columnar.
+                        with database.txn_lock:
+                            wal.checkpoint(database)
+                return ResultSet([], [], rowcount=0)
+        raise ProgrammingError(
+            "PRAGMA columnar expects status, on/off, or <table> on/off/"
+            f"status, got {stmt.argument!r}"
+        )
 
     def _integrity_check(self) -> list[str]:
         """Cross-check every live index against the row store.
@@ -576,6 +657,8 @@ class Executor:
         """
         problems: list[str] = []
         for table in self.database.tables.values():
+            if getattr(table, "is_columnar", False):
+                problems.extend(table.check_columns())
             width = len(table.columns)
             bad_rows = False
             for rowid, row in table.rows.items():
@@ -1411,6 +1494,11 @@ class Executor:
             plan.compact = self._build_compact(stmt, plan, used)
         except Exception:
             plan.compact = None
+        if plan.compact is not None:
+            try:
+                plan.vector = self._build_vector(stmt, plan, used)
+            except Exception:
+                plan.vector = None
         return plan
 
     def _build_plain_plan(
@@ -1619,6 +1707,302 @@ class Executor:
             return None
         return CompactPlan(positions, where_fn, None, proj, order_specs)
 
+    def _build_vector(
+        self, stmt: Select, plan: SelectPlan, used: set
+    ) -> Optional[VectorPlan]:
+        """Whole-column vectorized variant of the compact plan.
+
+        Only built for columnar tables; every section must lower
+        (``try_vcompile``) or no vector plan exists at all — unlike the
+        row compiler there is no per-section mixing, because a vector
+        run either completes or the executor re-runs the whole statement
+        through the compact/row path.  GROUP BY stays on the compact
+        path (per-group vectors don't pay); ungrouped aggregates become
+        column sweeps.
+        """
+        table = self.database.table(stmt.table.name)
+        if not getattr(table, "is_columnar", False):
+            return None
+        positions = tuple(sorted(used))
+        remap = {p: i for i, p in enumerate(positions)}
+        resolution = {
+            key: remap[pos]
+            for key, pos in plan.layout.resolution.items()
+            if pos in remap
+        }
+        purities = [
+            "text" if table.columns[p].affinity == "TEXT" else "num"
+            for p in positions
+        ]
+        checked: set = set()
+        where_fn = None
+        where_pure = False
+        if stmt.where is not None:
+            out = try_vcompile(stmt.where, resolution, purities, checked)
+            if out is None:
+                return None
+            where_fn, wpurity = out
+            # A pure-numeric mask holds only int/float/None, so the
+            # executor can filter with plain truth tests (no truthy()).
+            where_pure = wpurity in ("num", "null")
+
+        if plan.is_grouped:
+            if stmt.group_by:
+                return None
+            gp = self._build_group_plan(
+                stmt, plan.columns, plan.exprs, resolution, None, remap
+            )
+            if gp is None:
+                return None
+            # Replicate _build_group_plan's aggregate-site walk so the
+            # spec list aligns index-for-index with gp.acc_factories.
+            early_alias_map = {
+                (item.alias or "").lower(): item.expr
+                for item in stmt.items if item.alias
+            }
+            having = (
+                _substitute_aliases(stmt.having, early_alias_map)
+                if stmt.having is not None else None
+            )
+            agg_nodes: list[FunctionCall] = []
+            seen: set[int] = set()
+            scan_targets: list[Expression] = [item.expr for item in stmt.items]
+            if having is not None:
+                scan_targets.append(having)
+            for order in stmt.order_by:
+                scan_targets.append(order.expr)
+            for target in scan_targets:
+                for node in walk(target):
+                    if is_aggregate_call(node) and id(node) not in seen:
+                        seen.add(id(node))
+                        agg_nodes.append(node)
+            aggs: list[tuple[str, bool, bool, Any]] = []
+            for node in agg_nodes:
+                star = not node.args or isinstance(node.args[0], Star)
+                argvec = None
+                if not star:
+                    out = try_vcompile(
+                        node.args[0], resolution, purities, checked
+                    )
+                    if out is None:
+                        return None
+                    argvec = out[0]
+                aggs.append(
+                    (node.name.upper(), star, bool(node.distinct), argvec)
+                )
+            return VectorPlan(
+                positions=positions,
+                checked=tuple(sorted(positions[c] for c in checked)),
+                where_fn=where_fn, where_pure=where_pure,
+                kind="agg", aggs=aggs, grouped=gp,
+            )
+
+        items: list[Any] = []
+        for e in plan.exprs:
+            if isinstance(e, int):
+                items.append(remap[e])
+            else:
+                out = try_vcompile(e, resolution, purities, checked)
+                if out is None:
+                    return None
+                items.append(out[0])
+        order: Optional[list[tuple[Any, bool]]] = None
+        if stmt.order_by:
+            alias_map = {
+                (item.alias or "").lower(): item.expr
+                for item in stmt.items if item.alias
+            }
+            lowered = [c.lower() for c in plan.columns]
+            dummy_values = tuple(plan.columns)
+            order = []
+            for o in stmt.order_by:
+                try:
+                    resolved = _resolve_order_expr(
+                        o.expr, alias_map, dummy_values, plan.columns
+                    )
+                except ProgrammingError:
+                    return None
+                if isinstance(resolved, int):
+                    order.append((resolved, bool(o.descending)))
+                    continue
+                out = try_vcompile(resolved, resolution, purities, checked)
+                if out is None:
+                    # Same bare-name fallback as _build_plain_plan.
+                    if (
+                        isinstance(resolved, ColumnRef)
+                        and resolved.name.lower() in lowered
+                    ):
+                        order.append(
+                            (lowered.index(resolved.name.lower()),
+                             bool(o.descending))
+                        )
+                        continue
+                    return None
+                order.append((out[0], bool(o.descending)))
+        return VectorPlan(
+            positions=positions,
+            checked=tuple(sorted(positions[c] for c in checked)),
+            where_fn=where_fn, where_pure=where_pure,
+            kind="plain", items=items, order=order,
+        )
+
+    def _vector_select(
+        self, stmt: Select, plan: SelectPlan, table: Table,
+        params: Sequence[Any],
+    ) -> Optional[tuple[list[str], list[tuple[Any, ...]]]]:
+        """Run the vector plan, or None to fall back (atomic contract:
+        impure column, empty relation, or any mid-flight error routes the
+        whole statement to the compact/row path, which reproduces errors
+        with canonical per-row semantics)."""
+        vp = plan.vector
+        n = table.live_count
+        if n == 0:
+            return None
+        for p in vp.checked:
+            if not table.column_pure(p):
+                return None
+        cols = [table.column_values(p) for p in vp.positions]
+        sel: Optional[list[int]] = None  # None = every row selected
+        if vp.where_fn is not None:
+            mask = vp.where_fn(cols, n, params)
+            if type(mask) is _VS:
+                if not truthy(mask.value):
+                    sel = []
+            elif vp.where_pure:
+                if not all(mask):
+                    sel = [i for i, v in enumerate(mask) if v]
+            else:
+                sel = [i for i, v in enumerate(mask) if truthy(v)]
+        if plan.is_grouped:
+            return self._vector_agg(plan, vp, cols, n, sel, params)
+        return self._vector_plain(stmt, plan, vp, cols, n, sel, params)
+
+    def _vector_plain(
+        self, stmt: Select, plan: SelectPlan, vp: VectorPlan,
+        cols: list, n: int, sel: Optional[list[int]],
+        params: Sequence[Any],
+    ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        n_sel = n if sel is None else len(sel)
+        out_cols: list[list[Any]] = []
+        for e in vp.items:
+            if type(e) is int:
+                full = cols[e]
+            else:
+                V = e(cols, n, params)
+                if type(V) is _VS:
+                    out_cols.append([V.value] * n_sel)
+                    continue
+                full = V
+            out_cols.append(full if sel is None else [full[i] for i in sel])
+        projected = list(zip(*out_cols))
+        needs_order = (
+            vp.order is not None and stmt.compound is None and n_sel
+        )
+        if needs_order:
+            key_cols: list[list[Any]] = []
+            for spec, descending in vp.order:
+                if type(spec) is int:
+                    vals = out_cols[spec]
+                else:
+                    V = spec(cols, n, params)
+                    if type(V) is _VS:
+                        vals = [V.value] * n_sel
+                    else:
+                        vals = V if sel is None else [V[i] for i in sel]
+                if descending:
+                    key_cols.append([_Reversor(sort_key(v)) for v in vals])
+                else:
+                    key_cols.append([sort_key(v) for v in vals])
+            paired = sorted(
+                zip(zip(*key_cols), range(n_sel)), key=lambda p: p[0]
+            )
+            projected = [projected[i] for _, i in paired]
+        return plan.columns, projected
+
+    def _vector_agg(
+        self, plan: SelectPlan, vp: VectorPlan, cols: list, n: int,
+        sel: Optional[list[int]], params: Sequence[Any],
+    ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        """Ungrouped aggregates as column sweeps.
+
+        The big five (COUNT/SUM/AVG/MIN/MAX, non-DISTINCT) run as C-speed
+        builtins over the selected values — each proven equivalent to its
+        accumulator's step/finalize sequence; everything else feeds the
+        row accumulator from the vectorized argument column.  HAVING and
+        the projection reuse the PR 5 closures over the one representative
+        row, exactly like _grouped_select_compiled's single-group tail.
+        """
+        gp = vp.grouped
+        n_sel = n if sel is None else len(sel)
+        aggs: list[Any] = []
+        for (name, star, distinct, argvec), factory in zip(
+            vp.aggs, gp.acc_factories
+        ):
+            if star:
+                if name == "COUNT" and not distinct:
+                    aggs.append(n_sel)
+                else:
+                    acc = factory()
+                    for _ in range(n_sel):
+                        acc.step(1)
+                    aggs.append(acc.finalize())
+                continue
+            V = argvec(cols, n, params)
+            if type(V) is _VS:
+                vals = [V.value] * n_sel
+            else:
+                vals = V if sel is None else [V[i] for i in sel]
+            if distinct:
+                acc = factory()
+                for v in vals:
+                    acc.step(v)
+                aggs.append(acc.finalize())
+            elif name == "COUNT":
+                aggs.append(sum(1 for v in vals if v is not None))
+            elif name == "SUM":
+                nn = [v for v in vals if v is not None]
+                aggs.append(sum(nn) if nn else None)
+            elif name == "AVG":
+                nn = [float(v) for v in vals if v is not None]
+                aggs.append(sum(nn) / len(nn) if nn else None)
+            elif name == "MIN":
+                nn = [v for v in vals if v is not None]
+                aggs.append(min(nn) if nn else None)
+            elif name == "MAX":
+                nn = [v for v in vals if v is not None]
+                aggs.append(max(nn) if nn else None)
+            elif name == "TOTAL":
+                aggs.append(
+                    sum((float(v) for v in vals if v is not None), 0.0)
+                )
+            else:  # STDDEV / VARIANCE / GROUP_CONCAT / future
+                acc = factory()
+                for v in vals:
+                    acc.step(v)
+                aggs.append(acc.finalize())
+        if n_sel:
+            first = 0 if sel is None else sel[0]
+            rep: Sequence[Any] = [c[first] for c in cols]
+        else:
+            rep = [None] * len(vp.positions)
+        results: list[tuple[Any, ...]] = []
+        if gp.having_fn is None or truthy(gp.having_fn(rep, params, aggs)):
+            values = tuple(
+                rep[e] if type(e) is int else e(rep, params, aggs)
+                for e in gp.item_slots
+            )
+            if gp.order_specs is not None:
+                # Sorting one row is the identity, but the key closures
+                # must still run: an erroring ORDER BY expression has to
+                # trigger the fallback, not silently succeed here.
+                for spec, _descending in gp.order_specs:
+                    sort_key(
+                        values[spec] if type(spec) is int
+                        else spec(rep, params, aggs)
+                    )
+            results.append(values)
+        return plan.columns, results
+
     def _compact_select(
         self, stmt: Select, plan: SelectPlan, params: Sequence[Any]
     ) -> Optional[tuple[list[str], list[tuple[Any, ...]]]]:
@@ -1641,6 +2025,21 @@ class Executor:
         stats = self.database.stats
         stats["full_scans"] += 1
         stats["rows_scanned"] += len(table)
+        if plan.vector is not None and getattr(table, "is_columnar", False):
+            try:
+                vector_result = self._vector_select(stmt, plan, table, params)
+            except Exception:
+                # Atomic-or-fallback: whatever went wrong (type surprise,
+                # missing parameter, overflow), the compact path below
+                # replays the statement with canonical row semantics and
+                # raises — or succeeds — exactly as the row engine would.
+                vector_result = None
+            if vector_result is not None:
+                stats["vector_selects"] += 1
+                _VECTOR_SELECTS.inc()
+                return vector_result
+            stats["vector_fallbacks"] += 1
+            _VECTOR_FALLBACKS.inc()
         where_fn = compact.where_fn
         batches = table.scan_batches(positions=compact.positions)
 

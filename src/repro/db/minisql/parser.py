@@ -376,6 +376,17 @@ class Parser:
         argument = None
         if self.accept_punct("("):
             argument = self._parse_pragma_argument()
+            # Multi-token form — PRAGMA columnar(metric on) — joins the
+            # extra tokens with spaces; a lone token keeps its raw value
+            # (PRAGMA wal_autocheckpoint(65536) must stay an int).
+            extra = []
+            while True:
+                more = self._parse_pragma_argument()
+                if more is None:
+                    break
+                extra.append(more)
+            if extra:
+                argument = " ".join(str(part) for part in [argument, *extra])
             self.expect_punct(")")
         elif self.accept_operator("="):
             # sqlite's assignment form: PRAGMA bulk_load = on

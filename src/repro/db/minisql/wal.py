@@ -486,6 +486,10 @@ def _restore_checkpoint(database, script: str, meta: Optional[dict]) -> None:
         table.last_autoincrement = int(
             table_meta.get("last_autoincrement", table.last_autoincrement)
         )
+        # The dump script is storage-agnostic (restores recreate plain
+        # row tables); the trailer records which tables were columnar.
+        if table_meta.get("columnar") and not table.is_columnar:
+            database.set_table_storage(key, True)
 
 
 def _apply_records(
@@ -542,10 +546,10 @@ def _apply_records(
         elif op == "del":
             table.rows.pop(record[4], None)
         elif op == "upd":
-            row = table.rows.get(record[4])
-            if row is not None:
-                for position, value in record[5]:
-                    row[position] = value
+            # Via apply_raw_update, not in-place row mutation: column
+            # tables hand out materialised copies, so writes must go
+            # back through the store.
+            table.apply_raw_update(record[4], record[5])
         applied += 1
     return applied, discarded
 

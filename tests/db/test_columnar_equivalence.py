@@ -1,0 +1,179 @@
+"""Three-way differential harness: interpreter vs compiled vs columnar.
+
+The vectorized executor ships results only when a whole SELECT completes
+cleanly over the column vectors; anything else falls back to the row
+pipeline.  That "atomic or fallback" contract is what this suite pins
+down: for the full conformance corpus and for statements that *error*
+mid-execution, all three MiniSQL execution modes must produce identical
+results, identical error classes and messages, and raise at the same
+point in the statement lifecycle (execute vs fetch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import minisql
+from tests.test_differential_sql import CORPUS, Err, _normalise
+
+#: Pragmas establishing each execution mode on a fresh connection.
+MODES = {
+    "interpreter": ("PRAGMA compile(off)",),
+    "compiled": ("PRAGMA compile(on)",),
+    "columnar": ("PRAGMA compile(on)", "PRAGMA columnar(on)"),
+}
+
+
+def _connect(mode: str):
+    conn = minisql.connect()
+    for pragma in MODES[mode]:
+        conn.execute(pragma)
+    return conn
+
+
+def _outcome(conn, sql, params):
+    """One statement's observable behaviour, as a comparable value.
+
+    Captures *when* an error surfaces (execute vs fetch), its class, and
+    its message — not just the result rows — so a vectorized path that
+    produced the right rows but raised early (or swallowed an error)
+    still counts as a divergence.
+    """
+    try:
+        cursor = conn.execute(sql, params)
+    except Exception as exc:
+        conn.rollback()
+        return ("error@execute", type(exc).__name__, str(exc))
+    if sql.lstrip().upper().startswith("SELECT"):
+        try:
+            rows = cursor.fetchall()
+        except Exception as exc:
+            conn.rollback()
+            return ("error@fetch", type(exc).__name__, str(exc))
+        return ("rows", _normalise(rows))
+    conn.commit()
+    return ("ok", cursor.rowcount)
+
+
+@pytest.fixture
+def trio():
+    conns = {mode: _connect(mode) for mode in MODES}
+    yield conns
+    for conn in conns.values():
+        conn.close()
+
+
+class TestCorpusThreeWay:
+    def test_corpus_no_divergence(self, trio):
+        """Replay the full conformance corpus through all three modes."""
+        for position, entry in enumerate(CORPUS):
+            if isinstance(entry, Err):
+                sql, params = entry.sql, entry.params
+            else:
+                sql, params = entry
+            outcomes = {
+                mode: _outcome(conn, sql, params)
+                for mode, conn in trio.items()
+            }
+            distinct = set(map(repr, outcomes.values()))
+            assert len(distinct) == 1, (
+                f"statement #{position} diverged: {sql!r}\n"
+                + "\n".join(f"  {m}: {o!r}" for m, o in outcomes.items())
+            )
+        # The corpus's expected-error entries must have raised (not been
+        # silently skipped) — otherwise agreement is vacuous.
+        errs = [e for e in CORPUS if isinstance(e, Err)]
+        assert errs
+
+    def test_final_state_identical(self, trio):
+        for entry in CORPUS:
+            if isinstance(entry, Err):
+                sql, params = entry.sql, entry.params
+            else:
+                sql, params = entry
+            for conn in trio.values():
+                _outcome(conn, sql, params)
+        states = {}
+        for mode, conn in trio.items():
+            tables = sorted(
+                r[0] for r in conn.execute("PRAGMA table_list").fetchall()
+            )
+            states[mode] = {
+                t: _normalise(
+                    conn.execute(f"SELECT * FROM {t}").fetchall()
+                )
+                for t in tables
+            }
+            # Order-insensitive comparison: sort by repr so NULLs and
+            # mixed types don't break tuple ordering.
+            for t in states[mode]:
+                states[mode][t] = sorted(states[mode][t], key=repr)
+        assert states["interpreter"] == states["compiled"] == states["columnar"]
+
+    def test_columnar_mode_actually_vectorizes(self, trio):
+        """Guard against a vacuous pass: the columnar connection must
+        have run real vectorized selects over the corpus."""
+        for entry in CORPUS:
+            if isinstance(entry, Err):
+                continue
+            sql, params = entry
+            for conn in trio.values():
+                _outcome(conn, sql, params)
+        stats = trio["columnar"].stats()
+        assert stats["vector_selects"] > 0
+        assert trio["interpreter"].stats()["vector_selects"] == 0
+        assert trio["compiled"].stats()["vector_selects"] == 0
+
+
+#: SELECTs guaranteed to fail on the `mix` fixture table (a text value
+#: in a numeric expression, an unknown function, ...).  Every mode must
+#: raise the same class, same message, at the same phase.
+ERROR_CASES = [
+    "SELECT -x FROM mix",
+    "SELECT x * 2 FROM mix",
+    "SELECT x + 1 FROM mix WHERE id > 1",
+    "SELECT abs(x) FROM mix",
+    "SELECT sum(x) FROM mix",
+    "SELECT nosuch(x) FROM mix",
+    "SELECT id FROM mix WHERE x - 1 > 0",
+    "SELECT id FROM mix WHERE x BETWEEN 1 AND 'oops' + 1",
+    "SELECT max(id) FROM mix ORDER BY x / 'zero'",
+]
+
+
+class TestErrorTiming:
+    @pytest.fixture
+    def trio(self):
+        conns = {}
+        for mode in MODES:
+            conn = _connect(mode)
+            conn.execute("CREATE TABLE mix (id INTEGER, x)")
+            conn.executemany(
+                "INSERT INTO mix VALUES (?, ?)",
+                [(1, 5), (2, 7), (3, "abc"), (4, 9)],
+            )
+            conn.commit()
+            conns[mode] = conn
+        yield conns
+        for conn in conns.values():
+            conn.close()
+
+    @pytest.mark.parametrize("sql", ERROR_CASES)
+    def test_error_class_message_and_phase_agree(self, trio, sql):
+        outcomes = {
+            mode: _outcome(conn, sql, ()) for mode, conn in trio.items()
+        }
+        reference = outcomes["interpreter"]
+        assert reference[0].startswith("error@"), (
+            f"expected an error case, got {reference!r}"
+        )
+        assert outcomes["compiled"] == reference
+        assert outcomes["columnar"] == reference
+
+    def test_failed_vector_attempt_counts_as_fallback(self, trio):
+        conn = trio["columnar"]
+        before = conn.stats()["vector_fallbacks"]
+        with pytest.raises(minisql.MiniSQLError):
+            conn.execute("SELECT -x FROM mix").fetchall()
+        conn.rollback()
+        assert conn.stats()["vector_fallbacks"] > before

@@ -210,7 +210,9 @@ class TestExplainCompiledColumn:
 
     def test_plain_explain_has_compiled_column(self, conn):
         cursor = conn.execute("EXPLAIN SELECT a FROM t WHERE b > 1 ORDER BY a")
-        assert [d[0] for d in cursor.description] == ["id", "detail", "compiled"]
+        assert [d[0] for d in cursor.description] == [
+            "id", "detail", "compiled", "vectorized",
+        ]
         flags = {row[1]: row[2] for row in cursor.fetchall()}
         assert flags["SCAN t"] == "yes"
         assert flags["ORDER BY (sort)"] == "yes"

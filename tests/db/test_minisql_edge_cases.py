@@ -5,12 +5,20 @@ import pytest
 from repro.db import minisql
 
 
-@pytest.fixture(params=["on", "off"], ids=["compile-on", "compile-off"])
+@pytest.fixture(
+    params=["on", "off", "columnar"],
+    ids=["compile-on", "compile-off", "columnar"],
+)
 def conn(request):
-    """Every edge case runs under both the query compiler and the
-    interpreter — the two paths must be indistinguishable."""
+    """Every edge case runs under the query compiler, the interpreter,
+    and columnar storage with vectorized execution — the three paths
+    must be indistinguishable."""
     c = minisql.connect()
-    c.execute(f"PRAGMA compile({request.param})")
+    if request.param == "columnar":
+        c.execute("PRAGMA compile(on)")
+        c.execute("PRAGMA columnar(on)")  # new tables default to columnar
+    else:
+        c.execute(f"PRAGMA compile({request.param})")
     yield c
     c.close()
 

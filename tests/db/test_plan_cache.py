@@ -112,6 +112,53 @@ class TestDropTableInvalidation:
         assert misses >= 3  # initial + after-create + after-rollback
 
 
+class TestColumnarConversionInvalidation:
+    """Storage-mode swaps change what a valid plan looks like (vector
+    sections only make sense against a column store), so they must bump
+    ``schema_version`` like any other catalog change."""
+
+    @pytest.fixture
+    def data(self, conn):
+        conn.execute("CREATE TABLE t (k INTEGER, v REAL)")
+        conn.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(i % 5, float(i)) for i in range(40)],
+        )
+        conn.commit()
+        return conn
+
+    def test_conversion_bumps_schema_version(self, data):
+        db = data._database
+        v0 = db.schema_version
+        data.execute("PRAGMA columnar(t on)")
+        v1 = db.schema_version
+        data.execute("PRAGMA columnar(t off)")
+        assert v0 < v1 < db.schema_version
+
+    def test_cached_plan_gains_and_loses_vector_section(self, data):
+        sql = "SELECT sum(v), count(*) FROM t WHERE k < 3"
+        oracle = data.execute(sql).fetchall()
+        assert data.stats()["vector_selects"] == 0
+        data.execute("PRAGMA columnar(t on)")
+        # Same SQL text -> same cached Statement; a stale (row) plan
+        # would scan the replaced table without vectorizing.
+        assert data.execute(sql).fetchall() == oracle
+        assert data.stats()["vector_selects"] == 1
+        data.execute("PRAGMA columnar(t off)")
+        assert data.execute(sql).fetchall() == oracle
+        assert data.stats()["vector_selects"] == 1  # row path again
+
+    def test_stale_offsets_never_served_after_conversion(self, data):
+        sql = "SELECT v FROM t WHERE k = 2 ORDER BY v"
+        oracle = data.execute(sql).fetchall()
+        data.execute("PRAGMA columnar(t on)")
+        data.execute("ALTER TABLE t ADD COLUMN w TEXT DEFAULT 'pad'")
+        assert data.execute(sql).fetchall() == oracle
+        assert data.execute(
+            "SELECT w FROM t WHERE k = 2"
+        ).fetchall() == [("pad",)] * len(oracle)
+
+
 class TestSchemaVersionCounter:
     def test_every_ddl_kind_bumps(self, conn):
         db = conn._database

@@ -37,10 +37,19 @@ _rows = st.lists(
 )
 
 
-def _both(rows):
+#: MiniSQL execution modes every property must hold under: the pure
+#: interpreter, compiled row closures, and columnar vectorized batches.
+MODES = ["interpreter", "compiled", "columnar"]
+
+
+def _both(rows, mode="compiled"):
     """Load identical data into a fresh pair of engines."""
     ms = minisql.connect()
     sq = sqlite3.connect(":memory:")
+    if mode == "interpreter":
+        ms.execute("PRAGMA compile(off)")
+    elif mode == "columnar":
+        ms.execute("PRAGMA columnar(on)")  # new tables default to columnar
     ddl = "CREATE TABLE t (k INTEGER, v REAL, x TEXT)"
     ms.execute(ddl)
     sq.execute(ddl)
@@ -96,9 +105,10 @@ QUERIES = [
 
 @settings(max_examples=40, deadline=None)
 @given(rows=_rows)
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("sql", QUERIES)
-def test_engines_agree(sql, rows):
-    ms, sq = _both(rows)
+def test_engines_agree(sql, mode, rows):
+    ms, sq = _both(rows, mode)
     try:
         _compare(ms, sq, sql)
     finally:
@@ -108,8 +118,9 @@ def test_engines_agree(sql, rows):
 
 @settings(max_examples=30, deadline=None)
 @given(rows=_rows, threshold=st.floats(min_value=-10, max_value=10))
-def test_parameterised_filter_agrees(rows, threshold):
-    ms, sq = _both(rows)
+@pytest.mark.parametrize("mode", MODES)
+def test_parameterised_filter_agrees(mode, rows, threshold):
+    ms, sq = _both(rows, mode)
     try:
         _compare(
             ms, sq,
@@ -123,8 +134,9 @@ def test_parameterised_filter_agrees(rows, threshold):
 
 @settings(max_examples=30, deadline=None)
 @given(rows=_rows)
-def test_avg_agrees_within_float_noise(rows):
-    ms, sq = _both(rows)
+@pytest.mark.parametrize("mode", MODES)
+def test_avg_agrees_within_float_noise(mode, rows):
+    ms, sq = _both(rows, mode)
     try:
         got = ms.execute("SELECT avg(v) FROM t").fetchone()[0]
         want = sq.execute("SELECT avg(v) FROM t").fetchone()[0]
@@ -139,8 +151,9 @@ def test_avg_agrees_within_float_noise(rows):
 
 @settings(max_examples=25, deadline=None)
 @given(rows=_rows)
-def test_update_then_state_agrees(rows):
-    ms, sq = _both(rows)
+@pytest.mark.parametrize("mode", MODES)
+def test_update_then_state_agrees(mode, rows):
+    ms, sq = _both(rows, mode)
     try:
         for conn in (ms, sq):
             conn.execute("UPDATE t SET v = v + 1 WHERE k < 5")
@@ -153,8 +166,9 @@ def test_update_then_state_agrees(rows):
 
 @settings(max_examples=25, deadline=None)
 @given(rows=_rows)
-def test_join_agrees(rows):
-    ms, sq = _both(rows)
+@pytest.mark.parametrize("mode", MODES)
+def test_join_agrees(mode, rows):
+    ms, sq = _both(rows, mode)
     try:
         for conn in (ms, sq):
             conn.execute("CREATE TABLE names (k INTEGER, label TEXT)")
@@ -191,9 +205,10 @@ QUERIES_EXTENDED = [
 
 @settings(max_examples=25, deadline=None)
 @given(rows=_rows)
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("sql", QUERIES_EXTENDED)
-def test_engines_agree_extended(sql, rows):
-    ms, sq = _both(rows)
+def test_engines_agree_extended(sql, mode, rows):
+    ms, sq = _both(rows, mode)
     try:
         _compare(ms, sq, sql)
     finally:
@@ -203,8 +218,9 @@ def test_engines_agree_extended(sql, rows):
 
 @settings(max_examples=20, deadline=None)
 @given(rows=_rows, low=st.integers(0, 5), high=st.integers(4, 9))
-def test_between_with_params_agrees(rows, low, high):
-    ms, sq = _both(rows)
+@pytest.mark.parametrize("mode", MODES)
+def test_between_with_params_agrees(mode, rows, low, high):
+    ms, sq = _both(rows, mode)
     try:
         _compare(
             ms, sq,

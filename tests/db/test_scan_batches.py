@@ -1,0 +1,124 @@
+"""Batched-scan boundary pins for both storage engines.
+
+``scan_batches`` feeds the compiled and vectorized pipelines; a
+miscounted tail chunk silently drops rows from every aggregate.  The
+edge cases pinned here: empty table, single row, row counts exactly at
+/ one below / one above the batch size, and — columnar only — a
+deleted-row (tombstone) run straddling a batch boundary, where chunking
+before tombstone compression would short-change a chunk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import minisql
+
+BATCH = 1024
+
+
+@pytest.fixture(params=["row", "columnar"])
+def make_table(request):
+    """Returns (conn, load) where load(n) builds table t with n rows and
+    returns the storage-level table object."""
+    conn = minisql.connect()
+    if request.param == "columnar":
+        conn.execute("PRAGMA columnar(on)")
+
+    def load(n):
+        conn.execute("CREATE TABLE t (a INTEGER, b TEXT, c REAL)")
+        if n:
+            conn.executemany(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                [(i, f"s{i}", float(i)) for i in range(n)],
+            )
+        conn.commit()
+        return conn._database.tables["t"]
+
+    yield conn, load
+    conn.close()
+
+
+def _collect(table, **kwargs):
+    chunks = list(table.scan_batches(**kwargs))
+    assert all(chunks), "scan_batches must never yield an empty chunk"
+    return chunks
+
+
+@pytest.mark.parametrize(
+    "count", [0, 1, BATCH - 1, BATCH, BATCH + 1, 2 * BATCH, 2 * BATCH + 1]
+)
+def test_row_counts_at_batch_boundaries(make_table, count):
+    conn, load = make_table
+    table = load(count)
+    chunks = _collect(table)
+    assert sum(len(c) for c in chunks) == count
+    assert all(len(c) <= BATCH for c in chunks)
+    flat = [row[0] for chunk in chunks for row in chunk]
+    assert flat == list(range(count))
+
+
+@pytest.mark.parametrize("count", [0, 1, 7, 8, 9, 17])
+def test_small_batch_size_boundaries(make_table, count):
+    conn, load = make_table
+    table = load(count)
+    chunks = _collect(table, batch_size=8)
+    assert [len(c) for c in chunks] == (
+        [8] * (count // 8) + ([count % 8] if count % 8 else [])
+    )
+
+
+def test_projection_positions(make_table):
+    conn, load = make_table
+    table = load(BATCH + 5)
+    single = [
+        v for chunk in _collect(table, positions=(1,)) for (v,) in chunk
+    ]
+    assert single == [f"s{i}" for i in range(BATCH + 5)]
+    swapped = [
+        t for chunk in _collect(table, positions=(2, 0)) for t in chunk
+    ]
+    assert swapped == [(float(i), i) for i in range(BATCH + 5)]
+
+
+def test_deleted_run_straddling_batch_boundary(make_table):
+    """Delete a contiguous run around slot 1024; every survivor must
+    still come out exactly once, in order, with full-size chunks."""
+    conn, load = make_table
+    table = load(2 * BATCH + 100)
+    conn.execute("DELETE FROM t WHERE a >= 1000 AND a < 1100")
+    conn.commit()
+    expected = [i for i in range(2 * BATCH + 100) if not 1000 <= i < 1100]
+    chunks = _collect(table)
+    flat = [row[0] for chunk in chunks for row in chunk]
+    assert flat == expected
+    assert all(len(c) == BATCH for c in chunks[:-1])
+    projected = [
+        v for chunk in _collect(table, positions=(0,)) for (v,) in chunk
+    ]
+    assert projected == expected
+
+
+def test_deletions_leaving_count_at_exact_multiple(make_table):
+    """Deletions that land the live count exactly on 0/1 (mod 1024)."""
+    conn, load = make_table
+    table = load(2 * BATCH + 50)
+    conn.execute("DELETE FROM t WHERE a >= ?", (2 * BATCH,))
+    conn.commit()
+    assert sum(len(c) for c in _collect(table)) == 2 * BATCH
+    conn.execute("DELETE FROM t WHERE a >= ?", (BATCH + 1,))
+    conn.commit()
+    chunks = _collect(table)
+    assert [len(c) for c in chunks] == [BATCH, 1]
+
+
+def test_interleaved_deletes_then_aggregate_agrees(make_table):
+    """End to end: the batched pipeline's aggregate over a tombstoned
+    table equals the unbatched oracle."""
+    conn, load = make_table
+    load(BATCH + 13)
+    conn.execute("DELETE FROM t WHERE a % 3 = 0")
+    conn.commit()
+    survivors = [i for i in range(BATCH + 13) if i % 3]
+    count, total = conn.execute("SELECT count(*), sum(a) FROM t").fetchone()
+    assert (count, total) == (len(survivors), sum(survivors))

@@ -122,7 +122,9 @@ class TestSqlCommand:
         ]) == 0
         out = capsys.readouterr().out
         header, *rows = out.splitlines()
-        assert header.split("\t") == ["id", "detail", "rows", "time_ms", "compiled"]
+        assert header.split("\t") == [
+            "id", "detail", "rows", "time_ms", "compiled", "vectorized",
+        ]
         assert any("RESULT" in row for row in rows)
 
     def test_dml_reports_rowcount(self, db, capsys):

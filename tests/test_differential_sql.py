@@ -210,13 +210,21 @@ def _normalise(rows):
     return out
 
 
-@pytest.fixture(params=["on", "off"], ids=["compile-on", "compile-off"])
+@pytest.fixture(
+    params=["on", "off", "columnar"],
+    ids=["compile-on", "compile-off", "columnar"],
+)
 def backends(request):
-    """Backend pair, run once with MiniSQL's query compiler and once on
-    the pure interpreter — the corpus must pass identically either way."""
+    """Backend pair, run with MiniSQL's query compiler, on the pure
+    interpreter, and with columnar storage plus vectorized execution —
+    the corpus must pass identically every way."""
     sqlite_conn = connect("sqlite://:memory:")
     minisql_conn = connect("minisql://:memory:")
-    minisql_conn.execute(f"PRAGMA compile({request.param})")
+    if request.param == "columnar":
+        minisql_conn.execute("PRAGMA compile(on)")
+        minisql_conn.execute("PRAGMA columnar(on)")
+    else:
+        minisql_conn.execute(f"PRAGMA compile({request.param})")
     yield sqlite_conn, minisql_conn
     sqlite_conn.close()
     minisql_conn.close()
