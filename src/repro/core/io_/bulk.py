@@ -22,8 +22,6 @@ without storing them.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -32,6 +30,8 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from repro.obs.log import get_logger
 from repro.obs.metrics import registry as _registry
 from repro.obs.trace import tracer as _tracer
+
+from ..parallel import TaskFailure, run_tasks
 
 from ..model.columnar import ColumnarTrial
 from .registry import load_profile
@@ -125,47 +125,26 @@ def parse_profiles(
         return out
     trace_ctx = _tracer.current_context() if _tracer.enabled else None
     specs = [(str(t), format_name, trace_ctx) for t in targets]
+    # Pool setup/teardown (no joining shutdown, terminate-on-timeout,
+    # BrokenProcessPool fan-out) lives in repro.core.parallel; failed
+    # tasks come back as TaskFailure sentinels for the serial retry.
+    outcomes = run_tasks(_parse_task, specs, workers, task_timeout)
     payloads: list[Optional[ColumnarTrial]] = [None] * len(specs)
     retries: list[int] = []
-    # Deliberately NOT a `with` block: the context manager's exit calls
-    # shutdown(wait=True), which joins the workers and would stall the
-    # whole batch behind a hung task despite its timeout having fired.
-    pool = ProcessPoolExecutor(max_workers=workers)
-    timed_out = False
-    try:
-        futures = [pool.submit(_parse_task, spec) for spec in specs]
-        for i, future in enumerate(futures):
-            try:
-                payloads[i] = future.result(timeout=task_timeout)
-            except (Exception, FutureTimeout) as exc:
-                future.cancel()
-                timed_out = timed_out or isinstance(exc, FutureTimeout)
-                _registry.counter("ingest.parse_retries").inc()
-                _log.warning(
-                    "parse_retry", target=specs[i][0], error=str(exc),
-                    error_type=type(exc).__name__,
-                )
-                retries.append(i)
-                if isinstance(exc, BrokenProcessPool):
-                    # The pool is gone; every remaining future fails
-                    # the same way — collect them all for serial retry.
-                    for j in range(i + 1, len(futures)):
-                        if payloads[j] is None:
-                            retries.append(j)
-                    break
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-        if timed_out:
-            # A timed-out task may be genuinely stuck; its worker cannot
-            # be cancelled, only killed — otherwise it would outlive the
-            # batch and wedge interpreter shutdown's executor join.
-            processes = getattr(pool, "_processes", None) or {}
-            for process in list(processes.values()):
-                try:
-                    process.terminate()
-                except OSError:
-                    pass
-    for i in sorted(set(retries)):
+    broken_logged = False
+    for i, outcome in enumerate(outcomes):
+        if not isinstance(outcome, TaskFailure):
+            payloads[i] = outcome
+            continue
+        _registry.counter("ingest.parse_retries").inc()
+        if not (outcome.broken_pool and broken_logged):
+            _log.warning(
+                "parse_retry", target=specs[i][0], error=str(outcome.error),
+                error_type=type(outcome.error).__name__,
+            )
+        broken_logged = broken_logged or outcome.broken_pool
+        retries.append(i)
+    for i in retries:
         path = specs[i][0]
         try:
             payloads[i] = parse_columnar(path, format_name)

@@ -101,6 +101,12 @@ def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> 
             if db is None:
                 db = _wal.open_file_database(key)
                 _FILE_DATABASES[key] = db
+                # Re-attach a persisted shard configuration (PRAGMA
+                # shards on a previous open); recovers any half-finished
+                # shard ingest/hydration from its pending marker.
+                from .shard import ShardManager
+
+                db.shard_mgr = ShardManager.attach(db)
     else:
         with _SHARED_LOCK:
             db = _SHARED_DATABASES.setdefault(database, Database())
@@ -112,8 +118,17 @@ def reset_shared_databases() -> None:
     helper).  File-backed databases are checkpointed first so their
     archives stay loadable by a later open."""
     with _SHARED_LOCK:
+        for db in _SHARED_DATABASES.values():
+            if db.shard_mgr is not None:
+                db.shard_mgr.close()
+                db.shard_mgr = None
         _SHARED_DATABASES.clear()
         for db in _FILE_DATABASES.values():
+            if db.shard_mgr is not None:
+                # Shard files are opened directly (not via connect), so
+                # they are not in _FILE_DATABASES — close them here.
+                db.shard_mgr.close()
+                db.shard_mgr = None
             if db.wal is not None:
                 try:
                     if not db.in_transaction:
@@ -145,6 +160,10 @@ class Connection:
             if self.in_transaction:
                 self.rollback()
             database = self._database
+            if database.shard_mgr is not None:
+                # Drop the scatter worker pool; shard state and files
+                # stay (another connection reforks the pool lazily).
+                database.shard_mgr.on_connection_close()
             if database.wal is not None:
                 # Fold the WAL into a fresh checkpoint so a clean close
                 # leaves a plain (sqlite-loadable) dump and an empty log.
@@ -288,6 +307,13 @@ class Connection:
             if isinstance(statement, RollbackTransaction):
                 self.rollback()
                 return ResultSet([], [], rowcount=0)
+            mgr = self._database.shard_mgr
+            if mgr is not None:
+                # Hydrate shard-resident tables the statement needs in
+                # the primary (shard-routable SELECTs hydrate nothing).
+                # Must run before any lock below: hydration takes the
+                # database writer lock itself.
+                mgr.ensure_local(statement)
             mutating = isinstance(statement, _MUTATING) or (
                 isinstance(statement, Explain)
                 and statement.analyze
@@ -401,6 +427,11 @@ class Cursor:
             and len(statement.rows) == 1
         ):
             # Bulk-insert fast path: one lock acquisition, one dispatch.
+            mgr = connection._database.shard_mgr
+            if mgr is not None:
+                # This path bypasses _run, so re-home shard-resident
+                # rows here before taking any lock.
+                mgr.ensure_local(statement)
             observing = connection._observing()
             t0 = time.perf_counter() if observing else 0.0
             with connection._lock:

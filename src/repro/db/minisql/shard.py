@@ -1,0 +1,1490 @@
+"""Sharded multi-process scatter-gather query execution for MiniSQL.
+
+The source paper is a *parallel* performance data management framework;
+this module is the layer that finally makes MiniSQL queries scale past
+one core.  A :class:`ShardManager` attached to a primary
+:class:`~repro.db.minisql.storage.Database` (via ``PRAGMA shards(<n>)``)
+partitions table rows into N contiguous slabs *in scan order* and runs a
+rewritten **fragment** of each eligible SELECT against every slab,
+merging the per-shard partial results in a **gather** step that is
+itself an ordinary MiniSQL SELECT over a scratch table:
+
+    original:  SELECT g, avg(x) FROM t GROUP BY g HAVING count(*) > 2
+    fragment:  SELECT g AS __g0, sum(x) AS __p0, count(x) AS __p1,
+                      count(*) AS __p2  FROM t GROUP BY g      (per shard)
+    gather:    SELECT __g0 AS g, CAST(sum(__p0) AS REAL)/sum(__p1)
+               FROM __shard_partial GROUP BY __g0
+               HAVING coalesce(sum(__p2), 0) > 2
+
+Executing the merge through the normal executor (rather than bespoke
+merge loops) buys correctness by construction: HAVING, ORDER BY,
+LIMIT/OFFSET, DISTINCT, alias resolution and NULL sorting all reuse the
+exact single-process code the differential corpus already locks down.
+
+Two shard backings share the machinery:
+
+* **derived (in-memory)** — any table of any database can be sharded
+  lazily on first eligible query; the primary stays authoritative and
+  the per-shard copies are rebuilt when ``(schema_version,
+  Table.version)`` says they are stale.  Copies inherit columnar
+  storage (so PR 6's vector kernels run per shard) but carry no
+  indexes: fragments always scan, and queries that an index on the
+  primary would serve better are *bypassed* back to single-process
+  execution.
+* **resident (file)** — for file-backed archives, bulk ingest can write
+  shards directly: per-shard ``shard-K.mdb`` files (each with its own
+  WAL, so PR 4 recovery applies per shard) under ``<archive>.shards/``.
+  A resident table's rows live *only* in the shard files; any statement
+  the splitter cannot route re-homes the rows into the primary first
+  (**hydration**) so single-process semantics stay exact.
+
+Why contiguous slabs and not hash partitioning: the concatenation of
+shard scans in shard order *is* the primary scan order, which makes
+every merge order-exact — plain SELECT output order, GROUP BY
+first-seen group order, stable-sort ties, group representatives, and
+``group_concat`` all match the oracle byte for byte.
+
+Parallelism reuses :mod:`repro.core.parallel` (PR 2's fan-out with PR
+4's hung-worker teardown) with a fork context: shard databases are
+plain Python objects snapshotted into workers at fork time via the
+module-level ``_WORKER_SHARDS`` registry, and any rebuild bumps the
+manager generation to refork a fresh pool.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace as _replace
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.core.parallel import TaskFailure, WorkerPool, run_tasks
+from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _metrics
+from repro.obs.trace import tracer as _tracer
+
+from .ast_nodes import (
+    Between, BinaryOp, CaseExpr, CastExpr, ColumnRef, Explain, Expression,
+    FunctionCall, InList, Insert, IsNull, Like, Literal, OrderItem,
+    Placeholder, Pragma, Select, SelectItem, Star, Statement, Subquery,
+    TableRef, UnaryOp,
+)
+from .errors import OperationalError, ProgrammingError
+from .expr import contains_aggregate, is_aggregate_call, ref_name, walk
+from .storage import Column, Database, Table
+from .types import coerce
+
+_log = get_logger("repro.minisql.shard")
+
+_QUERIES = _metrics.counter("minisql.shard.queries")
+_POOL_QUERIES = _metrics.counter("minisql.shard.pool_queries")
+_FALLBACKS = _metrics.counter("minisql.shard.fallbacks")
+_BYPASSES = _metrics.counter("minisql.shard.bypasses")
+_REBUILDS = _metrics.counter("minisql.shard.rebuilds")
+_HYDRATIONS = _metrics.counter("minisql.shard.hydrations")
+_INGESTS = _metrics.counter("minisql.shard.parallel_ingests")
+
+#: Scratch table the gather SELECT runs over.
+SCRATCH_TABLE = "__shard_partial"
+
+#: Aggregates the splitter can prove distributive (everything else
+#: falls back to single-process execution).
+_MERGEABLE = {
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL",
+    "STDDEV", "STDEV", "VARIANCE", "GROUP_CONCAT",
+}
+
+#: Aggregates whose result depends on fold order (floats) or row order.
+#: Mixing one of these (non-DISTINCT) with any DISTINCT aggregate would
+#: force partials onto the DISTINCT super-grouping, which regroups rows
+#: and changes the fold order — fall back instead.
+_ORDER_SENSITIVE = {
+    "SUM", "AVG", "TOTAL", "STDDEV", "STDEV", "VARIANCE", "GROUP_CONCAT",
+}
+
+
+class _Fallback(Exception):
+    """Raised by the splitter when a statement must run single-process."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class _ShardPlan:
+    """One statement's scatter-gather decomposition (cached on the AST)."""
+
+    table: str                    # lower-cased base table name
+    kind: str                     # "grouped" | "plain"
+    fragment: Select              # per-shard statement
+    fragment_bytes: bytes         # pickled *before* any plan attrs attach
+    scratch_columns: list[str]    # fragment output names, scratch schema
+    merge: Select                 # gather statement over SCRATCH_TABLE
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (fork snapshot registry)
+# ---------------------------------------------------------------------------
+
+#: token -> shard Databases, set in the coordinator *before* the pool
+#: forks so workers inherit the snapshot.  Tokens embed the manager
+#: generation: any rebuild changes the token and reforks the pool.
+_WORKER_SHARDS: dict[str, list[Database]] = {}
+
+
+def _pool_worker(spec: tuple) -> tuple[list[str], list[tuple[Any, ...]]]:
+    token, index, fragment_bytes, params = spec
+    shards = _WORKER_SHARDS.get(token)
+    if shards is None:  # stale fork — coordinator retries serially
+        raise RuntimeError(f"shard registry has no snapshot for {token}")
+    from .executor import Executor
+
+    fragment = pickle.loads(fragment_bytes)
+    return Executor(shards[index])._execute_select(fragment, list(params))
+
+
+def _ingest_worker(spec: tuple) -> int:
+    """Write one slab into one shard file (own process, own WAL txn)."""
+    path, table_name, rows, index = spec
+    from repro.testing import faults
+
+    from . import wal as _wal
+
+    faults.crash_point(f"shard.ingest.open.{index}")
+    database = _wal.open_file_database(path)
+    table = database.table(table_name)
+    own_bulk = not database.bulk_mode
+    if own_bulk:
+        database.begin_bulk()
+    database.begin()
+    database.bulk_insert_rows(table, rows)
+    faults.crash_point(f"shard.ingest.append.{index}")
+    database.commit()
+    if own_bulk:
+        database.end_bulk()
+    faults.crash_point(f"shard.ingest.commit.{index}")
+    if database.wal is not None:
+        database.wal.checkpoint(database)
+        database.wal.close()
+    return len(rows)
+
+
+# ---------------------------------------------------------------------------
+# Splitter: statement -> (fragment, merge) or fallback
+# ---------------------------------------------------------------------------
+
+
+def _column_names(table: Table) -> set[str]:
+    return {c.lower_name for c in table.columns}
+
+
+def _qualifiers(table: Table, alias: str) -> set[str]:
+    return {alias.lower(), table.name.lower()}
+
+
+def _check_resolvable(
+    expr: Expression, names: set[str], quals: set[str], what: str
+) -> None:
+    for node in walk(expr):
+        if isinstance(node, ColumnRef):
+            if node.table is not None and node.table.lower() not in quals:
+                raise _Fallback(f"unresolvable qualifier in {what}")
+            if node.name.lower() not in names:
+                raise _Fallback(f"unresolvable column in {what}")
+
+
+def _select_roots(stmt: Select) -> list[Expression]:
+    roots: list[Expression] = [item.expr for item in stmt.items]
+    roots.extend(stmt.group_by)
+    if stmt.where is not None:
+        roots.append(stmt.where)
+    if stmt.having is not None:
+        roots.append(stmt.having)
+    roots.extend(order.expr for order in stmt.order_by)
+    if stmt.limit is not None:
+        roots.append(stmt.limit)
+    if stmt.offset is not None:
+        roots.append(stmt.offset)
+    return roots
+
+
+def _fragment_select(stmt: Select, items: list[SelectItem],
+                     group_by: list[Expression], distinct: bool) -> Select:
+    return Select(
+        items=items, table=stmt.table, joins=[], where=stmt.where,
+        group_by=group_by, having=None, order_by=[], limit=None,
+        offset=None, distinct=distinct, compound=None,
+    )
+
+
+class _GroupedRewriter:
+    """Rewrites grouped-select expressions into fragment partials plus a
+    merge expression over the scratch columns.
+
+    Column namespaces in the scratch table (all positional, so duplicate
+    source names never collide): ``__g{i}`` group keys, ``__d{m}``
+    DISTINCT-aggregate arguments (extra fragment group columns —
+    "super-grouping"), ``__p{j}`` aggregate partials, ``__r{k}`` group
+    representatives for bare column references.
+    """
+
+    def __init__(self, table: Table, alias: str, group_exprs: list[Expression]):
+        self._names = _column_names(table)
+        self._quals = _qualifiers(table, alias)
+        self.group_exprs = group_exprs
+        self.group_items: list[SelectItem] = [
+            SelectItem(g, f"__g{i}") for i, g in enumerate(group_exprs)
+        ]
+        self.distinct_items: list[SelectItem] = []
+        self.partial_items: list[SelectItem] = []
+        self.rep_items: list[SelectItem] = []
+        self._agg_cache: list[tuple[FunctionCall, Expression]] = []
+        self._partial_cache: list[tuple[Expression, ColumnRef]] = []
+        self._distinct_cache: list[tuple[Expression, ColumnRef]] = []
+        self._rep_cache: dict[tuple[str, str], ColumnRef] = {}
+
+    # -- rewrite ------------------------------------------------------------
+
+    def rewrite(self, expr: Expression) -> Expression:
+        for i, group in enumerate(self.group_exprs):
+            if expr == group:
+                return ColumnRef(f"__g{i}")
+        if is_aggregate_call(expr):
+            return self._rewrite_aggregate(expr)
+        if isinstance(expr, ColumnRef):
+            return self._representative(expr)
+        if isinstance(expr, Star):
+            # The oracle projects the whole representative row; slabs
+            # could reproduce it, but mirroring _Layout spans here is
+            # not worth the risk — run it single-process.
+            raise _Fallback("star in grouped select")
+        if isinstance(expr, (Literal, Placeholder)):
+            return expr
+        return self._map_children(expr)
+
+    def _map_children(self, expr: Expression) -> Expression:
+        rw = self.rewrite
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rw(expr.left), rw(expr.right))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, rw(expr.operand))
+        if isinstance(expr, IsNull):
+            return IsNull(rw(expr.operand), expr.negated)
+        if isinstance(expr, InList):
+            return InList(rw(expr.operand), [rw(i) for i in expr.items],
+                          expr.negated)
+        if isinstance(expr, Between):
+            return Between(rw(expr.operand), rw(expr.low), rw(expr.high),
+                           expr.negated)
+        if isinstance(expr, Like):
+            return Like(rw(expr.operand), rw(expr.pattern), expr.negated)
+        if isinstance(expr, FunctionCall):  # scalar (aggregates handled above)
+            return FunctionCall(expr.name, [rw(a) for a in expr.args],
+                                expr.distinct)
+        if isinstance(expr, CaseExpr):
+            return CaseExpr(
+                rw(expr.operand) if expr.operand is not None else None,
+                [(rw(c), rw(r)) for c, r in expr.whens],
+                rw(expr.default) if expr.default is not None else None,
+            )
+        if isinstance(expr, CastExpr):
+            return CastExpr(rw(expr.operand), expr.target_type)
+        raise _Fallback(f"unsupported node {type(expr).__name__}")
+
+    # -- pieces -------------------------------------------------------------
+
+    def _representative(self, col: ColumnRef) -> ColumnRef:
+        if col.table is not None and col.table.lower() not in self._quals:
+            raise _Fallback("unresolvable qualifier")
+        if col.name.lower() not in self._names:
+            raise _Fallback("unresolvable column")
+        if not self.group_exprs:
+            # A global aggregate over zero rows synthesises an all-NULL
+            # representative; empty *shards* would inject one per shard,
+            # so bare columns here are not provably distributive.
+            raise _Fallback("bare column in global aggregate")
+        key = (col.name.lower(), (col.table or "").lower())
+        ref = self._rep_cache.get(key)
+        if ref is None:
+            ref = ColumnRef(f"__r{len(self._rep_cache)}")
+            self._rep_cache[key] = ref
+            self.rep_items.append(
+                SelectItem(ColumnRef(col.name, col.table), ref.name)
+            )
+        return ref
+
+    def _partial(self, expr: FunctionCall) -> ColumnRef:
+        for cached, ref in self._partial_cache:
+            if cached == expr:
+                return ref
+        ref = ColumnRef(f"__p{len(self._partial_cache)}")
+        self._partial_cache.append((expr, ref))
+        self.partial_items.append(SelectItem(expr, ref.name))
+        return ref
+
+    def _distinct_ref(self, arg: Expression) -> ColumnRef:
+        for cached, ref in self._distinct_cache:
+            if cached == arg:
+                return ref
+        ref = ColumnRef(f"__d{len(self._distinct_cache)}")
+        self._distinct_cache.append((arg, ref))
+        self.distinct_items.append(SelectItem(arg, ref.name))
+        return ref
+
+    def _rewrite_aggregate(self, node: FunctionCall) -> Expression:
+        for cached, merged in self._agg_cache:
+            if cached == node:
+                return merged
+        name = node.name
+        if name not in _MERGEABLE:
+            raise _Fallback(f"non-distributive aggregate {name}")
+        star_arg = not node.args or isinstance(node.args[0], Star)
+        arg = None if star_arg else node.args[0]
+        if arg is not None:
+            if contains_aggregate(arg):
+                raise _Fallback("nested aggregate")
+            _check_resolvable(arg, self._names, self._quals, "aggregate")
+        if node.distinct:
+            if star_arg:
+                raise _Fallback("DISTINCT aggregate without argument")
+            # Super-grouping: the fragment groups by the argument too, so
+            # distinct values survive to the gather, where the original
+            # DISTINCT aggregate runs over the (exact, first-seen-
+            # ordered) distinct set.
+            merged: Expression = FunctionCall(
+                name, [self._distinct_ref(arg)], distinct=True
+            )
+        elif name == "COUNT":
+            partial = self._partial(
+                FunctionCall("COUNT", list(node.args), distinct=False)
+            )
+            # COALESCE keeps the empty-relation case at 0, not NULL
+            # (SUM over an empty scratch group yields NULL).
+            merged = FunctionCall(
+                "COALESCE", [FunctionCall("SUM", [partial]), Literal(0)]
+            )
+        elif name in ("SUM", "MIN", "MAX"):
+            merged = FunctionCall(
+                name, [self._partial(FunctionCall(name, [arg]))]
+            )
+        elif name == "TOTAL":
+            merged = FunctionCall(
+                "TOTAL", [self._partial(FunctionCall("TOTAL", [arg]))]
+            )
+        elif name == "AVG":
+            # Plain SUM+COUNT partials keep the fragment on the
+            # vectorized aggregate sweep; CAST .. AS REAL forces float
+            # division, and NULL/zero-count both merge to NULL exactly
+            # like AvgAgg over an empty group.
+            sum_ref = self._partial(FunctionCall("SUM", [arg]))
+            count_ref = self._partial(FunctionCall("COUNT", [arg]))
+            merged = BinaryOp(
+                "/",
+                CastExpr(FunctionCall("SUM", [sum_ref]), "REAL"),
+                FunctionCall("SUM", [count_ref]),
+            )
+        elif name in ("STDDEV", "STDEV", "VARIANCE"):
+            # Per-shard Welford moments, Chan-merged at the gather (see
+            # functions.WelfordStateAgg / _WelfordMergeAgg).
+            partial = self._partial(FunctionCall("__WELFORD", [arg]))
+            out = "__WELFORD_VARIANCE" if name == "VARIANCE" else "__WELFORD_STDDEV"
+            merged = FunctionCall(out, [partial])
+        else:  # GROUP_CONCAT: comma-joining shard partials in slab order
+            merged = FunctionCall(
+                "GROUP_CONCAT",
+                [self._partial(FunctionCall("GROUP_CONCAT", [arg]))],
+            )
+        self._agg_cache.append((node, merged))
+        return merged
+
+    # -- fragment assembly --------------------------------------------------
+
+    def fragment_items(self) -> list[SelectItem]:
+        return (self.group_items + self.distinct_items
+                + self.partial_items + self.rep_items)
+
+    def fragment_group_by(self) -> list[Expression]:
+        return list(self.group_exprs) + [i.expr for i in self.distinct_items]
+
+
+def _is_grouped(stmt: Select) -> bool:
+    # Mirrors the executor: ORDER-BY-only aggregates do NOT group.
+    return bool(stmt.group_by) or any(
+        contains_aggregate(item.expr) for item in stmt.items
+    ) or (stmt.having is not None and contains_aggregate(stmt.having))
+
+
+def build_shard_plan(
+    database: Database, stmt: Select, nshards: int
+) -> Optional[_ShardPlan | str]:
+    """Decompose ``stmt`` or explain why it cannot be decomposed.
+
+    Returns a :class:`_ShardPlan`, a ``str`` fallback reason (counted
+    per execution), or ``None`` for statements sharding simply does not
+    apply to (no FROM, unknown table — the executor raises its own
+    error there).
+    """
+    if stmt.table is None or not database.has_table(stmt.table.name):
+        return None
+    if stmt.joins:
+        return "join"
+    if stmt.compound is not None:
+        return "compound"
+    for root in _select_roots(stmt):
+        for node in walk(root):
+            if isinstance(node, Subquery):
+                return "subquery"
+    table = database.table(stmt.table.name)
+    alias = stmt.table.effective_name
+    try:
+        if _is_grouped(stmt):
+            return _build_grouped_plan(stmt, table, alias)
+        return _build_plain_plan(stmt, table, alias)
+    except _Fallback as fb:
+        return fb.reason
+
+
+def _finish_plan(stmt: Select, table: Table, kind: str,
+                 fragment: Select, merge: Select) -> _ShardPlan:
+    return _ShardPlan(
+        table=table.name.lower(),
+        kind=kind,
+        fragment=fragment,
+        fragment_bytes=pickle.dumps(fragment),
+        scratch_columns=[item.alias for item in fragment.items],
+        merge=merge,
+    )
+
+
+def _build_grouped_plan(stmt: Select, table: Table, alias: str) -> _ShardPlan:
+    names = _column_names(table)
+    quals = _qualifiers(table, alias)
+    from .executor import _resolve_group_expr, _substitute_aliases
+
+    alias_map = {
+        item.alias.lower(): item.expr for item in stmt.items if item.alias
+    }
+    try:
+        group_exprs = [
+            _resolve_group_expr(g, alias_map, stmt.items) for g in stmt.group_by
+        ]
+    except ProgrammingError as exc:  # ordinal out of range: oracle raises
+        raise _Fallback(str(exc))
+    for group in group_exprs:
+        if contains_aggregate(group):
+            raise _Fallback("aggregate in GROUP BY")
+        _check_resolvable(group, names, quals, "GROUP BY")
+    having = (
+        _substitute_aliases(stmt.having, alias_map)
+        if stmt.having is not None else None
+    )
+
+    # DISTINCT-mix policy: super-grouping regroups rows, which reorders
+    # the fold of order-sensitive partials — only set-based aggregates
+    # (COUNT/MIN/MAX) may ride alongside a DISTINCT aggregate.
+    agg_nodes: list[FunctionCall] = []
+    seen: set[int] = set()
+    targets: list[Expression] = [item.expr for item in stmt.items]
+    if having is not None:
+        targets.append(having)
+    targets.extend(order.expr for order in stmt.order_by)
+    for target in targets:
+        for node in walk(target):
+            if is_aggregate_call(node) and id(node) not in seen:
+                seen.add(id(node))
+                agg_nodes.append(node)
+    if any(node.distinct for node in agg_nodes):
+        for node in agg_nodes:
+            if not node.distinct and node.name in _ORDER_SENSITIVE:
+                raise _Fallback("DISTINCT mixed with order-sensitive aggregate")
+
+    rewriter = _GroupedRewriter(table, alias, group_exprs)
+    merge_items: list[SelectItem] = []
+    for item in stmt.items:
+        output = item.alias or ref_name(item.expr)
+        merge_items.append(SelectItem(rewriter.rewrite(item.expr), output))
+    merge_having = rewriter.rewrite(having) if having is not None else None
+    merge_order: list[OrderItem] = []
+    for order in stmt.order_by:
+        expr = order.expr
+        keep = isinstance(expr, Literal) or (
+            isinstance(expr, ColumnRef) and expr.table is None
+            and expr.name.lower() in alias_map
+        )
+        # Ordinals and alias refs resolve against the merge projection
+        # (same positions, same aliases); everything else is rewritten
+        # onto scratch columns.
+        merge_order.append(
+            OrderItem(expr if keep else rewriter.rewrite(expr),
+                      order.descending)
+        )
+
+    if stmt.where is not None:
+        _check_resolvable(stmt.where, names, quals, "WHERE")
+
+    fragment = _fragment_select(
+        stmt, rewriter.fragment_items(), rewriter.fragment_group_by(),
+        distinct=False,
+    )
+    merge = Select(
+        items=merge_items,
+        table=TableRef(SCRATCH_TABLE),
+        joins=[],
+        where=None,
+        group_by=[ColumnRef(f"__g{i}") for i in range(len(group_exprs))],
+        having=merge_having,
+        order_by=merge_order,
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+        compound=None,
+    )
+    return _finish_plan(stmt, table, "grouped", fragment, merge)
+
+
+def _build_plain_plan(stmt: Select, table: Table, alias: str) -> _ShardPlan:
+    names = _column_names(table)
+    quals = _qualifiers(table, alias)
+
+    # Expand stars at plan time (schema_version-keyed cache makes this
+    # safe) so fragment/merge widths are static.
+    out_items: list[SelectItem] = []
+    for item in stmt.items:
+        if isinstance(item.expr, Star):
+            if (item.expr.table is not None
+                    and item.expr.table.lower() not in quals):
+                raise _Fallback("unknown star qualifier")
+            out_items.extend(
+                SelectItem(ColumnRef(column.name), None)
+                for column in table.columns
+            )
+        else:
+            _check_resolvable(item.expr, names, quals, "select list")
+            out_items.append(item)
+    columns_out = [item.alias or ref_name(item.expr) for item in out_items]
+    lowered = [c.lower() for c in columns_out]
+    alias_map = {
+        item.alias.lower(): item.expr for item in stmt.items if item.alias
+    }
+
+    order_specs: list[tuple[Expression, bool]] = []
+    for order in stmt.order_by:
+        expr = order.expr
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            if not 1 <= expr.value <= len(out_items):
+                raise _Fallback("ORDER BY ordinal out of range")
+            resolved = out_items[expr.value - 1].expr
+        elif (isinstance(expr, ColumnRef) and expr.table is None
+                and expr.name.lower() in alias_map
+                and expr.name.lower() in lowered):
+            resolved = out_items[lowered.index(expr.name.lower())].expr
+        else:
+            resolved = expr
+        if contains_aggregate(resolved):
+            raise _Fallback("aggregate in ORDER BY of plain select")
+        _check_resolvable(resolved, names, quals, "ORDER BY")
+        order_specs.append((resolved, order.descending))
+
+    if stmt.where is not None:
+        _check_resolvable(stmt.where, names, quals, "WHERE")
+
+    frag_items = [
+        SelectItem(item.expr, f"__c{i}") for i, item in enumerate(out_items)
+    ]
+    frag_items.extend(
+        SelectItem(resolved, f"__o{k}")
+        for k, (resolved, _desc) in enumerate(order_specs)
+    )
+    # Per-shard DISTINCT is only sound without ORDER BY: with a sort,
+    # in-shard dedup keeps first-in-scan rows whose order keys may
+    # differ from the first-in-*sorted*-order duplicate the oracle keeps.
+    fragment = _fragment_select(
+        stmt, frag_items, [], distinct=stmt.distinct and not stmt.order_by
+    )
+
+    # Top-N pushdown: per-shard ORDER BY + LIMIT limit+offset is exact
+    # (per-shard top-K is a superset of the global top-K under the
+    # stable slab-order tie-break) — but not under DISTINCT, where
+    # in-shard dedup on (projection, order keys) differs from global
+    # dedup on the projection alone.
+    if stmt.limit is not None and not stmt.distinct:
+        cap = _static_cap(stmt)
+        if cap is not None:
+            if order_specs:
+                fragment.order_by = [
+                    OrderItem(resolved, desc) for resolved, desc in order_specs
+                ]
+            fragment.limit = Literal(cap)
+
+    merge = Select(
+        items=[
+            SelectItem(ColumnRef(f"__c{i}"), columns_out[i])
+            for i in range(len(out_items))
+        ],
+        table=TableRef(SCRATCH_TABLE),
+        joins=[],
+        where=None,
+        group_by=[],
+        having=None,
+        order_by=[
+            OrderItem(ColumnRef(f"__o{k}"), desc)
+            for k, (_resolved, desc) in enumerate(order_specs)
+        ],
+        limit=stmt.limit,
+        offset=stmt.offset,
+        distinct=stmt.distinct,
+        compound=None,
+    )
+    return _finish_plan(stmt, table, "plain", fragment, merge)
+
+
+def _static_cap(stmt: Select) -> Optional[int]:
+    """limit+offset when both are non-negative integer literals."""
+    if not isinstance(stmt.limit, Literal):
+        return None
+    if stmt.offset is not None and not isinstance(stmt.offset, Literal):
+        return None
+    try:
+        limit = int(stmt.limit.value)
+        offset = int(stmt.offset.value) if stmt.offset is not None else 0
+    except (TypeError, ValueError):
+        return None
+    if limit < 0 or offset < 0:
+        return None
+    return limit + offset
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+def _stripped_columns(table: Table) -> list[Column]:
+    """Schema copy for shard tables: values were already validated and
+    coerced by the primary, and shard copies carry no indexes, so
+    constraints come off (autoincrement bookkeeping must not re-run)."""
+    return [
+        _replace(column, not_null=False, primary_key=False,
+                 autoincrement=False, references=None)
+        for column in table.columns
+    ]
+
+
+def _slabs(rows: list, nshards: int) -> list[list]:
+    """Contiguous scan-order slabs; concatenation preserves scan order."""
+    if not rows:
+        return [[] for _ in range(nshards)]
+    per = -(-len(rows) // nshards)
+    return [rows[k * per:(k + 1) * per] for k in range(nshards)]
+
+
+class ShardIngestHandle:
+    """Buffered parallel-ingest feeder for one table.
+
+    ``save_trial`` adds rows instead of running ``executemany`` and
+    calls :meth:`flush` *after* the surrounding transaction commits —
+    rows buffered here never land anywhere if the trial rolls back.
+    Cross-store atomicity (primary catalog vs shard files) is a
+    documented non-goal: a crash between the commit and the flush loses
+    only the shard rows, which ``pending`` recovery then trims.
+    """
+
+    def __init__(self, manager: "ShardManager", table_name: str,
+                 columns: Sequence[str]):
+        self._manager = manager
+        self.table_name = table_name
+        self.columns = list(columns)
+        self.rows: list[Sequence[Any]] = []
+
+    def add_rows(self, rows) -> None:
+        self.rows.extend(rows)
+
+    def flush(self, connection=None) -> bool:
+        """Write buffered rows to the shards; fall back to the primary
+        (single-writer ``executemany``) when parallel ingest refuses or
+        fails.  Returns True when rows went to the shards."""
+        rows, self.rows = self.rows, []
+        if not rows:
+            return True
+        if self._manager.parallel_ingest(self.table_name, self.columns, rows):
+            return True
+        if connection is not None:
+            placeholders = ",".join("?" for _ in self.columns)
+            sql = (
+                f"INSERT INTO {self.table_name} "
+                f"({', '.join(self.columns)}) VALUES ({placeholders})"
+            )
+            connection.executemany(sql, rows)
+            connection.commit()
+            return False
+        raise OperationalError(
+            f"parallel shard ingest into {self.table_name} failed and no "
+            "fallback connection was provided"
+        )
+
+
+class ShardManager:
+    """Scatter-gather coordinator attached to one primary Database."""
+
+    def __init__(self, database: Database, nshards: int, *,
+                 directory: Optional[os.PathLike | str] = None,
+                 parallel: str = "auto"):
+        self.database = database
+        self.nshards = max(1, int(nshards))
+        self.parallel = parallel          # "auto" | "on" | "off"
+        self.directory = Path(directory) if directory is not None else None
+        self.task_timeout: Optional[float] = None
+        #: resident table -> per-shard committed row counts
+        self.resident: dict[str, list[int]] = {}
+        self._mem_dbs: Optional[list[Database]] = None
+        self._file_dbs: Optional[list[Database]] = None
+        #: derived table -> (schema_version, Table.version) at copy time
+        self._derived: dict[str, tuple[int, int]] = {}
+        self._generation = 0
+        self._pool: Optional[WorkerPool] = None
+        self._pool_generation = -1
+        self._token: Optional[str] = None
+        if self.directory is not None:
+            self._load_meta()
+
+    # -- attach / persistence ----------------------------------------------
+
+    @classmethod
+    def create(cls, database: Database, nshards: int,
+               parallel: str = "auto") -> "ShardManager":
+        """Attach a fresh manager (``PRAGMA shards(<n>)``).  File-backed
+        databases persist the configuration next to the archive so it
+        survives reopen; a stale meta left by an earlier configuration
+        is resized through :meth:`reconfigure` (hydrating residents
+        first)."""
+        directory = None
+        if database.wal is not None:
+            directory = Path(str(database.wal.path) + ".shards")
+        manager = cls(database, nshards, directory=directory,
+                      parallel=parallel)
+        if manager.nshards != max(1, int(nshards)):
+            manager.reconfigure(nshards)
+        else:
+            manager._save_meta(pending=None)
+        return manager
+
+    @classmethod
+    def attach(cls, database: Database) -> Optional["ShardManager"]:
+        """Re-attach a persisted shard configuration on archive open."""
+        if database.wal is None:
+            return None
+        directory = Path(str(database.wal.path) + ".shards")
+        if not (directory / "meta.json").exists():
+            return None
+        try:
+            with open(directory / "meta.json", "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        manager = cls(
+            database, int(meta.get("nshards", 0)),
+            directory=directory, parallel=meta.get("parallel", "auto"),
+        )
+        return manager
+
+    def _meta_path(self) -> Path:
+        assert self.directory is not None
+        return self.directory / "meta.json"
+
+    def _shard_path(self, index: int) -> Path:
+        assert self.directory is not None
+        return self.directory / f"shard-{index}.mdb"
+
+    def _load_meta(self) -> None:
+        path = self._meta_path()
+        if not path.exists():
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return
+        self.nshards = max(1, int(meta.get("nshards", self.nshards)))
+        self.parallel = meta.get("parallel", self.parallel)
+        self.resident = {
+            name: [int(c) for c in counts]
+            for name, counts in (meta.get("resident") or {}).items()
+        }
+        pending = meta.get("pending")
+        if pending:
+            self._recover_pending(pending)
+
+    def _save_meta(self, pending: Optional[dict] = None) -> None:
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "nshards": self.nshards,
+            "parallel": self.parallel,
+            "resident": self.resident,
+            "pending": pending,
+        }
+        tmp = self._meta_path().with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, self._meta_path())
+
+    def _recover_pending(self, pending: dict) -> None:
+        """Undo a half-finished shard operation found at attach time."""
+        op = pending.get("op")
+        table = pending.get("table", "")
+        if op == "ingest":
+            # Trim every shard back to its pre-ingest watermark; a
+            # worker that died pre-commit already lost its rows to the
+            # shard's own WAL recovery.
+            self._trim_shards(table, [int(c) for c in pending.get("counts", [])])
+            _log.warning("shard_ingest_recovered", table=table)
+        elif op == "hydrate":
+            # The shards are still authoritative: trim the primary back
+            # to its pre-hydration row count and keep residency.
+            self._trim_primary(table, int(pending.get("primary_rows", 0)))
+            _log.warning("shard_hydration_recovered", table=table)
+        self._save_meta(pending=None)
+
+    def _trim_shards(self, table_name: str, counts: list[int]) -> None:
+        from . import wal as _wal
+
+        self._close_file_dbs()
+        for index in range(self.nshards):
+            path = self._shard_path(index)
+            if not path.exists():
+                continue
+            database = _wal.open_file_database(path)
+            if database.has_table(table_name):
+                keep = counts[index] if index < len(counts) else 0
+                table = database.table(table_name)
+                extra = list(table.rows)[keep:]
+                if extra:
+                    database.begin()
+                    for rowid in extra:
+                        database.delete(table, rowid)
+                    database.commit()
+            if database.wal is not None:
+                database.wal.checkpoint(database)
+                database.wal.close()
+
+    def _trim_primary(self, table_name: str, keep: int) -> None:
+        if not self.database.has_table(table_name):
+            return
+        table = self.database.table(table_name)
+        extra = list(table.rows)[keep:]
+        if not extra:
+            return
+        with self.database.txn_lock:
+            self.database.begin()
+            for rowid in extra:
+                self.database.delete(table, rowid)
+            self.database.commit()
+
+    # -- shard database sets -------------------------------------------------
+
+    def _ensure_mem_dbs(self) -> list[Database]:
+        if self._mem_dbs is None or len(self._mem_dbs) != self.nshards:
+            self._mem_dbs = [Database() for _ in range(self.nshards)]
+            self._derived.clear()
+            self._generation += 1
+        return self._mem_dbs
+
+    def _ensure_file_dbs(self) -> list[Database]:
+        if self._file_dbs is None:
+            from . import wal as _wal
+
+            self._file_dbs = [
+                _wal.open_file_database(self._shard_path(index))
+                for index in range(self.nshards)
+            ]
+        return self._file_dbs
+
+    def _close_file_dbs(self) -> None:
+        dbs, self._file_dbs = self._file_dbs, None
+        if not dbs:
+            return
+        for database in dbs:
+            if database.wal is not None:
+                try:
+                    database.wal.checkpoint(database)
+                except OSError:
+                    pass
+                database.wal.close()
+                database.wal = None
+
+    def _ensure_derived(self, table_name: str) -> None:
+        key = table_name.lower()
+        table = self.database.table(table_name)
+        stamp = (self.database.schema_version, table.version)
+        if self._derived.get(key) == stamp:
+            return
+        shard_dbs = self._ensure_mem_dbs()
+        with _tracer.span(
+            "minisql.shard.rebuild", table=table.name, shards=self.nshards
+        ):
+            rows = [list(row) for _rowid, row in table.scan()]
+            slabs = _slabs(rows, self.nshards)
+            for index, shard_db in enumerate(shard_dbs):
+                if shard_db.has_table(table.name):
+                    shard_db.drop_table(table.name)
+                shard_db.columnar_default = table.is_columnar
+                shard_table = shard_db.create_table(
+                    table.name, _stripped_columns(table)
+                )
+                if slabs[index]:
+                    shard_table.append_rows(slabs[index])
+        self._derived[key] = stamp
+        self._generation += 1
+        self.database.stats["shard_rebuilds"] += 1
+        _REBUILDS.inc()
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _use_pool(self) -> bool:
+        if self.parallel == "off":
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        if self.parallel == "on":
+            return True
+        return (os.cpu_count() or 1) > 1 and self.nshards > 1
+
+    def _ensure_pool(self) -> Optional[WorkerPool]:
+        if self._pool is not None and self._pool_generation == self._generation:
+            return self._pool
+        self._teardown_pool()
+        token = f"{os.getpid()}:{id(self)}:{self._generation}"
+        # The registry entry must exist before the pool forks: workers
+        # inherit it as a snapshot, so a later rebuild (which mutates
+        # shard contents) must bump the generation and refork.
+        _WORKER_SHARDS[token] = list(self._ensure_mem_dbs())
+        self._pool = WorkerPool(
+            min(self.nshards, os.cpu_count() or self.nshards),
+            mp_context="fork",
+        )
+        self._token = token
+        self._pool_generation = self._generation
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+        if self._token is not None:
+            _WORKER_SHARDS.pop(self._token, None)
+            self._token = None
+        self._pool_generation = -1
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_for(self, stmt: Select):
+        cached = getattr(stmt, "_msql_shard_plan", None)
+        if cached is not None and cached[0] == self.database.schema_version:
+            return cached[1]
+        outcome = build_shard_plan(self.database, stmt, self.nshards)
+        try:
+            stmt._msql_shard_plan = (self.database.schema_version, outcome)
+        except AttributeError:
+            pass
+        return outcome
+
+    def _index_bypass(self, stmt: Select, plan: _ShardPlan,
+                      params: Sequence[Any]) -> bool:
+        """True when an index on the primary beats re-sharded scans."""
+        from .executor import (
+            _can_push_order, _conjuncts, _plan_access, _select_alias_names,
+        )
+
+        table = self.database.table(plan.table)
+        if not table.indexes:
+            return False
+        conjuncts = _conjuncts(stmt.where)
+        order_by = stmt.order_by if _can_push_order(stmt) else []
+        access = _plan_access(
+            table, stmt.table.effective_name, conjuncts, order_by, params,
+            _select_alias_names(stmt),
+        )
+        return access.kind != "scan" or access.ordered
+
+    # -- query path ----------------------------------------------------------
+
+    def try_select(self, executor, stmt: Select, params: Sequence[Any]):
+        """Run ``stmt`` scatter-gather, or return None to let the
+        executor run it single-process."""
+        if self.nshards <= 1:
+            return None
+        outcome = self._plan_for(stmt)
+        if outcome is None:
+            return None
+        if isinstance(outcome, str):
+            self._hydrate_for_fallback(stmt)
+            self.database.stats["shard_fallbacks"] += 1
+            _FALLBACKS.inc()
+            return None
+        plan: _ShardPlan = outcome
+        resident = plan.table in self.resident
+        if not resident:
+            if self._index_bypass(stmt, plan, params):
+                self.database.stats["shard_bypasses"] += 1
+                _BYPASSES.inc()
+                return None
+            self._ensure_derived(plan.table)
+            shard_dbs = self._ensure_mem_dbs()
+        else:
+            shard_dbs = self._ensure_file_dbs()
+        # Keep shard settings in step with the primary (PRAGMA compile).
+        for shard_db in shard_dbs:
+            shard_db.compile_enabled = self.database.compile_enabled
+
+        self.database.stats["shard_queries"] += 1
+        _QUERIES.inc()
+        probe = None
+        if executor._probe is not None and executor._probe.target is stmt:
+            probe = executor._probe
+
+        results = None
+        if not resident and self._use_pool():
+            results = self._scatter_pool(plan, params, probe)
+        if results is None:
+            results = self._scatter_serial(shard_dbs, plan, params, probe)
+
+        gather_started = time.perf_counter()
+        with _tracer.span("minisql.shard.gather", kind=plan.kind,
+                          table=plan.table):
+            columns, rows = self._gather(plan, results, params)
+        if probe is not None:
+            probe.steps["gather"] = {
+                "rows": len(rows),
+                "time": time.perf_counter() - gather_started,
+            }
+        return columns, rows
+
+    def _scatter_serial(self, shard_dbs, plan: _ShardPlan,
+                        params: Sequence[Any], probe):
+        from .executor import Executor
+
+        results = []
+        with _tracer.span("minisql.shard.scatter", shards=self.nshards,
+                          table=plan.table, mode="serial"):
+            for index, shard_db in enumerate(shard_dbs):
+                started = time.perf_counter()
+                columns, rows = Executor(shard_db)._execute_select(
+                    plan.fragment, params
+                )
+                if probe is not None:
+                    probe.steps[f"shard{index}"] = {
+                        "rows": len(rows),
+                        "time": time.perf_counter() - started,
+                    }
+                results.append((columns, rows))
+        return results
+
+    def _scatter_pool(self, plan: _ShardPlan, params: Sequence[Any], probe):
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        specs = [
+            (self._token, index, plan.fragment_bytes, tuple(params))
+            for index in range(self.nshards)
+        ]
+        started = time.perf_counter()
+        with _tracer.span("minisql.shard.scatter", shards=self.nshards,
+                          table=plan.table, mode="pool"):
+            outcomes = pool.run(_pool_worker, specs,
+                                task_timeout=self.task_timeout)
+        elapsed = time.perf_counter() - started
+        results = []
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, TaskFailure):
+                # Query errors and pool deaths both re-run serially: the
+                # serial pass either produces the rows or raises the
+                # real (oracle-identical) error in this process.
+                _log.warning(
+                    "shard_pool_retry", table=plan.table,
+                    error=str(outcome.error),
+                    error_type=type(outcome.error).__name__,
+                )
+                self._teardown_pool()
+                return None
+            results.append(outcome)
+        if probe is not None:
+            # Individual shard times are not observable across the
+            # pool; charge each shard the scatter wall time.
+            for index, (_cols, rows) in enumerate(results):
+                probe.steps[f"shard{index}"] = {
+                    "rows": len(rows), "time": elapsed,
+                }
+        self.database.stats["shard_pool_queries"] += 1
+        _POOL_QUERIES.inc()
+        return results
+
+    def _gather(self, plan: _ShardPlan, shard_results,
+                params: Sequence[Any]):
+        from .executor import Executor
+
+        scratch = Database()
+        table = scratch.create_table(
+            SCRATCH_TABLE,
+            [Column(name, "NUMERIC") for name in plan.scratch_columns],
+        )
+        # Direct row writes: partial values must land verbatim (affinity
+        # coercion would e.g. fold 2.0 -> 2); the scratch table is
+        # internal, scan-only, and index-free, so bypassing _prepare is
+        # safe.  Insertion in shard order keeps global scan order.
+        store = table.rows
+        rowid = 1
+        for _columns, rows in shard_results:
+            for row in rows:
+                store[rowid] = list(row)
+                rowid += 1
+        return Executor(scratch)._execute_select(plan.merge, params)
+
+    # -- EXPLAIN -------------------------------------------------------------
+
+    def explain_steps(self, executor, stmt: Select, params: Sequence[Any]):
+        """Shard plan rows for EXPLAIN [ANALYZE], or None when the
+        statement would not route through the shards."""
+        if self.nshards <= 1:
+            return None
+        outcome = self._plan_for(stmt)
+        if not isinstance(outcome, _ShardPlan):
+            return None
+        plan = outcome
+        resident = plan.table in self.resident
+        if not resident and self._index_bypass(stmt, plan, params):
+            return None
+        display = self.database.table(plan.table).name
+        backing = "file" if resident else "memory"
+        steps = [(
+            f"SCATTER {display} INTO {self.nshards} {backing.upper()} "
+            "SHARDS (contiguous row slabs)", None, None, None,
+        )]
+        for index in range(self.nshards):
+            steps.append(
+                (f"SHARD {index}: SCAN {display}", f"shard{index}", None, None)
+            )
+        merge_kind = (
+            "partial-aggregate merge" if plan.kind == "grouped"
+            else "ordered concat"
+        )
+        steps.append((f"GATHER ({merge_kind})", "gather", None, None))
+        return steps
+
+    # -- residency: parallel ingest, hydration, locality ---------------------
+
+    def ingest_handle(self, table_name: str,
+                      columns: Sequence[str]) -> Optional[ShardIngestHandle]:
+        """A buffered parallel-ingest handle, or None when shard ingest
+        cannot apply (memory mode, one shard, constraint conflicts)."""
+        if self.directory is None or self.nshards <= 1:
+            return None
+        if not self.database.has_table(table_name):
+            return None
+        table = self.database.table(table_name)
+        key = table.name.lower()
+        covered = {c.lower() for c in columns}
+        for column in table.columns:
+            if column.lower_name in covered:
+                continue
+            if column.autoincrement or column.primary_key or column.not_null:
+                return None  # would need per-row constraint machinery
+        if key not in self.resident and len(table) > 0:
+            # Rows already live in the primary; splitting new rows off to
+            # the shards would make neither store authoritative.
+            return None
+        return ShardIngestHandle(self, table.name, columns)
+
+    def parallel_ingest(self, table_name: str, columns: Sequence[str],
+                        rows: Sequence[Sequence[Any]]) -> bool:
+        """Scatter ``rows`` across the shard files, one writer process
+        per shard.  Returns False when the caller must use the primary
+        single-writer path instead."""
+        if self.directory is None or self.nshards <= 1 or not rows:
+            return False
+        table = self.database.table(table_name)
+        key = table.name.lower()
+        if key not in self.resident and len(table) > 0:
+            return False
+
+        positions = {c.lower_name: i for i, c in enumerate(table.columns)}
+        try:
+            targets = [positions[c.lower()] for c in columns]
+        except KeyError:
+            return False
+        width = len(table.columns)
+        affinities = [c.affinity for c in table.columns]
+        names = [c.name for c in table.columns]
+        defaults = [c.default for c in table.columns]
+        full_rows: list[list[Any]] = []
+        for row in rows:
+            full = list(defaults)
+            for position, value in zip(targets, row):
+                full[position] = value
+            # Same lenient affinity coercion the primary's _prepare
+            # applies, so a later hydration round-trips identical values.
+            full_rows.append([
+                coerce(value, affinities[i], names[i]) if value is not None
+                else None
+                for i, value in enumerate(full)
+            ])
+
+        watermarks = self._prepare_shard_schema(table)
+        slabs = _slabs(full_rows, self.nshards)
+        self._save_meta(pending={
+            "op": "ingest", "table": key, "counts": watermarks,
+        })
+        specs = [
+            (str(self._shard_path(index)), table.name, slabs[index], index)
+            for index in range(self.nshards)
+        ]
+        started = time.perf_counter()
+        with _tracer.span("minisql.shard.ingest", table=table.name,
+                          shards=self.nshards, rows=len(full_rows)):
+            outcomes = run_tasks(
+                _ingest_worker, specs, workers=self.nshards,
+                task_timeout=self.task_timeout, mp_context="fork",
+            )
+        failures = [o for o in outcomes if isinstance(o, TaskFailure)]
+        if failures:
+            _log.warning(
+                "shard_ingest_rollback", table=table.name,
+                error=str(failures[0].error),
+                error_type=type(failures[0].error).__name__,
+            )
+            self._trim_shards(table.name, watermarks)
+            self._save_meta(pending=None)
+            return False
+        self.resident[key] = [
+            watermarks[index] + len(slabs[index])
+            for index in range(self.nshards)
+        ]
+        self._save_meta(pending=None)
+        self._derived.pop(key, None)
+        self._generation += 1
+        self.database.stats["shard_parallel_ingests"] += 1
+        _INGESTS.inc()
+        _log.info(
+            "shard_ingest", table=table.name, rows=len(full_rows),
+            shards=self.nshards,
+            seconds=round(time.perf_counter() - started, 4),
+        )
+        return True
+
+    def _prepare_shard_schema(self, table: Table) -> list[int]:
+        """Create the table in every shard file (serial, coordinator
+        side, so DDL/WAL logic stays in one process) and return current
+        per-shard row counts as rollback watermarks."""
+        from . import wal as _wal
+        from .dump import _create_table_sql
+
+        self._close_file_dbs()
+        watermarks: list[int] = []
+        for index in range(self.nshards):
+            database = _wal.open_file_database(self._shard_path(index))
+            if database.has_table(table.name):
+                watermarks.append(len(database.table(table.name)))
+            else:
+                database.columnar_default = table.is_columnar
+                shard_table = database.create_table(
+                    table.name, _stripped_columns(table)
+                )
+                database.wal_log(
+                    "ddl", _create_table_sql(shard_table, database)
+                )
+                watermarks.append(0)
+            if database.wal is not None:
+                # The checkpoint trailer also records columnar storage,
+                # so recovery restores the layout.
+                database.wal.checkpoint(database)
+                database.wal.close()
+        return watermarks
+
+    def hydrate(self, table_name: str) -> None:
+        """Move a resident table's rows back into the primary (in shard
+        order, preserving global scan order) so any statement the
+        splitter cannot route sees every row."""
+        key = table_name.lower()
+        if key not in self.resident:
+            return
+        if self.database.in_transaction:
+            raise OperationalError(
+                f"cannot hydrate sharded table {table_name} inside a "
+                "transaction; run the statement outside it or keep the "
+                "query shard-routable"
+            )
+        table = self.database.table(table_name)
+        shard_dbs = self._ensure_file_dbs()
+        rows: list[list[Any]] = []
+        for shard_db in shard_dbs:
+            if shard_db.has_table(table.name):
+                rows.extend(
+                    list(row) for _rowid, row in
+                    shard_db.table(table.name).scan()
+                )
+        with _tracer.span("minisql.shard.hydrate", table=table.name,
+                          rows=len(rows)):
+            self._save_meta(pending={
+                "op": "hydrate", "table": key, "primary_rows": len(table),
+            })
+            with self.database.txn_lock:
+                own_bulk = not self.database.bulk_mode
+                if own_bulk:
+                    self.database.begin_bulk()
+                try:
+                    self.database.begin()
+                    try:
+                        self.database.bulk_insert_rows(table, rows)
+                        self.database.commit()
+                    except BaseException:
+                        self.database.rollback()
+                        raise
+                finally:
+                    if own_bulk:
+                        self.database.end_bulk()
+            for shard_db in shard_dbs:
+                if shard_db.has_table(table.name):
+                    shard_db.drop_table(table.name)
+                    shard_db.wal_log("ddl", f"DROP TABLE {table.name};")
+            self._close_file_dbs()
+            del self.resident[key]
+            self._save_meta(pending=None)
+        self._derived.pop(key, None)
+        self._generation += 1
+        self.database.stats["shard_hydrations"] += 1
+        _HYDRATIONS.inc()
+        _log.info("shard_hydrate", table=table.name, rows=len(rows))
+
+    def _hydrate_for_fallback(self, stmt: Select) -> None:
+        if not self.resident:
+            return
+        for name in sorted(_select_tables(stmt)):
+            if name in self.resident:
+                self.hydrate(name)
+
+    def ensure_local(self, statement: Statement) -> None:
+        """Hydrate resident tables a statement needs in the primary.
+
+        Called by the connection before dispatch (and before any lock is
+        taken — hydration acquires ``txn_lock`` itself).  Shard-routable
+        SELECTs hydrate nothing; everything else touching a resident
+        table re-homes it first.
+        """
+        if not self.resident:
+            return
+        if isinstance(statement, Explain):
+            if not statement.analyze:
+                return  # plain EXPLAIN executes nothing
+            statement = statement.statement
+        if isinstance(statement, Select):
+            touched = [
+                name for name in _select_tables(statement)
+                if name in self.resident
+            ]
+            if not touched:
+                return
+            plan = self._plan_for(statement)
+            if (isinstance(plan, _ShardPlan) and len(touched) == 1
+                    and plan.table == touched[0] and self.nshards > 1):
+                return
+            for name in touched:
+                self.hydrate(name)
+            return
+        if isinstance(statement, Pragma):
+            if statement.name == "columnar" and statement.argument:
+                target = str(statement.argument).split()[0].lower()
+                if target in self.resident:
+                    self.hydrate(target)
+            return
+        table_name = getattr(statement, "table", None)
+        if isinstance(statement, Insert):
+            table_name = statement.table
+        if isinstance(table_name, str) and table_name.lower() in self.resident:
+            self.hydrate(table_name)
+
+    # -- lifecycle / control -------------------------------------------------
+
+    def reconfigure(self, nshards: int,
+                    parallel: Optional[str] = None) -> None:
+        nshards = max(1, int(nshards))
+        if parallel is not None:
+            self.parallel = parallel
+        if nshards != self.nshards:
+            # Shard files hold a fixed partition; re-home resident rows
+            # before changing the slab count.
+            for name in list(self.resident):
+                self.hydrate(name)
+            self.nshards = nshards
+            self._mem_dbs = None
+            self._file_dbs = None
+            self._derived.clear()
+            self._generation += 1
+        self._teardown_pool()
+        self._save_meta(pending=None)
+
+    def set_parallel(self, policy: str) -> None:
+        self.parallel = policy
+        if policy == "off":
+            self._teardown_pool()
+        self._save_meta(pending=None)
+
+    def status_rows(self) -> list[tuple[str, Any]]:
+        return [
+            ("enabled", 1),
+            ("shards", self.nshards),
+            ("parallel", self.parallel),
+            ("mode", "file" if self.directory is not None else "memory"),
+            ("derived", ",".join(sorted(self._derived))),
+            ("resident", ",".join(sorted(self.resident))),
+            ("pool_active", int(self._pool is not None)),
+        ]
+
+    def on_connection_close(self) -> None:
+        """Per-connection cleanup: drop the worker pool (it reforks
+        lazily if another connection keeps querying)."""
+        self._teardown_pool()
+
+    def close(self) -> None:
+        self._teardown_pool()
+        self._close_file_dbs()
+        self._mem_dbs = None
+        self._derived.clear()
+
+    def detach(self) -> None:
+        """``PRAGMA shards(off)``: hydrate everything, close, remove the
+        persisted configuration."""
+        for name in list(self.resident):
+            self.hydrate(name)
+        self.close()
+        if self.directory is not None:
+            try:
+                self._meta_path().unlink()
+            except OSError:
+                pass
+
+
+def _select_tables(stmt: Select) -> set[str]:
+    """Every table name a SELECT tree references (joins, compound arms,
+    IN-subqueries)."""
+    out: set[str] = set()
+
+    def visit(node: Select) -> None:
+        if node.table is not None:
+            out.add(node.table.name.lower())
+        for join in node.joins:
+            out.add(join.table.name.lower())
+        for root in _select_roots(node):
+            for sub in walk(root):
+                if isinstance(sub, Subquery):
+                    visit(sub.select)
+        if node.compound is not None:
+            visit(node.compound[1])
+
+    visit(stmt)
+    return out

@@ -265,6 +265,10 @@ class Table:
         self._positions = {c.lower_name: i for i, c in enumerate(columns)}
         self._next_rowid = 1
         self.last_autoincrement = 0
+        #: Data-version counter: bumped on every row mutation and column
+        #: addition.  The shard manager keys its derived per-shard
+        #: copies on (schema_version, version) to invalidate lazily.
+        self.version = 0
         #: True while the table is inside an active bulk load (some of
         #: its secondary indexes may be suspended/stale).
         self.bulk_active = False
@@ -299,6 +303,7 @@ class Table:
         self._positions[column.lower_name] = len(self.columns) - 1
         for row in self.rows.values():
             row.append(column.default)
+        self.version += 1
 
     # -- row operations ------------------------------------------------------
 
@@ -327,6 +332,7 @@ class Table:
         for index in self.indexes.values():
             if not index.stale:
                 index.insert(rowid, prepared)
+        self.version += 1
         return rowid
 
     # -- bulk load -----------------------------------------------------------
@@ -417,6 +423,7 @@ class Table:
                         (key, {rowid})
                         for key, rowid in zip(keys, range(start, stop))
                     )
+                self.version += 1
                 return len(prepared)
         store = self.rows
         count = 0
@@ -428,6 +435,7 @@ class Table:
             for index in live:
                 index.insert(rowid, row)
             count += 1
+        self.version += 1
         return count
 
     def _prepare_batch(self, rows: list) -> Optional[list[list[Any]]]:
@@ -513,6 +521,7 @@ class Table:
         for index in self.indexes.values():
             if not index.stale:
                 index.remove(rowid, row)
+        self.version += 1
         return row
 
     def update_row(self, rowid: int, new_values: dict[int, Any]) -> list[Any]:
@@ -542,6 +551,7 @@ class Table:
                     raise
                 index.insert(rowid, candidate)
         self.rows[rowid] = candidate
+        self.version += 1
         return old
 
     def restore_row(self, rowid: int, row: list[Any]) -> None:
@@ -550,6 +560,7 @@ class Table:
         for index in self.indexes.values():
             if not index.stale:
                 index.insert(rowid, row)
+        self.version += 1
 
     def apply_raw_update(self, rowid: int, pairs: Iterable[tuple[int, Any]]) -> None:
         """WAL-replay helper: overwrite cells without constraint checks.
@@ -565,6 +576,7 @@ class Table:
         for position, value in pairs:
             row[position] = value
         self.rows[rowid] = row
+        self.version += 1
 
     def scan(self) -> Iterator[tuple[int, list[Any]]]:
         return iter(self.rows.items())
@@ -1018,6 +1030,7 @@ class ColumnTable(Table):
         for _ in range(len(self._slot_rowids)):
             col.append(column.default)
         self._cols.append(col)
+        self.version += 1
 
     def scan(self) -> Iterator[tuple[int, list[Any]]]:
         mats = [col.materialize(self._live, self._dead_count) for col in self._cols]
@@ -1087,6 +1100,9 @@ class Database:
         "bulk_loads", "bulk_rows", "bulk_index_rebuilds",
         "plan_cache_hits", "plan_cache_misses", "compile_fallbacks",
         "vector_selects", "vector_fallbacks", "columnar_conversions",
+        "shard_queries", "shard_pool_queries", "shard_fallbacks",
+        "shard_bypasses", "shard_rebuilds", "shard_hydrations",
+        "shard_parallel_ingests",
     )
 
     def __init__(self) -> None:
@@ -1125,6 +1141,10 @@ class Database:
         #: auto-committed operations.
         self._txn_seq = 0
         self._txn_id = 0
+        #: Attached :class:`~repro.db.minisql.shard.ShardManager` when
+        #: ``PRAGMA shards(<n>)`` is active; None otherwise.  Duck-typed
+        #: so this module never imports the shard machinery.
+        self.shard_mgr = None
         #: Slow-query threshold in milliseconds (``PRAGMA slow_query_ms``);
         #: None disables statement timing entirely.
         self.slow_query_ms: Optional[float] = None

@@ -1,0 +1,151 @@
+"""Unit tests for the shared process-pool plumbing (repro.core.parallel).
+
+Both fan-out subsystems (bulk-ingest parsing, shard query execution)
+lean on these semantics: spec-order results, TaskFailure sentinels
+instead of raised exceptions, termination after timeouts, and pool
+re-creation after a BrokenProcessPool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.parallel import TaskFailure, WorkerPool, default_workers, run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _raise(x):
+    raise ValueError(f"task {x} failed")
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _die(x):
+    os._exit(1)
+
+
+def _identify(_x):
+    return os.getpid()
+
+
+class TestRunTasks:
+    def test_results_in_spec_order(self):
+        assert run_tasks(_square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_empty_specs(self):
+        assert run_tasks(_square, []) == []
+
+    def test_exception_becomes_task_failure(self):
+        results = run_tasks(_raise, [7])
+        assert len(results) == 1
+        failure = results[0]
+        assert isinstance(failure, TaskFailure)
+        assert isinstance(failure.error, ValueError)
+        assert "task 7 failed" in str(failure.error)
+        assert not failure.timed_out
+        assert not failure.broken_pool
+
+    def test_mixed_success_and_failure(self):
+        def pick(results, index):
+            return results[index]
+
+        results = run_tasks(_square, [2, 3]) + run_tasks(_raise, [0])
+        assert pick(results, 0) == 4
+        assert pick(results, 1) == 9
+        assert isinstance(pick(results, 2), TaskFailure)
+
+    def test_task_timeout_marks_failure(self):
+        results = run_tasks(_sleep, [30.0], workers=1, task_timeout=0.5)
+        assert isinstance(results[0], TaskFailure)
+        assert results[0].timed_out
+
+    def test_worker_death_is_broken_pool(self):
+        results = run_tasks(_die, [1, 2], workers=1)
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert any(r.broken_pool for r in results)
+
+
+class TestWorkerPool:
+    def test_pool_is_lazy_and_reusable(self):
+        pool = WorkerPool(workers=1)
+        assert not pool.active
+        try:
+            assert pool.run(_square, [6]) == [36]
+            assert pool.active
+            first = pool.run(_identify, [None])[0]
+            second = pool.run(_identify, [None])[0]
+            # Same worker process across calls — the pool is persistent,
+            # not re-forked per batch.
+            assert first == second
+        finally:
+            pool.shutdown()
+        assert not pool.active
+
+    def test_broken_pool_discarded_then_reforked(self):
+        pool = WorkerPool(workers=1)
+        try:
+            results = pool.run(_die, [1])
+            assert isinstance(results[0], TaskFailure)
+            assert not pool.active  # dead pool discarded eagerly
+            assert pool.run(_square, [9]) == [81]  # next run re-forks
+        finally:
+            pool.shutdown()
+
+    def test_timeout_tears_pool_down(self):
+        pool = WorkerPool(workers=1)
+        try:
+            results = pool.run(_sleep, [30.0], task_timeout=0.5)
+            assert results[0].timed_out
+            # Terminated, not joined: the stuck worker must not survive
+            # into the next batch.
+            assert not pool.active
+        finally:
+            pool.shutdown(terminate=True)
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(workers=1)
+        pool.shutdown()
+        pool.shutdown(terminate=True)
+
+    def test_workers_floor_is_one(self):
+        assert WorkerPool(workers=0).workers == 1
+        assert WorkerPool(workers=-3).workers == 1
+
+    def test_fork_context_with_initializer(self):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        pool = WorkerPool(
+            workers=1, mp_context="fork",
+            initializer=_init_marker, initargs=(42,),
+        )
+        try:
+            assert pool.run(_read_marker, [None]) == [42]
+        finally:
+            pool.shutdown()
+
+
+_MARKER = None
+
+
+def _init_marker(value):
+    global _MARKER
+    _MARKER = value
+
+
+def _read_marker(_x):
+    return _MARKER
+
+
+class TestDefaultWorkers:
+    def test_capped_by_task_count(self):
+        assert default_workers(1) == 1
+        assert default_workers(10 ** 6) == (os.cpu_count() or 1)
