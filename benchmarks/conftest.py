@@ -8,11 +8,15 @@ terminal summary — those rows are what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-import json
 import os
+import sys
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.bench import write_bench_json  # noqa: E402
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
 
@@ -35,17 +39,11 @@ def report():
 
 @pytest.fixture(scope="session")
 def bench_json():
-    """Merge one section into ``BENCH_e1_ingest.json`` at the repo root."""
+    """Merge one section into ``BENCH_e1_ingest.json`` at the repo root,
+    wrapped in the common bench envelope (git SHA, timestamp, cores)."""
 
     def write(section: str, payload: dict) -> None:
-        data: dict = {}
-        if BENCH_JSON.exists():
-            try:
-                data = json.loads(BENCH_JSON.read_text())
-            except ValueError:
-                data = {}
-        data[section] = payload
-        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        write_bench_json(BENCH_JSON, section, payload)
 
     return write
 

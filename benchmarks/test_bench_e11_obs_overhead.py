@@ -148,6 +148,62 @@ def test_disabled_overhead_under_5_percent(
     )
 
 
+def test_telemetry_endpoint_overhead(mini_loaded, report, bench_json):
+    """A live /metrics endpoint being scraped must not measurably slow
+    the E2 query mix: the listener sits on its own daemon thread and a
+    scrape only snapshots the registry."""
+    import threading
+    import urllib.request
+
+    from repro.obs.telemetry import TelemetryServer
+
+    conn = mini_loaded.connection
+    _, base = _best_of(lambda: _workload(conn), 5)
+
+    server = TelemetryServer(host="127.0.0.1", port=0)
+    host, port = server.start()
+    stop = threading.Event()
+    scrapes = [0]
+
+    def scraper() -> None:
+        # 100 ms cadence is already ~150x a production Prometheus
+        # scrape interval; anything hotter just benchmarks the GIL.
+        url = f"http://{host}:{port}/metrics"
+        while not stop.is_set():
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                resp.read()
+            scrapes[0] += 1
+            stop.wait(0.1)
+
+    thread = threading.Thread(target=scraper, daemon=True)
+    thread.start()
+    try:
+        _, scraped = _best_of(lambda: _workload(conn), 5)
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+        server.stop()
+
+    overhead = scraped / base - 1.0
+    report(
+        f"E11 live /metrics scrape overhead on E2     -> "
+        f"{overhead * 100:+5.2f}% ({scrapes[0]} scrapes during run)"
+    )
+    bench_json("e11_telemetry_overhead", {
+        "base_seconds": base,
+        "scraped_seconds": scraped,
+        "scrapes": scrapes[0],
+        "overhead_fraction": overhead,
+    })
+    assert scrapes[0] > 0, "the scraper never reached the endpoint"
+    # Generous bound: best-of-5 absorbs scheduler noise, and the scrape
+    # path must stay off the query thread's critical path entirely.
+    assert overhead < 0.25, (
+        f"a scraped telemetry endpoint costs {overhead * 100:.1f}% on the "
+        f"query mix; it must be off the critical path"
+    )
+
+
 def test_enabled_trace_produces_example_artifact(mini_loaded, report):
     """Enabled-path sanity: the same workload under tracing yields a
     loadable Chrome trace (archived by CI) and a bounded slowdown."""

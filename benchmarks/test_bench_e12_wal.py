@@ -12,7 +12,6 @@ the archive it just wrote actually recovers.
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 from pathlib import Path
@@ -96,10 +95,9 @@ def test_wal_overhead_under_15_percent(benchmark, tmp_path, report):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     assert result["rows"] == expected_rows
 
-    BENCH_JSON.write_text(
-        json.dumps({"e12_wal_overhead": result}, indent=2, sort_keys=True)
-        + "\n"
-    )
+    from repro.obs.bench import write_bench_json
+
+    write_bench_json(BENCH_JSON, "e12_wal_overhead", result)
     report(
         f"E12 WAL overhead (synchronous=off)          -> "
         f"{result['ranks']:>6} ranks: {result['overhead']:+.1%} "

@@ -18,7 +18,6 @@ speedup assertion to a noise margin.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -199,7 +198,9 @@ def test_write_bench_json(measured, report):
         },
         "compile_stats": measured["_stats"],
     }
-    E13_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.obs.bench import write_bench_json
+
+    write_bench_json(E13_JSON, "e13_compile", payload)
     topn = measured["topn"]
     report(
         f"E13 top-20 (index pushdown, compile moot)  -> "

@@ -18,7 +18,6 @@ speedup assertions to a no-slowdown floor.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -206,7 +205,9 @@ def test_write_bench_json(measured, report):
         },
         "columnar_stats": measured["_stats"],
     }
-    E14_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.obs.bench import write_bench_json
+
+    write_bench_json(E14_JSON, "e14_columnar", payload)
     selective = measured["selective"]
     report(
         f"E14 columnar selective node slice          -> "

@@ -22,7 +22,6 @@ job (``REPRO_E15_RANKS=128``, shards=2) only checks no-slowdown floors
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import time
@@ -367,4 +366,6 @@ def test_write_bench_json(measured, ingested):
             "speedup": round(ingested["speedup"], 2),
         },
     }
-    E15_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.obs.bench import write_bench_json
+
+    write_bench_json(E15_JSON, "e15_shard", payload)

@@ -143,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--once", action="store_true",
                    help="print the address and exit (testing)")
+    p.add_argument("--telemetry-port", type=int, default=0, metavar="PORT",
+                   help="HTTP port for /metrics, /healthz and /stats.json "
+                        "(default: any free port)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="do not start the HTTP telemetry endpoint")
     add_trace(p)
 
     p = sub.add_parser(
@@ -152,12 +157,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--db", default=None,
         help="absorb this database's counters into the registry first",
     )
+    p.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="read a live PerfExplorer server's registry over RPC "
+             "instead of this process's (tolerates server restarts "
+             "under --watch)",
+    )
     p.add_argument("--format", default="text",
                    choices=("text", "json", "prometheus"))
     p.add_argument("--reset", action="store_true",
                    help="zero every metric after printing")
     p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
                    help="re-print every SECONDS until interrupted")
+    p.add_argument("--watch-count", type=int, default=None,
+                   help=argparse.SUPPRESS)  # bounded watch, for tests
+
+    p = sub.add_parser(
+        "bench",
+        help="continuous benchmarking: archive BENCH_*.json runs, "
+             "report history, detect regressions",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def add_history(bp: argparse.ArgumentParser) -> None:
+        bp.add_argument(
+            "--history", default="bench_history.mdb",
+            help="bench history archive: a .mdb path or any database "
+                 "URL (default: ./bench_history.mdb)",
+        )
+
+    bp = bench_sub.add_parser(
+        "ingest", help="store BENCH_*.json payloads as trials"
+    )
+    add_history(bp)
+    bp.add_argument("files", nargs="+", help="BENCH_*.json files to ingest")
+    bp.add_argument("--sha", default=None,
+                    help="git SHA for files missing an envelope")
+    bp.add_argument("--timestamp", default=None,
+                    help="ISO timestamp for files missing an envelope")
+
+    bp = bench_sub.add_parser("report", help="print the stored history")
+    add_history(bp)
+    bp.add_argument("--key", default=None, metavar="GLOB",
+                    help="only series matching this experiment.metric glob")
+    bp.add_argument("--last", type=int, default=8,
+                    help="show at most the last N runs per series")
+
+    bp = bench_sub.add_parser(
+        "regress",
+        help="windowed change-point detection (Welch's t-test + "
+             "median-shift guard); exits 2 when a regression is found",
+    )
+    add_history(bp)
+    bp.add_argument("--key", default=None, metavar="GLOB",
+                    help="only test series matching this glob")
+    bp.add_argument("--policy", default=None, metavar="FILE",
+                    help="JSON policy with per-key threshold overrides")
+    bp.add_argument("--threshold", type=float, default=None,
+                    help="minimum worse-direction median shift "
+                         "(default 0.25)")
+    bp.add_argument("--alpha", type=float, default=None,
+                    help="Welch p-value cut (default 0.01)")
+    bp.add_argument("--recent", type=int, default=None,
+                    help="runs in the regression window (default 3)")
+    bp.add_argument("--baseline", type=int, default=None,
+                    help="max runs in the baseline window (default 12)")
+    bp.add_argument("--min-runs", type=int, default=None,
+                    help="series shorter than this are skipped (default 6)")
+    bp.add_argument("--report", default=None, metavar="FILE",
+                    help="also write the report to FILE")
+    bp.add_argument("--strict", action="store_true",
+                    help="also fail when the archive is missing or empty")
 
     p = sub.add_parser(
         "sql", help="run one SQL statement (e.g. EXPLAIN ANALYZE) and "
@@ -197,6 +267,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "stats": _cmd_stats,
         "sql": _cmd_sql,
+        "bench": _cmd_bench,
     }[args.command]
     tracing = _start_trace(args)
     try:
@@ -463,9 +534,19 @@ def _cmd_serve(args) -> int:
 
     # Surface the per-request structured log on stderr.
     configure_logging(level="info")
-    server = SocketServer(AnalysisServer(args.db), host=args.host, port=args.port)
+    telemetry_port = None if args.no_telemetry else args.telemetry_port
+    server = SocketServer(
+        AnalysisServer(args.db), host=args.host, port=args.port,
+        telemetry_port=telemetry_port,
+    )
     host, port = server.start()
     print(f"PerfExplorer analysis server listening on {host}:{port}")
+    if server.telemetry_address is not None:
+        thost, tport = server.telemetry_address
+        print(
+            f"telemetry endpoint on http://{thost}:{tport} "
+            "(/metrics /healthz /stats.json)"
+        )
     if args.once:
         server.stop()
         return 0
@@ -491,50 +572,118 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _render_stats_text(snapshot: dict) -> None:
+    if not snapshot:
+        print("(metrics registry is empty)")
+    for name, snap in snapshot.items():
+        if snap["type"] == "histogram":
+            if snap["count"]:
+                line = (
+                    f"{name}: count={snap['count']} "
+                    f"sum={snap['sum']:.6g} mean={snap['mean']:.6g} "
+                    f"min={snap['min']:.6g} max={snap['max']:.6g}"
+                )
+                if snap.get("p50") is not None:
+                    line += (
+                        f" p50={snap['p50']:.6g} p95={snap['p95']:.6g} "
+                        f"p99={snap['p99']:.6g}"
+                    )
+                print(line)
+            else:
+                print(f"{name}: count=0")
+        else:
+            print(f"{name}: {snap['value']}")
+
+
 def _cmd_stats(args) -> int:
+    import json as _json
+
     from .obs import registry
 
-    if args.db:
-        from .db.api import connect
+    remote = None
+    if args.server:
+        host, _, port_text = args.server.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"error: --server expects HOST:PORT, got {args.server!r}",
+                  file=sys.stderr)
+            return 1
+        remote = (host, int(port_text))
 
-        # stats() publishes the database's counters into the registry.
-        conn = connect(args.db)
-        conn.stats()
-        conn.close()
+    client_box: list = [None]
 
-    def emit() -> None:
+    def fetch_snapshot() -> dict:
+        """The registry snapshot — local, or a live server's via RPC."""
+        if remote is None:
+            if args.db:
+                from .db.api import connect
+
+                # stats() publishes the database's counters into the
+                # registry; re-absorbed every tick so --watch stays live.
+                conn = connect(args.db)
+                conn.stats()
+                conn.close()
+            return registry.snapshot()
+        from .explorer.client import PerfExplorerClient
+        from .explorer.protocol import ConnectTimeout, ProtocolError
+
+        try:
+            if client_box[0] is None:
+                client_box[0] = PerfExplorerClient(remote[0], remote[1])
+            return client_box[0].get_stats()["metrics"]
+        except (ConnectTimeout, ProtocolError, OSError):
+            # Drop the dead connection; the next attempt redials with
+            # the client's own backoff.
+            if client_box[0] is not None:
+                client_box[0].close()
+                client_box[0] = None
+            raise
+
+    def emit(snapshot: dict) -> None:
         if args.format == "json":
-            print(registry.to_json())
+            import time as _time
+
+            print(_json.dumps(
+                {"ts": _time.time(), "metrics": snapshot},
+                sort_keys=True, default=str,
+            ))
         elif args.format == "prometheus":
-            print(registry.to_prometheus(), end="")
+            from .obs.metrics import render_prometheus
+
+            print(render_prometheus(snapshot), end="")
         else:
-            snapshot = registry.snapshot()
-            if not snapshot:
-                print("(metrics registry is empty)")
-            for name, snap in snapshot.items():
-                if snap["type"] == "histogram":
-                    if snap["count"]:
-                        print(
-                            f"{name}: count={snap['count']} "
-                            f"sum={snap['sum']:.6g} mean={snap['mean']:.6g} "
-                            f"min={snap['min']:.6g} max={snap['max']:.6g}"
-                        )
-                    else:
-                        print(f"{name}: count=0")
-                else:
-                    print(f"{name}: {snap['value']}")
+            _render_stats_text(snapshot)
 
     if args.watch is not None:
         import time
 
-        try:  # pragma: no cover - interactive loop
+        from .explorer.protocol import ConnectTimeout, ProtocolError
+
+        remaining = args.watch_count
+        try:
             while True:
-                emit()
-                print("--")
+                try:
+                    emit(fetch_snapshot())
+                except (ConnectTimeout, ProtocolError, OSError) as exc:
+                    # A restarting server must not kill the watch loop.
+                    print(f"(server unavailable: {exc}; retrying)",
+                          file=sys.stderr)
+                print("--", flush=True)
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
                 time.sleep(args.watch)
-        except KeyboardInterrupt:
-            return 0
-    emit()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            if client_box[0] is not None:
+                client_box[0].close()
+        return 0
+    try:
+        emit(fetch_snapshot())
+    finally:
+        if client_box[0] is not None:
+            client_box[0].close()
     if args.reset:
         registry.reset()
         print("metrics registry reset", file=sys.stderr)
@@ -561,6 +710,117 @@ def _cmd_sql(args) -> int:
     finally:
         conn.close()
     return 0
+
+
+def _cmd_bench(args) -> int:
+    return {
+        "ingest": _cmd_bench_ingest,
+        "report": _cmd_bench_report,
+        "regress": _cmd_bench_regress,
+    }[args.bench_command](args)
+
+
+def _cmd_bench_ingest(args) -> int:
+    from .obs.bench import BenchArchive, tidy_archive
+
+    archive = BenchArchive(args.history)
+    total = 0
+    try:
+        for path in args.files:
+            runs = archive.ingest_file(
+                path, default_sha=args.sha, default_timestamp=args.timestamp
+            )
+            total += len(runs)
+            sections = ", ".join(r.experiment for r in runs) or "nothing new"
+            print(f"{path}: stored {len(runs)} run(s) ({sections})")
+    finally:
+        archive.close()
+    tidy_archive(args.history)
+    print(f"ingested {total} new run(s) into {args.history}")
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    import fnmatch
+
+    from .obs.bench import exact_quantile, median, open_for_reading
+
+    archive = open_for_reading(args.history)
+    try:
+        experiments = archive.experiments()
+        if not experiments:
+            print("(bench history is empty)")
+            return 0
+        for name, trial_count in experiments:
+            series = archive.series(name)
+            keys = sorted(
+                key for key in series
+                if args.key is None
+                or fnmatch.fnmatchcase(f"{name}.{key}", args.key)
+                or fnmatch.fnmatchcase(key, args.key)
+            )
+            if not keys:
+                continue
+            print(f"{name} ({trial_count} runs)")
+            for key in keys:
+                points = series[key][-args.last:]
+                values = [value for _, value in points]
+                trend = " -> ".join(f"{value:.6g}" for value in values)
+                print(
+                    f"  {key}: {trend}  "
+                    f"(n={len(series[key])} p50={median(values):.6g} "
+                    f"p95={exact_quantile(values, 0.95):.6g})"
+                )
+            last_run = series[keys[0]][-1][0]
+            print(f"  last run: {last_run.timestamp} @ {last_run.sha12}")
+    finally:
+        archive.close()
+    return 0
+
+
+def _cmd_bench_regress(args) -> int:
+    import dataclasses
+    import os
+
+    from .obs.bench import (
+        RegressPolicy, detect_regressions, format_regress_report,
+        open_for_reading,
+    )
+
+    missing = "://" not in args.history and not os.path.exists(args.history)
+    if missing:
+        print(f"bench history {args.history} does not exist", file=sys.stderr)
+        return 2 if args.strict else 0
+
+    policy = (
+        RegressPolicy.from_file(args.policy) if args.policy else RegressPolicy()
+    )
+    overrides = {
+        field: getattr(args, field)
+        for field in ("threshold", "alpha", "recent", "baseline", "min_runs")
+        if getattr(args, field) is not None
+    }
+    if overrides:
+        policy = dataclasses.replace(
+            policy, defaults=dataclasses.replace(policy.defaults, **overrides)
+        )
+
+    archive = open_for_reading(args.history)
+    try:
+        report = detect_regressions(archive, policy, key_filter=args.key)
+    finally:
+        archive.close()
+    text = format_regress_report(report)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.report}", file=sys.stderr)
+    if args.strict and not report.checked:
+        print("--strict: no series had enough history to test",
+              file=sys.stderr)
+        return 2
+    return 2 if report.regressed else 0
 
 
 def _cmd_shell(args) -> int:  # pragma: no cover - interactive

@@ -137,15 +137,45 @@ class _ShardPlan:
 _WORKER_SHARDS: dict[str, list[Database]] = {}
 
 
-def _pool_worker(spec: tuple) -> tuple[list[str], list[tuple[Any, ...]]]:
-    token, index, fragment_bytes, params = spec
+def _pool_worker(
+    spec: tuple,
+) -> tuple[list[str], list[tuple[Any, ...]], float, list[dict]]:
+    """Run one fragment in a forked worker.
+
+    Returns ``(columns, rows, elapsed_seconds, spans)``: the fragment is
+    timed in the worker itself (so EXPLAIN ANALYZE SHARD rows report
+    actual per-shard wall time, not the whole scatter), and when the
+    coordinator propagated a trace context the worker records its own
+    ``minisql.shard.fragment`` span tree and ships it back for adoption
+    — the same cross-process pattern bulk-ingest parse workers use.
+    """
+    token, index, fragment_bytes, params, trace_ctx = spec
     shards = _WORKER_SHARDS.get(token)
     if shards is None:  # stale fork — coordinator retries serially
         raise RuntimeError(f"shard registry has no snapshot for {token}")
     from .executor import Executor
 
     fragment = pickle.loads(fragment_bytes)
-    return Executor(shards[index])._execute_select(fragment, list(params))
+    spans: list[dict] = []
+    started = time.perf_counter()
+    if trace_ctx is None:
+        columns, rows = Executor(shards[index])._execute_select(
+            fragment, list(params)
+        )
+    else:
+        # A forked worker inherits the coordinator's tracer state —
+        # including `enabled` and whatever was in its ring at fork
+        # time.  Clear and re-enable so the shipment contains exactly
+        # this fragment's spans.
+        _tracer.enable()
+        _tracer.clear()
+        with _tracer.context(trace_ctx[0], trace_ctx[1]):
+            with _tracer.span("minisql.shard.fragment", shard=index):
+                columns, rows = Executor(shards[index])._execute_select(
+                    fragment, list(params)
+                )
+        spans = _tracer.drain()
+    return columns, rows, time.perf_counter() - started, spans
 
 
 def _ingest_worker(spec: tuple) -> int:
@@ -1090,16 +1120,20 @@ class ShardManager:
         pool = self._ensure_pool()
         if pool is None:
             return None
-        specs = [
-            (self._token, index, plan.fragment_bytes, tuple(params))
-            for index in range(self.nshards)
-        ]
-        started = time.perf_counter()
         with _tracer.span("minisql.shard.scatter", shards=self.nshards,
                           table=plan.table, mode="pool"):
+            # Workers parent their fragment spans under this scatter
+            # span and ship them back with the results, so the exported
+            # timeline shows each shard's actual execution in its own
+            # worker process.
+            trace_ctx = _tracer.current_context() if _tracer.enabled else None
+            specs = [
+                (self._token, index, plan.fragment_bytes, tuple(params),
+                 trace_ctx)
+                for index in range(self.nshards)
+            ]
             outcomes = pool.run(_pool_worker, specs,
                                 task_timeout=self.task_timeout)
-        elapsed = time.perf_counter() - started
         results = []
         for index, outcome in enumerate(outcomes):
             if isinstance(outcome, TaskFailure):
@@ -1113,14 +1147,15 @@ class ShardManager:
                 )
                 self._teardown_pool()
                 return None
-            results.append(outcome)
-        if probe is not None:
-            # Individual shard times are not observable across the
-            # pool; charge each shard the scatter wall time.
-            for index, (_cols, rows) in enumerate(results):
+            columns, rows, elapsed, spans = outcome
+            if spans:
+                _tracer.adopt(spans)
+            if probe is not None:
+                # Actual per-shard wall time, measured in the worker.
                 probe.steps[f"shard{index}"] = {
                     "rows": len(rows), "time": elapsed,
                 }
+            results.append((columns, rows))
         self.database.stats["shard_pool_queries"] += 1
         _POOL_QUERIES.inc()
         return results

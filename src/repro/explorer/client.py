@@ -29,7 +29,7 @@ _log = get_logger("repro.explorer.client")
 #: duplicate side effects.  Mutating calls (``cluster_trial`` with
 #: ``save=True``, ``run_workflow``) surface the error to the caller.
 READ_ONLY_METHODS = frozenset({
-    "ping",
+    "ping", "get_stats",
     "list_applications", "list_experiments", "list_trials",
     "list_metrics", "list_events", "list_analyses", "get_analysis",
     "describe_event", "correlate_events",
@@ -150,6 +150,11 @@ class PerfExplorerClient:
 
     def ping(self) -> str:
         return self.call("ping")
+
+    def get_stats(self) -> dict[str, Any]:
+        """The server's metrics-registry snapshot (see ``repro stats
+        --server``)."""
+        return self.call("get_stats")
 
     def list_applications(self) -> list[dict[str, Any]]:
         return self.call("list_applications")

@@ -68,6 +68,7 @@ class AnalysisServer:
             "correlation_matrix": self._correlation_matrix,
             "group_fraction_chart": self._group_fraction_chart,
             "imbalance_chart": self._imbalance_chart,
+            "get_stats": self._get_stats,
         }
 
     # -- dispatch ----------------------------------------------------------------
@@ -234,6 +235,16 @@ class AnalysisServer:
     def _imbalance_chart(self, trial: int, top: int = 10) -> dict[str, Any]:
         return imbalance_chart(self.session.load_datasource(trial), top=top)
 
+    def _get_stats(self) -> dict[str, Any]:
+        """The server's live metrics registry (plus its database
+        counters), for ``repro stats --server`` and remote monitoring."""
+        self.session.connection.stats()  # publish db counters as gauges
+        # Request accounting is incremented after dispatch; register the
+        # instruments up front so even the first snapshot carries them.
+        _registry.counter("server.requests")
+        _registry.histogram("server.request_seconds")
+        return {"ts": time.time(), "metrics": _registry.snapshot()}
+
     def _list_analyses(self, trial: Optional[int] = None) -> list[dict[str, Any]]:
         return [
             {"id": i, "name": n, "method": m}
@@ -245,9 +256,22 @@ class AnalysisServer:
 
 
 class SocketServer:
-    """TCP front end: accepts clients, one thread per connection."""
+    """TCP front end: accepts clients, one thread per connection.
 
-    def __init__(self, server: AnalysisServer, host: str = "127.0.0.1", port: int = 0):
+    With ``telemetry_port`` set (0 = any free port), ``start()`` also
+    mounts a :class:`~repro.obs.telemetry.TelemetryServer` so the
+    process serves ``/metrics``, ``/healthz`` and ``/stats.json`` over
+    HTTP while the RPC listener handles analysis traffic; its bound
+    address lands in ``telemetry_address``.
+    """
+
+    def __init__(
+        self,
+        server: AnalysisServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry_port: Optional[int] = None,
+    ):
         self.analysis = server
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -255,15 +279,42 @@ class SocketServer:
         self._listener.listen(8)
         self.address = self._listener.getsockname()
         self._threads: list[threading.Thread] = []
+        self._clients: set[socket.socket] = set()
+        self._clients_lock = threading.Lock()
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
+        self._telemetry_port = telemetry_port
+        self._telemetry = None
+        self.telemetry_address: Optional[tuple[str, int]] = None
         # In-flight request accounting for graceful shutdown: stop() with
         # drain=True waits on the condition until the count reaches zero.
         self._in_flight = 0
         self._idle = threading.Condition()
 
+    def _health(self) -> dict:
+        with self._idle:
+            in_flight = self._in_flight
+        return {
+            "serving": self._running,
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "in_flight_requests": in_flight,
+        }
+
     def start(self) -> tuple[str, int]:
         self._running = True
+        if self._telemetry_port is not None:
+            from repro.obs.telemetry import TelemetryServer
+
+            self._telemetry = TelemetryServer(
+                host=self.address[0], port=self._telemetry_port,
+                health=self._health,
+            )
+            self.telemetry_address = self._telemetry.start()
+            _log.info(
+                "telemetry_listening",
+                host=self.telemetry_address[0],
+                port=self.telemetry_address[1],
+            )
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
         return self.address
@@ -274,6 +325,16 @@ class SocketServer:
                 client, _addr = self._listener.accept()
             except OSError:
                 return
+            if not self._running:
+                # Raced with stop(): the listener woke us with one last
+                # connection; refuse it rather than serve past shutdown.
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                return
+            with self._clients_lock:
+                self._clients.add(client)
             thread = threading.Thread(
                 target=self._serve_client, args=(client,), daemon=True
             )
@@ -303,6 +364,8 @@ class SocketServer:
             _log.error("client_loop_error", traceback=traceback.format_exc())
         finally:
             stream.close()
+            with self._clients_lock:
+                self._clients.discard(sock)
 
     @contextmanager
     def _track_request(self):
@@ -367,10 +430,21 @@ class SocketServer:
         up to ``timeout`` seconds for in-flight requests to complete so
         clients get their responses instead of a reset socket."""
         self._running = False
+        # shutdown() before close(): close() alone does not wake a thread
+        # blocked in accept() — the in-flight syscall keeps the open file
+        # description (and the LISTEN port) alive, and the next client to
+        # connect would be served by the half-dead accept loop.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        if self._telemetry is not None:
+            self._telemetry.stop()
+            self._telemetry = None
         if drain:
             deadline = time.monotonic() + timeout
             with self._idle:
@@ -382,3 +456,19 @@ class SocketServer:
                         )
                         break
                     self._idle.wait(remaining)
+        # Close lingering client connections: their ESTABLISHED sockets
+        # would otherwise hold the port and block a restart on the same
+        # address (and the handler threads would block in receive()
+        # forever).
+        with self._clients_lock:
+            lingering = list(self._clients)
+            self._clients.clear()
+        for client in lingering:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass

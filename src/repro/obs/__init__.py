@@ -6,7 +6,12 @@ Zero external dependencies.  Three pillars:
   buffer, JSON-lines and Chrome trace-event exporters;
 * :mod:`repro.obs.metrics` — process-global registry of counters,
   gauges and log2-bucket histograms with Prometheus/JSON exposition;
-* :mod:`repro.obs.log` — structured JSON-lines logging.
+* :mod:`repro.obs.log` — structured JSON-lines logging;
+* :mod:`repro.obs.telemetry` — live HTTP endpoint (/metrics, /healthz,
+  /stats.json) any Prometheus scraper or health check can hit;
+* :mod:`repro.obs.bench` — continuous-benchmarking archive and
+  statistical regression detection (imported lazily: it pulls in the
+  session layer, which itself depends on this package).
 
 Everything is always compiled in but cheap when disabled: the span
 fast path is one attribute check, metrics are opt-in call sites, and
@@ -19,9 +24,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     get_registry,
     registry,
 )
+from repro.obs.telemetry import TelemetryServer
 from repro.obs.trace import (
     Tracer, get_tracer, new_trace_id, span, traced, tracer,
 )
@@ -32,8 +39,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "StructuredLogger",
+    "TelemetryServer",
     "Tracer",
     "configure_logging",
+    "escape_label_value",
     "get_logger",
     "get_registry",
     "get_tracer",

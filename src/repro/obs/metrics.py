@@ -36,6 +36,17 @@ def _prom_name(name: str) -> str:
     return safe
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules:
+    backslash, double-quote and newline must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 class Counter:
     """Monotonic counter."""
 
@@ -138,6 +149,43 @@ class Histogram:
             self._min = None
             self._max = None
 
+    def _quantile_locked(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket; the first
+        and last (+Inf) buckets are clamped to the observed min/max so
+        the estimate never leaves the observed range.  Accuracy is
+        bounded by the bucket width (one octave for the log2 bounds) —
+        good enough for p50/p95/p99 monitoring, not for billing.
+        """
+        if self._count == 0:
+            return None
+        target = q * self._count
+        cumulative = 0
+        for i, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else self._min
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                if self._min is not None:
+                    lo = max(lo, self._min)
+                if self._max is not None:
+                    hi = min(hi, self._max)
+                if hi <= lo:
+                    return float(hi)
+                fraction = (target - cumulative) / n
+                return float(lo + fraction * (hi - lo))
+            cumulative += n
+        return self._max
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile (0 <= q <= 1) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             nonzero = {}
@@ -152,6 +200,9 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
                 "mean": (self._sum / self._count) if self._count else None,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
                 "buckets": nonzero,
             }
 
@@ -224,24 +275,40 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (cumulative buckets)."""
-        lines: list[str] = []
-        for name, snap in self.snapshot().items():
-            prom = _prom_name(name)
-            if snap["type"] == "histogram":
-                lines.append(f"# TYPE {prom} histogram")
-                cumulative = 0
-                for le, n in sorted(snap["buckets"].items()):
-                    cumulative += n
-                    le_str = "+Inf" if le == float("inf") else repr(le)
-                    lines.append(f'{prom}_bucket{{le="{le_str}"}} {cumulative}')
-                if not snap["buckets"] or float("inf") not in snap["buckets"]:
-                    lines.append(f'{prom}_bucket{{le="+Inf"}} {snap["count"]}')
-                lines.append(f"{prom}_sum {snap['sum']}")
-                lines.append(f"{prom}_count {snap['count']}")
-            else:
-                lines.append(f"# TYPE {prom} {snap['type']}")
-                lines.append(f"{prom} {snap['value']}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        return render_prometheus(self.snapshot())
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    Works on any snapshot dict — the live registry's or one shipped
+    over RPC (where JSON turned bucket keys into strings, including
+    ``"Infinity"``), so ``repro stats --server --format prometheus``
+    reuses the exact same exposition path.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        prom = _prom_name(name)
+        if snap["type"] == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            buckets = {float(le): n for le, n in snap["buckets"].items()}
+            cumulative = 0
+            for le in sorted(buckets):
+                cumulative += buckets[le]
+                le_str = "+Inf" if le == float("inf") else repr(le)
+                lines.append(
+                    f'{prom}_bucket{{le="{escape_label_value(le_str)}"}} '
+                    f"{cumulative}"
+                )
+            if float("inf") not in buckets:
+                lines.append(f'{prom}_bucket{{le="+Inf"}} {snap["count"]}')
+            lines.append(f"{prom}_sum {snap['sum']}")
+            lines.append(f"{prom}_count {snap['count']}")
+        else:
+            lines.append(f"# TYPE {prom} {snap['type']}")
+            lines.append(f"{prom} {snap['value']}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-global registry every layer shares.

@@ -1,0 +1,134 @@
+"""Live telemetry endpoint: /metrics, /healthz and /stats.json over HTTP.
+
+The PR 3 observability layer could only be read at process exit
+(``repro stats``) or over the PerfExplorer RPC protocol.  This module
+makes the registry scrapeable *live*: a tiny stdlib HTTP listener that
+any Prometheus scraper, load balancer health check, or ``curl`` can hit
+while the process serves traffic.
+
+Endpoints::
+
+    GET /metrics     Prometheus text exposition (registry.to_prometheus)
+    GET /healthz     JSON liveness document: {"status": "ok", ...}
+    GET /stats.json  full registry snapshot as JSON (registry.to_json)
+
+Design constraints match the rest of :mod:`repro.obs`:
+
+* **zero dependencies** — ``http.server`` + ``threading``, nothing else;
+* **zero measurable overhead on the serving path** — the listener
+  blocks in ``accept`` on its own daemon thread and touches shared
+  state only through the registry's own locks when actually scraped
+  (the E11 benchmark guards this);
+* **embeddable** — the PerfExplorer :class:`~repro.explorer.server.
+  SocketServer` and ``repro serve`` both mount one, and tests start
+  them on ephemeral ports.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional
+
+from .log import get_logger
+from .metrics import registry as _registry
+
+_log = get_logger("repro.obs.telemetry")
+
+#: Content type Prometheus scrapers expect from a text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One scrape request.  The server instance carries the registry and
+    the optional health callable."""
+
+    server: "TelemetryServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        path = self.path.split("?", 1)[0]
+        _registry.counter("telemetry.requests").inc()
+        if path == "/metrics":
+            body = self.server.registry.to_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            body = json.dumps(
+                self.server.health_document(), sort_keys=True
+            ).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/stats.json":
+            body = self.server.registry.to_json().encode("utf-8")
+            self._reply(200, "application/json", body)
+        else:
+            _registry.counter("telemetry.not_found").inc()
+            self._reply(404, "application/json",
+                        b'{"error": "unknown endpoint"}')
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Scrapes land in the structured log, not on stderr.
+        _log.debug("scrape", path=self.path, client=self.client_address[0])
+
+
+class TelemetryServer(ThreadingHTTPServer):
+    """The HTTP listener.  ``start()`` returns the bound (host, port)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry=None,
+        health: Optional[Callable[[], dict[str, Any]]] = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.registry = registry if registry is not None else _registry
+        self._health = health
+        self._started = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def start(self) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="telemetry", daemon=True,
+            kwargs={"poll_interval": 0.25},
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- health --------------------------------------------------------------
+
+    def health_document(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self._started, 3),
+        }
+        if self._health is not None:
+            try:
+                doc.update(self._health())
+            except Exception as exc:  # health extras must never 500
+                doc["status"] = "degraded"
+                doc["health_error"] = f"{type(exc).__name__}: {exc}"
+        return doc

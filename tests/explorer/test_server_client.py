@@ -284,3 +284,61 @@ class TestHierarchicalOverTheWire:
         trial_id = server_fixture[4]
         with pytest.raises(AnalysisError, match="requires explicit k"):
             client.cluster_trial(trial_id, method="hierarchical")
+
+
+class TestGetStats:
+    def test_get_stats_rpc(self, client):
+        doc = client.get_stats()
+        assert "ts" in doc
+        metrics = doc["metrics"]
+        # The server absorbed its database's counters before snapshotting.
+        assert any(name.startswith("db.") for name in metrics)
+        assert "server.requests" in metrics
+
+    def test_get_stats_reflects_traffic(self, client):
+        before = client.get_stats()["metrics"]["server.requests"]["value"]
+        client.ping()
+        after = client.get_stats()["metrics"]["server.requests"]["value"]
+        assert after >= before + 1
+
+
+class TestMountedTelemetry:
+    def test_serves_http_alongside_rpc(self):
+        import json as _json
+        import urllib.request
+
+        url = "minisql://explorer-telemetry-tests"
+        PerfDMFSession(url).close()
+        sock = SocketServer(AnalysisServer(url), telemetry_port=0)
+        host, port = sock.start()
+        try:
+            assert sock.telemetry_address is not None
+            thost, tport = sock.telemetry_address
+            with urllib.request.urlopen(
+                f"http://{thost}:{tport}/healthz", timeout=10.0
+            ) as resp:
+                doc = _json.loads(resp.read())
+            assert doc["status"] == "ok"
+            assert doc["serving"] is True
+            assert doc["in_flight_requests"] == 0
+            with urllib.request.urlopen(
+                f"http://{thost}:{tport}/metrics", timeout=10.0
+            ) as resp:
+                assert b"server_requests" in resp.read()
+            # RPC still answers on its own socket.
+            with PerfExplorerClient(host, port) as c:
+                assert c.ping() == "pong"
+        finally:
+            sock.stop()
+        reset_shared_databases()
+
+    def test_no_telemetry_by_default(self):
+        url = "minisql://explorer-telemetry-off-tests"
+        PerfDMFSession(url).close()
+        sock = SocketServer(AnalysisServer(url))
+        sock.start()
+        try:
+            assert sock.telemetry_address is None
+        finally:
+            sock.stop()
+        reset_shared_databases()

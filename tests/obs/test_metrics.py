@@ -2,11 +2,14 @@
 
 import json
 import math
+import random
+import re
 
 import pytest
 
 from repro.obs.metrics import (
     LOG2_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry,
+    escape_label_value, render_prometheus,
 )
 
 
@@ -75,6 +78,76 @@ class TestHistogram:
         assert h.snapshot()["buckets"] == {}
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None and snap["p95"] is None
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_single_observation(self):
+        h = Histogram("h")
+        h.observe(0.3)
+        # Clamped to the observed range: every quantile is the value.
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(0.3)
+
+    def test_estimates_within_a_bucket_of_exact(self):
+        """The log2-bucket estimator must land within one octave of the
+        exact quantile on known distributions."""
+        from repro.obs.bench import exact_quantile
+
+        rng = random.Random(42)
+        distributions = {
+            "uniform": [rng.uniform(0.001, 10.0) for _ in range(5000)],
+            "lognormal": [rng.lognormvariate(0.0, 1.5) for _ in range(5000)],
+            "exponential": [rng.expovariate(2.0) for _ in range(5000)],
+        }
+        for name, values in distributions.items():
+            h = Histogram("h")
+            for v in values:
+                h.observe(v)
+            for q in (0.50, 0.95, 0.99):
+                estimate = h.quantile(q)
+                exact = exact_quantile(sorted(values), q)
+                # One octave of error either way is the bucket width.
+                assert exact / 2 <= estimate <= exact * 2, (
+                    f"{name} p{int(q * 100)}: estimate {estimate:.4f} "
+                    f"vs exact {exact:.4f}"
+                )
+
+    def test_estimates_never_leave_observed_range(self):
+        h = Histogram("h")
+        for v in (0.7, 0.9, 3.3):
+            h.observe(v)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 0.7 <= h.quantile(q) <= 3.3
+
+    def test_snapshot_quantiles_ordered(self):
+        rng = random.Random(1)
+        h = Histogram("h")
+        for _ in range(500):
+            h.observe(rng.expovariate(1.0))
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+class TestLabelEscaping:
+    def test_plain_value_untouched(self):
+        assert escape_label_value("1.0") == "1.0"
+
+    def test_special_characters(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
         reg = MetricsRegistry()
@@ -134,3 +207,40 @@ class TestRegistry:
         reg = MetricsRegistry()
         reg.counter("a.b-c").inc()
         assert "a_b_c 1" in reg.to_prometheus()
+
+    def test_prometheus_buckets_cumulative_and_monotone(self):
+        """Every _bucket series must be non-decreasing in le order and
+        end at the observation count — the scrape contract."""
+        reg = MetricsRegistry()
+        rng = random.Random(9)
+        for _ in range(1000):
+            reg.histogram("lat").observe(rng.lognormvariate(-2.0, 2.0))
+        text = reg.to_prometheus()
+        pairs = re.findall(r'lat_bucket\{le="([^"]+)"\} (\d+)', text)
+        assert pairs, text
+        les = [math.inf if le == "+Inf" else float(le) for le, _ in pairs]
+        counts = [int(n) for _, n in pairs]
+        assert les == sorted(les)
+        assert counts == sorted(counts)
+        assert counts[-1] == 1000
+        assert les[-1] == math.inf
+
+    def test_prometheus_counter_monotonic_across_scrapes(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs").inc(2)
+        first = int(re.search(r"^reqs (\d+)$", reg.to_prometheus(),
+                              re.MULTILINE).group(1))
+        reg.counter("reqs").inc(3)
+        second = int(re.search(r"^reqs (\d+)$", reg.to_prometheus(),
+                               re.MULTILINE).group(1))
+        assert first == 2 and second == 5
+
+    def test_render_prometheus_from_json_snapshot(self):
+        """The exposition must survive a JSON round trip (RPC shipping
+        stringifies bucket keys, inf becomes "Infinity")."""
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(0.75)
+        reg.histogram("lat").observe(LOG2_BOUNDS[-1] * 10)
+        reg.counter("c").inc(7)
+        shipped = json.loads(json.dumps(reg.snapshot()))
+        assert reg.to_prometheus() == render_prometheus(shipped)

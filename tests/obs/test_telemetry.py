@@ -1,0 +1,121 @@
+"""Tests for the live HTTP telemetry endpoint (repro.obs.telemetry)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, TelemetryServer
+
+
+@pytest.fixture
+def server():
+    srv = TelemetryServer(host="127.0.0.1", port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _get(server: TelemetryServer, path: str):
+    host, port = server.address
+    return urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10.0)
+
+
+class TestEndpoints:
+    def test_metrics_exposition(self, server):
+        registry.counter("telemetry_test.hits").inc(4)
+        with _get(server, "/metrics") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            body = resp.read().decode()
+        assert "telemetry_test_hits 4" in body
+
+    def test_healthz(self, server):
+        with _get(server, "/healthz") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "application/json"
+            doc = json.loads(resp.read())
+        assert doc["status"] == "ok"
+        assert doc["uptime_seconds"] >= 0
+
+    def test_stats_json(self, server):
+        registry.counter("telemetry_test.stats").inc()
+        with _get(server, "/stats.json") as resp:
+            doc = json.loads(resp.read())
+        assert doc["metrics"]["telemetry_test.stats"]["value"] >= 1
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nope")
+        assert err.value.code == 404
+
+    def test_query_string_ignored(self, server):
+        with _get(server, "/healthz?verbose=1") as resp:
+            assert resp.status == 200
+
+    def test_request_counters(self, server):
+        before = registry.counter("telemetry.requests").value
+        _get(server, "/metrics").close()
+        _get(server, "/healthz").close()
+        assert registry.counter("telemetry.requests").value >= before + 2
+
+
+class TestHealthCallable:
+    def test_health_extras_merged(self):
+        srv = TelemetryServer(port=0, health=lambda: {"in_flight": 3})
+        srv.start()
+        try:
+            with _get(srv, "/healthz") as resp:
+                doc = json.loads(resp.read())
+            assert doc["status"] == "ok"
+            assert doc["in_flight"] == 3
+        finally:
+            srv.stop()
+
+    def test_broken_health_reports_degraded_not_500(self):
+        def broken() -> dict:
+            raise RuntimeError("db gone")
+
+        srv = TelemetryServer(port=0, health=broken)
+        srv.start()
+        try:
+            with _get(srv, "/healthz") as resp:
+                assert resp.status == 200
+                doc = json.loads(resp.read())
+            assert doc["status"] == "degraded"
+            assert "db gone" in doc["health_error"]
+        finally:
+            srv.stop()
+
+
+class TestCustomRegistry:
+    def test_serves_the_given_registry(self):
+        private = MetricsRegistry()
+        private.counter("private.only").inc(9)
+        srv = TelemetryServer(port=0, registry=private)
+        srv.start()
+        try:
+            with _get(srv, "/metrics") as resp:
+                body = resp.read().decode()
+            assert "private_only 9" in body
+        finally:
+            srv.stop()
+
+
+class TestLifecycle:
+    def test_stop_releases_port_for_reuse(self):
+        srv = TelemetryServer(host="127.0.0.1", port=0)
+        host, port = srv.start()
+        srv.stop()
+        # The port is free again: a new listener can claim it.
+        srv2 = TelemetryServer(host=host, port=port)
+        srv2.start()
+        try:
+            with _get(srv2, "/healthz") as resp:
+                assert resp.status == 200
+        finally:
+            srv2.stop()

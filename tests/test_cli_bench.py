@@ -1,0 +1,202 @@
+"""Tests for the `repro bench` CLI: ingest, report, regress — including
+the acceptance scenario of a synthetic 2x slowdown injected into a copy
+of the repository's committed bench history."""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+COMMITTED_HISTORY = REPO_ROOT / "bench_history.mdb"
+
+
+def _doc(sha: str, ts: str, sections: dict) -> dict:
+    return {
+        "schema_version": 1, "git_sha": sha, "timestamp": ts,
+        "host_cores": 4, "benchmarks": sections,
+    }
+
+
+def _write_runs(tmp_path, walls, *, section="e_cli", start=0):
+    paths = []
+    for i, wall in enumerate(walls, start=start):
+        doc = _doc(
+            f"{i:03d}" + "a" * 37, f"2026-04-01T{i // 60:02d}:{i % 60:02d}:00Z",
+            {section: {"wall_seconds": wall}},
+        )
+        path = tmp_path / f"run{i}.json"
+        path.write_text(json.dumps(doc))
+        paths.append(str(path))
+    return paths
+
+
+class TestIngest:
+    def test_ingest_and_report(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.mdb")
+        paths = _write_runs(tmp_path, [1.0, 1.1])
+        assert main(["bench", "ingest", "--history", history, *paths]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 2 new run(s)" in out
+        # History stays a single committed-friendly file — no WAL turds.
+        assert [p.name for p in tmp_path.glob("hist.mdb*")] == ["hist.mdb"]
+
+        assert main(["bench", "report", "--history", history]) == 0
+        out = capsys.readouterr().out
+        assert "e_cli (2 runs)" in out
+        assert "wall_seconds" in out
+
+    def test_reingest_is_noop(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.mdb")
+        paths = _write_runs(tmp_path, [1.0])
+        assert main(["bench", "ingest", "--history", history, *paths]) == 0
+        assert main(["bench", "ingest", "--history", history, *paths]) == 0
+        assert "ingested 0 new run(s)" in capsys.readouterr().out
+
+    def test_legacy_file_with_provenance_flags(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.mdb")
+        legacy = tmp_path / "BENCH_legacy.json"
+        legacy.write_text(json.dumps({"e_old": {"wall_seconds": 3.0}}))
+        assert main([
+            "bench", "ingest", "--history", history, str(legacy),
+            "--sha", "f" * 40, "--timestamp", "2026-04-02T00:00:00Z",
+        ]) == 0
+        assert main(["bench", "report", "--history", history]) == 0
+        assert "f" * 12 in capsys.readouterr().out
+
+    def test_report_key_filter(self, tmp_path, capsys):
+        history = str(tmp_path / "hist.mdb")
+        paths = _write_runs(tmp_path, [1.0])
+        main(["bench", "ingest", "--history", history, *paths])
+        capsys.readouterr()
+        assert main(["bench", "report", "--history", history,
+                     "--key", "*.nomatch"]) == 0
+        assert "e_cli" not in capsys.readouterr().out
+
+
+class TestRegress:
+    def _seed(self, tmp_path, walls):
+        history = str(tmp_path / "hist.mdb")
+        paths = _write_runs(tmp_path, walls)
+        assert main(["bench", "ingest", "--history", history, *paths]) == 0
+        return history
+
+    def test_quiet_on_stable_history(self, tmp_path, capsys):
+        rng = random.Random(2)
+        history = self._seed(
+            tmp_path, [1.0 + rng.uniform(-0.02, 0.02) for _ in range(12)]
+        )
+        assert main(["bench", "regress", "--history", history]) == 0
+        assert "no regressions detected" in capsys.readouterr().out
+
+    def test_exit_2_names_metric_on_slowdown(self, tmp_path, capsys):
+        rng = random.Random(4)
+        walls = [1.0 + rng.uniform(-0.02, 0.02) for _ in range(9)]
+        walls += [2.0 + rng.uniform(-0.04, 0.04) for _ in range(3)]
+        history = self._seed(tmp_path, walls)
+        assert main(["bench", "regress", "--history", history]) == 2
+        out = capsys.readouterr().out
+        assert "e_cli.wall_seconds" in out
+        assert "regression(s)" in out
+
+    def test_threshold_flag_overrides(self, tmp_path):
+        rng = random.Random(4)
+        walls = [1.0 + rng.uniform(-0.002, 0.002) for _ in range(9)]
+        walls += [1.3 + rng.uniform(-0.002, 0.002) for _ in range(3)]
+        history = self._seed(tmp_path, walls)
+        # +30% trips the default 25% threshold but not a 50% one.
+        assert main(["bench", "regress", "--history", history]) == 2
+        assert main(["bench", "regress", "--history", history,
+                     "--threshold", "0.5"]) == 0
+
+    def test_policy_file_ignore(self, tmp_path):
+        walls = [1.0] * 4 + [1.001] * 5 + [2.0, 2.001, 2.002]
+        history = self._seed(tmp_path, walls)
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps(
+            {"keys": {"*.wall_seconds": {"ignore": True}}}
+        ))
+        assert main(["bench", "regress", "--history", history]) == 2
+        assert main(["bench", "regress", "--history", history,
+                     "--policy", str(policy)]) == 0
+
+    def test_report_file_written(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.0, 1.0])
+        out_file = tmp_path / "report.txt"
+        assert main(["bench", "regress", "--history", history,
+                     "--report", str(out_file)]) == 0
+        assert "no regressions" in out_file.read_text()
+
+    def test_missing_history(self, tmp_path):
+        missing = str(tmp_path / "none.mdb")
+        assert main(["bench", "regress", "--history", missing]) == 0
+        assert main(["bench", "regress", "--history", missing,
+                     "--strict"]) == 2
+
+    def test_strict_demands_testable_history(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.1])  # too short to test
+        assert main(["bench", "regress", "--history", history]) == 0
+        assert main(["bench", "regress", "--history", history,
+                     "--strict"]) == 2
+
+    def test_regress_leaves_history_untouched(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.1, 1.2])
+        before = Path(history).read_bytes()
+        assert main(["bench", "regress", "--history", history]) == 0
+        assert Path(history).read_bytes() == before
+        assert [p.name for p in tmp_path.glob("hist.mdb*")] == ["hist.mdb"]
+
+
+@pytest.mark.skipif(
+    not COMMITTED_HISTORY.exists(), reason="no committed bench history"
+)
+class TestCommittedHistory:
+    """The ISSUE acceptance criteria, against the real archive."""
+
+    def test_committed_history_is_quiet(self, capsys):
+        assert main([
+            "bench", "regress", "--history", str(COMMITTED_HISTORY),
+            "--policy", str(REPO_ROOT / "benchmarks" / "regress_policy.json"),
+        ]) == 0
+        assert "no regressions detected" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_detected_in_copy(self, tmp_path, capsys):
+        """Inject a 2x e1 bulk-load slowdown into a copy of the committed
+        history; regress must exit non-zero and name the benchmark."""
+        history = tmp_path / "copy.mdb"
+        shutil.copy2(COMMITTED_HISTORY, history)
+        rng = random.Random(6)
+        paths = []
+        for i in range(9):
+            slow = i >= 6  # last three runs regress
+            seconds = (7.4 if slow else 3.7) + rng.uniform(-0.05, 0.05)
+            # Timestamps must postdate the committed runs so the slow
+            # injections form the "recent" window.
+            doc = _doc(
+                f"{i:03d}" + "b" * 37, f"2026-12-01T00:{i:02d}:00Z",
+                {"e1_bulk_load": {
+                    "ranks": 4096,
+                    "bulk_seconds": round(seconds, 3),
+                    "bulk_rows_per_second": round(413696 / seconds),
+                }},
+            )
+            path = tmp_path / f"synthetic{i}.json"
+            path.write_text(json.dumps(doc))
+            paths.append(str(path))
+        assert main(["bench", "ingest", "--history", str(history),
+                     *paths]) == 0
+        capsys.readouterr()
+        rc = main([
+            "bench", "regress", "--history", str(history),
+            "--policy", str(REPO_ROOT / "benchmarks" / "regress_policy.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "e1_bulk_load.bulk_seconds" in out
+        assert "+" in out  # the effect size is shown signed

@@ -2,6 +2,7 @@
 `load --stats`, and `--trace FILE` export."""
 
 import json
+import time
 
 import pytest
 
@@ -144,3 +145,82 @@ class TestSqlCommand:
         code = main(["sql", "--db", db, "SELECT * FROM missing_table"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestStatsServer:
+    """`repro stats --server HOST:PORT` reads a live server's registry
+    over the get_stats RPC; --watch survives a server restart."""
+
+    @pytest.fixture
+    def server(self, db):
+        from repro.explorer import AnalysisServer, SocketServer
+
+        assert main(["configure", "--db", db]) == 0
+        sock = SocketServer(AnalysisServer(db))
+        host, port = sock.start()
+        yield sock, host, port
+        sock.stop()
+
+    def test_single_shot_remote_snapshot(self, server, capsys):
+        _sock, host, port = server
+        assert main(["stats", "--server", f"{host}:{port}"]) == 0
+        out = capsys.readouterr().out
+        assert "server.requests" in out
+
+    def test_remote_prometheus_format(self, server, capsys):
+        _sock, host, port = server
+        assert main(["stats", "--server", f"{host}:{port}",
+                     "--format", "prometheus"]) == 0
+        assert "# TYPE server_requests counter" in capsys.readouterr().out
+
+    def test_bad_server_spec(self, capsys):
+        assert main(["stats", "--server", "nonsense"]) == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_histogram_percentiles_in_text(self, capsys):
+        registry.histogram("cli.latency_test").observe(0.5)
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out and "p95=" in out and "p99=" in out
+
+    def test_watch_survives_server_restart(self, db, capsys):
+        """The satellite fix: a restarting server must not crash
+        --watch; the loop reconnects with the client's backoff."""
+        import threading
+
+        from repro.explorer import AnalysisServer, SocketServer
+
+        assert main(["configure", "--db", db]) == 0
+        sock = SocketServer(AnalysisServer(db))
+        host, port = sock.start()
+
+        result = {}
+
+        def watch() -> None:
+            result["rc"] = main([
+                "stats", "--server", f"{host}:{port}",
+                "--watch", "0.2", "--watch-count", "12",
+            ])
+
+        thread = threading.Thread(target=watch)
+        thread.start()
+        try:
+            time.sleep(0.5)   # a few successful ticks
+            sock.stop()       # server goes away mid-watch
+            # Long enough that at least one tick exhausts the client's
+            # in-call reconnect backoff and reports the outage.
+            time.sleep(1.5)
+            sock = SocketServer(AnalysisServer(db), host=host, port=port)
+            sock.start()      # same address comes back
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        finally:
+            sock.stop()
+        assert result["rc"] == 0
+        captured = capsys.readouterr()
+        # Ticks kept flowing the whole time...
+        assert captured.out.count("--\n") == 12
+        # ...the outage was reported, not fatal...
+        assert "server unavailable" in captured.err
+        # ...and snapshots flowed again after the restart.
+        assert captured.out.count("server.requests") >= 2
