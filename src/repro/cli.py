@@ -138,7 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="path to the workflow JSON file")
 
     p = sub.add_parser("serve", help="start a PerfExplorer analysis server")
-    add_db(p)
+    # --db is not required here: a --replica-of server gets its database
+    # from the primary's checkpoint + WAL, not from a URL.
+    p.add_argument(
+        "--db", default=None,
+        help="database URL, e.g. sqlite:///path/archive.db, "
+             "minisql://name (in-memory), or minisql:///path/archive.mdb "
+             "(durable file archive with WAL crash recovery); required "
+             "unless --replica-of is given",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0)
     p.add_argument("--once", action="store_true",
@@ -148,7 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: any free port)")
     p.add_argument("--no-telemetry", action="store_true",
                    help="do not start the HTTP telemetry endpoint")
+    p.add_argument("--replica-of", default=None, metavar="HOST:PORT",
+                   help="serve as a read-only replica of this primary: "
+                        "bootstrap from its checkpoint, tail its WAL, "
+                        "reject mutating methods (--db is ignored)")
+    p.add_argument("--replica-name", default=None,
+                   help="replica identity reported to the primary "
+                        "(default: replica-<pid>)")
+    p.add_argument("--max-in-flight", type=int, default=None, metavar="N",
+                   help="admission control: shed requests (RETRY_LATER) "
+                        "past N concurrent dispatches")
     add_trace(p)
+
+    p = sub.add_parser(
+        "replicas",
+        help="show a live server's replication role, attached replicas "
+             "and lag",
+    )
+    p.add_argument("server", metavar="HOST:PORT",
+                   help="address of the primary or replica to inspect")
+    p.add_argument("--format", default="text", choices=("text", "json"))
 
     p = sub.add_parser(
         "stats", help="dump/reset/watch the observability metrics registry"
@@ -263,6 +290,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "transfer": _cmd_transfer,
         "workflow": _cmd_workflow,
         "serve": _cmd_serve,
+        "replicas": _cmd_replicas,
         "shell": _cmd_shell,
         "report": _cmd_report,
         "stats": _cmd_stats,
@@ -528,19 +556,54 @@ def _cmd_workflow(args) -> int:
     return 0
 
 
+def _parse_host_port(text: str, flag: str) -> tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"{flag} expects HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
 def _cmd_serve(args) -> int:
     from .explorer import AnalysisServer, SocketServer
     from .obs import configure_logging
 
     # Surface the per-request structured log on stderr.
     configure_logging(level="info")
+    replica = None
+    if args.replica_of:
+        import os as _os
+
+        from .db.minisql.replica import RemoteWalSource, Replica
+
+        phost, pport = _parse_host_port(args.replica_of, "--replica-of")
+        name = args.replica_name or f"replica-{_os.getpid()}"
+        replica = Replica(RemoteWalSource(phost, pport, replica_id=name), name=name)
+        replica.start()
+        try:
+            replica.catch_up(timeout=30.0)
+            print(f"replica {name} caught up with {phost}:{pport} "
+                  f"at lsn {replica.applied_lsn}")
+        except Exception as exc:
+            # Keep serving: the tail loop retries in the background and
+            # the health endpoint reports the (growing) lag meanwhile.
+            print(f"replica {name} still syncing with {phost}:{pport}: {exc}")
+        analysis = AnalysisServer(
+            replica.shared_url(), read_only=True, replica=replica
+        )
+    else:
+        if not args.db:
+            print("serve: --db is required unless --replica-of is given",
+                  file=sys.stderr)
+            return 2
+        analysis = AnalysisServer(args.db)
     telemetry_port = None if args.no_telemetry else args.telemetry_port
     server = SocketServer(
-        AnalysisServer(args.db), host=args.host, port=args.port,
-        telemetry_port=telemetry_port,
+        analysis, host=args.host, port=args.port,
+        telemetry_port=telemetry_port, max_in_flight=args.max_in_flight,
     )
     host, port = server.start()
-    print(f"PerfExplorer analysis server listening on {host}:{port}")
+    role = "read-only replica" if replica is not None else "analysis"
+    print(f"PerfExplorer {role} server listening on {host}:{port}")
     if server.telemetry_address is not None:
         thost, tport = server.telemetry_address
         print(
@@ -549,6 +612,8 @@ def _cmd_serve(args) -> int:
         )
     if args.once:
         server.stop()
+        if replica is not None:
+            replica.stop()
         return 0
     try:  # pragma: no cover - interactive
         import time
@@ -557,6 +622,46 @@ def _cmd_serve(args) -> int:
             time.sleep(1)
     except KeyboardInterrupt:  # pragma: no cover
         server.stop()
+        if replica is not None:
+            replica.stop()
+    return 0
+
+
+def _cmd_replicas(args) -> int:
+    import json
+
+    from .explorer.client import PerfExplorerClient
+
+    host, port = _parse_host_port(args.server, "server")
+    with PerfExplorerClient(host, port, timeout=10.0) as client:
+        status = client.replication_status()
+    if args.format == "json":
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    role = status.get("role", "unknown")
+    print(f"role: {role}")
+    if role == "primary":
+        print(f"last_lsn: {status.get('last_lsn')}")
+        print(f"checkpoint_lsn: {status.get('checkpoint_lsn')}")
+        replicas = status.get("replicas", {})
+        if not replicas:
+            print("replicas: none attached")
+        for name, info in sorted(replicas.items()):
+            lag = status.get("last_lsn", 0) - info.get("lsn", 0)
+            print(
+                f"  {name}: lsn {info.get('lsn')} "
+                f"(behind by {max(0, lag)} records, last fetch "
+                f"{info.get('seconds_since_fetch', '?')}s ago)"
+            )
+    elif role == "replica":
+        for key in (
+            "name", "state", "applied_lsn", "primary_lsn",
+            "replication_lag_records", "replication_lag_seconds",
+            "batches_applied", "resyncs", "errors",
+        ):
+            print(f"{key}: {status.get(key)}")
+    else:
+        print("(no WAL configured; replication unavailable)")
     return 0
 
 

@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Sequence
 
 from repro.obs.log import get_logger
+from repro.obs.metrics import registry as _metrics_registry
 from repro.obs.trace import tracer as _tracer
 
 from .ast_nodes import (
@@ -36,6 +37,8 @@ from .parser import parse
 from .storage import Database
 
 _slow_log = get_logger("repro.db.minisql")
+
+_snapshot_reads = _metrics_registry.counter("minisql.snapshot.reads")
 
 apilevel = "2.0"
 threadsafety = 1
@@ -111,6 +114,20 @@ def connect(database: str = ":memory:", isolation_level: Optional[str] = "") -> 
         with _SHARED_LOCK:
             db = _SHARED_DATABASES.setdefault(database, Database())
     return Connection(db, isolation_level=isolation_level)
+
+
+def register_shared_database(name: str, database: Database) -> str:
+    """Publish an existing Database object under a shared name.
+
+    Later ``connect(name)`` calls return connections onto this object —
+    the hook replicas use to mount their replayed database behind the
+    PerfExplorer server.  Returns the name for convenience.
+    """
+    if name == ":memory:" or _is_file_target(name):
+        raise ProgrammingError(f"cannot register {name!r} as a shared database")
+    with _SHARED_LOCK:
+        _SHARED_DATABASES[name] = database
+    return name
 
 
 def reset_shared_databases() -> None:
@@ -307,6 +324,22 @@ class Connection:
             if isinstance(statement, RollbackTransaction):
                 self.rollback()
                 return ResultSet([], [], rowcount=0)
+            snap_mgr = self._database.snapshot_mgr
+            if (
+                snap_mgr is not None
+                and isinstance(statement, Select)
+                and not self.in_transaction
+                and self._database.shard_mgr is None
+            ):
+                # MVCC snapshot read: execute against the pinned
+                # copy-on-write snapshot — never touches (or waits on)
+                # the writer lock.  Inside an explicit transaction the
+                # connection reads its own uncommitted state instead,
+                # and sharded databases keep their scatter-gather path
+                # (shard-resident tables may not be hydrated locally).
+                self._database.stats["snapshot_selects"] += 1
+                _snapshot_reads.inc()
+                return Executor(snap_mgr.pin()).execute(statement, params)
             mgr = self._database.shard_mgr
             if mgr is not None:
                 # Hydrate shard-resident tables the statement needs in

@@ -599,6 +599,8 @@ class Executor:
             # on/off return no rows, matching sqlite's silent treatment of
             # unknown pragmas, so differential corpora stay comparable.
             return ResultSet([], [], rowcount=0)
+        if stmt.name == "snapshot_isolation":
+            return self._pragma_snapshot_isolation(stmt)
         if stmt.name == "columnar":
             return self._pragma_columnar(stmt)
         if stmt.name == "shards":
@@ -610,6 +612,38 @@ class Executor:
 
     _ON = ("on", "1", "true")
     _OFF = ("off", "0", "false")
+
+    def _pragma_snapshot_isolation(self, stmt: Pragma) -> ResultSet:
+        """``PRAGMA snapshot_isolation(on|off|status)`` — MVCC reads.
+
+        While on, SELECTs outside an explicit transaction run against a
+        pinned copy-on-write snapshot (see
+        :mod:`~repro.db.minisql.snapshot`) and never interact with the
+        database writer lock.
+        """
+        from . import snapshot as _snapshot
+
+        argument = str(stmt.argument or "status").strip().lower()
+        if argument in self._ON:
+            _snapshot.enable(self.database)
+        elif argument in self._OFF:
+            _snapshot.disable(self.database)
+        elif argument == "status":
+            mgr = self.database.snapshot_mgr
+            if mgr is None:
+                return ResultSet(["key", "value"], [("enabled", 0)])
+            rows = [
+                (key, value)
+                for key, value in sorted(mgr.status().items())
+                if key != "enabled"
+            ]
+            return ResultSet(["key", "value"], [("enabled", 1)] + rows)
+        else:
+            raise ProgrammingError(
+                "PRAGMA snapshot_isolation expects on/off/status, "
+                f"got {stmt.argument!r}"
+            )
+        return ResultSet([], [], rowcount=0)
 
     def _pragma_columnar(self, stmt: Pragma) -> ResultSet:
         """``PRAGMA columnar`` — per-table storage-mode control.

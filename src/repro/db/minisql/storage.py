@@ -301,8 +301,12 @@ class Table:
             )
         self.columns.append(column)
         self._positions[column.lower_name] = len(self.columns) - 1
-        for row in self.rows.values():
-            row.append(column.default)
+        # Rebind rather than append in place: snapshot clones share row
+        # lists with the live table (update_row already replaces lists),
+        # so widening must produce fresh lists too.
+        rows = self.rows
+        for rowid, row in list(rows.items()):
+            rows[rowid] = row + [column.default]
         self.version += 1
 
     # -- row operations ------------------------------------------------------
@@ -573,6 +577,10 @@ class Table:
         row = self.rows.get(rowid)
         if row is None:
             return
+        # Build a fresh list instead of poking the stored one: snapshot
+        # clones share row lists with the live store, and replica replay
+        # runs this concurrently with pinned snapshot reads.
+        row = list(row)
         for position, value in pairs:
             row[position] = value
         self.rows[rowid] = row
@@ -666,6 +674,21 @@ class ColumnData:
 
     def __len__(self) -> int:
         return len(self.data)
+
+    def copy(self) -> "ColumnData":
+        """Slab-level copy for snapshot clones: typed arrays memcpy,
+        NULL maps and escape hatches copy shallowly (values immutable)."""
+        clone = ColumnData.__new__(ColumnData)
+        clone.kind = self.kind
+        if self.kind in ("i", "f"):
+            clone.data = array(self.data.typecode, self.data)
+        else:
+            clone.data = list(self.data)
+        clone.nulls = bytearray(self.nulls)
+        clone.null_count = self.null_count
+        clone.exc = dict(self.exc)
+        clone.numeric_only = self.numeric_only
+        return clone
 
     @property
     def pure(self) -> bool:
@@ -1103,6 +1126,8 @@ class Database:
         "shard_queries", "shard_pool_queries", "shard_fallbacks",
         "shard_bypasses", "shard_rebuilds", "shard_hydrations",
         "shard_parallel_ingests",
+        "snapshot_selects", "snapshot_refreshes", "snapshot_table_clones",
+        "snapshot_stale_serves",
     )
 
     def __init__(self) -> None:
@@ -1145,6 +1170,11 @@ class Database:
         #: ``PRAGMA shards(<n>)`` is active; None otherwise.  Duck-typed
         #: so this module never imports the shard machinery.
         self.shard_mgr = None
+        #: Attached :class:`~repro.db.minisql.snapshot.SnapshotManager`
+        #: when ``PRAGMA snapshot_isolation(on)`` is active; None
+        #: otherwise.  Duck-typed so this module never imports the
+        #: snapshot machinery.
+        self.snapshot_mgr = None
         #: Slow-query threshold in milliseconds (``PRAGMA slow_query_ms``);
         #: None disables statement timing entirely.
         self.slow_query_ms: Optional[float] = None

@@ -92,14 +92,17 @@ def list_segments(path: Path) -> list[Path]:
     return [entry for _seq, entry in sorted(found)]
 
 
-def _read_segment(segment: Path) -> tuple[list[tuple], bool]:
-    """Decode one segment; returns (records, clean).
+def decode_buffer(data: bytes) -> tuple[list[tuple], bool]:
+    """Decode CRC-framed records from a byte buffer; returns
+    (records, clean).
 
-    ``clean`` is False when the segment ends in a torn or corrupt
+    ``clean`` is False when the buffer ends in a torn or corrupt
     record — every byte before the tear still decodes, so the committed
-    prefix is preserved.
+    prefix is preserved.  Shared by segment reads and by replicas
+    decoding shipped WAL bytes (the same framing travels the wire, so
+    corruption anywhere between primary disk and replica memory is
+    caught here).
     """
-    data = segment.read_bytes()
     records: list[tuple] = []
     offset = 0
     total = len(data)
@@ -121,6 +124,11 @@ def _read_segment(segment: Path) -> tuple[list[tuple], bool]:
         records.append(record)
         offset = end
     return records, offset == total
+
+
+def _read_segment(segment: Path) -> tuple[list[tuple], bool]:
+    """Decode one segment; returns (records, clean)."""
+    return decode_buffer(segment.read_bytes())
 
 
 def read_records(path: Path) -> tuple[list[tuple], bool]:
@@ -195,6 +203,11 @@ class WriteAheadLog:
         self.checkpoints = 0
         self.bytes_since_checkpoint = 0
         self.last_lsn = 0
+        #: LSN already folded into the on-disk checkpoint: records at or
+        #: below it no longer exist in the segments.  Replication uses
+        #: this as the resync watermark — a replica whose applied LSN is
+        #: behind it can no longer tail incrementally.
+        self.checkpoint_lsn = 0
         self._lock = threading.RLock()
         existing = list_segments(self.path)
         if existing:
@@ -334,6 +347,7 @@ class WriteAheadLog:
             faults.crash_point("checkpoint.after_rename")
             self._truncate()
             faults.crash_point("checkpoint.after_truncate")
+            self.checkpoint_lsn = self.last_lsn
         self.checkpoints += 1
         self.bytes_since_checkpoint = 0
         _registry.counter("minisql.wal.checkpoints").inc()
@@ -365,6 +379,7 @@ class WriteAheadLog:
                 "fsyncs": self.fsyncs,
                 "checkpoints": self.checkpoints,
                 "last_lsn": self.last_lsn,
+                "checkpoint_lsn": self.checkpoint_lsn,
             }
 
 

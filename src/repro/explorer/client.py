@@ -5,117 +5,407 @@ of interest, sets analysis parameters, and then requests data mining
 operations on the parallel dataset"* (§5.3).  The client is a thin
 remote proxy: every call becomes one protocol request; results arrive
 as plain dicts/lists.
+
+Fault tolerance (ISSUE 9): the client accepts a *list* of endpoints —
+the first is the primary, the rest are read replicas.  Read-only calls
+fail over across endpoints; mutating calls go only to the primary.
+Each endpoint sits behind a circuit breaker (closed → open after
+``breaker_threshold`` consecutive failures → half-open probe after
+``breaker_cooldown`` seconds), reconnect delays use jittered
+exponential backoff with a cap, and ``max_lag_ms`` bounds how stale a
+replica may be before reads fall back to the primary.  A server that
+sheds a request under admission control answers ``RETRY_LATER``; the
+client retries those (any method — a shed request never ran) with
+backoff.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import registry as _registry
 from repro.obs.trace import tracer as _tracer
 
 from .protocol import (
-    ConnectTimeout, MessageStream, ProtocolError, attach_trace_context,
+    READ_ONLY_METHODS, ConnectTimeout, MessageStream, ProtocolError,
+    RetryLater, attach_trace_context,
 )
+
+__all__ = [
+    "AnalysisError", "CircuitBreaker", "PerfExplorerClient",
+    "READ_ONLY_METHODS", "RetryLater",
+]
 
 _log = get_logger("repro.explorer.client")
 
-#: RPC methods that are safe to transparently retry after a transport
-#: failure: they only read the archive, so re-executing them cannot
-#: duplicate side effects.  Mutating calls (``cluster_trial`` with
-#: ``save=True``, ``run_workflow``) surface the error to the caller.
-READ_ONLY_METHODS = frozenset({
-    "ping", "get_stats",
-    "list_applications", "list_experiments", "list_trials",
-    "list_metrics", "list_events", "list_analyses", "get_analysis",
-    "describe_event", "correlate_events",
-    "speedup_chart", "correlation_matrix", "group_fraction_chart",
-    "imbalance_chart",
-})
+Endpoint = tuple[str, int]
+
+#: Gauge encoding of breaker states (exported as
+#: ``explorer.client.circuit_breaker_state``).
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 
 
 class AnalysisError(RuntimeError):
     """An error reported by the analysis server."""
 
 
-class PerfExplorerClient:
-    """A connected PerfExplorer client.
+class CircuitBreaker:
+    """Per-endpoint circuit breaker.
 
-    Connecting retries with exponential backoff (``connect_retries``
-    attempts, delay doubling from ``backoff``), raising
-    :class:`ConnectTimeout` when the server never accepts — distinct
-    from the :class:`ProtocolError` a live-but-misbehaving server
-    produces mid-call.  Read-only RPCs that die to a transport error
-    reconnect once and retry once; mutating RPCs never retry.
+    ``closed`` admits traffic; ``breaker_threshold`` consecutive
+    failures trip it ``open`` (requests skip the endpoint entirely);
+    after ``cooldown`` seconds the next :meth:`allow` transitions to
+    ``half_open`` and admits a single probe — success closes the
+    breaker, failure re-opens it and re-arms the cooldown.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        name: str = "",
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.name = name
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self._clock = clock
+        self.failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent to this endpoint right now?"""
+        if self._state == "open":
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self._transition("half_open")
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self._state != "closed":
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self._state == "half_open" or self.failures >= self.threshold:
+            self._opened_at = self._clock()
+            if self._state != "open":
+                _registry.counter("explorer.client.circuit_breaker_opens").inc()
+                self._transition("open")
+
+    def _transition(self, new_state: str) -> None:
+        _log.info(
+            "circuit_breaker",
+            endpoint=self.name,
+            state=new_state,
+            failures=self.failures,
+        )
+        self._state = new_state
+        # Last-transition gauge: a flat registry holds one value, so
+        # this reflects the most recently transitioning breaker — the
+        # interesting one during an incident.
+        _registry.gauge("explorer.client.circuit_breaker_state").set(
+            BREAKER_STATE_CODES[new_state]
+        )
+
+
+def _as_endpoint(value: Union[str, Endpoint]) -> Endpoint:
+    if isinstance(value, str):
+        host, _, port = value.rpartition(":")
+        if not host:
+            raise ValueError(f"endpoint {value!r} is not host:port")
+        return (host, int(port))
+    host, port = value
+    return (str(host), int(port))
+
+
+def _addr(endpoint: Endpoint) -> str:
+    return f"{endpoint[0]}:{endpoint[1]}"
+
+
+class PerfExplorerClient:
+    """A connected PerfExplorer client.
+
+    Connecting retries with jittered exponential backoff
+    (``connect_retries`` attempts, delay doubling from ``backoff`` up
+    to ``backoff_cap``, each inflated by up to 50% jitter so a fleet of
+    reconnecting clients does not stampede), raising
+    :class:`ConnectTimeout` — carrying the attempted address list —
+    when no endpoint ever accepts.  Read-only RPCs that die to a
+    transport error reconnect and retry, then fail over to the next
+    healthy endpoint; mutating RPCs go only to the primary (the first
+    endpoint) and never retry.  With ``max_lag_ms`` set, reads consult
+    each replica's ``replication_status`` (cached ``lag_probe_ttl``
+    seconds) and skip replicas lagging past the bound.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         timeout: float = 30.0,
         connect_retries: int = 3,
         backoff: float = 0.1,
+        *,
+        endpoints: Optional[list[Union[str, Endpoint]]] = None,
+        backoff_cap: float = 5.0,
+        max_lag_ms: Optional[float] = None,
+        lag_probe_ttl: float = 1.0,
+        retry_later_attempts: int = 2,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        rng: Optional[random.Random] = None,
     ):
-        self.host = host
-        self.port = port
+        if endpoints:
+            self.endpoints = [_as_endpoint(e) for e in endpoints]
+        elif host is not None and port is not None:
+            self.endpoints = [(host, int(port))]
+        else:
+            raise ValueError("need host/port or a non-empty endpoints list")
+        # Back-compat attributes: the primary endpoint.
+        self.host, self.port = self.endpoints[0]
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.max_lag_ms = max_lag_ms
+        self.lag_probe_ttl = lag_probe_ttl
+        self.retry_later_attempts = max(0, retry_later_attempts)
+        self._rng = rng if rng is not None else random.Random()
         self._ids = itertools.count(1)
+        self._streams: dict[Endpoint, MessageStream] = {}
+        self._breakers: dict[Endpoint, CircuitBreaker] = {
+            ep: CircuitBreaker(
+                name=_addr(ep),
+                threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+            )
+            for ep in self.endpoints
+        }
+        #: addr -> (monotonic probe time, lag in ms) staleness cache.
+        self._lag_cache: dict[Endpoint, tuple[float, float]] = {}
+        self._active: Endpoint = self.endpoints[0]
         self._stream: Optional[MessageStream] = None
         self._connect()
 
     # -- plumbing ------------------------------------------------------------
 
+    def breaker(self, endpoint: Union[str, Endpoint, None] = None) -> CircuitBreaker:
+        """The circuit breaker guarding ``endpoint`` (default: primary)."""
+        ep = self.endpoints[0] if endpoint is None else _as_endpoint(endpoint)
+        return self._breakers[ep]
+
+    def _delay(self, attempt: int) -> float:
+        """Jittered exponential backoff: double from ``backoff`` up to
+        ``backoff_cap``, inflated by up to 50% so simultaneous
+        reconnectors spread out instead of stampeding in lockstep."""
+        base = min(self.backoff_cap, self.backoff * (2 ** attempt))
+        return base * (1.0 + 0.5 * self._rng.random())
+
+    def _open(self, endpoint: Endpoint) -> MessageStream:
+        """One connection attempt to one endpoint (no retry loop)."""
+        sock = socket.create_connection(endpoint, timeout=self.timeout)
+        stream = MessageStream(sock, fault_point="net.client")
+        self._streams[endpoint] = stream
+        self._activate(endpoint)
+        return stream
+
+    def _activate(self, endpoint: Endpoint) -> None:
+        self._active = endpoint
+        self._stream = self._streams.get(endpoint)
+
+    def _drop(self, endpoint: Endpoint) -> None:
+        stream = self._streams.pop(endpoint, None)
+        if stream is not None:
+            stream.close()
+        if self._active == endpoint:
+            self._stream = None
+
     def _connect(self) -> None:
-        delay = self.backoff
+        """Connect to the first reachable endpoint, round-robin with
+        jittered exponential backoff between rounds."""
+        attempts = max(1, self.connect_retries)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            for endpoint in self.endpoints:
+                try:
+                    self._open(endpoint)
+                except OSError as exc:
+                    self._breakers[endpoint].record_failure()
+                    last_error = exc
+                    continue
+                return
+            if attempt + 1 < attempts:
+                _registry.counter("explorer.client.reconnects").inc()
+                time.sleep(self._delay(attempt))
+        addresses = [_addr(ep) for ep in self.endpoints]
+        raise ConnectTimeout(
+            f"could not connect to {', '.join(addresses)} after "
+            f"{attempts} attempts: {last_error}",
+            addresses=addresses,
+        ) from last_error
+
+    def _connect_endpoint(self, endpoint: Endpoint) -> MessageStream:
+        """Connect to one specific endpoint with the retry loop."""
         attempts = max(1, self.connect_retries)
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
+                return self._open(endpoint)
             except OSError as exc:
+                self._breakers[endpoint].record_failure()
                 last_error = exc
                 if attempt + 1 < attempts:
                     _registry.counter("explorer.client.reconnects").inc()
-                    time.sleep(delay)
-                    delay *= 2
-                continue
-            self._stream = MessageStream(sock)
-            return
+                    time.sleep(self._delay(attempt))
         raise ConnectTimeout(
-            f"could not connect to {self.host}:{self.port} after "
-            f"{attempts} attempts: {last_error}"
+            f"could not connect to {_addr(endpoint)} after "
+            f"{attempts} attempts: {last_error}",
+            addresses=[_addr(endpoint)],
         ) from last_error
 
-    def call(self, rpc_method: str, /, **params: Any) -> Any:
+    # -- staleness-bounded read routing --------------------------------------
+
+    def _lag_ms(self, endpoint: Endpoint) -> float:
+        now = time.monotonic()
+        cached = self._lag_cache.get(endpoint)
+        if cached is not None and now - cached[0] < self.lag_probe_ttl:
+            return cached[1]
         try:
-            return self._call_once(rpc_method, params)
-        except (ConnectTimeout, AnalysisError):
+            status = self._call_once(endpoint, "replication_status", {})
+            if status.get("role") == "replica":
+                lag = float(status.get("replication_lag_seconds", 0.0)) * 1000.0
+            else:
+                lag = 0.0  # a primary is never stale
+        except Exception:
+            lag = float("inf")
+        self._lag_cache[endpoint] = (now, lag)
+        return lag
+
+    def _read_candidates(self) -> list[Endpoint]:
+        """Failover order for a read: active endpoint first, then the
+        rest; breaker-open endpoints skipped; replicas past the
+        staleness bound skipped; the primary always remains as the
+        last resort."""
+        primary = self.endpoints[0]
+        ordered = [self._active] + [
+            ep for ep in self.endpoints if ep != self._active
+        ]
+        candidates = [ep for ep in ordered if self._breakers[ep].allow()]
+        if self.max_lag_ms is not None:
+            fresh = [
+                ep for ep in candidates
+                if ep == primary or self._lag_ms(ep) <= self.max_lag_ms
+            ]
+            if fresh != candidates:
+                _registry.counter("explorer.client.stale_replica_skips").inc()
+            candidates = fresh
+        if primary not in candidates:
+            candidates.append(primary)
+        return candidates
+
+    # -- calls ----------------------------------------------------------------
+
+    def call(self, rpc_method: str, /, **params: Any) -> Any:
+        """One RPC, with failover, breaker accounting and shed-retry."""
+        shed_round = 0
+        while True:
+            try:
+                return self._call_failover(rpc_method, params)
+            except RetryLater:
+                if shed_round >= self.retry_later_attempts:
+                    raise
+                _registry.counter("explorer.client.shed_retries").inc()
+                _log.warning("retry_later", method=rpc_method, round=shed_round)
+                time.sleep(self._delay(shed_round))
+                shed_round += 1
+
+    def _call_failover(self, rpc_method: str, params: dict[str, Any]) -> Any:
+        read = rpc_method in READ_ONLY_METHODS
+        candidates = self._read_candidates() if read else [self.endpoints[0]]
+        last_exc: Optional[Exception] = None
+        attempted: list[str] = []
+        for index, endpoint in enumerate(candidates):
+            if index > 0:
+                _registry.counter("explorer.client.failovers").inc()
+                _log.warning(
+                    "failover", method=rpc_method, endpoint=_addr(endpoint)
+                )
+            try:
+                return self._try_endpoint(endpoint, rpc_method, params, read)
+            except (RetryLater, AnalysisError):
+                raise  # the server answered; nothing to fail over from
+            except ConnectTimeout as exc:
+                attempted.extend(exc.addresses or [_addr(endpoint)])
+                last_exc = exc
+            except (ProtocolError, OSError) as exc:
+                attempted.append(_addr(endpoint))
+                last_exc = exc
+                if not read:
+                    raise
+        assert last_exc is not None
+        if isinstance(last_exc, ConnectTimeout) and len(candidates) > 1:
+            raise ConnectTimeout(
+                f"all endpoints unreachable ({', '.join(attempted)}): "
+                f"{last_exc}",
+                addresses=attempted,
+            ) from last_exc
+        raise last_exc
+
+    def _try_endpoint(
+        self,
+        endpoint: Endpoint,
+        rpc_method: str,
+        params: dict[str, Any],
+        read: bool,
+    ) -> Any:
+        """One call against one endpoint; reads transparently retry
+        once on a fresh connection when a cached stream turns out to be
+        dead (the pre-failover behaviour, now per endpoint)."""
+        breaker = self._breakers[endpoint]
+        try:
+            result = self._call_once(endpoint, rpc_method, params)
+        except (ConnectTimeout, RetryLater, AnalysisError):
             raise
         except (ProtocolError, OSError) as exc:
-            if rpc_method not in READ_ONLY_METHODS:
+            breaker.record_failure()
+            if not read:
+                self._drop(endpoint)
                 raise
-            # Idempotent read: reconnect (with backoff) and retry once.
             _log.warning(
                 "retry", method=rpc_method, error=str(exc),
                 error_type=type(exc).__name__,
             )
             _registry.counter("explorer.client.retries").inc()
-            self.close()
-            self._connect()
-            return self._call_once(rpc_method, params)
+            self._drop(endpoint)
+            self._connect_endpoint(endpoint)
+            try:
+                result = self._call_once(endpoint, rpc_method, params)
+            except (ProtocolError, OSError):
+                breaker.record_failure()
+                self._drop(endpoint)
+                raise
+        breaker.record_success()
+        self._activate(endpoint)
+        return result
 
-    def _call_once(self, rpc_method: str, params: dict[str, Any]) -> Any:
-        if self._stream is None:
-            self._connect()
+    def _call_once(
+        self, endpoint: Endpoint, rpc_method: str, params: dict[str, Any]
+    ) -> Any:
+        stream = self._streams.get(endpoint)
+        if stream is None:
+            stream = self._connect_endpoint(endpoint)
         request_id = next(self._ids)
         with _tracer.span("explorer.call", method=rpc_method) as call_span:
             request = {"id": request_id, "method": rpc_method, "params": params}
@@ -123,8 +413,8 @@ class PerfExplorerClient:
                 attach_trace_context(
                     request, (call_span.trace_id, call_span.span_id)
                 )
-            self._stream.send(request)
-            response = self._stream.receive(timeout=self.timeout)
+            stream.send(request)
+            response = stream.receive(timeout=self.timeout)
         if response is None:
             raise ProtocolError("server closed the connection")
         if response.get("id") != request_id:
@@ -132,13 +422,16 @@ class PerfExplorerClient:
                 f"response id {response.get('id')} != request id {request_id}"
             )
         if "error" in response:
-            raise AnalysisError(response["error"])
+            error = response["error"]
+            if response.get("retry_later") or str(error).startswith("RETRY_LATER"):
+                raise RetryLater(str(error))
+            raise AnalysisError(error)
         return response.get("result")
 
     def close(self) -> None:
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        for endpoint in list(self._streams):
+            self._drop(endpoint)
+        self._stream = None
 
     def __enter__(self) -> "PerfExplorerClient":
         return self
@@ -155,6 +448,10 @@ class PerfExplorerClient:
         """The server's metrics-registry snapshot (see ``repro stats
         --server``)."""
         return self.call("get_stats")
+
+    def replication_status(self) -> dict[str, Any]:
+        """The server's replication role and lag (primary/replica/standalone)."""
+        return self.call("replication_status")
 
     def list_applications(self) -> list[dict[str, Any]]:
         return self.call("list_applications")

@@ -16,6 +16,8 @@ import json
 import socket
 from typing import Any, Optional
 
+from repro.testing import faults
+
 
 class ProtocolError(RuntimeError):
     """Raised for malformed frames or protocol violations."""
@@ -25,7 +27,37 @@ class ConnectTimeout(ProtocolError):
     """Raised when establishing the TCP connection itself fails or times
     out — as opposed to a :class:`ProtocolError` mid-call, which means a
     live server sent something wrong.  Callers use the distinction to
-    tell a dead/unreachable server from a misbehaving one."""
+    tell a dead/unreachable server from a misbehaving one.
+
+    ``addresses`` lists every ``host:port`` the caller attempted, so a
+    failover client's timeout names the whole endpoint set it exhausted
+    rather than just the last one tried.
+    """
+
+    def __init__(self, message: str = "", addresses: Optional[list[str]] = None):
+        super().__init__(message)
+        self.addresses: list[str] = list(addresses or [])
+
+
+class RetryLater(ProtocolError):
+    """Server-side admission control shed this request before running
+    it; the caller may safely retry after a backoff — even a mutating
+    call, since a shed request was never dispatched."""
+
+
+#: RPC methods that are safe to transparently retry after a transport
+#: failure — and safe to serve from a read replica: they only read the
+#: archive, so re-executing them cannot duplicate side effects.
+#: Mutating calls (``cluster_trial`` with ``save=True``,
+#: ``run_workflow``) go to the primary and surface errors to the caller.
+READ_ONLY_METHODS = frozenset({
+    "ping", "get_stats",
+    "list_applications", "list_experiments", "list_trials",
+    "list_metrics", "list_events", "list_analyses", "get_analysis",
+    "describe_event", "correlate_events",
+    "speedup_chart", "correlation_matrix", "group_fraction_chart",
+    "imbalance_chart", "replication_status",
+})
 
 
 def attach_trace_context(
@@ -67,17 +99,34 @@ def decode_message(line: bytes) -> dict[str, Any]:
 
 
 class MessageStream:
-    """Newline-framed message reader/writer over one socket."""
+    """Newline-framed message reader/writer over one socket.
 
-    def __init__(self, sock: socket.socket):
+    ``fault_point`` tags the stream for the network chaos shim
+    (:mod:`repro.testing.faults`): sends route through
+    ``faults.net_send(..., "<tag>.send")`` and receives pass
+    ``faults.net_point(..., "<tag>.recv")``, so tests can drop,
+    truncate, delay, or RST traffic at either side of the wire by
+    name.  Untagged streams skip the shim entirely.
+    """
+
+    def __init__(self, sock: socket.socket, fault_point: Optional[str] = None):
         self.sock = sock
+        self.fault_point = fault_point
         self._buffer = b""
 
     def send(self, payload: dict[str, Any]) -> None:
-        self.sock.sendall(encode_message(payload))
+        self.send_bytes(encode_message(payload))
+
+    def send_bytes(self, data: bytes) -> None:
+        if self.fault_point is None:
+            self.sock.sendall(data)
+        else:
+            faults.net_send(self.sock, data, self.fault_point + ".send")
 
     def receive(self, timeout: Optional[float] = None) -> Optional[dict[str, Any]]:
         """Read one message; None on clean EOF."""
+        if self.fault_point is not None:
+            faults.net_point(self.sock, self.fault_point + ".recv")
         self.sock.settimeout(timeout)
         while b"\n" not in self._buffer:
             chunk = self.sock.recv(65536)

@@ -14,11 +14,12 @@ API, never raw SQL — that separation is the Figure 3 architecture.
 
 from __future__ import annotations
 
+import base64
 import socket
 import threading
 import time
 import traceback
-from contextlib import contextmanager, nullcontext
+from contextlib import nullcontext
 from typing import Any, Optional
 
 import numpy as np
@@ -33,24 +34,47 @@ from .charts import (
     correlation_matrix, group_fraction_chart, imbalance_chart, speedup_chart,
 )
 from .clustering import cluster_trial, summarize_clusters
-from .protocol import MessageStream, encode_message, extract_trace_context
+from .protocol import (
+    READ_ONLY_METHODS, MessageStream, encode_message, extract_trace_context,
+)
 from .results import ResultStore
 from .rproxy import AnalysisBackend, NumpyAnalysisBackend
 
 _log = get_logger("repro.explorer.server")
 
+#: Methods a read-only replica server will dispatch: every read-only
+#: analysis method plus the replication introspection endpoint.
+REPLICA_SAFE_METHODS = READ_ONLY_METHODS | {"replication_status"}
+
 
 class AnalysisServer:
-    """Dispatches PerfExplorer requests against one PerfDMF database."""
+    """Dispatches PerfExplorer requests against one PerfDMF database.
+
+    ``read_only=True`` turns the server into a replica front end: only
+    :data:`REPLICA_SAFE_METHODS` are dispatched, everything else is
+    rejected before touching the session (replicas apply writes solely
+    through WAL replay, never through the RPC surface).  ``replica``
+    optionally attaches the :class:`~repro.db.minisql.replica.Replica`
+    feeding this server so ``replication_status`` and the health
+    endpoint can report lag.
+    """
 
     def __init__(
         self,
         database_url: str,
         backend: Optional[AnalysisBackend] = None,
+        read_only: bool = False,
+        replica: Optional[object] = None,
     ):
-        self.session = PerfDMFSession(database_url)
+        # A read-only front end must not write — not even idempotent
+        # schema DDL: a replica's schema arrives via checkpoint + WAL
+        # replay, and any local write would diverge from the primary.
+        self.session = PerfDMFSession(database_url, create=not read_only)
         self.backend = backend or NumpyAnalysisBackend()
         self.results = ResultStore(self.session)
+        self.read_only = read_only
+        self.replica = replica
+        self._shipper = None
         self._handlers = {
             "ping": self._ping,
             "list_applications": self._list_applications,
@@ -69,6 +93,9 @@ class AnalysisServer:
             "group_fraction_chart": self._group_fraction_chart,
             "imbalance_chart": self._imbalance_chart,
             "get_stats": self._get_stats,
+            "repl_snapshot": self._repl_snapshot,
+            "wal_ship": self._wal_ship,
+            "replication_status": self._replication_status,
         }
 
     # -- dispatch ----------------------------------------------------------------
@@ -77,6 +104,10 @@ class AnalysisServer:
         handler = self._handlers.get(method)
         if handler is None:
             raise ValueError(f"unknown method {method!r}")
+        if self.read_only and method not in REPLICA_SAFE_METHODS:
+            raise PermissionError(
+                f"read-only replica: method {method!r} not allowed"
+            )
         return handler(**params)
 
     # -- handlers -------------------------------------------------------------------
@@ -243,6 +274,7 @@ class AnalysisServer:
         # instruments up front so even the first snapshot carries them.
         _registry.counter("server.requests")
         _registry.histogram("server.request_seconds")
+        _registry.counter("server.admission_shed_total")
         return {"ts": time.time(), "metrics": _registry.snapshot()}
 
     def _list_analyses(self, trial: Optional[int] = None) -> list[dict[str, Any]]:
@@ -253,6 +285,55 @@ class AnalysisServer:
 
     def _get_analysis(self, settings_id: int) -> dict[str, Any]:
         return self.results.load_analysis(settings_id)
+
+    # -- replication ----------------------------------------------------------------
+
+    def _database(self):
+        """The underlying MiniSQL Database, if this session runs on one."""
+        raw = getattr(self.session.connection, "_raw", None)
+        return getattr(raw, "_database", None)
+
+    def _get_shipper(self):
+        if self._shipper is None:
+            from repro.db.minisql.replica import WalShipper
+
+            database = self._database()
+            if database is None or database.wal is None:
+                raise ValueError(
+                    "WAL shipping requires a WAL-backed MiniSQL database "
+                    "(connect with minisql://...?wal=...)"
+                )
+            self._shipper = WalShipper(database)
+        return self._shipper
+
+    def _repl_snapshot(self) -> dict[str, Any]:
+        """Bootstrap payload for a new replica: checkpoint script + LSNs."""
+        return self._get_shipper().snapshot()
+
+    def _wal_ship(
+        self,
+        after_lsn: int,
+        replica_id: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """Ship WAL frames past ``after_lsn`` (base64, CRC framing intact)."""
+        shipper = self._get_shipper()
+        if limit is None:
+            out = shipper.fetch(after_lsn, replica_id=replica_id)
+        else:
+            out = shipper.fetch(after_lsn, replica_id=replica_id, limit=limit)
+        frames = out.pop("frames", None)
+        if frames is not None:
+            out["frames_b64"] = base64.b64encode(frames).decode("ascii")
+        return out
+
+    def _replication_status(self) -> dict[str, Any]:
+        if self.replica is not None:
+            return self.replica.status()
+        database = self._database()
+        if database is not None and database.wal is not None:
+            return self._get_shipper().status()
+        return {"role": "standalone"}
 
 
 class SocketServer:
@@ -271,8 +352,14 @@ class SocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         telemetry_port: Optional[int] = None,
+        max_in_flight: Optional[int] = None,
     ):
         self.analysis = server
+        #: Admission control: with a bound set, a request arriving while
+        #: ``max_in_flight`` are already dispatched is *shed* — answered
+        #: immediately with a retryable RETRY_LATER error instead of
+        #: queueing behind work the server cannot keep up with.
+        self.max_in_flight = max_in_flight
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -294,11 +381,23 @@ class SocketServer:
     def _health(self) -> dict:
         with self._idle:
             in_flight = self._in_flight
-        return {
+        health = {
             "serving": self._running,
             "address": f"{self.address[0]}:{self.address[1]}",
             "in_flight_requests": in_flight,
         }
+        if self.max_in_flight is not None:
+            health["max_in_flight"] = self.max_in_flight
+        replica = getattr(self.analysis, "replica", None)
+        if replica is not None:
+            records, seconds = replica.replication_lag()
+            health["replication"] = {
+                "role": "replica",
+                "state": replica.state,
+                "lag_records": records,
+                "lag_seconds": seconds,
+            }
+        return health
 
     def start(self) -> tuple[str, int]:
         self._running = True
@@ -344,14 +443,19 @@ class SocketServer:
     def _serve_client(self, sock: socket.socket) -> None:
         from .protocol import ProtocolError
 
-        stream = MessageStream(sock)
+        stream = MessageStream(sock, fault_point="net.server")
         try:
             while True:
                 request = stream.receive()
                 if request is None:
                     return
-                with self._track_request():
+                if not self._admit():
+                    self._shed(stream, request)
+                    continue
+                try:
                     self._handle_one(stream, request)
+                finally:
+                    self._release()
         except (ProtocolError, OSError) as exc:
             # Expected transport-level endings: client went away mid-frame,
             # reset the connection, or we are shutting down.
@@ -367,17 +471,42 @@ class SocketServer:
             with self._clients_lock:
                 self._clients.discard(sock)
 
-    @contextmanager
-    def _track_request(self):
+    def _admit(self) -> bool:
+        """Claim an in-flight slot; False when admission control sheds."""
         with self._idle:
+            if (
+                self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight
+            ):
+                return False
             self._in_flight += 1
-        try:
-            yield
-        finally:
-            with self._idle:
-                self._in_flight -= 1
-                if self._in_flight == 0:
-                    self._idle.notify_all()
+            return True
+
+    def _release(self) -> None:
+        with self._idle:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def _shed(self, stream: MessageStream, request: dict) -> None:
+        """Refuse an over-limit request with a retryable error.
+
+        The request was never dispatched, so the client may retry it —
+        even a mutating one — after backing off (``retry_later`` flags
+        that distinction on the wire)."""
+        _registry.counter("server.admission_shed_total").inc()
+        _log.warning(
+            "request_shed",
+            method=request.get("method"),
+            max_in_flight=self.max_in_flight,
+        )
+        stream.send(
+            {
+                "id": request.get("id"),
+                "error": "RETRY_LATER: server at max in-flight requests",
+                "retry_later": True,
+            }
+        )
 
     def _handle_one(self, stream: MessageStream, request: dict) -> None:
         """Dispatch one request: trace-context adoption, structured
@@ -423,7 +552,7 @@ class SocketServer:
             latency_ms=latency_ms,
             result_bytes=len(encoded),
         )
-        stream.sock.sendall(encoded)
+        stream.send_bytes(encoded)
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop accepting connections; with ``drain`` (the default), wait

@@ -26,13 +26,35 @@ every file write through :func:`write` and every fsync through
 :func:`fsync`, so a torn-write fault flushes a prefix of the record to
 the OS and then kills the process — producing exactly the
 partially-written tail a real crash can leave.
+
+Network faults work the same way one layer up: the wire protocol
+routes every socket send through :func:`net_send` and marks every
+receive with :func:`net_point`, each tagged with a named point
+(``net.client.send``, ``net.server.recv``, ...).  A test arms a fault
+and the shim misbehaves exactly once, at exactly that point::
+
+    faults.arm_net("net.client.send", "drop")          # swallow a message
+    faults.arm_net("net.server.send", "trunc", arg=7)  # send 7 bytes, stop
+    faults.arm_net("net.client.recv", "delay", arg=0.5)
+    faults.arm_net("net.server.send", "reset")         # RST the connection
+
+or via ``REPRO_FAULTS`` for subprocess harnesses::
+
+    REPRO_FAULTS="net:drop:net.client.send@2"     # drop the 2nd send
+    REPRO_FAULTS="net:trunc:net.server.send:7"    # truncate to 7 bytes
+    REPRO_FAULTS="net:reset:net.server.send"
 """
 
 from __future__ import annotations
 
 import os
+import socket as _socket
+import struct as _struct
+import time as _time
 from dataclasses import dataclass
 from typing import IO, Optional
+
+NET_MODES = ("drop", "delay", "trunc", "reset")
 
 #: Exit status used when a crash point fires; chosen to match the shell
 #: status of a SIGKILLed process so harnesses treat both alike.
@@ -51,7 +73,26 @@ class _Fault:
     seen: int = 0
 
 
+@dataclass
+class _NetFault:
+    """One armed network fault at a named wire-protocol point."""
+
+    point: str
+    mode: str  # one of NET_MODES
+    hits: int = 1
+    arg: float = 0.0  # delay seconds, or truncate byte count
+    repeat: bool = False  # fire on every visit from the hits-th on
+    seen: int = 0
+
+    def fires(self) -> bool:
+        self.seen += 1
+        if self.repeat:
+            return self.seen >= self.hits
+        return self.seen == self.hits
+
+
 _armed: dict[str, _Fault] = {}
+_net_armed: dict[str, _NetFault] = {}
 
 
 def arm(point: str, hits: int = 1, torn_bytes: Optional[int] = None) -> None:
@@ -65,10 +106,45 @@ def disarm(point: str) -> None:
 
 def disarm_all() -> None:
     _armed.clear()
+    _net_armed.clear()
 
 
 def armed_points() -> list[str]:
-    return sorted(_armed)
+    return sorted(_armed) + sorted(_net_armed)
+
+
+def arm_net(
+    point: str,
+    mode: str,
+    hits: int = 1,
+    arg: float = 0.0,
+    repeat: bool = False,
+) -> None:
+    """Arm a network fault: misbehave at ``point`` on its ``hits``-th visit."""
+    if mode not in NET_MODES:
+        raise ValueError(f"unknown network fault mode {mode!r}")
+    _net_armed[point] = _NetFault(point=point, mode=mode, hits=hits, arg=arg, repeat=repeat)
+
+
+def disarm_net(point: str) -> None:
+    _net_armed.pop(point, None)
+
+
+def _parse_net_item(item: str) -> None:
+    # net:MODE:POINT[:ARG][@HITS]
+    _, _, rest = item.partition(":")
+    mode, _, rest = rest.partition(":")
+    hits = 1
+    if "@" in rest:
+        rest, _, count = rest.rpartition("@")
+        hits = int(count)
+    arg = 0.0
+    if mode in ("delay", "trunc") and ":" in rest:
+        rest, _, raw = rest.rpartition(":")
+        arg = float(raw)
+    if not rest or mode not in NET_MODES:
+        raise ValueError(f"malformed network fault spec {item!r}")
+    arm_net(rest, mode, hits=hits, arg=arg)
 
 
 def parse_spec(spec: str) -> None:
@@ -76,6 +152,9 @@ def parse_spec(spec: str) -> None:
     for item in spec.split(","):
         item = item.strip()
         if not item:
+            continue
+        if item.startswith("net:"):
+            _parse_net_item(item)
             continue
         torn_bytes = None
         if item.startswith("torn:"):
@@ -138,6 +217,49 @@ def fsync(fh: IO[bytes], point: str = "fsync") -> None:
     crash_point(f"{point}.before")
     os.fsync(fh.fileno())
     crash_point(f"{point}.after")
+
+
+def _reset(sock: "_socket.socket") -> None:
+    # SO_LINGER with a zero timeout makes close() send RST instead of
+    # FIN — the peer sees ECONNRESET, exactly like a crashed box.
+    try:
+        sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_LINGER, _struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    sock.close()
+
+
+def net_send(sock: "_socket.socket", data: bytes, point: Optional[str]) -> None:
+    """Send ``data`` on ``sock`` through the network fault shim.
+
+    An armed fault at ``point`` can *drop* the message entirely (the
+    caller believes it was sent), *trunc*ate it to ``arg`` bytes (a
+    half-written frame, as from a crash mid-send), *delay* it by
+    ``arg`` seconds, or *reset* the connection with an RST.
+    """
+    fault = _net_armed.get(point) if point else None
+    if fault is not None and fault.fires():
+        if fault.mode == "drop":
+            return
+        if fault.mode == "trunc":
+            sock.sendall(data[: int(fault.arg)])
+            return
+        if fault.mode == "reset":
+            _reset(sock)
+            raise ConnectionResetError(f"connection reset by fault shim at {point}")
+        _time.sleep(fault.arg)  # delay, then deliver
+    sock.sendall(data)
+
+
+def net_point(sock: "_socket.socket", point: Optional[str]) -> None:
+    """Receive-side hook: an armed fault can delay or reset here."""
+    fault = _net_armed.get(point) if point else None
+    if fault is not None and fault.fires():
+        if fault.mode == "reset":
+            _reset(sock)
+            raise ConnectionResetError(f"connection reset by fault shim at {point}")
+        if fault.mode == "delay":
+            _time.sleep(fault.arg)
 
 
 # Arm any faults requested by the environment as soon as the module is

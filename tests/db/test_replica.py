@@ -1,0 +1,263 @@
+"""WAL-shipped replication: bootstrap, tailing, idempotence, crashes.
+
+File-based transport (:class:`FileWalSource`) keeps these tests
+in-process and deterministic; the wire transport rides the same
+``snapshot()``/``fetch()`` surface and is exercised end-to-end in
+``tests/explorer/test_replication.py``.  The crash matrix spawns real
+child processes killed with ``os._exit(137)`` at the replica's named
+crash points and asserts a restarted replica converges to the primary.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.db import minisql
+from repro.db.minisql.replica import (
+    FileWalSource, Replica, ReplicationError, WalShipper,
+)
+from repro.db.minisql.wal import list_segments
+
+
+@pytest.fixture
+def archive(tmp_path):
+    return tmp_path / "primary.mdb"
+
+
+@pytest.fixture
+def primary(archive):
+    conn = minisql.connect(str(archive))
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    conn.executemany(
+        "INSERT INTO t (v) VALUES (?)", [(i,) for i in range(50)]
+    )
+    conn.commit()
+    yield conn
+    conn.close()
+
+
+def _replica(archive, **kw) -> Replica:
+    return Replica(FileWalSource(archive), name=kw.pop("name", "r1"), **kw)
+
+
+def _count(replica: Replica) -> int:
+    from repro.db.minisql.executor import Executor
+    from repro.db.minisql.parser import parse
+
+    (stmt,) = parse("SELECT count(*) FROM t")
+    return Executor(replica.database).execute(stmt).rows[0][0]
+
+
+class TestBootstrapAndTail:
+    def test_bootstrap_from_checkpoint(self, archive, primary):
+        primary.execute("PRAGMA checkpoint")
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        assert _count(rep) == 50
+        assert rep.state == "streaming"
+
+    def test_tail_new_commits(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        primary.execute("INSERT INTO t (v) VALUES (100)")
+        primary.execute("UPDATE t SET v = -1 WHERE id = 1")
+        primary.execute("DELETE FROM t WHERE id = 2")
+        primary.commit()
+        rep.catch_up(timeout=15)
+        assert _count(rep) == 50  # +1 insert, -1 delete
+        assert rep.applied_lsn == rep.primary_lsn
+
+    def test_uncommitted_transaction_invisible(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        primary.execute("BEGIN")
+        primary.execute("INSERT INTO t (v) VALUES (7)")
+        rep.poll_once()
+        assert _count(rep) == 50
+        primary.commit()
+        rep.catch_up(timeout=15)
+        assert _count(rep) == 51
+
+    def test_ddl_replicates(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        primary.execute("CREATE TABLE extra (a INTEGER)")
+        primary.execute("INSERT INTO extra (a) VALUES (5)")
+        primary.commit()
+        rep.catch_up(timeout=15)
+        assert "extra" in rep.database.tables
+
+    def test_idempotent_re_replay(self, archive, primary):
+        """Re-fetching from an older LSN must not double-apply: the
+        LSN watermark skips every already-applied record."""
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        before = _count(rep)
+        source = FileWalSource(archive)
+        reply = source.fetch(0)  # everything, from the beginning
+        rep._apply(reply["records"])
+        assert _count(rep) == before
+
+    def test_lag_reporting(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        records, seconds = rep.replication_lag()
+        assert records == 0 and seconds == 0.0
+        status = rep.status()
+        assert status["role"] == "replica"
+        assert status["replication_lag_records"] == 0
+        assert status["applied_lsn"] == rep.applied_lsn > 0
+
+
+class TestResync:
+    def test_checkpoint_truncation_forces_resync(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        # More commits, then a checkpoint: segments are truncated, so a
+        # replica parked before the checkpoint LSN must re-bootstrap.
+        primary.executemany(
+            "INSERT INTO t (v) VALUES (?)", [(i,) for i in range(25)]
+        )
+        primary.commit()
+        old_lsn = rep.applied_lsn
+        primary.execute("PRAGMA checkpoint")
+        reply = FileWalSource(archive).fetch(old_lsn)
+        assert reply["resync"] is True
+        rep.poll_once()  # observes resync
+        assert rep.resyncs == 1
+        rep.catch_up(timeout=15)
+        assert _count(rep) == 75
+        assert rep.applied_lsn >= old_lsn
+
+    def test_caught_up_replica_survives_checkpoint(self, archive, primary):
+        rep = _replica(archive)
+        rep.catch_up(timeout=15)
+        primary.execute("PRAGMA checkpoint")
+        rep.catch_up(timeout=15)
+        assert rep.resyncs == 0  # at the checkpoint LSN: no resync needed
+        assert _count(rep) == 50
+
+
+class TestTornSegment:
+    def test_replica_holds_at_committed_prefix(self, archive, primary):
+        """A torn tail in the primary's segment (as a crash leaves it)
+        truncates the ship at the tear: the replica applies the intact
+        prefix and keeps serving — no error, no corruption."""
+        primary.execute("INSERT INTO t (v) VALUES (1000)")
+        primary.commit()
+        segments = list_segments(Path(archive))
+        assert segments
+        tail = segments[-1]
+        data = tail.read_bytes()
+        tail.write_bytes(data[: len(data) - 3])  # tear the last frame
+        rep = _replica(archive)
+        rep.poll_once()
+        assert rep.state == "streaming"
+        # The torn record (and anything after it) is not applied; all
+        # intact committed records before it are.
+        assert _count(rep) in (50, 51)
+        assert rep.errors == 0
+
+
+class TestWalShipper:
+    def test_shipper_requires_wal(self):
+        conn = minisql.connect(":memory:")
+        with pytest.raises(ReplicationError):
+            WalShipper(conn._database)
+        conn.close()
+
+    def test_fetch_frames_and_observe(self, archive, primary):
+        shipper = WalShipper(primary._database)
+        reply = shipper.fetch(0, replica_id="obs1")
+        assert reply["resync"] is False
+        assert reply["count"] > 0 and reply["clean"] is True
+        status = shipper.status()
+        assert status["role"] == "primary"
+        assert "obs1" in status["replicas"]
+
+    def test_fetch_limit_paginates(self, archive, primary):
+        shipper = WalShipper(primary._database)
+        reply = shipper.fetch(0, limit=2)
+        assert reply["count"] == 2 and reply["more"] is True
+
+
+# ---------------------------------------------------------------------------
+# crash matrix: kill -9 the replica process at its named crash points
+# ---------------------------------------------------------------------------
+
+# Child: replay the archive as a replica, print progress markers.  The
+# armed fault kills it mid-bootstrap or mid-apply with os._exit(137).
+_CHILD = """
+import sys
+from repro.db.minisql.replica import FileWalSource, Replica
+
+rep = Replica(FileWalSource(sys.argv[1]), name="crash-child")
+rep.catch_up(timeout=30)
+print("APPLIED", rep.applied_lsn, flush=True)
+"""
+
+REPLICA_CRASH_POINTS = [
+    "replica.bootstrap.after",
+    "replica.apply.before",
+    "replica.apply.after",
+]
+
+
+def _run_child(archive: Path, spec: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = spec
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", _CHILD, str(archive)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+@pytest.mark.parametrize("spec", REPLICA_CRASH_POINTS)
+def test_replica_killed_then_restarted_converges(archive, primary, spec):
+    proc = _run_child(archive, spec)
+    assert proc.returncode == 137, (
+        f"fault {spec} did not fire: rc={proc.returncode}\n"
+        f"stdout={proc.stdout}\nstderr={proc.stderr}"
+    )
+    # The primary is untouched by a replica death; a fresh replica
+    # bootstraps and converges to the exact primary state.
+    rep = _replica(archive, name="after-crash")
+    rep.catch_up(timeout=15)
+    assert _count(rep) == 50
+    assert rep.applied_lsn == rep.primary_lsn
+
+
+def test_primary_killed_mid_ship(archive, primary):
+    """Crash the *shipping* side mid-fetch: the armed crash point sits
+    inside WalShipper.fetch, so a child process asked to self-ship dies
+    exactly where a primary would.  The archive must recover to the
+    committed state and ship cleanly afterwards."""
+    child = """
+import sys
+from repro.db import minisql
+from repro.db.minisql.replica import WalShipper
+
+conn = minisql.connect(sys.argv[1])
+WalShipper(conn._database).fetch(0)
+print("SHIPPED", flush=True)
+"""
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = "replica.ship.fetch"
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    primary.execute("PRAGMA checkpoint")  # give the child a clean open
+    proc = subprocess.run(
+        [sys.executable, "-c", child, str(archive)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 137, proc.stderr
+    rep = _replica(archive, name="after-primary-crash")
+    rep.catch_up(timeout=15)
+    assert _count(rep) == 50

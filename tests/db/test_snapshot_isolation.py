@@ -1,0 +1,239 @@
+"""MVCC snapshot reads: consistency, non-blocking, COW behaviour.
+
+The acceptance bar for ISSUE 9's snapshot tentpole: a reader pinned to
+a snapshot never observes a torn state (half of a concurrent
+transaction), never blocks on an active writer, and never stalls one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.db import minisql
+
+NAME = "snapshot_test_db"
+
+
+@pytest.fixture
+def conn():
+    connection = minisql.connect(NAME)
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def reader():
+    connection = minisql.connect(NAME)
+    yield connection
+    connection.close()
+
+
+def _seed(conn, rows=10, columnar=False):
+    conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    if columnar:
+        conn.execute("PRAGMA columnar(t on)")
+    conn.executemany(
+        "INSERT INTO t (v) VALUES (?)", [(i,) for i in range(rows)]
+    )
+    conn.commit()
+
+
+class TestPragma:
+    def test_off_by_default(self, conn):
+        rows = conn.execute("PRAGMA snapshot_isolation(status)").fetchall()
+        assert ("enabled", 0) in rows
+
+    def test_on_off_roundtrip(self, conn):
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        rows = dict(conn.execute("PRAGMA snapshot_isolation(status)").fetchall())
+        assert rows["enabled"] == 1
+        assert rows["pinned"] in (0, 1, True, False)
+        conn.execute("PRAGMA snapshot_isolation(off)")
+        rows = dict(conn.execute("PRAGMA snapshot_isolation(status)").fetchall())
+        assert rows["enabled"] == 0
+
+    def test_bad_argument_rejected(self, conn):
+        with pytest.raises(minisql.ProgrammingError):
+            conn.execute("PRAGMA snapshot_isolation(sideways)")
+
+
+class TestSnapshotVisibility:
+    def test_committed_rows_visible(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        assert reader.execute("SELECT count(*) FROM t").fetchone() == (10,)
+
+    def test_uncommitted_writes_invisible_and_non_blocking(self, conn, reader):
+        """The headline MVCC property: while a writer transaction is
+        open, a snapshot read returns the previous committed state —
+        promptly, without waiting for the writer."""
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t (v) VALUES (999)")
+        started = time.monotonic()
+        count = reader.execute("SELECT count(*) FROM t").fetchone()[0]
+        elapsed = time.monotonic() - started
+        conn.rollback()
+        assert count == 10  # the uncommitted insert is invisible
+        assert elapsed < 2.0  # and the read never waited on the writer
+
+    def test_commit_becomes_visible(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        conn.execute("INSERT INTO t (v) VALUES (42)")
+        conn.commit()
+        assert reader.execute("SELECT count(*) FROM t").fetchone() == (11,)
+
+    def test_transaction_reads_its_own_writes(self, conn):
+        """Explicit transactions bypass the snapshot: a writer must see
+        its own uncommitted rows."""
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t (v) VALUES (999)")
+        assert conn.execute("SELECT count(*) FROM t").fetchone() == (11,)
+        conn.rollback()
+
+    def test_ddl_visible_after_commit(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        reader.execute("SELECT * FROM t").fetchall()  # pin pre-DDL snapshot
+        conn.execute("ALTER TABLE t ADD COLUMN extra INTEGER")
+        conn.commit()
+        row = reader.execute("SELECT extra FROM t WHERE id = 1").fetchone()
+        assert row == (None,)
+
+    def test_columnar_table_snapshot(self, conn, reader):
+        _seed(conn, columnar=True)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        assert reader.execute(
+            "SELECT sum(v) FROM t"
+        ).fetchone() == (sum(range(10)),)
+        conn.execute("UPDATE t SET v = v + 100")
+        conn.commit()
+        assert reader.execute(
+            "SELECT sum(v) FROM t"
+        ).fetchone() == (sum(range(10)) + 1000,)
+
+
+class TestNoTornReads:
+    def test_concurrent_writer_never_tears_a_read(self, conn, reader):
+        """Writer moves value between two rows inside transactions so
+        the sum is invariant; every snapshot read must see the
+        invariant hold — a torn read (one row updated, the other not)
+        would break it."""
+        conn.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)")
+        conn.execute("INSERT INTO acct (bal) VALUES (500)")
+        conn.execute("INSERT INTO acct (bal) VALUES (500)")
+        conn.commit()
+        conn.execute("PRAGMA snapshot_isolation(on)")
+
+        stop = threading.Event()
+        torn: list[int] = []
+
+        def writer():
+            while not stop.is_set():
+                conn.execute("BEGIN")
+                conn.execute("UPDATE acct SET bal = bal - 10 WHERE id = 1")
+                conn.execute("UPDATE acct SET bal = bal + 10 WHERE id = 2")
+                conn.commit()
+
+        def read_loop():
+            while not stop.is_set():
+                total = reader.execute(
+                    "SELECT sum(bal) FROM acct"
+                ).fetchone()[0]
+                if total != 1000:
+                    torn.append(total)
+                    return
+
+        wt = threading.Thread(target=writer)
+        rt = threading.Thread(target=read_loop)
+        wt.start(); rt.start()
+        time.sleep(1.0)
+        stop.set()
+        wt.join(timeout=10); rt.join(timeout=10)
+        assert torn == [], f"torn reads observed: {torn[:5]}"
+
+    def test_writer_not_stalled_by_reader_storm(self, conn, reader):
+        """Snapshot reads must not hold the writer lock: a storm of
+        concurrent readers cannot starve commit latency."""
+        _seed(conn, rows=200)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        stop = threading.Event()
+
+        def read_loop():
+            local = minisql.connect(NAME)
+            try:
+                while not stop.is_set():
+                    local.execute("SELECT sum(v) FROM t").fetchone()
+            finally:
+                local.close()
+
+        threads = [threading.Thread(target=read_loop) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            started = time.monotonic()
+            for i in range(20):
+                conn.execute("INSERT INTO t (v) VALUES (?)", (i,))
+                conn.commit()
+            elapsed = time.monotonic() - started
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert elapsed < 10.0, f"writer starved: 20 commits took {elapsed:.1f}s"
+
+
+class TestCowMechanics:
+    def test_unchanged_tables_not_recloned(self, conn):
+        conn.execute("CREATE TABLE a (x INTEGER)")
+        conn.execute("CREATE TABLE b (y INTEGER)")
+        conn.execute("INSERT INTO a (x) VALUES (1)")
+        conn.execute("INSERT INTO b (y) VALUES (1)")
+        conn.commit()
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        conn.execute("SELECT * FROM a").fetchall()
+        clones_before = conn.stats()["snapshot_table_clones"]
+        # Mutate only `a`: the refresh may re-clone `a` but must reuse
+        # the cached clone of `b`.
+        conn.execute("INSERT INTO a (x) VALUES (2)")
+        conn.commit()
+        conn.execute("SELECT * FROM a").fetchall()
+        delta = conn.stats()["snapshot_table_clones"] - clones_before
+        assert delta == 1, f"expected exactly 1 re-clone, saw {delta}"
+
+    def test_stale_serve_during_open_transaction(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        reader.execute("SELECT count(*) FROM t").fetchone()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t (v) VALUES (7)")
+        before = conn.stats()["snapshot_stale_serves"]
+        # The live state changed (uncommitted) but the writer holds the
+        # lock: the previous snapshot is served, counted as stale.
+        assert reader.execute("SELECT count(*) FROM t").fetchone() == (10,)
+        conn.rollback()
+        assert conn.stats()["snapshot_stale_serves"] >= before
+
+    def test_snapshot_select_counter(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        before = conn.stats()["snapshot_selects"]
+        reader.execute("SELECT count(*) FROM t").fetchone()
+        reader.execute("SELECT count(*) FROM t").fetchone()
+        assert conn.stats()["snapshot_selects"] >= before + 2
+
+    def test_disable_restores_direct_reads(self, conn, reader):
+        _seed(conn)
+        conn.execute("PRAGMA snapshot_isolation(on)")
+        reader.execute("SELECT count(*) FROM t").fetchone()
+        conn.execute("PRAGMA snapshot_isolation(off)")
+        before = conn.stats()["snapshot_selects"]
+        assert reader.execute("SELECT count(*) FROM t").fetchone() == (10,)
+        assert conn.stats()["snapshot_selects"] == before

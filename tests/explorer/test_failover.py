@@ -1,0 +1,412 @@
+"""Client failover machinery: circuit breakers, jittered backoff,
+bounded-staleness read routing, server admission control, and the
+socket-level network chaos shim.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.explorer.client import (
+    BREAKER_STATE_CODES, CircuitBreaker, PerfExplorerClient, RetryLater,
+)
+from repro.explorer.protocol import ConnectTimeout
+from repro.explorer.server import AnalysisServer, SocketServer
+from repro.obs.metrics import registry
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+def _dead_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+@pytest.fixture
+def server_fixture():
+    analysis = AnalysisServer("minisql://:memory:")
+    sock = SocketServer(analysis, port=0)
+    host, port = sock.start()
+    yield sock, analysis, host, port
+    sock.stop(drain=False)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_then_close(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.now = 5.1
+        assert breaker.allow()  # cooldown elapsed: one probe admitted
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure(); breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allow() and breaker.state == "half_open"
+        breaker.record_failure()  # probe failed: back open, cooldown re-armed
+        assert breaker.state == "open"
+        clock.now = 10.0
+        assert not breaker.allow()  # 6.0 + 5.0 > 10.0
+        clock.now = 11.1
+        assert breaker.allow()
+
+    def test_state_gauge_and_open_counter(self):
+        opens_before = registry.counter(
+            "explorer.client.circuit_breaker_opens"
+        ).value
+        breaker = CircuitBreaker(threshold=1, cooldown=0.01)
+        breaker.record_failure()
+        assert registry.counter(
+            "explorer.client.circuit_breaker_opens"
+        ).value == opens_before + 1
+        assert registry.gauge(
+            "explorer.client.circuit_breaker_state"
+        ).value == BREAKER_STATE_CODES["open"]
+        time.sleep(0.02)
+        assert breaker.allow()
+        breaker.record_success()
+        assert registry.gauge(
+            "explorer.client.circuit_breaker_state"
+        ).value == BREAKER_STATE_CODES["closed"]
+
+
+class TestBackoff:
+    def test_jittered_exponential_with_cap(self, server_fixture):
+        _sock, _analysis, host, port = server_fixture
+        client = PerfExplorerClient(
+            host, port, backoff=0.1, backoff_cap=0.5,
+            rng=random.Random(42),
+        )
+        try:
+            for attempt, base in [(0, 0.1), (1, 0.2), (2, 0.4), (3, 0.5), (9, 0.5)]:
+                for _ in range(20):
+                    delay = client._delay(attempt)
+                    # Jitter inflates by up to 50% — never shortens, so
+                    # backoff floors (and the tests that time them) hold.
+                    assert base <= delay <= base * 1.5 + 1e-9
+        finally:
+            client.close()
+
+    def test_seeded_rng_is_deterministic(self, server_fixture):
+        _sock, _analysis, host, port = server_fixture
+        a = PerfExplorerClient(host, port, rng=random.Random(7))
+        b = PerfExplorerClient(host, port, rng=random.Random(7))
+        try:
+            assert [a._delay(i) for i in range(5)] == [
+                b._delay(i) for i in range(5)
+            ]
+        finally:
+            a.close(); b.close()
+
+
+class TestConnectTimeoutAddresses:
+    def test_all_attempted_addresses_reported(self):
+        dead1, dead2 = _dead_port(), _dead_port()
+        with pytest.raises(ConnectTimeout) as exc_info:
+            PerfExplorerClient(
+                endpoints=[("127.0.0.1", dead1), ("127.0.0.1", dead2)],
+                connect_retries=1, backoff=0.01,
+            )
+        assert exc_info.value.addresses == [
+            f"127.0.0.1:{dead1}", f"127.0.0.1:{dead2}"
+        ]
+
+
+class TestReadFailover:
+    def test_read_fails_over_to_second_endpoint(self, server_fixture):
+        """Primary dies; a read lands on the replica endpoint without
+        surfacing an error."""
+        _sock, _analysis, host, port = server_fixture
+        analysis2 = AnalysisServer("minisql://:memory:")
+        sock2 = SocketServer(analysis2, port=0)
+        host2, port2 = sock2.start()
+        try:
+            client = PerfExplorerClient(
+                endpoints=[(host, port), (host2, port2)],
+                connect_retries=1, backoff=0.01,
+            )
+            assert client.ping() == "pong"
+            _sock.stop(drain=False)  # primary gone
+            failovers_before = registry.counter(
+                "explorer.client.failovers"
+            ).value
+            assert client.ping() == "pong"  # served by endpoint 2
+            assert registry.counter(
+                "explorer.client.failovers"
+            ).value > failovers_before
+            client.close()
+        finally:
+            sock2.stop(drain=False)
+
+    def test_open_breaker_skips_endpoint(self, server_fixture):
+        _sock, _analysis, host, port = server_fixture
+        client = PerfExplorerClient(
+            endpoints=[(host, port), ("127.0.0.1", _dead_port())],
+            connect_retries=1, backoff=0.01,
+        )
+        try:
+            replica_ep = client.endpoints[1]
+            client.breaker(replica_ep).record_failure()
+            client.breaker(replica_ep).record_failure()
+            client.breaker(replica_ep).record_failure()
+            assert client.breaker(replica_ep).state == "open"
+            assert replica_ep not in client._read_candidates()
+            assert client.ping() == "pong"
+        finally:
+            client.close()
+
+
+class TestBoundedStaleness:
+    @pytest.fixture
+    def pair(self, server_fixture):
+        """Two standalone servers dressed as primary + lagging replica
+        with distinguishable list_applications payloads."""
+        _sock, analysis, host, port = server_fixture
+        analysis._handlers["list_applications"] = lambda: [{"name": "primary"}]
+        replica_analysis = AnalysisServer("minisql://:memory:")
+        replica_analysis._handlers["list_applications"] = (
+            lambda: [{"name": "replica"}]
+        )
+        replica_analysis._handlers["replication_status"] = lambda: {
+            "role": "replica", "state": "streaming",
+            "replication_lag_records": 500,
+            "replication_lag_seconds": 9.5,
+        }
+        rsock = SocketServer(replica_analysis, port=0)
+        rhost, rport = rsock.start()
+        yield (host, port), (rhost, rport)
+        rsock.stop(drain=False)
+
+    def test_reads_prefer_active_replica_without_bound(self, pair):
+        primary_ep, replica_ep = pair
+        client = PerfExplorerClient(endpoints=[primary_ep, replica_ep])
+        try:
+            client._activate(client.endpoints[1])
+            assert client.call("list_applications") == [{"name": "replica"}]
+        finally:
+            client.close()
+
+    def test_stale_replica_falls_back_to_primary(self, pair):
+        primary_ep, replica_ep = pair
+        client = PerfExplorerClient(
+            endpoints=[primary_ep, replica_ep], max_lag_ms=1000.0
+        )
+        try:
+            client._activate(client.endpoints[1])  # reads would hit replica
+            skips_before = registry.counter(
+                "explorer.client.stale_replica_skips"
+            ).value
+            # 9.5s lag > 1s bound: the read must route to the primary.
+            assert client.call("list_applications") == [{"name": "primary"}]
+            assert registry.counter(
+                "explorer.client.stale_replica_skips"
+            ).value > skips_before
+        finally:
+            client.close()
+
+    def test_fresh_replica_stays_in_rotation(self, pair):
+        primary_ep, replica_ep = pair
+        client = PerfExplorerClient(
+            endpoints=[primary_ep, replica_ep], max_lag_ms=60_000.0
+        )
+        try:
+            client._activate(client.endpoints[1])
+            # 9.5s lag < 60s bound: replica serves the read.
+            assert client.call("list_applications") == [{"name": "replica"}]
+        finally:
+            client.close()
+
+
+class TestAdmissionControl:
+    def test_all_requests_shed_at_zero_capacity(self):
+        analysis = AnalysisServer("minisql://:memory:")
+        sock = SocketServer(analysis, port=0, max_in_flight=0)
+        host, port = sock.start()
+        try:
+            shed_before = registry.counter("server.admission_shed_total").value
+            client = PerfExplorerClient(
+                host, port, backoff=0.01, retry_later_attempts=1
+            )
+            with pytest.raises(RetryLater, match="RETRY_LATER"):
+                client.ping()
+            # Initial try + 1 shed-retry, each shed server-side.
+            assert registry.counter(
+                "server.admission_shed_total"
+            ).value == shed_before + 2
+            client.close()
+        finally:
+            sock.stop(drain=False)
+
+    def test_shed_request_retries_and_succeeds(self):
+        """One slot, held by a slow request: the second call is shed
+        with RETRY_LATER, retried with backoff, and succeeds once the
+        slot frees — the caller never sees the shed."""
+        analysis = AnalysisServer("minisql://:memory:")
+        release = threading.Event()
+        analysis._handlers["block"] = lambda: release.wait(10) and "done"
+        sock = SocketServer(analysis, port=0, max_in_flight=1)
+        host, port = sock.start()
+        try:
+            blocker = PerfExplorerClient(host, port)
+            worker = threading.Thread(
+                target=lambda: blocker.call("block"), daemon=True
+            )
+            worker.start()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                with sock._idle:
+                    if sock._in_flight == 1:
+                        break
+                time.sleep(0.01)
+            client = PerfExplorerClient(
+                host, port, backoff=0.05, retry_later_attempts=10
+            )
+            retries_before = registry.counter(
+                "explorer.client.shed_retries"
+            ).value
+            threading.Timer(0.2, release.set).start()
+            assert client.ping() == "pong"
+            assert registry.counter(
+                "explorer.client.shed_retries"
+            ).value > retries_before
+            worker.join(timeout=10)
+            client.close(); blocker.close()
+        finally:
+            release.set()
+            sock.stop(drain=False)
+
+    def test_mutating_call_also_retries_after_shed(self):
+        """A shed request was never dispatched, so even mutating calls
+        retry safely."""
+        analysis = AnalysisServer("minisql://:memory:")
+        sock = SocketServer(analysis, port=0, max_in_flight=0)
+        host, port = sock.start()
+        try:
+            client = PerfExplorerClient(
+                host, port, backoff=0.01, retry_later_attempts=1
+            )
+            with pytest.raises(RetryLater):
+                client.run_workflow([])
+            client.close()
+        finally:
+            sock.stop(drain=False)
+
+
+class TestNetworkChaosShim:
+    def test_drop_swallows_one_send(self):
+        a, b = socket.socketpair()
+        try:
+            faults.arm_net("x.send", "drop")
+            faults.net_send(a, b"gone", "x.send")
+            faults.net_send(a, b"kept", "x.send")  # one-shot: passes through
+            b.settimeout(5)
+            assert b.recv(64) == b"kept"
+        finally:
+            a.close(); b.close()
+
+    def test_trunc_sends_prefix(self):
+        a, b = socket.socketpair()
+        try:
+            faults.arm_net("x.send", "trunc", arg=3)
+            faults.net_send(a, b"truncated", "x.send")
+            b.settimeout(5)
+            assert b.recv(64) == b"tru"
+        finally:
+            a.close(); b.close()
+
+    def test_reset_raises_and_kills_socket(self):
+        a, b = socket.socketpair()
+        try:
+            faults.arm_net("x.send", "reset")
+            with pytest.raises(ConnectionResetError):
+                faults.net_send(a, b"boom", "x.send")
+        finally:
+            b.close()
+
+    def test_hits_and_spec_parsing(self):
+        faults.parse_spec("net:drop:net.client.send@2,net:trunc:net.server.send:7")
+        assert "net.client.send" in faults.armed_points()
+        fault = faults._net_armed["net.client.send"]
+        assert fault.mode == "drop" and fault.hits == 2
+        trunc = faults._net_armed["net.server.send"]
+        assert trunc.mode == "trunc" and trunc.arg == 7.0
+
+    def test_malformed_net_spec(self):
+        with pytest.raises(ValueError):
+            faults.parse_spec("net:sideways:point")
+
+    def test_dropped_server_response_recovered_by_retry(self, server_fixture):
+        """Chaos at the wire: the server's response vanishes; the
+        client times out, transparently retries on a fresh connection,
+        and the caller never notices."""
+        _sock, _analysis, host, port = server_fixture
+        client = PerfExplorerClient(host, port, timeout=1.0, backoff=0.01)
+        try:
+            assert client.ping() == "pong"
+            retries_before = registry.counter("explorer.client.retries").value
+            faults.arm_net("net.server.send", "drop")
+            assert client.ping() == "pong"
+            assert registry.counter(
+                "explorer.client.retries"
+            ).value == retries_before + 1
+        finally:
+            client.close()
+
+    def test_server_reset_recovered_by_retry(self, server_fixture):
+        _sock, _analysis, host, port = server_fixture
+        client = PerfExplorerClient(host, port, timeout=2.0, backoff=0.01)
+        try:
+            assert client.ping() == "pong"
+            faults.arm_net("net.server.send", "reset")
+            assert client.ping() == "pong"
+        finally:
+            client.close()
+
+    def test_truncated_frame_recovered_by_retry(self, server_fixture):
+        _sock, _analysis, host, port = server_fixture
+        client = PerfExplorerClient(host, port, timeout=1.0, backoff=0.01)
+        try:
+            assert client.ping() == "pong"
+            faults.arm_net("net.server.send", "trunc", arg=5)
+            assert client.ping() == "pong"
+        finally:
+            client.close()

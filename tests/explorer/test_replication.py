@@ -1,0 +1,260 @@
+"""End-to-end replication over the wire protocol.
+
+A real primary :class:`SocketServer` ships its WAL over
+``repl_snapshot``/``wal_ship`` RPCs to a :class:`Replica`, which mounts
+its replayed database behind a second, read-only server.  The failover
+test SIGKILLs a primary running in a child process and asserts reads
+keep succeeding against the replica — zero failed reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.db.minisql.replica import Replica, RemoteWalSource
+from repro.explorer.client import AnalysisError, PerfExplorerClient
+from repro.explorer.protocol import ConnectTimeout
+from repro.explorer.server import AnalysisServer, SocketServer
+
+
+@pytest.fixture
+def primary(tmp_path):
+    server = AnalysisServer(f"minisql://{tmp_path}/primary.mdb")
+    sock = SocketServer(server, port=0)
+    host, port = sock.start()
+    session = server.session
+    app = session.create_application("replicated-app")
+    session.create_experiment(app, "exp-1")
+    session.connection.commit()
+    yield server, sock, (host, port)
+    sock.stop(drain=False)
+
+
+@pytest.fixture
+def replica(primary):
+    _server, _sock, (host, port) = primary
+    rep = Replica(
+        RemoteWalSource(host, port, replica_id="it-replica"), name="it-replica"
+    )
+    rep.start()
+    rep.catch_up(timeout=30)
+    yield rep
+    rep.stop()
+
+
+@pytest.fixture
+def replica_server(replica):
+    server = AnalysisServer(
+        replica.shared_url(), read_only=True, replica=replica
+    )
+    sock = SocketServer(server, port=0, telemetry_port=0)
+    host, port = sock.start()
+    yield server, sock, (host, port)
+    sock.stop(drain=False)
+
+
+class TestWireReplication:
+    def test_replica_serves_primary_data(self, replica_server):
+        _server, _sock, (host, port) = replica_server
+        with PerfExplorerClient(host, port, timeout=10) as client:
+            apps = client.list_applications()
+        assert [a["name"] for a in apps] == ["replicated-app"]
+
+    def test_replica_rejects_writes(self, replica_server):
+        _server, _sock, (host, port) = replica_server
+        with PerfExplorerClient(host, port, timeout=10) as client:
+            with pytest.raises(AnalysisError, match="read-only replica"):
+                client.call("cluster_trial", trial=1)
+            with pytest.raises(AnalysisError, match="read-only replica"):
+                client.run_workflow([])
+
+    def test_new_commits_flow_through(self, primary, replica, replica_server):
+        server, _sock, _addr = primary
+        _rserver, _rsock, (host, port) = replica_server
+        app = server.session.get_application("replicated-app")
+        server.session.create_experiment(app, "exp-2")
+        server.session.connection.commit()
+        replica.catch_up(timeout=30)
+        with PerfExplorerClient(host, port, timeout=10) as client:
+            exps = client.list_experiments(application=app.id)
+        assert {e["name"] for e in exps} == {"exp-1", "exp-2"}
+
+    def test_primary_status_lists_replicas(self, primary, replica):
+        _server, _sock, (host, port) = primary
+        replica.poll_once()
+        with PerfExplorerClient(host, port, timeout=10) as client:
+            status = client.replication_status()
+        assert status["role"] == "primary"
+        assert "it-replica" in status["replicas"]
+        assert status["last_lsn"] > 0
+
+    def test_replica_status_reports_lag(self, replica_server):
+        _server, _sock, (host, port) = replica_server
+        with PerfExplorerClient(host, port, timeout=10) as client:
+            status = client.replication_status()
+        assert status["role"] == "replica"
+        assert status["state"] == "streaming"
+        assert status["replication_lag_records"] == 0
+        assert status["replication_lag_seconds"] == 0.0
+
+    def test_healthz_carries_replication_lag(self, replica_server):
+        _server, sock, _addr = replica_server
+        thost, tport = sock.telemetry_address
+        with urllib.request.urlopen(
+            f"http://{thost}:{tport}/healthz", timeout=10
+        ) as response:
+            health = json.loads(response.read())
+        assert health["replication"]["role"] == "replica"
+        assert health["replication"]["state"] == "streaming"
+        assert health["replication"]["lag_records"] == 0
+
+    def test_standalone_status(self):
+        server = AnalysisServer("minisql://:memory:")
+        sock = SocketServer(server, port=0)
+        host, port = sock.start()
+        try:
+            with PerfExplorerClient(host, port, timeout=10) as client:
+                assert client.replication_status() == {"role": "standalone"}
+        finally:
+            sock.stop(drain=False)
+
+
+# ---------------------------------------------------------------------------
+# failover under SIGKILL
+# ---------------------------------------------------------------------------
+
+# A primary in its own process: serves RPC, appends a row batch every
+# 50ms so the replica is actively tailing when the kill lands.
+_PRIMARY_CHILD = """
+import sys, time
+from repro.explorer.server import AnalysisServer, SocketServer
+
+server = AnalysisServer(f"minisql://{sys.argv[1]}")
+sock = SocketServer(server, port=0)
+host, port = sock.start()
+session = server.session
+app = session.create_application("failover-app")
+session.connection.commit()
+print(f"ADDR {host} {port}", flush=True)
+conn = session.connection
+i = 0
+while True:
+    session.create_experiment(app, f"exp-{i}")
+    conn.commit()
+    i += 1
+    time.sleep(0.05)
+"""
+
+
+def _spawn_primary(tmp_path):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _PRIMARY_CHILD, str(tmp_path / "failover.mdb")],
+        env=env, stdout=subprocess.PIPE, text=True,
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("ADDR "), f"unexpected child output: {line!r}"
+    _tag, host, port = line.split()
+    return proc, (host, int(port))
+
+
+def test_failover_under_primary_sigkill(tmp_path):
+    """Kill -9 the primary mid-stream: every read issued before,
+    during, and after the kill must succeed (primary first, replica
+    after failover) — the zero-failed-read guarantee."""
+    proc, (phost, pport) = _spawn_primary(tmp_path)
+    rep = None
+    try:
+        rep = Replica(
+            RemoteWalSource(phost, pport, replica_id="fo"), name="fo",
+            poll_interval=0.05,
+        )
+        rep.start()
+        rep.catch_up(timeout=30)
+        rserver = AnalysisServer(
+            rep.shared_url(), read_only=True, replica=rep
+        )
+        rsock = SocketServer(rserver, port=0)
+        rhost, rport = rsock.start()
+        client = PerfExplorerClient(
+            endpoints=[(phost, pport), (rhost, rport)],
+            timeout=10, connect_retries=2, backoff=0.05,
+        )
+        failures = []
+        for i in range(30):
+            if i == 10:
+                proc.kill()  # SIGKILL, mid-replication
+                proc.wait(timeout=30)
+            try:
+                apps = client.list_applications()
+                assert [a["name"] for a in apps] == ["failover-app"]
+            except Exception as exc:  # pragma: no cover - the assertion
+                failures.append((i, f"{type(exc).__name__}: {exc}"))
+        assert failures == [], f"reads failed across failover: {failures}"
+        # Writes never fail over: with the primary dead they surface a
+        # connect failure instead of silently landing on a replica.
+        with pytest.raises(ConnectTimeout):
+            client.run_workflow([])
+        # And the replica itself still rejects writes outright.
+        with PerfExplorerClient(rhost, rport, timeout=10) as rc:
+            with pytest.raises(AnalysisError, match="read-only replica"):
+                rc.run_workflow([])
+        client.close()
+        rsock.stop(drain=False)
+    finally:
+        if rep is not None:
+            rep.stop()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def test_replica_crash_during_wire_replay(tmp_path):
+    """Kill -9 a replica child mid-apply while tailing a live wire
+    primary; a restarted replica converges to a consistent LSN."""
+    child = """
+import sys
+from repro.db.minisql.replica import Replica, RemoteWalSource
+
+rep = Replica(RemoteWalSource(sys.argv[1], int(sys.argv[2])), name="wire-crash")
+rep.catch_up(timeout=30)
+print("APPLIED", rep.applied_lsn, flush=True)
+"""
+    server = AnalysisServer(f"minisql://{tmp_path}/wirecrash.mdb")
+    sock = SocketServer(server, port=0)
+    host, port = sock.start()
+    try:
+        session = server.session
+        app = session.create_application("wc-app")
+        for i in range(5):
+            session.create_experiment(app, f"exp-{i}")
+        session.connection.commit()
+        env = dict(os.environ)
+        env["REPRO_FAULTS"] = "replica.apply.before"
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", child, host, str(port)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 137, proc.stderr
+        # Restarted replica (fresh process state) converges.
+        rep = Replica(
+            RemoteWalSource(host, port, replica_id="wc2"), name="wc2"
+        )
+        rep.catch_up(timeout=30)
+        assert rep.applied_lsn == rep.primary_lsn > 0
+        rep.stop()
+    finally:
+        sock.stop(drain=False)

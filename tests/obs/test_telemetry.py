@@ -64,6 +64,29 @@ class TestEndpoints:
         assert registry.counter("telemetry.requests").value >= before + 2
 
 
+class TestReplicationExposition:
+    """The fault-tolerance metrics must survive the dot->underscore
+    prometheus renaming and appear on ``/metrics`` — dashboards key on
+    these exact exposition names."""
+
+    def test_replication_and_failover_metrics_exposed(self, server):
+        # Importing the replica module registers the lag gauges.
+        import repro.db.minisql.replica  # noqa: F401
+        from repro.explorer.client import CircuitBreaker
+        from repro.explorer.server import AnalysisServer
+
+        breaker = CircuitBreaker(name="expo:1", threshold=1)
+        breaker.record_failure()  # trips open -> gauge set to 2
+        analysis = AnalysisServer("minisql://:memory:")
+        analysis.handle_request("get_stats", {})  # registers shed counter
+        with _get(server, "/metrics") as resp:
+            body = resp.read().decode()
+        assert "replica_replication_lag_seconds" in body
+        assert "replica_replication_lag_records" in body
+        assert "explorer_client_circuit_breaker_state 2" in body
+        assert "server_admission_shed_total" in body
+
+
 class TestHealthCallable:
     def test_health_extras_merged(self):
         srv = TelemetryServer(port=0, health=lambda: {"in_flight": 3})
