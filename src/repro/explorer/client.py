@@ -13,7 +13,10 @@ Each endpoint sits behind a circuit breaker (closed → open after
 ``breaker_threshold`` consecutive failures → half-open probe after
 ``breaker_cooldown`` seconds), reconnect delays use jittered
 exponential backoff with a cap, and ``max_lag_ms`` bounds how stale a
-replica may be before reads fall back to the primary.  A server that
+replica may be before reads fall back to the primary.  Reads rank the
+surviving candidates least-loaded first (cheap ``server_load`` probes,
+cached like the staleness probes; ties broken by replication lag, then
+by sticky affinity to the active endpoint).  A server that
 sheds a request under admission control answers ``RETRY_LATER``; the
 client retries those (any method — a shed request never ran) with
 backoff.
@@ -195,6 +198,8 @@ class PerfExplorerClient:
         }
         #: addr -> (monotonic probe time, lag in ms) staleness cache.
         self._lag_cache: dict[Endpoint, tuple[float, float]] = {}
+        #: addr -> (probe time, load score, healthy) from ``server_load``.
+        self._load_cache: dict[Endpoint, tuple[float, float, bool]] = {}
         self._active: Endpoint = self.endpoints[0]
         self._stream: Optional[MessageStream] = None
         self._connect()
@@ -293,11 +298,52 @@ class PerfExplorerClient:
         self._lag_cache[endpoint] = (now, lag)
         return lag
 
+    # -- least-loaded routing --------------------------------------------------
+
+    def _load_score(self, endpoint: Endpoint) -> tuple[float, bool]:
+        """(load, healthy) for an endpoint, from its ``server_load``
+        probe (dispatch queue depth + executing requests), cached
+        ``lag_probe_ttl`` seconds like the staleness probe.
+
+        A server that answers but does not know the method (pre-probe
+        builds, handler-stubbed tests) scores as unloaded — answering at
+        all is the health signal.  A transport failure scores infinitely
+        loaded *and* unhealthy, and drops the cached stream so the next
+        real call starts from a fresh connection."""
+        now = time.monotonic()
+        cached = self._load_cache.get(endpoint)
+        if cached is not None and now - cached[0] < self.lag_probe_ttl:
+            return cached[1], cached[2]
+        try:
+            status = self._call_once(endpoint, "server_load", {})
+            load = float(status.get("in_flight", 0) or 0)
+            load += float(status.get("queued", 0) or 0)
+            healthy = True
+        except AnalysisError:
+            load, healthy = 0.0, True
+        except RetryLater:
+            # Admission control shed the probe itself: saturated but up.
+            load, healthy = float("inf"), True
+        except Exception:
+            load, healthy = float("inf"), False
+            self._drop(endpoint)
+        self._load_cache[endpoint] = (now, load, healthy)
+        return load, healthy
+
+    def _cached_lag(self, endpoint: Endpoint) -> float:
+        """Last known lag without issuing a probe (0 when never probed:
+        an endpoint we know nothing bad about should not be demoted)."""
+        cached = self._lag_cache.get(endpoint)
+        return cached[1] if cached is not None else 0.0
+
     def _read_candidates(self) -> list[Endpoint]:
-        """Failover order for a read: active endpoint first, then the
-        rest; breaker-open endpoints skipped; replicas past the
-        staleness bound skipped; the primary always remains as the
-        last resort."""
+        """Failover order for a read: breaker-open endpoints skipped;
+        replicas past the staleness bound skipped; the rest ranked
+        least-loaded first (``server_load`` probes, cached), ties broken
+        by replication lag then by active-endpoint affinity — a sorted
+        stable over the active-first base order, so equally-loaded
+        endpoints keep the old active-sticky behaviour.  The primary
+        always remains as the last resort."""
         primary = self.endpoints[0]
         ordered = [self._active] + [
             ep for ep in self.endpoints if ep != self._active
@@ -311,6 +357,24 @@ class PerfExplorerClient:
             if fresh != candidates:
                 _registry.counter("explorer.client.stale_replica_skips").inc()
             candidates = fresh
+        if len(candidates) > 1:
+            # Rank: healthy before probe-failed, then least-loaded, then
+            # sticky affinity to the active endpoint, then least-lag.
+            # Affinity outranks lag: a replica inside the staleness
+            # bound keeps serving its client even though the primary's
+            # lag is zero by definition — otherwise every bounded read
+            # would snap back to the primary and the bound would be
+            # pointless.
+            scores = {}
+            for ep in candidates:
+                load, healthy = self._load_score(ep)
+                scores[ep] = (
+                    0 if healthy else 1,
+                    load,
+                    0 if ep == self._active else 1,
+                    self._cached_lag(ep),
+                )
+            candidates.sort(key=lambda ep: scores[ep])
         if primary not in candidates:
             candidates.append(primary)
         return candidates
@@ -331,8 +395,91 @@ class PerfExplorerClient:
                 time.sleep(self._delay(shed_round))
                 shed_round += 1
 
+    def call_pipelined(
+        self,
+        calls: list[tuple[str, dict[str, Any]]],
+        *,
+        return_exceptions: bool = False,
+    ) -> list[Any]:
+        """Issue several RPCs down one connection without waiting for
+        replies in between — the server guarantees per-connection reply
+        order, so one round of writes followed by one round of reads
+        replaces N request/response round trips.
+
+        ``calls`` is a list of ``(method, params)`` pairs; results come
+        back in call order.  All-read pipelines go to the best read
+        candidate (least-loaded, staleness-bounded); any mutating call
+        pins the whole pipeline to the primary.  Per-call server errors
+        become :class:`AnalysisError`/:class:`RetryLater` — raised at
+        the first one unless ``return_exceptions`` is set, in which case
+        they appear in the result list.  A transport failure mid-
+        pipeline raises: unlike single calls, some requests may already
+        have executed, so nothing is transparently retried.
+        """
+        if not calls:
+            return []
+        normalized = [(method, dict(params or {})) for method, params in calls]
+        read = all(m in READ_ONLY_METHODS for m, _ in normalized)
+        endpoint = self._read_candidates()[0] if read else self.endpoints[0]
+        stream = self._streams.get(endpoint)
+        if stream is None:
+            stream = self._connect_endpoint(endpoint)
+        breaker = self._breakers[endpoint]
+        results: list[Any] = []
+        first_error: Optional[Exception] = None
+        with _tracer.span("explorer.pipeline", calls=len(normalized)) as span:
+            try:
+                ids = []
+                for method, params in normalized:
+                    request_id = next(self._ids)
+                    request = {
+                        "id": request_id, "method": method, "params": params,
+                    }
+                    if _tracer.enabled:
+                        attach_trace_context(
+                            request, (span.trace_id, span.span_id)
+                        )
+                    stream.send(request)
+                    ids.append(request_id)
+                for request_id in ids:
+                    response = stream.receive(timeout=self.timeout)
+                    if response is None:
+                        raise ProtocolError(
+                            "server closed the connection mid-pipeline"
+                        )
+                    if response.get("id") != request_id:
+                        raise ProtocolError(
+                            f"pipelined response id {response.get('id')} != "
+                            f"request id {request_id}: per-connection "
+                            "ordering violated"
+                        )
+                    if "error" in response:
+                        error = response["error"]
+                        if (
+                            response.get("retry_later")
+                            or str(error).startswith("RETRY_LATER")
+                        ):
+                            exc: Exception = RetryLater(str(error))
+                        else:
+                            exc = AnalysisError(error)
+                        results.append(exc)
+                        if first_error is None:
+                            first_error = exc
+                    else:
+                        results.append(response.get("result"))
+            except (ProtocolError, OSError):
+                breaker.record_failure()
+                self._drop(endpoint)
+                raise
+        breaker.record_success()
+        self._activate(endpoint)
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
     def _call_failover(self, rpc_method: str, params: dict[str, Any]) -> Any:
         read = rpc_method in READ_ONLY_METHODS
+        active_at_start = self._active
         candidates = self._read_candidates() if read else [self.endpoints[0]]
         last_exc: Optional[Exception] = None
         attempted: list[str] = []
@@ -342,6 +489,23 @@ class PerfExplorerClient:
                 _log.warning(
                     "failover", method=rpc_method, endpoint=_addr(endpoint)
                 )
+            elif read and endpoint != active_at_start:
+                # The router moved this read off the previously-active
+                # endpoint before even trying it.  Moving away from a
+                # probe-failed endpoint is a failover (same observable
+                # event as a mid-call one); moving away from a healthy
+                # but busier endpoint is load balancing.
+                cached = self._load_cache.get(active_at_start)
+                if cached is not None and not cached[2]:
+                    _registry.counter("explorer.client.failovers").inc()
+                    _log.warning(
+                        "failover", method=rpc_method, endpoint=_addr(endpoint)
+                    )
+                else:
+                    _registry.counter("explorer.client.rebalances").inc()
+                    _log.info(
+                        "rebalance", method=rpc_method, endpoint=_addr(endpoint)
+                    )
             try:
                 return self._try_endpoint(endpoint, rpc_method, params, read)
             except (RetryLater, AnalysisError):

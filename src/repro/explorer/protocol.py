@@ -56,7 +56,7 @@ READ_ONLY_METHODS = frozenset({
     "list_metrics", "list_events", "list_analyses", "get_analysis",
     "describe_event", "correlate_events",
     "speedup_chart", "correlation_matrix", "group_fraction_chart",
-    "imbalance_chart", "replication_status",
+    "imbalance_chart", "replication_status", "server_load",
 })
 
 

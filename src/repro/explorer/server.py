@@ -96,7 +96,11 @@ class AnalysisServer:
             "repl_snapshot": self._repl_snapshot,
             "wal_ship": self._wal_ship,
             "replication_status": self._replication_status,
+            "server_load": self._server_load,
         }
+        #: Set by the socket front end at start(): a zero-argument
+        #: callable reporting its live dispatch load (see _server_load).
+        self.load_probe = None
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -266,6 +270,17 @@ class AnalysisServer:
     def _imbalance_chart(self, trial: int, top: int = 10) -> dict[str, Any]:
         return imbalance_chart(self.session.load_datasource(trial), top=top)
 
+    def _server_load(self) -> dict[str, Any]:
+        """Lightweight load probe for client-side least-loaded routing.
+
+        Deliberately a separate method from ``replication_status`` (whose
+        payload is a stable contract) and far cheaper than ``get_stats``:
+        three integers, no registry snapshot, no db counters."""
+        probe = self.load_probe
+        if probe is None:
+            return {"in_flight": 0, "queued": 0, "connections": 0}
+        return probe()
+
     def _get_stats(self) -> dict[str, Any]:
         """The server's live metrics registry (plus its database
         counters), for ``repro stats --server`` and remote monitoring."""
@@ -336,8 +351,15 @@ class AnalysisServer:
         return {"role": "standalone"}
 
 
-class SocketServer:
+class ThreadedSocketServer:
     """TCP front end: accepts clients, one thread per connection.
+
+    Superseded as the default by the event-loop core
+    (:class:`~repro.explorer.eventloop.SocketServer`, re-exported from
+    this module as ``SocketServer``), but kept fully working: the E16/
+    E17 benchmarks run both cores side by side so the regression gate
+    compares like-for-like, and ``perfdmf serve --core threaded``
+    selects it explicitly.
 
     With ``telemetry_port`` set (0 = any free port), ``start()`` also
     mounts a :class:`~repro.obs.telemetry.TelemetryServer` so the
@@ -414,9 +436,25 @@ class SocketServer:
                 host=self.telemetry_address[0],
                 port=self.telemetry_address[1],
             )
+        self.analysis.load_probe = self._load_snapshot
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
         return self.address
+
+    def _load_snapshot(self) -> dict:
+        """The ``server_load`` RPC payload: how busy this front end is.
+
+        The threaded core has no dispatch queue — a request is either
+        executing on its connection thread or not admitted at all."""
+        with self._idle:
+            in_flight = self._in_flight
+        with self._clients_lock:
+            connections = len(self._clients)
+        return {
+            "in_flight": in_flight,
+            "queued": 0,
+            "connections": connections,
+        }
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -601,3 +639,17 @@ class SocketServer:
                 client.close()
             except OSError:
                 pass
+
+
+# The event-loop core is the default SocketServer; existing callers
+# (tests, CLI, benchmarks, replica harnesses) pick it up by name with
+# the same constructor surface and lifecycle.  Imported at the bottom
+# because eventloop shares this module's protocol/obs imports but needs
+# no symbol defined above — and keeping ``SocketServer`` importable from
+# ``repro.explorer.server`` preserves every call site.
+from .eventloop import SocketServer  # noqa: E402  (re-export)
+
+__all__ = [
+    "AnalysisServer", "SocketServer", "ThreadedSocketServer",
+    "REPLICA_SAFE_METHODS",
+]

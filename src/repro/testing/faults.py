@@ -229,6 +229,26 @@ def _reset(sock: "_socket.socket") -> None:
     sock.close()
 
 
+def net_fire(point: Optional[str]) -> Optional[_NetFault]:
+    """The armed fault at ``point`` if this visit fires it, else None.
+
+    Consumes one hit.  Callers that manage their own buffers (the
+    event-loop server writes through a send queue rather than a
+    blocking ``sendall``) use this to apply drop/trunc/delay/reset
+    themselves at the moment a message is queued.
+    """
+    fault = _net_armed.get(point) if point else None
+    if fault is not None and fault.fires():
+        return fault
+    return None
+
+
+def reset_socket(sock: "_socket.socket") -> None:
+    """Close ``sock`` with an RST (zero-linger close), as a crashed
+    peer would — the public face of the shim's reset mode."""
+    _reset(sock)
+
+
 def net_send(sock: "_socket.socket", data: bytes, point: Optional[str]) -> None:
     """Send ``data`` on ``sock`` through the network fault shim.
 
@@ -237,8 +257,8 @@ def net_send(sock: "_socket.socket", data: bytes, point: Optional[str]) -> None:
     half-written frame, as from a crash mid-send), *delay* it by
     ``arg`` seconds, or *reset* the connection with an RST.
     """
-    fault = _net_armed.get(point) if point else None
-    if fault is not None and fault.fires():
+    fault = net_fire(point)
+    if fault is not None:
         if fault.mode == "drop":
             return
         if fault.mode == "trunc":
@@ -253,8 +273,8 @@ def net_send(sock: "_socket.socket", data: bytes, point: Optional[str]) -> None:
 
 def net_point(sock: "_socket.socket", point: Optional[str]) -> None:
     """Receive-side hook: an armed fault can delay or reset here."""
-    fault = _net_armed.get(point) if point else None
-    if fault is not None and fault.fires():
+    fault = net_fire(point)
+    if fault is not None:
         if fault.mode == "reset":
             _reset(sock)
             raise ConnectionResetError(f"connection reset by fault shim at {point}")
